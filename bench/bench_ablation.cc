@@ -1,0 +1,189 @@
+//===- bench/bench_ablation.cc - §6.4 optimization ablation -----*- C++ -*-===//
+//
+// Reproduces the quantitative claims of §6.4: "we were able to obtain
+// tremendous speedups (80x on average and over 1000x for some benchmarks)
+// and radically reduce memory usage (5x on average and over 35x for some
+// benchmarks) by implementing several optimizations, including
+// domain-specific reduction strategies and skipping symbolic evaluation of
+// handlers for which a simple syntactic check suffices (both benefits of
+// LAC), and saving subproofs at key cut points."
+//
+// The three optimizations map onto three toggles:
+//   syntactic-skip  -> VerifyOptions::SyntacticSkip
+//   term reduction  -> VerifyOptions::Simplify (TermContext folding)
+//   subproof cache  -> VerifyOptions::CacheInvariants (invariant proofs
+//                      reused across obligations and properties)
+//
+// For each configuration the bench verifies all 41 properties repeatedly
+// and reports wall-clock, solver work, and allocated term count (the
+// memory proxy). Expected shape: the fully optimized configuration is the
+// fastest and smallest; disabling everything costs a large multiplicative
+// factor. Absolute factors differ from the paper's (different proof
+// representation), the monotone ordering is the reproduced result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "kernels/synthetic.h"
+#include "support/timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace reflex;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  bool SyntacticSkip;
+  bool Simplify;
+  bool Cache;
+};
+
+struct Measurement {
+  double Millis = 0;
+  uint64_t SolverQueries = 0;
+  size_t Terms = 0;
+  bool AllProved = true;
+};
+
+Measurement measure(const Config &C, unsigned Repeats) {
+  Measurement M;
+  WallTimer Timer;
+  for (unsigned I = 0; I < Repeats; ++I) {
+    for (const kernels::KernelDef *K : kernels::all()) {
+      ProgramPtr P = kernels::load(*K);
+      VerifyOptions Opts;
+      Opts.SyntacticSkip = C.SyntacticSkip;
+      Opts.Simplify = C.Simplify;
+      Opts.CacheInvariants = C.Cache;
+      // The certificate checker re-runs the prover; keep it on (it is
+      // part of the measured pipeline, like Coq's proof-term checking,
+      // which the paper's time column also includes).
+      VerificationReport R = verifyProgram(*P, Opts);
+      M.AllProved &= R.allProved();
+      M.SolverQueries += R.SolverQueries;
+      M.Terms += R.TermCount;
+    }
+  }
+  M.Millis = Timer.elapsedMillis() / Repeats;
+  M.SolverQueries /= Repeats;
+  M.Terms /= Repeats;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  const unsigned Repeats = 5;
+  const std::vector<Config> Configs = {
+      {"full (all optimizations)", true, true, true},
+      {"no syntactic skip", false, true, true},
+      {"no term reduction", true, false, true},
+      {"no subproof cache", true, true, false},
+      {"none (all disabled)", false, false, false},
+  };
+
+  std::printf("=== §6.4 ablation: proof-search optimizations ===\n");
+  std::printf("(41 properties x %u repeats per configuration; times are "
+              "per full 41-property run)\n\n",
+              Repeats);
+  std::printf("%-28s %12s %14s %12s %10s\n", "configuration", "time(ms)",
+              "solver queries", "terms", "proved");
+
+  std::vector<Measurement> Results;
+  for (const Config &C : Configs) {
+    Measurement M = measure(C, Repeats);
+    Results.push_back(M);
+    std::printf("%-28s %12.2f %14llu %12zu %10s\n", C.Name, M.Millis,
+                static_cast<unsigned long long>(M.SolverQueries), M.Terms,
+                M.AllProved ? "41/41" : "INCOMPLETE");
+  }
+
+  std::printf("\nsolver-work ratio on the 41 paper properties (none vs "
+              "full): %.1fx\n",
+              static_cast<double>(Results.back().SolverQueries) /
+                  static_cast<double>(Results.front().SolverQueries));
+  std::printf("(the paper kernels are small; the optimizations' large "
+              "multiplicative wins appear at scale, below)\n");
+
+  // ----- Scaling study: where the optimizations earn their keep ---------
+  // Chain kernels grow the number of handlers and properties; the
+  // syntactic skip turns the per-invariant induction from O(handlers)
+  // symbolic work into O(1), and the subproof cache collapses the N
+  // identical Marker invariants into one proof.
+  std::printf("\n=== scaling: synthetic chain kernels ===\n");
+  std::printf("%-8s %-28s %12s %14s %12s %8s\n", "stages", "configuration",
+              "time(ms)", "solver queries", "terms", "proved");
+
+  bool Shape = true;
+  for (const Measurement &M : Results)
+    Shape &= M.AllProved;
+
+  double FullLast = 0, NoneLast = 0, NoSkipLast = 0, NoCacheLast = 0;
+  uint64_t FullQ = 1, NoneQ = 1, NoCacheQ = 1;
+  size_t FullTerms = 1, NoneTerms = 1;
+  for (unsigned Stages : {8u, 16u, 32u}) {
+    std::string Source = kernels::syntheticChainKernel(Stages);
+    Result<ProgramPtr> P = loadProgram(Source, "chain");
+    if (!P) {
+      std::printf("chain kernel failed to load: %s\n", P.error().c_str());
+      return 1;
+    }
+    for (const Config &C : Configs) {
+      VerifyOptions Opts;
+      Opts.SyntacticSkip = C.SyntacticSkip;
+      Opts.Simplify = C.Simplify;
+      Opts.CacheInvariants = C.Cache;
+      WallTimer Timer;
+      VerificationReport R = verifyProgram(**P, Opts);
+      double Ms = Timer.elapsedMillis();
+      Shape &= R.allProved();
+      std::printf("%-8u %-28s %12.2f %14llu %12zu %8s\n", Stages, C.Name, Ms,
+                  static_cast<unsigned long long>(R.SolverQueries),
+                  R.TermCount, R.allProved() ? "all" : "INCOMPLETE");
+      if (Stages == 32) {
+        if (std::string(C.Name).rfind("full", 0) == 0) {
+          FullLast = Ms;
+          FullQ = R.SolverQueries;
+          FullTerms = R.TermCount;
+        } else if (std::string(C.Name) == "no syntactic skip") {
+          NoSkipLast = Ms;
+        } else if (std::string(C.Name) == "no subproof cache") {
+          NoCacheLast = Ms;
+          NoCacheQ = R.SolverQueries;
+        } else if (std::string(C.Name).rfind("none", 0) == 0) {
+          NoneLast = Ms;
+          NoneQ = R.SolverQueries;
+          NoneTerms = R.TermCount;
+        }
+      }
+    }
+  }
+
+  std::printf("\n=== Summary (32-stage chain) ===\n");
+  std::printf("speedup, full optimizations vs none:  %.1fx   (paper: 80x "
+              "mean, >1000x max, vs unoptimized Ltac)\n",
+              NoneLast / FullLast);
+  std::printf("speedup from syntactic skip alone:    %.1fx\n",
+              NoSkipLast / FullLast);
+  std::printf("speedup from subproof cache alone:    %.1fx wall, %.1fx "
+              "solver work\n",
+              NoCacheLast / FullLast,
+              static_cast<double>(NoCacheQ) / static_cast<double>(FullQ));
+  std::printf("solver-work ratio (none vs full):     %.1fx\n",
+              static_cast<double>(NoneQ) / static_cast<double>(FullQ));
+  std::printf("term-allocation ratio (memory proxy): %.1fx   (paper: 5x "
+              "mean, >35x max)\n",
+              static_cast<double>(NoneTerms) /
+                  static_cast<double>(FullTerms));
+
+  Shape &= NoneLast > FullLast && NoSkipLast > FullLast;
+  std::printf("\nshape: every configuration proves everything, and "
+              "disabling optimizations costs a multiplicative factor that "
+              "grows with program size: %s\n",
+              Shape ? "yes" : "NO");
+  return Shape ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+//===- bench/bench_fig6.cc - Reproduce Figure 6 -----------------*- C++ -*-===//
+//
+// Regenerates the paper's Figure 6: all 41 properties across the seven
+// benchmark kernels, each proved fully automatically, with per-property
+// verification time. Prints our wall-clock next to the paper's reported
+// seconds.
+//
+// Expected shape (recorded in EXPERIMENTS.md): 41/41 Proved with checked
+// certificates; non-interference rows are the slowest within each kernel
+// (as in the paper, where "Different domains do not interfere" dominates
+// every browser variant). Absolute times are not comparable: the paper
+// type-checks Coq proof terms; we emit and re-check explicit certificates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "support/timer.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <cstdio>
+#include <map>
+
+using namespace reflex;
+
+int main() {
+  std::printf("=== Figure 6: benchmark properties, proved fully "
+              "automatically ===\n\n");
+  std::printf("%-10s %-52s %10s %12s %s\n", "kernel", "policy description",
+              "paper(s)", "ours(ms)", "status");
+  std::printf("%.*s\n", 100,
+              "----------------------------------------------------------"
+              "------------------------------------------");
+
+  unsigned Proved = 0, Total = 0;
+  double SlowestMs = 0;
+  std::string SlowestName;
+  std::map<std::string, double> KernelNiMs, KernelMaxTraceMs;
+  bool AllCertsChecked = true;
+
+  // Timings are the minimum over several independent sessions: at
+  // sub-millisecond scales a single shot is too noisy for the ordering
+  // comparisons below.
+  const unsigned TimingRuns = 5;
+  for (const kernels::KernelDef *K : kernels::all()) {
+    ProgramPtr P = kernels::load(*K);
+    VerifyOptions Opts;
+    VerifySession Session(*P, Opts);
+    std::vector<std::unique_ptr<VerifySession>> TimingSessions;
+    for (unsigned I = 0; I < TimingRuns; ++I)
+      TimingSessions.push_back(std::make_unique<VerifySession>(*P, Opts));
+    for (const kernels::PropertyRow &Row : K->Rows) {
+      const Property *Prop = P->findProperty(Row.PropertyName);
+      if (!Prop) {
+        std::printf("%-10s %-52s MISSING PROPERTY %s\n", K->Name.c_str(),
+                    Row.PaperDescription.c_str(), Row.PropertyName.c_str());
+        continue;
+      }
+      PropertyResult R = Session.verify(*Prop);
+      for (auto &TS : TimingSessions)
+        R.Millis = std::min(R.Millis, TS->verify(*Prop).Millis);
+      ++Total;
+      bool Ok = R.Status == VerifyStatus::Proved;
+      if (Ok)
+        ++Proved;
+      AllCertsChecked &= !Ok || R.CertChecked;
+      std::printf("%-10s %-52s %10.0f %12.2f %s%s\n", K->Name.c_str(),
+                  Row.PaperDescription.c_str(), Row.PaperSeconds, R.Millis,
+                  verifyStatusName(R.Status),
+                  Ok ? (R.CertChecked ? " (cert checked)" : "") : "");
+      if (!Ok)
+        std::printf("           !! %s\n", R.Reason.c_str());
+      if (R.Millis > SlowestMs) {
+        SlowestMs = R.Millis;
+        SlowestName = K->Name + "/" + Row.PropertyName;
+      }
+      if (!Prop->isTrace())
+        KernelNiMs[K->Name] = R.Millis;
+      else if (R.Millis > KernelMaxTraceMs[K->Name])
+        KernelMaxTraceMs[K->Name] = R.Millis;
+    }
+  }
+
+  std::printf("\n=== Summary ===\n");
+  std::printf("properties proved automatically: %u / %u (paper: 41 / 41)\n",
+              Proved, Total);
+  std::printf("all certificates re-checked by independent checker: %s\n",
+              AllCertsChecked ? "yes" : "NO");
+  std::printf("slowest verification: %s at %.2f ms (paper: 532 s, browser3 "
+              "non-interference)\n",
+              SlowestName.c_str(), SlowestMs);
+
+  // Shape check mirroring the paper: in each *browser* variant, the
+  // non-interference property is the slowest row (paper: 229/338/532 s are
+  // the browser maxima). In the car kernel the paper's slowest row is
+  // "Doors can not lock after a crash" (21 s), not non-interference — the
+  // same ordering this reproduction shows.
+  std::printf("\nshape: non-interference dominates each browser variant "
+              "(paper: yes):\n");
+  for (const auto &[Kernel, NiMs] : KernelNiMs) {
+    if (Kernel.rfind("browser", 0) != 0)
+      continue;
+    std::printf("  %-10s NI %.2f ms vs slowest trace property %.2f ms -> "
+                "%s\n",
+                Kernel.c_str(), NiMs, KernelMaxTraceMs[Kernel],
+                NiMs >= KernelMaxTraceMs[Kernel] ? "dominates"
+                                                 : "does not dominate");
+  }
+  std::printf("shape: car's slowest property is NoLockAfterCrash, not NI "
+              "(paper: 21 s vs 13 s): %s\n",
+              KernelMaxTraceMs["car"] >= KernelNiMs["car"] ? "yes" : "NO");
+
+  return (Proved == Total && Total == kernels::totalProperties()) ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+//===- bench/bench_runtime.cc - §6.4 interactive speed ----------*- C++ -*-===//
+//
+// Reproduces the §6.4 claim that "the generated executables run at
+// interactive speeds": microbenchmarks of the kernel event loop servicing
+// exchanges with simulated components. Reported as exchanges/second per
+// kernel — any figure in the tens of thousands or more is far beyond what
+// "interactive" requires (the paper browsed GMail through its kernel).
+//
+// Uses google-benchmark; each iteration rebuilds the runtime and services
+// a fixed batch of exchanges, so the per-iteration time covers init +
+// scheduling + handler execution + trace recording.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace reflex;
+
+namespace {
+
+void runKernel(benchmark::State &State, const kernels::KernelDef &K) {
+  ProgramPtr P = kernels::load(K);
+  size_t Exchanges = 0;
+  for (auto _ : State) {
+    Runtime Rt(*P, K.MakeScripts(), K.MakeCalls(), /*Seed=*/42);
+    Rt.start();
+    Exchanges += Rt.run(10000);
+    benchmark::DoNotOptimize(Rt.trace().Actions.size());
+  }
+  State.counters["exchanges/s"] = benchmark::Counter(
+      static_cast<double>(Exchanges), benchmark::Counter::kIsRate);
+}
+
+void BM_Ssh(benchmark::State &State) { runKernel(State, kernels::ssh()); }
+void BM_Ssh2(benchmark::State &State) { runKernel(State, kernels::ssh2()); }
+void BM_Browser(benchmark::State &State) {
+  runKernel(State, kernels::browser());
+}
+void BM_Browser3(benchmark::State &State) {
+  runKernel(State, kernels::browser3());
+}
+void BM_Webserver(benchmark::State &State) {
+  runKernel(State, kernels::webserver());
+}
+void BM_Car(benchmark::State &State) { runKernel(State, kernels::car()); }
+
+/// A synthetic high-throughput workload: one chatty component driving the
+/// kernel hard, to measure the per-exchange cost in isolation.
+void BM_ExchangeLatency(benchmark::State &State) {
+  static const char Source[] = R"rfx(
+program pingpong;
+component Peer "peer.py";
+message Ping(num);
+message Pong(num);
+var count: num = 0;
+init { X <- spawn Peer(); }
+handler Peer => Ping(n) {
+  count = count + 1;
+  send(X, Pong(n));
+}
+)rfx";
+  Result<ProgramPtr> P = loadProgram(Source);
+  if (!P) {
+    State.SkipWithError("pingpong kernel failed to load");
+    return;
+  }
+  struct Chatty : ComponentScript {
+    int64_t N = 0;
+    void onStart() override { sendToKernel(msg("Ping", {Value::num(N++)})); }
+    void onMessage(const Message &M) override {
+      if (M.Name == "Pong")
+        sendToKernel(msg("Ping", {Value::num(N++)}));
+    }
+  };
+  size_t Exchanges = 0;
+  for (auto _ : State) {
+    Runtime Rt(**P,
+               [](const ComponentInstance &) {
+                 return std::make_unique<Chatty>();
+               },
+               CallRegistry(), 7);
+    Rt.start();
+    Exchanges += Rt.run(5000);
+  }
+  State.counters["exchanges/s"] = benchmark::Counter(
+      static_cast<double>(Exchanges), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_Car);
+BENCHMARK(BM_Ssh);
+BENCHMARK(BM_Ssh2);
+BENCHMARK(BM_Browser);
+BENCHMARK(BM_Browser3);
+BENCHMARK(BM_Webserver);
+BENCHMARK(BM_ExchangeLatency);
+
+BENCHMARK_MAIN();

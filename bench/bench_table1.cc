@@ -1,0 +1,87 @@
+//===- bench/bench_table1.cc - Reproduce Table 1 ----------------*- C++ -*-===//
+//
+// Regenerates the paper's Table 1: per benchmark, the size of the verified
+// Reflex kernel (code / properties, in lines) next to the size of the
+// surrounding sandboxed components. In the paper the components are real
+// systems (WebKit-based browser parts: 970,240 LoC; OpenSSH-derived SSH
+// components: 89,567 LoC; Python web server parts: 386 LoC); in this
+// reproduction they are simulation scripts, so the absolute component
+// numbers are not comparable — the *shape* that carries the paper's point
+// is the ratio: the verified kernel is tiny (tens of lines) against the
+// unverified component mass, which is exactly what privilege separation
+// buys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "support/strings.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace reflex;
+
+/// Counts non-blank, non-comment lines of the file at \p Path (relative to
+/// the repo root, baked in at configure time).
+static unsigned fileLoc(const std::string &Path) {
+  std::ifstream In(std::string(REFLEX_SOURCE_DIR) + "/" + Path);
+  if (!In)
+    return 0;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return countCodeLines(SS.str());
+}
+
+int main() {
+  std::printf("=== Table 1: benchmark sizes (lines of code) ===\n\n");
+  std::printf("%-10s | %-28s | %-28s | %s\n", "kernel",
+              "kernel code/props (ours)", "kernel code/props (paper)",
+              "components: ours scripts / paper");
+  std::printf("%.*s\n", 118,
+              "--------------------------------------------------------------"
+              "--------------------------------------------------------");
+
+  unsigned TotalKernel = 0, TotalComponents = 0;
+  for (const kernels::KernelDef *K : kernels::all()) {
+    // Split the embedded source at the first property declaration: code
+    // above, property specifications below (the paper reports "Kernel
+    // Code / Properties" the same way).
+    size_t PropPos = K->Source.find("property ");
+    std::string Code = K->Source.substr(0, PropPos);
+    std::string Props =
+        PropPos == std::string::npos ? "" : K->Source.substr(PropPos);
+    unsigned CodeLoc = countCodeLines(Code);
+    unsigned PropsLoc = countCodeLines(Props);
+    unsigned ScriptLoc = fileLoc("src/kernels/" + K->Name + ".cc");
+    if (K->Name.rfind("browser", 0) == 0)
+      ScriptLoc += fileLoc("src/kernels/scripts.cc");
+    TotalKernel += CodeLoc + PropsLoc;
+    TotalComponents += ScriptLoc;
+
+    char PaperKernel[64] = "-";
+    if (K->PaperKernelLoc)
+      std::snprintf(PaperKernel, sizeof(PaperKernel), "%u / %u",
+                    K->PaperKernelLoc, K->PaperPropsLoc);
+    char PaperComp[32] = "-";
+    if (K->PaperComponentLoc)
+      std::snprintf(PaperComp, sizeof(PaperComp), "%u",
+                    K->PaperComponentLoc);
+    char Ours[64];
+    std::snprintf(Ours, sizeof(Ours), "%u / %u", CodeLoc, PropsLoc);
+    char Comp[64];
+    std::snprintf(Comp, sizeof(Comp), "%u / %s", ScriptLoc, PaperComp);
+    std::printf("%-10s | %-28s | %-28s | %s\n", K->Name.c_str(), Ours,
+                PaperKernel, Comp);
+  }
+
+  std::printf("\nshape check (the paper's point): verified kernel code is "
+              "orders of magnitude smaller than the component mass it "
+              "mediates.\n");
+  std::printf("  total verified kernel lines (ours): %u\n", TotalKernel);
+  std::printf("  total component lines (ours, simulation stand-ins): %u\n",
+              TotalComponents);
+  std::printf("  paper: 201 kernel-code lines + 88 property lines vs "
+              "1,060,193 component lines\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/ssh_server.cpp - The SSH benchmark, end to end ---*- C++ -*-===//
+//
+// Drives the paper's flagship example (Figure 2/3): the privilege-
+// separated SSH server. Verifies the five security policies of the ssh
+// kernel, then simulates a session: a client fumbles its password twice,
+// logs in on the third attempt, and receives direct PTY access — with the
+// kernel mediating every step and the runtime monitor confirming the
+// proved properties on the live trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "support/strings.h"
+
+#include <cstdio>
+
+using namespace reflex;
+
+int main() {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P = kernels::load(K);
+
+  std::printf("=== SSH server kernel (%u lines of Reflex) ===\n\n",
+              countCodeLines(K.Source));
+
+  // Pushbutton verification of all five policies.
+  VerificationReport Report = verifyProgram(*P);
+  for (const PropertyResult &R : Report.Results)
+    std::printf("  %-28s %s (%.2f ms)\n", R.Name.c_str(),
+                verifyStatusName(R.Status), R.Millis);
+  if (!Report.allProved()) {
+    std::printf("verification failed\n");
+    return 1;
+  }
+
+  // Simulate a session. The Connection script tries "hunter1", "hunter3",
+  // then the correct "hunter2", then requests a terminal.
+  std::printf("\n=== simulated session ===\n");
+  Runtime Rt(*P, K.MakeScripts(), K.MakeCalls(), /*Seed=*/2026);
+  Rt.enableMonitor();
+  Rt.start();
+  Rt.run(200);
+
+  const Trace &Tr = Rt.trace();
+  std::printf("%s", Tr.str().c_str());
+
+  // Narrate the outcome.
+  bool SawPty = false, SawTermFd = false;
+  unsigned Attempts = 0;
+  for (const Action &A : Tr.Actions) {
+    if (A.Kind == Action::Send && A.Msg.Name == "CheckAuth")
+      ++Attempts;
+    if (A.Kind == Action::Send && A.Msg.Name == "CreatePty")
+      SawPty = true;
+    if (A.Kind == Action::Send && A.Msg.Name == "TermFd")
+      SawTermFd = true;
+  }
+  std::printf("\nauthentication attempts forwarded to Password: %u (limit "
+              "3, enforced by the verified kernel)\n",
+              Attempts);
+  std::printf("PTY created after successful login: %s\n",
+              SawPty ? "yes" : "no");
+  std::printf("client received direct terminal descriptor: %s\n",
+              SawTermFd ? "yes" : "no");
+  std::printf("runtime monitor: %s\n",
+              Rt.lastViolation() ? Rt.lastViolation()->Explanation.c_str()
+                                 : "no violations (as proved)");
+  return (SawTermFd && !Rt.lastViolation()) ? 0 : 1;
+}

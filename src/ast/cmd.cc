@@ -1,0 +1,91 @@
+//===- ast/cmd.cc - Reflex commands: syntactic scanners ---------*- C++ -*-===//
+//
+// Syntactic command scans. The prover's "syntactic skip" optimization
+// (paper §6.4: "skipping symbolic evaluation of handlers for which a
+// simple syntactic check suffices") uses these to decide, without symbolic
+// evaluation, that a handler cannot possibly emit an action matching a
+// trigger pattern or modify a guard variable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/cmd.h"
+
+namespace reflex {
+
+namespace {
+
+/// Applies \p Fn to every command in the tree rooted at \p C, stopping
+/// early when Fn returns true. Returns whether any call returned true.
+template <typename FnT> bool anyCmd(const Cmd &C, const FnT &Fn) {
+  if (Fn(C))
+    return true;
+  switch (C.kind()) {
+  case Cmd::Block:
+    for (const CmdPtr &Sub : castCmd<BlockCmd>(C).commands())
+      if (anyCmd(*Sub, Fn))
+        return true;
+    return false;
+  case Cmd::If: {
+    const auto &If = castCmd<IfCmd>(C);
+    return anyCmd(If.thenCmd(), Fn) || anyCmd(If.elseCmd(), Fn);
+  }
+  case Cmd::Lookup: {
+    const auto &L = castCmd<LookupCmd>(C);
+    return anyCmd(L.thenCmd(), Fn) || anyCmd(L.elseCmd(), Fn);
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool cmdSendsMessage(const Cmd &C, const std::string &MsgName) {
+  return anyCmd(C, [&](const Cmd &Sub) {
+    const auto *S = dynCastCmd<SendCmd>(&Sub);
+    return S && S->msgName() == MsgName;
+  });
+}
+
+bool cmdSpawnsType(const Cmd &C, const std::string &CompType) {
+  return anyCmd(C, [&](const Cmd &Sub) {
+    const auto *S = dynCastCmd<SpawnCmd>(&Sub);
+    return S && S->compType() == CompType;
+  });
+}
+
+bool cmdAssignsVar(const Cmd &C, const std::string &Var) {
+  return anyCmd(C, [&](const Cmd &Sub) {
+    const auto *A = dynCastCmd<AssignCmd>(&Sub);
+    return A && A->var() == Var;
+  });
+}
+
+bool cmdHasCall(const Cmd &C) {
+  return anyCmd(C,
+                [](const Cmd &Sub) { return Sub.kind() == Cmd::Call; });
+}
+
+bool cmdHasEffect(const Cmd &C) {
+  return anyCmd(C, [](const Cmd &Sub) {
+    switch (Sub.kind()) {
+    case Cmd::Send:
+    case Cmd::Spawn:
+    case Cmd::Call:
+    case Cmd::Assign:
+      return true;
+    default:
+      return false;
+    }
+  });
+}
+
+void collectAssignedVars(const Cmd &C, std::set<std::string> &Out) {
+  anyCmd(C, [&](const Cmd &Sub) {
+    if (const auto *A = dynCastCmd<AssignCmd>(&Sub))
+      Out.insert(A->var());
+    return false;
+  });
+}
+
+} // namespace reflex

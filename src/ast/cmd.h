@@ -1,0 +1,254 @@
+//===- ast/cmd.h - Reflex commands ------------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command AST of the Reflex DSL: the bodies of the init section and of
+/// message handlers. The command language is "mostly standard imperative
+/// programming features (assignment to global variables, sequencing,
+/// branching)" plus the effectful primitives: send, spawn, call (invoke a
+/// native function returning a string — the paper's escape hatch to OCaml),
+/// and lookup (find an existing component by type and configuration).
+///
+/// Looping constructs are *deliberately absent* (paper §3.1): this is the
+/// central LAC restriction that makes handlers symbolically evaluable by a
+/// total function, which in turn is what makes BehAbs definable and the
+/// proof automation complete enough to be useful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_CMD_H
+#define REFLEX_AST_CMD_H
+
+#include "ast/expr.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+class Cmd;
+using CmdPtr = std::unique_ptr<Cmd>;
+
+/// Base class of all commands.
+class Cmd {
+public:
+  enum CmdKind : uint8_t {
+    Block,  ///< `{ c1 c2 ... }`
+    Assign, ///< `x = e`
+    If,     ///< `if (e) { ... } else { ... }`
+    Send,   ///< `send(e, Msg(e1, ...))`
+    Spawn,  ///< `x <- spawn T(e1, ...)`
+    Call,   ///< `x <- call "fn"(e1, ...)`
+    Lookup, ///< `lookup T(f == e, ...) as x { ... } else { ... }`
+    Nop,    ///< `nop` (explicit no-op; also the default handler body)
+  };
+
+  virtual ~Cmd() = default;
+
+  CmdKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Cmd(CmdKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  CmdKind Kind;
+  SourceLoc Loc;
+};
+
+/// A sequence of commands.
+class BlockCmd : public Cmd {
+public:
+  BlockCmd(std::vector<CmdPtr> Cmds, SourceLoc Loc)
+      : Cmd(Block, Loc), Cmds(std::move(Cmds)) {}
+
+  const std::vector<CmdPtr> &commands() const { return Cmds; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Block; }
+
+private:
+  std::vector<CmdPtr> Cmds;
+};
+
+/// `x = e`: assignment to a global state variable. Handler parameters and
+/// locals are immutable; component globals may not be reassigned (validator
+/// enforces both).
+class AssignCmd : public Cmd {
+public:
+  AssignCmd(std::string Var, ExprPtr RHS, SourceLoc Loc)
+      : Cmd(Assign, Loc), Var(std::move(Var)), RHS(std::move(RHS)) {}
+
+  const std::string &var() const { return Var; }
+  const Expr &rhs() const { return *RHS; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Assign; }
+
+private:
+  std::string Var;
+  ExprPtr RHS;
+};
+
+/// `if (e) { ... } else { ... }`. The else branch may be an empty block.
+class IfCmd : public Cmd {
+public:
+  IfCmd(ExprPtr Cond, CmdPtr Then, CmdPtr Else, SourceLoc Loc)
+      : Cmd(If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &cond() const { return *Cond; }
+  const Cmd &thenCmd() const { return *Then; }
+  const Cmd &elseCmd() const { return *Else; }
+
+  static bool classof(const Cmd *C) { return C->kind() == If; }
+
+private:
+  ExprPtr Cond;
+  CmdPtr Then;
+  CmdPtr Else;
+};
+
+/// `send(target, Msg(args...))`: sends a message to a component. The
+/// observable Send action this produces is what trace properties range
+/// over.
+class SendCmd : public Cmd {
+public:
+  SendCmd(ExprPtr Target, std::string MsgName, std::vector<ExprPtr> Args,
+          SourceLoc Loc)
+      : Cmd(Send, Loc), Target(std::move(Target)), MsgName(std::move(MsgName)),
+        Args(std::move(Args)) {}
+
+  const Expr &target() const { return *Target; }
+  const std::string &msgName() const { return MsgName; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Send; }
+
+private:
+  ExprPtr Target;
+  std::string MsgName;
+  std::vector<ExprPtr> Args;
+};
+
+/// `x <- spawn T(cfg...)`: spawns a new component of type T with the given
+/// configuration values and binds it to x (a global when in init, a local
+/// when in a handler).
+class SpawnCmd : public Cmd {
+public:
+  SpawnCmd(std::string Bind, std::string CompType, std::vector<ExprPtr> Config,
+           SourceLoc Loc)
+      : Cmd(Spawn, Loc), Bind(std::move(Bind)), CompType(std::move(CompType)),
+        Config(std::move(Config)) {}
+
+  const std::string &bind() const { return Bind; }
+  const std::string &compType() const { return CompType; }
+  const std::vector<ExprPtr> &config() const { return Config; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Spawn; }
+
+private:
+  std::string Bind;
+  std::string CompType;
+  std::vector<ExprPtr> Config;
+};
+
+/// `x <- call "fn"(args...)`: invokes a native function (the paper's
+/// "custom OCaml function returning a string"). The result is a str local.
+/// From the kernel's perspective the result is *nondeterministic* — this
+/// is the source of nondeterminism the paper's reactive non-interference
+/// definition must contend with (§4.2).
+class CallCmd : public Cmd {
+public:
+  CallCmd(std::string Bind, std::string Fn, std::vector<ExprPtr> Args,
+          SourceLoc Loc)
+      : Cmd(Call, Loc), Bind(std::move(Bind)), Fn(std::move(Fn)),
+        Args(std::move(Args)) {}
+
+  const std::string &bind() const { return Bind; }
+  const std::string &fn() const { return Fn; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Call; }
+
+private:
+  std::string Bind;
+  std::string Fn;
+  std::vector<ExprPtr> Args;
+};
+
+/// One `field == expr` constraint of a lookup.
+struct LookupConstraint {
+  std::string Field;
+  int FieldIndex = -1; // resolved by the validator
+  ExprPtr Expr;
+};
+
+/// `lookup T(f == e, ...) as x { ... } else { ... }`: searches the current
+/// component set for a component of type T whose configuration satisfies
+/// all constraints; binds it and runs the then-branch if found, else runs
+/// the else-branch. The paper replaced a `broadcast` primitive with lookup
+/// precisely because lookup emits a statically bounded number of actions
+/// (§7, "Adapt language design to account for proof automation
+/// challenges").
+class LookupCmd : public Cmd {
+public:
+  LookupCmd(std::string Bind, std::string CompType,
+            std::vector<LookupConstraint> Constraints, CmdPtr Then,
+            CmdPtr Else, SourceLoc Loc)
+      : Cmd(Lookup, Loc), Bind(std::move(Bind)),
+        CompType(std::move(CompType)), Constraints(std::move(Constraints)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  const std::string &bind() const { return Bind; }
+  const std::string &compType() const { return CompType; }
+  const std::vector<LookupConstraint> &constraints() const {
+    return Constraints;
+  }
+  std::vector<LookupConstraint> &constraints() { return Constraints; }
+  const Cmd &thenCmd() const { return *Then; }
+  const Cmd &elseCmd() const { return *Else; }
+
+  static bool classof(const Cmd *C) { return C->kind() == Lookup; }
+
+private:
+  std::string Bind;
+  std::string CompType;
+  std::vector<LookupConstraint> Constraints;
+  CmdPtr Then;
+  CmdPtr Else;
+};
+
+/// `nop`.
+class NopCmd : public Cmd {
+public:
+  explicit NopCmd(SourceLoc Loc) : Cmd(Nop, Loc) {}
+
+  static bool classof(const Cmd *C) { return C->kind() == Nop; }
+};
+
+/// Syntactic scans over command trees (see ast/cmd.cc). Used by the
+/// prover's syntactic-skip optimization and the validator.
+bool cmdSendsMessage(const Cmd &C, const std::string &MsgName);
+bool cmdSpawnsType(const Cmd &C, const std::string &CompType);
+bool cmdAssignsVar(const Cmd &C, const std::string &Var);
+bool cmdHasCall(const Cmd &C);
+bool cmdHasEffect(const Cmd &C);
+void collectAssignedVars(const Cmd &C, std::set<std::string> &Out);
+
+/// Checked downcasts for commands (mirrors the Expr helpers).
+template <typename T> const T *dynCastCmd(const Cmd *C) {
+  return T::classof(C) ? static_cast<const T *>(C) : nullptr;
+}
+template <typename T> const T &castCmd(const Cmd &C) {
+  assert(T::classof(&C) && "bad AST cast");
+  return static_cast<const T &>(C);
+}
+
+} // namespace reflex
+
+#endif // REFLEX_AST_CMD_H

@@ -1,0 +1,33 @@
+//===- ast/expr.cc - Reflex expressions -------------------------*- C++ -*-===//
+
+#include "ast/expr.h"
+
+namespace reflex {
+
+const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+} // namespace reflex

@@ -1,0 +1,196 @@
+//===- ast/expr.h - Reflex expressions --------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression AST of the Reflex DSL. Expressions appear in handler bodies
+/// (assignments, send payloads, branch conditions, lookup constraints) and
+/// are deliberately small: literals, variable references, the implicit
+/// `sender` of a handler, configuration-field reads, and a handful of
+/// operators. There are no function calls here (effectful `call` is a
+/// command) and no loops anywhere — LAC restrictions that make exhaustive
+/// symbolic evaluation of handlers possible (paper §3, §7).
+///
+/// Nodes use LLVM-style kind discrimination (no RTTI). The validator
+/// annotates every node with its base type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_EXPR_H
+#define REFLEX_AST_EXPR_H
+
+#include "support/source_loc.h"
+#include "trace/value.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace reflex {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators. Eq/Ne apply to any base type except comp (the
+/// validator rejects component equality — identification of components is
+/// done with `lookup`, a LAC decision that keeps the solver's component
+/// reasoning simple). Ordering and arithmetic apply to num; And/Or to bool.
+enum class BinOp : uint8_t { Eq, Ne, And, Or, Add, Sub, Lt, Le, Gt, Ge };
+
+const char *binOpSpelling(BinOp Op);
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum ExprKind : uint8_t {
+    Lit,       ///< num/str/bool literal
+    VarRef,    ///< state variable, handler parameter, or local binding
+    SenderRef, ///< the component whose message the handler services
+    ConfigRef, ///< `e.field` where e has comp type
+    Unary,     ///< `!e`
+    Binary,    ///< `e1 op e2`
+  };
+
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Base type, set by the validator (meaningless before validation).
+  BaseType type() const { return Ty; }
+  void setType(BaseType T) { Ty = T; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+  BaseType Ty = BaseType::Num;
+};
+
+/// A num, str, or bool literal.
+class LitExpr : public Expr {
+public:
+  LitExpr(Value V, SourceLoc Loc) : Expr(Lit, Loc), Val(std::move(V)) {}
+
+  const Value &value() const { return Val; }
+
+  static bool classof(const Expr *E) { return E->kind() == Lit; }
+
+private:
+  Value Val;
+};
+
+/// A reference to a named variable. Which kind of variable (state var,
+/// handler parameter, init-bound component, handler-local binding) is
+/// resolved by the validator and recorded here.
+class VarRefExpr : public Expr {
+public:
+  enum VarKind : uint8_t {
+    Unresolved,
+    StateVar,  ///< global mutable state variable
+    CompGlobal,///< component bound by `<- spawn` in init (immutable)
+    Param,     ///< handler message parameter
+    Local,     ///< handler-local binding (spawn/call/lookup result)
+  };
+
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  VarKind varKind() const { return VK; }
+  void setVarKind(VarKind K) { VK = K; }
+
+  static bool classof(const Expr *E) { return E->kind() == VarRef; }
+
+private:
+  std::string Name;
+  VarKind VK = Unresolved;
+};
+
+/// The implicit `sender` of a handler: the component the serviced message
+/// was received from. Only valid inside handler bodies.
+class SenderRefExpr : public Expr {
+public:
+  explicit SenderRefExpr(SourceLoc Loc) : Expr(SenderRef, Loc) {}
+
+  static bool classof(const Expr *E) { return E->kind() == SenderRef; }
+};
+
+/// `e.field`: reads a configuration field of a component-typed expression.
+/// Configurations are read-only records fixed at spawn time (paper §3.1).
+class ConfigRefExpr : public Expr {
+public:
+  ConfigRefExpr(ExprPtr Base, std::string Field, SourceLoc Loc)
+      : Expr(ConfigRef, Loc), Base(std::move(Base)), Field(std::move(Field)) {}
+
+  const Expr &base() const { return *Base; }
+  const std::string &field() const { return Field; }
+  /// Field position within the component type's config, resolved by the
+  /// validator.
+  int fieldIndex() const { return FieldIndex; }
+  void setFieldIndex(int I) { FieldIndex = I; }
+
+  static bool classof(const Expr *E) { return E->kind() == ConfigRef; }
+
+private:
+  ExprPtr Base;
+  std::string Field;
+  int FieldIndex = -1;
+};
+
+/// `!e` (boolean negation — the only unary operator).
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprPtr Operand, SourceLoc Loc)
+      : Expr(Unary, Loc), Operand(std::move(Operand)) {}
+
+  const Expr &operand() const { return *Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Unary; }
+
+private:
+  ExprPtr Operand;
+};
+
+/// `e1 op e2`.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Binary, Loc), Op(Op), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  BinOp op() const { return Op; }
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Binary; }
+
+private:
+  BinOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// LLVM-style checked downcast helpers (no RTTI).
+template <typename T> const T *dynCast(const Expr *E) {
+  return T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+template <typename T> T *dynCast(Expr *E) {
+  return T::classof(E) ? static_cast<T *>(E) : nullptr;
+}
+template <typename T> const T &cast(const Expr &E) {
+  assert(T::classof(&E) && "bad AST cast");
+  return static_cast<const T &>(E);
+}
+template <typename T> T &cast(Expr &E) {
+  assert(T::classof(&E) && "bad AST cast");
+  return static_cast<T &>(E);
+}
+
+} // namespace reflex
+
+#endif // REFLEX_AST_EXPR_H

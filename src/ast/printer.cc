@@ -1,0 +1,234 @@
+//===- ast/printer.cc - AST pretty-printer ----------------------*- C++ -*-===//
+
+#include "ast/printer.h"
+
+#include "support/strings.h"
+
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+void printExprInto(const Expr &E, std::ostringstream &OS) {
+  switch (E.kind()) {
+  case Expr::Lit:
+    OS << cast<LitExpr>(E).value().str();
+    return;
+  case Expr::VarRef:
+    OS << cast<VarRefExpr>(E).name();
+    return;
+  case Expr::SenderRef:
+    OS << "sender";
+    return;
+  case Expr::ConfigRef: {
+    const auto &CR = cast<ConfigRefExpr>(E);
+    printExprInto(CR.base(), OS);
+    OS << "." << CR.field();
+    return;
+  }
+  case Expr::Unary: {
+    OS << "!";
+    const Expr &Op = cast<UnaryExpr>(E).operand();
+    bool Paren = Op.kind() == Expr::Binary;
+    if (Paren)
+      OS << "(";
+    printExprInto(Op, OS);
+    if (Paren)
+      OS << ")";
+    return;
+  }
+  case Expr::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    auto printSide = [&](const Expr &Side) {
+      bool Paren = Side.kind() == Expr::Binary;
+      if (Paren)
+        OS << "(";
+      printExprInto(Side, OS);
+      if (Paren)
+        OS << ")";
+    };
+    printSide(B.lhs());
+    OS << " " << binOpSpelling(B.op()) << " ";
+    printSide(B.rhs());
+    return;
+  }
+  }
+}
+
+void printCmdInto(const Cmd &C, unsigned Indent, std::ostringstream &OS) {
+  std::string Pad(Indent * 2, ' ');
+  switch (C.kind()) {
+  case Cmd::Block:
+    for (const CmdPtr &Sub : castCmd<BlockCmd>(C).commands())
+      printCmdInto(*Sub, Indent, OS);
+    return;
+  case Cmd::Nop:
+    OS << Pad << "nop;\n";
+    return;
+  case Cmd::Assign: {
+    const auto &A = castCmd<AssignCmd>(C);
+    OS << Pad << A.var() << " = " << printExpr(A.rhs()) << ";\n";
+    return;
+  }
+  case Cmd::If: {
+    const auto &If = castCmd<IfCmd>(C);
+    OS << Pad << "if (" << printExpr(If.cond()) << ") {\n";
+    printCmdInto(If.thenCmd(), Indent + 1, OS);
+    if (If.elseCmd().kind() != Cmd::Nop) {
+      OS << Pad << "} else {\n";
+      printCmdInto(If.elseCmd(), Indent + 1, OS);
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  case Cmd::Send: {
+    const auto &S = castCmd<SendCmd>(C);
+    OS << Pad << "send(" << printExpr(S.target()) << ", " << S.msgName()
+       << "(";
+    for (size_t I = 0; I < S.args().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << printExpr(*S.args()[I]);
+    }
+    OS << "));\n";
+    return;
+  }
+  case Cmd::Spawn: {
+    const auto &S = castCmd<SpawnCmd>(C);
+    OS << Pad << S.bind() << " <- spawn " << S.compType() << "(";
+    for (size_t I = 0; I < S.config().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << printExpr(*S.config()[I]);
+    }
+    OS << ");\n";
+    return;
+  }
+  case Cmd::Call: {
+    const auto &Call = castCmd<CallCmd>(C);
+    OS << Pad << Call.bind() << " <- call \"" << escapeString(Call.fn())
+       << "\"(";
+    for (size_t I = 0; I < Call.args().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << printExpr(*Call.args()[I]);
+    }
+    OS << ");\n";
+    return;
+  }
+  case Cmd::Lookup: {
+    const auto &L = castCmd<LookupCmd>(C);
+    OS << Pad << "lookup " << L.compType() << "(";
+    for (size_t I = 0; I < L.constraints().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << L.constraints()[I].Field << " == "
+         << printExpr(*L.constraints()[I].Expr);
+    }
+    OS << ") as " << L.bind() << " {\n";
+    printCmdInto(L.thenCmd(), Indent + 1, OS);
+    if (L.elseCmd().kind() != Cmd::Nop) {
+      OS << Pad << "} else {\n";
+      printCmdInto(L.elseCmd(), Indent + 1, OS);
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string printExpr(const Expr &E) {
+  std::ostringstream OS;
+  printExprInto(E, OS);
+  return OS.str();
+}
+
+std::string printCmd(const Cmd &C, unsigned Indent) {
+  std::ostringstream OS;
+  printCmdInto(C, Indent, OS);
+  return OS.str();
+}
+
+std::string printProgram(const Program &P) {
+  std::ostringstream OS;
+  if (!P.Name.empty())
+    OS << "program " << P.Name << ";\n\n";
+  for (const ComponentTypeDecl &C : P.Components) {
+    OS << "component " << C.Name << " \"" << escapeString(C.Executable)
+       << "\"";
+    if (!C.Config.empty()) {
+      OS << " { ";
+      for (size_t I = 0; I < C.Config.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << C.Config[I].Name << ": " << baseTypeName(C.Config[I].Type);
+      }
+      OS << " }";
+    }
+    OS << ";\n";
+  }
+  OS << "\n";
+  for (const MessageDecl &M : P.Messages) {
+    OS << "message " << M.Name << "(";
+    for (size_t I = 0; I < M.Payload.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << baseTypeName(M.Payload[I]);
+    }
+    OS << ");\n";
+  }
+  OS << "\n";
+  for (const StateVarDecl &V : P.StateVars)
+    OS << "var " << V.Name << ": " << baseTypeName(V.Type) << " = "
+       << V.Init.str() << ";\n";
+  if (P.Init && P.Init->kind() != Cmd::Nop) {
+    OS << "\ninit {\n";
+    printCmdInto(*P.Init, 1, OS);
+    OS << "}\n";
+  }
+  for (const Handler &H : P.Handlers) {
+    OS << "\nhandler " << H.CompType << " => " << H.MsgName << "(";
+    for (size_t I = 0; I < H.Params.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << H.Params[I];
+    }
+    OS << ") {\n";
+    printCmdInto(*H.Body, 1, OS);
+    OS << "}\n";
+  }
+  for (const Property &Prop : P.Properties) {
+    OS << "\nproperty " << Prop.Name << ":";
+    if (Prop.isTrace()) {
+      const TraceProperty &TP = Prop.traceProp();
+      if (!TP.Vars.empty()) {
+        OS << " forall ";
+        for (size_t I = 0; I < TP.Vars.size(); ++I) {
+          if (I != 0)
+            OS << ", ";
+          OS << TP.Vars[I];
+        }
+        OS << ".";
+      }
+      OS << "\n  [" << TP.A.str() << "] " << traceOpName(TP.Op) << " ["
+         << TP.B.str() << "];\n";
+    } else {
+      const NIProperty &NI = Prop.niProp();
+      if (NI.Param)
+        OS << " forall " << *NI.Param << ".";
+      OS << "\n  noninterference {\n    high components:";
+      for (size_t I = 0; I < NI.HighComps.size(); ++I)
+        OS << (I ? ", " : " ") << NI.HighComps[I].str();
+      OS << ";\n    high vars:";
+      for (size_t I = 0; I < NI.HighVars.size(); ++I)
+        OS << (I ? ", " : " ") << NI.HighVars[I];
+      OS << ";\n  };\n";
+    }
+  }
+  return OS.str();
+}
+
+} // namespace reflex

@@ -1,0 +1,34 @@
+//===- ast/printer.h - AST pretty-printer -----------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to Reflex surface syntax. The output reparses to an
+/// equivalent program (tests/roundtrip_test.cc), which is also how the
+/// kernels module keeps its embedded sources honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_PRINTER_H
+#define REFLEX_AST_PRINTER_H
+
+#include "ast/program.h"
+
+#include <string>
+
+namespace reflex {
+
+/// Renders a full program.
+std::string printProgram(const Program &P);
+
+/// Renders a single expression / command (for diagnostics and
+/// certificates).
+std::string printExpr(const Expr &E);
+std::string printCmd(const Cmd &C, unsigned Indent = 0);
+
+} // namespace reflex
+
+#endif // REFLEX_AST_PRINTER_H

@@ -1,0 +1,51 @@
+//===- ast/program.cc - A complete Reflex program ----------------*- C++ -*-===//
+
+#include "ast/program.h"
+
+namespace reflex {
+
+const ComponentTypeDecl *
+Program::findComponentType(const std::string &N) const {
+  for (const ComponentTypeDecl &C : Components)
+    if (C.Name == N)
+      return &C;
+  return nullptr;
+}
+
+const MessageDecl *Program::findMessage(const std::string &N) const {
+  for (const MessageDecl &M : Messages)
+    if (M.Name == N)
+      return &M;
+  return nullptr;
+}
+
+const StateVarDecl *Program::findStateVar(const std::string &N) const {
+  for (const StateVarDecl &V : StateVars)
+    if (V.Name == N)
+      return &V;
+  return nullptr;
+}
+
+const CompGlobal *Program::findCompGlobal(const std::string &N) const {
+  for (const CompGlobal &G : CompGlobals)
+    if (G.Name == N)
+      return &G;
+  return nullptr;
+}
+
+const Handler *Program::findHandler(const std::string &CompType,
+                                    const std::string &MsgName) const {
+  for (const Handler &H : Handlers)
+    if (H.CompType == CompType && H.MsgName == MsgName)
+      return &H;
+  return nullptr;
+}
+
+const Property *Program::findProperty(const std::string &N) const {
+  for (const Property &P : Properties)
+    if (P.Name == N)
+      return &P;
+  return nullptr;
+}
+
+} // namespace reflex

@@ -1,0 +1,73 @@
+//===- ast/program.h - A complete Reflex program ----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete Reflex program, mirroring the five sections of the paper's
+/// Figure 3: Components, Messages, (State +) Init, Handlers, Properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_PROGRAM_H
+#define REFLEX_AST_PROGRAM_H
+
+#include "ast/cmd.h"
+#include "ast/types.h"
+#include "prop/property.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// `handler T => M(p1, ..., pk) { body }` — the kernel's response to a
+/// message of type M from *any* component of type T (handlers dispatch on
+/// component *types*, not instances; paper §2). Inside the body, `sender`
+/// names the component the message came from.
+struct Handler {
+  std::string CompType;
+  std::string MsgName;
+  std::vector<std::string> Params;
+  CmdPtr Body;
+  SourceLoc Loc;
+};
+
+/// A component-typed global bound by `X <- spawn T(...)` in init. Recorded
+/// by the validator so every phase (prover, interpreter) knows the type of
+/// each component global; the binding is immutable after init.
+struct CompGlobal {
+  std::string Name;
+  std::string CompType;
+};
+
+/// A complete Reflex program.
+struct Program {
+  std::string Name;
+  std::vector<ComponentTypeDecl> Components;
+  std::vector<MessageDecl> Messages;
+  std::vector<StateVarDecl> StateVars;
+  CmdPtr Init; // straight-line + branches; same command language
+  std::vector<Handler> Handlers;
+  std::vector<Property> Properties;
+
+  /// Filled by the validator: component-typed globals bound in init.
+  std::vector<CompGlobal> CompGlobals;
+
+  const ComponentTypeDecl *findComponentType(const std::string &N) const;
+  const MessageDecl *findMessage(const std::string &N) const;
+  const StateVarDecl *findStateVar(const std::string &N) const;
+  const CompGlobal *findCompGlobal(const std::string &N) const;
+  const Handler *findHandler(const std::string &CompType,
+                             const std::string &MsgName) const;
+  const Property *findProperty(const std::string &N) const;
+};
+
+using ProgramPtr = std::unique_ptr<Program>;
+
+} // namespace reflex
+
+#endif // REFLEX_AST_PROGRAM_H

@@ -1,0 +1,33 @@
+//===- ast/types.cc - Reflex declarations -----------------------*- C++ -*-===//
+
+#include "ast/types.h"
+
+namespace reflex {
+
+// Declarations are plain data; helpers shared by the parser and validator
+// live here.
+
+/// Parses a surface-syntax type name. Returns true and sets \p Out on
+/// success. `comp` is deliberately not a spellable type: component-typed
+/// bindings only arise from `spawn` and `lookup`.
+bool baseTypeFromName(const std::string &Name, BaseType &Out) {
+  if (Name == "num") {
+    Out = BaseType::Num;
+    return true;
+  }
+  if (Name == "str") {
+    Out = BaseType::Str;
+    return true;
+  }
+  if (Name == "bool") {
+    Out = BaseType::Bool;
+    return true;
+  }
+  if (Name == "fdesc") {
+    Out = BaseType::Fdesc;
+    return true;
+  }
+  return false;
+}
+
+} // namespace reflex

@@ -1,0 +1,81 @@
+//===- ast/types.h - Reflex declarations ------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-level declarations of a Reflex program: component types (with the
+/// executable that backs each type and its read-only configuration
+/// schema), message types, and global state variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_TYPES_H
+#define REFLEX_AST_TYPES_H
+
+#include "support/source_loc.h"
+#include "trace/value.h"
+
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// One field of a component type's configuration record. Configurations
+/// are set at spawn time and read-only thereafter (LAC: this immutability
+/// is what lets properties and the prover treat config constraints as
+/// stable facts). Fields hold num/str/bool values.
+struct ConfigField {
+  std::string Name;
+  BaseType Type = BaseType::Str;
+};
+
+/// `component Tab "tab.py" { domain: str, id: num }` — a component type:
+/// its name, the executable on disk the kernel spawns for it (purely
+/// descriptive in this reproduction; the runtime attaches a script
+/// instead), and its configuration schema.
+struct ComponentTypeDecl {
+  std::string Name;
+  std::string Executable;
+  std::vector<ConfigField> Config;
+  SourceLoc Loc;
+
+  int findField(const std::string &FieldName) const {
+    for (size_t I = 0; I < Config.size(); ++I)
+      if (Config[I].Name == FieldName)
+        return static_cast<int>(I);
+    return -1;
+  }
+};
+
+/// `message ReqAuth(str, str)` — a message type exchanged between the
+/// kernel and components: name plus positional payload types. Payloads may
+/// be num/str/bool/fdesc (not comp — component references never travel in
+/// messages, another LAC restriction).
+struct MessageDecl {
+  std::string Name;
+  std::vector<BaseType> Payload;
+  SourceLoc Loc;
+};
+
+/// `var attempts: num = 0` — a global mutable state variable with its
+/// (literal) initial value. Component-typed globals are not declared here;
+/// they are bound by `X <- spawn T(...)` in the init section and are
+/// immutable afterwards.
+struct StateVarDecl {
+  std::string Name;
+  BaseType Type = BaseType::Num;
+  Value Init;
+  SourceLoc Loc;
+};
+
+/// Parses a surface-syntax base type name ("num", "str", "bool", "fdesc").
+/// `comp` is not spellable: component-typed bindings only arise from
+/// `spawn` and `lookup`.
+bool baseTypeFromName(const std::string &Name, BaseType &Out);
+
+} // namespace reflex
+
+#endif // REFLEX_AST_TYPES_H

@@ -1,0 +1,625 @@
+//===- ast/validate.cc - Static semantics of Reflex -------------*- C++ -*-===//
+
+#include "ast/validate.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+/// What a name refers to inside a command scope.
+struct Binding {
+  enum BindKind {
+    StateVar,
+    CompGlobal,
+    Param,
+    LocalVal,  // call result (str)
+    LocalComp, // spawn/lookup result
+  };
+  BindKind Kind = StateVar;
+  BaseType Type = BaseType::Num;
+  std::string CompType; // for comp-typed bindings
+};
+
+class Validator {
+public:
+  Validator(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    checkDecls();
+    if (Diags.hasErrors())
+      return false;
+
+    // Seed the global scope with state variables.
+    for (const StateVarDecl &V : P.StateVars) {
+      Binding B;
+      B.Kind = Binding::StateVar;
+      B.Type = V.Type;
+      Globals[V.Name] = B;
+    }
+
+    // Init: spawns bind component globals.
+    if (P.Init) {
+      std::map<std::string, Binding> Scope = Globals;
+      checkCmd(*P.Init, Scope, /*InInit=*/true, /*SenderType=*/"");
+      // Export the component globals discovered in init so handlers see
+      // them. (Branch-dependent bindings are rejected inside checkCmd.)
+      Globals = Scope;
+    }
+
+    for (Handler &H : P.Handlers)
+      checkHandler(H);
+
+    checkHandlerUniqueness();
+
+    for (Property &Prop : P.Properties)
+      checkProperty(Prop);
+
+    return !Diags.hasErrors();
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  void checkDecls() {
+    std::set<std::string> Seen;
+    for (const ComponentTypeDecl &C : P.Components) {
+      if (!Seen.insert(C.Name).second)
+        Diags.error(C.Loc, "duplicate component type '" + C.Name + "'");
+      std::set<std::string> Fields;
+      for (const ConfigField &F : C.Config)
+        if (!Fields.insert(F.Name).second)
+          Diags.error(C.Loc, "duplicate config field '" + F.Name + "' in '" +
+                                 C.Name + "'");
+    }
+    Seen.clear();
+    for (const MessageDecl &M : P.Messages) {
+      if (!Seen.insert(M.Name).second)
+        Diags.error(M.Loc, "duplicate message type '" + M.Name + "'");
+      for (BaseType T : M.Payload)
+        if (T == BaseType::Comp)
+          Diags.error(M.Loc, "message payloads may not carry components");
+    }
+    Seen.clear();
+    for (const StateVarDecl &V : P.StateVars) {
+      if (!Seen.insert(V.Name).second)
+        Diags.error(V.Loc, "duplicate state variable '" + V.Name + "'");
+      if (V.Type == BaseType::Comp || V.Type == BaseType::Fdesc) {
+        Diags.error(V.Loc,
+                    "state variables must be num, str, or bool; "
+                    "component references are bound by spawn in init");
+      } else if (V.Init.type() != V.Type) {
+        Diags.error(V.Loc, "initializer type does not match '" + V.Name +
+                               ": " + baseTypeName(V.Type) + "'");
+      }
+    }
+  }
+
+  void checkHandlerUniqueness() {
+    std::set<std::pair<std::string, std::string>> Seen;
+    for (const Handler &H : P.Handlers)
+      if (!Seen.insert({H.CompType, H.MsgName}).second)
+        Diags.error(H.Loc, "duplicate handler for " + H.CompType + " => " +
+                               H.MsgName);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Handlers and commands
+  //===--------------------------------------------------------------------===
+
+  void checkHandler(Handler &H) {
+    const ComponentTypeDecl *CT = P.findComponentType(H.CompType);
+    if (!CT) {
+      Diags.error(H.Loc, "unknown component type '" + H.CompType + "'");
+      return;
+    }
+    const MessageDecl *MD = P.findMessage(H.MsgName);
+    if (!MD) {
+      Diags.error(H.Loc, "unknown message type '" + H.MsgName + "'");
+      return;
+    }
+    if (H.Params.size() != MD->Payload.size()) {
+      std::ostringstream OS;
+      OS << "handler declares " << H.Params.size() << " parameters but '"
+         << H.MsgName << "' has " << MD->Payload.size() << " payload values";
+      Diags.error(H.Loc, OS.str());
+      return;
+    }
+
+    std::map<std::string, Binding> Scope = Globals;
+    std::set<std::string> ParamNames;
+    for (size_t I = 0; I < H.Params.size(); ++I) {
+      const std::string &Name = H.Params[I];
+      if (Name == "_")
+        continue;
+      if (!ParamNames.insert(Name).second)
+        Diags.error(H.Loc, "duplicate parameter '" + Name + "'");
+      if (Globals.count(Name))
+        Diags.error(H.Loc, "parameter '" + Name +
+                               "' shadows a global; rename it");
+      Binding B;
+      B.Kind = Binding::Param;
+      B.Type = MD->Payload[I];
+      Scope[Name] = B;
+    }
+    checkCmd(*H.Body, Scope, /*InInit=*/false, H.CompType);
+  }
+
+  void checkCmd(Cmd &C, std::map<std::string, Binding> &Scope, bool InInit,
+                const std::string &SenderType) {
+    switch (C.kind()) {
+    case Cmd::Block: {
+      auto &Blk = static_cast<BlockCmd &>(C);
+      // Locals introduced by spawn/call/lookup inside nested blocks do not
+      // escape; a block introduces a child scope seeded from the parent.
+      // Bindings made directly in this block persist for the rest of it.
+      for (const CmdPtr &Sub : Blk.commands())
+        checkCmd(*Sub, Scope, InInit, SenderType);
+      return;
+    }
+    case Cmd::Nop:
+      return;
+    case Cmd::Assign: {
+      auto &A = static_cast<AssignCmd &>(C);
+      auto It = Scope.find(A.var());
+      if (It == Scope.end()) {
+        Diags.error(C.loc(), "assignment to undeclared variable '" + A.var() +
+                                 "'");
+        return;
+      }
+      if (It->second.Kind != Binding::StateVar) {
+        Diags.error(C.loc(),
+                    "'" + A.var() +
+                        "' is not assignable (parameters, locals, and "
+                        "component bindings are immutable)");
+        return;
+      }
+      BaseType Ty;
+      if (!checkExpr(const_cast<Expr &>(A.rhs()), Scope, SenderType, Ty))
+        return;
+      if (Ty != It->second.Type)
+        Diags.error(C.loc(), std::string("assigning ") + baseTypeName(Ty) +
+                                 " to '" + A.var() + ": " +
+                                 baseTypeName(It->second.Type) + "'");
+      return;
+    }
+    case Cmd::If: {
+      auto &If = static_cast<IfCmd &>(C);
+      BaseType Ty;
+      if (checkExpr(const_cast<Expr &>(If.cond()), Scope, SenderType, Ty) &&
+          Ty != BaseType::Bool)
+        Diags.error(If.cond().loc(), "branch condition must be bool");
+      // Each branch gets its own scope copy: bindings do not escape.
+      // Bindings made under a branch do not escape; in init they also do
+      // not become component globals (a global must be unconditionally
+      // bound).
+      std::map<std::string, Binding> ThenScope = Scope;
+      std::map<std::string, Binding> ElseScope = Scope;
+      checkCmd(const_cast<Cmd &>(If.thenCmd()), ThenScope, false, SenderType);
+      checkCmd(const_cast<Cmd &>(If.elseCmd()), ElseScope, false, SenderType);
+      return;
+    }
+    case Cmd::Send: {
+      auto &S = static_cast<SendCmd &>(C);
+      BaseType Ty;
+      if (checkExpr(const_cast<Expr &>(S.target()), Scope, SenderType, Ty) &&
+          Ty != BaseType::Comp)
+        Diags.error(S.target().loc(), "send target must be a component");
+      const MessageDecl *MD = P.findMessage(S.msgName());
+      if (!MD) {
+        Diags.error(C.loc(), "unknown message type '" + S.msgName() + "'");
+        return;
+      }
+      if (S.args().size() != MD->Payload.size()) {
+        Diags.error(C.loc(), "wrong number of payload values for '" +
+                                 S.msgName() + "'");
+        return;
+      }
+      for (size_t I = 0; I < S.args().size(); ++I) {
+        if (!checkExpr(*S.args()[I], Scope, SenderType, Ty))
+          continue;
+        if (Ty != MD->Payload[I])
+          Diags.error(S.args()[I]->loc(),
+                      std::string("payload value ") + std::to_string(I + 1) +
+                          " of '" + S.msgName() + "' must be " +
+                          baseTypeName(MD->Payload[I]) + ", found " +
+                          baseTypeName(Ty));
+      }
+      return;
+    }
+    case Cmd::Spawn: {
+      auto &S = static_cast<SpawnCmd &>(C);
+      const ComponentTypeDecl *CT = P.findComponentType(S.compType());
+      if (!CT) {
+        Diags.error(C.loc(), "unknown component type '" + S.compType() + "'");
+        return;
+      }
+      if (S.config().size() != CT->Config.size()) {
+        Diags.error(C.loc(), "wrong number of config values for '" +
+                                 S.compType() + "'");
+        return;
+      }
+      for (size_t I = 0; I < S.config().size(); ++I) {
+        BaseType Ty;
+        if (!checkExpr(*S.config()[I], Scope, SenderType, Ty))
+          continue;
+        if (Ty != CT->Config[I].Type)
+          Diags.error(S.config()[I]->loc(),
+                      std::string("config field '") + CT->Config[I].Name +
+                          "' of '" + S.compType() + "' must be " +
+                          baseTypeName(CT->Config[I].Type));
+      }
+      if (Scope.count(S.bind())) {
+        Diags.error(C.loc(), "'" + S.bind() + "' is already bound");
+        return;
+      }
+      Binding B;
+      B.Kind = InInit ? Binding::CompGlobal : Binding::LocalComp;
+      B.Type = BaseType::Comp;
+      B.CompType = S.compType();
+      Scope[S.bind()] = B;
+      if (InInit)
+        P.CompGlobals.push_back({S.bind(), S.compType()});
+      return;
+    }
+    case Cmd::Call: {
+      auto &Call = static_cast<CallCmd &>(C);
+      for (const ExprPtr &Arg : Call.args()) {
+        BaseType Ty;
+        if (checkExpr(*Arg, Scope, SenderType, Ty) && Ty == BaseType::Comp)
+          Diags.error(Arg->loc(),
+                      "components may not be passed to native calls");
+      }
+      if (Scope.count(Call.bind())) {
+        Diags.error(C.loc(), "'" + Call.bind() + "' is already bound");
+        return;
+      }
+      Binding B;
+      B.Kind = Binding::LocalVal;
+      B.Type = BaseType::Str;
+      Scope[Call.bind()] = B;
+      return;
+    }
+    case Cmd::Lookup: {
+      auto &L = static_cast<LookupCmd &>(C);
+      const ComponentTypeDecl *CT = P.findComponentType(L.compType());
+      if (!CT) {
+        Diags.error(C.loc(), "unknown component type '" + L.compType() + "'");
+        return;
+      }
+      for (LookupConstraint &LC : L.constraints()) {
+        LC.FieldIndex = CT->findField(LC.Field);
+        if (LC.FieldIndex < 0) {
+          Diags.error(C.loc(), "'" + L.compType() + "' has no config field '" +
+                                   LC.Field + "'");
+          continue;
+        }
+        BaseType Ty;
+        if (checkExpr(*LC.Expr, Scope, SenderType, Ty) &&
+            Ty != CT->Config[LC.FieldIndex].Type)
+          Diags.error(LC.Expr->loc(),
+                      "lookup constraint type mismatch on field '" + LC.Field +
+                          "'");
+      }
+      if (Scope.count(L.bind())) {
+        Diags.error(C.loc(), "'" + L.bind() + "' is already bound");
+        return;
+      }
+      std::map<std::string, Binding> ThenScope = Scope;
+      Binding B;
+      B.Kind = Binding::LocalComp;
+      B.Type = BaseType::Comp;
+      B.CompType = L.compType();
+      ThenScope[L.bind()] = B;
+      std::map<std::string, Binding> ElseScope = Scope;
+      checkCmd(const_cast<Cmd &>(L.thenCmd()), ThenScope, false, SenderType);
+      checkCmd(const_cast<Cmd &>(L.elseCmd()), ElseScope, false, SenderType);
+      return;
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  /// Type-checks \p E in \p Scope, returning false on error. On success
+  /// sets \p Out, annotates E.setType(), resolves variable kinds and
+  /// config-field indices. CompTypeOut (optional) receives the component
+  /// type name when Out == Comp.
+  bool checkExpr(Expr &E, const std::map<std::string, Binding> &Scope,
+                 const std::string &SenderType, BaseType &Out,
+                 std::string *CompTypeOut = nullptr) {
+    switch (E.kind()) {
+    case Expr::Lit: {
+      Out = static_cast<LitExpr &>(E).value().type();
+      E.setType(Out);
+      return true;
+    }
+    case Expr::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      auto It = Scope.find(V.name());
+      if (It == Scope.end()) {
+        Diags.error(E.loc(), "undefined variable '" + V.name() + "'");
+        return false;
+      }
+      const Binding &B = It->second;
+      switch (B.Kind) {
+      case Binding::StateVar:
+        V.setVarKind(VarRefExpr::StateVar);
+        break;
+      case Binding::CompGlobal:
+        V.setVarKind(VarRefExpr::CompGlobal);
+        break;
+      case Binding::Param:
+        V.setVarKind(VarRefExpr::Param);
+        break;
+      case Binding::LocalVal:
+      case Binding::LocalComp:
+        V.setVarKind(VarRefExpr::Local);
+        break;
+      }
+      Out = B.Type;
+      E.setType(Out);
+      if (CompTypeOut && Out == BaseType::Comp)
+        *CompTypeOut = B.CompType;
+      return true;
+    }
+    case Expr::SenderRef: {
+      if (SenderType.empty()) {
+        Diags.error(E.loc(), "'sender' is only available in handlers");
+        return false;
+      }
+      Out = BaseType::Comp;
+      E.setType(Out);
+      if (CompTypeOut)
+        *CompTypeOut = SenderType;
+      return true;
+    }
+    case Expr::ConfigRef: {
+      auto &CR = static_cast<ConfigRefExpr &>(E);
+      BaseType BaseTy;
+      std::string CompType;
+      if (!checkExpr(const_cast<Expr &>(CR.base()), Scope, SenderType, BaseTy,
+                     &CompType))
+        return false;
+      if (BaseTy != BaseType::Comp) {
+        Diags.error(E.loc(), "'." + CR.field() +
+                                 "' requires a component-typed expression");
+        return false;
+      }
+      const ComponentTypeDecl *CT = P.findComponentType(CompType);
+      assert(CT && "comp binding with unknown type");
+      int Index = CT->findField(CR.field());
+      if (Index < 0) {
+        Diags.error(E.loc(), "'" + CompType + "' has no config field '" +
+                                 CR.field() + "'");
+        return false;
+      }
+      CR.setFieldIndex(Index);
+      Out = CT->Config[Index].Type;
+      E.setType(Out);
+      return true;
+    }
+    case Expr::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      BaseType Ty;
+      if (!checkExpr(const_cast<Expr &>(U.operand()), Scope, SenderType, Ty))
+        return false;
+      if (Ty != BaseType::Bool) {
+        Diags.error(E.loc(), "'!' requires a bool operand");
+        return false;
+      }
+      Out = BaseType::Bool;
+      E.setType(Out);
+      return true;
+    }
+    case Expr::Binary: {
+      auto &Bin = static_cast<BinaryExpr &>(E);
+      BaseType L, R;
+      if (!checkExpr(const_cast<Expr &>(Bin.lhs()), Scope, SenderType, L) ||
+          !checkExpr(const_cast<Expr &>(Bin.rhs()), Scope, SenderType, R))
+        return false;
+      switch (Bin.op()) {
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (L != R) {
+          Diags.error(E.loc(), std::string("cannot compare ") +
+                                   baseTypeName(L) + " with " +
+                                   baseTypeName(R));
+          return false;
+        }
+        if (L == BaseType::Comp) {
+          // LAC restriction: component identity is established via lookup,
+          // never via equality tests, which keeps the symbolic component
+          // reasoning decidable.
+          Diags.error(E.loc(), "components cannot be compared; use lookup");
+          return false;
+        }
+        Out = BaseType::Bool;
+        break;
+      case BinOp::And:
+      case BinOp::Or:
+        if (L != BaseType::Bool || R != BaseType::Bool) {
+          Diags.error(E.loc(), std::string("'") + binOpSpelling(Bin.op()) +
+                                   "' requires bool operands");
+          return false;
+        }
+        Out = BaseType::Bool;
+        break;
+      case BinOp::Add:
+      case BinOp::Sub:
+        if (L != BaseType::Num || R != BaseType::Num) {
+          Diags.error(E.loc(), std::string("'") + binOpSpelling(Bin.op()) +
+                                   "' requires num operands");
+          return false;
+        }
+        Out = BaseType::Num;
+        break;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (L != BaseType::Num || R != BaseType::Num) {
+          Diags.error(E.loc(), std::string("'") + binOpSpelling(Bin.op()) +
+                                   "' requires num operands");
+          return false;
+        }
+        Out = BaseType::Bool;
+        break;
+      }
+      E.setType(Out);
+      return true;
+    }
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Properties
+  //===--------------------------------------------------------------------===
+
+  /// Validates one pattern position against an expected type, recording
+  /// variable uses for the trigger discipline and type-consistency checks.
+  void checkPatTerm(const PatTerm &T, BaseType Expected, SourceLoc Loc,
+                    const std::set<std::string> &Declared,
+                    std::map<std::string, BaseType> &VarTypes,
+                    std::set<std::string> &Used) {
+    switch (T.Kind) {
+    case PatTerm::Wild:
+      return;
+    case PatTerm::Lit:
+      if (T.LitVal.type() != Expected)
+        Diags.error(Loc, std::string("pattern literal ") + T.LitVal.str() +
+                             " has type " + baseTypeName(T.LitVal.type()) +
+                             ", expected " + baseTypeName(Expected));
+      return;
+    case PatTerm::Var: {
+      if (!Declared.count(T.VarName)) {
+        Diags.error(Loc, "pattern variable '" + T.VarName +
+                             "' is not declared in the forall clause");
+        return;
+      }
+      Used.insert(T.VarName);
+      auto [It, Inserted] = VarTypes.emplace(T.VarName, Expected);
+      if (!Inserted && It->second != Expected)
+        Diags.error(Loc, "pattern variable '" + T.VarName +
+                             "' is used at both " +
+                             baseTypeName(It->second) + " and " +
+                             baseTypeName(Expected) + " positions");
+      return;
+    }
+    }
+  }
+
+  void checkCompPattern(CompPattern &CP, SourceLoc Loc,
+                        const std::set<std::string> &Declared,
+                        std::map<std::string, BaseType> &VarTypes,
+                        std::set<std::string> &Used) {
+    const ComponentTypeDecl *CT = P.findComponentType(CP.TypeName);
+    if (!CT) {
+      Diags.error(Loc, "unknown component type '" + CP.TypeName +
+                           "' in pattern");
+      return;
+    }
+    for (CompFieldPattern &F : CP.Fields) {
+      F.FieldIndex = CT->findField(F.FieldName);
+      if (F.FieldIndex < 0) {
+        Diags.error(Loc, "'" + CP.TypeName + "' has no config field '" +
+                             F.FieldName + "'");
+        continue;
+      }
+      checkPatTerm(F.Pat, CT->Config[F.FieldIndex].Type, Loc, Declared,
+                   VarTypes, Used);
+    }
+  }
+
+  void checkActionPattern(ActionPattern &AP, SourceLoc Loc,
+                          const std::set<std::string> &Declared,
+                          std::map<std::string, BaseType> &VarTypes,
+                          std::set<std::string> &Used) {
+    checkCompPattern(AP.Comp, Loc, Declared, VarTypes, Used);
+    if (AP.Kind == ActionPattern::Spawn)
+      return;
+    const MessageDecl *MD = P.findMessage(AP.Msg.MsgName);
+    if (!MD) {
+      Diags.error(Loc, "unknown message type '" + AP.Msg.MsgName +
+                           "' in pattern");
+      return;
+    }
+    if (AP.Msg.Args.size() != MD->Payload.size()) {
+      Diags.error(Loc, "wrong number of payload patterns for '" +
+                           AP.Msg.MsgName + "'");
+      return;
+    }
+    for (size_t I = 0; I < AP.Msg.Args.size(); ++I)
+      checkPatTerm(AP.Msg.Args[I], MD->Payload[I], Loc, Declared, VarTypes,
+                   Used);
+  }
+
+  void checkProperty(Property &Prop) {
+    if (Prop.isTrace()) {
+      auto &TP = std::get<TraceProperty>(Prop.Body);
+      std::set<std::string> Declared(TP.Vars.begin(), TP.Vars.end());
+      if (Declared.size() != TP.Vars.size())
+        Diags.error(Prop.Loc, "duplicate forall variable");
+      std::map<std::string, BaseType> VarTypes;
+      std::set<std::string> UsedA, UsedB;
+      checkActionPattern(TP.A, Prop.Loc, Declared, VarTypes, UsedA);
+      checkActionPattern(TP.B, Prop.Loc, Declared, VarTypes, UsedB);
+
+      // Trigger-variable discipline: every variable must occur in the
+      // trigger pattern, so that a trigger occurrence determines a total
+      // binding.
+      const std::set<std::string> &TriggerUsed =
+          TP.triggerIsB() ? UsedB : UsedA;
+      for (const std::string &V : TP.Vars) {
+        if (!UsedA.count(V) && !UsedB.count(V)) {
+          Diags.error(Prop.Loc, "forall variable '" + V + "' is never used");
+          continue;
+        }
+        if (!TriggerUsed.count(V))
+          Diags.error(Prop.Loc,
+                      "variable '" + V + "' must occur in the trigger "
+                      "pattern (" +
+                          std::string(TP.triggerIsB() ? "B" : "A") + " of " +
+                          traceOpName(TP.Op) +
+                          ") so occurrences determine its value");
+      }
+    } else {
+      auto &NI = std::get<NIProperty>(Prop.Body);
+      std::set<std::string> Declared;
+      if (NI.Param)
+        Declared.insert(*NI.Param);
+      std::map<std::string, BaseType> VarTypes;
+      std::set<std::string> Used;
+      for (CompPattern &CP : NI.HighComps)
+        checkCompPattern(CP, Prop.Loc, Declared, VarTypes, Used);
+      if (NI.Param && !Used.count(*NI.Param))
+        Diags.error(Prop.Loc, "forall variable '" + *NI.Param +
+                                  "' is never used");
+      for (const std::string &V : NI.HighVars)
+        if (!P.findStateVar(V))
+          Diags.error(Prop.Loc, "unknown state variable '" + V +
+                                    "' in high vars");
+    }
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::map<std::string, Binding> Globals;
+};
+
+} // namespace
+
+bool validateProgram(Program &P, DiagnosticEngine &Diags) {
+  P.CompGlobals.clear();
+  return Validator(P, Diags).run();
+}
+
+} // namespace reflex

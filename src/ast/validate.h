@@ -1,0 +1,46 @@
+//===- ast/validate.h - Static semantics of Reflex --------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic validator. In the paper, Reflex is deeply embedded in Coq
+/// and "heavy use of dependent types ensures that Reflex programmers never
+/// 'go wrong' by attempting to access undefined variables or execute an
+/// effectful primitive without satisfying its preconditions" (§3.1). C++
+/// has no dependent types, so this module enforces the identical
+/// well-formedness judgment as a total static check run before the program
+/// reaches the prover or the interpreter:
+///
+///  * name resolution (variables, component types, messages, config fields),
+///  * full expression typing (conditions are bool, payload arities/types
+///    match declarations, no component equality),
+///  * the immutability disciplines (params/locals/config/comp-globals are
+///    read-only; comp globals bind only in init),
+///  * property well-formedness, including the trigger-variable discipline
+///    that makes universally quantified properties decidable.
+///
+/// Both the prover and the interpreter assert on programs that have not
+/// passed validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_AST_VALIDATE_H
+#define REFLEX_AST_VALIDATE_H
+
+#include "ast/program.h"
+#include "support/diagnostics.h"
+
+namespace reflex {
+
+/// Validates \p P, reporting problems to \p Diags. Returns true iff no
+/// errors were reported. Mutates \p P: annotates expression types,
+/// resolves variable kinds, config-field indices (in expressions, lookup
+/// constraints, and property patterns), and fills Program::CompGlobals.
+bool validateProgram(Program &P, DiagnosticEngine &Diags);
+
+} // namespace reflex
+
+#endif // REFLEX_AST_VALIDATE_H

@@ -1,0 +1,241 @@
+//===- interp/evaluator.cc - Concrete command evaluation --------*- C++ -*-===//
+
+#include "interp/evaluator.h"
+
+#include <cassert>
+
+namespace reflex {
+
+size_t KernelState::stateHash() const {
+  size_t H = 1469598103934665603ULL;
+  auto Mix = [&H](size_t V) {
+    H ^= V;
+    H *= 1099511628211ULL;
+  };
+  for (const auto &[Name, V] : Vars) {
+    Mix(std::hash<std::string>()(Name));
+    Mix(V.hash());
+  }
+  for (const ComponentInstance &C : Tr.Components) {
+    Mix(std::hash<std::string>()(C.TypeName));
+    for (const Value &V : C.Config)
+      Mix(V.hash());
+  }
+  return H;
+}
+
+void Evaluator::runInit(KernelState &St, const EffectHooks &Hooks) const {
+  for (const StateVarDecl &V : P.StateVars)
+    St.Vars[V.Name] = V.Init;
+  if (!P.Init)
+    return;
+  Env E;
+  execCmd(St, E, *P.Init, Hooks);
+  // Init-bound component globals were written into Locals by spawn; hoist
+  // them into the global variable map.
+  for (const CompGlobal &G : P.CompGlobals) {
+    auto It = E.Locals.find(G.Name);
+    assert(It != E.Locals.end() && "validated init must bind all globals");
+    St.Vars[G.Name] = It->second;
+  }
+}
+
+void Evaluator::runExchange(KernelState &St, int64_t SenderId,
+                            const Message &M,
+                            const EffectHooks &Hooks) const {
+  const ComponentInstance *Sender = St.Tr.findComponent(SenderId);
+  assert(Sender && "exchange with unknown component");
+  St.Tr.Actions.push_back(Action::select(SenderId));
+  St.Tr.Actions.push_back(Action::recv(SenderId, M));
+
+  const Handler *H = P.findHandler(Sender->TypeName, M.Name);
+  if (!H)
+    return; // default: no response
+
+  Env E;
+  E.SenderId = SenderId;
+  assert(H->Params.size() == M.Args.size() && "payload arity mismatch");
+  for (size_t I = 0; I < H->Params.size(); ++I)
+    if (H->Params[I] != "_")
+      E.Locals[H->Params[I]] = M.Args[I];
+  execCmd(St, E, *H->Body, Hooks);
+}
+
+Value Evaluator::evalExpr(const KernelState &St, const Env &E,
+                          const Expr &Ex) const {
+  switch (Ex.kind()) {
+  case Expr::Lit:
+    return cast<LitExpr>(Ex).value();
+  case Expr::VarRef: {
+    const auto &V = cast<VarRefExpr>(Ex);
+    auto It = E.Locals.find(V.name());
+    if (It != E.Locals.end())
+      return It->second;
+    auto GIt = St.Vars.find(V.name());
+    assert(GIt != St.Vars.end() && "unvalidated program");
+    return GIt->second;
+  }
+  case Expr::SenderRef:
+    assert(E.SenderId >= 0 && "sender outside handler");
+    return Value::comp(E.SenderId);
+  case Expr::ConfigRef: {
+    const auto &CR = cast<ConfigRefExpr>(Ex);
+    Value Base = evalExpr(St, E, CR.base());
+    const ComponentInstance *C = St.Tr.findComponent(Base.asCompId());
+    assert(C && CR.fieldIndex() >= 0 &&
+           static_cast<size_t>(CR.fieldIndex()) < C->Config.size());
+    return C->Config[CR.fieldIndex()];
+  }
+  case Expr::Unary:
+    return Value::boolean(
+        !evalExpr(St, E, cast<UnaryExpr>(Ex).operand()).asBool());
+  case Expr::Binary: {
+    const auto &B = cast<BinaryExpr>(Ex);
+    // Short-circuit booleans first.
+    if (B.op() == BinOp::And) {
+      if (!evalExpr(St, E, B.lhs()).asBool())
+        return Value::boolean(false);
+      return evalExpr(St, E, B.rhs());
+    }
+    if (B.op() == BinOp::Or) {
+      if (evalExpr(St, E, B.lhs()).asBool())
+        return Value::boolean(true);
+      return evalExpr(St, E, B.rhs());
+    }
+    Value L = evalExpr(St, E, B.lhs());
+    Value R = evalExpr(St, E, B.rhs());
+    switch (B.op()) {
+    case BinOp::Eq:
+      return Value::boolean(L == R);
+    case BinOp::Ne:
+      return Value::boolean(!(L == R));
+    case BinOp::Add:
+      return Value::num(L.asNum() + R.asNum());
+    case BinOp::Sub:
+      return Value::num(L.asNum() - R.asNum());
+    case BinOp::Lt:
+      return Value::boolean(L.asNum() < R.asNum());
+    case BinOp::Le:
+      return Value::boolean(L.asNum() <= R.asNum());
+    case BinOp::Gt:
+      return Value::boolean(L.asNum() > R.asNum());
+    case BinOp::Ge:
+      return Value::boolean(L.asNum() >= R.asNum());
+    case BinOp::And:
+    case BinOp::Or:
+      break; // handled above
+    }
+    assert(false && "unreachable");
+    return Value();
+  }
+  }
+  assert(false && "unknown expression kind");
+  return Value();
+}
+
+int64_t Evaluator::spawnComp(KernelState &St, const std::string &TypeName,
+                             std::vector<Value> Config,
+                             const EffectHooks &Hooks) const {
+  ComponentInstance C;
+  C.Id = static_cast<int64_t>(St.Tr.Components.size());
+  C.TypeName = TypeName;
+  C.Config = std::move(Config);
+  St.Tr.Components.push_back(C);
+  St.Tr.Actions.push_back(Action::spawn(C.Id));
+  if (Hooks.OnSpawn)
+    Hooks.OnSpawn(St.Tr.Components.back());
+  return C.Id;
+}
+
+void Evaluator::execCmd(KernelState &St, Env &E, const Cmd &C,
+                        const EffectHooks &Hooks) const {
+  switch (C.kind()) {
+  case Cmd::Nop:
+    return;
+  case Cmd::Block:
+    for (const CmdPtr &Sub : castCmd<BlockCmd>(C).commands())
+      execCmd(St, E, *Sub, Hooks);
+    return;
+  case Cmd::Assign: {
+    const auto &A = castCmd<AssignCmd>(C);
+    St.Vars[A.var()] = evalExpr(St, E, A.rhs());
+    return;
+  }
+  case Cmd::If: {
+    const auto &If = castCmd<IfCmd>(C);
+    if (evalExpr(St, E, If.cond()).asBool())
+      execCmd(St, E, If.thenCmd(), Hooks);
+    else
+      execCmd(St, E, If.elseCmd(), Hooks);
+    return;
+  }
+  case Cmd::Send: {
+    const auto &S = castCmd<SendCmd>(C);
+    int64_t Target = evalExpr(St, E, S.target()).asCompId();
+    Message M;
+    M.Name = S.msgName();
+    for (const ExprPtr &Arg : S.args())
+      M.Args.push_back(evalExpr(St, E, *Arg));
+    St.Tr.Actions.push_back(Action::send(Target, M));
+    if (Hooks.OnSend) {
+      const ComponentInstance *To = St.Tr.findComponent(Target);
+      assert(To);
+      Hooks.OnSend(*To, M);
+    }
+    return;
+  }
+  case Cmd::Spawn: {
+    const auto &S = castCmd<SpawnCmd>(C);
+    std::vector<Value> Config;
+    for (const ExprPtr &Arg : S.config())
+      Config.push_back(evalExpr(St, E, *Arg));
+    int64_t Id = spawnComp(St, S.compType(), std::move(Config), Hooks);
+    E.Locals[S.bind()] = Value::comp(Id);
+    return;
+  }
+  case Cmd::Call: {
+    const auto &Call = castCmd<CallCmd>(C);
+    std::vector<Value> Args;
+    for (const ExprPtr &Arg : Call.args())
+      Args.push_back(evalExpr(St, E, *Arg));
+    Value Result = Hooks.OnCall ? Hooks.OnCall(Call.fn(), Args)
+                                : Value::str("");
+    assert(Result.type() == BaseType::Str && "calls return strings");
+    St.Tr.Actions.push_back(Action::call(Call.fn(), Args, Result));
+    E.Locals[Call.bind()] = Result;
+    return;
+  }
+  case Cmd::Lookup: {
+    const auto &L = castCmd<LookupCmd>(C);
+    // Evaluate constraints once, then scan components oldest-first (the
+    // deterministic order the NI determinism argument relies on).
+    std::vector<std::pair<int, Value>> Constraints;
+    for (const LookupConstraint &LC : L.constraints())
+      Constraints.emplace_back(LC.FieldIndex, evalExpr(St, E, *LC.Expr));
+    const ComponentInstance *Found = nullptr;
+    for (const ComponentInstance &Cand : St.Tr.Components) {
+      if (Cand.TypeName != L.compType())
+        continue;
+      bool Ok = true;
+      for (const auto &[Index, Required] : Constraints)
+        if (!(Cand.Config[Index] == Required)) {
+          Ok = false;
+          break;
+        }
+      if (Ok) {
+        Found = &Cand;
+        break;
+      }
+    }
+    if (Found) {
+      E.Locals[L.bind()] = Value::comp(Found->Id);
+      execCmd(St, E, L.thenCmd(), Hooks);
+    } else {
+      execCmd(St, E, L.elseCmd(), Hooks);
+    }
+    return;
+  }
+  }
+}
+
+} // namespace reflex

@@ -1,0 +1,86 @@
+//===- interp/evaluator.h - Concrete command evaluation ---------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete small-step core of the Reflex interpreter (paper Figure 4,
+/// run_cmd): executes init code and handler bodies over a concrete kernel
+/// state, recording every observable action in the trace exactly as the
+/// paper's Ynot axiomatization does (Select :: Recv :: command effects).
+/// Effects are delegated to callbacks so the same evaluator serves the
+/// runtime (deliver to component scripts), the bounded model checker
+/// (enumerate), and trace replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_INTERP_EVALUATOR_H
+#define REFLEX_INTERP_EVALUATOR_H
+
+#include "ast/program.h"
+#include "trace/action.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace reflex {
+
+/// The concrete state of a running kernel: global variable values
+/// (including component globals, stored as comp-id values), the live
+/// component set, and the trace so far. Mirrors the paper's
+/// (comps, tr, env) triple.
+struct KernelState {
+  std::map<std::string, Value> Vars;
+  Trace Tr; // Tr.Components doubles as the live component set
+
+  /// Hash for BMC state pruning (variables + components; excludes trace).
+  size_t stateHash() const;
+};
+
+/// Effect callbacks. onCall supplies the nondeterministic result of a
+/// native call (the paper's OCaml primitives); onSend observes deliveries;
+/// onSpawn observes newly created instances. All observable actions are
+/// recorded in the state's trace by the evaluator itself.
+struct EffectHooks {
+  std::function<Value(const std::string &Fn, const std::vector<Value> &Args)>
+      OnCall;
+  std::function<void(const ComponentInstance &To, const Message &M)> OnSend;
+  std::function<void(const ComponentInstance &NewComp)> OnSpawn;
+};
+
+/// Executes concrete kernel steps. The program must be validated.
+class Evaluator {
+public:
+  explicit Evaluator(const Program &P) : P(P) {}
+
+  /// Initializes \p St: declared variable initializers, then the init
+  /// section (spawning the initial components).
+  void runInit(KernelState &St, const EffectHooks &Hooks) const;
+
+  /// Services one exchange: records Select and Recv for \p SenderId and
+  /// message \p M, then runs the matching handler (or nothing if none is
+  /// declared).
+  void runExchange(KernelState &St, int64_t SenderId, const Message &M,
+                   const EffectHooks &Hooks) const;
+
+private:
+  struct Env {
+    std::map<std::string, Value> Locals;
+    int64_t SenderId = -1;
+  };
+
+  Value evalExpr(const KernelState &St, const Env &E, const Expr &Ex) const;
+  void execCmd(KernelState &St, Env &E, const Cmd &C,
+               const EffectHooks &Hooks) const;
+  int64_t spawnComp(KernelState &St, const std::string &TypeName,
+                    std::vector<Value> Config, const EffectHooks &Hooks) const;
+
+  const Program &P;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_INTERP_EVALUATOR_H

@@ -1,0 +1,86 @@
+//===- interp/runtime.cc - The Reflex runtime -------------------*- C++ -*-===//
+
+#include "interp/runtime.h"
+
+#include <cassert>
+
+namespace reflex {
+
+Runtime::Runtime(const Program &P, ScriptFactory Scripts, CallRegistry Calls,
+                 uint64_t Seed)
+    : P(P), Eval(P), Scripts(std::move(Scripts)), Calls(std::move(Calls)),
+      Rand(Seed) {}
+
+void Runtime::attachScript(const ComponentInstance &C) {
+  assert(static_cast<size_t>(C.Id) == ByCompId.size() &&
+         "spawn ids must be dense");
+  ByCompId.push_back(Scripts ? Scripts(C) : nullptr);
+  if (ByCompId.back())
+    ByCompId.back()->onStart();
+}
+
+ComponentScript *Runtime::script(int64_t Id) {
+  if (Id < 0 || static_cast<size_t>(Id) >= ByCompId.size())
+    return nullptr;
+  return ByCompId[Id].get();
+}
+
+void Runtime::start() {
+  EffectHooks Hooks;
+  Hooks.OnCall = [this](const std::string &Fn,
+                        const std::vector<Value> &Args) {
+    return Calls.invoke(Fn, Args);
+  };
+  Hooks.OnSpawn = [this](const ComponentInstance &C) { attachScript(C); };
+  Hooks.OnSend = [this](const ComponentInstance &To, const Message &M) {
+    if (ComponentScript *S = script(To.Id))
+      S->onMessage(M);
+  };
+  Eval.runInit(St, Hooks);
+}
+
+bool Runtime::step() {
+  // Select a ready component uniformly at random — the scheduler's
+  // nondeterminism, which the refinement tests deliberately exercise.
+  std::vector<int64_t> Ready;
+  for (size_t I = 0; I < ByCompId.size(); ++I)
+    if (ByCompId[I] && ByCompId[I]->ready())
+      Ready.push_back(static_cast<int64_t>(I));
+  if (Ready.empty())
+    return false;
+  int64_t Chosen = Ready[Rand.below(Ready.size())];
+  Message M = ByCompId[Chosen]->takeRequest();
+
+  EffectHooks Hooks;
+  Hooks.OnCall = [this](const std::string &Fn,
+                        const std::vector<Value> &Args) {
+    return Calls.invoke(Fn, Args);
+  };
+  Hooks.OnSpawn = [this](const ComponentInstance &C) { attachScript(C); };
+  Hooks.OnSend = [this](const ComponentInstance &To, const Message &Msg) {
+    if (ComponentScript *S = script(To.Id))
+      S->onMessage(Msg);
+  };
+  Eval.runExchange(St, Chosen, M, Hooks);
+
+  if (Monitor && !Bad) {
+    for (const Property &Prop : P.Properties) {
+      if (!Prop.isTrace())
+        continue;
+      if (auto V = checkTraceProperty(St.Tr, Prop.traceProp())) {
+        Bad = V;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+size_t Runtime::run(size_t MaxSteps) {
+  size_t Steps = 0;
+  while (Steps < MaxSteps && step())
+    ++Steps;
+  return Steps;
+}
+
+} // namespace reflex

@@ -1,0 +1,136 @@
+//===- interp/runtime.h - The Reflex runtime --------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-loop runtime: the C++ counterpart of the paper's Ynot
+/// interpreter (Figure 4). The paper runs sandboxed component processes
+/// (WebKit tabs, OpenSSH slaves, ...) connected over Unix domain sockets;
+/// here each component instance is driven by a ComponentScript — an
+/// in-process behaviour with an outbox of requests to the kernel and an
+/// onMessage callback for kernel deliveries. The substitution preserves
+/// everything the verification story depends on: the kernel's action
+/// alphabet, the one-exchange-at-a-time event loop (select a ready
+/// component, receive, run the handler), and the nondeterminism of
+/// component scheduling and native calls.
+///
+/// An optional runtime monitor re-checks the program's trace properties
+/// against the growing concrete trace — the executable face of the
+/// paper's guarantee that interpreter traces satisfy everything proved
+/// over BehAbs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_INTERP_RUNTIME_H
+#define REFLEX_INTERP_RUNTIME_H
+
+#include "interp/evaluator.h"
+#include "prop/check.h"
+#include "support/rng.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace reflex {
+
+/// The behaviour of a simulated component. Subclass and override
+/// onStart/onMessage; queue requests to the kernel with sendToKernel.
+class ComponentScript {
+public:
+  virtual ~ComponentScript() = default;
+
+  /// Called once, right after the component is spawned.
+  virtual void onStart() {}
+  /// Called when the kernel sends this component a message.
+  virtual void onMessage(const Message &M) { (void)M; }
+
+  bool ready() const { return !Outbox.empty(); }
+  Message takeRequest() {
+    Message M = std::move(Outbox.front());
+    Outbox.pop_front();
+    return M;
+  }
+
+protected:
+  /// Queues a request for the kernel.
+  void sendToKernel(Message M) { Outbox.push_back(std::move(M)); }
+
+private:
+  std::deque<Message> Outbox;
+};
+
+/// Creates the script for a newly spawned component instance. May return
+/// nullptr for components that never talk (the runtime treats them as
+/// permanently quiet).
+using ScriptFactory = std::function<std::unique_ptr<ComponentScript>(
+    const ComponentInstance &)>;
+
+/// Registry of native functions (the paper's OCaml primitives, e.g.
+/// fetching a URL or reading the system password file). Functions return
+/// strings; unregistered names return "".
+class CallRegistry {
+public:
+  using Fn = std::function<Value(const std::vector<Value> &)>;
+
+  void add(std::string Name, Fn F) { Fns[std::move(Name)] = std::move(F); }
+  Value invoke(const std::string &Name, const std::vector<Value> &Args) const {
+    auto It = Fns.find(Name);
+    return It == Fns.end() ? Value::str("") : It->second(Args);
+  }
+
+private:
+  std::map<std::string, Fn> Fns;
+};
+
+/// The kernel event loop over simulated components.
+class Runtime {
+public:
+  /// \p P must be validated and outlive the runtime.
+  Runtime(const Program &P, ScriptFactory Scripts, CallRegistry Calls,
+          uint64_t Seed = 1);
+
+  /// Runs the init section (spawning the initial components).
+  void start();
+
+  /// Services one exchange with a randomly selected ready component.
+  /// Returns false when no component has a pending request.
+  bool step();
+
+  /// Runs until quiescence or \p MaxSteps exchanges; returns the number
+  /// of exchanges serviced.
+  size_t run(size_t MaxSteps);
+
+  /// Enables the runtime monitor: after every exchange, all trace
+  /// properties of the program are re-checked on the concrete trace and
+  /// the first violation is retained (see lastViolation).
+  void enableMonitor() { Monitor = true; }
+  const std::optional<Violation> &lastViolation() const { return Bad; }
+
+  const KernelState &state() const { return St; }
+  const Trace &trace() const { return St.Tr; }
+
+  /// The script driving component \p Id (null if none).
+  ComponentScript *script(int64_t Id);
+
+private:
+  void attachScript(const ComponentInstance &C);
+
+  const Program &P;
+  Evaluator Eval;
+  ScriptFactory Scripts;
+  CallRegistry Calls;
+  Rng Rand;
+  KernelState St;
+  std::vector<std::unique_ptr<ComponentScript>> ByCompId;
+  bool Monitor = false;
+  std::optional<Violation> Bad;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_INTERP_RUNTIME_H

@@ -1,0 +1,14 @@
+//===- interp/scripts.cc - Reusable component scripts -----------*- C++ -*-===//
+
+#include "interp/scripts.h"
+
+namespace reflex {
+
+Message msg(std::string Name, std::vector<Value> Args) {
+  Message M;
+  M.Name = std::move(Name);
+  M.Args = std::move(Args);
+  return M;
+}
+
+} // namespace reflex

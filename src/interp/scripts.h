@@ -1,0 +1,83 @@
+//===- interp/scripts.h - Reusable component scripts ------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reusable ComponentScript implementations: a lambda-driven script for
+/// one-off behaviours and a table-driven request/reply script used by the
+/// benchmark components (the stand-ins for the paper's sandboxed C/Python
+/// processes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_INTERP_SCRIPTS_H
+#define REFLEX_INTERP_SCRIPTS_H
+
+#include "interp/runtime.h"
+
+namespace reflex {
+
+/// A script assembled from std::functions. The callbacks receive a
+/// `send` function that queues a request to the kernel.
+class LambdaScript : public ComponentScript {
+public:
+  using SendFn = std::function<void(Message)>;
+  using StartFn = std::function<void(const SendFn &)>;
+  using MessageFn = std::function<void(const Message &, const SendFn &)>;
+
+  LambdaScript(StartFn OnStart, MessageFn OnMsg)
+      : Start(std::move(OnStart)), Msg(std::move(OnMsg)) {}
+
+  void onStart() override {
+    if (Start)
+      Start([this](Message M) { sendToKernel(std::move(M)); });
+  }
+  void onMessage(const Message &M) override {
+    if (Msg)
+      Msg(M, [this](Message Out) { sendToKernel(std::move(Out)); });
+  }
+
+private:
+  StartFn Start;
+  MessageFn Msg;
+};
+
+/// A script that fires a fixed sequence of requests at startup and replies
+/// to deliveries via a handler table keyed by message name.
+class ScriptedComponent : public ComponentScript {
+public:
+  using Responder =
+      std::function<std::vector<Message>(const Message &)>;
+
+  ScriptedComponent(std::vector<Message> Initial,
+                    std::map<std::string, Responder> Table)
+      : Initial(std::move(Initial)), Table(std::move(Table)) {}
+
+  void onStart() override {
+    for (Message &M : Initial)
+      sendToKernel(std::move(M));
+    Initial.clear();
+  }
+
+  void onMessage(const Message &M) override {
+    auto It = Table.find(M.Name);
+    if (It == Table.end())
+      return;
+    for (Message &Reply : It->second(M))
+      sendToKernel(std::move(Reply));
+  }
+
+private:
+  std::vector<Message> Initial;
+  std::map<std::string, Responder> Table;
+};
+
+/// Builds a Message conveniently: msg("ReqAuth", {Value::str("alice"), ...}).
+Message msg(std::string Name, std::vector<Value> Args = {});
+
+} // namespace reflex
+
+#endif // REFLEX_INTERP_SCRIPTS_H

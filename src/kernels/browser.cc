@@ -1,0 +1,143 @@
+//===- kernels/browser.cc - Web browser kernel ------------------*- C++ -*-===//
+//
+// The Quark-style web browser kernel (§6.1): tabs run in separate
+// sandboxed processes, cookies are cached by one cookie process per
+// domain, and the kernel mediates all interaction — tab creation (with
+// unique ids), cookie traffic (strictly within a domain), and network
+// socket authorization (a tab may only open sockets to its own domain;
+// the network process then wires the socket to the tab directly, so bulk
+// data bypasses the kernel just as Quark's file-descriptor passing does).
+//
+// This first variant creates a domain's cookie process lazily, on the
+// first cookie write from one of its tabs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "kernels/scripts.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char BrowserSource[] = R"rfx(
+program browser;
+
+component UI "input.py";                       # trusted user-input process
+component Network "network.py";                # socket broker
+component Tab "tab-webkit.py" { domain: str, id: num };
+component CookieProc "cookie-proc.py" { domain: str };
+
+message CreateTab(num, str);       # UI: user opened (id, domain)
+message SetCookie(str, str);       # Tab: write cookie (key, value)
+message CookieSet(str, str, str);  # kernel -> CookieProc (domain, key, value)
+message CookieUpdate(str, str);    # CookieProc: push update (key, value)
+message DeliverCookie(str, str);   # kernel -> Tab (key, value)
+message OpenSocket(str);           # Tab: request socket to host
+message SocketOpen(str);           # kernel -> Network: authorized socket
+message Navigate(str);             # Tab: load a page at host
+message LoadUrl(str);              # kernel -> Tab: navigation approved
+
+init {
+  U <- spawn UI();
+  N <- spawn Network();
+}
+
+handler UI => CreateTab(i, dom) {
+  # Tab ids are unique: refuse duplicates.
+  lookup Tab(id == i) as t {
+    nop;
+  } else {
+    nt <- spawn Tab(dom, i);
+  }
+}
+
+handler Tab => SetCookie(k, v) {
+  # Route the cookie to the sender's domain's cookie process, creating it
+  # lazily. Tabs can never reach another domain's cookies.
+  lookup CookieProc(domain == sender.domain) as cp {
+    send(cp, CookieSet(sender.domain, k, v));
+  } else {
+    ncp <- spawn CookieProc(sender.domain);
+    send(ncp, CookieSet(sender.domain, k, v));
+  }
+}
+
+handler CookieProc => CookieUpdate(k, v) {
+  # Push the update to a tab of the same domain.
+  lookup Tab(domain == sender.domain) as t {
+    send(t, DeliverCookie(k, v));
+  }
+}
+
+handler Tab => OpenSocket(host) {
+  # Whitelist: a tab may only talk to its own domain.
+  if (host == sender.domain) {
+    send(N, SocketOpen(host));
+  }
+}
+
+handler Tab => Navigate(url) {
+  # Quark-style same-origin navigation: a tab may only load pages from
+  # its own domain; cross-domain navigations are dropped.
+  if (url == sender.domain) {
+    send(sender, LoadUrl(url));
+  }
+}
+
+# --- Properties (Figure 6, browser rows) ----------------------------------
+
+property TabIdsUnique: forall i.
+  [Spawn(Tab(id = i))] Disables [Spawn(Tab(id = i))];
+
+property CookieProcUniquePerDomain: forall d.
+  [Spawn(CookieProc(domain = d))] Disables [Spawn(CookieProc(domain = d))];
+
+property CookiesStayInDomain: forall d, k, v.
+  [Recv(Tab(domain = d), SetCookie(k, v))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, k, v))];
+
+property TabsConnectedToCookieProc: forall d.
+  [Spawn(CookieProc(domain = d))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, _, _))];
+
+property DomainNonInterference: forall d.
+  noninterference {
+    high components: Tab(domain = d), CookieProc(domain = d), UI;
+    high vars: ;
+  };
+
+property TabsOnlyOpenAllowedSockets: forall d.
+  [Recv(Tab(domain = d), OpenSocket(d))]
+  Enables [Send(Network, SocketOpen(d))];
+)rfx";
+
+const KernelDef &browser() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "browser";
+    D.Description = "Quark-style browser kernel, lazy cookie processes";
+    D.Source = BrowserSource;
+    D.Rows = {
+        {"TabIdsUnique", "Tab processes have unique IDs", 70},
+        {"CookieProcUniquePerDomain",
+         "Cookie processes are unique per domain", 75},
+        {"CookiesStayInDomain",
+         "Cookies stay in their domain (tab, cookie process)", 37},
+        {"TabsConnectedToCookieProc",
+         "Tabs are correctly connected to their cookie process", 38},
+        {"DomainNonInterference", "Different domains do not interfere", 229},
+        {"TabsOnlyOpenAllowedSockets",
+         "Tabs can only open sockets to allowed domains", 94},
+    };
+    D.PaperKernelLoc = 81;
+    D.PaperPropsLoc = 37;
+    D.PaperComponentLoc = 970240; // Table 1: sandboxed browser components
+    D.MakeScripts = [] { return browserScripts(/*WithFocus=*/false); };
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

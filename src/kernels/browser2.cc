@@ -1,0 +1,143 @@
+//===- kernels/browser2.cc - Browser variant: eager cookies -----*- C++ -*-===//
+//
+// The paper's browser2 variant ("the quark variants explore implementation
+// trade-offs for handling cookies using cookie processes"): the cookie
+// process for a domain is created *eagerly*, together with the domain's
+// first tab, instead of lazily on the first cookie write. Cookie routing
+// then only ever uses an existing process. The property set splits the
+// cookie-confinement policy into its two directions (tab -> cookie
+// process, cookie process -> tab), as in Figure 6.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "kernels/scripts.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char Browser2Source[] = R"rfx(
+program browser2;
+
+component UI "input.py";
+component Network "network.py";
+component Tab "tab-webkit.py" { domain: str, id: num };
+component CookieProc "cookie-proc.py" { domain: str };
+
+message CreateTab(num, str);
+message SetCookie(str, str);
+message CookieSet(str, str, str);
+message CookieUpdate(str, str);
+message DeliverCookie(str, str);
+message OpenSocket(str);
+message SocketOpen(str);
+message Navigate(str);
+message LoadUrl(str);
+
+init {
+  U <- spawn UI();
+  N <- spawn Network();
+}
+
+handler UI => CreateTab(i, dom) {
+  lookup Tab(id == i) as t {
+    nop;
+  } else {
+    nt <- spawn Tab(dom, i);
+    # Eager: make sure the domain's cookie process exists up front.
+    lookup CookieProc(domain == dom) as cp {
+      nop;
+    } else {
+      ncp <- spawn CookieProc(dom);
+    }
+  }
+}
+
+handler Tab => SetCookie(k, v) {
+  lookup CookieProc(domain == sender.domain) as cp {
+    send(cp, CookieSet(sender.domain, k, v));
+  }
+}
+
+handler CookieProc => CookieUpdate(k, v) {
+  lookup Tab(domain == sender.domain) as t {
+    send(t, DeliverCookie(k, v));
+  }
+}
+
+handler Tab => OpenSocket(host) {
+  if (host == sender.domain) {
+    send(N, SocketOpen(host));
+  }
+}
+
+handler Tab => Navigate(url) {
+  # Quark-style same-origin navigation: a tab may only load pages from
+  # its own domain; cross-domain navigations are dropped.
+  if (url == sender.domain) {
+    send(sender, LoadUrl(url));
+  }
+}
+
+# --- Properties (Figure 6, browser2 rows) ---------------------------------
+
+property TabIdsUnique: forall i.
+  [Spawn(Tab(id = i))] Disables [Spawn(Tab(id = i))];
+
+property CookieProcUniquePerDomain: forall d.
+  [Spawn(CookieProc(domain = d))] Disables [Spawn(CookieProc(domain = d))];
+
+property CookiesStayInDomainTab: forall d, k, v.
+  [Recv(Tab(domain = d), SetCookie(k, v))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, k, v))];
+
+property CookiesStayInDomainCookieProc: forall d, k, v.
+  [Recv(CookieProc(domain = d), CookieUpdate(k, v))]
+  Enables [Send(Tab(domain = d), DeliverCookie(k, v))];
+
+property TabsConnectedToCookieProc: forall d.
+  [Spawn(CookieProc(domain = d))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, _, _))];
+
+property DomainNonInterference: forall d.
+  noninterference {
+    high components: Tab(domain = d), CookieProc(domain = d), UI;
+    high vars: ;
+  };
+
+property TabsOnlyOpenAllowedSockets: forall d.
+  [Recv(Tab(domain = d), OpenSocket(d))]
+  Enables [Send(Network, SocketOpen(d))];
+)rfx";
+
+const KernelDef &browser2() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "browser2";
+    D.Description = "browser variant: eager per-domain cookie processes";
+    D.Source = Browser2Source;
+    D.Rows = {
+        {"TabIdsUnique", "Tab processes have unique IDs", 80},
+        {"CookieProcUniquePerDomain",
+         "Cookie processes are unique per domain", 130},
+        {"CookiesStayInDomainTab", "Cookies stay in their domain (tab)", 64},
+        {"CookiesStayInDomainCookieProc",
+         "Cookies stay in their domain (cookie process)", 70},
+        {"TabsConnectedToCookieProc",
+         "Tabs are correctly connected to their cookie process", 88},
+        {"DomainNonInterference", "Different domains do not interfere", 338},
+        {"TabsOnlyOpenAllowedSockets",
+         "Tabs can only open sockets to allowed domains", 106},
+    };
+    D.PaperKernelLoc = 81;
+    D.PaperPropsLoc = 37;
+    D.PaperComponentLoc = 0;
+    D.MakeScripts = [] { return browserScripts(/*WithFocus=*/false); };
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

@@ -1,0 +1,159 @@
+//===- kernels/browser3.cc - Browser variant: focus routing -----*- C++ -*-===//
+//
+// The paper's browser3 variant: on top of the eager cookie-process design
+// it adds focused-tab keyboard routing — the user-input process reports
+// focus changes and keystrokes, and the kernel forwards keystrokes to the
+// currently focused tab. The focus variable participates in the domain
+// non-interference proof through the variable labeling θv (§5.2: "we also
+// require a simple labeling function θv of global variables"): `focus` is
+// labeled high, which is exactly the user-supplied hint that makes the
+// NIhi condition provable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "kernels/scripts.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char Browser3Source[] = R"rfx(
+program browser3;
+
+component UI "input.py";
+component Network "network.py";
+component Tab "tab-webkit.py" { domain: str, id: num };
+component CookieProc "cookie-proc.py" { domain: str };
+
+message CreateTab(num, str);
+message SetCookie(str, str);
+message CookieSet(str, str, str);
+message CookieUpdate(str, str);
+message DeliverCookie(str, str);
+message OpenSocket(str);
+message SocketOpen(str);
+message Navigate(str);
+message LoadUrl(str);
+message Focus(num);           # UI: tab id gained focus
+message KeyPress(str);        # UI: keystroke data
+message KeyInput(str);        # kernel -> focused Tab
+
+var focus: num = 0;
+
+init {
+  U <- spawn UI();
+  N <- spawn Network();
+}
+
+handler UI => CreateTab(i, dom) {
+  lookup Tab(id == i) as t {
+    nop;
+  } else {
+    nt <- spawn Tab(dom, i);
+    lookup CookieProc(domain == dom) as cp {
+      nop;
+    } else {
+      ncp <- spawn CookieProc(dom);
+    }
+  }
+}
+
+handler UI => Focus(i) {
+  focus = i;
+}
+
+handler UI => KeyPress(data) {
+  # Keystrokes go to the focused tab only.
+  lookup Tab(id == focus) as t {
+    send(t, KeyInput(data));
+  }
+}
+
+handler Tab => SetCookie(k, v) {
+  lookup CookieProc(domain == sender.domain) as cp {
+    send(cp, CookieSet(sender.domain, k, v));
+  }
+}
+
+handler CookieProc => CookieUpdate(k, v) {
+  lookup Tab(domain == sender.domain) as t {
+    send(t, DeliverCookie(k, v));
+  }
+}
+
+handler Tab => OpenSocket(host) {
+  if (host == sender.domain) {
+    send(N, SocketOpen(host));
+  }
+}
+
+handler Tab => Navigate(url) {
+  # Quark-style same-origin navigation: a tab may only load pages from
+  # its own domain; cross-domain navigations are dropped.
+  if (url == sender.domain) {
+    send(sender, LoadUrl(url));
+  }
+}
+
+# --- Properties (Figure 6, browser3 rows) ---------------------------------
+
+property TabIdsUnique: forall i.
+  [Spawn(Tab(id = i))] Disables [Spawn(Tab(id = i))];
+
+property CookieProcUniquePerDomain: forall d.
+  [Spawn(CookieProc(domain = d))] Disables [Spawn(CookieProc(domain = d))];
+
+property CookiesStayInDomainTab: forall d, k, v.
+  [Recv(Tab(domain = d), SetCookie(k, v))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, k, v))];
+
+property CookiesStayInDomainCookieProc: forall d, k, v.
+  [Recv(CookieProc(domain = d), CookieUpdate(k, v))]
+  Enables [Send(Tab(domain = d), DeliverCookie(k, v))];
+
+property TabsConnectedToCookieProc: forall d.
+  [Spawn(CookieProc(domain = d))]
+  Enables [Send(CookieProc(domain = d), CookieSet(_, _, _))];
+
+property DomainNonInterference: forall d.
+  noninterference {
+    high components: Tab(domain = d), CookieProc(domain = d), UI;
+    high vars: focus;
+  };
+
+property TabsOnlyOpenAllowedSockets: forall d.
+  [Recv(Tab(domain = d), OpenSocket(d))]
+  Enables [Send(Network, SocketOpen(d))];
+)rfx";
+
+const KernelDef &browser3() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "browser3";
+    D.Description = "browser variant: focused-tab keyboard routing (uses θv)";
+    D.Source = Browser3Source;
+    D.Rows = {
+        {"TabIdsUnique", "Tab processes have unique IDs", 295},
+        {"CookieProcUniquePerDomain",
+         "Cookie processes are unique per domain", 193},
+        {"CookiesStayInDomainTab", "Cookies stay in their domain (tab)", 83},
+        {"CookiesStayInDomainCookieProc",
+         "Cookies stay in their domain (cookie process)", 91},
+        {"TabsConnectedToCookieProc",
+         "Tabs are correctly connected to their cookie process", 151},
+        {"DomainNonInterference", "Different domains do not interfere", 532},
+        {"TabsOnlyOpenAllowedSockets",
+         "Tabs can only open sockets to allowed domains", 78},
+    };
+    D.PaperKernelLoc = 81;
+    D.PaperPropsLoc = 37;
+    D.PaperComponentLoc = 0;
+    D.MakeScripts = [] { return browserScripts(/*WithFocus=*/true); };
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

@@ -1,0 +1,163 @@
+//===- kernels/car.cc - Automobile controller kernel ------------*- C++ -*-===//
+//
+// The hypothetical automobile controller of the paper's Figure 5 and §6.1:
+// a verified kernel mediating between the engine, airbags, door locks,
+// radio, brakes, and cruise control, motivated by Koscher et al.'s
+// demonstration that untrusted car components (telematics, radio) can
+// inappropriately influence safety-critical ones (engine, brakes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char CarSource[] = R"rfx(
+program car;
+
+# Component types. The executables are descriptive: the runtime attaches
+# simulation scripts instead (see carScripts below).
+component Engine "engine.c";
+component Airbag "airbag.c";
+component Doors "doors.c";
+component Radio "radio.py";
+component Brakes "brakes.c";
+component Cruise "cruise.c";
+
+# Messages from components to the kernel.
+message Crash();                 # engine detected a crash
+message Accelerating();          # engine reports acceleration
+message Braking();               # brake pedal pressed
+message LockReq();               # doors request locking (e.g. auto-lock)
+message DoorState(str);          # doors report "open"/"closed"
+
+# Messages from the kernel to components.
+message Deploy();                # fire the airbags
+message DoorsMsg(str);           # "lock" / "unlock"
+message Volume(str);             # radio volume advice
+message CruiseOff();             # disengage cruise control
+
+var crashed: bool = false;
+
+init {
+  E  <- spawn Engine();
+  A  <- spawn Airbag();
+  D  <- spawn Doors();
+  R  <- spawn Radio();
+  B  <- spawn Brakes();
+  CR <- spawn Cruise();
+}
+
+handler Engine => Crash() {
+  send(A, Deploy());
+  send(D, DoorsMsg("unlock"));
+  crashed = true;
+}
+
+handler Engine => Accelerating() {
+  send(R, Volume("crank it up"));
+}
+
+handler Brakes => Braking() {
+  send(CR, CruiseOff());
+}
+
+handler Doors => LockReq() {
+  # After a crash the doors must never lock again.
+  if (!crashed) {
+    send(D, DoorsMsg("lock"));
+  }
+}
+
+handler Doors => DoorState(s) {
+  if (s == "open") {
+    send(R, Volume("mute"));
+  }
+}
+
+# --- Properties (Figure 6, car rows) -------------------------------------
+
+property EngineNoInterfere:
+  noninterference {
+    high components: Engine;
+    high vars: ;
+  };
+
+property AirbagsDeployOnCrash:
+  [Recv(Engine, Crash())] Ensures [Send(Airbag, Deploy())];
+
+property AirbagsImmediatelyAfterCrash:
+  [Recv(Engine, Crash())] ImmAfter [Send(Airbag, Deploy())];
+
+property CruiseOffImmediatelyAfterBraking:
+  [Recv(Brakes, Braking())] ImmAfter [Send(Cruise, CruiseOff())];
+
+property DoorsUnlockOnCrash:
+  [Recv(Engine, Crash())] Ensures [Send(Doors, DoorsMsg("unlock"))];
+
+property DoorsUnlockImmediatelyAfterAirbags:
+  [Send(Airbag, Deploy())] ImmAfter [Send(Doors, DoorsMsg("unlock"))];
+
+property NoLockAfterCrash:
+  [Recv(Engine, Crash())] Disables [Send(Doors, DoorsMsg("lock"))];
+
+property AirbagsOnlyDeployOnCrash:
+  [Recv(Engine, Crash())] Enables [Send(Airbag, Deploy())];
+)rfx";
+
+static ScriptFactory carScripts() {
+  return [](const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "Engine")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{msg("Accelerating"), msg("Crash")},
+          std::map<std::string, ScriptedComponent::Responder>{});
+    if (C.TypeName == "Doors")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{msg("DoorState", {Value::str("open")}),
+                               msg("LockReq"),
+                               msg("DoorState", {Value::str("closed")}),
+                               msg("LockReq")},
+          std::map<std::string, ScriptedComponent::Responder>{});
+    if (C.TypeName == "Brakes")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{msg("Braking")},
+          std::map<std::string, ScriptedComponent::Responder>{});
+    return nullptr; // airbag/radio/cruise only listen
+  };
+}
+
+const KernelDef &car() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "car";
+    D.Description = "hypothetical automobile controller (paper Fig. 5)";
+    D.Source = CarSource;
+    D.Rows = {
+        {"EngineNoInterfere",
+         "Components do not interfere with the engine", 13},
+        {"AirbagsDeployOnCrash",
+         "Airbags do deploy when there has been a crash", 6},
+        {"AirbagsImmediatelyAfterCrash",
+         "Airbags are deployed immediately after crash", 4},
+        {"CruiseOffImmediatelyAfterBraking",
+         "Cruise control turns off immediately after braking", 5},
+        {"DoorsUnlockOnCrash", "Doors unlock when there is a crash", 6},
+        {"DoorsUnlockImmediatelyAfterAirbags",
+         "Doors unlock immediately after airbags deployed", 6},
+        {"NoLockAfterCrash", "Doors can not lock after a crash", 21},
+        {"AirbagsOnlyDeployOnCrash",
+         "Airbags only deploy if there has been a crash", 6},
+    };
+    D.PaperKernelLoc = 60; // "60 lines of Reflex code and properties"
+    D.PaperPropsLoc = 0;
+    D.PaperComponentLoc = 0;
+    D.MakeScripts = carScripts;
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

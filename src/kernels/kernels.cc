@@ -1,0 +1,34 @@
+//===- kernels/kernels.cc - Kernel registry ---------------------*- C++ -*-===//
+
+#include "kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reflex {
+namespace kernels {
+
+std::vector<const KernelDef *> all() {
+  return {&car(),  &browser(), &browser2(), &browser3(),
+          &ssh(),  &ssh2(),    &webserver()};
+}
+
+ProgramPtr load(const KernelDef &K) {
+  Result<ProgramPtr> R = loadProgram(K.Source, K.Name);
+  if (!R) {
+    std::fprintf(stderr, "embedded kernel '%s' failed to load:\n%s\n",
+                 K.Name.c_str(), R.error().c_str());
+    std::abort();
+  }
+  return R.take();
+}
+
+unsigned totalProperties() {
+  unsigned N = 0;
+  for (const KernelDef *K : all())
+    N += static_cast<unsigned>(K->Rows.size());
+  return N;
+}
+
+} // namespace kernels
+} // namespace reflex

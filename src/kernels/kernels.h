@@ -1,0 +1,89 @@
+//===- kernels/kernels.h - The evaluation benchmark kernels -----*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven kernels of the paper's evaluation (Figure 6 / Table 1), each
+/// written in the Reflex surface syntax with its full property list, plus
+/// the component scripts that stand in for the paper's sandboxed
+/// processes (WebKit tabs, OpenSSH slaves, Python helpers):
+///
+///   car        — hypothetical automobile controller (8 properties)
+///   browser    — Quark-style web browser kernel (6 properties)
+///   browser2   — browser variant: eager cookie-process creation (7)
+///   browser3   — browser variant: focused-tab keyboard routing, using
+///                the θv variable labeling (7)
+///   ssh        — privilege-separated SSH server kernel (5)
+///   ssh2       — SSH variant: attempt counting in a component (2)
+///   webserver  — authenticated file server (6)
+///
+/// 41 properties in total, matching the paper's Figure 6 row-for-row; the
+/// PaperSeconds column carries the paper's reported verification times so
+/// the Figure 6 bench can print paper-vs-ours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_KERNELS_KERNELS_H
+#define REFLEX_KERNELS_KERNELS_H
+
+#include "reflex/reflex.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace reflex {
+namespace kernels {
+
+/// One Figure 6 row: a property name in the kernel's Properties section,
+/// the paper's description of it, and the paper's reported verification
+/// time in seconds.
+struct PropertyRow {
+  std::string PropertyName;
+  std::string PaperDescription;
+  double PaperSeconds = 0;
+};
+
+/// A benchmark kernel: Reflex source, Figure 6 rows, Table 1 data, and
+/// the simulation scripts/calls for running it.
+struct KernelDef {
+  std::string Name;
+  std::string Description;
+  std::string Source;
+  std::vector<PropertyRow> Rows;
+  /// Table 1: lines of sandboxed component code in the paper's benchmark
+  /// (0 when the paper reports none for this variant).
+  unsigned PaperComponentLoc = 0;
+  /// Table 1: paper's kernel code + properties LoC ("64 / 22" -> 64, 22).
+  unsigned PaperKernelLoc = 0;
+  unsigned PaperPropsLoc = 0;
+  /// Simulation: scripts driving each component type, and native calls.
+  std::function<ScriptFactory()> MakeScripts;
+  std::function<CallRegistry()> MakeCalls;
+};
+
+const KernelDef &car();
+const KernelDef &browser();
+const KernelDef &browser2();
+const KernelDef &browser3();
+const KernelDef &ssh();
+const KernelDef &ssh2();
+const KernelDef &webserver();
+
+/// All seven, in Figure 6 order.
+std::vector<const KernelDef *> all();
+
+/// Parses + validates a kernel (aborts on failure: the embedded sources
+/// are fixed).
+ProgramPtr load(const KernelDef &K);
+
+/// Sum of rows across all kernels (41, as in the paper).
+unsigned totalProperties();
+
+} // namespace kernels
+} // namespace reflex
+
+#endif // REFLEX_KERNELS_KERNELS_H

@@ -1,0 +1,60 @@
+//===- kernels/scripts.cc - Shared benchmark scripts ------------*- C++ -*-===//
+
+#include "kernels/scripts.h"
+
+namespace reflex {
+namespace kernels {
+
+ScriptFactory browserScripts(bool WithFocus) {
+  return [WithFocus](
+             const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "UI") {
+      std::vector<Message> Events{
+          msg("CreateTab", {Value::num(1), Value::str("example.com")}),
+          msg("CreateTab", {Value::num(2), Value::str("mail.net")}),
+          // Duplicate tab id: the kernel must refuse to spawn a second
+          // tab with id 1 (TabIdsUnique).
+          msg("CreateTab", {Value::num(1), Value::str("evil.org")}),
+      };
+      if (WithFocus) {
+        Events.push_back(msg("Focus", {Value::num(1)}));
+        Events.push_back(msg("KeyPress", {Value::str("hello world")}));
+        Events.push_back(msg("Focus", {Value::num(2)}));
+        Events.push_back(msg("KeyPress", {Value::str("compose mail")}));
+      }
+      return std::make_unique<ScriptedComponent>(
+          std::move(Events),
+          std::map<std::string, ScriptedComponent::Responder>{});
+    }
+    if (C.TypeName == "Tab") {
+      std::string Domain = C.Config[0].asStr();
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{
+              msg("SetCookie", {Value::str("sid"),
+                                Value::str("cookie-for-" + Domain)}),
+              // Own-domain socket: granted; cross-domain: denied.
+              msg("OpenSocket", {Value::str(Domain)}),
+              msg("OpenSocket", {Value::str("tracker.example")}),
+              // Same-origin navigation: approved; cross-domain: dropped.
+              msg("Navigate", {Value::str(Domain)}),
+              msg("Navigate", {Value::str("evil.org")}),
+          },
+          std::map<std::string, ScriptedComponent::Responder>{});
+    }
+    if (C.TypeName == "CookieProc") {
+      // One cookie process per domain, pushing each accepted cookie back
+      // out as an update (which the kernel routes to the domain's tabs).
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CookieSet", [](const Message &M) {
+                 return std::vector<Message>{
+                     msg("CookieUpdate", {M.Args[1], M.Args[2]})};
+               }}});
+    }
+    return nullptr; // Network only listens
+  };
+}
+
+} // namespace kernels
+} // namespace reflex

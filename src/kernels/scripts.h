@@ -1,0 +1,32 @@
+//===- kernels/scripts.h - Shared benchmark scripts -------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Component scripts shared by the three browser kernel variants: the
+/// user-input process creates tabs (including a duplicate-id attempt the
+/// kernel must refuse), tabs set cookies and request sockets (including a
+/// cross-domain attempt the kernel must deny), and cookie processes push
+/// updates back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_KERNELS_SCRIPTS_H
+#define REFLEX_KERNELS_SCRIPTS_H
+
+#include "reflex/reflex.h"
+
+namespace reflex {
+namespace kernels {
+
+/// Scripts for the browser kernels. \p WithFocus adds the browser3
+/// focus/keyboard traffic.
+ScriptFactory browserScripts(bool WithFocus);
+
+} // namespace kernels
+} // namespace reflex
+
+#endif // REFLEX_KERNELS_SCRIPTS_H

@@ -1,0 +1,185 @@
+//===- kernels/ssh.cc - SSH server kernel -----------------------*- C++ -*-===//
+//
+// The privilege-separated SSH server kernel of the paper's Figure 3 / §2,
+// extended with the attempt-limiting policy of §6.2: the untrusted
+// Connection component (which parses raw network data from unmodified SSH
+// clients) can attempt password authentication at most three times, and a
+// pseudo-terminal is only ever created for a user after the Password
+// component has authenticated that exact user.
+//
+// The "at most 3 attempts" policy is encoded with four trace properties
+// (paper: "we encoded this second policy using four different properties,
+// demonstrating that despite the restricted design of our property
+// language, it can be used to express sophisticated security policies").
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char SshSource[] = R"rfx(
+program ssh;
+
+component Connection "client.py";   # untrusted network-facing process
+component Password "user-auth.c";   # checks the system password file
+component Terminal "pty-alloc.c";   # allocates pseudo terminals
+
+message ReqAuth(str, str);          # Connection: user wants to log in
+message CheckAuth(str, str, num);   # kernel -> Password, with attempt number
+message Auth(str);                  # Password: user authenticated
+message ReqTerm(str);               # Connection: user wants a terminal
+message CreatePty(str);             # kernel -> Terminal
+message Pty(str, fdesc);            # Terminal: fresh PTY descriptor
+message TermFd(str, fdesc);         # kernel -> Connection: direct PTY access
+message AuthOk(str);                # kernel -> Connection: login succeeded
+
+var attempts: num = 0;
+var auth_ok: bool = false;
+var auth_user: str = "";
+
+init {
+  C <- spawn Connection();
+  P <- spawn Password();
+  T <- spawn Terminal();
+}
+
+handler Connection => ReqAuth(user, pass) {
+  # Three strikes: each attempt is tagged with its number so the policy
+  # can speak about first/second/third attempts.
+  if (attempts == 0) {
+    attempts = 1;
+    send(P, CheckAuth(user, pass, 1));
+  } else {
+    if (attempts == 1) {
+      attempts = 2;
+      send(P, CheckAuth(user, pass, 2));
+    } else {
+      if (attempts == 2) {
+        attempts = 3;
+        send(P, CheckAuth(user, pass, 3));
+      }
+    }
+  }
+}
+
+handler Password => Auth(user) {
+  auth_ok = true;
+  auth_user = user;
+  send(C, AuthOk(user));
+}
+
+handler Connection => ReqTerm(user) {
+  if (auth_ok && user == auth_user) {
+    send(T, CreatePty(user));
+  }
+}
+
+handler Terminal => Pty(user, fd) {
+  # Hand the client direct access to the PTY, but only for the
+  # authenticated user (eliminating post-authentication kernel overhead).
+  if (auth_ok && user == auth_user) {
+    send(C, TermFd(user, fd));
+  }
+}
+
+# --- Properties (Figure 6, ssh rows) --------------------------------------
+
+property AttemptOneEnablesTwo:
+  [Send(Password, CheckAuth(_, _, 1))]
+  Enables [Send(Password, CheckAuth(_, _, 2))];
+
+property FirstAttemptDisablesItself:
+  [Send(Password, CheckAuth(_, _, 1))]
+  Disables [Send(Password, CheckAuth(_, _, 1))];
+
+property SecondAttemptDisablesItself:
+  [Send(Password, CheckAuth(_, _, 2))]
+  Disables [Send(Password, CheckAuth(_, _, 2))];
+
+property ThirdAttemptDisablesAll:
+  [Send(Password, CheckAuth(_, _, 3))]
+  Disables [Send(Password, CheckAuth(_, _, _))];
+
+property AuthBeforeTerm: forall u.
+  [Recv(Password, Auth(u))] Enables [Send(Terminal, CreatePty(u))];
+)rfx";
+
+static ScriptFactory sshScripts() {
+  return [](const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "Connection") {
+      // An SSH client fumbling twice before getting the password right,
+      // then requesting its terminal.
+      auto User = Value::str("alice");
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{
+              msg("ReqAuth", {User, Value::str("hunter1")}),
+              msg("ReqAuth", {User, Value::str("hunter3")}),
+              msg("ReqAuth", {User, Value::str("hunter2")})},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"AuthOk",
+               [](const Message &M) {
+                 // Login confirmed; now ask for the terminal.
+                 return std::vector<Message>{msg("ReqTerm", {M.Args[0]})};
+               }},
+              {"TermFd", [](const Message &) {
+                 return std::vector<Message>{}; // session established
+               }}});
+    }
+    if (C.TypeName == "Password")
+      // user-auth.c: checks against the "password file".
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CheckAuth", [](const Message &M) {
+                 std::vector<Message> Out;
+                 if (M.Args[0].asStr() == "alice" &&
+                     M.Args[1].asStr() == "hunter2")
+                   Out.push_back(msg("Auth", {M.Args[0]}));
+                 return Out;
+               }}});
+    if (C.TypeName == "Terminal")
+      // pty-alloc.c: allocates a PTY and passes back the descriptor.
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CreatePty", [](const Message &M) {
+                 static int64_t NextFd = 100;
+                 return std::vector<Message>{
+                     msg("Pty", {M.Args[0], Value::fdesc(NextFd++)})};
+               }}});
+    return nullptr;
+  };
+}
+
+const KernelDef &ssh() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "ssh";
+    D.Description = "privilege-separated SSH server kernel (paper Fig. 3)";
+    D.Source = SshSource;
+    D.Rows = {
+        {"AttemptOneEnablesTwo", "Each login attempt enables the next one",
+         54},
+        {"FirstAttemptDisablesItself",
+         "The first attempt to login disables itself", 58},
+        {"SecondAttemptDisablesItself",
+         "The second attempt to login disables itself", 297},
+        {"ThirdAttemptDisablesAll",
+         "The third attempt to login disables all attempts", 53},
+        {"AuthBeforeTerm",
+         "Succesful login enables pseudo-terminal creation", 55},
+    };
+    D.PaperKernelLoc = 64;
+    D.PaperPropsLoc = 22;
+    D.PaperComponentLoc = 89567; // Table 1: sandboxed SSH components
+    D.MakeScripts = sshScripts;
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

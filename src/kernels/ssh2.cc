@@ -1,0 +1,152 @@
+//===- kernels/ssh2.cc - SSH variant: counter component ---------*- C++ -*-===//
+//
+// The paper's ssh2 variant (§6.2, Figure 6): "uses a separate component to
+// count authentication attempts". The attempt limit moves out of kernel
+// state into a dedicated Counter component; the kernel only forwards
+// authentication requests that the counter has approved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char Ssh2Source[] = R"rfx(
+program ssh2;
+
+component Connection "client.py";
+component Password "user-auth.c";
+component Terminal "pty-alloc.c";
+component Counter "attempt-counter.py";
+
+message ReqAuth(str, str);
+message CountReq(str, str);   # kernel -> Counter: may this attempt proceed?
+message Approved(str, str);   # Counter: attempt approved
+message CheckAuth(str, str);  # kernel -> Password
+message Auth(str);
+message ReqTerm(str);
+message CreatePty(str);
+message Pty(str, fdesc);
+message TermFd(str, fdesc);
+message AuthOk(str);
+
+var auth_ok: bool = false;
+var auth_user: str = "";
+
+init {
+  C   <- spawn Connection();
+  P   <- spawn Password();
+  T   <- spawn Terminal();
+  CNT <- spawn Counter();
+}
+
+handler Connection => ReqAuth(user, pass) {
+  send(CNT, CountReq(user, pass));
+}
+
+handler Counter => Approved(user, pass) {
+  send(P, CheckAuth(user, pass));
+}
+
+handler Password => Auth(user) {
+  auth_ok = true;
+  auth_user = user;
+  send(C, AuthOk(user));
+}
+
+handler Connection => ReqTerm(user) {
+  if (auth_ok && user == auth_user) {
+    send(T, CreatePty(user));
+  }
+}
+
+handler Terminal => Pty(user, fd) {
+  if (auth_ok && user == auth_user) {
+    send(C, TermFd(user, fd));
+  }
+}
+
+# --- Properties (Figure 6, ssh2 rows) -------------------------------------
+
+property AuthBeforeTerm: forall u.
+  [Recv(Password, Auth(u))] Enables [Send(Terminal, CreatePty(u))];
+
+property AttemptsApprovedByCounter: forall u, p.
+  [Recv(Counter, Approved(u, p))] Enables [Send(Password, CheckAuth(u, p))];
+)rfx";
+
+static ScriptFactory ssh2Scripts() {
+  return [](const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "Connection") {
+      auto User = Value::str("bob");
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{
+              msg("ReqAuth", {User, Value::str("wrong")}),
+              msg("ReqAuth", {User, Value::str("letmein")}),
+              msg("ReqAuth", {User, Value::str("also-wrong")}),
+              msg("ReqAuth", {User, Value::str("letmein")})},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"AuthOk", [](const Message &M) {
+                 return std::vector<Message>{msg("ReqTerm", {M.Args[0]})};
+               }}});
+    }
+    if (C.TypeName == "Counter") {
+      // attempt-counter.py: approves at most three attempts.
+      struct CounterScript : ComponentScript {
+        int Seen = 0;
+        void onMessage(const Message &M) override {
+          if (M.Name == "CountReq" && ++Seen <= 3)
+            sendToKernel(msg("Approved", {M.Args[0], M.Args[1]}));
+        }
+      };
+      return std::make_unique<CounterScript>();
+    }
+    if (C.TypeName == "Password")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CheckAuth", [](const Message &M) {
+                 std::vector<Message> Out;
+                 if (M.Args[0].asStr() == "bob" &&
+                     M.Args[1].asStr() == "letmein")
+                   Out.push_back(msg("Auth", {M.Args[0]}));
+                 return Out;
+               }}});
+    if (C.TypeName == "Terminal")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CreatePty", [](const Message &M) {
+                 static int64_t NextFd = 200;
+                 return std::vector<Message>{
+                     msg("Pty", {M.Args[0], Value::fdesc(NextFd++)})};
+               }}});
+    return nullptr;
+  };
+}
+
+const KernelDef &ssh2() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "ssh2";
+    D.Description = "SSH variant: attempt counting in a separate component";
+    D.Source = Ssh2Source;
+    D.Rows = {
+        {"AuthBeforeTerm",
+         "Succesful login enables pseudo-terminal creation", 113},
+        {"AttemptsApprovedByCounter",
+         "Login attempts approved by counter component", 37},
+    };
+    D.PaperKernelLoc = 64;
+    D.PaperPropsLoc = 22;
+    D.PaperComponentLoc = 0;
+    D.MakeScripts = ssh2Scripts;
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

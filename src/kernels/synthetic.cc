@@ -1,0 +1,51 @@
+//===- kernels/synthetic.cc - Synthetic scaling kernels ---------*- C++ -*-===//
+
+#include "kernels/synthetic.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+namespace kernels {
+
+std::string syntheticChainKernel(unsigned Stages) {
+  assert(Stages >= 2 && "chain needs at least two stages");
+  std::ostringstream OS;
+  OS << "program chain" << Stages << ";\n";
+  OS << "component Driver \"driver.py\";\n";
+  OS << "component Worker \"worker.py\";\n";
+  for (unsigned I = 0; I < Stages; ++I) {
+    OS << "message Go" << I << "(num);\n";
+    OS << "message Out" << I << "(num);\n";
+    OS << "message Marker" << I << "(num);\n";
+  }
+  for (unsigned I = 0; I < Stages; ++I)
+    OS << "var done" << I << ": bool = false;\n";
+  OS << "init {\n  W <- spawn Worker();\n  D <- spawn Driver();\n}\n";
+
+  for (unsigned I = 0; I < Stages; ++I) {
+    OS << "handler Driver => Go" << I << "(x) {\n";
+    if (I == 0)
+      OS << "  if (!done0) {\n    done0 = true;\n    send(W, Out0(x));\n"
+            "  }\n";
+    else
+      OS << "  if (done" << (I - 1) << " && !done" << I << ") {\n"
+         << "    done" << I << " = true;\n"
+         << "    send(W, Out" << I << "(x));\n  }\n";
+    // Every handler emits its marker once the chain has started; all the
+    // Marker_i proofs share the {done0 == true} => Out0 invariant.
+    OS << "  if (done0) {\n    send(W, Marker" << I << "(x));\n  }\n";
+    OS << "}\n";
+  }
+
+  for (unsigned I = 1; I < Stages; ++I)
+    OS << "property Chain" << I << ":\n  [Send(Worker, Out" << (I - 1)
+       << "(_))] Enables [Send(Worker, Out" << I << "(_))];\n";
+  for (unsigned I = 0; I < Stages; ++I)
+    OS << "property Marker" << I << ":\n  [Send(Worker, Out0(_))] Enables "
+       << "[Send(Worker, Marker" << I << "(_))];\n";
+  return OS.str();
+}
+
+} // namespace kernels
+} // namespace reflex

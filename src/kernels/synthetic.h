@@ -1,0 +1,41 @@
+//===- kernels/synthetic.h - Synthetic scaling kernels ----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates parameterized "stage chain" kernels for the optimization
+/// ablation (§6.4) and scaling tests. A chain kernel of size N has N
+/// handlers advancing through N boolean stages; stage i can only complete
+/// after stage i-1, and every handler emits a stage-tagged marker once the
+/// first stage is done. Two property families scale with N:
+///
+///  * Chain_i  — [Out(i-1)] Enables [Out(i)]: each proof needs a guard
+///    invariant that only two handlers can disturb, so the syntactic-skip
+///    optimization turns an O(N) induction case scan into O(1) real work
+///    per case.
+///
+///  * Marker_i — [Out(0)] Enables [Marker(i)]: every proof synthesizes the
+///    *same* guard invariant ({stage0 done} => Out(0) in trace), so the
+///    subproof cache collapses N invariant inductions into one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_KERNELS_SYNTHETIC_H
+#define REFLEX_KERNELS_SYNTHETIC_H
+
+#include <string>
+
+namespace reflex {
+namespace kernels {
+
+/// Reflex source of a chain kernel with \p Stages stages (>= 2).
+/// Properties: Chain1..Chain{Stages-1} and Marker0..Marker{Stages-1}.
+std::string syntheticChainKernel(unsigned Stages);
+
+} // namespace kernels
+} // namespace reflex
+
+#endif // REFLEX_KERNELS_SYNTHETIC_H

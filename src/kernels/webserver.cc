@@ -1,0 +1,180 @@
+//===- kernels/webserver.cc - Web server kernel -----------------*- C++ -*-===//
+//
+// The authenticated file server of §6.1: "one component listens on the
+// network, one performs access control checks, one accesses the
+// filesystem, and one handles successfully-connected clients. The
+// listener waits and notifies the kernel of connection attempts, which in
+// turn consults the access controller to check permissions. Upon
+// successful authentication, the kernel spawns a client component to
+// handle this connection ... Each client component handles its own
+// connected client, and forwards file requests to the kernel, which
+// checks them by consulting the access control component. On success, the
+// kernel delivers the request to the disk component and forwards back the
+// result."
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char WebserverSource[] = R"rfx(
+program webserver;
+
+component Listener "listener.py";
+component AccessControl "access-control.py";
+component Disk "disk.py";
+component Client "client-handler.py" { user: str };
+
+message Connect(str, str);        # Listener: connection attempt (user, pass)
+message CheckCred(str, str);      # kernel -> AccessControl
+message CredOk(str);              # AccessControl: credentials valid
+message Welcome(str);             # kernel -> Client: session established
+message FileReq(str);             # Client: request file at path
+message CheckAcl(str, str);       # kernel -> AccessControl (user, path)
+message AclOk(str, str);          # AccessControl: access granted
+message ReadFile(str, str);       # kernel -> Disk (user, path)
+message FileData(str, str, str);  # Disk: file contents (user, path, data)
+message Deliver(str, str, str);   # kernel -> Client (user, path, data)
+
+init {
+  L   <- spawn Listener();
+  ACL <- spawn AccessControl();
+  DSK <- spawn Disk();
+}
+
+handler Listener => Connect(user, pass) {
+  send(ACL, CheckCred(user, pass));
+}
+
+handler AccessControl => CredOk(u) {
+  # One client handler per user; duplicates are refused.
+  lookup Client(user == u) as c {
+    nop;
+  } else {
+    nc <- spawn Client(u);
+    send(nc, Welcome(u));
+  }
+}
+
+handler Client => FileReq(path) {
+  send(ACL, CheckAcl(sender.user, path));
+}
+
+handler AccessControl => AclOk(u, path) {
+  send(DSK, ReadFile(u, path));
+}
+
+handler Disk => FileData(u, path, data) {
+  lookup Client(user == u) as c {
+    send(c, Deliver(u, path, data));
+  }
+}
+
+# --- Properties (Figure 6, webserver rows) --------------------------------
+
+property ClientOnlySpawnedOnLogin: forall u.
+  [Recv(AccessControl, CredOk(u))] Enables [Spawn(Client(user = u))];
+
+property ClientsNeverDuplicated: forall u.
+  [Spawn(Client(user = u))] Disables [Spawn(Client(user = u))];
+
+property FilesOnlyAfterLogin: forall u.
+  [Spawn(Client(user = u))] Enables [Send(AccessControl, CheckAcl(u, _))];
+
+property FilesOnlyAfterAuthorization: forall u, p.
+  [Recv(AccessControl, AclOk(u, p))] Enables [Send(Disk, ReadFile(u, p))];
+
+property OnlyFilesTheDiskIndicates: forall u, p, d.
+  [Recv(Disk, FileData(u, p, d))] Enables [Send(Client, Deliver(u, p, d))];
+
+property AuthorizedRequestsReachDisk: forall u, p.
+  [Recv(AccessControl, AclOk(u, p))] Ensures [Send(Disk, ReadFile(u, p))];
+)rfx";
+
+static ScriptFactory webserverScripts() {
+  return [](const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "Listener")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{
+              msg("Connect", {Value::str("alice"), Value::str("s3cret")}),
+              msg("Connect", {Value::str("mallory"), Value::str("guess")}),
+              msg("Connect", {Value::str("alice"), Value::str("s3cret")}),
+          },
+          std::map<std::string, ScriptedComponent::Responder>{});
+    if (C.TypeName == "AccessControl")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"CheckCred",
+               [](const Message &M) {
+                 std::vector<Message> Out;
+                 if (M.Args[0].asStr() == "alice" &&
+                     M.Args[1].asStr() == "s3cret")
+                   Out.push_back(msg("CredOk", {M.Args[0]}));
+                 return Out;
+               }},
+              {"CheckAcl", [](const Message &M) {
+                 std::vector<Message> Out;
+                 // alice may read anything under /pub.
+                 const std::string &Path = M.Args[1].asStr();
+                 if (Path.rfind("/pub", 0) == 0)
+                   Out.push_back(msg("AclOk", {M.Args[0], M.Args[1]}));
+                 return Out;
+               }}});
+    if (C.TypeName == "Disk")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"ReadFile", [](const Message &M) {
+                 return std::vector<Message>{
+                     msg("FileData",
+                         {M.Args[0], M.Args[1],
+                          Value::str("<contents of " + M.Args[1].asStr() +
+                                     ">")})};
+               }}});
+    if (C.TypeName == "Client")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{
+              {"Welcome", [](const Message &) {
+                 return std::vector<Message>{
+                     msg("FileReq", {Value::str("/pub/index.html")}),
+                     msg("FileReq", {Value::str("/etc/shadow")})};
+               }}});
+    return nullptr;
+  };
+}
+
+const KernelDef &webserver() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "webserver";
+    D.Description = "authenticated file server kernel";
+    D.Source = WebserverSource;
+    D.Rows = {
+        {"ClientOnlySpawnedOnLogin",
+         "A client is only spawned on successful login", 26},
+        {"ClientsNeverDuplicated", "Clients are never duplicated", 70},
+        {"FilesOnlyAfterLogin", "Files can only be requested after login",
+         87},
+        {"FilesOnlyAfterAuthorization",
+         "Files are only requested after authorization", 23},
+        {"OnlyFilesTheDiskIndicates",
+         "Kernel only sends a file where the disk indicates", 34},
+        {"AuthorizedRequestsReachDisk",
+         "Authorized requests are forwarded to disk", 22},
+    };
+    D.PaperKernelLoc = 56;
+    D.PaperPropsLoc = 29;
+    D.PaperComponentLoc = 386; // Table 1: sandboxed web server components
+    D.MakeScripts = webserverScripts;
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

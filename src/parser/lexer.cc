@@ -1,0 +1,370 @@
+//===- parser/lexer.cc - Reflex lexer ---------------------------*- C++ -*-===//
+
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace reflex {
+
+const char *tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::String:
+    return "string";
+  case TokKind::Underscore:
+    return "'_'";
+  case TokKind::KwProgram:
+    return "'program'";
+  case TokKind::KwComponent:
+    return "'component'";
+  case TokKind::KwMessage:
+    return "'message'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwInit:
+    return "'init'";
+  case TokKind::KwHandler:
+    return "'handler'";
+  case TokKind::KwProperty:
+    return "'property'";
+  case TokKind::KwForall:
+    return "'forall'";
+  case TokKind::KwNoninterference:
+    return "'noninterference'";
+  case TokKind::KwHigh:
+    return "'high'";
+  case TokKind::KwSend:
+    return "'send'";
+  case TokKind::KwSpawn:
+    return "'spawn'";
+  case TokKind::KwCall:
+    return "'call'";
+  case TokKind::KwLookup:
+    return "'lookup'";
+  case TokKind::KwAs:
+    return "'as'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwNop:
+    return "'nop'";
+  case TokKind::KwSender:
+    return "'sender'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::Bind:
+    return "'<-'";
+  case TokKind::FatArrow:
+    return "'=>'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> Keywords = {
+    {"program", TokKind::KwProgram},
+    {"component", TokKind::KwComponent},
+    {"message", TokKind::KwMessage},
+    {"var", TokKind::KwVar},
+    {"init", TokKind::KwInit},
+    {"handler", TokKind::KwHandler},
+    {"property", TokKind::KwProperty},
+    {"forall", TokKind::KwForall},
+    {"noninterference", TokKind::KwNoninterference},
+    {"high", TokKind::KwHigh},
+    {"send", TokKind::KwSend},
+    {"spawn", TokKind::KwSpawn},
+    {"call", TokKind::KwCall},
+    {"lookup", TokKind::KwLookup},
+    {"as", TokKind::KwAs},
+    {"if", TokKind::KwIf},
+    {"else", TokKind::KwElse},
+    {"nop", TokKind::KwNop},
+    {"sender", TokKind::KwSender},
+    {"true", TokKind::KwTrue},
+    {"false", TokKind::KwFalse},
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      Token T = next();
+      bool Done = T.is(TokKind::Eof);
+      Out.push_back(std::move(T));
+      if (Done)
+        return Out;
+    }
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (Pos < Source.size()) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '#' || (C == '/' && peek(1) == '/')) {
+        while (Pos < Source.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    skipTrivia();
+    SourceLoc Loc(Line, Col);
+    if (Pos >= Source.size())
+      return make(TokKind::Eof, Loc);
+
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C))) {
+      std::string Name(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        Name += advance();
+      auto It = Keywords.find(Name);
+      if (It != Keywords.end())
+        return make(It->second, Loc);
+      Token T = make(TokKind::Ident, Loc);
+      T.Text = std::move(Name);
+      return T;
+    }
+
+    if (C == '_') {
+      // `_` alone is the wildcard; `_foo` is an identifier.
+      if (!std::isalnum(static_cast<unsigned char>(peek())) && peek() != '_')
+        return make(TokKind::Underscore, Loc);
+      std::string Name(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        Name += advance();
+      Token T = make(TokKind::Ident, Loc);
+      T.Text = std::move(Name);
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = C - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (advance() - '0');
+      Token T = make(TokKind::Number, Loc);
+      T.NumVal = V;
+      return T;
+    }
+
+    if (C == '"') {
+      std::string S;
+      while (true) {
+        if (Pos >= Source.size() || peek() == '\n') {
+          Diags.error(Loc, "unterminated string literal");
+          return make(TokKind::Error, Loc);
+        }
+        char D = advance();
+        if (D == '"')
+          break;
+        if (D == '\\') {
+          char E = advance();
+          switch (E) {
+          case 'n':
+            S += '\n';
+            break;
+          case 't':
+            S += '\t';
+            break;
+          case '\\':
+            S += '\\';
+            break;
+          case '"':
+            S += '"';
+            break;
+          default:
+            Diags.error(SourceLoc(Line, Col),
+                        std::string("unknown escape '\\") + E + "'");
+            break;
+          }
+          continue;
+        }
+        S += D;
+      }
+      Token T = make(TokKind::String, Loc);
+      T.Text = std::move(S);
+      return T;
+    }
+
+    switch (C) {
+    case '{':
+      return make(TokKind::LBrace, Loc);
+    case '}':
+      return make(TokKind::RBrace, Loc);
+    case '(':
+      return make(TokKind::LParen, Loc);
+    case ')':
+      return make(TokKind::RParen, Loc);
+    case '[':
+      return make(TokKind::LBracket, Loc);
+    case ']':
+      return make(TokKind::RBracket, Loc);
+    case ',':
+      return make(TokKind::Comma, Loc);
+    case ';':
+      return make(TokKind::Semi, Loc);
+    case ':':
+      return make(TokKind::Colon, Loc);
+    case '.':
+      return make(TokKind::Dot, Loc);
+    case '+':
+      return make(TokKind::Plus, Loc);
+    case '-':
+      return make(TokKind::Minus, Loc);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Loc);
+      }
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::FatArrow, Loc);
+      }
+      return make(TokKind::Equal, Loc);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Loc);
+      }
+      return make(TokKind::Bang, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Loc);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Loc);
+      }
+      break;
+    case '<':
+      if (peek() == '-') {
+        advance();
+        return make(TokKind::Bind, Loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::LessEq, Loc);
+      }
+      return make(TokKind::Less, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::GreaterEq, Loc);
+      }
+      return make(TokKind::Greater, Loc);
+    default:
+      break;
+    }
+
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return make(TokKind::Error, Loc);
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> lexSource(std::string_view Source,
+                             DiagnosticEngine &Diags) {
+  return Lexer(Source, Diags).run();
+}
+
+} // namespace reflex

@@ -1,0 +1,32 @@
+//===- parser/lexer.h - Reflex lexer ----------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Reflex surface syntax. Comments run from `#`
+/// or `//` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_PARSER_LEXER_H
+#define REFLEX_PARSER_LEXER_H
+
+#include "parser/token.h"
+#include "support/diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace reflex {
+
+/// Tokenizes \p Source. Lexical errors are reported to \p Diags and yield
+/// an Error token; lexing continues so the parser can report more issues.
+/// The returned vector always ends with an Eof token.
+std::vector<Token> lexSource(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace reflex
+
+#endif // REFLEX_PARSER_LEXER_H

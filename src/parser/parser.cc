@@ -1,0 +1,796 @@
+//===- parser/parser.cc - Reflex parser -------------------------*- C++ -*-===//
+
+#include "parser/parser.h"
+
+#include "parser/lexer.h"
+
+#include <cassert>
+
+namespace reflex {
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, DiagnosticEngine &Diags)
+      : Toks(std::move(Toks)), Diags(Diags) {}
+
+  ProgramPtr run() {
+    auto P = std::make_unique<Program>();
+    if (accept(TokKind::KwProgram)) {
+      if (!expectIdent(P->Name) || !expect(TokKind::Semi))
+        return nullptr;
+    }
+    while (!peek().is(TokKind::Eof)) {
+      if (!parseDecl(*P))
+        return nullptr;
+    }
+    if (!P->Init)
+      P->Init = std::make_unique<NopCmd>(SourceLoc());
+    return Diags.hasErrors() ? nullptr : std::move(P);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token plumbing
+  //===--------------------------------------------------------------------===
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+
+  Token advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+
+  bool accept(TokKind K) {
+    if (!peek().is(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind K) {
+    if (accept(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                                ", found " + tokKindName(peek().Kind));
+    return false;
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (!peek().is(TokKind::Ident)) {
+      Diags.error(peek().Loc, std::string("expected identifier, found ") +
+                                  tokKindName(peek().Kind));
+      return false;
+    }
+    Out = advance().Text;
+    return true;
+  }
+
+  bool expectType(BaseType &Out) {
+    std::string Name;
+    SourceLoc Loc = peek().Loc;
+    if (!expectIdent(Name))
+      return false;
+    if (!baseTypeFromName(Name, Out)) {
+      Diags.error(Loc, "unknown type '" + Name +
+                           "' (expected num, str, bool, or fdesc)");
+      return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  bool parseDecl(Program &P) {
+    switch (peek().Kind) {
+    case TokKind::KwComponent:
+      return parseComponent(P);
+    case TokKind::KwMessage:
+      return parseMessage(P);
+    case TokKind::KwVar:
+      return parseVar(P);
+    case TokKind::KwInit:
+      return parseInit(P);
+    case TokKind::KwHandler:
+      return parseHandler(P);
+    case TokKind::KwProperty:
+      return parseProperty(P);
+    default:
+      Diags.error(peek().Loc,
+                  std::string("expected a declaration, found ") +
+                      tokKindName(peek().Kind));
+      return false;
+    }
+  }
+
+  bool parseComponent(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'component'
+    ComponentTypeDecl Decl;
+    Decl.Loc = Loc;
+    if (!expectIdent(Decl.Name))
+      return false;
+    if (!peek().is(TokKind::String)) {
+      Diags.error(peek().Loc, "expected executable path string");
+      return false;
+    }
+    Decl.Executable = advance().Text;
+    if (accept(TokKind::LBrace)) {
+      if (!peek().is(TokKind::RBrace)) {
+        do {
+          ConfigField F;
+          if (!expectIdent(F.Name) || !expect(TokKind::Colon) ||
+              !expectType(F.Type))
+            return false;
+          if (F.Type == BaseType::Fdesc) {
+            Diags.error(Loc, "config fields may not have type fdesc");
+            return false;
+          }
+          Decl.Config.push_back(std::move(F));
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RBrace))
+        return false;
+    }
+    if (!expect(TokKind::Semi))
+      return false;
+    P.Components.push_back(std::move(Decl));
+    return true;
+  }
+
+  bool parseMessage(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'message'
+    MessageDecl Decl;
+    Decl.Loc = Loc;
+    if (!expectIdent(Decl.Name) || !expect(TokKind::LParen))
+      return false;
+    if (!peek().is(TokKind::RParen)) {
+      do {
+        BaseType Ty;
+        if (!expectType(Ty))
+          return false;
+        Decl.Payload.push_back(Ty);
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen) || !expect(TokKind::Semi))
+      return false;
+    P.Messages.push_back(std::move(Decl));
+    return true;
+  }
+
+  bool parseLiteral(Value &Out) {
+    switch (peek().Kind) {
+    case TokKind::Number:
+      Out = Value::num(advance().NumVal);
+      return true;
+    case TokKind::String:
+      Out = Value::str(advance().Text);
+      return true;
+    case TokKind::KwTrue:
+      advance();
+      Out = Value::boolean(true);
+      return true;
+    case TokKind::KwFalse:
+      advance();
+      Out = Value::boolean(false);
+      return true;
+    default:
+      Diags.error(peek().Loc, "expected a literal");
+      return false;
+    }
+  }
+
+  bool parseVar(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'var'
+    StateVarDecl Decl;
+    Decl.Loc = Loc;
+    if (!expectIdent(Decl.Name) || !expect(TokKind::Colon) ||
+        !expectType(Decl.Type) || !expect(TokKind::Equal) ||
+        !parseLiteral(Decl.Init) || !expect(TokKind::Semi))
+      return false;
+    P.StateVars.push_back(std::move(Decl));
+    return true;
+  }
+
+  bool parseInit(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'init'
+    if (P.Init) {
+      Diags.error(Loc, "duplicate init section");
+      return false;
+    }
+    P.Init = parseBlock();
+    return P.Init != nullptr;
+  }
+
+  bool parseHandler(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'handler'
+    Handler H;
+    H.Loc = Loc;
+    if (!expectIdent(H.CompType) || !expect(TokKind::FatArrow) ||
+        !expectIdent(H.MsgName) || !expect(TokKind::LParen))
+      return false;
+    if (!peek().is(TokKind::RParen)) {
+      do {
+        std::string Param;
+        if (peek().is(TokKind::Underscore)) {
+          advance();
+          Param = "_";
+        } else if (!expectIdent(Param)) {
+          return false;
+        }
+        H.Params.push_back(std::move(Param));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen))
+      return false;
+    H.Body = parseBlock();
+    if (!H.Body)
+      return false;
+    P.Handlers.push_back(std::move(H));
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Commands
+  //===--------------------------------------------------------------------===
+
+  CmdPtr parseBlock() {
+    SourceLoc Loc = peek().Loc;
+    if (!expect(TokKind::LBrace))
+      return nullptr;
+    std::vector<CmdPtr> Cmds;
+    while (!peek().is(TokKind::RBrace)) {
+      if (peek().is(TokKind::Eof)) {
+        Diags.error(peek().Loc, "unterminated block");
+        return nullptr;
+      }
+      CmdPtr C = parseCmd();
+      if (!C)
+        return nullptr;
+      Cmds.push_back(std::move(C));
+    }
+    advance(); // '}'
+    return std::make_unique<BlockCmd>(std::move(Cmds), Loc);
+  }
+
+  CmdPtr parseCmd() {
+    switch (peek().Kind) {
+    case TokKind::KwSend:
+      return parseSend();
+    case TokKind::KwLookup:
+      return parseLookup();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwNop: {
+      SourceLoc Loc = advance().Loc;
+      if (!expect(TokKind::Semi))
+        return nullptr;
+      return std::make_unique<NopCmd>(Loc);
+    }
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::Ident:
+      if (peek().Text == "broadcast") {
+        // The paper originally provided broadcast and removed it: "a
+        // single broadcast command could generate an unbounded number of
+        // send actions; handling this unbounded behavior proved
+        // extraordinarily difficult. We instead use lookup" (§7).
+        Diags.error(peek().Loc,
+                    "'broadcast' is not a Reflex primitive: it would emit "
+                    "an unbounded number of actions. Use 'lookup' to find "
+                    "a specific component and send to it");
+        return nullptr;
+      }
+      return parseAssignOrBind();
+    default:
+      Diags.error(peek().Loc, std::string("expected a command, found ") +
+                                  tokKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  CmdPtr parseSend() {
+    SourceLoc Loc = advance().Loc; // 'send'
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    ExprPtr Target = parseExpr();
+    if (!Target || !expect(TokKind::Comma))
+      return nullptr;
+    std::string MsgName;
+    if (!expectIdent(MsgName) || !expect(TokKind::LParen))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    if (!parseExprList(Args))
+      return nullptr;
+    if (!expect(TokKind::RParen) || !expect(TokKind::RParen) ||
+        !expect(TokKind::Semi))
+      return nullptr;
+    return std::make_unique<SendCmd>(std::move(Target), std::move(MsgName),
+                                     std::move(Args), Loc);
+  }
+
+  /// Parses a comma-separated expression list up to (but not consuming) a
+  /// closing paren.
+  bool parseExprList(std::vector<ExprPtr> &Out) {
+    if (peek().is(TokKind::RParen))
+      return true;
+    do {
+      ExprPtr E = parseExpr();
+      if (!E)
+        return false;
+      Out.push_back(std::move(E));
+    } while (accept(TokKind::Comma));
+    return true;
+  }
+
+  CmdPtr parseLookup() {
+    SourceLoc Loc = advance().Loc; // 'lookup'
+    std::string CompType;
+    if (!expectIdent(CompType) || !expect(TokKind::LParen))
+      return nullptr;
+    std::vector<LookupConstraint> Constraints;
+    if (!peek().is(TokKind::RParen)) {
+      do {
+        LookupConstraint C;
+        if (!expectIdent(C.Field) || !expect(TokKind::EqEq))
+          return nullptr;
+        C.Expr = parseExpr();
+        if (!C.Expr)
+          return nullptr;
+        Constraints.push_back(std::move(C));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen) || !expect(TokKind::KwAs))
+      return nullptr;
+    std::string Bind;
+    if (!expectIdent(Bind))
+      return nullptr;
+    CmdPtr Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    CmdPtr Else;
+    if (accept(TokKind::KwElse)) {
+      Else = parseBlock();
+      if (!Else)
+        return nullptr;
+    } else {
+      Else = std::make_unique<NopCmd>(Loc);
+    }
+    return std::make_unique<LookupCmd>(std::move(Bind), std::move(CompType),
+                                       std::move(Constraints), std::move(Then),
+                                       std::move(Else), Loc);
+  }
+
+  CmdPtr parseIf() {
+    SourceLoc Loc = advance().Loc; // 'if'
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::RParen))
+      return nullptr;
+    CmdPtr Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    CmdPtr Else;
+    if (accept(TokKind::KwElse)) {
+      Else = peek().is(TokKind::KwIf) ? parseIf() : parseBlock();
+      if (!Else)
+        return nullptr;
+    } else {
+      Else = std::make_unique<NopCmd>(Loc);
+    }
+    return std::make_unique<IfCmd>(std::move(Cond), std::move(Then),
+                                   std::move(Else), Loc);
+  }
+
+  CmdPtr parseAssignOrBind() {
+    SourceLoc Loc = peek().Loc;
+    std::string Name = advance().Text;
+    if (accept(TokKind::Equal)) {
+      ExprPtr RHS = parseExpr();
+      if (!RHS || !expect(TokKind::Semi))
+        return nullptr;
+      return std::make_unique<AssignCmd>(std::move(Name), std::move(RHS), Loc);
+    }
+    if (!expect(TokKind::Bind))
+      return nullptr;
+    if (accept(TokKind::KwSpawn)) {
+      std::string CompType;
+      if (!expectIdent(CompType) || !expect(TokKind::LParen))
+        return nullptr;
+      std::vector<ExprPtr> Args;
+      if (!parseExprList(Args) || !expect(TokKind::RParen) ||
+          !expect(TokKind::Semi))
+        return nullptr;
+      return std::make_unique<SpawnCmd>(std::move(Name), std::move(CompType),
+                                        std::move(Args), Loc);
+    }
+    if (accept(TokKind::KwCall)) {
+      if (!peek().is(TokKind::String)) {
+        Diags.error(peek().Loc, "expected native function name string");
+        return nullptr;
+      }
+      std::string Fn = advance().Text;
+      if (!expect(TokKind::LParen))
+        return nullptr;
+      std::vector<ExprPtr> Args;
+      if (!parseExprList(Args) || !expect(TokKind::RParen) ||
+          !expect(TokKind::Semi))
+        return nullptr;
+      return std::make_unique<CallCmd>(std::move(Name), std::move(Fn),
+                                       std::move(Args), Loc);
+    }
+    Diags.error(peek().Loc, "expected 'spawn' or 'call' after '<-'");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (L && peek().is(TokKind::OrOr)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = std::make_unique<BinaryExpr>(BinOp::Or, std::move(L), std::move(R),
+                                       Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseCmp();
+    while (L && peek().is(TokKind::AndAnd)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseCmp();
+      if (!R)
+        return nullptr;
+      L = std::make_unique<BinaryExpr>(BinOp::And, std::move(L), std::move(R),
+                                       Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr L = parseAdd();
+    if (!L)
+      return nullptr;
+    BinOp Op;
+    switch (peek().Kind) {
+    case TokKind::EqEq:
+      Op = BinOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = BinOp::Ne;
+      break;
+    case TokKind::Less:
+      Op = BinOp::Lt;
+      break;
+    case TokKind::LessEq:
+      Op = BinOp::Le;
+      break;
+    case TokKind::Greater:
+      Op = BinOp::Gt;
+      break;
+    case TokKind::GreaterEq:
+      Op = BinOp::Ge;
+      break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAdd();
+    if (!R)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr L = parseUnary();
+    while (L && (peek().is(TokKind::Plus) || peek().is(TokKind::Minus))) {
+      BinOp Op = peek().is(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (peek().is(TokKind::Bang)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(std::move(E), Loc);
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePostfix(ExprPtr Base) {
+    while (accept(TokKind::Dot)) {
+      SourceLoc Loc = peek().Loc;
+      std::string Field;
+      if (!expectIdent(Field))
+        return nullptr;
+      Base = std::make_unique<ConfigRefExpr>(std::move(Base),
+                                             std::move(Field), Loc);
+    }
+    return Base;
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc Loc = peek().Loc;
+    switch (peek().Kind) {
+    case TokKind::Number:
+      return std::make_unique<LitExpr>(Value::num(advance().NumVal), Loc);
+    case TokKind::String:
+      return std::make_unique<LitExpr>(Value::str(advance().Text), Loc);
+    case TokKind::KwTrue:
+      advance();
+      return std::make_unique<LitExpr>(Value::boolean(true), Loc);
+    case TokKind::KwFalse:
+      advance();
+      return std::make_unique<LitExpr>(Value::boolean(false), Loc);
+    case TokKind::KwSender:
+      advance();
+      return parsePostfix(std::make_unique<SenderRefExpr>(Loc));
+    case TokKind::Ident:
+      return parsePostfix(
+          std::make_unique<VarRefExpr>(advance().Text, Loc));
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokKind::RParen))
+        return nullptr;
+      return E;
+    }
+    default:
+      Diags.error(Loc, std::string("expected an expression, found ") +
+                           tokKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Properties
+  //===--------------------------------------------------------------------===
+
+  bool parseProperty(Program &P) {
+    SourceLoc Loc = advance().Loc; // 'property'
+    Property Prop;
+    Prop.Loc = Loc;
+    if (!expectIdent(Prop.Name) || !expect(TokKind::Colon))
+      return false;
+
+    std::vector<std::string> Vars;
+    if (accept(TokKind::KwForall)) {
+      do {
+        std::string V;
+        if (!expectIdent(V))
+          return false;
+        Vars.push_back(std::move(V));
+      } while (accept(TokKind::Comma));
+      if (!expect(TokKind::Dot))
+        return false;
+    }
+
+    if (peek().is(TokKind::KwNoninterference)) {
+      NIProperty NI;
+      if (!Vars.empty()) {
+        if (Vars.size() > 1) {
+          Diags.error(Loc,
+                      "noninterference takes at most one forall variable");
+          return false;
+        }
+        NI.Param = Vars[0];
+      }
+      if (!parseNIBody(NI))
+        return false;
+      Prop.Body = std::move(NI);
+    } else if (peek().is(TokKind::Ident) && peek().Text == "atmostonce") {
+      // Sugar (paper §6.2 sketches "at most n of some action" as future
+      // syntax that "immediately desugars to our existing primitives");
+      // the n = 1 case is exactly self-disabling:
+      //   atmostonce [A]  ==>  [A] Disables [A]
+      advance();
+      TraceProperty TP;
+      TP.Vars = std::move(Vars);
+      TP.Op = TraceOp::Disables;
+      if (!parseActionPattern(TP.A))
+        return false;
+      TP.B = TP.A;
+      Prop.Body = std::move(TP);
+    } else {
+      TraceProperty TP;
+      TP.Vars = std::move(Vars);
+      if (!parseActionPattern(TP.A))
+        return false;
+      std::string OpName;
+      SourceLoc OpLoc = peek().Loc;
+      if (!expectIdent(OpName))
+        return false;
+      if (!traceOpFromName(OpName, TP.Op)) {
+        Diags.error(OpLoc, "unknown trace pattern '" + OpName +
+                               "' (expected ImmBefore, ImmAfter, Enables, "
+                               "Ensures, or Disables)");
+        return false;
+      }
+      if (!parseActionPattern(TP.B))
+        return false;
+      Prop.Body = std::move(TP);
+    }
+    if (!expect(TokKind::Semi))
+      return false;
+    P.Properties.push_back(std::move(Prop));
+    return true;
+  }
+
+  static bool traceOpFromName(const std::string &Name, TraceOp &Out) {
+    if (Name == "Enables" || Name == "enables")
+      Out = TraceOp::Enables;
+    else if (Name == "Ensures" || Name == "ensures")
+      Out = TraceOp::Ensures;
+    else if (Name == "Disables" || Name == "disables")
+      Out = TraceOp::Disables;
+    else if (Name == "ImmBefore" || Name == "immbefore")
+      Out = TraceOp::ImmBefore;
+    else if (Name == "ImmAfter" || Name == "immafter")
+      Out = TraceOp::ImmAfter;
+    else
+      return false;
+    return true;
+  }
+
+  bool parsePatTerm(PatTerm &Out) {
+    switch (peek().Kind) {
+    case TokKind::Underscore:
+      advance();
+      Out = PatTerm::wild();
+      return true;
+    case TokKind::Number:
+      Out = PatTerm::lit(Value::num(advance().NumVal));
+      return true;
+    case TokKind::String:
+      Out = PatTerm::lit(Value::str(advance().Text));
+      return true;
+    case TokKind::KwTrue:
+      advance();
+      Out = PatTerm::lit(Value::boolean(true));
+      return true;
+    case TokKind::KwFalse:
+      advance();
+      Out = PatTerm::lit(Value::boolean(false));
+      return true;
+    case TokKind::Ident:
+      Out = PatTerm::var(advance().Text);
+      return true;
+    default:
+      Diags.error(peek().Loc, "expected a pattern (literal, variable, or _)");
+      return false;
+    }
+  }
+
+  bool parseCompPattern(CompPattern &Out) {
+    if (!expectIdent(Out.TypeName))
+      return false;
+    if (accept(TokKind::LParen)) {
+      if (!peek().is(TokKind::RParen)) {
+        do {
+          CompFieldPattern F;
+          if (!expectIdent(F.FieldName) || !expect(TokKind::Equal) ||
+              !parsePatTerm(F.Pat))
+            return false;
+          Out.Fields.push_back(std::move(F));
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseActionPattern(ActionPattern &Out) {
+    if (!expect(TokKind::LBracket))
+      return false;
+    std::string Head;
+    SourceLoc Loc = peek().Loc;
+    if (!expectIdent(Head))
+      return false;
+    if (Head == "Send")
+      Out.Kind = ActionPattern::Send;
+    else if (Head == "Recv")
+      Out.Kind = ActionPattern::Recv;
+    else if (Head == "Spawn")
+      Out.Kind = ActionPattern::Spawn;
+    else {
+      Diags.error(Loc, "unknown action pattern '" + Head +
+                           "' (expected Send, Recv, or Spawn)");
+      return false;
+    }
+    if (!expect(TokKind::LParen) || !parseCompPattern(Out.Comp))
+      return false;
+    if (Out.Kind != ActionPattern::Spawn) {
+      if (!expect(TokKind::Comma) || !expectIdent(Out.Msg.MsgName) ||
+          !expect(TokKind::LParen))
+        return false;
+      if (!peek().is(TokKind::RParen)) {
+        do {
+          PatTerm T;
+          if (!parsePatTerm(T))
+            return false;
+          Out.Msg.Args.push_back(std::move(T));
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen))
+        return false;
+    }
+    if (!expect(TokKind::RParen) || !expect(TokKind::RBracket))
+      return false;
+    return true;
+  }
+
+  bool parseNIBody(NIProperty &NI) {
+    advance(); // 'noninterference'
+    if (!expect(TokKind::LBrace))
+      return false;
+    while (!peek().is(TokKind::RBrace)) {
+      if (!expect(TokKind::KwHigh))
+        return false;
+      std::string What;
+      SourceLoc Loc = peek().Loc;
+      if (!expectIdent(What) || !expect(TokKind::Colon))
+        return false;
+      if (What == "components") {
+        if (!peek().is(TokKind::Semi)) {
+          do {
+            CompPattern CP;
+            if (!parseCompPattern(CP))
+              return false;
+            NI.HighComps.push_back(std::move(CP));
+          } while (accept(TokKind::Comma));
+        }
+      } else if (What == "vars") {
+        if (!peek().is(TokKind::Semi)) {
+          do {
+            std::string V;
+            if (!expectIdent(V))
+              return false;
+            NI.HighVars.push_back(std::move(V));
+          } while (accept(TokKind::Comma));
+        }
+      } else {
+        Diags.error(Loc, "expected 'components' or 'vars' after 'high'");
+        return false;
+      }
+      if (!expect(TokKind::Semi))
+        return false;
+    }
+    advance(); // '}'
+    return true;
+  }
+
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ProgramPtr parseProgram(std::string_view Source, DiagnosticEngine &Diags) {
+  std::vector<Token> Toks = lexSource(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Parser(std::move(Toks), Diags).run();
+}
+
+} // namespace reflex

@@ -1,0 +1,45 @@
+//===- parser/parser.h - Reflex parser --------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Reflex surface syntax. Produces an
+/// unvalidated Program; run ast/validate.h next (the parser resolves
+/// nothing — name resolution, typing, and the pattern disciplines all live
+/// in the validator, mirroring how the paper's frontend defers to the Coq
+/// embedding's dependent types).
+///
+/// Grammar sketch (see README.md for the full reference):
+///
+///   program    := "program" IDENT ";" decl*
+///   decl       := component | message | var | init | handler | property
+///   component  := "component" IDENT STRING ("{" field ("," field)* "}")? ";"
+///   message    := "message" IDENT "(" types? ")" ";"
+///   var        := "var" IDENT ":" type "=" literal ";"
+///   init       := "init" block
+///   handler    := "handler" IDENT "=>" IDENT "(" idents? ")" block
+///   property   := "property" IDENT ":" (forall)? (tracebody | nibody) ";"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_PARSER_PARSER_H
+#define REFLEX_PARSER_PARSER_H
+
+#include "ast/program.h"
+#include "support/diagnostics.h"
+
+#include <string_view>
+
+namespace reflex {
+
+/// Parses \p Source into a Program. Returns nullptr if any syntax error
+/// was reported to \p Diags. The result is unvalidated; callers must run
+/// validateProgram() before handing it to the prover or interpreter.
+ProgramPtr parseProgram(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace reflex
+
+#endif // REFLEX_PARSER_PARSER_H

@@ -1,0 +1,99 @@
+//===- parser/token.h - Reflex tokens ---------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds of the Reflex surface syntax. The paper shipped a Python
+/// frontend translating concrete syntax to the deeply embedded Coq AST;
+/// this reproduction implements the frontend in C++ (lexer + recursive
+/// descent parser).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_PARSER_TOKEN_H
+#define REFLEX_PARSER_TOKEN_H
+
+#include "support/source_loc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace reflex {
+
+enum class TokKind : uint8_t {
+  // Literals and identifiers.
+  Ident,
+  Number,
+  String,
+  Underscore,
+
+  // Keywords.
+  KwProgram,
+  KwComponent,
+  KwMessage,
+  KwVar,
+  KwInit,
+  KwHandler,
+  KwProperty,
+  KwForall,
+  KwNoninterference,
+  KwHigh,
+  KwSend,
+  KwSpawn,
+  KwCall,
+  KwLookup,
+  KwAs,
+  KwIf,
+  KwElse,
+  KwNop,
+  KwSender,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Equal,    // =
+  Bind,     // <-
+  FatArrow, // =>
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Bang,
+  Plus,
+  Minus,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+
+  Eof,
+  Error,
+};
+
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   // identifier name or decoded string literal
+  int64_t NumVal = 0; // Number only
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace reflex
+
+#endif // REFLEX_PARSER_TOKEN_H

@@ -1,0 +1,91 @@
+//===- prop/check.cc - Concrete-trace property semantics --------*- C++ -*-===//
+
+#include "prop/check.h"
+
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+/// Matches \p A against \p Pat under a *fixed* binding: variables bound in
+/// \p B must agree; variables not bound in \p B may bind freely (this only
+/// happens for obligation-side variables absent from the trigger, which the
+/// validator rejects, so in validated programs the binding is total).
+bool matchUnder(const Action &A, const ActionPattern &Pat, const Trace &Tr,
+                const Binding &B) {
+  Binding Tmp = B;
+  return matchAction(A, Pat, Tr, Tmp);
+}
+
+} // namespace
+
+std::optional<Violation> checkTraceProperty(const Trace &Tr,
+                                            const TraceProperty &P) {
+  const ActionPattern &Trigger = P.trigger();
+  const ActionPattern &Obligation = P.obligation();
+  const auto &Actions = Tr.Actions;
+
+  for (size_t I = 0; I < Actions.size(); ++I) {
+    Binding B;
+    if (!matchAction(Actions[I], Trigger, Tr, B))
+      continue;
+
+    // The trigger matched at index I under binding B; discharge the
+    // obligation per the §4.1 definition of each primitive.
+    bool Ok = false;
+    std::ostringstream Why;
+    switch (P.Op) {
+    case TraceOp::ImmBefore:
+      // Every B-action is immediately preceded by an A-action.
+      Ok = I > 0 && matchUnder(Actions[I - 1], Obligation, Tr, B);
+      Why << "no immediately-preceding action matching " << Obligation.str();
+      break;
+    case TraceOp::ImmAfter:
+      // Every A-action is immediately followed by a B-action.
+      Ok = I + 1 < Actions.size() &&
+           matchUnder(Actions[I + 1], Obligation, Tr, B);
+      Why << "no immediately-following action matching " << Obligation.str();
+      break;
+    case TraceOp::Enables: {
+      // Every B-action is preceded, somewhere, by an A-action.
+      for (size_t J = 0; J < I && !Ok; ++J)
+        Ok = matchUnder(Actions[J], Obligation, Tr, B);
+      Why << "no earlier action matching " << Obligation.str();
+      break;
+    }
+    case TraceOp::Ensures: {
+      // Every A-action is followed, somewhere, by a B-action.
+      for (size_t J = I + 1; J < Actions.size() && !Ok; ++J)
+        Ok = matchUnder(Actions[J], Obligation, Tr, B);
+      Why << "no later action matching " << Obligation.str();
+      break;
+    }
+    case TraceOp::Disables: {
+      // No B-action is preceded by an A-action.
+      Ok = true;
+      for (size_t J = 0; J < I && Ok; ++J) {
+        if (matchUnder(Actions[J], Obligation, Tr, B)) {
+          Ok = false;
+          Why << "action " << J << " (" << Actions[J].str()
+              << ") matches the disabling pattern " << Obligation.str();
+        }
+      }
+      break;
+    }
+    }
+
+    if (!Ok) {
+      Violation V;
+      V.TriggerIndex = I;
+      std::ostringstream OS;
+      OS << "trace property violated at action " << I << " ("
+         << Actions[I].str() << "): " << Why.str();
+      V.Explanation = OS.str();
+      return V;
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace reflex

@@ -1,0 +1,50 @@
+//===- prop/check.h - Concrete-trace property semantics ---------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference semantics of trace properties on *concrete* traces,
+/// transcribing the Coq definitions of §4.1 (with the trace order flipped:
+/// our traces are chronological). This checker is the ground truth the
+/// symbolic prover is tested against: every property the prover certifies
+/// must hold, under this checker, on every trace the interpreter produces
+/// (tests/refinement_test.cc), and the runtime monitor uses it to flag
+/// violations during concrete execution.
+///
+/// Non-interference is a hyperproperty (it relates *pairs* of executions)
+/// and has no single-trace semantics; it is handled only by the symbolic
+/// prover (verify/ni.h) via the paper's Theorem 1 sufficient conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_PROP_CHECK_H
+#define REFLEX_PROP_CHECK_H
+
+#include "prop/property.h"
+#include "trace/action.h"
+
+#include <optional>
+#include <string>
+
+namespace reflex {
+
+/// A concrete counterexample to a trace property.
+struct Violation {
+  /// Index (into Trace::Actions) of the trigger action that has no valid
+  /// justification.
+  size_t TriggerIndex = 0;
+  /// Human-readable explanation.
+  std::string Explanation;
+};
+
+/// Checks \p P on the complete trace \p Tr. Returns std::nullopt when the
+/// property holds, or the first violation otherwise.
+std::optional<Violation> checkTraceProperty(const Trace &Tr,
+                                            const TraceProperty &P);
+
+} // namespace reflex
+
+#endif // REFLEX_PROP_CHECK_H

@@ -1,0 +1,70 @@
+//===- prop/property.cc - The Reflex property language ----------*- C++ -*-===//
+
+#include "prop/property.h"
+
+#include <sstream>
+
+namespace reflex {
+
+const char *traceOpName(TraceOp Op) {
+  switch (Op) {
+  case TraceOp::ImmBefore:
+    return "ImmBefore";
+  case TraceOp::ImmAfter:
+    return "ImmAfter";
+  case TraceOp::Enables:
+    return "Enables";
+  case TraceOp::Ensures:
+    return "Ensures";
+  case TraceOp::Disables:
+    return "Disables";
+  }
+  return "?";
+}
+
+std::string TraceProperty::str() const {
+  std::ostringstream OS;
+  if (!Vars.empty()) {
+    OS << "forall ";
+    for (size_t I = 0; I < Vars.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Vars[I];
+    }
+    OS << ". ";
+  }
+  OS << "[" << A.str() << "] " << traceOpName(Op) << " [" << B.str() << "]";
+  return OS.str();
+}
+
+std::string NIProperty::str() const {
+  std::ostringstream OS;
+  if (Param)
+    OS << "forall " << *Param << ". ";
+  OS << "noninterference { high components: ";
+  for (size_t I = 0; I < HighComps.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << HighComps[I].str();
+  }
+  OS << "; high vars: ";
+  for (size_t I = 0; I < HighVars.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << HighVars[I];
+  }
+  OS << "; }";
+  return OS.str();
+}
+
+std::string Property::str() const {
+  std::ostringstream OS;
+  OS << Name << ": ";
+  if (isTrace())
+    OS << traceProp().str();
+  else
+    OS << niProp().str();
+  return OS.str();
+}
+
+} // namespace reflex

@@ -1,0 +1,113 @@
+//===- prop/property.h - The Reflex property language -----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Reflex property language (paper §4). Properties come in two
+/// flavors:
+///
+///  * Trace properties, built from the five primitive trace patterns —
+///    ImmBefore, ImmAfter, Enables, Ensures, Disables — each parameterized
+///    by two action patterns and a list of universally quantified
+///    variables.
+///
+///  * Non-interference properties (§4.2), specified by a labeling of
+///    components (as configuration-constrained component patterns, possibly
+///    parameterized: "for all domains d, components with domain d are
+///    high") plus a labeling of state variables (the θv of §5.2, which the
+///    paper requires from the user to make the proof search tractable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_PROP_PROPERTY_H
+#define REFLEX_PROP_PROPERTY_H
+
+#include "support/source_loc.h"
+#include "trace/pattern.h"
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace reflex {
+
+/// The five primitive trace patterns of §4.1.
+enum class TraceOp : uint8_t {
+  /// ImmBefore A B: every action matching B is *immediately* preceded by
+  /// an action matching A.
+  ImmBefore,
+  /// ImmAfter A B: every action matching A is *immediately* followed by an
+  /// action matching B.
+  ImmAfter,
+  /// Enables A B: every action matching B is preceded (somewhere earlier in
+  /// the trace) by an action matching A.
+  Enables,
+  /// Ensures A B: every action matching A is followed (somewhere later in
+  /// the trace) by an action matching B.
+  Ensures,
+  /// Disables A B: no action matching B is preceded by an action
+  /// matching A.
+  Disables,
+};
+
+const char *traceOpName(TraceOp Op);
+
+/// A trace property: `forall Vars. [A] Op [B]`. All variables are
+/// universally quantified at the outermost level (paper §2). The validator
+/// enforces the *trigger-variable discipline*: every variable must occur in
+/// the trigger pattern (see triggerIsB()), which makes universally
+/// quantified checking decidable.
+struct TraceProperty {
+  std::vector<std::string> Vars;
+  TraceOp Op = TraceOp::Enables;
+  ActionPattern A;
+  ActionPattern B;
+
+  /// The trigger of a trace property is the pattern whose occurrences
+  /// generate proof obligations: B for ImmBefore/Enables/Disables ("each
+  /// action matching B requires ..."), A for ImmAfter/Ensures.
+  bool triggerIsB() const {
+    return Op == TraceOp::ImmBefore || Op == TraceOp::Enables ||
+           Op == TraceOp::Disables;
+  }
+  const ActionPattern &trigger() const { return triggerIsB() ? B : A; }
+  const ActionPattern &obligation() const { return triggerIsB() ? A : B; }
+
+  std::string str() const;
+};
+
+/// A non-interference property: a partitioning of components into high and
+/// low (paper Definition 1/2). Components matching any pattern in
+/// HighComps are high; all others are low. The optional Param is a
+/// universally quantified variable usable inside the patterns ("for all
+/// domains d"). HighVars is the θv variable labeling of §5.2.
+struct NIProperty {
+  std::optional<std::string> Param;
+  std::vector<CompPattern> HighComps;
+  std::vector<std::string> HighVars;
+
+  std::string str() const;
+};
+
+/// A named property, either flavor.
+struct Property {
+  std::string Name;
+  SourceLoc Loc;
+  std::variant<TraceProperty, NIProperty> Body;
+
+  bool isTrace() const { return std::holds_alternative<TraceProperty>(Body); }
+  const TraceProperty &traceProp() const {
+    return std::get<TraceProperty>(Body);
+  }
+  const NIProperty &niProp() const { return std::get<NIProperty>(Body); }
+
+  std::string str() const;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_PROP_PROPERTY_H

@@ -1,0 +1,18 @@
+//===- reflex/api.cc - Public API facade -------------------------*- C++ -*-===//
+
+#include "reflex/reflex.h"
+
+namespace reflex {
+
+Result<ProgramPtr> loadProgram(std::string_view Source,
+                               std::string_view BufferName) {
+  DiagnosticEngine Diags;
+  ProgramPtr P = parseProgram(Source, Diags);
+  if (!P)
+    return Error("parse failed:\n" + Diags.render(BufferName, Source));
+  if (!validateProgram(*P, Diags))
+    return Error("validation failed:\n" + Diags.render(BufferName, Source));
+  return P;
+}
+
+} // namespace reflex

@@ -1,0 +1,50 @@
+//===- reflex/reflex.h - Public API umbrella --------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public face of the library. A downstream user typically needs only
+/// this header:
+///
+/// \code
+///   #include "reflex/reflex.h"
+///
+///   reflex::ProgramPtr P = *reflex::loadProgram(Source);   // parse+validate
+///   reflex::VerificationReport R = reflex::verifyProgram(*P);
+///   // R.allProved() => every property carries a checked certificate.
+///
+///   reflex::Runtime Rt(*P, MyScripts, MyCalls);
+///   Rt.start();
+///   Rt.run(1000);  // drive the kernel against simulated components
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_REFLEX_H
+#define REFLEX_REFLEX_H
+
+#include "ast/printer.h"
+#include "ast/program.h"
+#include "ast/validate.h"
+#include "interp/runtime.h"
+#include "interp/scripts.h"
+#include "parser/parser.h"
+#include "prop/check.h"
+#include "support/result.h"
+#include "verify/absreplay.h"
+#include "verify/bmc.h"
+#include "verify/verifier.h"
+
+namespace reflex {
+
+/// Parses and validates a Reflex program. On failure, the Error message
+/// contains the rendered diagnostics (with source excerpts).
+Result<ProgramPtr> loadProgram(std::string_view Source,
+                               std::string_view BufferName = "<reflex>");
+
+} // namespace reflex
+
+#endif // REFLEX_REFLEX_H

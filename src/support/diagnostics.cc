@@ -1,0 +1,73 @@
+//===- support/diagnostics.cc - Diagnostic engine --------------*- C++ -*-===//
+
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace reflex {
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+/// Returns the \p Line-th (1-based) line of \p Source, without newline.
+static std::string_view sourceLine(std::string_view Source, uint32_t Line) {
+  size_t Pos = 0;
+  for (uint32_t I = 1; I < Line; ++I) {
+    size_t Next = Source.find('\n', Pos);
+    if (Next == std::string_view::npos)
+      return {};
+    Pos = Next + 1;
+  }
+  size_t End = Source.find('\n', Pos);
+  if (End == std::string_view::npos)
+    End = Source.size();
+  return Source.substr(Pos, End - Pos);
+}
+
+std::string DiagnosticEngine::render(std::string_view BufferName,
+                                     std::string_view Source) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << BufferName << ":" << D.Loc.str() << ": "
+       << severityName(D.Severity) << ": " << D.Message << "\n";
+    if (!Source.empty() && D.Loc.isValid()) {
+      std::string_view LineText = sourceLine(Source, D.Loc.Line);
+      if (!LineText.empty()) {
+        OS << "  " << LineText << "\n  ";
+        for (uint32_t I = 1; I < D.Loc.Col; ++I)
+          OS << ' ';
+        OS << "^\n";
+      }
+    }
+  }
+  return OS.str();
+}
+
+} // namespace reflex

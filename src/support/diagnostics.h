@@ -1,0 +1,61 @@
+//===- support/diagnostics.h - Diagnostic engine ----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine in the style of compiler frontends: the lexer,
+/// parser, and validator report errors/warnings/notes here with source
+/// locations; callers render them against the original source buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_DIAGNOSTICS_H
+#define REFLEX_SUPPORT_DIAGNOSTICS_H
+
+#include "support/source_loc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reflex {
+
+/// Severity of a diagnostic.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics during parsing and validation.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  void clear();
+
+  /// Renders all diagnostics, one per line, as
+  /// "<name>:<line>:<col>: <severity>: <message>". If \p Source is
+  /// non-empty, the offending source line and a caret are appended.
+  std::string render(std::string_view BufferName,
+                     std::string_view Source = {}) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,34 @@
+//===- support/interner.cc - String interning -------------------*- C++ -*-===//
+
+#include "support/interner.h"
+
+#include <cassert>
+
+namespace reflex {
+
+StringInterner::StringInterner() {
+  // Reserve symbol 0 for the empty string so that a default-constructed
+  // Symbol is always valid.
+  Strings.emplace_back();
+  Index.emplace(Strings.back(), 0);
+}
+
+Symbol StringInterner::intern(std::string_view S) {
+  auto It = Index.find(S);
+  if (It != Index.end())
+    return Symbol{It->second};
+  // Note: the string_view key must reference the stored std::string, whose
+  // buffer is stable because we only ever append to Strings and the string
+  // contents live on the heap.
+  Strings.emplace_back(S);
+  uint32_t Id = static_cast<uint32_t>(Strings.size() - 1);
+  Index.emplace(Strings.back(), Id);
+  return Symbol{Id};
+}
+
+const std::string &StringInterner::str(Symbol Sym) const {
+  assert(Sym.Id < Strings.size() && "symbol from a different interner?");
+  return Strings[Sym.Id];
+}
+
+} // namespace reflex

@@ -1,0 +1,66 @@
+//===- support/interner.h - String interning --------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string interner producing small integer Symbol handles. The symbolic
+/// term core (sym/term.h) interns every identifier and string literal so
+/// that term equality and hashing are O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_INTERNER_H
+#define REFLEX_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace reflex {
+
+/// A handle to an interned string. Symbols from the same interner compare
+/// equal iff their strings are equal.
+struct Symbol {
+  uint32_t Id = 0;
+
+  bool operator==(const Symbol &Other) const = default;
+};
+
+/// Interns strings and hands out stable Symbol handles.
+class StringInterner {
+public:
+  StringInterner();
+
+  /// Interns \p S, returning its symbol. Symbol 0 is the empty string.
+  Symbol intern(std::string_view S);
+
+  /// Returns the string for \p Sym. The reference is stable for the
+  /// lifetime of the interner.
+  const std::string &str(Symbol Sym) const;
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  // Deque: element addresses are stable under growth, so both the
+  // returned references and the string_view keys in Index stay valid
+  // (short strings live in the SSO buffer inside the element itself).
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace reflex
+
+namespace std {
+template <> struct hash<reflex::Symbol> {
+  size_t operator()(const reflex::Symbol &S) const {
+    return std::hash<uint32_t>()(S.Id);
+  }
+};
+} // namespace std
+
+#endif // REFLEX_SUPPORT_INTERNER_H

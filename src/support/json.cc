@@ -1,0 +1,86 @@
+//===- support/json.cc - Streaming JSON writer ------------------*- C++ -*-===//
+
+#include "support/json.h"
+
+#include "support/strings.h"
+
+#include <cstdio>
+
+namespace reflex {
+
+void JsonWriter::prepareValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Buffer += ',';
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  prepareValue();
+  Buffer += '{';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  NeedComma.pop_back();
+  Buffer += '}';
+}
+
+void JsonWriter::beginArray() {
+  prepareValue();
+  Buffer += '[';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  NeedComma.pop_back();
+  Buffer += ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Buffer += ',';
+    NeedComma.back() = true;
+  }
+  Buffer += '"';
+  Buffer += escapeString(K);
+  Buffer += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view V) {
+  prepareValue();
+  Buffer += '"';
+  Buffer += escapeString(V);
+  Buffer += '"';
+}
+
+void JsonWriter::value(int64_t V) {
+  prepareValue();
+  Buffer += std::to_string(V);
+}
+
+void JsonWriter::value(double V) {
+  prepareValue();
+  char Tmp[64];
+  std::snprintf(Tmp, sizeof(Tmp), "%.6g", V);
+  Buffer += Tmp;
+}
+
+void JsonWriter::value(bool V) {
+  prepareValue();
+  Buffer += V ? "true" : "false";
+}
+
+void JsonWriter::nullValue() {
+  prepareValue();
+  Buffer += "null";
+}
+
+} // namespace reflex

@@ -1,0 +1,83 @@
+//===- support/json.h - Streaming JSON writer -------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON writer used to export proof certificates and
+/// bench results. Write-only; no parsing (nothing in the system consumes
+/// JSON, it is an audit artifact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_JSON_H
+#define REFLEX_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reflex {
+
+/// Emits well-formed JSON into an internal buffer. Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.value("AuthBeforeTerm");
+///   W.key("cases"); W.beginArray(); ... W.endArray();
+///   W.endObject();
+///   std::string Out = W.take();
+/// \endcode
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void key(std::string_view K);
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(int64_t V);
+  void value(unsigned V) { value(static_cast<int64_t>(V)); }
+  void value(double V);
+  void value(bool V);
+  void nullValue();
+
+  /// Convenience: key + string value. The const char* overload exists so
+  /// string literals do not decay into the bool overload.
+  void field(std::string_view K, std::string_view V) {
+    key(K);
+    value(V);
+  }
+  void field(std::string_view K, const char *V) {
+    key(K);
+    value(std::string_view(V));
+  }
+  void field(std::string_view K, int64_t V) {
+    key(K);
+    value(V);
+  }
+  void field(std::string_view K, bool V) {
+    key(K);
+    value(V);
+  }
+
+  const std::string &str() const { return Buffer; }
+  std::string take() { return std::move(Buffer); }
+
+private:
+  void prepareValue();
+
+  std::string Buffer;
+  // Stack of "needs comma before next element" flags, one per open
+  // container.
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_JSON_H

@@ -1,0 +1,100 @@
+//===- support/result.h - Lightweight error-or-value type ------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines Result<T>, the error-handling currency of the library. Library
+/// code does not throw exceptions (per the LLVM coding standards this repo
+/// follows); fallible operations return Result<T> carrying either a value
+/// or a human-readable error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_RESULT_H
+#define REFLEX_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace reflex {
+
+/// An error message produced by a fallible operation.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or an Error. Modeled on llvm::Expected but
+/// without the "must check" machinery; asserts on misuse instead.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an error Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(ok() && "dereferencing an error Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(ok() && "dereferencing an error Result");
+    return &*Value;
+  }
+
+  /// Moves the contained value out. Only valid when ok().
+  T take() {
+    assert(ok() && "taking from an error Result");
+    return std::move(*Value);
+  }
+
+  const std::string &error() const {
+    assert(!ok() && "reading error from an ok Result");
+    return Err->message();
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Error> Err;
+};
+
+/// Result specialization for operations with no interesting value.
+template <> class Result<void> {
+public:
+  Result() = default;
+  /*implicit*/ Result(Error E) : Err(std::move(E)) {}
+
+  bool ok() const { return !Err.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::string &error() const {
+    assert(!ok() && "reading error from an ok Result");
+    return Err->message();
+  }
+
+private:
+  std::optional<Error> Err;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_RESULT_H

@@ -1,0 +1,48 @@
+//===- support/rng.h - Deterministic PRNG -----------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) for the fuzzing scheduler
+/// and the property-based refinement tests. Deterministic seeding makes
+/// every test failure replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_RNG_H
+#define REFLEX_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace reflex {
+
+/// SplitMix64 generator. Not cryptographic; used for scheduling decisions
+/// and workload generation only.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Bernoulli with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_RNG_H

@@ -1,0 +1,44 @@
+//===- support/source_loc.h - Source locations for diagnostics -*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 1-based (line, column) source location used by the lexer, parser, and
+/// semantic validator when reporting diagnostics against Reflex source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_SOURCE_LOC_H
+#define REFLEX_SUPPORT_SOURCE_LOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace reflex {
+
+/// A position in a Reflex source buffer. Line and column are 1-based; the
+/// default-constructed location (0, 0) means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const = default;
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_SOURCE_LOC_H

@@ -1,0 +1,84 @@
+//===- support/strings.cc - String utilities --------------------*- C++ -*-===//
+
+#include "support/strings.h"
+
+namespace reflex {
+
+std::vector<std::string> splitString(std::string_view S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Out.emplace_back(S.substr(Pos));
+      return Out;
+    }
+    Out.emplace_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+std::string_view trimString(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() &&
+         (S[Begin] == ' ' || S[Begin] == '\t' || S[Begin] == '\n' ||
+          S[Begin] == '\r'))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin &&
+         (S[End - 1] == ' ' || S[End - 1] == '\t' || S[End - 1] == '\n' ||
+          S[End - 1] == '\r'))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Out.append(Sep);
+    Out.append(Pieces[I]);
+  }
+  return Out;
+}
+
+std::string escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+unsigned countCodeLines(std::string_view S) {
+  unsigned Count = 0;
+  for (const std::string &Line : splitString(S, '\n')) {
+    std::string_view T = trimString(Line);
+    if (!T.empty() && !startsWith(T, "#"))
+      ++Count;
+  }
+  return Count;
+}
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+} // namespace reflex

@@ -1,0 +1,45 @@
+//===- support/strings.h - String utilities ---------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the frontend, printers, and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_STRINGS_H
+#define REFLEX_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reflex {
+
+/// Splits \p S on \p Sep; empty pieces are kept.
+std::vector<std::string> splitString(std::string_view S, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view S);
+
+/// Joins \p Pieces with \p Sep between them.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep);
+
+/// Escapes a string for inclusion in double quotes (backslash, quote,
+/// newline, tab).
+std::string escapeString(std::string_view S);
+
+/// Counts the non-blank lines of \p S (used by the Table 1 bench to report
+/// kernel sizes the way the paper counts lines of code).
+unsigned countCodeLines(std::string_view S);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_STRINGS_H

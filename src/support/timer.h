@@ -1,0 +1,41 @@
+//===- support/timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wall-clock stopwatch for the verification benches (Figure 6 reports
+/// per-property verification time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_TIMER_H
+#define REFLEX_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace reflex {
+
+/// Starts on construction; elapsed*() reads without stopping.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_TIMER_H

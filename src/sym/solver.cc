@@ -1,0 +1,381 @@
+//===- sym/solver.cc - Entailment engine ------------------------*- C++ -*-===//
+
+#include "sym/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace reflex {
+
+namespace {
+
+/// Union-find over term refs with per-class facts: the literal member (if
+/// any) and a component member (if any).
+class Closure {
+public:
+  explicit Closure(TermContext &Ctx) : Ctx(Ctx) {}
+
+  TermRef find(TermRef T) {
+    auto It = Parent.find(T);
+    if (It == Parent.end())
+      return T;
+    TermRef Root = find(It->second);
+    It->second = Root;
+    return Root;
+  }
+
+  /// Requests a merge; returns false on a detected conflict.
+  bool merge(TermRef A, TermRef B) {
+    Pending.emplace_back(A, B);
+    return drain();
+  }
+
+  bool sameClass(TermRef A, TermRef B) { return find(A) == find(B); }
+
+  /// The literal (if any) equated with \p T's class. A literal that never
+  /// took part in a merge is its own class.
+  TermRef literalOf(TermRef T) {
+    TermRef R = find(T);
+    if (R->isLiteral())
+      return R;
+    auto It = ClassLit.find(R);
+    return It == ClassLit.end() ? nullptr : It->second;
+  }
+
+  /// Runs congruence closure over \p Terms until fixpoint. Returns false
+  /// on conflict.
+  bool congruence(const std::vector<TermRef> &Terms) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      // Signature: (Kind, rep of each operand) -> first term seen.
+      std::map<std::vector<uintptr_t>, TermRef> Sigs;
+      for (TermRef T : Terms) {
+        if (T->Ops.empty() || T->Kind == TermKind::Comp)
+          continue;
+        std::vector<uintptr_t> Sig;
+        Sig.push_back(static_cast<uintptr_t>(T->Kind));
+        for (TermRef Op : T->Ops)
+          Sig.push_back(reinterpret_cast<uintptr_t>(find(Op)));
+        auto [It, Inserted] = Sigs.emplace(std::move(Sig), T);
+        if (!Inserted && !sameClass(It->second, T)) {
+          if (!merge(It->second, T))
+            return false;
+          Changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+private:
+  /// Processes queued merges, propagating component-field equalities.
+  bool drain() {
+    while (!Pending.empty()) {
+      auto [A, B] = Pending.back();
+      Pending.pop_back();
+      TermRef RA = find(A), RB = find(B);
+      if (RA == RB)
+        continue;
+
+      TermRef LitA = ClassLit.count(RA) ? ClassLit[RA] : nullptr;
+      TermRef LitB = ClassLit.count(RB) ? ClassLit[RB] : nullptr;
+      if (RA->isLiteral())
+        LitA = RA;
+      if (RB->isLiteral())
+        LitB = RB;
+      if (A->isLiteral())
+        LitA = A;
+      if (B->isLiteral())
+        LitB = B;
+      if (LitA && LitB && LitA != LitB)
+        return false; // two distinct literals equated
+
+      // Each side's component representative: the most rigid of the class
+      // member recorded so far and the merge argument itself. Keeping the
+      // most rigid one is what makes a later merge against a *different*
+      // rigid component conflict (a flexible member is compatible with
+      // several rigid ones, but those are not compatible with each other).
+      auto MoreRigid = [](TermRef X, TermRef Y) {
+        if (!X)
+          return Y;
+        if (!Y)
+          return X;
+        return rigidity(Y->Ident) > rigidity(X->Ident) ? Y : X;
+      };
+      TermRef CompA = ClassComp.count(RA) ? ClassComp[RA] : nullptr;
+      TermRef CompB = ClassComp.count(RB) ? ClassComp[RB] : nullptr;
+      if (A->Kind == TermKind::Comp)
+        CompA = MoreRigid(CompA, A);
+      if (B->Kind == TermKind::Comp)
+        CompB = MoreRigid(CompB, B);
+      if (CompA && CompB && CompA != CompB) {
+        if (!compatibleComps(CompA, CompB))
+          return false;
+        // Projection: equal components have equal config fields.
+        assert(CompA->Ops.size() == CompB->Ops.size());
+        for (size_t I = 0; I < CompA->Ops.size(); ++I)
+          Pending.emplace_back(CompA->Ops[I], CompB->Ops[I]);
+      }
+
+      Parent[RA] = RB;
+      if (LitA || LitB)
+        ClassLit[RB] = LitA ? LitA : LitB;
+      if (CompA || CompB)
+        ClassComp[RB] = MoreRigid(CompA, CompB);
+    }
+    return true;
+  }
+
+  static int rigidity(CompIdent I) {
+    switch (I) {
+    case CompIdent::InitRigid:
+    case CompIdent::NewRigid:
+      return 2;
+    case CompIdent::FlexPre:
+      return 1;
+    case CompIdent::FlexAny:
+      return 0;
+    }
+    return 0;
+  }
+
+  /// Can two component terms denote the same instance?
+  static bool compatibleComps(TermRef A, TermRef B) {
+    if (A->Str != B->Str)
+      return false; // different component types
+    if (A->Ident == CompIdent::FlexAny || B->Ident == CompIdent::FlexAny)
+      return true;
+    bool ARigid = A->Ident != CompIdent::FlexPre;
+    bool BRigid = B->Ident != CompIdent::FlexPre;
+    if (ARigid && BRigid)
+      return A->Ident == B->Ident && A->IntVal == B->IntVal;
+    // One side is FlexPre: compatible unless the other is NewRigid (new
+    // components are distinct from all pre-existing ones).
+    return A->Ident != CompIdent::NewRigid && B->Ident != CompIdent::NewRigid;
+  }
+
+  TermContext &Ctx;
+  std::unordered_map<TermRef, TermRef> Parent;
+  std::unordered_map<TermRef, TermRef> ClassLit;
+  std::unordered_map<TermRef, TermRef> ClassComp;
+  std::vector<std::pair<TermRef, TermRef>> Pending;
+};
+
+void collectSubterms(TermRef T, std::set<TermRef> &Out) {
+  if (!Out.insert(T).second)
+    return;
+  for (TermRef Op : T->Ops)
+    collectSubterms(Op, Out);
+}
+
+struct OrderFact {
+  TermRef Lhs;
+  TermRef Rhs;
+  bool Strict; // Lhs < Rhs vs Lhs <= Rhs
+};
+
+} // namespace
+
+SatResult Solver::checkLits(const std::vector<Lit> &Lits) {
+  // Memo on the exact literal set (order-insensitive). Terms are
+  // hash-consed so ids identify atoms.
+  std::vector<uint64_t> Key;
+  Key.reserve(Lits.size());
+  for (const Lit &L : Lits)
+    Key.push_back((static_cast<uint64_t>(L.Atom->Id) << 1) |
+                  (L.Pos ? 1 : 0));
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+  uint64_t H = 1469598103934665603ULL;
+  for (uint64_t K : Key) {
+    H ^= K;
+    H *= 1099511628211ULL;
+  }
+  // The memo hash could in principle collide; include the size in the key
+  // and accept the (astronomically small) risk for the prover. The
+  // independent certificate checker uses its own Solver instance, so a
+  // collision would have to strike twice identically to certify a false
+  // proof.
+  H = H * 31 + Key.size();
+  if (MemoEnabled) {
+    auto It = Memo.find(H);
+    if (It != Memo.end())
+      return It->second;
+  }
+  SatResult R = solve(Lits);
+  ++QueriesSolved;
+  if (MemoEnabled)
+    Memo.emplace(H, R);
+  return R;
+}
+
+SatResult Solver::solve(const std::vector<Lit> &Lits) {
+  Closure UF(Ctx);
+  std::vector<std::pair<TermRef, TermRef>> Diseqs;
+  std::vector<OrderFact> Orders;
+  std::set<TermRef> SubtermSet;
+
+  for (const Lit &L : Lits) {
+    TermRef A = L.Atom;
+    collectSubterms(A, SubtermSet);
+    switch (A->Kind) {
+    case TermKind::Eq:
+      if (L.Pos) {
+        if (!UF.merge(A->Ops[0], A->Ops[1]))
+          return SatResult::Unsat;
+      } else {
+        Diseqs.emplace_back(A->Ops[0], A->Ops[1]);
+      }
+      break;
+    case TermKind::Lt:
+      if (L.Pos)
+        Orders.push_back({A->Ops[0], A->Ops[1], /*Strict=*/true});
+      else
+        Orders.push_back({A->Ops[1], A->Ops[0], /*Strict=*/false});
+      break;
+    case TermKind::Le:
+      if (L.Pos)
+        Orders.push_back({A->Ops[0], A->Ops[1], /*Strict=*/false});
+      else
+        Orders.push_back({A->Ops[1], A->Ops[0], /*Strict=*/true});
+      break;
+    case TermKind::BoolLit:
+      if ((A->IntVal != 0) != L.Pos)
+        return SatResult::Unsat;
+      break;
+    default:
+      // Any other bool-typed term is a propositional atom: assert its
+      // truth value via an equality with the bool literal.
+      if (!UF.merge(A, Ctx.boolLit(L.Pos)))
+        return SatResult::Unsat;
+      break;
+    }
+  }
+
+  std::vector<TermRef> Subterms(SubtermSet.begin(), SubtermSet.end());
+  if (!UF.congruence(Subterms))
+    return SatResult::Unsat;
+
+  for (const auto &[A, B] : Diseqs)
+    if (UF.sameClass(A, B))
+      return SatResult::Unsat;
+
+  // --- Numeric reasoning -------------------------------------------------
+  // Known constant per class (from literal members and Add/Sub folding).
+  std::unordered_map<TermRef, int64_t> Known;
+  auto knownOf = [&](TermRef T) -> std::optional<int64_t> {
+    if (T->Kind == TermKind::NumLit)
+      return T->IntVal;
+    TermRef R = UF.find(T);
+    if (TermRef L = UF.literalOf(R); L && L->Kind == TermKind::NumLit)
+      return L->IntVal;
+    auto It = Known.find(R);
+    if (It != Known.end())
+      return It->second;
+    return std::nullopt;
+  };
+
+  // Fold Add/Sub with known operands; a few rounds suffice for the loop-free
+  // handler terms this engine sees.
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    for (TermRef T : Subterms) {
+      if (T->Kind != TermKind::Add && T->Kind != TermKind::Sub)
+        continue;
+      auto A = knownOf(T->Ops[0]);
+      auto B = knownOf(T->Ops[1]);
+      if (!A || !B)
+        continue;
+      int64_t V = T->Kind == TermKind::Add ? *A + *B : *A - *B;
+      TermRef R = UF.find(T);
+      auto Existing = knownOf(T);
+      if (Existing) {
+        if (*Existing != V)
+          return SatResult::Unsat;
+        continue;
+      }
+      Known[R] = V;
+      Changed = true;
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Bounds from ordering facts with one known side; plus direct conflicts.
+  std::unordered_map<TermRef, int64_t> Lo, Hi;
+  for (const OrderFact &O : Orders) {
+    auto VL = knownOf(O.Lhs);
+    auto VR = knownOf(O.Rhs);
+    if (VL && VR) {
+      if (O.Strict ? !(*VL < *VR) : !(*VL <= *VR))
+        return SatResult::Unsat;
+      continue;
+    }
+    TermRef RL = UF.find(O.Lhs);
+    TermRef RR = UF.find(O.Rhs);
+    if (RL == RR) {
+      if (O.Strict)
+        return SatResult::Unsat; // x < x
+      continue;
+    }
+    if (VR) {
+      int64_t Bound = O.Strict ? *VR - 1 : *VR;
+      auto It = Hi.find(RL);
+      Hi[RL] = It == Hi.end() ? Bound : std::min(It->second, Bound);
+    }
+    if (VL) {
+      int64_t Bound = O.Strict ? *VL + 1 : *VL;
+      auto It = Lo.find(RR);
+      Lo[RR] = It == Lo.end() ? Bound : std::max(It->second, Bound);
+    }
+  }
+  for (const auto &[R, L] : Lo) {
+    auto It = Hi.find(R);
+    if (It != Hi.end() && L > It->second)
+      return SatResult::Unsat;
+    if (TermRef LitT = UF.literalOf(R);
+        LitT && LitT->Kind == TermKind::NumLit && LitT->IntVal < L)
+      return SatResult::Unsat;
+  }
+  for (const auto &[R, HiV] : Hi)
+    if (TermRef LitT = UF.literalOf(R);
+        LitT && LitT->Kind == TermKind::NumLit && LitT->IntVal > HiV)
+      return SatResult::Unsat;
+
+  // Re-check disequalities now that arithmetic has resolved values: e.g.
+  // x = 2 /\ y = 3 /\ x + y != 5.
+  for (const auto &[A, B] : Diseqs) {
+    auto VA = knownOf(A);
+    auto VB = knownOf(B);
+    if (VA && VB && *VA == *VB)
+      return SatResult::Unsat;
+  }
+
+  return SatResult::Maybe;
+}
+
+bool Solver::entails(const std::vector<Lit> &Assume, Lit Goal) {
+  // Fast path: the goal is literally among the assumptions.
+  for (const Lit &L : Assume)
+    if (L == Goal)
+      return true;
+  if (Goal.Atom->Kind == TermKind::BoolLit)
+    return (Goal.Atom->IntVal != 0) == Goal.Pos ||
+           checkLits(Assume) == SatResult::Unsat;
+  std::vector<Lit> WithNeg = Assume;
+  WithNeg.push_back(Goal.negated());
+  return checkLits(WithNeg) == SatResult::Unsat;
+}
+
+bool Solver::entailsAll(const std::vector<Lit> &Assume,
+                        const std::vector<Lit> &Goals) {
+  for (const Lit &G : Goals)
+    if (!entails(Assume, G))
+      return false;
+  return true;
+}
+
+} // namespace reflex

@@ -1,0 +1,85 @@
+//===- sym/solver.h - Entailment engine -------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint engine behind the prover — the C++ analog of the
+/// rewriting/contradiction-finding that the paper's Ltac tactics perform on
+/// branch conditions ("adding branch conditions to the context is
+/// essential here, as it prunes unfeasible paths", §5.1). It decides
+/// conjunctions of literals over the term language:
+///
+///  * congruence closure over equalities (with component-field projection:
+///    merging two component terms merges their config fields),
+///  * distinctness from literals and from the component identity algebra,
+///  * light integer bound propagation for `<`/`<=` and constant folding of
+///    `+`/`-`.
+///
+/// The engine is *sound for Unsat*: checkLits returns Unsat only when the
+/// literal set is genuinely contradictory; Maybe means "could not refute".
+/// Entailment (entails) asks whether assumptions plus the negated goal are
+/// Unsat, so a Maybe never lets a false obligation through — it produces
+/// an Unknown verdict in the prover, mirroring the paper's explicitly
+/// incomplete automation (§5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SYM_SOLVER_H
+#define REFLEX_SYM_SOLVER_H
+
+#include "sym/term.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace reflex {
+
+enum class SatResult : uint8_t { Unsat, Maybe };
+
+/// Stateless decision procedures plus a memo table. One Solver instance is
+/// shared across a verification run; the memo is keyed by sorted literal
+/// ids, which is valid because terms are hash-consed in a single context.
+class Solver {
+public:
+  explicit Solver(TermContext &Ctx) : Ctx(Ctx) {}
+
+  /// Enables/disables the query memo. The memo is part of the "saving
+  /// subproofs at key cut points" optimization (§6.4) and is switched off
+  /// together with the invariant-proof cache in the ablation bench.
+  void setMemoEnabled(bool On) { MemoEnabled = On; }
+
+  /// Is the conjunction of \p Lits contradictory?
+  SatResult checkLits(const std::vector<Lit> &Lits);
+
+  /// Does the conjunction of \p Assume entail \p Goal? (Sound: true only
+  /// when Assume ∧ ¬Goal is provably Unsat.)
+  bool entails(const std::vector<Lit> &Assume, Lit Goal);
+
+  /// Entailment of a conjunction of literals.
+  bool entailsAll(const std::vector<Lit> &Assume,
+                  const std::vector<Lit> &Goals);
+
+  /// Satisfiability shorthand: true unless provably Unsat.
+  bool maybeSat(const std::vector<Lit> &Lits) {
+    return checkLits(Lits) == SatResult::Maybe;
+  }
+
+  /// Number of checkLits evaluations that missed the memo (a work proxy
+  /// for the ablation bench).
+  uint64_t queriesSolved() const { return QueriesSolved; }
+
+private:
+  SatResult solve(const std::vector<Lit> &Lits);
+
+  TermContext &Ctx;
+  std::unordered_map<uint64_t, SatResult> Memo;
+  bool MemoEnabled = true;
+  uint64_t QueriesSolved = 0;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SYM_SOLVER_H

@@ -1,0 +1,65 @@
+//===- sym/symeval.cc - Symbolic expression evaluation ----------*- C++ -*-===//
+
+#include "sym/symeval.h"
+
+#include <cassert>
+
+namespace reflex {
+
+TermRef symEvalExpr(TermContext &Ctx, const Expr &E, const SymEnv &Env) {
+  switch (E.kind()) {
+  case Expr::Lit:
+    return Ctx.lit(cast<LitExpr>(E).value());
+  case Expr::VarRef: {
+    auto It = Env.Vars.find(cast<VarRefExpr>(E).name());
+    assert(It != Env.Vars.end() && "unvalidated program: unknown variable");
+    return It->second;
+  }
+  case Expr::SenderRef:
+    assert(Env.Sender && "sender outside a handler");
+    return Env.Sender;
+  case Expr::ConfigRef: {
+    const auto &CR = cast<ConfigRefExpr>(E);
+    TermRef Base = symEvalExpr(Ctx, CR.base(), Env);
+    assert(Base->Kind == TermKind::Comp && "config read on non-component");
+    assert(CR.fieldIndex() >= 0 &&
+           static_cast<size_t>(CR.fieldIndex()) < Base->Ops.size() &&
+           "unresolved config field");
+    return Base->Ops[CR.fieldIndex()];
+  }
+  case Expr::Unary:
+    return Ctx.notT(symEvalExpr(Ctx, cast<UnaryExpr>(E).operand(), Env));
+  case Expr::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    TermRef L = symEvalExpr(Ctx, B.lhs(), Env);
+    TermRef R = symEvalExpr(Ctx, B.rhs(), Env);
+    switch (B.op()) {
+    case BinOp::Eq:
+      return Ctx.eq(L, R);
+    case BinOp::Ne:
+      return Ctx.notT(Ctx.eq(L, R));
+    case BinOp::And:
+      return Ctx.andT(L, R);
+    case BinOp::Or:
+      return Ctx.orT(L, R);
+    case BinOp::Add:
+      return Ctx.add(L, R);
+    case BinOp::Sub:
+      return Ctx.sub(L, R);
+    case BinOp::Lt:
+      return Ctx.lt(L, R);
+    case BinOp::Le:
+      return Ctx.le(L, R);
+    case BinOp::Gt:
+      return Ctx.lt(R, L);
+    case BinOp::Ge:
+      return Ctx.le(R, L);
+    }
+    return nullptr;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
+} // namespace reflex

@@ -1,0 +1,39 @@
+//===- sym/symeval.h - Symbolic expression evaluation -----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates Reflex expressions to symbolic terms under an environment
+/// mapping names (state variables, parameters, locals, component globals)
+/// to terms. The program must be validated; evaluation is total on
+/// validated programs — the "never go wrong" property the paper gets from
+/// dependent types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SYM_SYMEVAL_H
+#define REFLEX_SYM_SYMEVAL_H
+
+#include "ast/expr.h"
+#include "sym/term.h"
+
+#include <map>
+#include <string>
+
+namespace reflex {
+
+/// Environment for symbolic evaluation.
+struct SymEnv {
+  std::map<std::string, TermRef> Vars;
+  TermRef Sender = nullptr; // comp term; null outside handlers
+};
+
+/// Evaluates \p E under \p Env. Asserts on unvalidated programs.
+TermRef symEvalExpr(TermContext &Ctx, const Expr &E, const SymEnv &Env);
+
+} // namespace reflex
+
+#endif // REFLEX_SYM_SYMEVAL_H

@@ -1,0 +1,461 @@
+//===- sym/term.cc - Hash-consed symbolic terms -----------------*- C++ -*-===//
+
+#include "sym/term.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  return H ^ (V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2));
+}
+
+uint64_t hashNode(const TermNode &N) {
+  uint64_t H = static_cast<uint64_t>(N.Kind);
+  H = hashCombine(H, static_cast<uint64_t>(N.Ty));
+  H = hashCombine(H, static_cast<uint64_t>(N.Tag));
+  H = hashCombine(H, static_cast<uint64_t>(N.Ident));
+  H = hashCombine(H, static_cast<uint64_t>(N.IntVal));
+  H = hashCombine(H, N.Str.Id);
+  for (TermRef Op : N.Ops)
+    H = hashCombine(H, Op->Id);
+  return H;
+}
+
+bool sameNode(const TermNode &A, const TermNode &B) {
+  return A.Kind == B.Kind && A.Ty == B.Ty && A.Tag == B.Tag &&
+         A.Ident == B.Ident && A.IntVal == B.IntVal && A.Str == B.Str &&
+         A.Ops == B.Ops;
+}
+
+} // namespace
+
+TermRef TermContext::make(TermNode N) {
+  uint64_t H = hashNode(N);
+  auto &Bucket = HashCons[H];
+  for (TermRef Existing : Bucket)
+    if (sameNode(*Existing, N))
+      return Existing;
+  N.Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(std::move(N));
+  TermRef Ref = &Nodes.back();
+  Bucket.push_back(Ref);
+  return Ref;
+}
+
+TermRef TermContext::numLit(int64_t V) {
+  TermNode N;
+  N.Kind = TermKind::NumLit;
+  N.Ty = BaseType::Num;
+  N.IntVal = V;
+  return make(std::move(N));
+}
+
+TermRef TermContext::strLit(std::string_view S) {
+  TermNode N;
+  N.Kind = TermKind::StrLit;
+  N.Ty = BaseType::Str;
+  N.Str = Strings.intern(S);
+  return make(std::move(N));
+}
+
+TermRef TermContext::boolLit(bool B) {
+  TermNode N;
+  N.Kind = TermKind::BoolLit;
+  N.Ty = BaseType::Bool;
+  N.IntVal = B ? 1 : 0;
+  return make(std::move(N));
+}
+
+TermRef TermContext::lit(const Value &V) {
+  switch (V.type()) {
+  case BaseType::Num:
+    return numLit(V.asNum());
+  case BaseType::Str:
+    return strLit(V.asStr());
+  case BaseType::Bool:
+    return boolLit(V.asBool());
+  default:
+    assert(false && "no literal terms for fdesc/comp values");
+    return nullptr;
+  }
+}
+
+TermRef TermContext::stateSym(std::string_view Name, BaseType Ty) {
+  std::string Key = "s:" + std::string(Name);
+  auto It = NamedSyms.find(Key);
+  if (It != NamedSyms.end())
+    return It->second;
+  TermNode N;
+  N.Kind = TermKind::SymVar;
+  N.Ty = Ty;
+  N.Tag = SymTag::State;
+  N.Str = Strings.intern(Name);
+  TermRef Ref = make(std::move(N));
+  NamedSyms.emplace(std::move(Key), Ref);
+  return Ref;
+}
+
+TermRef TermContext::patSym(std::string_view Name, BaseType Ty) {
+  std::string Key = "p:" + std::string(Name);
+  auto It = NamedSyms.find(Key);
+  if (It != NamedSyms.end())
+    return It->second;
+  TermNode N;
+  N.Kind = TermKind::SymVar;
+  N.Ty = Ty;
+  N.Tag = SymTag::PatVar;
+  N.Str = Strings.intern(Name);
+  TermRef Ref = make(std::move(N));
+  NamedSyms.emplace(std::move(Key), Ref);
+  return Ref;
+}
+
+TermRef TermContext::freshSym(std::string_view Prefix, BaseType Ty) {
+  TermNode N;
+  N.Kind = TermKind::SymVar;
+  N.Ty = Ty;
+  N.Tag = SymTag::Fresh;
+  N.Str = Strings.intern(Prefix);
+  N.IntVal = static_cast<int64_t>(FreshSerial++);
+  return make(std::move(N));
+}
+
+TermRef TermContext::comp(std::string_view TypeName, CompIdent Ident,
+                          int64_t Serial, std::vector<TermRef> Config) {
+  TermNode N;
+  N.Kind = TermKind::Comp;
+  N.Ty = BaseType::Comp;
+  N.Ident = Ident;
+  N.IntVal = Serial;
+  N.Str = Strings.intern(TypeName);
+  N.Ops = std::move(Config);
+  return make(std::move(N));
+}
+
+TermRef TermContext::eq(TermRef A, TermRef B) {
+  assert(A->Ty == B->Ty && "ill-typed equality");
+  if (Simplify) {
+    if (A == B)
+      return trueTerm();
+    if (A->isLiteral() && B->isLiteral())
+      return boolLit(A == B); // hash-consed: equal literals are identical
+    if (A->Kind == TermKind::Comp && B->Kind == TermKind::Comp) {
+      // Distinctness from the component identity algebra.
+      if (A->Str != B->Str)
+        return falseTerm(); // different component types
+      bool AAny = A->Ident == CompIdent::FlexAny;
+      bool BAny = B->Ident == CompIdent::FlexAny;
+      if (!AAny && !BAny) {
+        bool ARigid = A->Ident != CompIdent::FlexPre;
+        bool BRigid = B->Ident != CompIdent::FlexPre;
+        if (ARigid && BRigid &&
+            (A->Ident != B->Ident || A->IntVal != B->IntVal))
+          return falseTerm();
+        if ((A->Ident == CompIdent::NewRigid) !=
+            (B->Ident == CompIdent::NewRigid))
+          return falseTerm(); // new components differ from all pre-existing
+      }
+    }
+  }
+  // Normalize operand order for hash-consing.
+  if (A->Id > B->Id)
+    std::swap(A, B);
+  TermNode N;
+  N.Kind = TermKind::Eq;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::lt(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::NumLit && B->Kind == TermKind::NumLit)
+      return boolLit(A->IntVal < B->IntVal);
+    if (A == B)
+      return falseTerm();
+  }
+  TermNode N;
+  N.Kind = TermKind::Lt;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::le(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::NumLit && B->Kind == TermKind::NumLit)
+      return boolLit(A->IntVal <= B->IntVal);
+    if (A == B)
+      return trueTerm();
+  }
+  TermNode N;
+  N.Kind = TermKind::Le;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::andT(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::BoolLit)
+      return A->IntVal ? B : falseTerm();
+    if (B->Kind == TermKind::BoolLit)
+      return B->IntVal ? A : falseTerm();
+    if (A == B)
+      return A;
+  }
+  TermNode N;
+  N.Kind = TermKind::And;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::orT(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::BoolLit)
+      return A->IntVal ? trueTerm() : B;
+    if (B->Kind == TermKind::BoolLit)
+      return B->IntVal ? trueTerm() : A;
+    if (A == B)
+      return A;
+  }
+  TermNode N;
+  N.Kind = TermKind::Or;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::notT(TermRef A) {
+  if (Simplify) {
+    if (A->Kind == TermKind::BoolLit)
+      return boolLit(!A->IntVal);
+    if (A->Kind == TermKind::Not)
+      return A->Ops[0];
+  }
+  TermNode N;
+  N.Kind = TermKind::Not;
+  N.Ty = BaseType::Bool;
+  N.Ops = {A};
+  return make(std::move(N));
+}
+
+TermRef TermContext::add(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::NumLit && B->Kind == TermKind::NumLit)
+      return numLit(A->IntVal + B->IntVal);
+    if (A->Kind == TermKind::NumLit && A->IntVal == 0)
+      return B;
+    if (B->Kind == TermKind::NumLit && B->IntVal == 0)
+      return A;
+  }
+  TermNode N;
+  N.Kind = TermKind::Add;
+  N.Ty = BaseType::Num;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::sub(TermRef A, TermRef B) {
+  if (Simplify) {
+    if (A->Kind == TermKind::NumLit && B->Kind == TermKind::NumLit)
+      return numLit(A->IntVal - B->IntVal);
+    if (B->Kind == TermKind::NumLit && B->IntVal == 0)
+      return A;
+    if (A == B)
+      return numLit(0);
+  }
+  TermNode N;
+  N.Kind = TermKind::Sub;
+  N.Ty = BaseType::Num;
+  N.Ops = {A, B};
+  return make(std::move(N));
+}
+
+TermRef TermContext::substitute(
+    TermRef T, const std::unordered_map<TermRef, TermRef> &Map) {
+  auto It = Map.find(T);
+  if (It != Map.end())
+    return It->second;
+  if (T->Ops.empty())
+    return T;
+  std::vector<TermRef> NewOps;
+  NewOps.reserve(T->Ops.size());
+  bool Changed = false;
+  for (TermRef Op : T->Ops) {
+    TermRef NewOp = substitute(Op, Map);
+    Changed |= NewOp != Op;
+    NewOps.push_back(NewOp);
+  }
+  if (!Changed)
+    return T;
+  switch (T->Kind) {
+  case TermKind::Comp:
+    return comp(Strings.str(T->Str), T->Ident, T->IntVal, std::move(NewOps));
+  case TermKind::Eq:
+    return eq(NewOps[0], NewOps[1]);
+  case TermKind::Lt:
+    return lt(NewOps[0], NewOps[1]);
+  case TermKind::Le:
+    return le(NewOps[0], NewOps[1]);
+  case TermKind::And:
+    return andT(NewOps[0], NewOps[1]);
+  case TermKind::Or:
+    return orT(NewOps[0], NewOps[1]);
+  case TermKind::Not:
+    return notT(NewOps[0]);
+  case TermKind::Add:
+    return add(NewOps[0], NewOps[1]);
+  case TermKind::Sub:
+    return sub(NewOps[0], NewOps[1]);
+  default:
+    assert(false && "leaf with operands?");
+    return T;
+  }
+}
+
+std::optional<Value> TermContext::literalValue(TermRef T) const {
+  switch (T->Kind) {
+  case TermKind::NumLit:
+    return Value::num(T->IntVal);
+  case TermKind::StrLit:
+    return Value::str(Strings.str(T->Str));
+  case TermKind::BoolLit:
+    return Value::boolean(T->IntVal != 0);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::string TermContext::str(TermRef T) const {
+  std::ostringstream OS;
+  switch (T->Kind) {
+  case TermKind::NumLit:
+    OS << T->IntVal;
+    break;
+  case TermKind::StrLit:
+    OS << '"' << Strings.str(T->Str) << '"';
+    break;
+  case TermKind::BoolLit:
+    OS << (T->IntVal ? "true" : "false");
+    break;
+  case TermKind::SymVar:
+    switch (T->Tag) {
+    case SymTag::State:
+      OS << Strings.str(T->Str);
+      break;
+    case SymTag::PatVar:
+      OS << "?" << Strings.str(T->Str);
+      break;
+    case SymTag::Fresh:
+      OS << Strings.str(T->Str) << "$" << T->IntVal;
+      break;
+    }
+    break;
+  case TermKind::Comp: {
+    switch (T->Ident) {
+    case CompIdent::InitRigid:
+      OS << "init:";
+      break;
+    case CompIdent::NewRigid:
+      OS << "new:";
+      break;
+    case CompIdent::FlexPre:
+      OS << "pre:";
+      break;
+    case CompIdent::FlexAny:
+      OS << "any:";
+      break;
+    }
+    OS << Strings.str(T->Str) << "#" << T->IntVal;
+    if (!T->Ops.empty()) {
+      OS << "(";
+      for (size_t I = 0; I < T->Ops.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << str(T->Ops[I]);
+      }
+      OS << ")";
+    }
+    break;
+  }
+  case TermKind::Eq:
+    OS << "(" << str(T->Ops[0]) << " == " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::Lt:
+    OS << "(" << str(T->Ops[0]) << " < " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::Le:
+    OS << "(" << str(T->Ops[0]) << " <= " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::And:
+    OS << "(" << str(T->Ops[0]) << " && " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::Or:
+    OS << "(" << str(T->Ops[0]) << " || " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::Not:
+    OS << "!" << str(T->Ops[0]);
+    break;
+  case TermKind::Add:
+    OS << "(" << str(T->Ops[0]) << " + " << str(T->Ops[1]) << ")";
+    break;
+  case TermKind::Sub:
+    OS << "(" << str(T->Ops[0]) << " - " << str(T->Ops[1]) << ")";
+    break;
+  }
+  return OS.str();
+}
+
+std::optional<std::vector<std::vector<Lit>>>
+splitCondDNF(TermRef Cond, bool Polarity, size_t MaxDisjuncts) {
+  using Dnf = std::vector<std::vector<Lit>>;
+
+  // Atoms (and anything that is not And/Or/Not) become single literals.
+  if (Cond->Kind != TermKind::And && Cond->Kind != TermKind::Or &&
+      Cond->Kind != TermKind::Not) {
+    if (Cond->Kind == TermKind::BoolLit) {
+      bool Val = (Cond->IntVal != 0) == Polarity;
+      if (Val)
+        return Dnf{{}}; // one trivially-true disjunct
+      return Dnf{};     // no disjuncts: false
+    }
+    return Dnf{{Lit(Cond, Polarity)}};
+  }
+
+  if (Cond->Kind == TermKind::Not)
+    return splitCondDNF(Cond->Ops[0], !Polarity, MaxDisjuncts);
+
+  bool IsConj = (Cond->Kind == TermKind::And) == Polarity;
+  auto L = splitCondDNF(Cond->Ops[0], Polarity, MaxDisjuncts);
+  auto R = splitCondDNF(Cond->Ops[1], Polarity, MaxDisjuncts);
+  if (!L || !R)
+    return std::nullopt;
+
+  Dnf Out;
+  if (IsConj) {
+    // Cross product.
+    if (L->size() * R->size() > MaxDisjuncts)
+      return std::nullopt;
+    for (const auto &A : *L)
+      for (const auto &B : *R) {
+        std::vector<Lit> Merged = A;
+        Merged.insert(Merged.end(), B.begin(), B.end());
+        Out.push_back(std::move(Merged));
+      }
+  } else {
+    if (L->size() + R->size() > MaxDisjuncts)
+      return std::nullopt;
+    Out = std::move(*L);
+    Out.insert(Out.end(), R->begin(), R->end());
+  }
+  return Out;
+}
+
+} // namespace reflex

@@ -1,0 +1,213 @@
+//===- sym/term.h - Hash-consed symbolic terms ------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic term language underlying the prover: values of Reflex
+/// expressions over symbolic constants. Terms are immutable and
+/// hash-consed in a TermContext, so structural equality is pointer
+/// equality and every term has a dense id (used by the solver's
+/// union-find).
+///
+/// Component values are first-class terms carrying their (statically
+/// known) component type, their configuration field terms, and an identity
+/// class used for distinctness reasoning:
+///
+///  * InitRigid(i)  — the i-th component spawned by init. Distinct from
+///                    every other InitRigid and every NewRigid.
+///  * NewRigid(i)   — a component spawned during the handler execution
+///                    under analysis. Fresh: distinct from everything that
+///                    existed before it.
+///  * FlexPre(i)    — an unknown pre-existing component (the handler's
+///                    sender, or a lookup result). May equal an InitRigid
+///                    or another FlexPre of the same type.
+///
+/// This small identity algebra is what the paper gets from Coq's
+/// constructors; it is all the distinctness the benchmark properties need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SYM_TERM_H
+#define REFLEX_SYM_TERM_H
+
+#include "support/interner.h"
+#include "trace/value.h"
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace reflex {
+
+enum class TermKind : uint8_t {
+  NumLit,
+  StrLit,
+  BoolLit,
+  SymVar, ///< a named symbolic constant
+  Comp,   ///< a component value
+  Eq,     ///< equality (any base type except bool-compound)
+  Lt,     ///< num <
+  Le,     ///< num <=
+  And,
+  Or,
+  Not,
+  Add,
+  Sub,
+};
+
+/// Role of a symbolic constant. Determines how the invariant engine
+/// generalizes and substitutes it.
+enum class SymTag : uint8_t {
+  State,  ///< canonical pre-state value of a state variable (one per var)
+  PatVar, ///< universally quantified property/pattern variable
+  Fresh,  ///< fresh unknown: message parameter, call result, config field
+          ///< of an unknown component, NI parameter, ...
+};
+
+/// Identity class of a Comp term (see file comment). FlexAny is used for
+/// lookup results when a spawn of the same component type happened earlier
+/// in the same handler path — such a lookup may find the just-spawned
+/// component, so it is compatible with everything of its type.
+enum class CompIdent : uint8_t { InitRigid, NewRigid, FlexPre, FlexAny };
+
+class TermContext;
+
+struct TermNode {
+  TermKind Kind;
+  BaseType Ty;
+  SymTag Tag = SymTag::Fresh;       // SymVar only
+  CompIdent Ident = CompIdent::FlexPre; // Comp only
+  int64_t IntVal = 0; // NumLit value; BoolLit 0/1; SymVar serial;
+                      // Comp identity serial
+  Symbol Str;         // StrLit value; SymVar name; Comp type name
+  std::vector<const TermNode *> Ops; // Comp config fields; operator operands
+  uint32_t Id = 0;    // dense id within the owning TermContext
+
+  bool isLiteral() const {
+    return Kind == TermKind::NumLit || Kind == TermKind::StrLit ||
+           Kind == TermKind::BoolLit;
+  }
+  bool isBoolAtom() const {
+    return Kind != TermKind::And && Kind != TermKind::Or &&
+           Kind != TermKind::Not;
+  }
+};
+
+using TermRef = const TermNode *;
+
+/// Owns and hash-conses terms. All terms compared or combined must come
+/// from the same context. Builders perform local simplification (constant
+/// folding, trivial equalities) unless simplification is disabled — the
+/// toggle exists so the ablation bench can measure the paper's
+/// "domain-specific reduction strategies" optimization (§6.4).
+class TermContext {
+public:
+  TermContext() = default;
+  TermContext(const TermContext &) = delete;
+  TermContext &operator=(const TermContext &) = delete;
+
+  /// Enables/disables builder-level simplification.
+  void setSimplify(bool On) { Simplify = On; }
+  bool simplifyEnabled() const { return Simplify; }
+
+  /// Number of distinct terms allocated (memory proxy for the ablation
+  /// bench).
+  size_t termCount() const { return Nodes.size(); }
+
+  // Literals.
+  TermRef numLit(int64_t V);
+  TermRef strLit(std::string_view S);
+  TermRef boolLit(bool B);
+  TermRef trueTerm() { return boolLit(true); }
+  TermRef falseTerm() { return boolLit(false); }
+  /// The term for a concrete value (num/str/bool only).
+  TermRef lit(const Value &V);
+
+  // Symbolic constants.
+  /// The canonical pre-state symbol of state variable \p Name. Idempotent.
+  TermRef stateSym(std::string_view Name, BaseType Ty);
+  /// The canonical symbol of pattern variable \p Name. Idempotent.
+  TermRef patSym(std::string_view Name, BaseType Ty);
+  /// A fresh symbolic constant; every call returns a distinct term.
+  TermRef freshSym(std::string_view Prefix, BaseType Ty);
+
+  // Components.
+  /// A component term; \p Config must have one term per config field of
+  /// \p TypeName. Identity serials must be unique per (Ident) class within
+  /// one proof obligation; use freshCompSerial().
+  TermRef comp(std::string_view TypeName, CompIdent Ident, int64_t Serial,
+               std::vector<TermRef> Config);
+  int64_t freshCompSerial() { return CompSerial++; }
+
+  // Operators.
+  TermRef eq(TermRef A, TermRef B);
+  TermRef lt(TermRef A, TermRef B);
+  TermRef le(TermRef A, TermRef B);
+  TermRef andT(TermRef A, TermRef B);
+  TermRef orT(TermRef A, TermRef B);
+  TermRef notT(TermRef A);
+  TermRef add(TermRef A, TermRef B);
+  TermRef sub(TermRef A, TermRef B);
+
+  /// Capped substitution: replaces occurrences of keys of \p Map in \p T
+  /// (by pointer identity) and rebuilds. Used by the invariant engine to
+  /// push a guard over a handler's updates.
+  TermRef substitute(TermRef T,
+                     const std::unordered_map<TermRef, TermRef> &Map);
+
+  /// If \p T is a ground literal, returns its value.
+  std::optional<Value> literalValue(TermRef T) const;
+
+  /// Human-readable rendering (for certificates and diagnostics).
+  std::string str(TermRef T) const;
+
+  const std::string &symbolStr(Symbol S) const { return Strings.str(S); }
+
+private:
+  TermRef make(TermNode N);
+
+  bool Simplify = true;
+  StringInterner Strings;
+  std::deque<TermNode> Nodes;
+  std::unordered_map<uint64_t, std::vector<TermRef>> HashCons;
+  std::unordered_map<std::string, TermRef> NamedSyms; // state/pat syms
+  uint64_t FreshSerial = 0;
+  int64_t CompSerial = 0;
+};
+
+/// A solver literal: an atomic bool term with a polarity.
+struct Lit {
+  TermRef Atom = nullptr;
+  bool Pos = true;
+
+  Lit() = default;
+  Lit(TermRef Atom, bool Pos) : Atom(Atom), Pos(Pos) {}
+
+  Lit negated() const { return Lit(Atom, !Pos); }
+  bool operator==(const Lit &O) const {
+    return Atom == O.Atom && Pos == O.Pos;
+  }
+  bool operator<(const Lit &O) const {
+    if (Atom != O.Atom)
+      return Atom->Id < O.Atom->Id;
+    return Pos < O.Pos;
+  }
+};
+
+/// Splits a bool term into disjunctive normal form: a list of conjunctions
+/// of literals, such that the term is equivalent to the disjunction of the
+/// conjunctions. \p Polarity false splits the negation. The result is
+/// capped at \p MaxDisjuncts (returns std::nullopt when exceeded, which
+/// makes the prover report Unknown rather than explode).
+std::optional<std::vector<std::vector<Lit>>>
+splitCondDNF(TermRef Cond, bool Polarity, size_t MaxDisjuncts = 64);
+
+} // namespace reflex
+
+#endif // REFLEX_SYM_TERM_H

@@ -1,0 +1,122 @@
+//===- trace/action.cc - Observable actions and traces ----------*- C++ -*-===//
+
+#include "trace/action.h"
+
+#include <sstream>
+
+namespace reflex {
+
+std::string Message::str() const {
+  std::ostringstream OS;
+  OS << Name << "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Args[I].str();
+  }
+  OS << ")";
+  return OS.str();
+}
+
+std::string ComponentInstance::str() const {
+  std::ostringstream OS;
+  OS << TypeName << "#" << Id;
+  if (!Config.empty()) {
+    OS << "(";
+    for (size_t I = 0; I < Config.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Config[I].str();
+    }
+    OS << ")";
+  }
+  return OS.str();
+}
+
+Action Action::select(int64_t CompId) {
+  Action A;
+  A.Kind = Select;
+  A.CompId = CompId;
+  return A;
+}
+
+Action Action::recv(int64_t CompId, Message M) {
+  Action A;
+  A.Kind = Recv;
+  A.CompId = CompId;
+  A.Msg = std::move(M);
+  return A;
+}
+
+Action Action::send(int64_t CompId, Message M) {
+  Action A;
+  A.Kind = Send;
+  A.CompId = CompId;
+  A.Msg = std::move(M);
+  return A;
+}
+
+Action Action::spawn(int64_t CompId) {
+  Action A;
+  A.Kind = Spawn;
+  A.CompId = CompId;
+  return A;
+}
+
+Action Action::call(std::string Fn, std::vector<Value> Args, Value Result) {
+  Action A;
+  A.Kind = Call;
+  A.CallFn = std::move(Fn);
+  A.CallArgs = std::move(Args);
+  A.CallResult = Result;
+  return A;
+}
+
+std::string Action::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case Select:
+    OS << "Select(comp#" << CompId << ")";
+    break;
+  case Recv:
+    OS << "Recv(comp#" << CompId << ", " << Msg.str() << ")";
+    break;
+  case Send:
+    OS << "Send(comp#" << CompId << ", " << Msg.str() << ")";
+    break;
+  case Spawn:
+    OS << "Spawn(comp#" << CompId << ")";
+    break;
+  case Call:
+    OS << "Call(" << CallFn << ", [";
+    for (size_t I = 0; I < CallArgs.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << CallArgs[I].str();
+    }
+    OS << "] -> " << CallResult.str() << ")";
+    break;
+  }
+  return OS.str();
+}
+
+const ComponentInstance *Trace::findComponent(int64_t Id) const {
+  for (const ComponentInstance &C : Components)
+    if (C.Id == Id)
+      return &C;
+  return nullptr;
+}
+
+std::string Trace::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Actions.size(); ++I) {
+    OS << I << ": " << Actions[I].str();
+    if (Actions[I].CompId >= 0 && Actions[I].Kind != Action::Call)
+      if (const ComponentInstance *C = findComponent(Actions[I].CompId))
+        OS << "   # " << C->str();
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace reflex

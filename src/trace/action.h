@@ -1,0 +1,104 @@
+//===- trace/action.h - Observable actions and traces -----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The action alphabet and concrete traces of Reflex kernels (paper §3.2).
+/// A trace records every observable interaction between the kernel and the
+/// outside world: selecting a ready component, receiving a message from it,
+/// sending messages, spawning components, and invoking native ("OCaml" in
+/// the paper) call primitives.
+///
+/// Unlike the Coq development, which stores traces in reverse-chronological
+/// order because of list consing, traces here are chronological (actions are
+/// appended at the back). The §4.1 property definitions are implemented with
+/// the order flipped accordingly; tests/prop_check_test.cc pins each
+/// primitive to the paper's English semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_TRACE_ACTION_H
+#define REFLEX_TRACE_ACTION_H
+
+#include "trace/value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// A message exchanged between the kernel and a component: a declared
+/// message type name plus its payload values.
+struct Message {
+  std::string Name;
+  std::vector<Value> Args;
+
+  bool operator==(const Message &Other) const = default;
+  std::string str() const;
+};
+
+/// A live component instance: its declared type, the configuration values
+/// fixed at spawn time (read-only thereafter — a deliberate LAC restriction
+/// in the paper), and a unique id.
+struct ComponentInstance {
+  int64_t Id = 0;
+  std::string TypeName;
+  std::vector<Value> Config;
+
+  std::string str() const;
+};
+
+/// One observable action.
+struct Action {
+  enum ActionKind : uint8_t {
+    /// The kernel selected a ready component (paper: `Select(c)`).
+    Select,
+    /// The kernel received a message from a component.
+    Recv,
+    /// The kernel sent a message to a component.
+    Send,
+    /// The kernel spawned a new component instance.
+    Spawn,
+    /// The kernel invoked a native function (nondeterministic primitive).
+    Call,
+  };
+
+  ActionKind Kind = Select;
+  /// Component involved (Select/Recv/Send/Spawn). -1 for Call.
+  int64_t CompId = -1;
+  /// Message payload (Recv/Send only).
+  Message Msg;
+  /// Native call details (Call only).
+  std::string CallFn;
+  std::vector<Value> CallArgs;
+  Value CallResult;
+
+  static Action select(int64_t CompId);
+  static Action recv(int64_t CompId, Message M);
+  static Action send(int64_t CompId, Message M);
+  static Action spawn(int64_t CompId);
+  static Action call(std::string Fn, std::vector<Value> Args, Value Result);
+
+  std::string str() const;
+};
+
+/// A concrete trace: chronological action list plus the table of all
+/// component instances ever spawned (needed to resolve component ids to
+/// types and configurations when matching action patterns).
+struct Trace {
+  std::vector<Action> Actions;
+  std::vector<ComponentInstance> Components;
+
+  const ComponentInstance *findComponent(int64_t Id) const;
+
+  /// Renders the whole trace, one action per line, chronological order.
+  std::string str() const;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_TRACE_ACTION_H

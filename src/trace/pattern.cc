@@ -1,0 +1,161 @@
+//===- trace/pattern.cc - Action patterns -----------------------*- C++ -*-===//
+
+#include "trace/pattern.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+
+PatTerm PatTerm::lit(Value V) {
+  PatTerm T;
+  T.Kind = Lit;
+  T.LitVal = std::move(V);
+  return T;
+}
+
+PatTerm PatTerm::var(std::string Name) {
+  PatTerm T;
+  T.Kind = Var;
+  T.VarName = std::move(Name);
+  return T;
+}
+
+PatTerm PatTerm::wild() { return PatTerm(); }
+
+std::string PatTerm::str() const {
+  switch (Kind) {
+  case Lit:
+    return LitVal.str();
+  case Var:
+    return VarName;
+  case Wild:
+    return "_";
+  }
+  return "?";
+}
+
+std::string CompPattern::str() const {
+  std::ostringstream OS;
+  OS << TypeName;
+  if (!Fields.empty()) {
+    OS << "(";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Fields[I].FieldName << " = " << Fields[I].Pat.str();
+    }
+    OS << ")";
+  }
+  return OS.str();
+}
+
+std::string MsgPattern::str() const {
+  std::ostringstream OS;
+  OS << MsgName << "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Args[I].str();
+  }
+  OS << ")";
+  return OS.str();
+}
+
+std::string ActionPattern::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case Send:
+    OS << "Send(" << Comp.str() << ", " << Msg.str() << ")";
+    break;
+  case Recv:
+    OS << "Recv(" << Comp.str() << ", " << Msg.str() << ")";
+    break;
+  case Spawn:
+    OS << "Spawn(" << Comp.str() << ")";
+    break;
+  }
+  return OS.str();
+}
+
+static void collectPatTermVars(const PatTerm &T, std::set<std::string> &Out) {
+  if (T.Kind == PatTerm::Var)
+    Out.insert(T.VarName);
+}
+
+void ActionPattern::collectVars(std::set<std::string> &Out) const {
+  for (const CompFieldPattern &F : Comp.Fields)
+    collectPatTermVars(F.Pat, Out);
+  if (Kind != Spawn)
+    for (const PatTerm &Pat : Msg.Args)
+      collectPatTermVars(Pat, Out);
+}
+
+/// Matches one pattern position against a concrete value, extending the
+/// binding. The caller restores the binding on mismatch.
+static bool matchPatTerm(const PatTerm &Pat, const Value &V, Binding &B) {
+  switch (Pat.Kind) {
+  case PatTerm::Wild:
+    return true;
+  case PatTerm::Lit:
+    return Pat.LitVal == V;
+  case PatTerm::Var: {
+    auto It = B.find(Pat.VarName);
+    if (It != B.end())
+      return It->second == V;
+    B.emplace(Pat.VarName, V);
+    return true;
+  }
+  }
+  return false;
+}
+
+bool matchAction(const Action &A, const ActionPattern &Pat, const Trace &Tr,
+                 Binding &B) {
+  switch (Pat.Kind) {
+  case ActionPattern::Send:
+    if (A.Kind != Action::Send)
+      return false;
+    break;
+  case ActionPattern::Recv:
+    if (A.Kind != Action::Recv)
+      return false;
+    break;
+  case ActionPattern::Spawn:
+    if (A.Kind != Action::Spawn)
+      return false;
+    break;
+  }
+
+  const ComponentInstance *C = Tr.findComponent(A.CompId);
+  if (!C || C->TypeName != Pat.Comp.TypeName)
+    return false;
+
+  Binding Saved = B;
+
+  for (const CompFieldPattern &F : Pat.Comp.Fields) {
+    assert(F.FieldIndex >= 0 && "pattern not validated");
+    if (static_cast<size_t>(F.FieldIndex) >= C->Config.size() ||
+        !matchPatTerm(F.Pat, C->Config[F.FieldIndex], B)) {
+      B = std::move(Saved);
+      return false;
+    }
+  }
+
+  if (Pat.Kind != ActionPattern::Spawn) {
+    if (A.Msg.Name != Pat.Msg.MsgName ||
+        A.Msg.Args.size() != Pat.Msg.Args.size()) {
+      B = std::move(Saved);
+      return false;
+    }
+    for (size_t I = 0; I < Pat.Msg.Args.size(); ++I) {
+      if (!matchPatTerm(Pat.Msg.Args[I], A.Msg.Args[I], B)) {
+        B = std::move(Saved);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace reflex

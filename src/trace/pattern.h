@@ -1,0 +1,103 @@
+//===- trace/pattern.h - Action patterns ------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Action patterns (paper §4.1): "actions whose fields can contain
+/// literals, variables, or wildcards". For example
+/// `Send(Tab(domain = d), Cookie(_, v))` matches any Send action whose
+/// recipient is a Tab component with configuration field `domain` equal to
+/// the (universally quantified) variable `d`, carrying a Cookie message
+/// whose second payload value matches variable `v`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_TRACE_PATTERN_H
+#define REFLEX_TRACE_PATTERN_H
+
+#include "trace/action.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// One pattern position: a literal value, a quantified variable, or a
+/// wildcard.
+struct PatTerm {
+  enum PatKind : uint8_t { Lit, Var, Wild };
+
+  PatKind Kind = Wild;
+  Value LitVal;        // Lit only
+  std::string VarName; // Var only
+
+  static PatTerm lit(Value V);
+  static PatTerm var(std::string Name);
+  static PatTerm wild();
+
+  std::string str() const;
+};
+
+/// A constraint on one named configuration field of a component pattern.
+/// FieldIndex is the field's position in the component type's declaration;
+/// it is resolved by the semantic validator (-1 until then).
+struct CompFieldPattern {
+  std::string FieldName;
+  int FieldIndex = -1;
+  PatTerm Pat;
+};
+
+/// Matches components: a declared component type name plus constraints on
+/// named configuration fields. Fields not mentioned are unconstrained.
+struct CompPattern {
+  std::string TypeName;
+  std::vector<CompFieldPattern> Fields;
+
+  std::string str() const;
+};
+
+/// Matches messages: a declared message type name plus one pattern per
+/// payload position.
+struct MsgPattern {
+  std::string MsgName;
+  std::vector<PatTerm> Args;
+
+  std::string str() const;
+};
+
+/// A pattern over trace actions. Send/Recv patterns constrain both the
+/// peer component and the message; Spawn patterns constrain the spawned
+/// component. (Select and Call actions are not matchable — as in the
+/// paper's property language, which ranges over Send/Recv/Spawn.)
+struct ActionPattern {
+  enum PatKind : uint8_t { Send, Recv, Spawn };
+
+  PatKind Kind = Send;
+  CompPattern Comp;
+  MsgPattern Msg; // Send/Recv only
+
+  std::string str() const;
+
+  /// Collects the names of all variables occurring in this pattern.
+  void collectVars(std::set<std::string> &Out) const;
+};
+
+/// A substitution of concrete values for pattern variables.
+using Binding = std::map<std::string, Value>;
+
+/// Attempts to match \p A against \p Pat, extending \p B. Variables already
+/// bound in \p B must agree with the matched value; unbound variables are
+/// bound. On failure \p B is left unchanged. The pattern must have been
+/// validated (field indices resolved). \p Tr resolves the action's
+/// component id to its type and configuration.
+bool matchAction(const Action &A, const ActionPattern &Pat, const Trace &Tr,
+                 Binding &B);
+
+} // namespace reflex
+
+#endif // REFLEX_TRACE_PATTERN_H

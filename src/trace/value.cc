@@ -1,0 +1,121 @@
+//===- trace/value.cc - Runtime values ---------------------------*- C++ -*-===//
+
+#include "trace/value.h"
+
+#include "support/strings.h"
+
+#include <cassert>
+#include <functional>
+
+namespace reflex {
+
+const char *baseTypeName(BaseType Ty) {
+  switch (Ty) {
+  case BaseType::Num:
+    return "num";
+  case BaseType::Str:
+    return "str";
+  case BaseType::Bool:
+    return "bool";
+  case BaseType::Fdesc:
+    return "fdesc";
+  case BaseType::Comp:
+    return "comp";
+  }
+  return "?";
+}
+
+Value Value::num(int64_t V) {
+  Value Out;
+  Out.Ty = BaseType::Num;
+  Out.IntVal = V;
+  return Out;
+}
+
+Value Value::str(std::string V) {
+  Value Out;
+  Out.Ty = BaseType::Str;
+  Out.StrVal = std::move(V);
+  return Out;
+}
+
+Value Value::boolean(bool V) {
+  Value Out;
+  Out.Ty = BaseType::Bool;
+  Out.IntVal = V ? 1 : 0;
+  return Out;
+}
+
+Value Value::fdesc(int64_t Handle) {
+  Value Out;
+  Out.Ty = BaseType::Fdesc;
+  Out.IntVal = Handle;
+  return Out;
+}
+
+Value Value::comp(int64_t CompId) {
+  Value Out;
+  Out.Ty = BaseType::Comp;
+  Out.IntVal = CompId;
+  return Out;
+}
+
+int64_t Value::asNum() const {
+  assert(Ty == BaseType::Num && "not a num");
+  return IntVal;
+}
+
+const std::string &Value::asStr() const {
+  assert(Ty == BaseType::Str && "not a str");
+  return StrVal;
+}
+
+bool Value::asBool() const {
+  assert(Ty == BaseType::Bool && "not a bool");
+  return IntVal != 0;
+}
+
+int64_t Value::asFdesc() const {
+  assert(Ty == BaseType::Fdesc && "not an fdesc");
+  return IntVal;
+}
+
+int64_t Value::asCompId() const {
+  assert(Ty == BaseType::Comp && "not a comp");
+  return IntVal;
+}
+
+bool Value::operator==(const Value &Other) const {
+  if (Ty != Other.Ty)
+    return false;
+  if (Ty == BaseType::Str)
+    return StrVal == Other.StrVal;
+  return IntVal == Other.IntVal;
+}
+
+std::string Value::str() const {
+  switch (Ty) {
+  case BaseType::Num:
+    return std::to_string(IntVal);
+  case BaseType::Str:
+    return "\"" + escapeString(StrVal) + "\"";
+  case BaseType::Bool:
+    return IntVal ? "true" : "false";
+  case BaseType::Fdesc:
+    return "fd#" + std::to_string(IntVal);
+  case BaseType::Comp:
+    return "comp#" + std::to_string(IntVal);
+  }
+  return "?";
+}
+
+size_t Value::hash() const {
+  size_t H = static_cast<size_t>(Ty) * 0x9E3779B97F4A7C15ULL;
+  if (Ty == BaseType::Str)
+    H ^= std::hash<std::string>()(StrVal);
+  else
+    H ^= std::hash<int64_t>()(IntVal);
+  return H;
+}
+
+} // namespace reflex

@@ -1,0 +1,69 @@
+//===- trace/value.h - Runtime values ---------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete runtime values of the Reflex DSL. The base types mirror the
+/// paper's: numbers, strings, booleans, file descriptors (`fdesc`, opaque
+/// handles passed between components, e.g. the PTY descriptor in the SSH
+/// kernel), and component references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_TRACE_VALUE_H
+#define REFLEX_TRACE_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace reflex {
+
+/// The base types of the Reflex DSL.
+enum class BaseType : uint8_t { Num, Str, Bool, Fdesc, Comp };
+
+/// Returns the surface-syntax name of a base type ("num", "str", ...).
+const char *baseTypeName(BaseType Ty);
+
+/// A concrete value. Num/Fdesc/Comp/Bool are stored in an int64 payload;
+/// Str in a string payload. Fdesc values are opaque descriptor ids handed
+/// out by the runtime; Comp values are component instance ids.
+class Value {
+public:
+  Value() : Ty(BaseType::Num), IntVal(0) {}
+
+  static Value num(int64_t V);
+  static Value str(std::string V);
+  static Value boolean(bool V);
+  static Value fdesc(int64_t Handle);
+  static Value comp(int64_t CompId);
+
+  BaseType type() const { return Ty; }
+
+  int64_t asNum() const;
+  const std::string &asStr() const;
+  bool asBool() const;
+  int64_t asFdesc() const;
+  int64_t asCompId() const;
+
+  bool operator==(const Value &Other) const;
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  /// Renders the value in surface syntax (strings quoted, fdesc as
+  /// `fd#N`, components as `comp#N`).
+  std::string str() const;
+
+  /// Hash suitable for unordered containers and BMC state hashing.
+  size_t hash() const;
+
+private:
+  BaseType Ty;
+  int64_t IntVal = 0;
+  std::string StrVal;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_TRACE_VALUE_H

@@ -1,0 +1,409 @@
+//===- verify/absreplay.cc - Trace inclusion in BehAbs ----------*- C++ -*-===//
+
+#include "verify/absreplay.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+/// A concrete valuation of symbolic terms built up while aligning a
+/// symbolic path with a trace segment.
+struct Valuation {
+  /// Symbol/leaf term -> concrete value (params, call results, config
+  /// field symbols). Component terms are bound in Comps.
+  std::map<TermRef, Value> Syms;
+  /// Component term -> concrete component id.
+  std::map<TermRef, int64_t> Comps;
+};
+
+class Replayer {
+public:
+  Replayer(TermContext &Ctx, const Program &P, const BehAbs &Abs,
+           const Trace &Tr)
+      : Ctx(Ctx), P(P), Abs(Abs), Tr(Tr) {}
+
+  ReplayResult run() {
+    ReplayResult R;
+    // Current concrete state-variable values.
+    for (const StateVarDecl &V : P.StateVars)
+      Vars[V.Name] = V.Init;
+
+    size_t Pos = 0;
+    // --- Init ---
+    bool InitOk = false;
+    std::string InitWhy;
+    for (const SymPath &Path : Abs.Init.Paths) {
+      size_t End = 0;
+      std::map<std::string, Value> NewVars;
+      if (tryPath(Path, Pos, /*HasExchangeHeader=*/false, End, NewVars,
+                  InitWhy)) {
+        Pos = End;
+        Vars = std::move(NewVars);
+        InitOk = true;
+        break;
+      }
+    }
+    if (!InitOk) {
+      R.Why = "no init path matches the trace prefix: " + InitWhy;
+      return R;
+    }
+
+    // --- Exchanges ---
+    while (Pos < Tr.Actions.size()) {
+      if (Tr.Actions[Pos].Kind != Action::Select) {
+        R.Why = "exchange must begin with Select at action " +
+                std::to_string(Pos);
+        return R;
+      }
+      if (Pos + 1 >= Tr.Actions.size() ||
+          Tr.Actions[Pos + 1].Kind != Action::Recv) {
+        R.Why = "Select not followed by Recv at action " + std::to_string(Pos);
+        return R;
+      }
+      const ComponentInstance *Sender =
+          Tr.findComponent(Tr.Actions[Pos].CompId);
+      if (!Sender) {
+        R.Why = "Select of unknown component";
+        return R;
+      }
+      const HandlerSummary *S =
+          Abs.findSummary(Sender->TypeName, Tr.Actions[Pos + 1].Msg.Name);
+      if (!S) {
+        R.Why = "no summary for " + Sender->TypeName + "=>" +
+                Tr.Actions[Pos + 1].Msg.Name;
+        return R;
+      }
+      bool Matched = false;
+      std::string Why;
+      for (const SymPath &Path : S->Paths) {
+        size_t End = 0;
+        std::map<std::string, Value> NewVars;
+        if (tryPath(Path, Pos, /*HasExchangeHeader=*/true, End, NewVars,
+                    Why)) {
+          Pos = End;
+          Vars = std::move(NewVars);
+          Matched = true;
+          break;
+        }
+      }
+      if (!Matched) {
+        R.Why = "no path of " + Sender->TypeName + "=>" +
+                Tr.Actions[Pos + 1].Msg.Name + " matches at action " +
+                std::to_string(Pos) + ": " + Why;
+        return R;
+      }
+      ++R.Exchanges;
+    }
+    R.Included = true;
+    return R;
+  }
+
+private:
+  /// Attempts to align \p Path with the trace starting at \p Begin.
+  /// On success sets \p End one past the consumed segment and \p NewVars
+  /// to the post-state valuation.
+  bool tryPath(const SymPath &Path, size_t Begin, bool HasExchangeHeader,
+               size_t &End, std::map<std::string, Value> &NewVars,
+               std::string &Why) {
+    (void)HasExchangeHeader;
+    Valuation Val;
+    // Seed state symbols with the current variable values.
+    for (const auto &[Name, V] : Vars) {
+      const StateVarDecl *D = P.findStateVar(Name);
+      if (D)
+        Val.Syms[Ctx.stateSym(Name, D->Type)] = V;
+    }
+
+    size_t Pos = Begin;
+    for (const SymAction &E : Path.Emits) {
+      if (Pos >= Tr.Actions.size()) {
+        Why = "trace ends mid-exchange";
+        return false;
+      }
+      const Action &A = Tr.Actions[Pos];
+      if (!alignEmission(E, A, Val, Why))
+        return false;
+      ++Pos;
+    }
+
+    // Resolve lookup components that never appeared in an emission by
+    // re-running the lookup over the concrete pre-exchange component set
+    // (oldest-first, as the evaluator does). Constraint literals then
+    // evaluate below.
+    for (TermRef C : Path.LookupComps)
+      if (!Val.Comps.count(C))
+        if (!resolveLookup(C, Path, Val, Begin, Why))
+          return false;
+
+    // Path condition literals must evaluate to true.
+    for (const Lit &L : Path.Cond) {
+      std::optional<Value> V = evalTerm(L.Atom, Val);
+      if (!V) {
+        Why = "condition not evaluable: " + Ctx.str(L.Atom);
+        return false;
+      }
+      if (V->asBool() != L.Pos) {
+        Why = "condition false: " + Ctx.str(L.Atom);
+        return false;
+      }
+    }
+
+    // Failed-lookup facts must hold of the concrete pre-exchange set.
+    for (const NoCompFact &Fact : Path.NoComp) {
+      for (const ComponentInstance &Cand : liveCompsBefore(Begin)) {
+        if (Cand.TypeName != Fact.TypeName)
+          continue;
+        bool All = true;
+        for (const auto &[Index, Term] : Fact.Constraints) {
+          std::optional<Value> V = evalTerm(Term, Val);
+          if (!V || !(Cand.Config[Index] == *V)) {
+            All = false;
+            break;
+          }
+        }
+        if (All) {
+          Why = "failed-lookup fact refuted by live component";
+          return false;
+        }
+      }
+    }
+
+    // Updates produce the post-state.
+    NewVars = Vars;
+    for (const auto &[Name, Term] : Path.Updates) {
+      std::optional<Value> V = evalTerm(Term, Val);
+      if (!V) {
+        Why = "update not evaluable for '" + Name + "'";
+        return false;
+      }
+      NewVars[Name] = *V;
+    }
+    End = Pos;
+    return true;
+  }
+
+  /// The components alive strictly before trace position \p Pos.
+  std::vector<ComponentInstance> liveCompsBefore(size_t Pos) {
+    std::vector<ComponentInstance> Out;
+    std::set<int64_t> Spawned;
+    for (size_t I = 0; I < Pos; ++I)
+      if (Tr.Actions[I].Kind == Action::Spawn)
+        Spawned.insert(Tr.Actions[I].CompId);
+    for (const ComponentInstance &C : Tr.Components)
+      if (Spawned.count(C.Id))
+        Out.push_back(C);
+    return Out;
+  }
+
+  bool bindComp(TermRef CompTerm, int64_t Id, Valuation &Val,
+                std::string &Why) {
+    auto [It, Inserted] = Val.Comps.emplace(CompTerm, Id);
+    if (!Inserted) {
+      if (It->second != Id) {
+        Why = "component term bound to two instances";
+        return false;
+      }
+      return true;
+    }
+    const ComponentInstance *C = Tr.findComponent(Id);
+    if (!C || C->TypeName != Ctx.symbolStr(CompTerm->Str)) {
+      Why = "component type mismatch";
+      return false;
+    }
+    // Bind the component's config-field terms to the instance's values
+    // (for flexible components whose fields are fresh symbols, this also
+    // pins those symbols).
+    assert(CompTerm->Ops.size() == C->Config.size());
+    for (size_t I = 0; I < CompTerm->Ops.size(); ++I) {
+      TermRef FieldTerm = CompTerm->Ops[I];
+      std::optional<Value> Existing = evalTerm(FieldTerm, Val);
+      if (Existing) {
+        if (!(*Existing == C->Config[I])) {
+          Why = "config field mismatch";
+          return false;
+        }
+      } else if (FieldTerm->Kind == TermKind::SymVar) {
+        Val.Syms[FieldTerm] = C->Config[I];
+      }
+    }
+    return true;
+  }
+
+  bool alignEmission(const SymAction &E, const Action &A, Valuation &Val,
+                     std::string &Why) {
+    auto Mismatch = [&](const char *What) {
+      Why = std::string("emission mismatch (") + What + ")";
+      return false;
+    };
+    switch (E.Kind) {
+    case SymAction::Select:
+      if (A.Kind != Action::Select)
+        return Mismatch("expected Select");
+      return bindComp(E.Comp, A.CompId, Val, Why);
+    case SymAction::Recv: {
+      if (A.Kind != Action::Recv || A.Msg.Name != E.MsgName ||
+          A.Msg.Args.size() != E.Args.size())
+        return Mismatch("expected matching Recv");
+      if (!bindComp(E.Comp, A.CompId, Val, Why))
+        return false;
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        // Parameters are fresh symbols: bind them to the payload.
+        if (E.Args[I]->Kind == TermKind::SymVar &&
+            !Val.Syms.count(E.Args[I]))
+          Val.Syms[E.Args[I]] = A.Msg.Args[I];
+        else if (auto V = evalTerm(E.Args[I], Val);
+                 !V || !(*V == A.Msg.Args[I]))
+          return Mismatch("Recv payload");
+      }
+      return true;
+    }
+    case SymAction::Send: {
+      if (A.Kind != Action::Send || A.Msg.Name != E.MsgName ||
+          A.Msg.Args.size() != E.Args.size())
+        return Mismatch("expected matching Send");
+      if (!bindComp(E.Comp, A.CompId, Val, Why))
+        return false;
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        std::optional<Value> V = evalTerm(E.Args[I], Val);
+        if (!V || !(*V == A.Msg.Args[I]))
+          return Mismatch("Send payload");
+      }
+      return true;
+    }
+    case SymAction::Spawn:
+      if (A.Kind != Action::Spawn)
+        return Mismatch("expected Spawn");
+      return bindComp(E.Comp, A.CompId, Val, Why);
+    case SymAction::Call: {
+      if (A.Kind != Action::Call || A.CallFn != E.CallFn)
+        return Mismatch("expected matching Call");
+      Val.Syms[E.CallResult] = A.CallResult;
+      for (size_t I = 0;
+           I < E.Args.size() && I < A.CallArgs.size(); ++I) {
+        std::optional<Value> V = evalTerm(E.Args[I], Val);
+        if (!V || !(*V == A.CallArgs[I]))
+          return Mismatch("Call argument");
+      }
+      return true;
+    }
+    }
+    return false;
+  }
+
+  /// Re-runs an unresolved lookup over the concrete pre-exchange set.
+  bool resolveLookup(TermRef CompTerm, const SymPath &Path, Valuation &Val,
+                     size_t Begin, std::string &Why) {
+    // Gather the constraint literals mentioning this component's fields:
+    // they have the shape Eq(field, expr).
+    std::vector<std::pair<int, TermRef>> Constraints;
+    for (const Lit &L : Path.Cond) {
+      if (!L.Pos || L.Atom->Kind != TermKind::Eq)
+        continue;
+      for (int Side = 0; Side < 2; ++Side) {
+        TermRef FieldSide = L.Atom->Ops[Side];
+        TermRef ExprSide = L.Atom->Ops[1 - Side];
+        for (size_t I = 0; I < CompTerm->Ops.size(); ++I)
+          if (CompTerm->Ops[I] == FieldSide)
+            Constraints.emplace_back(static_cast<int>(I), ExprSide);
+      }
+    }
+    std::string TypeName = Ctx.symbolStr(CompTerm->Str);
+    for (const ComponentInstance &Cand : liveCompsBefore(Begin)) {
+      if (Cand.TypeName != TypeName)
+        continue;
+      bool Ok = true;
+      for (const auto &[Index, ExprTerm] : Constraints) {
+        std::optional<Value> V = evalTerm(ExprTerm, Val);
+        if (!V || !(Cand.Config[Index] == *V)) {
+          Ok = false;
+          break;
+        }
+      }
+      if (Ok)
+        return bindComp(CompTerm, Cand.Id, Val, Why);
+    }
+    Why = "lookup component unresolvable";
+    return false;
+  }
+
+  std::optional<Value> evalTerm(TermRef T, const Valuation &Val) {
+    if (auto L = Ctx.literalValue(T))
+      return L;
+    switch (T->Kind) {
+    case TermKind::SymVar: {
+      auto It = Val.Syms.find(T);
+      if (It == Val.Syms.end())
+        return std::nullopt;
+      return It->second;
+    }
+    case TermKind::Comp: {
+      auto It = Val.Comps.find(T);
+      if (It == Val.Comps.end())
+        return std::nullopt;
+      return Value::comp(It->second);
+    }
+    case TermKind::Eq: {
+      auto A = evalTerm(T->Ops[0], Val);
+      auto B = evalTerm(T->Ops[1], Val);
+      if (!A || !B)
+        return std::nullopt;
+      return Value::boolean(*A == *B);
+    }
+    case TermKind::Lt:
+    case TermKind::Le: {
+      auto A = evalTerm(T->Ops[0], Val);
+      auto B = evalTerm(T->Ops[1], Val);
+      if (!A || !B)
+        return std::nullopt;
+      return Value::boolean(T->Kind == TermKind::Lt
+                                ? A->asNum() < B->asNum()
+                                : A->asNum() <= B->asNum());
+    }
+    case TermKind::And:
+    case TermKind::Or: {
+      auto A = evalTerm(T->Ops[0], Val);
+      auto B = evalTerm(T->Ops[1], Val);
+      if (!A || !B)
+        return std::nullopt;
+      bool R = T->Kind == TermKind::And ? (A->asBool() && B->asBool())
+                                        : (A->asBool() || B->asBool());
+      return Value::boolean(R);
+    }
+    case TermKind::Not: {
+      auto A = evalTerm(T->Ops[0], Val);
+      if (!A)
+        return std::nullopt;
+      return Value::boolean(!A->asBool());
+    }
+    case TermKind::Add:
+    case TermKind::Sub: {
+      auto A = evalTerm(T->Ops[0], Val);
+      auto B = evalTerm(T->Ops[1], Val);
+      if (!A || !B)
+        return std::nullopt;
+      return Value::num(T->Kind == TermKind::Add ? A->asNum() + B->asNum()
+                                                 : A->asNum() - B->asNum());
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+  TermContext &Ctx;
+  const Program &P;
+  const BehAbs &Abs;
+  const Trace &Tr;
+  std::map<std::string, Value> Vars;
+};
+
+} // namespace
+
+ReplayResult replayTrace(TermContext &Ctx, const Program &P,
+                         const BehAbs &Abs, const Trace &Tr) {
+  return Replayer(Ctx, P, Abs, Tr).run();
+}
+
+} // namespace reflex

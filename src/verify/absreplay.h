@@ -1,0 +1,50 @@
+//===- verify/absreplay.h - Trace inclusion in BehAbs -----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that a concrete trace is accepted by the behavioral abstraction:
+/// the trace must decompose into the init emissions followed by a sequence
+/// of exchanges, each of which instantiates some symbolic path of the
+/// corresponding handler summary (conditions evaluate to true, emissions
+/// agree value-for-value, updates track the concrete state, failed-lookup
+/// facts hold of the concrete component set).
+///
+/// The paper proves "any trace induced by running the interpreter on a
+/// program is included in that program's behavioral abstraction" once and
+/// for all in Coq (Figure 1, arrow A). The C++ substitution checks the
+/// same inclusion dynamically: the property-based refinement tests drive
+/// the runtime with random schedules and replay every produced trace
+/// through this checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_ABSREPLAY_H
+#define REFLEX_VERIFY_ABSREPLAY_H
+
+#include "ast/program.h"
+#include "trace/action.h"
+#include "verify/behabs.h"
+
+#include <string>
+
+namespace reflex {
+
+struct ReplayResult {
+  bool Included = false;
+  /// Number of exchanges successfully matched.
+  size_t Exchanges = 0;
+  std::string Why;
+};
+
+/// Replays \p Tr against \p Abs. \p P must be the validated program the
+/// abstraction was built from.
+ReplayResult replayTrace(TermContext &Ctx, const Program &P,
+                         const BehAbs &Abs, const Trace &Tr);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_ABSREPLAY_H

@@ -1,0 +1,40 @@
+//===- verify/behabs.cc - Behavioral abstraction ----------------*- C++ -*-===//
+
+#include "verify/behabs.h"
+
+namespace reflex {
+
+const HandlerSummary *BehAbs::findSummary(const std::string &CompType,
+                                          const std::string &MsgName) const {
+  for (const HandlerSummary &H : Handlers)
+    if (H.CompType == CompType && H.MsgName == MsgName)
+      return &H;
+  return nullptr;
+}
+
+bool BehAbs::incomplete() const {
+  if (Init.Incomplete)
+    return true;
+  for (const HandlerSummary &H : Handlers)
+    if (H.Incomplete)
+      return true;
+  return false;
+}
+
+BehAbs buildBehAbs(TermContext &Ctx, const Program &P,
+                   const SymExecLimits &Limits) {
+  BehAbs Abs;
+  Abs.Init = summarizeInit(Ctx, P, Limits);
+  for (const ComponentTypeDecl &CT : P.Components) {
+    for (const MessageDecl &MD : P.Messages) {
+      if (const Handler *H = P.findHandler(CT.Name, MD.Name))
+        Abs.Handlers.push_back(
+            summarizeHandler(Ctx, P, *H, Abs.Init.CompGlobals, Limits));
+      else
+        Abs.Handlers.push_back(makeDefaultSummary(Ctx, P, CT.Name, MD.Name));
+    }
+  }
+  return Abs;
+}
+
+} // namespace reflex

@@ -1,0 +1,55 @@
+//===- verify/behabs.h - Behavioral abstraction -----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BehAbs (paper §3.3): the behavioral abstraction of a program — an
+/// inductively defined characterization of its reachable states and
+/// traces. BehAbs holds on the state after init, and inductively on any
+/// state resulting from an exchange (the Exchange relation: receive a
+/// message m from a component c of some type, run the matching handler
+/// under some nondeterministic context).
+///
+/// Concretely, the abstraction is: the init summary plus one handler
+/// summary for *every* (component type, message type) pair — declared
+/// handlers symbolically executed, everything else the implicit
+/// no-response default. The prover's induction (verify/prover.h) ranges
+/// over exactly these cases; the refinement tests (verify/absreplay.h)
+/// check that every concrete interpreter trace is accepted by it — our
+/// testing stand-in for the paper's once-and-for-all Coq soundness proof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_BEHABS_H
+#define REFLEX_VERIFY_BEHABS_H
+
+#include "verify/symexec.h"
+
+namespace reflex {
+
+/// The behavioral abstraction of a validated program.
+struct BehAbs {
+  InitSummary Init;
+  /// One summary per (component type, message type), in declaration order
+  /// (component-major).
+  std::vector<HandlerSummary> Handlers;
+
+  const HandlerSummary *findSummary(const std::string &CompType,
+                                    const std::string &MsgName) const;
+
+  /// True if any part of the abstraction overflowed symbolic-execution
+  /// limits (prover must answer Unknown).
+  bool incomplete() const;
+};
+
+/// Builds the abstraction. \p P must be validated; all terms are created
+/// in \p Ctx.
+BehAbs buildBehAbs(TermContext &Ctx, const Program &P,
+                   const SymExecLimits &Limits = {});
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_BEHABS_H

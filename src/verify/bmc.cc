@@ -1,0 +1,264 @@
+//===- verify/bmc.cc - Bounded refutation -----------------------*- C++ -*-===//
+
+#include "verify/bmc.h"
+
+#include "interp/evaluator.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace reflex {
+
+namespace {
+
+/// Harvests the literal values appearing anywhere in the program and the
+/// property — the "interesting" payload domain for exhaustive driving.
+class DomainCollector {
+public:
+  std::set<int64_t> Nums{0, 1};
+  std::set<std::string> Strs;
+
+  void fromExpr(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Lit:
+      addValue(cast<LitExpr>(E).value());
+      break;
+    case Expr::Unary:
+      fromExpr(cast<UnaryExpr>(E).operand());
+      break;
+    case Expr::Binary:
+      fromExpr(cast<BinaryExpr>(E).lhs());
+      fromExpr(cast<BinaryExpr>(E).rhs());
+      break;
+    case Expr::ConfigRef:
+      fromExpr(cast<ConfigRefExpr>(E).base());
+      break;
+    default:
+      break;
+    }
+  }
+
+  void fromCmd(const Cmd &C) {
+    switch (C.kind()) {
+    case Cmd::Block:
+      for (const CmdPtr &Sub : castCmd<BlockCmd>(C).commands())
+        fromCmd(*Sub);
+      break;
+    case Cmd::Assign:
+      fromExpr(castCmd<AssignCmd>(C).rhs());
+      break;
+    case Cmd::If: {
+      const auto &If = castCmd<IfCmd>(C);
+      fromExpr(If.cond());
+      fromCmd(If.thenCmd());
+      fromCmd(If.elseCmd());
+      break;
+    }
+    case Cmd::Send:
+      for (const ExprPtr &Arg : castCmd<SendCmd>(C).args())
+        fromExpr(*Arg);
+      break;
+    case Cmd::Spawn:
+      for (const ExprPtr &Arg : castCmd<SpawnCmd>(C).config())
+        fromExpr(*Arg);
+      break;
+    case Cmd::Call:
+      for (const ExprPtr &Arg : castCmd<CallCmd>(C).args())
+        fromExpr(*Arg);
+      break;
+    case Cmd::Lookup: {
+      const auto &L = castCmd<LookupCmd>(C);
+      for (const LookupConstraint &LC : L.constraints())
+        fromExpr(*LC.Expr);
+      fromCmd(L.thenCmd());
+      fromCmd(L.elseCmd());
+      break;
+    }
+    case Cmd::Nop:
+      break;
+    }
+  }
+
+  void fromPattern(const ActionPattern &Pat) {
+    for (const CompFieldPattern &F : Pat.Comp.Fields)
+      if (F.Pat.Kind == PatTerm::Lit)
+        addValue(F.Pat.LitVal);
+    if (Pat.Kind != ActionPattern::Spawn)
+      for (const PatTerm &T : Pat.Msg.Args)
+        if (T.Kind == PatTerm::Lit)
+          addValue(T.LitVal);
+  }
+
+  void addValue(const Value &V) {
+    if (V.type() == BaseType::Num)
+      Nums.insert(V.asNum());
+    else if (V.type() == BaseType::Str)
+      Strs.insert(V.asStr());
+  }
+
+  std::vector<Value> domain(BaseType Ty) const {
+    std::vector<Value> Out;
+    switch (Ty) {
+    case BaseType::Num:
+      for (int64_t N : Nums)
+        Out.push_back(Value::num(N));
+      break;
+    case BaseType::Str:
+      for (const std::string &S : Strs)
+        Out.push_back(Value::str(S));
+      Out.push_back(Value::str("bmc_a"));
+      Out.push_back(Value::str("bmc_b"));
+      break;
+    case BaseType::Bool:
+      Out.push_back(Value::boolean(false));
+      Out.push_back(Value::boolean(true));
+      break;
+    case BaseType::Fdesc:
+      Out.push_back(Value::fdesc(7));
+      break;
+    case BaseType::Comp:
+      break;
+    }
+    return Out;
+  }
+};
+
+DomainCollector collectDomains(const Program &P) {
+  DomainCollector DC;
+  if (P.Init)
+    DC.fromCmd(*P.Init);
+  for (const Handler &H : P.Handlers)
+    DC.fromCmd(*H.Body);
+  for (const StateVarDecl &V : P.StateVars)
+    DC.addValue(V.Init);
+  for (const Property &Prop : P.Properties)
+    if (Prop.isTrace()) {
+      DC.fromPattern(Prop.traceProp().A);
+      DC.fromPattern(Prop.traceProp().B);
+    }
+  return DC;
+}
+
+class Bmc {
+public:
+  Bmc(const Program &P, const TraceProperty &TP, const BmcOptions &Opts)
+      : P(P), TP(TP), Opts(Opts), Eval(P) {
+    DomainCollector DC = collectDomains(P);
+
+    // Pre-enumerate payload combinations per message type.
+    for (const MessageDecl &MD : P.Messages) {
+      std::vector<std::vector<Value>> Combos{{}};
+      for (BaseType Ty : MD.Payload) {
+        std::vector<Value> Dom = DC.domain(Ty);
+        std::vector<std::vector<Value>> Next;
+        for (const auto &Base : Combos)
+          for (const Value &V : Dom) {
+            if (Next.size() >= Opts.MaxPayloadsPerMessage)
+              break;
+            std::vector<Value> Ext = Base;
+            Ext.push_back(V);
+            Next.push_back(std::move(Ext));
+          }
+        Combos = std::move(Next);
+        if (Combos.size() > Opts.MaxPayloadsPerMessage)
+          Combos.resize(Opts.MaxPayloadsPerMessage);
+      }
+      Payloads[MD.Name] = std::move(Combos);
+    }
+    CallDomain = DC.domain(BaseType::Str);
+  }
+
+  BmcResult run() {
+    KernelState St;
+    EffectHooks Hooks = hooks();
+    Eval.runInit(St, Hooks);
+    if (!check(St))
+      dfs(St, 0);
+    Result.StatesExplored = States;
+    return std::move(Result);
+  }
+
+private:
+  EffectHooks hooks() {
+    EffectHooks H;
+    // Deterministic rotation over the string domain: each execution is a
+    // genuine run under *some* nondeterministic context, so any violation
+    // found is real.
+    H.OnCall = [this](const std::string &,
+                      const std::vector<Value> &) -> Value {
+      if (CallDomain.empty())
+        return Value::str("");
+      return CallDomain[CallCounter++ % CallDomain.size()];
+    };
+    return H;
+  }
+
+  /// Returns true (and records) if the current trace violates the
+  /// property.
+  bool check(const KernelState &St) {
+    if (Result.Violated)
+      return true;
+    if (auto V = checkTraceProperty(St.Tr, TP)) {
+      Result.Violated = true;
+      Result.Counterexample = St.Tr;
+      Result.Explanation = V->Explanation;
+      return true;
+    }
+    return false;
+  }
+
+  void dfs(const KernelState &St, size_t Depth) {
+    if (Result.Violated || Depth >= Opts.MaxDepth || States >= Opts.MaxStates)
+      return;
+    // Note: no state-hash pruning. Two executions reaching the same kernel
+    // state with different *traces* are not interchangeable for trace
+    // properties (e.g. "Crash received, state unchanged" must still flag a
+    // later lock). The depth and state caps bound the search instead.
+
+    // Try every (live component, message, payload) exchange.
+    size_t NumComps = St.Tr.Components.size();
+    for (size_t C = 0; C < NumComps && !Result.Violated; ++C) {
+      for (const MessageDecl &MD : P.Messages) {
+        for (const std::vector<Value> &Args : Payloads[MD.Name]) {
+          if (Result.Violated || States >= Opts.MaxStates)
+            return;
+          ++States;
+          KernelState Next = St;
+          Message M;
+          M.Name = MD.Name;
+          M.Args = Args;
+          EffectHooks Hooks = hooks();
+          Eval.runExchange(Next, St.Tr.Components[C].Id, M, Hooks);
+          if (check(Next))
+            return;
+          dfs(Next, Depth + 1);
+        }
+      }
+    }
+  }
+
+  const Program &P;
+  const TraceProperty &TP;
+  BmcOptions Opts;
+  Evaluator Eval;
+  std::map<std::string, std::vector<std::vector<Value>>> Payloads;
+  std::vector<Value> CallDomain;
+  size_t CallCounter = 0;
+  size_t States = 0;
+  BmcResult Result;
+};
+
+} // namespace
+
+std::vector<Value> harvestDomain(const Program &P, BaseType Ty) {
+  return collectDomains(P).domain(Ty);
+}
+
+BmcResult bmcSearch(const Program &P, const Property &Prop,
+                    const BmcOptions &Opts) {
+  if (!Prop.isTrace())
+    return {};
+  return Bmc(P, Prop.traceProp(), Opts).run();
+}
+
+} // namespace reflex

@@ -1,0 +1,61 @@
+//===- verify/bmc.h - Bounded refutation ------------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded model checker over the *concrete* semantics: exhaustively
+/// drives the kernel through short message sequences (small payload
+/// domains harvested from the program text) and checks each trace against
+/// a trace property. A hit is a genuine counterexample trace.
+///
+/// This is the complement of the prover's incompleteness story: the
+/// prover never claims falsity, and in the paper's own evaluation (§6.3)
+/// two web-server policies "turned out to be false" — exactly the
+/// situation where a concrete counterexample tells the user what to fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_BMC_H
+#define REFLEX_VERIFY_BMC_H
+
+#include "ast/program.h"
+#include "prop/check.h"
+
+#include <cstdint>
+#include <string>
+
+namespace reflex {
+
+struct BmcOptions {
+  /// Maximum number of exchanges.
+  size_t MaxDepth = 4;
+  /// Global cap on explored states.
+  size_t MaxStates = 50000;
+  /// Cap on payload combinations enumerated per message type.
+  size_t MaxPayloadsPerMessage = 32;
+};
+
+struct BmcResult {
+  bool Violated = false;
+  Trace Counterexample;
+  std::string Explanation;
+  size_t StatesExplored = 0;
+};
+
+/// Searches for a concrete trace of \p P violating the trace property
+/// \p Prop. Non-trace properties are rejected (returns non-violated).
+BmcResult bmcSearch(const Program &P, const Property &Prop,
+                    const BmcOptions &Opts = {});
+
+/// The "interesting" payload values of type \p Ty harvested from the
+/// program and property text (every literal, plus a couple of fresh
+/// tokens). Shared by the BMC's exhaustive driving and the CLI's fuzz
+/// driver.
+std::vector<Value> harvestDomain(const Program &P, BaseType Ty);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_BMC_H

@@ -1,0 +1,119 @@
+//===- verify/certificate.cc - Proof certificates ---------------*- C++ -*-===//
+
+#include "verify/certificate.h"
+
+#include "support/json.h"
+
+namespace reflex {
+
+const char *justifyName(Justify J) {
+  switch (J) {
+  case Justify::PathInfeasible:
+    return "path-infeasible";
+  case Justify::LocalObligation:
+    return "local-obligation";
+  case Justify::CompOrigin:
+    return "component-origin";
+  case Justify::InvariantHistory:
+    return "invariant-history";
+  case Justify::NoCompHistory:
+    return "no-comp-history";
+  case Justify::GuardPreserved:
+    return "guard-preserved";
+  case Justify::SyntacticSkip:
+    return "syntactic-skip";
+  case Justify::NoPriorLocal:
+    return "no-prior-local";
+  }
+  return "?";
+}
+
+const InvariantRecord *Certificate::findInvariant(int Id) const {
+  for (const InvariantRecord &Inv : Invariants)
+    if (Inv.Id == Id)
+      return &Inv;
+  return nullptr;
+}
+
+namespace {
+
+void writeStep(JsonWriter &W, const TermContext &Ctx, const ProofStep &S) {
+  W.beginObject();
+  W.field("where", S.Where);
+  W.field("path", static_cast<int64_t>(S.PathIndex));
+  if (S.EmitIndex >= 0)
+    W.field("emit", static_cast<int64_t>(S.EmitIndex));
+  W.field("justify", justifyName(S.Kind));
+  if (S.LocalIndex >= 0)
+    W.field("local", static_cast<int64_t>(S.LocalIndex));
+  if (S.InvariantId >= 0)
+    W.field("invariant", static_cast<int64_t>(S.InvariantId));
+  if (!S.Binding.empty()) {
+    W.key("binding");
+    W.beginObject();
+    for (const auto &[Var, Term] : S.Binding)
+      W.field(Var, Ctx.str(Term));
+    W.endObject();
+  }
+  W.endObject();
+}
+
+void writeLits(JsonWriter &W, const TermContext &Ctx,
+               const std::vector<Lit> &Lits) {
+  W.beginArray();
+  for (const Lit &L : Lits)
+    W.value((L.Pos ? "" : "!") + Ctx.str(L.Atom));
+  W.endArray();
+}
+
+} // namespace
+
+std::string Certificate::toJson(const TermContext &Ctx) const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("program", ProgramName);
+  W.field("property", PropertyName);
+  W.field("kind", Kind);
+  W.key("steps");
+  W.beginArray();
+  for (const ProofStep &S : Steps)
+    writeStep(W, Ctx, S);
+  W.endArray();
+  W.key("invariants");
+  W.beginArray();
+  for (const InvariantRecord &Inv : Invariants) {
+    W.beginObject();
+    W.field("id", static_cast<int64_t>(Inv.Id));
+    W.field("forbids", Inv.Forbids);
+    W.key("guard");
+    writeLits(W, Ctx, Inv.Guard);
+    W.field("action", Inv.Action.str());
+    W.key("steps");
+    W.beginArray();
+    for (const ProofStep &S : Inv.Steps)
+      writeStep(W, Ctx, S);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  if (!NICases.empty()) {
+    W.key("ni_cases");
+    W.beginArray();
+    for (const NICaseRecord &C : NICases) {
+      W.beginObject();
+      W.field("where", C.Where);
+      W.field("path", static_cast<int64_t>(C.PathIndex));
+      W.field("sender_high", C.SenderHigh);
+      W.key("label_lits");
+      writeLits(W, Ctx, C.LabelLits);
+      if (!C.Note.empty())
+        W.field("note", C.Note);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+  return W.take();
+}
+
+} // namespace reflex

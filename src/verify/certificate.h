@@ -1,0 +1,128 @@
+//===- verify/certificate.h - Proof certificates ----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit proof objects. In the paper the proof search emits Coq proof
+/// terms re-checked by Coq's kernel (the de Bruijn criterion: a large
+/// untrusted search, a small trusted checker). The C++ substitution keeps
+/// that architecture in miniature: the prover records, for every case of
+/// the induction over BehAbs, *which* justification discharges it (a local
+/// emission, a failed-lookup fact, an auxiliary invariant, ...), and the
+/// independent checker (verify/checker.h) re-enumerates all obligations
+/// and re-validates every claimed justification using only the solver and
+/// the handler summaries. The prover's search heuristics are thereby
+/// outside the trusted base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_CERTIFICATE_H
+#define REFLEX_VERIFY_CERTIFICATE_H
+
+#include "prop/property.h"
+#include "verify/symstate.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// How one proof obligation was discharged.
+enum class Justify : uint8_t {
+  /// The assumption set (path condition + match condition) is
+  /// contradictory: the case cannot arise.
+  PathInfeasible,
+  /// An earlier/later emission in the same path satisfies the obligation
+  /// (at LocalIndex).
+  LocalObligation,
+  /// A component found by lookup witnesses a prior Spawn action matching
+  /// the obligation (the component-origin axiom: every live component was
+  /// spawned, and spawns are trace actions).
+  CompOrigin,
+  /// Auxiliary invariant #InvariantId supplies the history fact.
+  InvariantHistory,
+  /// A failed-lookup fact refutes any prior matching Spawn (Disables).
+  NoCompHistory,
+  /// Invariant step: the guard is preserved, so the inductive hypothesis
+  /// applies to the prefix trace.
+  GuardPreserved,
+  /// The handler cannot emit a matching action nor disturb the guard —
+  /// decided syntactically, without symbolic evaluation (§6.4
+  /// optimization).
+  SyntacticSkip,
+  /// Disables: every earlier in-path emission was refuted as a match.
+  NoPriorLocal,
+};
+
+const char *justifyName(Justify J);
+
+/// One discharged obligation.
+struct ProofStep {
+  /// "init" or "CompType=>MsgName".
+  std::string Where;
+  int PathIndex = -1;
+  /// Index of the trigger emission within the path (-1 for whole-path
+  /// records such as invariant step cases).
+  int EmitIndex = -1;
+  Justify Kind = Justify::PathInfeasible;
+  /// Emission index of a local justification (LocalObligation).
+  int LocalIndex = -1;
+  /// Id of the auxiliary invariant (InvariantHistory).
+  int InvariantId = -1;
+  /// The trigger binding σ (pattern variable -> term).
+  SymBinding Binding;
+};
+
+/// An auxiliary invariant of the form
+///   Guard(state, vars) ⇒ [∃ / ∄] action matching Action(vars) in trace
+/// together with its own inductive proof (base + one step per
+/// handler-path).
+struct InvariantRecord {
+  int Id = 0;
+  /// false: guard requires history (∃); true: guard forbids history (∄).
+  bool Forbids = false;
+  /// Literals over canonical state symbols and pattern-variable symbols.
+  std::vector<Lit> Guard;
+  ActionPattern Action;
+  std::map<std::string, BaseType> VarTypes;
+  std::vector<ProofStep> Steps;
+};
+
+/// A non-interference case record (one per handler path and sender-label
+/// case); the checker re-derives the label split and re-validates the
+/// support/label checks.
+struct NICaseRecord {
+  std::string Where;
+  int PathIndex = -1;
+  /// true: the sender was (assumed) high in this case.
+  bool SenderHigh = false;
+  /// Literals added by the label case split.
+  std::vector<Lit> LabelLits;
+  /// Free-form description of the checks that passed (documentation; not
+  /// consumed by the checker).
+  std::string Note;
+};
+
+/// A complete proof certificate for one property.
+struct Certificate {
+  std::string ProgramName;
+  std::string PropertyName;
+  /// Trace op name, or "noninterference".
+  std::string Kind;
+  std::vector<ProofStep> Steps;
+  std::vector<InvariantRecord> Invariants;
+  std::vector<NICaseRecord> NICases;
+
+  const InvariantRecord *findInvariant(int Id) const;
+
+  /// JSON export for auditing.
+  std::string toJson(const TermContext &Ctx) const;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_CERTIFICATE_H

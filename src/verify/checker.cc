@@ -1,0 +1,115 @@
+//===- verify/checker.cc - Independent certificate checking -----*- C++ -*-===//
+
+#include "verify/checker.h"
+
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+bool litsEqual(const std::vector<Lit> &A, const std::vector<Lit> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!(A[I] == B[I]))
+      return false;
+  return true;
+}
+
+bool stepsEqual(const std::vector<ProofStep> &A,
+                const std::vector<ProofStep> &B, std::string &Why) {
+  if (A.size() != B.size()) {
+    Why = "step count differs (" + std::to_string(A.size()) + " vs " +
+          std::to_string(B.size()) + ")";
+    return false;
+  }
+  for (size_t I = 0; I < A.size(); ++I) {
+    const ProofStep &X = A[I];
+    const ProofStep &Y = B[I];
+    if (X.Where != Y.Where || X.PathIndex != Y.PathIndex ||
+        X.EmitIndex != Y.EmitIndex || X.Kind != Y.Kind ||
+        X.LocalIndex != Y.LocalIndex || X.InvariantId != Y.InvariantId ||
+        X.Binding != Y.Binding) {
+      Why = "step " + std::to_string(I) + " differs at " + X.Where;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool certsEqual(const Certificate &A, const Certificate &B,
+                std::string &Why) {
+  if (A.PropertyName != B.PropertyName || A.Kind != B.Kind) {
+    Why = "certificate header differs";
+    return false;
+  }
+  if (!stepsEqual(A.Steps, B.Steps, Why))
+    return false;
+  if (A.Invariants.size() != B.Invariants.size()) {
+    Why = "invariant count differs";
+    return false;
+  }
+  for (size_t I = 0; I < A.Invariants.size(); ++I) {
+    const InvariantRecord &X = A.Invariants[I];
+    const InvariantRecord &Y = B.Invariants[I];
+    if (X.Id != Y.Id || X.Forbids != Y.Forbids ||
+        !litsEqual(X.Guard, Y.Guard) || X.Action.str() != Y.Action.str()) {
+      Why = "invariant " + std::to_string(X.Id) + " differs";
+      return false;
+    }
+    if (!stepsEqual(X.Steps, Y.Steps, Why))
+      return false;
+  }
+  if (A.NICases.size() != B.NICases.size()) {
+    Why = "NI case count differs";
+    return false;
+  }
+  for (size_t I = 0; I < A.NICases.size(); ++I) {
+    const NICaseRecord &X = A.NICases[I];
+    const NICaseRecord &Y = B.NICases[I];
+    if (X.Where != Y.Where || X.PathIndex != Y.PathIndex ||
+        X.SenderHigh != Y.SenderHigh || !litsEqual(X.LabelLits, Y.LabelLits)) {
+      Why = "NI case " + std::to_string(I) + " differs at " + X.Where;
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
+                              const BehAbs &Abs, const Property &Prop,
+                              const Certificate &Cert,
+                              const ProverOptions &Opts) {
+  CheckOutcome Out;
+
+  // Fresh solver: every query in the re-derivation is recomputed.
+  Solver FreshSolv(Ctx);
+
+  if (Prop.isTrace()) {
+    // Fresh invariant cache: ids and proofs re-derived from scratch.
+    InvariantCache FreshCache;
+    TraceProofOutcome Redo = proveTraceProperty(Ctx, FreshSolv, P, Abs, Prop,
+                                                Opts, FreshCache);
+    if (!Redo.Proved) {
+      Out.Why = "re-derivation failed: " + Redo.Reason;
+      return Out;
+    }
+    if (!certsEqual(Cert, Redo.Cert, Out.Why))
+      return Out;
+  } else {
+    NIProofOutcome Redo = proveNonInterference(Ctx, FreshSolv, P, Abs, Prop);
+    if (!Redo.Proved) {
+      Out.Why = "re-derivation failed: " + Redo.Reason;
+      return Out;
+    }
+    if (!certsEqual(Cert, Redo.Cert, Out.Why))
+      return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+} // namespace reflex

@@ -1,0 +1,45 @@
+//===- verify/checker.h - Independent certificate checking ------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-validation of proof certificates, standing in for Coq's kernel
+/// re-checking the tactic-produced proof term. The checker re-runs the
+/// (deterministic) proof derivation with a *fresh* solver instance — every
+/// entailment and satisfiability query is recomputed from scratch, with an
+/// empty memo table — and then requires the re-derived certificate to be
+/// structurally identical to the stored one (same cases, same
+/// justifications, same invariants). The prover's search-order heuristics
+/// and caches are thereby outside the trusted base; what remains trusted
+/// is the shared semantics core: symbolic execution, pattern matching, and
+/// the entailment engine (documented in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_CHECKER_H
+#define REFLEX_VERIFY_CHECKER_H
+
+#include "verify/ni.h"
+#include "verify/prover.h"
+
+namespace reflex {
+
+struct CheckOutcome {
+  bool Ok = false;
+  std::string Why;
+};
+
+/// Re-validates \p Cert for property \p Prop of \p P (abstracted by
+/// \p Abs). \p Opts must match the options the certificate was produced
+/// with (they change the certificate's shape, e.g. syntactic-skip steps).
+CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
+                              const BehAbs &Abs, const Property &Prop,
+                              const Certificate &Cert,
+                              const ProverOptions &Opts);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_CHECKER_H

@@ -1,0 +1,60 @@
+//===- verify/incremental.cc - Incremental re-verification ------*- C++ -*-===//
+
+#include "verify/incremental.h"
+
+#include "ast/printer.h"
+#include "support/timer.h"
+
+namespace reflex {
+
+std::string codeFingerprint(const Program &P) {
+  // Render everything except properties. printProgram emits properties
+  // last, but re-rendering a stripped structural copy avoids depending on
+  // that: print section by section.
+  std::string Out = printProgram(P);
+  size_t Pos = Out.find("\nproperty ");
+  if (Pos != std::string::npos)
+    Out.resize(Pos);
+  return Out;
+}
+
+IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
+  Outcome Out;
+  Out.Report.ProgramName = P.Name;
+  WallTimer Timer;
+
+  std::string Code = codeFingerprint(P);
+  if (Code != LastCodeFingerprint) {
+    // Kernel changed: previous verdicts are void (any handler can matter
+    // to any property through its guard invariants).
+    Verdicts.clear();
+    LastCodeFingerprint = std::move(Code);
+  }
+
+  // One shared session for everything that must be (re)verified.
+  std::unique_ptr<VerifySession> Session;
+  for (const Property &Prop : P.Properties) {
+    std::string Key = Prop.str();
+    auto It = Verdicts.find(Key);
+    if (It != Verdicts.end()) {
+      ++Out.Reused;
+      Out.Report.Results.push_back(It->second);
+      continue;
+    }
+    if (!Session)
+      Session = std::make_unique<VerifySession>(P, Opts);
+    PropertyResult R = Session->verify(Prop);
+    ++Out.Reverified;
+    // Strip the certificate before caching: it references the session's
+    // term context, which dies with the session.
+    PropertyResult Cached = R;
+    Cached.Cert = Certificate();
+    Cached.Counterexample = Trace();
+    Verdicts[Key] = Cached;
+    Out.Report.Results.push_back(std::move(Cached));
+  }
+  Out.Report.TotalMillis = Timer.elapsedMillis();
+  return Out;
+}
+
+} // namespace reflex

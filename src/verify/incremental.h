@@ -1,0 +1,72 @@
+//===- verify/incremental.h - Incremental re-verification -------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental re-verification — the paper's stated future work ("Future
+/// work can explore incremental verification in order to further reduce
+/// the time required for re-verification", §6.4).
+///
+/// The model matches the paper's edit-verify workflow: the user edits the
+/// kernel or its properties and re-runs the automation. This verifier
+/// fingerprints the program's *code* (everything except the property
+/// declarations) and each property's text:
+///
+///  * unchanged code + unchanged property  -> the previous verdict is
+///    reused (sound: verification depends on nothing else);
+///  * changed/new property over unchanged code -> only that property is
+///    re-verified, sharing one session (abstraction, solver memo,
+///    invariant cache) with the others;
+///  * changed code -> everything re-verifies (a trace property can depend
+///    on *any* handler through its guard invariants, so no finer sound
+///    footprint is attempted).
+///
+/// Reused results carry their status and original timing but not their
+/// certificate (certificates reference the originating session's term
+/// context); run a fresh full verification when certificates are needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_INCREMENTAL_H
+#define REFLEX_VERIFY_INCREMENTAL_H
+
+#include "verify/verifier.h"
+
+#include <map>
+#include <string>
+
+namespace reflex {
+
+class IncrementalVerifier {
+public:
+  explicit IncrementalVerifier(const VerifyOptions &Opts = {})
+      : Opts(Opts) {}
+
+  struct Outcome {
+    VerificationReport Report;
+    /// Results served from the previous version's verdicts.
+    unsigned Reused = 0;
+    /// Properties verified in this call.
+    unsigned Reverified = 0;
+  };
+
+  /// Verifies \p P, reusing verdicts from the previous call where sound.
+  Outcome verify(const Program &P);
+
+private:
+  VerifyOptions Opts;
+  std::string LastCodeFingerprint;
+  /// Property text -> last verdict (certificate stripped).
+  std::map<std::string, PropertyResult> Verdicts;
+};
+
+/// The code fingerprint: the printed program with the property section
+/// removed. Two programs with equal fingerprints have identical kernels.
+std::string codeFingerprint(const Program &P);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_INCREMENTAL_H

@@ -1,0 +1,96 @@
+//===- verify/invariant.cc - Guard invariants -------------------*- C++ -*-===//
+
+#include "verify/invariant.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reflex {
+
+bool isGuardTerm(TermRef T) {
+  switch (T->Kind) {
+  case TermKind::SymVar:
+    return T->Tag == SymTag::State || T->Tag == SymTag::PatVar;
+  case TermKind::Comp:
+    // State variables are never component-typed, so a component term in a
+    // guard could not be re-evaluated at other program points.
+    return false;
+  default:
+    for (TermRef Op : T->Ops)
+      if (!isGuardTerm(Op))
+        return false;
+    return true;
+  }
+}
+
+std::string GuardInvariant::cacheKey(const TermContext &Ctx) const {
+  std::ostringstream OS;
+  OS << (Forbids ? "forbid|" : "require|") << Action.str() << "|";
+  std::vector<std::string> Lits;
+  for (const Lit &L : Guard)
+    Lits.push_back((L.Pos ? "" : "!") + Ctx.str(L.Atom));
+  std::sort(Lits.begin(), Lits.end());
+  for (const std::string &S : Lits)
+    OS << S << "&";
+  return OS.str();
+}
+
+GuardInvariant
+synthesizeGuard(TermContext &Ctx, const std::vector<Lit> &Assume,
+                const SymBinding &Sigma, const ActionPattern &Action,
+                const std::map<std::string, BaseType> &VarTypes,
+                bool Forbids) {
+  GuardInvariant Inv;
+  Inv.Forbids = Forbids;
+  Inv.Action = Action;
+  Inv.VarTypes = VarTypes;
+
+  // Generalization map: trigger-bound term -> pattern symbol.
+  std::unordered_map<TermRef, TermRef> Gen;
+  for (const auto &[Var, Term] : Sigma) {
+    auto TyIt = VarTypes.find(Var);
+    if (TyIt == VarTypes.end())
+      continue;
+    Gen.emplace(Term, Ctx.patSym(Var, TyIt->second));
+  }
+
+  std::set<std::pair<TermRef, bool>> Seen;
+  for (const Lit &L : Assume) {
+    TermRef T = Ctx.substitute(L.Atom, Gen);
+    if (!isGuardTerm(T))
+      continue;
+    if (T->Kind == TermKind::BoolLit)
+      continue; // trivial
+    if (Seen.insert({T, L.Pos}).second)
+      Inv.Guard.emplace_back(T, L.Pos);
+  }
+  // Canonical order: guards synthesized from different trigger sites must
+  // compare (and cache) identically.
+  std::sort(Inv.Guard.begin(), Inv.Guard.end());
+  return Inv;
+}
+
+SymBinding patSymBinding(TermContext &Ctx, const GuardInvariant &Inv) {
+  SymBinding B;
+  for (const auto &[Var, Ty] : Inv.VarTypes)
+    B.emplace(Var, Ctx.patSym(Var, Ty));
+  return B;
+}
+
+namespace {
+void collectStateSyms(TermRef T, const TermContext &Ctx,
+                      std::set<std::string> &Out) {
+  if (T->Kind == TermKind::SymVar && T->Tag == SymTag::State)
+    Out.insert(Ctx.symbolStr(T->Str));
+  for (TermRef Op : T->Ops)
+    collectStateSyms(Op, Ctx, Out);
+}
+} // namespace
+
+void collectGuardVars(const std::vector<Lit> &Lits, const TermContext &Ctx,
+                      std::set<std::string> &Out) {
+  for (const Lit &L : Lits)
+    collectStateSyms(L.Atom, Ctx, Out);
+}
+
+} // namespace reflex

@@ -1,0 +1,77 @@
+//===- verify/invariant.h - Guard invariants --------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The auxiliary-invariant machinery at the heart of the paper's proof
+/// automation (§5.1): when a trigger's history obligation cannot be
+/// discharged locally, the tactics "prove that the relevant branch
+/// conditions cannot be satisfied without also satisfying the obligations
+/// required by the given property". Concretely, the prover synthesizes a
+/// candidate invariant of the form
+///
+///     Guard(state vars, pattern vars)  ⇒  [∃ | ∄] action matching A in tr
+///
+/// where Guard is the subset of the current assumption set (path condition
+/// + trigger match condition) that survives *generalization*: trigger-bound
+/// terms are replaced by pattern-variable symbols, and only literals whose
+/// support is state symbols + pattern symbols are kept. The candidate is
+/// then proved by its own induction over BehAbs — the paper's "second
+/// induction".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_INVARIANT_H
+#define REFLEX_VERIFY_INVARIANT_H
+
+#include "ast/program.h"
+#include "verify/certificate.h"
+#include "verify/symstate.h"
+
+#include <optional>
+#include <string>
+
+namespace reflex {
+
+/// A candidate guard invariant (statement only; its proof lives in an
+/// InvariantRecord).
+struct GuardInvariant {
+  bool Forbids = false;
+  std::vector<Lit> Guard;
+  ActionPattern Action;
+  std::map<std::string, BaseType> VarTypes;
+
+  /// Canonical key for the invariant-proof cache (the §6.4 "saving
+  /// subproofs at key cut points" optimization).
+  std::string cacheKey(const TermContext &Ctx) const;
+};
+
+/// True if \p T only mentions canonical state symbols, pattern-variable
+/// symbols, and literals (i.e. it can appear in an invariant guard).
+bool isGuardTerm(TermRef T);
+
+/// Synthesizes the candidate guard for obligation pattern \p Action at an
+/// obligation with assumptions \p Assume and trigger binding \p Sigma:
+/// generalizes σ-bound terms to pattern symbols and keeps the guard-safe
+/// literals. \p VarTypes gives each pattern variable's base type.
+GuardInvariant
+synthesizeGuard(TermContext &Ctx, const std::vector<Lit> &Assume,
+                const SymBinding &Sigma, const ActionPattern &Action,
+                const std::map<std::string, BaseType> &VarTypes, bool Forbids);
+
+/// The binding that instantiates an invariant's pattern variables with
+/// their canonical pattern symbols (used when proving the invariant).
+SymBinding patSymBinding(TermContext &Ctx, const GuardInvariant &Inv);
+
+/// Collects the names of the state variables occurring in \p Lits
+/// (their canonical symbols), i.e. the variables whose reassignment can
+/// disturb a guard.
+void collectGuardVars(const std::vector<Lit> &Lits,
+                      const TermContext &Ctx, std::set<std::string> &Out);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_INVARIANT_H

@@ -1,0 +1,473 @@
+//===- verify/ni.cc - Non-interference proofs -------------------*- C++ -*-===//
+
+#include "verify/ni.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+enum class Label : uint8_t { Yes, No, Maybe };
+
+class NIEngine {
+public:
+  NIEngine(TermContext &Ctx, Solver &Solv, const Program &P,
+           const BehAbs &Abs, const NIProperty &NI, Certificate &Cert)
+      : Ctx(Ctx), Solv(Solv), P(P), Abs(Abs), NI(NI), Cert(Cert) {
+    if (NI.Param) {
+      // The parameter's type comes from its pattern positions.
+      BaseType Ty = BaseType::Str;
+      for (const CompPattern &CP : NI.HighComps) {
+        const ComponentTypeDecl *CT = P.findComponentType(CP.TypeName);
+        assert(CT);
+        for (const CompFieldPattern &F : CP.Fields)
+          if (F.Pat.Kind == PatTerm::Var && F.Pat.VarName == *NI.Param)
+            Ty = CT->Config[F.FieldIndex].Type;
+      }
+      ParamSym = Ctx.patSym(*NI.Param, Ty);
+    }
+    HighVars.insert(NI.HighVars.begin(), NI.HighVars.end());
+
+    // Component types whose instances are created exclusively by init and
+    // by handlers of *unconditionally high* senders. The live set of such
+    // a type is a deterministic function of the high inputs, so lookups
+    // over it resolve identically in both executions even when individual
+    // instances are labeled low (e.g. browser Tabs, all spawned by the
+    // high UI component, looked up by id).
+    for (const ComponentTypeDecl &CT : P.Components) {
+      bool OnlyHigh = true;
+      for (const Handler &H : P.Handlers) {
+        if (!cmdSpawnsType(*H.Body, CT.Name))
+          continue;
+        if (!senderAlwaysHigh(H.CompType)) {
+          OnlyHigh = false;
+          break;
+        }
+      }
+      if (OnlyHigh)
+        HighDeterminedTypes.insert(CT.Name);
+    }
+  }
+
+  /// True if every component of type \p TypeName is high regardless of
+  /// configuration (an unconstrained high pattern names the type).
+  bool senderAlwaysHigh(const std::string &TypeName) const {
+    for (const CompPattern &CP : NI.HighComps)
+      if (CP.TypeName == TypeName && CP.Fields.empty())
+        return true;
+    return false;
+  }
+
+  bool run(std::string &WhyOut) {
+    // The common init prefix must be deterministic: no native calls.
+    if (P.Init && cmdHasCall(*P.Init)) {
+      WhyOut = "init invokes a native call; the common prefix of the two "
+               "executions would be nondeterministic";
+      return false;
+    }
+
+    for (const HandlerSummary &S : Abs.Handlers)
+      if (!processSummary(S)) {
+        WhyOut = Why;
+        return false;
+      }
+    return true;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Component labeling
+  //===--------------------------------------------------------------------===
+
+  /// The match condition for \p C against high pattern \p CP, or nullopt
+  /// when structurally impossible.
+  std::optional<std::vector<Lit>> highMatchLits(TermRef C,
+                                                const CompPattern &CP) {
+    if (Ctx.symbolStr(C->Str) != CP.TypeName)
+      return std::nullopt;
+    std::vector<Lit> Lits;
+    for (const CompFieldPattern &F : CP.Fields) {
+      assert(F.FieldIndex >= 0);
+      TermRef Actual = C->Ops[F.FieldIndex];
+      TermRef Target = nullptr;
+      switch (F.Pat.Kind) {
+      case PatTerm::Wild:
+        continue;
+      case PatTerm::Lit:
+        Target = Ctx.lit(F.Pat.LitVal);
+        break;
+      case PatTerm::Var:
+        assert(NI.Param && F.Pat.VarName == *NI.Param);
+        Target = ParamSym;
+        break;
+      }
+      TermRef EqT = Ctx.eq(Actual, Target);
+      if (EqT->Kind == TermKind::BoolLit) {
+        if (EqT->IntVal == 0)
+          return std::nullopt;
+        continue;
+      }
+      Lits.emplace_back(EqT, true);
+    }
+    return Lits;
+  }
+
+  /// θc: is component \p C high under assumptions \p Assume?
+  Label labelOf(TermRef C, const std::vector<Lit> &Assume) {
+    bool AnyPossible = false;
+    for (const CompPattern &CP : NI.HighComps) {
+      auto Lits = highMatchLits(C, CP);
+      if (!Lits)
+        continue;
+      if (Solv.entailsAll(Assume, *Lits))
+        return Label::Yes;
+      std::vector<Lit> Both = Assume;
+      Both.insert(Both.end(), Lits->begin(), Lits->end());
+      if (Solv.maybeSat(Both))
+        AnyPossible = true;
+    }
+    return AnyPossible ? Label::Maybe : Label::No;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Per-handler analysis
+  //===--------------------------------------------------------------------===
+
+  bool processSummary(const HandlerSummary &S) {
+    std::string Where = S.CompType + "=>" + S.MsgName;
+
+    // Build the sender-label case split.
+    std::vector<std::vector<Lit>> HighCases;
+    std::vector<std::vector<Lit>> LowCases;
+    bool AlwaysHigh = false;
+    std::vector<const CompPattern *> TypePatterns;
+    for (const CompPattern &CP : NI.HighComps)
+      if (CP.TypeName == S.CompType)
+        TypePatterns.push_back(&CP);
+
+    if (TypePatterns.empty()) {
+      LowCases.push_back({});
+    } else {
+      for (const CompPattern *CP : TypePatterns) {
+        auto Lits = highMatchLits(S.SenderComp, *CP);
+        if (!Lits)
+          continue; // cannot match (e.g. constraint folds false)
+        if (Lits->empty())
+          AlwaysHigh = true;
+        HighCases.push_back(std::move(*Lits));
+      }
+      if (!AlwaysHigh) {
+        // Low = conjunction over patterns of (some constraint fails) =
+        // cross product of per-pattern negated constraints.
+        LowCases.push_back({});
+        for (const CompPattern *CP : TypePatterns) {
+          auto Lits = highMatchLits(S.SenderComp, *CP);
+          if (!Lits)
+            continue; // structurally can't match: contributes nothing
+          std::vector<std::vector<Lit>> Next;
+          for (const std::vector<Lit> &Base : LowCases)
+            for (const Lit &L : *Lits) {
+              std::vector<Lit> Case = Base;
+              Case.push_back(L.negated());
+              Next.push_back(std::move(Case));
+            }
+          LowCases = std::move(Next);
+          if (LowCases.size() > 64) {
+            Why = "sender label case split too large at " + Where;
+            return false;
+          }
+        }
+      }
+    }
+
+    for (size_t I = 0; I < S.Paths.size(); ++I) {
+      for (const std::vector<Lit> &Case : HighCases)
+        if (!checkHigh(S, Where, static_cast<int>(I), S.Paths[I], Case))
+          return false;
+      for (const std::vector<Lit> &Case : LowCases)
+        if (!checkLow(S, Where, static_cast<int>(I), S.Paths[I], Case))
+          return false;
+    }
+    return true;
+  }
+
+  /// NIlo: a low sender's handler may not produce high-visible effects.
+  bool checkLow(const HandlerSummary &S, const std::string &Where,
+                int PathIdx, const SymPath &Path,
+                const std::vector<Lit> &CaseLits) {
+    std::vector<Lit> Assume = Path.Cond;
+    Assume.insert(Assume.end(), CaseLits.begin(), CaseLits.end());
+    if (!Solv.maybeSat(Assume))
+      return true;
+
+    for (const SymAction &E : Path.Emits) {
+      if (E.Kind != SymAction::Send && E.Kind != SymAction::Spawn)
+        continue;
+      Label L = labelOf(E.Comp, Assume);
+      if (L != Label::No) {
+        Why = "NIlo violated at " + Where + " path " +
+              std::to_string(PathIdx) + ": low handler " +
+              (E.Kind == SymAction::Send ? "sends to" : "spawns") +
+              " a possibly-high component " + Ctx.str(E.Comp);
+        return false;
+      }
+    }
+    for (const auto &[Var, Term] : Path.Updates) {
+      (void)Term;
+      if (HighVars.count(Var)) {
+        Why = "NIlo violated at " + Where + " path " +
+              std::to_string(PathIdx) + ": low handler updates high state "
+              "variable '" + Var + "'";
+        return false;
+      }
+    }
+    NICaseRecord Rec;
+    Rec.Where = Where;
+    Rec.PathIndex = PathIdx;
+    Rec.SenderHigh = false;
+    Rec.LabelLits = CaseLits;
+    Cert.NICases.push_back(std::move(Rec));
+    (void)S;
+    return true;
+  }
+
+  /// NIhi: a high sender's handler must be a deterministic function of
+  /// high data on its high-visible effects.
+  bool checkHigh(const HandlerSummary &S, const std::string &Where,
+                 int PathIdx, const SymPath &Path,
+                 const std::vector<Lit> &CaseLits) {
+    std::vector<Lit> Assume = Path.Cond;
+    Assume.insert(Assume.end(), CaseLits.begin(), CaseLits.end());
+    if (!Solv.maybeSat(Assume))
+      return true;
+
+    // Allowed ("high") symbols on this path.
+    std::set<TermRef> AllowedFresh;
+    for (TermRef Param : S.Params)
+      AllowedFresh.insert(Param);
+    for (TermRef Field : S.SenderComp->Ops)
+      AllowedFresh.insert(Field);
+    for (const SymAction &E : Path.Emits)
+      if (E.Kind == SymAction::Call && E.CallResult)
+        AllowedFresh.insert(E.CallResult); // nondet contexts are inputs
+    // The sender itself is high data: the high input sequence (πi)
+    // identifies which component each message came from, so both runs
+    // service the same sender instances and replying to the sender is
+    // deterministic.
+    std::set<TermRef> AllowedComps;
+    AllowedComps.insert(S.SenderComp);
+    // Lookup-bound components are high data only when the lookup can only
+    // ever find high components.
+    for (TermRef C : Path.LookupComps) {
+      if (labelOf(C, Assume) == Label::Yes ||
+          HighDeterminedTypes.count(Ctx.symbolStr(C->Str))) {
+        AllowedComps.insert(C);
+        for (TermRef Field : C->Ops)
+          AllowedFresh.insert(Field);
+      }
+    }
+
+    auto HighSupport = [&](TermRef T) {
+      return hasHighSupport(T, AllowedFresh, AllowedComps);
+    };
+
+    // (a) Branch/constraint conditions must be functions of high data.
+    for (const Lit &L : Assume)
+      if (!HighSupport(L.Atom))
+        return fallbackNoHighEffects(S, Where,
+                                     "branch condition with low support: " +
+                                         Ctx.str(L.Atom));
+    // Failed lookups are decisions too: the searched predicate must be
+    // high data and the lookup must range over high components only.
+    for (const NoCompFact &Fact : Path.NoComp) {
+      for (const auto &[Index, Required] : Fact.Constraints) {
+        (void)Index;
+        if (!HighSupport(Required))
+          return fallbackNoHighEffects(
+              S, Where, "failed lookup constrained by low data");
+      }
+      if (!HighDeterminedTypes.count(Fact.TypeName) &&
+          !lookupHighOnly(Fact, Assume))
+        return fallbackNoHighEffects(
+            S, Where, "failed lookup over possibly-low components of type " +
+                          Fact.TypeName);
+    }
+    for (TermRef C : Path.LookupComps)
+      if (!AllowedComps.count(C))
+        return fallbackNoHighEffects(
+            S, Where, "lookup may find a low component: " + Ctx.str(C));
+
+    // (b,c) High-visible outputs must be functions of high data.
+    for (const SymAction &E : Path.Emits) {
+      if (E.Kind == SymAction::Send) {
+        if (labelOf(E.Comp, Assume) == Label::No)
+          continue; // low outputs are unconstrained
+        if (!HighSupport(E.Comp)) {
+          Why = "NIhi violated at " + Where + ": send target " +
+                Ctx.str(E.Comp) + " is not a function of high data";
+          return false;
+        }
+        for (TermRef Arg : E.Args)
+          if (!HighSupport(Arg)) {
+            Why = "NIhi violated at " + Where +
+                  ": payload sent to a high component depends on low "
+                  "data: " +
+                      Ctx.str(Arg);
+            return false;
+          }
+      } else if (E.Kind == SymAction::Spawn) {
+        if (labelOf(E.Comp, Assume) == Label::No)
+          continue;
+        for (TermRef Cfg : E.Comp->Ops)
+          if (!HighSupport(Cfg)) {
+            Why = "NIhi violated at " + Where +
+                  ": config of a possibly-high spawn depends on low data";
+            return false;
+          }
+      }
+    }
+
+    // (e) High state updates must be functions of high data.
+    for (const auto &[Var, Term] : Path.Updates) {
+      if (!HighVars.count(Var))
+        continue;
+      if (!HighSupport(Term)) {
+        Why = "NIhi violated at " + Where + ": high variable '" + Var +
+              "' assigned a value depending on low data";
+        return false;
+      }
+    }
+
+    NICaseRecord Rec;
+    Rec.Where = Where;
+    Rec.PathIndex = PathIdx;
+    Rec.SenderHigh = true;
+    Rec.LabelLits = CaseLits;
+    Cert.NICases.push_back(std::move(Rec));
+    return true;
+  }
+
+  /// Would any component satisfying \p Fact's constraints, under the
+  /// path's assumptions, necessarily be high? (Checks a hypothetical
+  /// component against the patterns.)
+  bool lookupHighOnly(const NoCompFact &Fact,
+                      const std::vector<Lit> &PathAssume) {
+    const ComponentTypeDecl *CT = P.findComponentType(Fact.TypeName);
+    assert(CT);
+    std::vector<TermRef> Fields;
+    for (const ConfigField &F : CT->Config)
+      Fields.push_back(Ctx.freshSym("hyp." + Fact.TypeName + "." + F.Name,
+                                    F.Type));
+    TermRef Hyp = Ctx.comp(Fact.TypeName, CompIdent::FlexPre,
+                           Ctx.freshCompSerial(), std::move(Fields));
+    std::vector<Lit> Assume = PathAssume;
+    for (const auto &[Index, Required] : Fact.Constraints)
+      Assume.emplace_back(Ctx.eq(Hyp->Ops[Index], Required), true);
+    return labelOf(Hyp, Assume) == Label::Yes;
+  }
+
+  /// Sound fallback: the entire handler must have no high-visible effects
+  /// (then its internal decisions cannot matter to high observers).
+  bool fallbackNoHighEffects(const HandlerSummary &S, const std::string &Where,
+                             const std::string &Cause) {
+    for (size_t I = 0; I < S.Paths.size(); ++I) {
+      const SymPath &Path = S.Paths[I];
+      for (const SymAction &E : Path.Emits) {
+        if (E.Kind != SymAction::Send && E.Kind != SymAction::Spawn)
+          continue;
+        if (labelOf(E.Comp, Path.Cond) != Label::No) {
+          Why = "NIhi violated at " + Where + " (" + Cause +
+                "), and the handler has high-visible effects";
+          return false;
+        }
+      }
+      for (const auto &[Var, Term] : Path.Updates) {
+        (void)Term;
+        if (HighVars.count(Var)) {
+          Why = "NIhi violated at " + Where + " (" + Cause +
+                "), and the handler updates high variable '" + Var + "'";
+          return false;
+        }
+      }
+    }
+    NICaseRecord Rec;
+    Rec.Where = Where;
+    Rec.PathIndex = -1;
+    Rec.SenderHigh = true;
+    Rec.Note = "no-high-effects fallback: " + Cause;
+    Cert.NICases.push_back(std::move(Rec));
+    return true;
+  }
+
+  /// Support check: \p T may only mention allowed symbols.
+  bool hasHighSupport(TermRef T, const std::set<TermRef> &AllowedFresh,
+                      const std::set<TermRef> &AllowedComps) {
+    switch (T->Kind) {
+    case TermKind::SymVar:
+      switch (T->Tag) {
+      case SymTag::State:
+        return HighVars.count(Ctx.symbolStr(T->Str)) != 0;
+      case SymTag::PatVar:
+        return true; // the NI parameter is a rigid constant
+      case SymTag::Fresh:
+        return AllowedFresh.count(T) != 0;
+      }
+      return false;
+    case TermKind::Comp:
+      // Init-rigid components are the same in both runs; new components
+      // are deterministic when their configs are; lookup components only
+      // when the lookup was vetted.
+      if (T->Ident == CompIdent::InitRigid)
+        return true;
+      if (T->Ident == CompIdent::NewRigid) {
+        for (TermRef Op : T->Ops)
+          if (!hasHighSupport(Op, AllowedFresh, AllowedComps))
+            return false;
+        return true;
+      }
+      return AllowedComps.count(T) != 0;
+    default:
+      for (TermRef Op : T->Ops)
+        if (!hasHighSupport(Op, AllowedFresh, AllowedComps))
+          return false;
+      return true;
+    }
+  }
+
+  TermContext &Ctx;
+  Solver &Solv;
+  const Program &P;
+  const BehAbs &Abs;
+  const NIProperty &NI;
+  Certificate &Cert;
+  TermRef ParamSym = nullptr;
+  std::set<std::string> HighVars;
+  std::set<std::string> HighDeterminedTypes;
+  std::string Why;
+};
+
+} // namespace
+
+NIProofOutcome proveNonInterference(TermContext &Ctx, Solver &Solv,
+                                    const Program &P, const BehAbs &Abs,
+                                    const Property &Prop) {
+  assert(!Prop.isTrace() && "not a non-interference property");
+  NIProofOutcome Out;
+  Out.Cert.ProgramName = P.Name;
+  Out.Cert.PropertyName = Prop.Name;
+  Out.Cert.Kind = "noninterference";
+
+  if (Abs.incomplete()) {
+    Out.Reason = "behavioral abstraction incomplete (symbolic execution "
+                 "limits exceeded)";
+    return Out;
+  }
+
+  NIEngine E(Ctx, Solv, P, Abs, Prop.niProp(), Out.Cert);
+  Out.Proved = E.run(Out.Reason);
+  return Out;
+}
+
+} // namespace reflex

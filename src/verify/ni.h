@@ -1,0 +1,61 @@
+//===- verify/ni.h - Non-interference proofs --------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-interference prover, implementing the paper's Theorem 1
+/// sufficient conditions (§5.2): given a component labeling θc (high
+/// component patterns, possibly parameterized "for all domains d") and a
+/// variable labeling θv (the user-provided high state variables), check,
+/// for every handler:
+///
+///  * NIlo — handlers of messages from low components never send to or
+///    spawn high components and never update high variables;
+///  * NIhi — handlers of messages from high components behave as a
+///    deterministic function of high data: every branch condition, every
+///    payload sent to a (possibly) high component, every config of a
+///    (possibly) high spawn, and every assignment to a high variable
+///    depends only on high symbols (high state variables, the message
+///    parameters, the sender's configuration, call results — the paper's
+///    nondeterministic contexts, which are inputs by definition — and
+///    components found by provably-high-only lookups).
+///
+/// When a sender's type matches a high pattern only for some
+/// configurations (e.g. Tab(domain = d)), the prover case-splits: the
+/// high case assumes the pattern's constraints, the low cases assume a
+/// negated constraint each (the exact DNF of "not high").
+///
+/// If a branch condition has low support, the prover falls back to
+/// requiring the *entire handler* to have no high-visible effects, which
+/// is sound: a handler that never produces high outputs nor touches high
+/// state cannot interfere regardless of which path runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_NI_H
+#define REFLEX_VERIFY_NI_H
+
+#include "ast/program.h"
+#include "sym/solver.h"
+#include "verify/behabs.h"
+#include "verify/certificate.h"
+
+namespace reflex {
+
+struct NIProofOutcome {
+  bool Proved = false;
+  Certificate Cert;
+  std::string Reason;
+};
+
+/// Attempts to prove the non-interference property \p Prop.
+NIProofOutcome proveNonInterference(TermContext &Ctx, Solver &Solv,
+                                    const Program &P, const BehAbs &Abs,
+                                    const Property &Prop);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_NI_H

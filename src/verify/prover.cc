@@ -1,0 +1,670 @@
+//===- verify/prover.cc - Automatic trace-property proofs -------*- C++ -*-===//
+
+#include "verify/prover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+std::string whereOf(const HandlerSummary &S) {
+  return S.CompType + "=>" + S.MsgName;
+}
+
+/// Can the body of \p S possibly emit an action matching \p Pat? Purely
+/// syntactic; used by the SyntacticSkip optimization. Conservative: "true"
+/// means "maybe".
+bool summaryMayEmit(const Program &P, const HandlerSummary &S,
+                    const ActionPattern &Pat) {
+  switch (Pat.Kind) {
+  case ActionPattern::Recv:
+    return S.CompType == Pat.Comp.TypeName && S.MsgName == Pat.Msg.MsgName;
+  case ActionPattern::Send: {
+    if (S.IsDefault)
+      return false;
+    const Handler *H = P.findHandler(S.CompType, S.MsgName);
+    assert(H && "summary without handler");
+    return cmdSendsMessage(*H->Body, Pat.Msg.MsgName);
+  }
+  case ActionPattern::Spawn: {
+    if (S.IsDefault)
+      return false;
+    const Handler *H = P.findHandler(S.CompType, S.MsgName);
+    assert(H && "summary without handler");
+    return cmdSpawnsType(*H->Body, Pat.Comp.TypeName);
+  }
+  }
+  return true;
+}
+
+/// Can the body of \p S assign any of \p Vars?
+bool summaryMayAssign(const Program &P, const HandlerSummary &S,
+                      const std::set<std::string> &Vars) {
+  if (S.IsDefault || Vars.empty())
+    return false;
+  const Handler *H = P.findHandler(S.CompType, S.MsgName);
+  assert(H && "summary without handler");
+  std::set<std::string> Assigned;
+  collectAssignedVars(*H->Body, Assigned);
+  for (const std::string &V : Vars)
+    if (Assigned.count(V))
+      return true;
+  return false;
+}
+
+class Engine {
+public:
+  Engine(TermContext &Ctx, Solver &Solv, const Program &P, const BehAbs &Abs,
+         const TraceProperty &TP, const ProverOptions &Opts,
+         InvariantCache &Cache, Certificate &Cert)
+      : Ctx(Ctx), Solv(Solv), P(P), Abs(Abs), TP(TP), Opts(Opts),
+        Cache(Cache), Cert(Cert) {
+    collectPatVarTypes(P, TP.A, VarTypes);
+    collectPatVarTypes(P, TP.B, VarTypes);
+  }
+
+  bool run(std::string &WhyOut) {
+    // Base case: the init trace.
+    for (size_t I = 0; I < Abs.Init.Paths.size(); ++I)
+      if (!processPath("init", static_cast<int>(I), Abs.Init.Paths[I],
+                       /*IsInit=*/true))
+        return fail(WhyOut);
+
+    // Inductive cases: one per (component type, message type).
+    for (const HandlerSummary &S : Abs.Handlers) {
+      if (Opts.SyntacticSkip && !summaryMayEmit(P, S, TP.trigger())) {
+        ProofStep Step;
+        Step.Where = whereOf(S);
+        Step.Kind = Justify::SyntacticSkip;
+        Cert.Steps.push_back(std::move(Step));
+        continue;
+      }
+      for (size_t I = 0; I < S.Paths.size(); ++I)
+        if (!processPath(whereOf(S), static_cast<int>(I), S.Paths[I],
+                         /*IsInit=*/false))
+          return fail(WhyOut);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string &WhyOut) {
+    WhyOut = Why;
+    return false;
+  }
+
+  /// Checks every potential trigger occurrence on one path.
+  bool processPath(const std::string &Where, int PathIdx, const SymPath &Path,
+                   bool IsInit) {
+    const ActionPattern &Trigger = TP.trigger();
+    for (size_t K = 0; K < Path.Emits.size(); ++K) {
+      SymBinding Sigma;
+      auto MC = matchSymAction(Ctx, Path.Emits[K], Trigger, Sigma);
+      if (!MC)
+        continue;
+      std::vector<Lit> Assume = Path.Cond;
+      Assume.insert(Assume.end(), MC->begin(), MC->end());
+      if (!Solv.maybeSat(Assume))
+        continue; // trigger occurrence cannot arise on this path
+      if (!discharge(Where, PathIdx, Path, K, Assume, Sigma, IsInit))
+        return false;
+    }
+    return true;
+  }
+
+  /// Attempts to match emission \p J against \p Pat under the (fixed)
+  /// binding \p Sigma; returns the match condition if structurally
+  /// possible.
+  std::optional<std::vector<Lit>> matchUnder(const SymAction &A,
+                                             const ActionPattern &Pat,
+                                             const SymBinding &Sigma) {
+    SymBinding B = Sigma;
+    return matchSymAction(Ctx, A, Pat, B);
+  }
+
+  bool discharge(const std::string &Where, int PathIdx, const SymPath &Path,
+                 size_t K, const std::vector<Lit> &Assume,
+                 const SymBinding &Sigma, bool IsInit) {
+    ProofStep Step;
+    Step.Where = Where;
+    Step.PathIndex = PathIdx;
+    Step.EmitIndex = static_cast<int>(K);
+    Step.Binding = Sigma;
+    const ActionPattern &Obl = TP.obligation();
+
+    switch (TP.Op) {
+    case TraceOp::ImmBefore: {
+      // The action immediately before the trigger must match A.
+      if (K == 0)
+        return obligationFailed(Step, "trigger is the first trace action; "
+                                      "nothing precedes it");
+      auto MC = matchUnder(Path.Emits[K - 1], Obl, Sigma);
+      if (MC && Solv.entailsAll(Assume, *MC)) {
+        Step.Kind = Justify::LocalObligation;
+        Step.LocalIndex = static_cast<int>(K - 1);
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      return obligationFailed(Step, "immediately-preceding action does not "
+                                    "provably match " +
+                                        Obl.str());
+    }
+
+    case TraceOp::ImmAfter: {
+      if (K + 1 >= Path.Emits.size())
+        return obligationFailed(
+            Step, "trigger is the handler's last action; the next trace "
+                  "action is a future Select, which cannot match " +
+                      Obl.str());
+      auto MC = matchUnder(Path.Emits[K + 1], Obl, Sigma);
+      if (MC && Solv.entailsAll(Assume, *MC)) {
+        Step.Kind = Justify::LocalObligation;
+        Step.LocalIndex = static_cast<int>(K + 1);
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      return obligationFailed(Step, "immediately-following action does not "
+                                    "provably match " +
+                                        Obl.str());
+    }
+
+    case TraceOp::Ensures: {
+      for (size_t J = K + 1; J < Path.Emits.size(); ++J) {
+        auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
+        if (MC && Solv.entailsAll(Assume, *MC)) {
+          Step.Kind = Justify::LocalObligation;
+          Step.LocalIndex = static_cast<int>(J);
+          Cert.Steps.push_back(std::move(Step));
+          return true;
+        }
+      }
+      return obligationFailed(Step,
+                              "no later action in the same handler provably "
+                              "matches " +
+                                  Obl.str() +
+                                  " (the automation only discharges Ensures "
+                                  "within one exchange)");
+    }
+
+    case TraceOp::Enables: {
+      // (1) Local: an earlier emission in the same path.
+      for (size_t J = 0; J < K; ++J) {
+        auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
+        if (MC && Solv.entailsAll(Assume, *MC)) {
+          Step.Kind = Justify::LocalObligation;
+          Step.LocalIndex = static_cast<int>(J);
+          Cert.Steps.push_back(std::move(Step));
+          return true;
+        }
+      }
+      // (2) Component origin: a component found by lookup was spawned at
+      // some strictly earlier point, and that Spawn is a trace action.
+      if (Obl.Kind == ActionPattern::Spawn) {
+        for (size_t F = 0; F < Path.FoundComps.size(); ++F) {
+          SymAction Pseudo;
+          Pseudo.Kind = SymAction::Spawn;
+          Pseudo.Comp = Path.FoundComps[F];
+          auto MC = matchUnder(Pseudo, Obl, Sigma);
+          if (MC && Solv.entailsAll(Assume, *MC)) {
+            Step.Kind = Justify::CompOrigin;
+            Step.LocalIndex = static_cast<int>(F);
+            Cert.Steps.push_back(std::move(Step));
+            return true;
+          }
+        }
+      }
+      if (IsInit)
+        return obligationFailed(Step, "no earlier init action provably "
+                                      "matches " +
+                                          Obl.str());
+      // (3) Guard invariant: the branch conditions force the history.
+      GuardInvariant Inv = synthesizeGuard(Ctx, Assume, Sigma, Obl, VarTypes,
+                                           /*Forbids=*/false);
+      if (std::optional<int> Id = proveInvariantWithFallback(Inv)) {
+        Step.Kind = Justify::InvariantHistory;
+        Step.InvariantId = *Id;
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      return obligationFailed(Step,
+                              "could not establish history invariant: " +
+                                  guardStr(Inv) + " => exists " + Obl.str());
+    }
+
+    case TraceOp::Disables: {
+      // (1) No earlier emission in the same path may match.
+      for (size_t J = 0; J < K; ++J) {
+        auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
+        if (!MC)
+          continue;
+        std::vector<Lit> Both = Assume;
+        Both.insert(Both.end(), MC->begin(), MC->end());
+        if (Solv.maybeSat(Both))
+          return obligationFailed(
+              Step, "an earlier action in the same handler may match the "
+                    "disabling pattern " +
+                        Obl.str());
+      }
+      if (IsInit) {
+        Step.Kind = Justify::NoPriorLocal;
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      // (2) Failed-lookup fact: a prior Spawn matching A would have left a
+      // matching component alive, contradicting the lookup failure.
+      if (Obl.Kind == ActionPattern::Spawn &&
+          noCompFactCovers(Path, Assume, Sigma, Obl)) {
+        Step.Kind = Justify::NoCompHistory;
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      // (3) Guard invariant: the branch conditions refute the history.
+      GuardInvariant Inv = synthesizeGuard(Ctx, Assume, Sigma, Obl, VarTypes,
+                                           /*Forbids=*/true);
+      if (std::optional<int> Id = proveInvariantWithFallback(Inv)) {
+        Step.Kind = Justify::InvariantHistory;
+        Step.InvariantId = *Id;
+        Cert.Steps.push_back(std::move(Step));
+        return true;
+      }
+      return obligationFailed(Step,
+                              "could not establish exclusion invariant: " +
+                                  guardStr(Inv) + " => never " + Obl.str());
+    }
+    }
+    return false;
+  }
+
+  /// Does some failed-lookup fact on \p Path refute any prior spawn
+  /// matching \p Obl under \p Sigma? True when every constraint of the
+  /// fact is provably forced by the pattern: any component matching the
+  /// pattern would satisfy the failed lookup's predicate, so it cannot
+  /// exist — hence it was never spawned (components are immortal and
+  /// configs immutable).
+  bool noCompFactCovers(const SymPath &Path, const std::vector<Lit> &Assume,
+                        const SymBinding &Sigma, const ActionPattern &Obl) {
+    for (const NoCompFact &Fact : Path.NoComp) {
+      if (Fact.TypeName != Obl.Comp.TypeName)
+        continue;
+      bool Covered = true;
+      for (const auto &[Index, Required] : Fact.Constraints) {
+        const CompFieldPattern *FP = nullptr;
+        for (const CompFieldPattern &F : Obl.Comp.Fields)
+          if (F.FieldIndex == Index)
+            FP = &F;
+        if (!FP) {
+          Covered = false;
+          break;
+        }
+        TermRef PatSide = nullptr;
+        switch (FP->Pat.Kind) {
+        case PatTerm::Lit:
+          PatSide = Ctx.lit(FP->Pat.LitVal);
+          break;
+        case PatTerm::Var: {
+          auto It = Sigma.find(FP->Pat.VarName);
+          if (It != Sigma.end())
+            PatSide = It->second;
+          break;
+        }
+        case PatTerm::Wild:
+          break;
+        }
+        if (!PatSide || !Solv.entails(Assume, Lit(Ctx.eq(PatSide, Required),
+                                                  true))) {
+          Covered = false;
+          break;
+        }
+      }
+      if (Covered)
+        return true;
+    }
+    return false;
+  }
+
+  std::string guardStr(const GuardInvariant &Inv) {
+    std::ostringstream OS;
+    OS << "{";
+    for (size_t I = 0; I < Inv.Guard.size(); ++I) {
+      if (I != 0)
+        OS << " && ";
+      OS << (Inv.Guard[I].Pos ? "" : "!") << Ctx.str(Inv.Guard[I].Atom);
+    }
+    OS << "}";
+    return OS.str();
+  }
+
+  bool obligationFailed(const ProofStep &Step, const std::string &Detail) {
+    std::ostringstream OS;
+    OS << "unproved obligation at " << Step.Where << " path "
+       << Step.PathIndex << " emit " << Step.EmitIndex << ": " << Detail;
+    Why = OS.str();
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===
+  // The second induction: proving guard invariants
+  //===--------------------------------------------------------------------===
+
+  /// Tries the fully synthesized guard first, then each single-literal
+  /// weakening. The full guard carries the most information (needed when
+  /// several conditions jointly pin the history, like the SSH
+  /// authentication pair), but it can also drag in literals that force an
+  /// unnecessarily deep induction; a single preserved literal (e.g.
+  /// "stage 0 done") is often the natural invariant.
+  std::optional<int> proveInvariantWithFallback(const GuardInvariant &Inv) {
+    if (std::optional<int> Id = proveInvariant(Inv))
+      return Id;
+    if (Inv.Guard.size() <= 1)
+      return std::nullopt;
+    for (const Lit &L : Inv.Guard) {
+      GuardInvariant Single = Inv;
+      Single.Guard = {L};
+      if (std::optional<int> Id = proveInvariant(Single))
+        return Id;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<int> proveInvariant(const GuardInvariant &Inv,
+                                    unsigned Depth = 0) {
+    std::string Key = Inv.cacheKey(Ctx);
+
+    // Already used by this certificate?
+    auto LocalIt = LocalInvariants.find(Key);
+    if (LocalIt != LocalInvariants.end())
+      return LocalIt->second;
+
+    // Depth cap and cycle guard for nested strengthening (the paper's
+    // automation performs one nested induction; we allow a little more).
+    if (Depth > 3 || InFlight.count(Key))
+      return std::nullopt;
+
+    // Cross-property cache.
+    if (Opts.CacheInvariants) {
+      auto It = Cache.Map.find(Key);
+      if (It != Cache.Map.end()) {
+        ++Cache.Hits;
+        return adoptRecord(Key, It->second);
+      }
+    }
+
+    InvariantRecord Rec;
+    Rec.Forbids = Inv.Forbids;
+    Rec.Guard = Inv.Guard;
+    Rec.Action = Inv.Action;
+    Rec.VarTypes = Inv.VarTypes;
+    // The attempt is transactional: a failed proof may have adopted
+    // sub-invariants into the certificate along the way; roll those back
+    // so certificates only record what the final proof uses (and so the
+    // checker's cold-cache re-derivation numbers records identically).
+    size_t CertSnapshot = Cert.Invariants.size();
+    InFlight.insert(Key);
+    bool Ok = proveInvariantSteps(Inv, Rec, Depth);
+    InFlight.erase(Key);
+    if (!Ok && Cert.Invariants.size() > CertSnapshot) {
+      Cert.Invariants.resize(CertSnapshot);
+      for (auto It = LocalInvariants.begin(); It != LocalInvariants.end();) {
+        if (It->second && *It->second > static_cast<int>(CertSnapshot))
+          It = LocalInvariants.erase(It);
+        else
+          ++It;
+      }
+    }
+    std::optional<InvariantRecord> Entry =
+        Ok ? std::optional<InvariantRecord>(Rec) : std::nullopt;
+    // Records whose proof references nested sub-invariants carry ids
+    // local to *this* certificate; caching them across certificates would
+    // dangle. Only self-contained records (and failures) are shared.
+    bool SelfContained = true;
+    for (const ProofStep &S : Rec.Steps)
+      SelfContained &= S.InvariantId < 0;
+    if (Opts.CacheInvariants && (!Ok || SelfContained))
+      Cache.Map.emplace(Key, Entry);
+    return adoptRecord(Key, Entry);
+  }
+
+  /// The strengthened pre-state guard for a path that breaks invariant
+  /// \p Inv: the path's own guard-safe branch conditions plus the
+  /// invariant-guard literals this path does not disturb. Proving the
+  /// invariant with *this* guard at the pre-state either re-establishes
+  /// the history fact or shows the combination unreachable (e.g. "stage 1
+  /// done but stage 0 not started" is vacuously impossible).
+  std::vector<Lit> preStateGuard(const SymPath &Path,
+                                 const GuardInvariant &Inv) {
+    std::unordered_map<TermRef, TermRef> Subst;
+    for (const auto &[Var, Term] : Path.Updates) {
+      const StateVarDecl *V = P.findStateVar(Var);
+      assert(V && Term);
+      Subst.emplace(Ctx.stateSym(Var, V->Type), Term);
+    }
+    std::vector<Lit> Out;
+    for (const Lit &L : Path.Cond)
+      if (isGuardTerm(L.Atom) && L.Atom->Kind != TermKind::BoolLit)
+        Out.push_back(L);
+    for (const Lit &G : Inv.Guard)
+      if (Ctx.substitute(G.Atom, Subst) == G.Atom)
+        Out.push_back(G);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
+
+  /// Copies a (possibly cached) record into this certificate under a fresh
+  /// local id. Records failures as nullopt so repeated attempts are free.
+  std::optional<int> adoptRecord(const std::string &Key,
+                                 const std::optional<InvariantRecord> &Rec) {
+    if (!Rec) {
+      LocalInvariants.emplace(Key, std::nullopt);
+      return std::nullopt;
+    }
+    InvariantRecord Copy = *Rec;
+    Copy.Id = static_cast<int>(Cert.Invariants.size()) + 1;
+    Cert.Invariants.push_back(std::move(Copy));
+    int Id = Cert.Invariants.back().Id;
+    LocalInvariants.emplace(Key, Id);
+    return Id;
+  }
+
+  bool proveInvariantSteps(const GuardInvariant &Inv, InvariantRecord &Rec,
+                           unsigned Depth) {
+    SymBinding PatB = patSymBinding(Ctx, Inv);
+    std::set<std::string> GuardVars;
+    collectGuardVars(Inv.Guard, Ctx, GuardVars);
+
+    // Base case: init.
+    for (size_t I = 0; I < Abs.Init.Paths.size(); ++I) {
+      const SymPath &Path = Abs.Init.Paths[I];
+      std::vector<Lit> Assume = assumeWithGuard(Path, Inv, /*IsInit=*/true);
+      ProofStep Step;
+      Step.Where = "init";
+      Step.PathIndex = static_cast<int>(I);
+      if (!Solv.maybeSat(Assume)) {
+        Step.Kind = Justify::PathInfeasible;
+        Rec.Steps.push_back(std::move(Step));
+        continue;
+      }
+      if (Inv.Forbids) {
+        if (!refuteAllEmissions(Path, Assume, PatB, Inv.Action))
+          return false;
+        Step.Kind = Justify::NoPriorLocal;
+        Rec.Steps.push_back(std::move(Step));
+        continue;
+      }
+      bool Found = false;
+      for (size_t J = 0; J < Path.Emits.size() && !Found; ++J) {
+        SymBinding B = PatB;
+        auto MC = matchSymAction(Ctx, Path.Emits[J], Inv.Action, B);
+        if (MC && Solv.entailsAll(Assume, *MC)) {
+          Step.Kind = Justify::LocalObligation;
+          Step.LocalIndex = static_cast<int>(J);
+          Found = true;
+        }
+      }
+      if (!Found)
+        return false;
+      Rec.Steps.push_back(std::move(Step));
+    }
+
+    // Inductive step: every exchange preserves the invariant.
+    for (const HandlerSummary &S : Abs.Handlers) {
+      if (Opts.SyntacticSkip && !summaryMayEmit(P, S, Inv.Action) &&
+          !summaryMayAssign(P, S, GuardVars)) {
+        ProofStep Step;
+        Step.Where = whereOf(S);
+        Step.Kind = Justify::SyntacticSkip;
+        Rec.Steps.push_back(std::move(Step));
+        continue;
+      }
+      for (size_t I = 0; I < S.Paths.size(); ++I) {
+        const SymPath &Path = S.Paths[I];
+        std::vector<Lit> Assume =
+            assumeWithGuard(Path, Inv, /*IsInit=*/false);
+        ProofStep Step;
+        Step.Where = whereOf(S);
+        Step.PathIndex = static_cast<int>(I);
+        if (!Solv.maybeSat(Assume)) {
+          Step.Kind = Justify::PathInfeasible;
+          Rec.Steps.push_back(std::move(Step));
+          continue;
+        }
+        if (Inv.Forbids) {
+          // No emission of this path may match, and the prefix trace must
+          // be clean: either the guard already held (inductive
+          // hypothesis), or the path's own pre-state branch conditions
+          // re-establish the exclusion through a deeper induction.
+          if (!refuteAllEmissions(Path, Assume, PatB, Inv.Action))
+            return false;
+          if (Solv.entailsAll(Assume, Inv.Guard)) {
+            Step.Kind = Justify::GuardPreserved;
+            Rec.Steps.push_back(std::move(Step));
+            continue;
+          }
+          GuardInvariant Sub;
+          Sub.Forbids = true;
+          Sub.Guard = preStateGuard(Path, Inv);
+          Sub.Action = Inv.Action;
+          Sub.VarTypes = Inv.VarTypes;
+          if (std::optional<int> Id = proveInvariant(Sub, Depth + 1)) {
+            Step.Kind = Justify::InvariantHistory;
+            Step.InvariantId = *Id;
+            Rec.Steps.push_back(std::move(Step));
+            continue;
+          }
+          return false;
+        }
+        // Require-history: either this path emits the action, or the guard
+        // already held (inductive hypothesis).
+        bool Done = false;
+        for (size_t J = 0; J < Path.Emits.size() && !Done; ++J) {
+          SymBinding B = PatB;
+          auto MC = matchSymAction(Ctx, Path.Emits[J], Inv.Action, B);
+          if (MC && Solv.entailsAll(Assume, *MC)) {
+            Step.Kind = Justify::LocalObligation;
+            Step.LocalIndex = static_cast<int>(J);
+            Done = true;
+          }
+        }
+        if (!Done && Solv.entailsAll(Assume, Inv.Guard)) {
+          Step.Kind = Justify::GuardPreserved;
+          Done = true;
+        }
+        if (!Done) {
+          // Strengthen: the pre-state's branch conditions may imply the
+          // history fact on their own.
+          GuardInvariant Sub;
+          Sub.Forbids = false;
+          Sub.Guard = preStateGuard(Path, Inv);
+          Sub.Action = Inv.Action;
+          Sub.VarTypes = Inv.VarTypes;
+          if (std::optional<int> Id = proveInvariant(Sub, Depth + 1)) {
+            Step.Kind = Justify::InvariantHistory;
+            Step.InvariantId = *Id;
+            Done = true;
+          }
+        }
+        if (!Done)
+          return false;
+        Rec.Steps.push_back(std::move(Step));
+      }
+    }
+    return true;
+  }
+
+  /// Path condition plus the guard evaluated over the path's *post* state
+  /// (for init paths, Updates carries every state variable's final term,
+  /// so the same substitution covers the base case).
+  std::vector<Lit> assumeWithGuard(const SymPath &Path,
+                                   const GuardInvariant &Inv,
+                                   bool /*IsInit*/) {
+    std::unordered_map<TermRef, TermRef> Subst;
+    for (const auto &[Var, Term] : Path.Updates) {
+      const StateVarDecl *V = P.findStateVar(Var);
+      assert(V && Term);
+      Subst.emplace(Ctx.stateSym(Var, V->Type), Term);
+    }
+    std::vector<Lit> Assume = Path.Cond;
+    for (const Lit &G : Inv.Guard)
+      Assume.emplace_back(Ctx.substitute(G.Atom, Subst), G.Pos);
+    return Assume;
+  }
+
+  /// For Forbids invariants: no emission of \p Path may match the action
+  /// under the assumptions.
+  bool refuteAllEmissions(const SymPath &Path, const std::vector<Lit> &Assume,
+                          const SymBinding &PatB, const ActionPattern &Act) {
+    for (const SymAction &E : Path.Emits) {
+      SymBinding B = PatB;
+      auto MC = matchSymAction(Ctx, E, Act, B);
+      if (!MC)
+        continue;
+      std::vector<Lit> Both = Assume;
+      Both.insert(Both.end(), MC->begin(), MC->end());
+      if (Solv.maybeSat(Both))
+        return false;
+    }
+    return true;
+  }
+
+  TermContext &Ctx;
+  Solver &Solv;
+  const Program &P;
+  const BehAbs &Abs;
+  const TraceProperty &TP;
+  ProverOptions Opts;
+  InvariantCache &Cache;
+  Certificate &Cert;
+  std::string Why;
+  std::map<std::string, BaseType> VarTypes;
+  std::map<std::string, std::optional<int>> LocalInvariants;
+  std::set<std::string> InFlight;
+};
+
+} // namespace
+
+TraceProofOutcome proveTraceProperty(TermContext &Ctx, Solver &Solv,
+                                     const Program &P, const BehAbs &Abs,
+                                     const Property &Prop,
+                                     const ProverOptions &Opts,
+                                     InvariantCache &Cache) {
+  assert(Prop.isTrace() && "not a trace property");
+  TraceProofOutcome Out;
+  Out.Cert.ProgramName = P.Name;
+  Out.Cert.PropertyName = Prop.Name;
+  Out.Cert.Kind = traceOpName(Prop.traceProp().Op);
+
+  if (Abs.incomplete()) {
+    Out.Reason = "behavioral abstraction incomplete (symbolic execution "
+                 "limits exceeded)";
+    return Out;
+  }
+
+  Engine E(Ctx, Solv, P, Abs, Prop.traceProp(), Opts, Cache, Out.Cert);
+  Out.Proved = E.run(Out.Reason);
+  return Out;
+}
+
+} // namespace reflex

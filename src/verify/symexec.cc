@@ -1,0 +1,368 @@
+//===- verify/symexec.cc - Symbolic evaluation of handlers ------*- C++ -*-===//
+
+#include "verify/symexec.h"
+
+#include "sym/symeval.h"
+
+#include <cassert>
+
+namespace reflex {
+
+namespace {
+
+/// Mutable state threaded through one symbolic path.
+struct PathState {
+  SymEnv Env;
+  std::vector<Lit> Cond;
+  std::vector<SymAction> Emits;
+  std::vector<NoCompFact> NoComp;
+  std::vector<TermRef> FoundComps;
+  std::vector<TermRef> LookupComps;
+  /// Component types spawned so far on this path (a later lookup of such a
+  /// type may find the new component: FlexAny).
+  std::set<std::string> SpawnedTypes;
+};
+
+class SymExecutor {
+public:
+  SymExecutor(TermContext &Ctx, const Program &P, const SymExecLimits &Limits,
+              bool InInit)
+      : Ctx(Ctx), P(P), Limits(Limits), InInit(InInit) {}
+
+  bool Overflowed = false;
+
+  std::vector<PathState> exec(const Cmd &C, PathState St) {
+    std::vector<PathState> Out;
+    execInto(C, std::move(St), Out);
+    if (Out.size() > Limits.MaxPaths) {
+      Overflowed = true;
+      Out.resize(Limits.MaxPaths);
+    }
+    return Out;
+  }
+
+  /// Component globals bound during init execution (InitRigid terms).
+  std::map<std::string, TermRef> InitComps;
+
+private:
+  void execInto(const Cmd &C, PathState St, std::vector<PathState> &Out) {
+    if (Overflowed) {
+      Out.push_back(std::move(St));
+      return;
+    }
+    switch (C.kind()) {
+    case Cmd::Nop:
+      Out.push_back(std::move(St));
+      return;
+
+    case Cmd::Block: {
+      const auto &Blk = castCmd<BlockCmd>(C);
+      std::vector<PathState> Cur;
+      Cur.push_back(std::move(St));
+      for (const CmdPtr &Sub : Blk.commands()) {
+        std::vector<PathState> Next;
+        for (PathState &PS : Cur)
+          execInto(*Sub, std::move(PS), Next);
+        Cur = std::move(Next);
+        if (Cur.size() > Limits.MaxPaths) {
+          Overflowed = true;
+          Cur.resize(Limits.MaxPaths);
+        }
+      }
+      for (PathState &PS : Cur)
+        Out.push_back(std::move(PS));
+      return;
+    }
+
+    case Cmd::Assign: {
+      const auto &A = castCmd<AssignCmd>(C);
+      St.Env.Vars[A.var()] = symEvalExpr(Ctx, A.rhs(), St.Env);
+      Out.push_back(std::move(St));
+      return;
+    }
+
+    case Cmd::If: {
+      const auto &If = castCmd<IfCmd>(C);
+      TermRef Cond = symEvalExpr(Ctx, If.cond(), St.Env);
+      auto ThenSplit = splitCondDNF(Cond, true, Limits.MaxDisjuncts);
+      auto ElseSplit = splitCondDNF(Cond, false, Limits.MaxDisjuncts);
+      if (!ThenSplit || !ElseSplit) {
+        Overflowed = true;
+        Out.push_back(std::move(St));
+        return;
+      }
+      for (const std::vector<Lit> &Disjunct : *ThenSplit) {
+        PathState Branch = St;
+        Branch.Cond.insert(Branch.Cond.end(), Disjunct.begin(),
+                           Disjunct.end());
+        execInto(If.thenCmd(), std::move(Branch), Out);
+      }
+      for (const std::vector<Lit> &Disjunct : *ElseSplit) {
+        PathState Branch = St;
+        Branch.Cond.insert(Branch.Cond.end(), Disjunct.begin(),
+                           Disjunct.end());
+        execInto(If.elseCmd(), std::move(Branch), Out);
+      }
+      return;
+    }
+
+    case Cmd::Send: {
+      const auto &S = castCmd<SendCmd>(C);
+      SymAction A;
+      A.Kind = SymAction::Send;
+      A.Comp = symEvalExpr(Ctx, S.target(), St.Env);
+      A.MsgName = S.msgName();
+      for (const ExprPtr &Arg : S.args())
+        A.Args.push_back(symEvalExpr(Ctx, *Arg, St.Env));
+      St.Emits.push_back(std::move(A));
+      Out.push_back(std::move(St));
+      return;
+    }
+
+    case Cmd::Spawn: {
+      const auto &S = castCmd<SpawnCmd>(C);
+      std::vector<TermRef> Config;
+      for (const ExprPtr &Arg : S.config())
+        Config.push_back(symEvalExpr(Ctx, *Arg, St.Env));
+      CompIdent Ident = InInit ? CompIdent::InitRigid : CompIdent::NewRigid;
+      TermRef Comp = Ctx.comp(S.compType(), Ident, Ctx.freshCompSerial(),
+                              std::move(Config));
+      St.Env.Vars[S.bind()] = Comp;
+      if (InInit && P.findCompGlobal(S.bind()))
+        InitComps[S.bind()] = Comp;
+      SymAction A;
+      A.Kind = SymAction::Spawn;
+      A.Comp = Comp;
+      St.Emits.push_back(std::move(A));
+      St.SpawnedTypes.insert(S.compType());
+      Out.push_back(std::move(St));
+      return;
+    }
+
+    case Cmd::Call: {
+      const auto &Call = castCmd<CallCmd>(C);
+      SymAction A;
+      A.Kind = SymAction::Call;
+      A.CallFn = Call.fn();
+      for (const ExprPtr &Arg : Call.args())
+        A.Args.push_back(symEvalExpr(Ctx, *Arg, St.Env));
+      TermRef Result = Ctx.freshSym("call." + Call.fn(), BaseType::Str);
+      A.CallResult = Result;
+      St.Env.Vars[Call.bind()] = Result;
+      St.Emits.push_back(std::move(A));
+      Out.push_back(std::move(St));
+      return;
+    }
+
+    case Cmd::Lookup: {
+      const auto &L = castCmd<LookupCmd>(C);
+      const ComponentTypeDecl *CT = P.findComponentType(L.compType());
+      assert(CT && "unvalidated program");
+
+      // Evaluate constraint expressions once, in the pre-branch state.
+      std::vector<std::pair<int, TermRef>> Constraints;
+      for (const LookupConstraint &LC : L.constraints()) {
+        assert(LC.FieldIndex >= 0);
+        Constraints.emplace_back(LC.FieldIndex,
+                                 symEvalExpr(Ctx, *LC.Expr, St.Env));
+      }
+
+      // Found branch: bind a component of the type with fresh config
+      // fields constrained per the lookup predicate.
+      {
+        PathState Found = St;
+        std::vector<TermRef> Fields;
+        for (const ConfigField &F : CT->Config)
+          Fields.push_back(
+              Ctx.freshSym("lookup." + L.compType() + "." + F.Name, F.Type));
+        CompIdent Ident = St.SpawnedTypes.count(L.compType())
+                              ? CompIdent::FlexAny
+                              : CompIdent::FlexPre;
+        TermRef Comp = Ctx.comp(L.compType(), Ident, Ctx.freshCompSerial(),
+                                std::move(Fields));
+        for (const auto &[Index, Required] : Constraints)
+          Found.Cond.emplace_back(Ctx.eq(Comp->Ops[Index], Required), true);
+        Found.Env.Vars[L.bind()] = Comp;
+        if (Ident == CompIdent::FlexPre)
+          Found.FoundComps.push_back(Comp);
+        Found.LookupComps.push_back(Comp);
+        execInto(L.thenCmd(), std::move(Found), Out);
+      }
+
+      // Not-found branch: record the universal negative fact.
+      {
+        PathState Missing = St;
+        NoCompFact Fact;
+        Fact.TypeName = L.compType();
+        Fact.Constraints = Constraints;
+        Missing.NoComp.push_back(std::move(Fact));
+        execInto(L.elseCmd(), std::move(Missing), Out);
+      }
+      return;
+    }
+    }
+  }
+
+  TermContext &Ctx;
+  const Program &P;
+  SymExecLimits Limits;
+  bool InInit;
+};
+
+/// Converts final path states into SymPaths, computing Updates relative to
+/// the pre-state mapping \p PreVars.
+std::vector<SymPath>
+finishPaths(std::vector<PathState> States,
+            const std::map<std::string, TermRef> &PreVars) {
+  std::vector<SymPath> Paths;
+  Paths.reserve(States.size());
+  for (PathState &St : States) {
+    SymPath Path;
+    Path.Cond = std::move(St.Cond);
+    Path.Emits = std::move(St.Emits);
+    Path.NoComp = std::move(St.NoComp);
+    Path.FoundComps = std::move(St.FoundComps);
+    Path.LookupComps = std::move(St.LookupComps);
+    for (const auto &[Var, Pre] : PreVars) {
+      auto It = St.Env.Vars.find(Var);
+      assert(It != St.Env.Vars.end());
+      if (It->second != Pre)
+        Path.Updates[Var] = It->second;
+    }
+    Paths.push_back(std::move(Path));
+  }
+  return Paths;
+}
+
+} // namespace
+
+InitSummary summarizeInit(TermContext &Ctx, const Program &P,
+                          const SymExecLimits &Limits) {
+  InitSummary Summary;
+  SymExecutor Exec(Ctx, P, Limits, /*InInit=*/true);
+
+  PathState St;
+  // In init, every state variable starts at its declared literal; the
+  // pre-state map uses an impossible sentinel so every variable appears in
+  // Updates (the invariant base case needs the full init valuation).
+  std::map<std::string, TermRef> PreVars;
+  for (const StateVarDecl &V : P.StateVars) {
+    St.Env.Vars[V.Name] = Ctx.lit(V.Init);
+    PreVars[V.Name] = nullptr; // sentinel: always report in Updates
+  }
+
+  std::vector<PathState> Final =
+      P.Init ? Exec.exec(*P.Init, std::move(St))
+             : std::vector<PathState>{std::move(St)};
+  Summary.Incomplete = Exec.Overflowed;
+  Summary.CompGlobals = std::move(Exec.InitComps);
+  Summary.Paths = finishPaths(std::move(Final), PreVars);
+  return Summary;
+}
+
+HandlerSummary
+summarizeHandler(TermContext &Ctx, const Program &P, const Handler &H,
+                 const std::map<std::string, TermRef> &InitComps,
+                 const SymExecLimits &Limits) {
+  HandlerSummary Summary;
+  Summary.CompType = H.CompType;
+  Summary.MsgName = H.MsgName;
+
+  const ComponentTypeDecl *CT = P.findComponentType(H.CompType);
+  const MessageDecl *MD = P.findMessage(H.MsgName);
+  assert(CT && MD && "unvalidated program");
+
+  // The sender: an unknown pre-existing component of the handler's type.
+  std::vector<TermRef> SenderFields;
+  for (const ConfigField &F : CT->Config)
+    SenderFields.push_back(
+        Ctx.freshSym("sender." + H.CompType + "." + F.Name, F.Type));
+  Summary.SenderComp = Ctx.comp(H.CompType, CompIdent::FlexPre,
+                                Ctx.freshCompSerial(),
+                                std::move(SenderFields));
+
+  PathState St;
+  St.Env.Sender = Summary.SenderComp;
+  // The sender is itself a pre-existing component: it was selected from
+  // the live set, so a Spawn action for it occurs somewhere in the trace
+  // (the component-origin axiom applies to it like to lookup results).
+  St.FoundComps.push_back(Summary.SenderComp);
+
+  // Pre-state: one canonical symbol per state variable (shared across all
+  // summaries, which is what lets the invariant engine substitute updates).
+  std::map<std::string, TermRef> PreVars;
+  for (const StateVarDecl &V : P.StateVars) {
+    TermRef Sym = Ctx.stateSym(V.Name, V.Type);
+    St.Env.Vars[V.Name] = Sym;
+    PreVars[V.Name] = Sym;
+  }
+  for (const auto &[Name, Comp] : InitComps)
+    St.Env.Vars[Name] = Comp;
+
+  // Message parameters: fresh symbols.
+  for (size_t I = 0; I < H.Params.size(); ++I) {
+    TermRef Sym = Ctx.freshSym("arg." + H.MsgName + "." + H.Params[I],
+                               MD->Payload[I]);
+    Summary.Params.push_back(Sym);
+    if (H.Params[I] != "_")
+      St.Env.Vars[H.Params[I]] = Sym;
+  }
+
+  // Every path begins with the Select and Recv of the serviced message.
+  SymAction Sel;
+  Sel.Kind = SymAction::Select;
+  Sel.Comp = Summary.SenderComp;
+  St.Emits.push_back(Sel);
+  SymAction Rcv;
+  Rcv.Kind = SymAction::Recv;
+  Rcv.Comp = Summary.SenderComp;
+  Rcv.MsgName = H.MsgName;
+  Rcv.Args = Summary.Params;
+  St.Emits.push_back(std::move(Rcv));
+
+  SymExecutor Exec(Ctx, P, Limits, /*InInit=*/false);
+  std::vector<PathState> Final = Exec.exec(*H.Body, std::move(St));
+  Summary.Incomplete = Exec.Overflowed;
+  Summary.Paths = finishPaths(std::move(Final), PreVars);
+  return Summary;
+}
+
+HandlerSummary makeDefaultSummary(TermContext &Ctx, const Program &P,
+                                  const std::string &CompType,
+                                  const std::string &MsgName) {
+  HandlerSummary Summary;
+  Summary.CompType = CompType;
+  Summary.MsgName = MsgName;
+  Summary.IsDefault = true;
+
+  const ComponentTypeDecl *CT = P.findComponentType(CompType);
+  const MessageDecl *MD = P.findMessage(MsgName);
+  assert(CT && MD && "unvalidated program");
+
+  std::vector<TermRef> SenderFields;
+  for (const ConfigField &F : CT->Config)
+    SenderFields.push_back(
+        Ctx.freshSym("sender." + CompType + "." + F.Name, F.Type));
+  Summary.SenderComp = Ctx.comp(CompType, CompIdent::FlexPre,
+                                Ctx.freshCompSerial(),
+                                std::move(SenderFields));
+  for (size_t I = 0; I < MD->Payload.size(); ++I)
+    Summary.Params.push_back(
+        Ctx.freshSym("arg." + MsgName, MD->Payload[I]));
+
+  SymPath Path;
+  SymAction Sel;
+  Sel.Kind = SymAction::Select;
+  Sel.Comp = Summary.SenderComp;
+  Path.Emits.push_back(Sel);
+  SymAction Rcv;
+  Rcv.Kind = SymAction::Recv;
+  Rcv.Comp = Summary.SenderComp;
+  Rcv.MsgName = MsgName;
+  Rcv.Args = Summary.Params;
+  Path.Emits.push_back(std::move(Rcv));
+  Summary.Paths.push_back(std::move(Path));
+  return Summary;
+}
+
+} // namespace reflex

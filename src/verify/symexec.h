@@ -1,0 +1,58 @@
+//===- verify/symexec.h - Symbolic evaluation of handlers -------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive symbolic execution of loop-free handler bodies into path
+/// summaries (see verify/symstate.h). This is the mechanism the paper's
+/// tactics rely on: "handlers were designed to be loop free, enabling
+/// Reflex tactics to easily symbolically evaluate all execution paths of a
+/// handler" (§7, principle B).
+///
+/// Nondeterminism from `call` primitives is modeled by fresh symbols —
+/// the exact counterpart of the paper's "nondeterministic context" trees
+/// (§4.2): one fresh symbol per call site on each path, following the
+/// structure of the handler's code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_SYMEXEC_H
+#define REFLEX_VERIFY_SYMEXEC_H
+
+#include "ast/program.h"
+#include "verify/symstate.h"
+
+namespace reflex {
+
+/// Limits for symbolic execution. MaxDisjuncts caps DNF splitting of
+/// branch conditions; MaxPaths caps the number of paths per handler.
+/// Exceeding either marks the summary Incomplete (prover answers Unknown).
+struct SymExecLimits {
+  size_t MaxDisjuncts = 64;
+  size_t MaxPaths = 4096;
+};
+
+/// Summarizes the init section. \p P must be validated.
+InitSummary summarizeInit(TermContext &Ctx, const Program &P,
+                          const SymExecLimits &Limits = {});
+
+/// Summarizes the declared handler \p H. \p InitComps supplies the
+/// component-global terms produced by summarizeInit.
+HandlerSummary
+summarizeHandler(TermContext &Ctx, const Program &P, const Handler &H,
+                 const std::map<std::string, TermRef> &InitComps,
+                 const SymExecLimits &Limits = {});
+
+/// Summary for an exchange case with no declared handler: the kernel
+/// receives the message and sends no response (paper §2: "the kernel
+/// simply sends no response and returns to its event processing loop").
+HandlerSummary makeDefaultSummary(TermContext &Ctx, const Program &P,
+                                  const std::string &CompType,
+                                  const std::string &MsgName);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_SYMEXEC_H

@@ -1,0 +1,144 @@
+//===- verify/symstate.cc - Symbolic pattern matching -----------*- C++ -*-===//
+
+#include "verify/symstate.h"
+
+#include "ast/program.h"
+#include "trace/pattern.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace reflex {
+
+namespace {
+
+/// Tri-state helper: matches one pattern position against a term.
+/// Returns false for "structurally impossible"; otherwise appends any
+/// required equality to \p Lits and/or extends \p B.
+bool matchPos(TermContext &Ctx, TermRef Actual, const PatTerm &Pat,
+              SymBinding &B, std::vector<Lit> &Lits) {
+  TermRef Target = nullptr;
+  switch (Pat.Kind) {
+  case PatTerm::Wild:
+    return true;
+  case PatTerm::Lit:
+    Target = Ctx.lit(Pat.LitVal);
+    break;
+  case PatTerm::Var: {
+    auto It = B.find(Pat.VarName);
+    if (It == B.end()) {
+      B.emplace(Pat.VarName, Actual);
+      return true;
+    }
+    Target = It->second;
+    break;
+  }
+  }
+  TermRef EqT = Ctx.eq(Actual, Target);
+  if (EqT->Kind == TermKind::BoolLit)
+    return EqT->IntVal != 0;
+  Lits.emplace_back(EqT, true);
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<Lit>> matchSymAction(TermContext &Ctx,
+                                               const SymAction &A,
+                                               const ActionPattern &Pat,
+                                               SymBinding &B) {
+  switch (Pat.Kind) {
+  case ActionPattern::Send:
+    if (A.Kind != SymAction::Send)
+      return std::nullopt;
+    break;
+  case ActionPattern::Recv:
+    if (A.Kind != SymAction::Recv)
+      return std::nullopt;
+    break;
+  case ActionPattern::Spawn:
+    if (A.Kind != SymAction::Spawn)
+      return std::nullopt;
+    break;
+  }
+
+  assert(A.Comp && A.Comp->Kind == TermKind::Comp &&
+         "emitted action with non-component peer");
+  if (Ctx.symbolStr(A.Comp->Str) != Pat.Comp.TypeName)
+    return std::nullopt;
+
+  SymBinding Saved = B;
+  std::vector<Lit> Lits;
+
+  for (const CompFieldPattern &F : Pat.Comp.Fields) {
+    assert(F.FieldIndex >= 0 &&
+           static_cast<size_t>(F.FieldIndex) < A.Comp->Ops.size() &&
+           "pattern not validated");
+    if (!matchPos(Ctx, A.Comp->Ops[F.FieldIndex], F.Pat, B, Lits)) {
+      B = std::move(Saved);
+      return std::nullopt;
+    }
+  }
+
+  if (Pat.Kind != ActionPattern::Spawn) {
+    if (A.MsgName != Pat.Msg.MsgName ||
+        A.Args.size() != Pat.Msg.Args.size()) {
+      B = std::move(Saved);
+      return std::nullopt;
+    }
+    for (size_t I = 0; I < Pat.Msg.Args.size(); ++I) {
+      if (!matchPos(Ctx, A.Args[I], Pat.Msg.Args[I], B, Lits)) {
+        B = std::move(Saved);
+        return std::nullopt;
+      }
+    }
+  }
+  return Lits;
+}
+
+void collectPatVarTypes(const Program &P, const ActionPattern &Pat,
+                        std::map<std::string, BaseType> &Out) {
+  const ComponentTypeDecl *CT = P.findComponentType(Pat.Comp.TypeName);
+  assert(CT && "pattern not validated");
+  for (const CompFieldPattern &F : Pat.Comp.Fields)
+    if (F.Pat.Kind == PatTerm::Var)
+      Out.emplace(F.Pat.VarName, CT->Config[F.FieldIndex].Type);
+  if (Pat.Kind == ActionPattern::Spawn)
+    return;
+  const MessageDecl *MD = P.findMessage(Pat.Msg.MsgName);
+  assert(MD && "pattern not validated");
+  for (size_t I = 0; I < Pat.Msg.Args.size(); ++I)
+    if (Pat.Msg.Args[I].Kind == PatTerm::Var)
+      Out.emplace(Pat.Msg.Args[I].VarName, MD->Payload[I]);
+}
+
+std::string symActionStr(const TermContext &Ctx, const SymAction &A) {
+  std::ostringstream OS;
+  auto CompStr = [&]() { return Ctx.str(A.Comp); };
+  switch (A.Kind) {
+  case SymAction::Select:
+    OS << "Select(" << CompStr() << ")";
+    break;
+  case SymAction::Recv:
+  case SymAction::Send:
+    OS << (A.Kind == SymAction::Recv ? "Recv(" : "Send(") << CompStr() << ", "
+       << A.MsgName << "(";
+    for (size_t I = 0; I < A.Args.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Ctx.str(A.Args[I]);
+    }
+    OS << "))";
+    break;
+  case SymAction::Spawn:
+    OS << "Spawn(" << CompStr() << ")";
+    break;
+  case SymAction::Call:
+    OS << "Call(" << A.CallFn << " -> "
+       << (A.CallResult ? Ctx.str(A.CallResult) : "?") << ")";
+    break;
+  }
+  return OS.str();
+}
+
+} // namespace reflex

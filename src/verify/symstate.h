@@ -1,0 +1,136 @@
+//===- verify/symstate.h - Symbolic states, paths, summaries ----*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data the behavioral abstraction is made of. Because Reflex handlers
+/// are loop-free (the central LAC restriction, §3.3), each handler can be
+/// exhaustively symbolically evaluated into a finite set of *paths*, each
+/// carrying:
+///
+///  * a path condition (conjunction of literals over the canonical
+///    pre-state symbols, the message parameters, the sender's config
+///    fields, and fresh symbols for call results),
+///  * the ordered list of emitted actions (Select, Recv, then the path's
+///    Sends/Spawns/Calls — exactly the trace suffix §5.1 reasons about),
+///  * the state-variable updates as terms over the pre-state symbols, and
+///  * component-set facts learned from lookup (a failed lookup witnesses
+///    that *no* component of the type satisfies the constraints, which is
+///    how uniqueness properties like "Tab processes have unique IDs" are
+///    proved).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_SYMSTATE_H
+#define REFLEX_VERIFY_SYMSTATE_H
+
+#include "sym/term.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// A symbolically emitted action.
+struct SymAction {
+  enum SymActionKind : uint8_t { Select, Recv, Send, Spawn, Call };
+
+  SymActionKind Kind = Select;
+  TermRef Comp = nullptr;        // Select/Recv/Send/Spawn: the peer component
+  std::string MsgName;           // Recv/Send
+  std::vector<TermRef> Args;     // Recv/Send payload; Call arguments
+  std::string CallFn;            // Call
+  TermRef CallResult = nullptr;  // Call: the fresh result symbol
+};
+
+/// A universal negative component-set fact from a failed lookup: at the
+/// pre-state of this handler, no component of type TypeName satisfies all
+/// field constraints.
+struct NoCompFact {
+  std::string TypeName;
+  /// (config field index, required term) pairs.
+  std::vector<std::pair<int, TermRef>> Constraints;
+};
+
+/// One symbolic execution path through a handler (or through init).
+struct SymPath {
+  std::vector<Lit> Cond;
+  std::vector<SymAction> Emits;
+  /// State variable -> post-state term (absent means unchanged).
+  std::map<std::string, TermRef> Updates;
+  /// Facts from failed lookups (hold at the pre-state).
+  std::vector<NoCompFact> NoComp;
+  /// Components bound by successful lookups that provably pre-date this
+  /// handler (FlexPre only — used by the component-origin axiom: they were
+  /// spawned strictly earlier, witnessed by a Spawn action in the trace).
+  std::vector<TermRef> FoundComps;
+  /// All components bound by lookups on this path (FlexPre and FlexAny) —
+  /// the non-interference prover must vet every lookup a high handler
+  /// performs.
+  std::vector<TermRef> LookupComps;
+};
+
+/// The symbolic summary of one (component type, message type) exchange
+/// case of the event loop. Covers declared handlers and the implicit
+/// default handler (which emits only Select and Recv).
+struct HandlerSummary {
+  std::string CompType;
+  std::string MsgName;
+  bool IsDefault = false;
+  TermRef SenderComp = nullptr;    // FlexPre comp term with fresh fields
+  std::vector<TermRef> Params;     // fresh symbols, one per payload value
+  std::vector<SymPath> Paths;
+  /// DNF overflow or other symbolic-evaluation failure: the prover must
+  /// answer Unknown for any property whose proof needs this handler.
+  bool Incomplete = false;
+};
+
+/// The symbolic summary of the init section. Init paths' conditions are
+/// over fresh symbols only (no pre-state: init runs first).
+struct InitSummary {
+  std::vector<SymPath> Paths;
+  /// Component globals: name -> InitRigid comp term (same in all paths;
+  /// branch-dependent spawns are locals by validation).
+  std::map<std::string, TermRef> CompGlobals;
+  bool Incomplete = false;
+};
+
+//===----------------------------------------------------------------------===
+// Symbolic pattern matching
+//===----------------------------------------------------------------------===
+
+/// A substitution of pattern variables by terms (the symbolic counterpart
+/// of trace/pattern.h's Binding).
+using SymBinding = std::map<std::string, TermRef>;
+
+/// Attempts to match the emitted action \p A against pattern \p Pat,
+/// extending \p B. Returns:
+///  * std::nullopt — structurally impossible (kind/type/message mismatch,
+///    or a required equality folds to false);
+///  * otherwise the *match condition*: literals that must hold for the
+///    action to match. The caller decides whether to check them for
+///    satisfiability ("could this match?") or entailment ("must this
+///    match?").
+/// Unbound variables bind to the matched term (adding no condition);
+/// bound variables contribute equality literals.
+std::optional<std::vector<Lit>> matchSymAction(TermContext &Ctx,
+                                               const SymAction &A,
+                                               const struct ActionPattern &Pat,
+                                               SymBinding &B);
+
+/// Infers the base type of every variable occurring in \p Pat from the
+/// program's declarations (patterns must be validated).
+void collectPatVarTypes(const struct Program &P, const ActionPattern &Pat,
+                        std::map<std::string, BaseType> &Out);
+
+/// Renders a symbolic action for certificates/diagnostics.
+std::string symActionStr(const TermContext &Ctx, const SymAction &A);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_SYMSTATE_H

@@ -1,0 +1,172 @@
+//===- verify/verifier.cc - Verification facade -----------------*- C++ -*-===//
+
+#include "verify/verifier.h"
+
+#include "support/json.h"
+#include "support/timer.h"
+
+namespace reflex {
+
+const char *verifyStatusName(VerifyStatus S) {
+  switch (S) {
+  case VerifyStatus::Proved:
+    return "Proved";
+  case VerifyStatus::Refuted:
+    return "Refuted";
+  case VerifyStatus::Unknown:
+    return "Unknown";
+  }
+  return "?";
+}
+
+bool VerificationReport::allProved() const {
+  for (const PropertyResult &R : Results)
+    if (R.Status != VerifyStatus::Proved)
+      return false;
+  return !Results.empty();
+}
+
+unsigned VerificationReport::provedCount() const {
+  unsigned N = 0;
+  for (const PropertyResult &R : Results)
+    if (R.Status == VerifyStatus::Proved)
+      ++N;
+  return N;
+}
+
+const PropertyResult *
+VerificationReport::find(const std::string &Name) const {
+  for (const PropertyResult &R : Results)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+std::string VerificationReport::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("program", ProgramName);
+  W.key("properties");
+  W.beginArray();
+  for (const PropertyResult &R : Results) {
+    W.beginObject();
+    W.field("name", R.Name);
+    W.field("status", verifyStatusName(R.Status));
+    W.key("millis");
+    W.value(R.Millis);
+    if (R.Status == VerifyStatus::Proved)
+      W.field("cert_checked", R.CertChecked);
+    else
+      W.field("reason", R.Reason);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("total_millis");
+  W.value(TotalMillis);
+  W.field("terms", static_cast<int64_t>(TermCount));
+  W.field("solver_queries", static_cast<int64_t>(SolverQueries));
+  W.endObject();
+  return W.take();
+}
+
+struct VerifySession::Impl {
+  Impl(const Program &P, const VerifyOptions &Opts)
+      : P(P), Opts(Opts), Solv(Ctx) {
+    Ctx.setSimplify(Opts.Simplify);
+    Solv.setMemoEnabled(Opts.CacheInvariants);
+    Abs = buildBehAbs(Ctx, P, Opts.Limits);
+  }
+
+  const Program &P;
+  VerifyOptions Opts;
+  TermContext Ctx;
+  Solver Solv;
+  BehAbs Abs;
+  InvariantCache Cache;
+};
+
+VerifySession::VerifySession(const Program &P, const VerifyOptions &Opts)
+    : I(std::make_unique<Impl>(P, Opts)) {}
+
+VerifySession::~VerifySession() = default;
+
+TermContext &VerifySession::termContext() { return I->Ctx; }
+const BehAbs &VerifySession::behAbs() const { return I->Abs; }
+
+PropertyResult VerifySession::verify(const Property &Prop) {
+  PropertyResult R;
+  R.Name = Prop.Name;
+  WallTimer Timer;
+
+  ProverOptions POpts;
+  POpts.SyntacticSkip = I->Opts.SyntacticSkip;
+  POpts.CacheInvariants = I->Opts.CacheInvariants;
+
+  bool Proved = false;
+  std::string Reason;
+  Certificate Cert;
+  if (Prop.isTrace()) {
+    TraceProofOutcome Out = proveTraceProperty(I->Ctx, I->Solv, I->P, I->Abs,
+                                               Prop, POpts, I->Cache);
+    Proved = Out.Proved;
+    Reason = std::move(Out.Reason);
+    Cert = std::move(Out.Cert);
+  } else {
+    NIProofOutcome Out =
+        proveNonInterference(I->Ctx, I->Solv, I->P, I->Abs, Prop);
+    Proved = Out.Proved;
+    Reason = std::move(Out.Reason);
+    Cert = std::move(Out.Cert);
+  }
+
+  if (Proved) {
+    R.Status = VerifyStatus::Proved;
+    R.Cert = std::move(Cert);
+    if (I->Opts.CheckCertificates) {
+      CheckOutcome Chk =
+          checkCertificate(I->Ctx, I->P, I->Abs, Prop, R.Cert, POpts);
+      R.CertChecked = Chk.Ok;
+      if (!Chk.Ok) {
+        // A certificate the checker rejects is not a proof.
+        R.Status = VerifyStatus::Unknown;
+        R.Reason = "certificate rejected: " + Chk.Why;
+      }
+    }
+  } else {
+    R.Status = VerifyStatus::Unknown;
+    R.Reason = std::move(Reason);
+    if (I->Opts.BmcDepthOnUnknown > 0 && Prop.isTrace()) {
+      BmcOptions BOpts;
+      BOpts.MaxDepth = I->Opts.BmcDepthOnUnknown;
+      BmcResult B = bmcSearch(I->P, Prop, BOpts);
+      if (B.Violated) {
+        R.Status = VerifyStatus::Refuted;
+        R.Reason = B.Explanation;
+        R.Counterexample = std::move(B.Counterexample);
+      }
+    }
+  }
+  R.Millis = Timer.elapsedMillis();
+  return R;
+}
+
+VerificationReport VerifySession::verifyAll() {
+  VerificationReport Report;
+  Report.ProgramName = I->P.Name;
+  WallTimer Timer;
+  for (const Property &Prop : I->P.Properties)
+    Report.Results.push_back(verify(Prop));
+  Report.TotalMillis = Timer.elapsedMillis();
+  Report.TermCount = I->Ctx.termCount();
+  Report.SolverQueries = I->Solv.queriesSolved();
+  Report.InvariantCacheHits = I->Cache.Hits;
+  return Report;
+}
+
+VerificationReport verifyProgram(const Program &P,
+                                 const VerifyOptions &Opts) {
+  VerifySession Session(P, Opts);
+  return Session.verifyAll();
+}
+
+} // namespace reflex

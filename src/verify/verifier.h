@@ -1,0 +1,110 @@
+//===- verify/verifier.h - Verification facade ------------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop verification entry point: builds the behavioral
+/// abstraction once, then proves each property of the program fully
+/// automatically (trace properties via verify/prover.h, non-interference
+/// via verify/ni.h), re-checks every certificate with the independent
+/// checker, and optionally runs the bounded model checker on properties
+/// the prover could not establish, to distinguish "false" from "beyond
+/// the automation" (paper §6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_VERIFIER_H
+#define REFLEX_VERIFY_VERIFIER_H
+
+#include "verify/bmc.h"
+#include "verify/checker.h"
+#include "verify/ni.h"
+#include "verify/prover.h"
+
+#include <memory>
+
+namespace reflex {
+
+/// Options for a verification run. The three optimization toggles
+/// correspond to §6.4's reported speedups and feed the ablation bench.
+struct VerifyOptions {
+  /// Prover optimizations.
+  bool SyntacticSkip = true;
+  bool CacheInvariants = true;
+  /// Term-level simplification ("domain-specific reduction strategies").
+  bool Simplify = true;
+  /// Re-check every certificate with the independent checker.
+  bool CheckCertificates = true;
+  /// When the prover answers Unknown, search for a concrete
+  /// counterexample up to this depth (0 disables).
+  size_t BmcDepthOnUnknown = 0;
+  SymExecLimits Limits;
+};
+
+enum class VerifyStatus : uint8_t { Proved, Refuted, Unknown };
+
+const char *verifyStatusName(VerifyStatus S);
+
+struct PropertyResult {
+  std::string Name;
+  VerifyStatus Status = VerifyStatus::Unknown;
+  /// Unknown: the failing obligation; Refuted: the violation explanation.
+  std::string Reason;
+  double Millis = 0;
+  Certificate Cert;        // Proved only
+  bool CertChecked = false;
+  Trace Counterexample;    // Refuted only
+};
+
+struct VerificationReport {
+  std::string ProgramName;
+  std::vector<PropertyResult> Results;
+  double TotalMillis = 0;
+  /// Work metrics for the ablation bench.
+  size_t TermCount = 0;
+  uint64_t SolverQueries = 0;
+  uint64_t InvariantCacheHits = 0;
+
+  bool allProved() const;
+  unsigned provedCount() const;
+  const PropertyResult *find(const std::string &Name) const;
+
+  /// JSON summary (statuses, reasons, timings — certificates are exported
+  /// separately via Certificate::toJson, which needs the term context).
+  std::string toJson() const;
+};
+
+/// A verification session: one abstraction, many properties. Keeps the
+/// term context, solver memo, and invariant cache alive across properties
+/// (the cut-point caching of §6.4).
+class VerifySession {
+public:
+  /// \p P must be validated and outlive the session.
+  VerifySession(const Program &P, const VerifyOptions &Opts = {});
+  ~VerifySession();
+
+  /// Verifies a single property.
+  PropertyResult verify(const Property &Prop);
+
+  /// Verifies every property of the program.
+  VerificationReport verifyAll();
+
+  TermContext &termContext();
+  const BehAbs &behAbs() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Convenience: parse + validate happen elsewhere; this verifies all
+/// properties of an already-validated program in a fresh session.
+VerificationReport verifyProgram(const Program &P,
+                                 const VerifyOptions &Opts = {});
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_VERIFIER_H

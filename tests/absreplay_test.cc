@@ -1,0 +1,144 @@
+//===- tests/absreplay_test.cc - Trace inclusion tests ----------*- C++ -*-===//
+//
+// Tests the dynamic stand-in for the paper's once-and-for-all soundness
+// theorem: concrete traces replay into the behavioral abstraction, and
+// corrupted traces (actions the program could not have produced) are
+// rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "test_util.h"
+#include "verify/absreplay.h"
+
+namespace reflex {
+namespace {
+
+const char Kernel[] = R"(
+component A "a";
+component B "b" { tag: str };
+message Ping(num);
+message Pong(num);
+message Make(str);
+message Fetch(str);
+var count: num = 0;
+init {
+  X <- spawn A();
+}
+handler A => Ping(n) {
+  if (n == count) {
+    count = count + 1;
+    send(X, Pong(count));
+  }
+}
+handler A => Make(t) {
+  lookup B(tag == t) as b {
+    send(b, Ping(0));
+  } else {
+    fresh <- spawn B(t);
+  }
+}
+handler A => Fetch(u) {
+  r <- call "wget"(u);
+  send(X, Make(r));
+}
+)";
+
+struct ReplayTest : ::testing::Test {
+  void SetUp() override {
+    P = mustLoad(Kernel);
+    ASSERT_NE(P, nullptr);
+    Abs = buildBehAbs(Ctx, *P);
+  }
+
+  Trace runScripted(std::vector<Message> Requests) {
+    Runtime Rt(*P,
+               [&](const ComponentInstance &C)
+                   -> std::unique_ptr<ComponentScript> {
+                 if (C.TypeName != "A")
+                   return nullptr;
+                 return std::make_unique<ScriptedComponent>(
+                     Requests,
+                     std::map<std::string, ScriptedComponent::Responder>{});
+               },
+               Calls, 1);
+    Rt.start();
+    Rt.run(100);
+    return Rt.trace();
+  }
+
+  ProgramPtr P;
+  TermContext Ctx;
+  BehAbs Abs;
+  CallRegistry Calls;
+};
+
+TEST_F(ReplayTest, StraightLineRunIncluded) {
+  Trace Tr = runScripted({msg("Ping", {Value::num(0)}),
+                          msg("Ping", {Value::num(1)}),
+                          msg("Ping", {Value::num(5)})});
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_TRUE(R.Included) << R.Why;
+  EXPECT_EQ(R.Exchanges, 3u);
+}
+
+TEST_F(ReplayTest, LookupBothBranchesIncluded) {
+  Trace Tr = runScripted({msg("Make", {Value::str("x")}),
+                          msg("Make", {Value::str("x")}),
+                          msg("Make", {Value::str("y")})});
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_TRUE(R.Included) << R.Why;
+}
+
+TEST_F(ReplayTest, CallResultsReplayFromTrace) {
+  Calls.add("wget", [](const std::vector<Value> &Args) {
+    return Value::str("page:" + Args[0].asStr());
+  });
+  Trace Tr = runScripted({msg("Fetch", {Value::str("u1")})});
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_TRUE(R.Included) << R.Why;
+}
+
+TEST_F(ReplayTest, ForgedSendRejected) {
+  Trace Tr = runScripted({msg("Ping", {Value::num(0)})});
+  // Forge an extra send the kernel never performed.
+  Message Evil;
+  Evil.Name = "Pong";
+  Evil.Args = {Value::num(99)};
+  Tr.Actions.push_back(Action::send(0, Evil));
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_FALSE(R.Included);
+}
+
+TEST_F(ReplayTest, WrongPayloadRejected) {
+  Trace Tr = runScripted({msg("Ping", {Value::num(0)})});
+  // Tamper with the payload of the genuine Pong (count+1 == 1 -> 42).
+  for (Action &A : Tr.Actions)
+    if (A.Kind == Action::Send)
+      A.Msg.Args[0] = Value::num(42);
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_FALSE(R.Included);
+}
+
+TEST_F(ReplayTest, DroppedResponseRejected) {
+  Trace Tr = runScripted({msg("Ping", {Value::num(0)})});
+  // Remove the kernel's response: the Ping exchange no longer matches any
+  // path (the taken branch requires the send).
+  ASSERT_EQ(Tr.Actions.back().Kind, Action::Send);
+  Tr.Actions.pop_back();
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_FALSE(R.Included);
+}
+
+TEST_F(ReplayTest, WrongBranchRejected) {
+  // A response where the branch condition was false.
+  Trace Tr = runScripted({msg("Ping", {Value::num(7)})}); // 7 != count: quiet
+  Message Forged;
+  Forged.Name = "Pong";
+  Forged.Args = {Value::num(1)};
+  Tr.Actions.push_back(Action::send(0, Forged));
+  ReplayResult R = replayTrace(Ctx, *P, Abs, Tr);
+  EXPECT_FALSE(R.Included);
+}
+
+} // namespace
+} // namespace reflex

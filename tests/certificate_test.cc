@@ -1,0 +1,172 @@
+//===- tests/certificate_test.cc - Certificates and checking ----*- C++ -*-===//
+//
+// The de Bruijn criterion in miniature: certificates are explicit, export
+// to JSON, and — crucially — the independent checker rejects *tampered*
+// certificates, which is what separates it from a rubber stamp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+const char Kernel[] = R"(
+component A "a";
+component B "b";
+message Ping(num);
+message Mark(num);
+var seen: bool = false;
+init {
+  X <- spawn A();
+  Y <- spawn B();
+}
+handler B => Ping(n) { seen = true; }
+handler A => Ping(n) {
+  if (seen) {
+    send(Y, Mark(n));
+  }
+}
+property PingBeforeMark:
+  [Recv(B, Ping(_))] Enables [Send(B, Mark(_))];
+)";
+
+struct CertTest : ::testing::Test {
+  void SetUp() override {
+    P = mustLoad(Kernel);
+    ASSERT_NE(P, nullptr);
+    Session = std::make_unique<VerifySession>(*P);
+    R = Session->verify(*P->findProperty("PingBeforeMark"));
+    ASSERT_EQ(R.Status, VerifyStatus::Proved);
+    Opts.SyntacticSkip = true;
+    Opts.CacheInvariants = true;
+  }
+
+  CheckOutcome check(const Certificate &Cert) {
+    return checkCertificate(Session->termContext(), *P, Session->behAbs(),
+                            *P->findProperty("PingBeforeMark"), Cert, Opts);
+  }
+
+  ProgramPtr P;
+  std::unique_ptr<VerifySession> Session;
+  PropertyResult R;
+  ProverOptions Opts;
+};
+
+TEST_F(CertTest, GenuineCertificateAccepted) {
+  CheckOutcome Out = check(R.Cert);
+  EXPECT_TRUE(Out.Ok) << Out.Why;
+}
+
+TEST_F(CertTest, TamperedStepKindRejected) {
+  Certificate Bad = R.Cert;
+  ASSERT_FALSE(Bad.Steps.empty());
+  // Claim a different justification for a real step.
+  for (ProofStep &S : Bad.Steps)
+    if (S.Kind == Justify::InvariantHistory) {
+      S.Kind = Justify::LocalObligation;
+      S.LocalIndex = 0;
+      S.InvariantId = -1;
+    }
+  CheckOutcome Out = check(Bad);
+  EXPECT_FALSE(Out.Ok);
+}
+
+TEST_F(CertTest, DroppedStepRejected) {
+  Certificate Bad = R.Cert;
+  ASSERT_FALSE(Bad.Steps.empty());
+  Bad.Steps.pop_back();
+  EXPECT_FALSE(check(Bad).Ok);
+}
+
+TEST_F(CertTest, TamperedInvariantGuardRejected) {
+  Certificate Bad = R.Cert;
+  ASSERT_FALSE(Bad.Invariants.empty());
+  // Weaken the invariant guard to nothing.
+  Bad.Invariants[0].Guard.clear();
+  EXPECT_FALSE(check(Bad).Ok);
+}
+
+TEST_F(CertTest, ForeignCertificateRejected) {
+  // A certificate for a different property does not check.
+  Certificate Foreign = R.Cert;
+  Foreign.PropertyName = "SomethingElse";
+  EXPECT_FALSE(check(Foreign).Ok);
+}
+
+TEST(NICertTest, TamperedNICertificateRejected) {
+  const char NIKernel[] = R"(
+component Hi "h";
+component Lo "l";
+message Poke(str);
+var secret: str = "";
+init {
+  H <- spawn Hi();
+  L <- spawn Lo();
+}
+handler Hi => Poke(s) { secret = s; }
+property NI: noninterference { high components: Hi; high vars: secret; };
+)";
+  ProgramPtr P = mustLoad(NIKernel);
+  ASSERT_NE(P, nullptr);
+  VerifySession Session(*P);
+  PropertyResult R = Session.verify(*P->findProperty("NI"));
+  ASSERT_EQ(R.Status, VerifyStatus::Proved);
+  ASSERT_FALSE(R.Cert.NICases.empty());
+
+  ProverOptions Opts;
+  CheckOutcome Good = checkCertificate(Session.termContext(), *P,
+                                       Session.behAbs(),
+                                       *P->findProperty("NI"), R.Cert, Opts);
+  EXPECT_TRUE(Good.Ok) << Good.Why;
+
+  Certificate Bad = R.Cert;
+  Bad.NICases[0].SenderHigh = !Bad.NICases[0].SenderHigh;
+  EXPECT_FALSE(checkCertificate(Session.termContext(), *P, Session.behAbs(),
+                                *P->findProperty("NI"), Bad, Opts)
+                   .Ok);
+  Certificate Dropped = R.Cert;
+  Dropped.NICases.pop_back();
+  EXPECT_FALSE(checkCertificate(Session.termContext(), *P, Session.behAbs(),
+                                *P->findProperty("NI"), Dropped, Opts)
+                   .Ok);
+}
+
+TEST_F(CertTest, JsonExportIsWellFormedish) {
+  std::string Json = R.Cert.toJson(Session->termContext());
+  // Spot checks: balanced-ish structure and the expected fields.
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+  EXPECT_NE(Json.find("\"property\":\"PingBeforeMark\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kind\":\"Enables\""), std::string::npos);
+  EXPECT_NE(Json.find("\"steps\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"invariants\":"), std::string::npos);
+  size_t Opens = std::count(Json.begin(), Json.end(), '{');
+  size_t Closes = std::count(Json.begin(), Json.end(), '}');
+  EXPECT_EQ(Opens, Closes);
+}
+
+TEST_F(CertTest, CheckerOptionsMustMatchProducer) {
+  // Option toggles change the certificate's *shape* (e.g. syntactic-skip
+  // steps); a checker configured differently must reject rather than
+  // silently accept.
+  ProverOptions Mismatched;
+  Mismatched.SyntacticSkip = false;
+  Mismatched.CacheInvariants = true;
+  CheckOutcome Out =
+      checkCertificate(Session->termContext(), *P, Session->behAbs(),
+                       *P->findProperty("PingBeforeMark"), R.Cert,
+                       Mismatched);
+  EXPECT_FALSE(Out.Ok);
+}
+
+TEST_F(CertTest, VerifierDowngradesOnRejectedCertificate) {
+  // End-to-end: VerifySession itself refuses to report Proved when the
+  // checker is on and (hypothetically) the certificate were bad. We can't
+  // inject a bad cert through the public API, so instead assert the flag
+  // is set on the good path.
+  EXPECT_TRUE(R.CertChecked);
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,161 @@
+//===- tests/cli_test.cc - CLI driver integration ---------------*- C++ -*-===//
+//
+// End-to-end tests of the `reflex` command-line driver: write a .rfx file,
+// invoke the binary, check exit codes and output. The binary path is baked
+// in by CMake.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+CliResult runCli(const std::string &ArgsAfterBinary) {
+  std::string Cmd =
+      std::string(REFLEX_CLI_PATH) + " " + ArgsAfterBinary + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  CliResult R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+const char GoodKernel[] = R"(
+program demo;
+component Admin "admin.py";
+component Door "door.c";
+message Grant(str);
+message Scan(str);
+message Unlock(str);
+var granted: str = "";
+var armed: bool = false;
+init {
+  A <- spawn Admin();
+  D <- spawn Door();
+}
+handler Admin => Grant(b) { granted = b; armed = true; }
+handler Door => Scan(b) {
+  if (armed && b == granted) { send(D, Unlock(b)); }
+}
+property UnlockNeedsGrant: forall b.
+  [Recv(Admin, Grant(b))] Enables [Send(Door, Unlock(b))];
+)";
+
+std::string writeTemp(const std::string &Content, const char *Name) {
+  std::string Path = std::string(::testing::TempDir()) + Name;
+  std::ofstream Out(Path);
+  Out << Content;
+  return Path;
+}
+
+TEST(Cli, VerifyProvedKernelExitsZero) {
+  std::string Path = writeTemp(GoodKernel, "good.rfx");
+  CliResult R = runCli("verify " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("Proved"), std::string::npos);
+  EXPECT_NE(R.Output.find("cert checked"), std::string::npos);
+  EXPECT_NE(R.Output.find("1/1 properties proved"), std::string::npos);
+}
+
+TEST(Cli, VerifyBrokenKernelExitsNonZero) {
+  std::string Broken(GoodKernel);
+  size_t Pos = Broken.find("if (armed && b == granted) { ");
+  ASSERT_NE(Pos, std::string::npos);
+  Broken.replace(Pos, std::string("if (armed && b == granted) { ").size(),
+                 "if (true) { ");
+  std::string Path = writeTemp(Broken, "broken.rfx");
+  CliResult R = runCli("verify " + Path + " --bmc-depth 2");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("Refuted"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("counterexample"), std::string::npos);
+}
+
+TEST(Cli, BmcFindsViolation) {
+  std::string Broken(GoodKernel);
+  size_t Pos = Broken.find("if (armed && b == granted) { ");
+  Broken.replace(Pos, std::string("if (armed && b == granted) { ").size(),
+                 "if (true) { ");
+  std::string Path = writeTemp(Broken, "broken2.rfx");
+  CliResult R =
+      runCli("bmc " + Path + " --property UnlockNeedsGrant --depth 2");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("VIOLATION"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, RunUnderMonitorIsClean) {
+  std::string Path = writeTemp(GoodKernel, "run.rfx");
+  CliResult R = runCli("run " + Path + " --steps 50 --quiet --seed 9");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("all declared trace properties held"),
+            std::string::npos);
+}
+
+TEST(Cli, PrintRoundTrips) {
+  std::string Path = writeTemp(GoodKernel, "print.rfx");
+  CliResult R = runCli("print " + Path);
+  ASSERT_EQ(R.ExitCode, 0);
+  // The printed output is itself loadable.
+  std::string Path2 = writeTemp(R.Output, "printed.rfx");
+  CliResult R2 = runCli("verify " + Path2);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+}
+
+TEST(Cli, JsonReportAndCertsWritten) {
+  std::string Path = writeTemp(GoodKernel, "json.rfx");
+  std::string Json = std::string(::testing::TempDir()) + "report.json";
+  std::string Certs = std::string(::testing::TempDir()) + "certs.json";
+  CliResult R =
+      runCli("verify " + Path + " --json " + Json + " --certs " + Certs);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::ifstream JIn(Json);
+  std::stringstream JS;
+  JS << JIn.rdbuf();
+  EXPECT_NE(JS.str().find("\"status\":\"Proved\""), std::string::npos);
+  EXPECT_NE(JS.str().find("\"cert_checked\":true"), std::string::npos);
+  std::ifstream CIn(Certs);
+  std::stringstream CS;
+  CS << CIn.rdbuf();
+  EXPECT_NE(CS.str().find("\"property\":\"UnlockNeedsGrant\""),
+            std::string::npos);
+}
+
+TEST(Cli, InfoReportsInventory) {
+  std::string Path = writeTemp(GoodKernel, "info.rfx");
+  CliResult R = runCli("info " + Path);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("component types: 2"), std::string::npos);
+  EXPECT_NE(R.Output.find("behavioral abstraction"), std::string::npos);
+}
+
+TEST(Cli, BadUsage) {
+  EXPECT_EQ(runCli("").ExitCode, 2);
+  EXPECT_EQ(runCli("frobnicate /nonexistent.rfx").ExitCode, 2);
+  std::string Path = writeTemp(GoodKernel, "usage.rfx");
+  EXPECT_EQ(runCli("bmc " + Path).ExitCode, 2) << "missing --property";
+  EXPECT_EQ(runCli("verify /does/not/exist.rfx").ExitCode, 2);
+}
+
+TEST(Cli, SyntaxErrorsRenderDiagnostics) {
+  std::string Path = writeTemp("component ;;;", "bad.rfx");
+  CliResult R = runCli("verify " + Path);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("error:"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+//===- tests/incremental_test.cc - Incremental re-verification --*- C++ -*-===//
+
+#include "kernels/kernels.h"
+#include "test_util.h"
+#include "verify/incremental.h"
+
+namespace reflex {
+namespace {
+
+TEST(Incremental, UnchangedProgramReusesEverything) {
+  ProgramPtr P = kernels::load(kernels::ssh());
+  IncrementalVerifier IV;
+  auto First = IV.verify(*P);
+  EXPECT_EQ(First.Reverified, P->Properties.size());
+  EXPECT_EQ(First.Reused, 0u);
+  EXPECT_TRUE(First.Report.allProved());
+
+  auto Second = IV.verify(*P);
+  EXPECT_EQ(Second.Reverified, 0u);
+  EXPECT_EQ(Second.Reused, P->Properties.size());
+  EXPECT_TRUE(Second.Report.allProved());
+}
+
+TEST(Incremental, NewPropertyOnlyVerifiesItself) {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  IncrementalVerifier IV;
+  IV.verify(*P1);
+
+  // Add one property; the code is unchanged.
+  std::string Src2 = std::string(K.Source) +
+                     "\nproperty ExtraAdjacent: forall u, p.\n"
+                     "  [Recv(Connection, ReqAuth(u, p))] ImmBefore "
+                     "[Send(Password, CheckAuth(u, p, 1))];\n";
+  ProgramPtr P2 = mustLoad(Src2);
+  ASSERT_NE(P2, nullptr);
+  auto Out = IV.verify(*P2);
+  EXPECT_EQ(Out.Reused, P1->Properties.size());
+  EXPECT_EQ(Out.Reverified, 1u);
+}
+
+TEST(Incremental, CodeEditInvalidatesEverything) {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  IncrementalVerifier IV;
+  IV.verify(*P1);
+
+  // Change a handler body (behaviourally harmless, but the fingerprint
+  // must be conservative).
+  std::string Src2 = K.Source;
+  size_t Pos = Src2.find("auth_ok = true;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src2.insert(Pos, "auth_user = user;\n  ");
+  ProgramPtr P2 = mustLoad(Src2);
+  ASSERT_NE(P2, nullptr);
+  auto Out = IV.verify(*P2);
+  EXPECT_EQ(Out.Reused, 0u);
+  EXPECT_EQ(Out.Reverified, P2->Properties.size());
+  EXPECT_TRUE(Out.Report.allProved()) << "the edit preserves the policies";
+}
+
+TEST(Incremental, VerdictsAgreeWithFreshVerification) {
+  // Reused verdicts must equal what a fresh run produces — including for
+  // a kernel with an unprovable property.
+  std::string Src = R"(
+component A "a";
+message Ping(num);
+message Mark(num);
+init { X <- spawn A(); }
+handler A => Ping(n) { send(X, Mark(n)); }
+property Bad: forall n.
+  [Recv(A, Mark(n))] Enables [Send(A, Mark(n))];
+property Fine: forall n.
+  [Recv(A, Ping(n))] Ensures [Send(A, Mark(n))];
+)";
+  ProgramPtr P = mustLoad(Src);
+  IncrementalVerifier IV;
+  IV.verify(*P);
+  auto Cached = IV.verify(*P);
+  VerificationReport Fresh = verifyProgram(*P);
+  ASSERT_EQ(Cached.Report.Results.size(), Fresh.Results.size());
+  for (size_t I = 0; I < Fresh.Results.size(); ++I)
+    EXPECT_EQ(Cached.Report.Results[I].Status, Fresh.Results[I].Status)
+        << Fresh.Results[I].Name;
+}
+
+TEST(Incremental, FingerprintStripsOnlyProperties) {
+  ProgramPtr P1 = kernels::load(kernels::ssh());
+  ProgramPtr P2 = kernels::load(kernels::ssh2());
+  EXPECT_NE(codeFingerprint(*P1), codeFingerprint(*P2));
+  EXPECT_EQ(codeFingerprint(*P1), codeFingerprint(*P1));
+  EXPECT_EQ(codeFingerprint(*P1).find("property"), std::string::npos);
+}
+
+} // namespace
+} // namespace reflex

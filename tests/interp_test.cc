@@ -1,0 +1,220 @@
+//===- tests/interp_test.cc - Interpreter and runtime tests -----*- C++ -*-===//
+
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+const char Kernel[] = R"(
+component A "a";
+component B "b" { tag: str };
+message Ping(num);
+message Pong(num);
+message Make(str);
+message Fetch(str);
+var count: num = 0;
+init {
+  X <- spawn A();
+}
+handler A => Ping(n) {
+  count = count + n;
+  send(X, Pong(count));
+}
+handler A => Make(t) {
+  lookup B(tag == t) as b {
+    send(b, Ping(0));
+  } else {
+    fresh <- spawn B(t);
+  }
+}
+handler A => Fetch(u) {
+  r <- call "wget"(u);
+  send(X, Make(r));
+}
+)";
+
+struct InterpTest : ::testing::Test {
+  void SetUp() override {
+    P = mustLoad(Kernel);
+    ASSERT_NE(P, nullptr);
+    Eval = std::make_unique<Evaluator>(*P);
+  }
+
+  Message mk(const char *Name, std::vector<Value> Args = {}) {
+    Message M;
+    M.Name = Name;
+    M.Args = std::move(Args);
+    return M;
+  }
+
+  ProgramPtr P;
+  std::unique_ptr<Evaluator> Eval;
+};
+
+TEST_F(InterpTest, InitSpawnsAndSeedsVars) {
+  KernelState St;
+  Eval->runInit(St, {});
+  EXPECT_EQ(St.Vars.at("count"), Value::num(0));
+  ASSERT_EQ(St.Tr.Components.size(), 1u);
+  EXPECT_EQ(St.Tr.Components[0].TypeName, "A");
+  EXPECT_EQ(St.Vars.at("X"), Value::comp(0));
+  ASSERT_EQ(St.Tr.Actions.size(), 1u);
+  EXPECT_EQ(St.Tr.Actions[0].Kind, Action::Spawn);
+}
+
+TEST_F(InterpTest, ExchangeRecordsSelectRecvAndEffects) {
+  KernelState St;
+  std::vector<Message> Sent;
+  EffectHooks Hooks;
+  Hooks.OnSend = [&](const ComponentInstance &, const Message &M) {
+    Sent.push_back(M);
+  };
+  Eval->runInit(St, Hooks);
+  Eval->runExchange(St, 0, mk("Ping", {Value::num(5)}), Hooks);
+  // Trace: Spawn, Select, Recv, Send.
+  ASSERT_EQ(St.Tr.Actions.size(), 4u);
+  EXPECT_EQ(St.Tr.Actions[1].Kind, Action::Select);
+  EXPECT_EQ(St.Tr.Actions[2].Kind, Action::Recv);
+  EXPECT_EQ(St.Tr.Actions[3].Kind, Action::Send);
+  EXPECT_EQ(St.Vars.at("count"), Value::num(5));
+  ASSERT_EQ(Sent.size(), 1u);
+  EXPECT_EQ(Sent[0].Args[0], Value::num(5));
+  // Second exchange accumulates.
+  Eval->runExchange(St, 0, mk("Ping", {Value::num(2)}), Hooks);
+  EXPECT_EQ(St.Vars.at("count"), Value::num(7));
+}
+
+TEST_F(InterpTest, UnhandledMessageIsNoResponse) {
+  KernelState St;
+  Eval->runInit(St, {});
+  Eval->runExchange(St, 0, mk("Pong", {Value::num(1)}), {});
+  // Select + Recv recorded, nothing else, no state change.
+  ASSERT_EQ(St.Tr.Actions.size(), 3u);
+  EXPECT_EQ(St.Vars.at("count"), Value::num(0));
+}
+
+TEST_F(InterpTest, LookupOldestFirstAndSpawn) {
+  KernelState St;
+  Eval->runInit(St, {});
+  Eval->runExchange(St, 0, mk("Make", {Value::str("x")}), {});
+  ASSERT_EQ(St.Tr.Components.size(), 2u);
+  EXPECT_EQ(St.Tr.Components[1].Config[0], Value::str("x"));
+  // Second Make("x") finds the existing one: sends Ping(0) to it.
+  std::vector<int64_t> Targets;
+  EffectHooks Hooks;
+  Hooks.OnSend = [&](const ComponentInstance &C, const Message &) {
+    Targets.push_back(C.Id);
+  };
+  Eval->runExchange(St, 0, mk("Make", {Value::str("x")}), Hooks);
+  EXPECT_EQ(St.Tr.Components.size(), 2u) << "no duplicate spawn";
+  ASSERT_EQ(Targets.size(), 1u);
+  EXPECT_EQ(Targets[0], 1);
+}
+
+TEST_F(InterpTest, CallsUseHooksAndRecordActions) {
+  KernelState St;
+  EffectHooks Hooks;
+  Hooks.OnCall = [](const std::string &Fn, const std::vector<Value> &Args) {
+    EXPECT_EQ(Fn, "wget");
+    return Value::str("fetched:" + Args[0].asStr());
+  };
+  std::vector<Message> Sent;
+  Hooks.OnSend = [&](const ComponentInstance &, const Message &M) {
+    Sent.push_back(M);
+  };
+  Eval->runInit(St, Hooks);
+  Eval->runExchange(St, 0, mk("Fetch", {Value::str("url")}), Hooks);
+  ASSERT_EQ(Sent.size(), 1u);
+  EXPECT_EQ(Sent[0].Args[0], Value::str("fetched:url"));
+  // The Call action is in the trace with its result.
+  bool SawCall = false;
+  for (const Action &A : St.Tr.Actions)
+    if (A.Kind == Action::Call) {
+      SawCall = true;
+      EXPECT_EQ(A.CallResult, Value::str("fetched:url"));
+    }
+  EXPECT_TRUE(SawCall);
+}
+
+TEST_F(InterpTest, StateHashDistinguishes) {
+  KernelState A, B;
+  Eval->runInit(A, {});
+  Eval->runInit(B, {});
+  EXPECT_EQ(A.stateHash(), B.stateHash());
+  Eval->runExchange(B, 0, mk("Ping", {Value::num(1)}), {});
+  EXPECT_NE(A.stateHash(), B.stateHash());
+}
+
+TEST(Runtime, ScriptsDriveTheLoop) {
+  ProgramPtr P = mustLoad(Kernel);
+  struct Pinger : ComponentScript {
+    void onStart() override { sendToKernel(msg("Ping", {Value::num(1)})); }
+    void onMessage(const Message &M) override {
+      if (M.Name == "Pong" && M.Args[0].asNum() < 4)
+        sendToKernel(msg("Ping", {Value::num(1)}));
+    }
+  };
+  Runtime Rt(*P,
+             [](const ComponentInstance &C)
+                 -> std::unique_ptr<ComponentScript> {
+               if (C.TypeName == "A")
+                 return std::make_unique<Pinger>();
+               return nullptr;
+             },
+             CallRegistry(), 1);
+  Rt.start();
+  size_t Steps = Rt.run(100);
+  EXPECT_EQ(Steps, 4u) << "ping until count reaches 4";
+  EXPECT_EQ(Rt.state().Vars.at("count"), Value::num(4));
+}
+
+TEST(Runtime, DeterministicUnderSeed) {
+  ProgramPtr P = mustLoad(Kernel);
+  auto Factory = [](const ComponentInstance &C)
+      -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName != "A")
+      return nullptr;
+    return std::make_unique<ScriptedComponent>(
+        std::vector<Message>{msg("Ping", {Value::num(1)}),
+                             msg("Make", {Value::str("b")}),
+                             msg("Ping", {Value::num(2)})},
+        std::map<std::string, ScriptedComponent::Responder>{});
+  };
+  Runtime R1(*P, Factory, CallRegistry(), 99);
+  Runtime R2(*P, Factory, CallRegistry(), 99);
+  R1.start();
+  R2.start();
+  R1.run(50);
+  R2.run(50);
+  EXPECT_EQ(R1.trace().str(), R2.trace().str());
+}
+
+TEST(Runtime, MonitorFlagsViolations) {
+  // A kernel that violates its own declared property at runtime.
+  const char Bad[] = R"(
+component A "a";
+message Ping(num);
+message Mark(num);
+init { X <- spawn A(); }
+handler A => Ping(n) { send(X, Mark(n)); }
+property Impossible:
+  [Recv(A, Mark(_))] Enables [Send(A, Mark(_))];
+)";
+  ProgramPtr P = mustLoad(Bad);
+  Runtime Rt(*P,
+             [](const ComponentInstance &)
+                 -> std::unique_ptr<ComponentScript> {
+               return std::make_unique<ScriptedComponent>(
+                   std::vector<Message>{msg("Ping", {Value::num(1)})},
+                   std::map<std::string, ScriptedComponent::Responder>{});
+             },
+             CallRegistry(), 1);
+  Rt.enableMonitor();
+  Rt.start();
+  Rt.run(10);
+  ASSERT_TRUE(Rt.lastViolation().has_value());
+  EXPECT_NE(Rt.lastViolation()->Explanation.find("Mark"), std::string::npos);
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,99 @@
+//===- tests/lexer_test.cc - Lexer tests ------------------------*- C++ -*-===//
+
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+std::vector<Token> lexOk(std::string_view Src) {
+  DiagnosticEngine D;
+  auto Toks = lexSource(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.render("lex", Src);
+  return Toks;
+}
+
+std::vector<TokKind> kindsOf(std::string_view Src) {
+  std::vector<TokKind> Out;
+  for (const Token &T : lexOk(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto Toks = lexOk("handler Handler sender senders");
+  ASSERT_EQ(Toks.size(), 5u); // + Eof
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwHandler);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "Handler");
+  EXPECT_EQ(Toks[2].Kind, TokKind::KwSender);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Ident) << "prefix of keyword + more";
+}
+
+TEST(Lexer, Numbers) {
+  auto Toks = lexOk("0 42 123456789");
+  EXPECT_EQ(Toks[0].NumVal, 0);
+  EXPECT_EQ(Toks[1].NumVal, 42);
+  EXPECT_EQ(Toks[2].NumVal, 123456789);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  auto Toks = lexOk(R"("plain" "with \"quote\"" "tab\there" "back\\slash")");
+  EXPECT_EQ(Toks[0].Text, "plain");
+  EXPECT_EQ(Toks[1].Text, "with \"quote\"");
+  EXPECT_EQ(Toks[2].Text, "tab\there");
+  EXPECT_EQ(Toks[3].Text, "back\\slash");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  DiagnosticEngine D;
+  lexSource("\"oops", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto Kinds = kindsOf("= == => <- < <= > >= ! != && ||");
+  std::vector<TokKind> Expected = {
+      TokKind::Equal,  TokKind::EqEq,      TokKind::FatArrow,
+      TokKind::Bind,   TokKind::Less,      TokKind::LessEq,
+      TokKind::Greater, TokKind::GreaterEq, TokKind::Bang,
+      TokKind::NotEq,  TokKind::AndAnd,    TokKind::OrOr,
+      TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, CommentsBothStyles) {
+  auto Kinds = kindsOf("a # to end of line == ;\nb // also c\nc");
+  std::vector<TokKind> Expected = {TokKind::Ident, TokKind::Ident,
+                                   TokKind::Ident, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, WildcardVsIdentifier) {
+  auto Toks = lexOk("_ _x x_");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Underscore);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "_x");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Ident);
+}
+
+TEST(Lexer, LocationsAreOneBased) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Toks[1].Loc, SourceLoc(2, 3));
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  DiagnosticEngine D;
+  lexSource("a @ b", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, AlwaysEndsWithEof) {
+  EXPECT_EQ(lexOk("").back().Kind, TokKind::Eof);
+  EXPECT_EQ(lexOk("x").back().Kind, TokKind::Eof);
+}
+
+} // namespace
+} // namespace reflex

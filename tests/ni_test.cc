@@ -1,0 +1,269 @@
+//===- tests/ni_test.cc - Non-interference prover tests ---------*- C++ -*-===//
+//
+// Exercises the Theorem 1 sufficient conditions (§5.2) on minimal
+// kernels: NIlo violations (low handlers reaching high components or
+// state), NIhi violations (high behaviour depending on low data), the θv
+// variable labeling, parameterized labelings with case splits, lookups
+// over high-determined component sets, and the no-high-effects fallback.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+void expectNI(const std::string &Src, const std::string &Prop, bool Holds,
+              const std::string &WhyNeedle = "") {
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  PropertyResult R = verifyOne(*P, Prop);
+  if (Holds) {
+    EXPECT_EQ(R.Status, VerifyStatus::Proved) << R.Reason;
+    EXPECT_TRUE(R.CertChecked);
+  } else {
+    EXPECT_EQ(R.Status, VerifyStatus::Unknown);
+    if (!WhyNeedle.empty()) {
+      EXPECT_NE(R.Reason.find(WhyNeedle), std::string::npos) << R.Reason;
+    }
+  }
+}
+
+const char Base[] = R"(
+component Hi "h";
+component Lo "l";
+message Poke(str);
+message Data(str);
+var secret: str = "";
+var pub: str = "";
+init {
+  H <- spawn Hi();
+  L <- spawn Lo();
+}
+)";
+
+TEST(NI, IsolatedHandlersSatisfyNI) {
+  expectNI(std::string(Base) + R"(
+handler Hi => Poke(s) { secret = s; }
+handler Lo => Poke(s) { pub = s; }
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", true);
+}
+
+TEST(NI, LowSendToHighViolatesNIlo) {
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { send(H, Data(s)); }
+property NI: noninterference { high components: Hi; high vars: ; };
+)",
+           "NI", false, "NIlo");
+}
+
+TEST(NI, LowUpdateOfHighVarViolatesNIlo) {
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { secret = s; }
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", false, "high state");
+}
+
+TEST(NI, LowSpawnOfHighViolatesNIlo) {
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { fresh <- spawn Hi(); }
+property NI: noninterference { high components: Hi; high vars: ; };
+)",
+           "NI", false, "spawns");
+}
+
+TEST(NI, HighOutputDependingOnLowStateViolatesNIhi) {
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { pub = s; }
+handler Hi => Poke(s) { send(H, Data(pub)); }
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", false, "depends on low");
+}
+
+TEST(NI, HighOutputFromHighDataIsFine) {
+  expectNI(std::string(Base) + R"(
+handler Hi => Poke(s) {
+  secret = s;
+  send(H, Data(secret));
+}
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", true);
+}
+
+TEST(NI, ThetaVMatters) {
+  // The identical program passes or fails depending only on the variable
+  // labeling — the paper's point about asking the user a simple question
+  // instead of building a taint engine. (The write and the read must be
+  // in different handlers: within one handler the assignment is inlined
+  // and the flow is visibly high.)
+  std::string Kernel = std::string(Base) + R"(
+handler Hi => Poke(s) {
+  secret = s;
+}
+handler Hi => Data(q) {
+  send(H, Data(secret));
+}
+)";
+  expectNI(Kernel + "property NI: noninterference { high components: Hi; "
+                    "high vars: secret; };",
+           "NI", true);
+  expectNI(Kernel + "property NI: noninterference { high components: Hi; "
+                    "high vars: ; };",
+           "NI", false, "low data");
+}
+
+TEST(NI, BranchOnLowWithHighEffectsViolates) {
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { pub = s; }
+handler Hi => Poke(s) {
+  if (pub == "go") {
+    send(H, Data(s));
+  }
+}
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", false, "low support");
+}
+
+TEST(NI, BranchOnLowWithoutHighEffectsFallback) {
+  // The same low branch is fine when the handler only talks to low
+  // components: the no-high-effects fallback applies.
+  expectNI(std::string(Base) + R"(
+handler Lo => Poke(s) { pub = s; }
+handler Hi => Poke(s) {
+  if (pub == "go") {
+    send(L, Data(s));
+  }
+}
+property NI: noninterference { high components: Hi; high vars: secret; };
+)",
+           "NI", true);
+}
+
+TEST(NI, CallResultsAreHighInputs) {
+  // Nondeterministic contexts are inputs by definition (§4.2): a high
+  // handler may freely use call results in high outputs.
+  expectNI(std::string(Base) + R"(
+handler Hi => Poke(s) {
+  r <- call "wget"(s);
+  send(H, Data(r));
+}
+property NI: noninterference { high components: Hi; high vars: ; };
+)",
+           "NI", true);
+}
+
+TEST(NI, CallInInitRejected) {
+  expectNI(R"(
+component Hi "h";
+message Poke(str);
+init {
+  H <- spawn Hi();
+  r <- call "boot"();
+}
+property NI: noninterference { high components: Hi; high vars: ; };
+)",
+           "NI", false, "init");
+}
+
+// --- Parameterized labelings (the browser shape) --------------------------
+
+const char DomainBase[] = R"(
+component UI "u";
+component Tab "t" { domain: str };
+message Open(str);
+message Put(str);
+message Deliver(str);
+init {
+  U <- spawn UI();
+}
+handler UI => Open(d) {
+  fresh <- spawn Tab(d);
+}
+)";
+
+TEST(NI, DomainCaseSplitHolds) {
+  expectNI(std::string(DomainBase) + R"(
+handler Tab => Put(v) {
+  lookup Tab(domain == sender.domain) as peer {
+    send(peer, Deliver(v));
+  }
+}
+property NI: forall d.
+  noninterference { high components: Tab(domain = d), UI; high vars: ; };
+)",
+           "NI", true);
+}
+
+TEST(NI, CrossDomainDeliveryViolates) {
+  expectNI(std::string(DomainBase) + R"(
+handler Tab => Put(v) {
+  lookup Tab() as peer {
+    send(peer, Deliver(v));
+  }
+}
+property NI: forall d.
+  noninterference { high components: Tab(domain = d), UI; high vars: ; };
+)",
+           "NI", false);
+}
+
+TEST(NI, HighDeterminedLookupAllowed) {
+  // Tabs are spawned only by the always-high UI, so a lookup by a field
+  // other than the partition parameter is still deterministic in both
+  // runs (the HighDeterminedTypes rule).
+  expectNI(std::string(DomainBase) + R"(
+message Focus(str);
+var focus: str = "";
+handler UI => Focus(d) { focus = d; }
+handler UI => Put(v) {
+  lookup Tab(domain == focus) as t {
+    send(t, Deliver(v));
+  }
+}
+property NI: forall d.
+  noninterference { high components: Tab(domain = d), UI; high vars: focus; };
+)",
+           "NI", true);
+}
+
+TEST(NI, HighDeterminedLookupNeedsHighConstraint) {
+  // Same lookup, but focus is left low: the constraint itself leaks.
+  expectNI(std::string(DomainBase) + R"(
+message Focus(str);
+var focus: str = "";
+handler UI => Focus(d) { focus = d; }
+handler UI => Put(v) {
+  lookup Tab(domain == focus) as t {
+    send(t, Deliver(v));
+  }
+}
+property NI: forall d.
+  noninterference { high components: Tab(domain = d), UI; high vars: ; };
+)",
+           "NI", false);
+}
+
+TEST(NI, AllBenchmarkNIPropertiesProve) {
+  // The four NI rows of Figure 6 (car + three browsers), pinned here so a
+  // regression points at this prover rather than the integration test.
+  for (const kernels::KernelDef *K : kernels::all()) {
+    SCOPED_TRACE(K->Name);
+    ProgramPtr P = kernels::load(*K);
+    for (const Property &Prop : P->Properties) {
+      if (Prop.isTrace())
+        continue;
+      PropertyResult R = verifyOne(*P, Prop.Name);
+      EXPECT_EQ(R.Status, VerifyStatus::Proved) << Prop.Name << R.Reason;
+    }
+  }
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,215 @@
+//===- tests/parser_test.cc - Parser tests ----------------------*- C++ -*-===//
+
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+ProgramPtr parseOk(std::string_view Src) {
+  DiagnosticEngine D;
+  ProgramPtr P = parseProgram(Src, D);
+  EXPECT_NE(P, nullptr) << D.render("parse", Src);
+  return P;
+}
+
+void parseFails(std::string_view Src) {
+  DiagnosticEngine D;
+  EXPECT_EQ(parseProgram(Src, D), nullptr);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, Declarations) {
+  ProgramPtr P = parseOk(R"(
+program demo;
+component Plain "a.py";
+component WithCfg "b.py" { domain: str, id: num };
+message Empty();
+message Two(str, fdesc);
+var count: num = 0;
+var flag: bool = true;
+var name: str = "x";
+)");
+  EXPECT_EQ(P->Name, "demo");
+  ASSERT_EQ(P->Components.size(), 2u);
+  EXPECT_EQ(P->Components[0].Executable, "a.py");
+  ASSERT_EQ(P->Components[1].Config.size(), 2u);
+  EXPECT_EQ(P->Components[1].Config[1].Type, BaseType::Num);
+  ASSERT_EQ(P->Messages.size(), 2u);
+  EXPECT_TRUE(P->Messages[0].Payload.empty());
+  EXPECT_EQ(P->Messages[1].Payload[1], BaseType::Fdesc);
+  ASSERT_EQ(P->StateVars.size(), 3u);
+  EXPECT_EQ(P->StateVars[1].Init, Value::boolean(true));
+}
+
+TEST(Parser, HandlersAndCommands) {
+  ProgramPtr P = parseOk(R"(
+component C "c";
+message M(num, str);
+message N(str);
+var x: num = 0;
+init { A <- spawn C(); }
+handler C => M(n, s) {
+  x = n + 1;
+  if (n == 3 || !(x < 2)) {
+    send(A, N(s));
+  } else {
+    r <- call "fetch"(s);
+    lookup C() as other {
+      send(other, N(r));
+    } else {
+      fresh <- spawn C();
+      nop;
+    }
+  }
+}
+)");
+  ASSERT_EQ(P->Handlers.size(), 1u);
+  const Handler &H = P->Handlers[0];
+  EXPECT_EQ(H.CompType, "C");
+  EXPECT_EQ(H.MsgName, "M");
+  ASSERT_EQ(H.Params.size(), 2u);
+  EXPECT_EQ(H.Params[1], "s");
+  // The body parses into a block whose second command is an If with a
+  // nested Else.
+  const auto &Body = castCmd<BlockCmd>(*H.Body);
+  ASSERT_EQ(Body.commands().size(), 2u);
+  EXPECT_EQ(Body.commands()[0]->kind(), Cmd::Assign);
+  const auto &If = castCmd<IfCmd>(*Body.commands()[1]);
+  EXPECT_EQ(If.cond().kind(), Expr::Binary);
+  EXPECT_EQ(cast<BinaryExpr>(If.cond()).op(), BinOp::Or);
+}
+
+TEST(Parser, ElseIfChains) {
+  ProgramPtr P = parseOk(R"(
+component C "c";
+message M(num);
+var x: num = 0;
+handler C => M(n) {
+  if (n == 0) { x = 1; }
+  else if (n == 1) { x = 2; }
+  else { x = 3; }
+}
+)");
+  const auto &Body = castCmd<BlockCmd>(*P->Handlers[0].Body);
+  const auto &If = castCmd<IfCmd>(*Body.commands()[0]);
+  EXPECT_EQ(If.elseCmd().kind(), Cmd::If) << "else-if nests";
+}
+
+TEST(Parser, TraceProperties) {
+  ProgramPtr P = parseOk(R"(
+component Tab "t" { domain: str };
+message Set(str, str);
+message Put(str, str, num);
+property Confined: forall d, k.
+  [Recv(Tab(domain = d), Set(k, _))] Enables [Send(Tab(domain = d), Put(k, "lit", 3))];
+)");
+  ASSERT_EQ(P->Properties.size(), 1u);
+  const TraceProperty &TP = P->Properties[0].traceProp();
+  EXPECT_EQ(TP.Op, TraceOp::Enables);
+  ASSERT_EQ(TP.Vars.size(), 2u);
+  EXPECT_EQ(TP.A.Kind, ActionPattern::Recv);
+  ASSERT_EQ(TP.A.Comp.Fields.size(), 1u);
+  EXPECT_EQ(TP.A.Comp.Fields[0].Pat.Kind, PatTerm::Var);
+  EXPECT_EQ(TP.A.Msg.Args[1].Kind, PatTerm::Wild);
+  EXPECT_EQ(TP.B.Msg.Args[1].LitVal, Value::str("lit"));
+  EXPECT_EQ(TP.B.Msg.Args[2].LitVal, Value::num(3));
+}
+
+TEST(Parser, AllFiveTraceOps) {
+  const char *Ops[] = {"ImmBefore", "ImmAfter", "Enables", "Ensures",
+                       "Disables"};
+  TraceOp Expected[] = {TraceOp::ImmBefore, TraceOp::ImmAfter,
+                        TraceOp::Enables, TraceOp::Ensures,
+                        TraceOp::Disables};
+  for (int I = 0; I < 5; ++I) {
+    std::string Src = "component C \"c\";\nmessage M();\nproperty P:\n  "
+                      "[Recv(C, M())] " +
+                      std::string(Ops[I]) + " [Send(C, M())];\n";
+    ProgramPtr P = parseOk(Src);
+    EXPECT_EQ(P->Properties[0].traceProp().Op, Expected[I]) << Ops[I];
+  }
+}
+
+TEST(Parser, NonInterferenceProperty) {
+  ProgramPtr P = parseOk(R"(
+component Tab "t" { domain: str };
+component UI "u";
+message M();
+var focus: num = 0;
+property NI: forall d.
+  noninterference {
+    high components: Tab(domain = d), UI;
+    high vars: focus;
+  };
+property NIEmpty:
+  noninterference {
+    high components: ;
+    high vars: ;
+  };
+)");
+  const NIProperty &NI = P->Properties[0].niProp();
+  ASSERT_TRUE(NI.Param.has_value());
+  EXPECT_EQ(*NI.Param, "d");
+  ASSERT_EQ(NI.HighComps.size(), 2u);
+  EXPECT_EQ(NI.HighVars, std::vector<std::string>{"focus"});
+  EXPECT_TRUE(P->Properties[1].niProp().HighComps.empty());
+}
+
+TEST(Parser, SpawnPattern) {
+  ProgramPtr P = parseOk(R"(
+component Tab "t" { id: num };
+message M();
+property Unique: forall i.
+  [Spawn(Tab(id = i))] Disables [Spawn(Tab(id = i))];
+)");
+  EXPECT_EQ(P->Properties[0].traceProp().A.Kind, ActionPattern::Spawn);
+}
+
+TEST(Parser, SyntaxErrors) {
+  parseFails("component;");                       // missing name
+  parseFails("message M(;");                      // bad payload
+  parseFails("var x num = 0;");                   // missing colon
+  parseFails("handler C -> M() {}");              // wrong arrow
+  parseFails("component C \"c\";\nhandler C => M() { x = ; }"); // bad expr
+  parseFails("property P: [Recv(C, M())] Foo [Send(C, M())];"); // bad op
+  parseFails("junk");                             // not a declaration
+  parseFails("init { x <- fetch \"f\"(); }");     // bad bind keyword
+}
+
+TEST(Parser, AtMostOnceSugar) {
+  // §6.2 future-work syntax, n = 1: desugars to self-Disables.
+  ProgramPtr P = parseOk(R"(
+component C "c";
+message M(num);
+property Once: forall n.
+  atmostonce [Send(C, M(n))];
+)");
+  const TraceProperty &TP = P->Properties[0].traceProp();
+  EXPECT_EQ(TP.Op, TraceOp::Disables);
+  EXPECT_EQ(TP.A.str(), TP.B.str());
+  EXPECT_EQ(TP.A.Kind, ActionPattern::Send);
+}
+
+TEST(Parser, BroadcastGetsTargetedDiagnostic) {
+  DiagnosticEngine D;
+  EXPECT_EQ(parseProgram("component C \"c\";\nmessage M();\n"
+                         "handler C => M() { broadcast(C, M()); }",
+                         D),
+            nullptr);
+  std::string Out = D.render("t");
+  EXPECT_NE(Out.find("unbounded number of actions"), std::string::npos);
+  EXPECT_NE(Out.find("lookup"), std::string::npos);
+}
+
+TEST(Parser, InitOnlyOnce) { parseFails("init {}\ninit {}"); }
+
+TEST(Parser, MissingInitBecomesNop) {
+  ProgramPtr P = parseOk("component C \"c\";\nmessage M();");
+  ASSERT_NE(P->Init, nullptr);
+  EXPECT_EQ(P->Init->kind(), Cmd::Nop);
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,124 @@
+//===- tests/pattern_test.cc - Concrete action-pattern matching -*- C++ -*-===//
+
+#include "trace/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+/// A small trace fixture: two tabs and a cookie process.
+Trace fixture() {
+  Trace T;
+  T.Components.push_back({0, "Tab", {Value::str("a.com"), Value::num(1)}});
+  T.Components.push_back({1, "Tab", {Value::str("b.com"), Value::num(2)}});
+  T.Components.push_back({2, "CookieProc", {Value::str("a.com")}});
+  return T;
+}
+
+ActionPattern sendPat(std::string Type,
+                      std::vector<CompFieldPattern> Fields,
+                      std::string Msg, std::vector<PatTerm> Args) {
+  ActionPattern P;
+  P.Kind = ActionPattern::Send;
+  P.Comp.TypeName = std::move(Type);
+  P.Comp.Fields = std::move(Fields);
+  P.Msg.MsgName = std::move(Msg);
+  P.Msg.Args = std::move(Args);
+  return P;
+}
+
+Message put(std::string K, std::string V) {
+  Message M;
+  M.Name = "Put";
+  M.Args = {Value::str(std::move(K)), Value::str(std::move(V))};
+  return M;
+}
+
+TEST(Pattern, KindMismatch) {
+  Trace T = fixture();
+  Binding B;
+  ActionPattern P = sendPat("Tab", {}, "Put",
+                            {PatTerm::wild(), PatTerm::wild()});
+  EXPECT_FALSE(matchAction(Action::recv(0, put("k", "v")), P, T, B));
+  EXPECT_TRUE(matchAction(Action::send(0, put("k", "v")), P, T, B));
+}
+
+TEST(Pattern, ComponentTypeAndFields) {
+  Trace T = fixture();
+  ActionPattern P = sendPat(
+      "Tab", {{"domain", 0, PatTerm::lit(Value::str("a.com"))}}, "Put",
+      {PatTerm::wild(), PatTerm::wild()});
+  Binding B;
+  EXPECT_TRUE(matchAction(Action::send(0, put("k", "v")), P, T, B));
+  EXPECT_FALSE(matchAction(Action::send(1, put("k", "v")), P, T, B))
+      << "wrong domain";
+  EXPECT_FALSE(matchAction(Action::send(2, put("k", "v")), P, T, B))
+      << "wrong component type";
+}
+
+TEST(Pattern, VariableBindingAndConsistency) {
+  Trace T = fixture();
+  // Send(Tab(domain = d), Put(k, d)): the same variable in two positions
+  // must match the same value.
+  ActionPattern P = sendPat("Tab", {{"domain", 0, PatTerm::var("d")}},
+                            "Put", {PatTerm::var("k"), PatTerm::var("d")});
+  {
+    Binding B;
+    EXPECT_TRUE(matchAction(Action::send(0, put("sid", "a.com")), P, T, B));
+    EXPECT_EQ(B.at("d"), Value::str("a.com"));
+    EXPECT_EQ(B.at("k"), Value::str("sid"));
+  }
+  {
+    Binding B;
+    EXPECT_FALSE(matchAction(Action::send(0, put("sid", "b.com")), P, T, B))
+        << "payload d disagrees with config d";
+    EXPECT_TRUE(B.empty()) << "failed match must not leak bindings";
+  }
+}
+
+TEST(Pattern, PreboundVariablesConstrain) {
+  Trace T = fixture();
+  ActionPattern P = sendPat("Tab", {{"domain", 0, PatTerm::var("d")}},
+                            "Put", {PatTerm::wild(), PatTerm::wild()});
+  Binding B;
+  B.emplace("d", Value::str("b.com"));
+  EXPECT_FALSE(matchAction(Action::send(0, put("k", "v")), P, T, B));
+  EXPECT_TRUE(matchAction(Action::send(1, put("k", "v")), P, T, B));
+}
+
+TEST(Pattern, SpawnPatternIgnoresMessage) {
+  Trace T = fixture();
+  ActionPattern P;
+  P.Kind = ActionPattern::Spawn;
+  P.Comp.TypeName = "Tab";
+  P.Comp.Fields = {{"id", 1, PatTerm::var("i")}};
+  Binding B;
+  EXPECT_TRUE(matchAction(Action::spawn(1), P, T, B));
+  EXPECT_EQ(B.at("i"), Value::num(2));
+  EXPECT_FALSE(matchAction(Action::spawn(2), P, T, B))
+      << "CookieProc is not a Tab";
+}
+
+TEST(Pattern, MessageNameAndArity) {
+  Trace T = fixture();
+  Binding B;
+  ActionPattern P = sendPat("Tab", {}, "Put", {PatTerm::wild()});
+  EXPECT_FALSE(matchAction(Action::send(0, put("k", "v")), P, T, B))
+      << "arity mismatch";
+  ActionPattern Q = sendPat("Tab", {}, "Get",
+                            {PatTerm::wild(), PatTerm::wild()});
+  EXPECT_FALSE(matchAction(Action::send(0, put("k", "v")), Q, T, B))
+      << "name mismatch";
+}
+
+TEST(Pattern, CollectVars) {
+  ActionPattern P = sendPat("Tab", {{"domain", 0, PatTerm::var("d")}},
+                            "Put", {PatTerm::var("k"), PatTerm::wild()});
+  std::set<std::string> Vars;
+  P.collectVars(Vars);
+  EXPECT_EQ(Vars, (std::set<std::string>{"d", "k"}));
+}
+
+} // namespace
+} // namespace reflex

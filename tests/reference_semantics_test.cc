@@ -1,0 +1,223 @@
+//===- tests/reference_semantics_test.cc - Coq definitions oracle -*- C++-*-===//
+//
+// prop/check.cc implements the §4.1 primitives chronologically and checks
+// universally quantified variables via the trigger discipline (each
+// trigger occurrence determines the binding). This suite transcribes the
+// paper's Coq definitions *literally* — reverse-chronological traces,
+// decomposition into suffix ++ action :: prefix, and outermost universal
+// quantification realized by enumerating every assignment over the value
+// domain — and differentially tests the production checker against the
+// transcription on random traces and patterns.
+//
+//   Definition immbefore A B tr := forall b pre suf,
+//     AMatch B b -> tr = suf ++ b :: pre ->
+//     exists a pre', AMatch A a /\ pre = a :: pre'.
+//   Definition enables A B tr := forall b pre suf,
+//     AMatch B b -> tr = suf ++ b :: pre ->
+//     exists a pre' suf', AMatch A a /\ pre = suf' ++ a :: pre'.
+//   Definition disables A B tr := forall a pre suf,
+//     AMatch A a -> tr = suf ++ a :: pre ->
+//     forall b, AMatch B b -> ~ In b suf.
+//   Definition immafter A B tr := immbefore B A (rev tr).
+//   Definition ensures  A B tr := enables  B A (rev tr).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prop/check.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace reflex {
+namespace {
+
+/// Reverse-chronological view: index 0 is the most recent action (the
+/// paper's list head).
+std::vector<const Action *> revView(const Trace &T) {
+  std::vector<const Action *> R;
+  for (auto It = T.Actions.rbegin(); It != T.Actions.rend(); ++It)
+    R.push_back(&*It);
+  return R;
+}
+
+/// AMatch under a *ground* pattern instance (binding fixed up front).
+bool amatch(const Action &A, const ActionPattern &Pat, const Trace &T,
+            const Binding &Sigma) {
+  Binding B = Sigma;
+  return matchAction(A, Pat, T, B);
+}
+
+// --- Literal transcriptions over the reverse view -------------------------
+
+bool refImmBefore(const ActionPattern &A, const ActionPattern &B,
+                  const std::vector<const Action *> &Rev, const Trace &T,
+                  const Binding &Sigma) {
+  for (size_t I = 0; I < Rev.size(); ++I) {
+    if (!amatch(*Rev[I], B, T, Sigma))
+      continue;
+    // pre = Rev[I+1..]; need pre = a :: pre' with AMatch A a.
+    if (I + 1 >= Rev.size() || !amatch(*Rev[I + 1], A, T, Sigma))
+      return false;
+  }
+  return true;
+}
+
+bool refEnables(const ActionPattern &A, const ActionPattern &B,
+                const std::vector<const Action *> &Rev, const Trace &T,
+                const Binding &Sigma) {
+  for (size_t I = 0; I < Rev.size(); ++I) {
+    if (!amatch(*Rev[I], B, T, Sigma))
+      continue;
+    bool Found = false;
+    for (size_t J = I + 1; J < Rev.size() && !Found; ++J)
+      Found = amatch(*Rev[J], A, T, Sigma);
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+bool refDisables(const ActionPattern &A, const ActionPattern &B,
+                 const std::vector<const Action *> &Rev, const Trace &T,
+                 const Binding &Sigma) {
+  // For every decomposition suf ++ a :: pre with AMatch A a, no b in suf
+  // (i.e. more recent than a) matches B.
+  for (size_t I = 0; I < Rev.size(); ++I) {
+    if (!amatch(*Rev[I], A, T, Sigma))
+      continue;
+    for (size_t J = 0; J < I; ++J)
+      if (amatch(*Rev[J], B, T, Sigma))
+        return false;
+  }
+  return true;
+}
+
+bool refHolds(const TraceProperty &P, const Trace &T, const Binding &Sigma) {
+  std::vector<const Action *> Rev = revView(T);
+  std::vector<const Action *> Fwd(Rev.rbegin(), Rev.rend());
+  switch (P.Op) {
+  case TraceOp::ImmBefore:
+    return refImmBefore(P.A, P.B, Rev, T, Sigma);
+  case TraceOp::Enables:
+    return refEnables(P.A, P.B, Rev, T, Sigma);
+  case TraceOp::Disables:
+    return refDisables(P.A, P.B, Rev, T, Sigma);
+  case TraceOp::ImmAfter: // immafter A B tr := immbefore B A (rev tr)
+    return refImmBefore(P.B, P.A, Fwd, T, Sigma);
+  case TraceOp::Ensures: // ensures A B tr := enables B A (rev tr)
+    return refEnables(P.B, P.A, Fwd, T, Sigma);
+  }
+  return false;
+}
+
+/// Outermost universal quantification: enumerate every assignment of the
+/// property's variables over \p Domain.
+bool refHoldsForall(const TraceProperty &P, const Trace &T,
+                    const std::vector<Value> &Domain) {
+  std::set<std::string> Vars(P.Vars.begin(), P.Vars.end());
+  std::vector<std::string> Order(Vars.begin(), Vars.end());
+  std::vector<size_t> Idx(Order.size(), 0);
+  while (true) {
+    Binding Sigma;
+    for (size_t I = 0; I < Order.size(); ++I)
+      Sigma.emplace(Order[I], Domain[Idx[I]]);
+    if (!refHolds(P, T, Sigma))
+      return false;
+    // Next assignment.
+    size_t K = 0;
+    while (K < Idx.size() && ++Idx[K] == Domain.size()) {
+      Idx[K] = 0;
+      ++K;
+    }
+    if (K == Idx.size() && !Idx.empty())
+      return true;
+    if (Idx.empty())
+      return true;
+  }
+}
+
+// --- Differential sweep ----------------------------------------------------
+
+ActionPattern mkPat(ActionPattern::PatKind Kind, PatTerm Arg0, PatTerm Arg1) {
+  ActionPattern P;
+  P.Kind = Kind;
+  P.Comp.TypeName = "C";
+  P.Msg.MsgName = "M";
+  P.Msg.Args = {std::move(Arg0), std::move(Arg1)};
+  return P;
+}
+
+class OracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleSweep, ProductionCheckerMatchesCoqTranscription) {
+  Rng Rand(GetParam());
+  // Value domain: everything that can appear in traces and patterns, plus
+  // one value that never appears (quantifiers must survive it).
+  std::vector<Value> Domain{Value::num(0), Value::num(1), Value::num(2),
+                            Value::num(99)};
+
+  for (int Round = 0; Round < 300; ++Round) {
+    // Random trace over Send/Recv of M(tag, tag).
+    Trace T;
+    T.Components.push_back({0, "C", {}});
+    size_t Len = Rand.below(9);
+    for (size_t I = 0; I < Len; ++I) {
+      Message M;
+      M.Name = "M";
+      M.Args = {Value::num(static_cast<int64_t>(Rand.below(3))),
+                Value::num(static_cast<int64_t>(Rand.below(3)))};
+      T.Actions.push_back(Rand.chance(1, 2) ? Action::send(0, M)
+                                            : Action::recv(0, M));
+    }
+
+    // Random property respecting the trigger discipline: put variables in
+    // the trigger; the obligation may reuse them or hold literals/wilds.
+    TraceProperty P;
+    P.Op = static_cast<TraceOp>(Rand.below(5));
+    bool UseVarU = Rand.chance(1, 2);
+    bool UseVarV = Rand.chance(1, 3);
+    auto TriggerTerm = [&](bool Var, const char *Name) {
+      if (Var)
+        return PatTerm::var(Name);
+      if (Rand.chance(1, 3))
+        return PatTerm::wild();
+      return PatTerm::lit(Value::num(static_cast<int64_t>(Rand.below(3))));
+    };
+    auto ObligationTerm = [&](bool Var, const char *Name) {
+      if (Var && Rand.chance(1, 2))
+        return PatTerm::var(Name); // reuse the trigger variable
+      if (Rand.chance(1, 3))
+        return PatTerm::wild();
+      return PatTerm::lit(Value::num(static_cast<int64_t>(Rand.below(3))));
+    };
+    ActionPattern Trigger =
+        mkPat(Rand.chance(1, 2) ? ActionPattern::Send : ActionPattern::Recv,
+              TriggerTerm(UseVarU, "u"), TriggerTerm(UseVarV, "v"));
+    ActionPattern Obligation =
+        mkPat(Rand.chance(1, 2) ? ActionPattern::Send : ActionPattern::Recv,
+              ObligationTerm(UseVarU, "u"), ObligationTerm(UseVarV, "v"));
+    if (UseVarU)
+      P.Vars.push_back("u");
+    if (UseVarV)
+      P.Vars.push_back("v");
+    bool TriggerIsB = P.Op == TraceOp::ImmBefore ||
+                      P.Op == TraceOp::Enables || P.Op == TraceOp::Disables;
+    P.A = TriggerIsB ? Obligation : Trigger;
+    P.B = TriggerIsB ? Trigger : Obligation;
+
+    bool Production = !checkTraceProperty(T, P).has_value();
+    bool Reference = refHoldsForall(P, T, Domain);
+    ASSERT_EQ(Production, Reference)
+        << traceOpName(P.Op) << " [" << P.A.str() << "] op [" << P.B.str()
+        << "]\ntrace:\n"
+        << T.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep,
+                         ::testing::Values(1u, 12u, 123u, 1234u, 12345u));
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,133 @@
+//===- tests/robustness_test.cc - Frontend robustness -----------*- C++ -*-===//
+//
+// The frontend must never crash, hang, or accept garbage: fuzz it with
+// random token soup, truncations of valid programs, and deeply nested
+// input. Every outcome must be either a valid Program or clean
+// diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  static const char *Pieces[] = {
+      "component", "message",  "var",    "init",   "handler", "property",
+      "forall",    "send",     "spawn",  "call",   "lookup",  "if",
+      "else",      "nop",      "sender", "true",   "false",   "atmostonce",
+      "Enables",   "Disables", "C",      "M",      "x",       "{",
+      "}",         "(",        ")",      "[",      "]",       ",",
+      ";",         ":",        ".",      "=",      "==",      "!=",
+      "<-",        "=>",       "&&",     "||",     "!",       "+",
+      "-",         "<",        "<=",     "42",     "\"s\"",   "_",
+      "num",       "str",      "bool",   "@",      "\\",
+  };
+  Rng Rand(GetParam());
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Src;
+    size_t Len = Rand.below(60);
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Pieces[Rand.below(std::size(Pieces))];
+      Src += ' ';
+    }
+    DiagnosticEngine D;
+    ProgramPtr P = parseProgram(Src, D);
+    if (P) {
+      // If it parses, validation must also terminate cleanly.
+      validateProgram(*P, D);
+    } else {
+      EXPECT_TRUE(D.hasErrors()) << "null result requires diagnostics:\n"
+                                 << Src;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TruncationsOfValidKernelsNeverCrash) {
+  Rng Rand(GetParam() * 31 + 7);
+  for (const kernels::KernelDef *K : kernels::all()) {
+    const std::string &Src = K->Source;
+    for (int Round = 0; Round < 25; ++Round) {
+      std::string Cut = Src.substr(0, Rand.below(Src.size()));
+      DiagnosticEngine D;
+      ProgramPtr P = parseProgram(Cut, D);
+      if (P)
+        validateProgram(*P, D);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(Robustness, DeeplyNestedExpressionsAndBlocks) {
+  // 200 levels of parenthesization and 100 nested ifs: must parse (or
+  // fail) without stack issues at this depth.
+  std::string Expr(200, '(');
+  Expr += "0";
+  Expr += std::string(200, ')');
+  std::string Nest;
+  for (int I = 0; I < 100; ++I)
+    Nest += "if (true) {\n";
+  Nest += "x = " + Expr + ";\n";
+  for (int I = 0; I < 100; ++I)
+    Nest += "}\n";
+  std::string Src = "component C \"c\";\nmessage M();\nvar x: num = 0;\n"
+                    "handler C => M() {\n" +
+                    Nest + "}\n";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  // The whole pipeline handles it too.
+  VerificationReport R = verifyProgram(*P);
+  EXPECT_TRUE(R.Results.empty()); // no properties, nothing to prove
+}
+
+TEST(Robustness, VerifierIsDeterministicAcrossSessions) {
+  // Two independent sessions over the same kernel produce structurally
+  // identical certificates (the foundation the checker stands on).
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  ProgramPtr P2 = kernels::load(K);
+  VerifySession S1(*P1), S2(*P2);
+  for (const Property &Prop : P1->Properties) {
+    PropertyResult R1 = S1.verify(Prop);
+    PropertyResult R2 = S2.verify(*P2->findProperty(Prop.Name));
+    ASSERT_EQ(R1.Status, R2.Status) << Prop.Name;
+    EXPECT_EQ(R1.Cert.toJson(S1.termContext()),
+              R2.Cert.toJson(S2.termContext()))
+        << Prop.Name;
+  }
+}
+
+TEST(Robustness, SymbolicExecutionLimitsReportIncomplete) {
+  // A condition that blows the DNF cap must yield Unknown, not wrong.
+  std::string Cond = "b0";
+  for (int I = 1; I < 16; ++I)
+    Cond = "(" + Cond + " || b" + std::to_string(I) + ") && (c" +
+           std::to_string(I) + " || d" + std::to_string(I) + ")";
+  std::string Vars;
+  for (int I = 0; I < 16; ++I) {
+    Vars += "var b" + std::to_string(I) + ": bool = false;\n";
+    Vars += "var c" + std::to_string(I) + ": bool = false;\n";
+    Vars += "var d" + std::to_string(I) + ": bool = false;\n";
+  }
+  std::string Src = "component C \"c\";\nmessage M();\nmessage N();\n" +
+                    Vars +
+                    "init { X <- spawn C(); }\n"
+                    "handler C => M() { if (" +
+                    Cond + ") { send(X, N()); } }\n"
+                    "property P: [Recv(C, M())] Enables [Send(C, N())];\n";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  PropertyResult R = verifyOne(*P, "P");
+  EXPECT_EQ(R.Status, VerifyStatus::Unknown);
+  EXPECT_NE(R.Reason.find("incomplete"), std::string::npos) << R.Reason;
+}
+
+} // namespace
+} // namespace reflex

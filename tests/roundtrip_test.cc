@@ -1,0 +1,97 @@
+//===- tests/roundtrip_test.cc - Printer round-trips ------------*- C++ -*-===//
+//
+// printProgram's output must reparse to an equivalent program: we check
+// print -> parse -> print is a fixpoint, for hand-written programs, all
+// seven benchmark kernels, and generated chain kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "kernels/synthetic.h"
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+void expectRoundTrip(const std::string &Source, const std::string &Label) {
+  ProgramPtr P1 = mustLoad(Source);
+  ASSERT_NE(P1, nullptr) << Label;
+  std::string Printed1 = printProgram(*P1);
+  ProgramPtr P2 = mustLoad(Printed1);
+  ASSERT_NE(P2, nullptr) << Label << ": printer output failed to reparse:\n"
+                         << Printed1;
+  std::string Printed2 = printProgram(*P2);
+  EXPECT_EQ(Printed1, Printed2) << Label << ": print->parse->print moved";
+  // Structure is preserved too.
+  EXPECT_EQ(P1->Components.size(), P2->Components.size());
+  EXPECT_EQ(P1->Messages.size(), P2->Messages.size());
+  EXPECT_EQ(P1->StateVars.size(), P2->StateVars.size());
+  EXPECT_EQ(P1->Handlers.size(), P2->Handlers.size());
+  EXPECT_EQ(P1->Properties.size(), P2->Properties.size());
+}
+
+TEST(RoundTrip, AllConstructs) {
+  expectRoundTrip(R"(
+program everything;
+component C "path with spaces" { tag: str, n: num, live: bool };
+component D "d";
+message M(str, num, bool, fdesc);
+message Empty();
+var s: str = "quote\"inside";
+var b: bool = false;
+var n: num = 42;
+init {
+  X <- spawn C("x", 0, true);
+  Y <- spawn D();
+}
+handler C => M(a, b2, c, d) {
+  n = n + 1 - 2;
+  s = a;
+  if (!(c && b) || n < 3) {
+    send(Y, Empty());
+  } else {
+    r <- call "fn"(a, b2);
+    lookup C(tag == r, n == 0) as other {
+      send(other, M(other.tag, 1, true, d));
+    } else {
+      Z <- spawn C(r, 9, false);
+    }
+  }
+}
+property P1: forall v.
+  [Recv(C(tag = v), M(_, _, _, _))] Enables [Send(C(tag = v), M(v, 3, true, _))];
+property P2: forall t.
+  noninterference {
+    high components: C(tag = t), D;
+    high vars: n, s;
+  };
+)",
+                  "everything");
+}
+
+TEST(RoundTrip, AllBenchmarkKernels) {
+  for (const kernels::KernelDef *K : kernels::all())
+    expectRoundTrip(K->Source, K->Name);
+}
+
+TEST(RoundTrip, SyntheticChains) {
+  for (unsigned N : {2u, 5u, 9u})
+    expectRoundTrip(kernels::syntheticChainKernel(N),
+                    "chain" + std::to_string(N));
+}
+
+TEST(RoundTrip, VerificationAgreesAcrossRoundTrip) {
+  // A printed-and-reparsed kernel proves exactly the same properties.
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  ProgramPtr P2 = mustLoad(printProgram(*P1));
+  VerificationReport R1 = verifyProgram(*P1);
+  VerificationReport R2 = verifyProgram(*P2);
+  ASSERT_EQ(R1.Results.size(), R2.Results.size());
+  for (size_t I = 0; I < R1.Results.size(); ++I)
+    EXPECT_EQ(R1.Results[I].Status, R2.Results[I].Status)
+        << R1.Results[I].Name;
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,153 @@
+//===- tests/support_test.cc - Support library tests ------------*- C++ -*-===//
+
+#include "support/diagnostics.h"
+#include "support/interner.h"
+#include "support/json.h"
+#include "support/result.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  auto Parts = splitString("a,,b,", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  auto Parts = splitString("hello", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "hello");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trimString("  x \t\n"), "x");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString(" \t "), "");
+  EXPECT_EQ(trimString("no-trim"), "no-trim");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(joinStrings({"solo"}, "-"), "solo");
+}
+
+TEST(Strings, Escape) {
+  EXPECT_EQ(escapeString("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(escapeString("plain"), "plain");
+}
+
+TEST(Strings, CountCodeLines) {
+  EXPECT_EQ(countCodeLines("a\n\n# comment\n  b\n   # also comment\n"), 2u);
+  EXPECT_EQ(countCodeLines(""), 0u);
+  EXPECT_EQ(countCodeLines("x"), 1u);
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("handler", "hand"));
+  EXPECT_FALSE(startsWith("hand", "handler"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Interner, SameStringSameSymbol) {
+  StringInterner I;
+  Symbol A = I.intern("hello");
+  Symbol B = I.intern("hello");
+  Symbol C = I.intern("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.Id, C.Id);
+  EXPECT_EQ(I.str(A), "hello");
+  EXPECT_EQ(I.str(C), "world");
+}
+
+TEST(Interner, EmptyStringIsSymbolZero) {
+  StringInterner I;
+  EXPECT_EQ(I.intern("").Id, 0u);
+}
+
+TEST(Interner, StableAcrossGrowth) {
+  StringInterner I;
+  Symbol First = I.intern("first");
+  const std::string *Addr = &I.str(First);
+  for (int N = 0; N < 1000; ++N)
+    I.intern("s" + std::to_string(N));
+  EXPECT_EQ(&I.str(First), Addr) << "string storage must be stable";
+  EXPECT_EQ(I.str(First), "first");
+}
+
+TEST(Json, ObjectsArraysEscaping) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("name", "a\"b");
+  W.key("list");
+  W.beginArray();
+  W.value(int64_t(1));
+  W.value(true);
+  W.nullValue();
+  W.endArray();
+  W.key("nested");
+  W.beginObject();
+  W.field("x", int64_t(-3));
+  W.endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            R"({"name":"a\"b","list":[1,true,null],"nested":{"x":-3}})");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a");
+  W.beginArray();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"a":[]})");
+}
+
+TEST(Diagnostics, CountsAndRenders) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "watch out");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(2, 3), "boom");
+  D.note(SourceLoc(2, 3), "context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string Out = D.render("file.rfx", "line one\nline two\n");
+  EXPECT_NE(Out.find("file.rfx:2:3: error: boom"), std::string::npos);
+  EXPECT_NE(Out.find("line two"), std::string::npos);
+  EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> Ok = 42;
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(*Ok, 42);
+  Result<int> Err = Error("nope");
+  ASSERT_FALSE(Err.ok());
+  EXPECT_EQ(Err.error(), "nope");
+  Result<void> VOk;
+  EXPECT_TRUE(VOk.ok());
+  Result<void> VErr = Error("bad");
+  EXPECT_FALSE(VErr.ok());
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng A(123), B(123), C(124);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(Rng(123).next(), C.next());
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(10), 10u);
+}
+
+} // namespace
+} // namespace reflex

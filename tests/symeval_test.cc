@@ -1,0 +1,182 @@
+//===- tests/symeval_test.cc - Differential expression semantics -*- C++ -*-===//
+//
+// The symbolic evaluator (sym/symeval) and the concrete evaluator
+// (interp/evaluator) implement the same expression language twice. This
+// suite checks them against each other: randomly generated well-typed
+// expressions, evaluated (a) concretely and (b) symbolically over ground
+// terms, must agree — a classic differential test that pins the two
+// semantics together.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/evaluator.h"
+#include "support/rng.h"
+#include "sym/symeval.h"
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+/// Random well-typed expression generator over two num vars, one bool
+/// var, one str var, and literals.
+class ExprGen {
+public:
+  explicit ExprGen(uint64_t Seed) : Rand(Seed) {}
+
+  ExprPtr gen(BaseType Ty, unsigned Depth) {
+    if (Depth == 0 || Rand.chance(1, 4))
+      return leaf(Ty);
+    switch (Ty) {
+    case BaseType::Num: {
+      BinOp Op = Rand.chance(1, 2) ? BinOp::Add : BinOp::Sub;
+      return bin(Op, gen(BaseType::Num, Depth - 1),
+                 gen(BaseType::Num, Depth - 1));
+    }
+    case BaseType::Bool: {
+      switch (Rand.below(5)) {
+      case 0:
+        return bin(BinOp::And, gen(BaseType::Bool, Depth - 1),
+                   gen(BaseType::Bool, Depth - 1));
+      case 1:
+        return bin(BinOp::Or, gen(BaseType::Bool, Depth - 1),
+                   gen(BaseType::Bool, Depth - 1));
+      case 2:
+        return std::make_unique<UnaryExpr>(gen(BaseType::Bool, Depth - 1),
+                                           SourceLoc());
+      case 3: {
+        BinOp Op = static_cast<BinOp>(
+            static_cast<int>(BinOp::Lt) + Rand.below(4));
+        return bin(Op, gen(BaseType::Num, Depth - 1),
+                   gen(BaseType::Num, Depth - 1));
+      }
+      default: {
+        BaseType Side = Rand.chance(1, 2) ? BaseType::Num : BaseType::Str;
+        BinOp Op = Rand.chance(1, 2) ? BinOp::Eq : BinOp::Ne;
+        return bin(Op, gen(Side, Depth - 1), gen(Side, Depth - 1));
+      }
+      }
+    }
+    case BaseType::Str:
+      return leaf(Ty);
+    default:
+      return leaf(BaseType::Num);
+    }
+  }
+
+private:
+  ExprPtr bin(BinOp Op, ExprPtr L, ExprPtr R) {
+    return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R),
+                                        SourceLoc());
+  }
+
+  ExprPtr leaf(BaseType Ty) {
+    switch (Ty) {
+    case BaseType::Num:
+      if (Rand.chance(1, 2))
+        return std::make_unique<VarRefExpr>(Rand.chance(1, 2) ? "n1" : "n2",
+                                            SourceLoc());
+      // Non-negative only: the surface syntax has no negative literals
+      // (and this expression is reparsed through the printer).
+      return std::make_unique<LitExpr>(
+          Value::num(static_cast<int64_t>(Rand.below(5))), SourceLoc());
+    case BaseType::Bool:
+      if (Rand.chance(1, 2))
+        return std::make_unique<VarRefExpr>("b1", SourceLoc());
+      return std::make_unique<LitExpr>(Value::boolean(Rand.chance(1, 2)),
+                                       SourceLoc());
+    case BaseType::Str:
+      if (Rand.chance(1, 2))
+        return std::make_unique<VarRefExpr>("s1", SourceLoc());
+      return std::make_unique<LitExpr>(
+          Value::str(Rand.chance(1, 2) ? "x" : "y"), SourceLoc());
+    default:
+      return leaf(BaseType::Num);
+    }
+  }
+
+  Rng Rand;
+};
+
+/// Embeds the expression into a kernel so the validator types it, then
+/// evaluates the handler both ways.
+class DiffEval : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiffEval, SymbolicAndConcreteAgreeOnGroundInputs) {
+  ExprGen Gen(GetParam());
+  Rng ValRand(GetParam() * 7919 + 1);
+
+  for (int Round = 0; Round < 40; ++Round) {
+    ExprPtr E = Gen.gen(BaseType::Bool, 4);
+    std::string ExprText = printExpr(*E);
+
+    // Kernel: assign the expression to a bool variable.
+    std::string Src = "component A \"a\";\nmessage M();\n"
+                      "var n1: num = 0;\nvar n2: num = 0;\n"
+                      "var b1: bool = false;\nvar s1: str = \"\";\n"
+                      "var out: bool = false;\n"
+                      "init { X <- spawn A(); }\n"
+                      "handler A => M() { out = " +
+                      ExprText + "; }\n";
+    ProgramPtr P = mustLoad(Src);
+    ASSERT_NE(P, nullptr) << ExprText;
+
+    // Ground inputs.
+    Value N1 = Value::num(static_cast<int64_t>(ValRand.below(7)) - 3);
+    Value N2 = Value::num(static_cast<int64_t>(ValRand.below(7)) - 3);
+    Value B1 = Value::boolean(ValRand.chance(1, 2));
+    Value S1 = Value::str(ValRand.chance(1, 2) ? "x" : "y");
+
+    // (a) Concrete.
+    Evaluator Eval(*P);
+    KernelState St;
+    Eval.runInit(St, {});
+    St.Vars["n1"] = N1;
+    St.Vars["n2"] = N2;
+    St.Vars["b1"] = B1;
+    St.Vars["s1"] = S1;
+    Message M;
+    M.Name = "M";
+    Eval.runExchange(St, 0, M, {});
+    bool Concrete = St.Vars.at("out").asBool();
+
+    // (b) Symbolic over ground terms.
+    TermContext Ctx;
+    SymEnv Env;
+    Env.Vars["n1"] = Ctx.lit(N1);
+    Env.Vars["n2"] = Ctx.lit(N2);
+    Env.Vars["b1"] = Ctx.lit(B1);
+    Env.Vars["s1"] = Ctx.lit(S1);
+    const auto &Body = castCmd<BlockCmd>(*P->Handlers[0].Body);
+    const auto &Assign = castCmd<AssignCmd>(*Body.commands()[0]);
+    TermRef T = symEvalExpr(Ctx, Assign.rhs(), Env);
+    auto Folded = Ctx.literalValue(T);
+    ASSERT_TRUE(Folded.has_value())
+        << "ground symbolic evaluation must fold: " << ExprText;
+    EXPECT_EQ(Folded->asBool(), Concrete)
+        << ExprText << " with n1=" << N1.str() << " n2=" << N2.str()
+        << " b1=" << B1.str() << " s1=" << S1.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffEval,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(SymEval, ConfigReads) {
+  ProgramPtr P = mustLoad(R"(
+component T "t" { a: str, b: num };
+message M();
+var out: num = 0;
+init { X <- spawn T("hi", 7); }
+handler T => M() { out = sender.b; }
+)");
+  TermContext Ctx;
+  SymEnv Env;
+  Env.Sender = Ctx.comp("T", CompIdent::FlexPre, 0,
+                        {Ctx.strLit("hi"), Ctx.numLit(7)});
+  const auto &Body = castCmd<BlockCmd>(*P->Handlers[0].Body);
+  const auto &Assign = castCmd<AssignCmd>(*Body.commands()[0]);
+  EXPECT_EQ(symEvalExpr(Ctx, Assign.rhs(), Env), Ctx.numLit(7));
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,194 @@
+//===- tests/symexec_test.cc - Symbolic execution tests ---------*- C++ -*-===//
+
+#include "test_util.h"
+#include "verify/behabs.h"
+
+namespace reflex {
+namespace {
+
+const char Base[] = R"(
+component C "c" { tag: str };
+component D "d";
+message M(str, num);
+message N(str);
+var flag: bool = false;
+var count: num = 0;
+init {
+  X <- spawn C("root");
+  Y <- spawn D();
+}
+)";
+
+struct SymExecTest : ::testing::Test {
+  TermContext Ctx;
+
+  BehAbs build(const std::string &Extra) {
+    Prog = mustLoad(std::string(Base) + Extra);
+    EXPECT_NE(Prog, nullptr);
+    return buildBehAbs(Ctx, *Prog);
+  }
+
+  ProgramPtr Prog;
+};
+
+TEST_F(SymExecTest, InitSummary) {
+  BehAbs Abs = build("");
+  ASSERT_EQ(Abs.Init.Paths.size(), 1u);
+  const SymPath &P = Abs.Init.Paths[0];
+  // Two spawns in order.
+  ASSERT_EQ(P.Emits.size(), 2u);
+  EXPECT_EQ(P.Emits[0].Kind, SymAction::Spawn);
+  EXPECT_EQ(Ctx.symbolStr(P.Emits[0].Comp->Str), "C");
+  EXPECT_EQ(P.Emits[0].Comp->Ident, CompIdent::InitRigid);
+  EXPECT_EQ(Ctx.symbolStr(P.Emits[1].Comp->Str), "D");
+  // Component globals recorded.
+  ASSERT_TRUE(Abs.Init.CompGlobals.count("X"));
+  EXPECT_EQ(Abs.Init.CompGlobals.at("X"), P.Emits[0].Comp);
+  // Init updates carry every state variable's initial value.
+  EXPECT_EQ(P.Updates.at("flag"), Ctx.boolLit(false));
+  EXPECT_EQ(P.Updates.at("count"), Ctx.numLit(0));
+}
+
+TEST_F(SymExecTest, EverySummaryExists) {
+  BehAbs Abs = build("handler C => N(s) { nop; }");
+  // 2 component types x 2 message types.
+  EXPECT_EQ(Abs.Handlers.size(), 4u);
+  const HandlerSummary *Declared = Abs.findSummary("C", "N");
+  ASSERT_NE(Declared, nullptr);
+  EXPECT_FALSE(Declared->IsDefault);
+  const HandlerSummary *Default = Abs.findSummary("D", "M");
+  ASSERT_NE(Default, nullptr);
+  EXPECT_TRUE(Default->IsDefault);
+  // Default paths emit exactly Select + Recv.
+  ASSERT_EQ(Default->Paths.size(), 1u);
+  ASSERT_EQ(Default->Paths[0].Emits.size(), 2u);
+  EXPECT_EQ(Default->Paths[0].Emits[0].Kind, SymAction::Select);
+  EXPECT_EQ(Default->Paths[0].Emits[1].Kind, SymAction::Recv);
+}
+
+TEST_F(SymExecTest, BranchesSplitPaths) {
+  BehAbs Abs = build(R"(
+handler C => M(s, n) {
+  if (flag && n == count) {
+    send(Y, N(s));
+  } else {
+    count = n;
+  }
+}
+)");
+  const HandlerSummary *S = Abs.findSummary("C", "M");
+  ASSERT_NE(S, nullptr);
+  // Then-path (one DNF disjunct) + two else-disjuncts (!flag | n != count).
+  EXPECT_EQ(S->Paths.size(), 3u);
+  // The then-path emits the send and has two condition literals.
+  const SymPath *Then = nullptr;
+  for (const SymPath &P : S->Paths)
+    if (P.Emits.size() == 3)
+      Then = &P;
+  ASSERT_NE(Then, nullptr);
+  EXPECT_EQ(Then->Cond.size(), 2u);
+  EXPECT_EQ(Then->Emits[2].Kind, SymAction::Send);
+  EXPECT_TRUE(Then->Updates.empty());
+  // Else-paths update count to the parameter.
+  for (const SymPath &P : S->Paths)
+    if (&P != Then) {
+      ASSERT_TRUE(P.Updates.count("count"));
+      EXPECT_EQ(P.Updates.at("count")->Tag, SymTag::Fresh);
+    }
+}
+
+TEST_F(SymExecTest, SenderIsFlexPreWithFields) {
+  BehAbs Abs = build("handler C => N(s) { send(sender, N(sender.tag)); }");
+  const HandlerSummary *S = Abs.findSummary("C", "N");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->SenderComp->Ident, CompIdent::FlexPre);
+  ASSERT_EQ(S->SenderComp->Ops.size(), 1u);
+  // The send's payload is exactly the sender's config-field symbol.
+  const SymPath &P = S->Paths[0];
+  EXPECT_EQ(P.Emits[2].Args[0], S->SenderComp->Ops[0]);
+  // The sender participates in the component-origin axiom.
+  ASSERT_EQ(P.FoundComps.size(), 1u);
+  EXPECT_EQ(P.FoundComps[0], S->SenderComp);
+}
+
+TEST_F(SymExecTest, LookupBranches) {
+  BehAbs Abs = build(R"(
+handler D => N(s) {
+  lookup C(tag == s) as c {
+    send(c, N(s));
+  } else {
+    fresh <- spawn C(s);
+  }
+}
+)");
+  const HandlerSummary *S = Abs.findSummary("D", "N");
+  ASSERT_EQ(S->Paths.size(), 2u);
+  const SymPath &Found = S->Paths[0];
+  const SymPath &Missing = S->Paths[1];
+  // Found: constraint literal ties the bound comp's field to the param.
+  ASSERT_EQ(Found.Cond.size(), 1u);
+  EXPECT_EQ(Found.Cond[0].Atom->Kind, TermKind::Eq);
+  ASSERT_EQ(Found.LookupComps.size(), 1u);
+  EXPECT_EQ(Found.LookupComps[0]->Ident, CompIdent::FlexPre);
+  // FoundComps: sender + the lookup result.
+  EXPECT_EQ(Found.FoundComps.size(), 2u);
+  // Missing: a NoComp fact and a NewRigid spawn.
+  ASSERT_EQ(Missing.NoComp.size(), 1u);
+  EXPECT_EQ(Missing.NoComp[0].TypeName, "C");
+  ASSERT_EQ(Missing.Emits.size(), 3u);
+  EXPECT_EQ(Missing.Emits[2].Kind, SymAction::Spawn);
+  EXPECT_EQ(Missing.Emits[2].Comp->Ident, CompIdent::NewRigid);
+}
+
+TEST_F(SymExecTest, LookupAfterSpawnIsFlexAny) {
+  BehAbs Abs = build(R"(
+handler D => N(s) {
+  fresh <- spawn C(s);
+  lookup C(tag == s) as c {
+    send(c, N(s));
+  }
+}
+)");
+  const HandlerSummary *S = Abs.findSummary("D", "N");
+  const SymPath &Found = S->Paths[0];
+  ASSERT_EQ(Found.LookupComps.size(), 1u);
+  EXPECT_EQ(Found.LookupComps[0]->Ident, CompIdent::FlexAny)
+      << "the lookup may find the component spawned just above";
+  // FlexAny lookups do not feed the origin axiom (only the sender here).
+  EXPECT_EQ(Found.FoundComps.size(), 1u);
+}
+
+TEST_F(SymExecTest, CallsProduceFreshSymbolsAndEmissions) {
+  BehAbs Abs = build(R"(
+handler C => N(s) {
+  r <- call "fetch"(s);
+  send(Y, N(r));
+}
+)");
+  const HandlerSummary *S = Abs.findSummary("C", "N");
+  const SymPath &P = S->Paths[0];
+  ASSERT_EQ(P.Emits.size(), 4u);
+  EXPECT_EQ(P.Emits[2].Kind, SymAction::Call);
+  EXPECT_EQ(P.Emits[2].CallFn, "fetch");
+  ASSERT_NE(P.Emits[2].CallResult, nullptr);
+  EXPECT_EQ(P.Emits[3].Args[0], P.Emits[2].CallResult)
+      << "the send forwards the nondeterministic result";
+}
+
+TEST_F(SymExecTest, StateUpdateChains) {
+  BehAbs Abs = build(R"(
+handler C => M(s, n) {
+  count = count + 1;
+  count = count + 1;
+}
+)");
+  const HandlerSummary *S = Abs.findSummary("C", "M");
+  const SymPath &P = S->Paths[0];
+  // count' = (count + 1) + 1 (builder folding is local, not associative).
+  TermRef CountSym = Ctx.stateSym("count", BaseType::Num);
+  EXPECT_EQ(P.Updates.at("count"),
+            Ctx.add(Ctx.add(CountSym, Ctx.numLit(1)), Ctx.numLit(1)));
+}
+
+} // namespace
+} // namespace reflex

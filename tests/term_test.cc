@@ -1,0 +1,162 @@
+//===- tests/term_test.cc - Hash-consed term tests --------------*- C++ -*-===//
+
+#include "sym/term.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+TEST(Term, HashConsing) {
+  TermContext Ctx;
+  EXPECT_EQ(Ctx.numLit(3), Ctx.numLit(3)) << "pointer equality";
+  EXPECT_NE(Ctx.numLit(3), Ctx.numLit(4));
+  EXPECT_EQ(Ctx.strLit("x"), Ctx.strLit("x"));
+  EXPECT_EQ(Ctx.stateSym("v", BaseType::Num), Ctx.stateSym("v", BaseType::Num))
+      << "state symbols are canonical";
+  EXPECT_NE(Ctx.freshSym("f", BaseType::Num), Ctx.freshSym("f", BaseType::Num))
+      << "fresh symbols are distinct";
+  TermRef A = Ctx.stateSym("a", BaseType::Num);
+  TermRef B = Ctx.stateSym("b", BaseType::Num);
+  EXPECT_EQ(Ctx.add(A, B), Ctx.add(A, B));
+}
+
+TEST(Term, EqSimplification) {
+  TermContext Ctx;
+  TermRef X = Ctx.stateSym("x", BaseType::Num);
+  EXPECT_EQ(Ctx.eq(X, X), Ctx.trueTerm());
+  EXPECT_EQ(Ctx.eq(Ctx.numLit(1), Ctx.numLit(1)), Ctx.trueTerm());
+  EXPECT_EQ(Ctx.eq(Ctx.numLit(1), Ctx.numLit(2)), Ctx.falseTerm());
+  EXPECT_EQ(Ctx.eq(Ctx.strLit("a"), Ctx.strLit("b")), Ctx.falseTerm());
+  // Operand order is normalized: x == 1 and 1 == x are the same node.
+  EXPECT_EQ(Ctx.eq(X, Ctx.numLit(1)), Ctx.eq(Ctx.numLit(1), X));
+}
+
+TEST(Term, ComponentIdentityAlgebra) {
+  TermContext Ctx;
+  TermRef InitA = Ctx.comp("Tab", CompIdent::InitRigid, 0, {});
+  TermRef InitB = Ctx.comp("Tab", CompIdent::InitRigid, 1, {});
+  TermRef New = Ctx.comp("Tab", CompIdent::NewRigid, 2, {});
+  TermRef Pre = Ctx.comp("Tab", CompIdent::FlexPre, 3, {});
+  TermRef Any = Ctx.comp("Tab", CompIdent::FlexAny, 4, {});
+  TermRef Other = Ctx.comp("CookieProc", CompIdent::FlexPre, 5, {});
+
+  EXPECT_EQ(Ctx.eq(InitA, InitA), Ctx.trueTerm());
+  EXPECT_EQ(Ctx.eq(InitA, InitB), Ctx.falseTerm()) << "distinct init comps";
+  EXPECT_EQ(Ctx.eq(New, InitA), Ctx.falseTerm()) << "new != pre-existing";
+  EXPECT_EQ(Ctx.eq(New, Pre), Ctx.falseTerm()) << "new != unknown pre";
+  EXPECT_NE(Ctx.eq(Pre, InitA), Ctx.falseTerm()) << "pre may be an init comp";
+  EXPECT_NE(Ctx.eq(Any, New), Ctx.falseTerm()) << "FlexAny is compatible";
+  EXPECT_EQ(Ctx.eq(Pre, Other), Ctx.falseTerm()) << "type mismatch";
+}
+
+TEST(Term, BooleanAndArithmeticFolding) {
+  TermContext Ctx;
+  TermRef X = Ctx.stateSym("x", BaseType::Num);
+  TermRef B = Ctx.stateSym("b", BaseType::Bool);
+  EXPECT_EQ(Ctx.andT(Ctx.trueTerm(), B), B);
+  EXPECT_EQ(Ctx.andT(Ctx.falseTerm(), B), Ctx.falseTerm());
+  EXPECT_EQ(Ctx.orT(B, Ctx.trueTerm()), Ctx.trueTerm());
+  EXPECT_EQ(Ctx.notT(Ctx.notT(B)), B);
+  EXPECT_EQ(Ctx.add(Ctx.numLit(2), Ctx.numLit(3)), Ctx.numLit(5));
+  EXPECT_EQ(Ctx.add(X, Ctx.numLit(0)), X);
+  EXPECT_EQ(Ctx.sub(X, X), Ctx.numLit(0));
+  EXPECT_EQ(Ctx.lt(Ctx.numLit(1), Ctx.numLit(2)), Ctx.trueTerm());
+  EXPECT_EQ(Ctx.lt(X, X), Ctx.falseTerm());
+  EXPECT_EQ(Ctx.le(X, X), Ctx.trueTerm());
+}
+
+TEST(Term, SimplifyToggle) {
+  TermContext Ctx;
+  Ctx.setSimplify(false);
+  TermRef T = Ctx.eq(Ctx.numLit(1), Ctx.numLit(2));
+  EXPECT_EQ(T->Kind, TermKind::Eq) << "no folding when disabled";
+  TermRef A = Ctx.add(Ctx.numLit(2), Ctx.numLit(3));
+  EXPECT_EQ(A->Kind, TermKind::Add);
+}
+
+TEST(Term, Substitution) {
+  TermContext Ctx;
+  TermRef X = Ctx.stateSym("x", BaseType::Num);
+  TermRef Y = Ctx.stateSym("y", BaseType::Num);
+  TermRef T = Ctx.eq(Ctx.add(X, Ctx.numLit(1)), Y);
+  std::unordered_map<TermRef, TermRef> Map{{X, Ctx.numLit(4)}};
+  TermRef S = Ctx.substitute(T, Map);
+  EXPECT_EQ(S, Ctx.eq(Ctx.numLit(5), Y)) << "folds after substitution";
+  EXPECT_EQ(Ctx.substitute(T, {}), T) << "empty map is identity";
+}
+
+TEST(Term, SubstitutionIntoComponents) {
+  TermContext Ctx;
+  TermRef D = Ctx.stateSym("d", BaseType::Str);
+  TermRef C = Ctx.comp("Tab", CompIdent::NewRigid, 0, {D});
+  std::unordered_map<TermRef, TermRef> Map{{D, Ctx.strLit("a.com")}};
+  TermRef S = Ctx.substitute(C, Map);
+  ASSERT_EQ(S->Kind, TermKind::Comp);
+  EXPECT_EQ(S->Ops[0], Ctx.strLit("a.com"));
+  EXPECT_EQ(S->IntVal, C->IntVal) << "identity preserved";
+}
+
+TEST(Term, LiteralValue) {
+  TermContext Ctx;
+  EXPECT_EQ(*Ctx.literalValue(Ctx.numLit(3)), Value::num(3));
+  EXPECT_EQ(*Ctx.literalValue(Ctx.strLit("s")), Value::str("s"));
+  EXPECT_EQ(*Ctx.literalValue(Ctx.boolLit(true)), Value::boolean(true));
+  EXPECT_FALSE(
+      Ctx.literalValue(Ctx.stateSym("x", BaseType::Num)).has_value());
+}
+
+TEST(Term, DnfSplitting) {
+  TermContext Ctx;
+  TermRef A = Ctx.stateSym("a", BaseType::Bool);
+  TermRef B = Ctx.stateSym("b", BaseType::Bool);
+  TermRef C = Ctx.stateSym("c", BaseType::Bool);
+
+  // a && b, positive: one conjunct of two literals.
+  auto D1 = splitCondDNF(Ctx.andT(A, B), true);
+  ASSERT_TRUE(D1.has_value());
+  ASSERT_EQ(D1->size(), 1u);
+  EXPECT_EQ((*D1)[0].size(), 2u);
+
+  // !(a && b): two disjuncts.
+  auto D2 = splitCondDNF(Ctx.andT(A, B), false);
+  ASSERT_TRUE(D2.has_value());
+  EXPECT_EQ(D2->size(), 2u);
+  EXPECT_FALSE((*D2)[0][0].Pos);
+
+  // (a || b) && c: cross product -> two disjuncts of two lits.
+  auto D3 = splitCondDNF(Ctx.andT(Ctx.orT(A, B), C), true);
+  ASSERT_TRUE(D3.has_value());
+  EXPECT_EQ(D3->size(), 2u);
+
+  // Constant conditions.
+  auto DT = splitCondDNF(Ctx.trueTerm(), true);
+  ASSERT_TRUE(DT.has_value());
+  ASSERT_EQ(DT->size(), 1u);
+  EXPECT_TRUE((*DT)[0].empty()) << "trivially true disjunct";
+  auto DF = splitCondDNF(Ctx.trueTerm(), false);
+  ASSERT_TRUE(DF.has_value());
+  EXPECT_TRUE(DF->empty()) << "no disjunct: false";
+}
+
+TEST(Term, DnfOverflowIsDetected) {
+  TermContext Ctx;
+  // (a1||b1) && (a2||b2) && ... doubles the disjunct count each time.
+  TermRef Cond = Ctx.trueTerm();
+  for (int I = 0; I < 12; ++I) {
+    TermRef A = Ctx.freshSym("a", BaseType::Bool);
+    TermRef B = Ctx.freshSym("b", BaseType::Bool);
+    Cond = Ctx.andT(Cond, Ctx.orT(A, B));
+  }
+  EXPECT_FALSE(splitCondDNF(Cond, true, /*MaxDisjuncts=*/64).has_value());
+}
+
+TEST(Term, TermCountGrows) {
+  TermContext Ctx;
+  size_t Before = Ctx.termCount();
+  Ctx.add(Ctx.stateSym("p", BaseType::Num), Ctx.numLit(1));
+  EXPECT_GT(Ctx.termCount(), Before);
+}
+
+} // namespace
+} // namespace reflex

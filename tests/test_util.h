@@ -1,0 +1,43 @@
+//===- tests/test_util.h - Shared test helpers ------------------*- C++ -*-===//
+
+#ifndef REFLEX_TESTS_TEST_UTIL_H
+#define REFLEX_TESTS_TEST_UTIL_H
+
+#include "reflex/reflex.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+
+/// Parses + validates \p Source, failing the test with diagnostics on
+/// error.
+inline ProgramPtr mustLoad(const std::string &Source) {
+  Result<ProgramPtr> R = loadProgram(Source, "test");
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  if (!R.ok())
+    return nullptr;
+  return R.take();
+}
+
+/// Expects that loading fails and the diagnostics mention \p Needle.
+inline void expectLoadError(const std::string &Source,
+                            const std::string &Needle) {
+  Result<ProgramPtr> R = loadProgram(Source, "test");
+  ASSERT_FALSE(R.ok()) << "expected failure mentioning: " << Needle;
+  EXPECT_NE(R.error().find(Needle), std::string::npos)
+      << "diagnostics were:\n"
+      << R.error();
+}
+
+/// Verifies a single named property and returns its result.
+inline PropertyResult verifyOne(const Program &P, const std::string &Name,
+                                const VerifyOptions &Opts = {}) {
+  const Property *Prop = P.findProperty(Name);
+  EXPECT_NE(Prop, nullptr) << "no property " << Name;
+  VerifySession S(P, Opts);
+  return S.verify(*Prop);
+}
+
+} // namespace reflex
+
+#endif // REFLEX_TESTS_TEST_UTIL_H

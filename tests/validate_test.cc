@@ -1,0 +1,232 @@
+//===- tests/validate_test.cc - Semantic validation tests -------*- C++ -*-===//
+//
+// The validator stands in for the Coq embedding's dependent types: every
+// way a Reflex program could "go wrong" must be rejected statically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "test_util.h"
+
+namespace reflex {
+namespace {
+
+// A well-formed scaffold the negative cases mutate.
+const char Scaffold[] = R"(
+component C "c" { tag: str };
+component D "d";
+message M(str, num);
+message N(str);
+var flag: bool = false;
+var count: num = 0;
+init {
+  X <- spawn C("x");
+  Y <- spawn D();
+}
+handler C => M(s, n) {
+  if (flag && n == count) {
+    send(Y, N(s));
+  }
+}
+)";
+
+TEST(Validate, ScaffoldIsValid) {
+  ProgramPtr P = mustLoad(Scaffold);
+  ASSERT_NE(P, nullptr);
+  // Component globals were recorded.
+  ASSERT_EQ(P->CompGlobals.size(), 2u);
+  EXPECT_EQ(P->CompGlobals[0].CompType, "C");
+}
+
+TEST(Validate, DuplicateDeclarations) {
+  expectLoadError("component C \"a\";\ncomponent C \"b\";",
+                  "duplicate component type");
+  expectLoadError("message M();\nmessage M(str);",
+                  "duplicate message type");
+  expectLoadError("var x: num = 0;\nvar x: str = \"\";",
+                  "duplicate state variable");
+  expectLoadError("component C \"c\" { f: str, f: num };",
+                  "duplicate config field");
+  expectLoadError("component C \"c\";\nmessage M();\n"
+                  "handler C => M() { nop; }\nhandler C => M() { nop; }",
+                  "duplicate handler");
+}
+
+TEST(Validate, StateVarRules) {
+  expectLoadError("var x: num = \"s\";", "initializer type");
+  // fdesc state variables are unrepresentable (no fdesc literals) and
+  // explicitly rejected.
+  expectLoadError("var x: fdesc = 0;", "state variables must be");
+}
+
+TEST(Validate, MessagePayloadRules) {
+  // comp is not even spellable as a payload type.
+  expectLoadError("message M(comp);", "unknown type");
+}
+
+TEST(Validate, UndefinedNames) {
+  expectLoadError("component C \"c\";\nmessage M();\n"
+                  "handler C => M() { x = 1; }",
+                  "undeclared variable");
+  expectLoadError("component C \"c\";\nmessage M(num);\n"
+                  "handler C => M(n) { send(nobody, M(n)); }",
+                  "undefined variable");
+  expectLoadError("component C \"c\";\nmessage M();\n"
+                  "handler D => M() { nop; }",
+                  "unknown component type");
+  expectLoadError("component C \"c\";\nhandler C => M() { nop; }",
+                  "unknown message type");
+  expectLoadError("component C \"c\";\nmessage M();\n"
+                  "handler C => M() { send(sender, Z()); }",
+                  "unknown message type");
+}
+
+TEST(Validate, ArityAndTypes) {
+  expectLoadError("component C \"c\";\nmessage M(str);\n"
+                  "handler C => M() { nop; }",
+                  "parameters");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { send(Y, N(3)); }",
+                  "must be str");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { count = s; }",
+                  "assigning str");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { if (s) { nop; } }",
+                  "must be bool");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { send(s, N(s)); }",
+                  "must be a component");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { Z <- spawn C(); }",
+                  "wrong number of config values");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { Z <- spawn C(3); }",
+                  "must be str");
+}
+
+TEST(Validate, ImmutabilityDisciplines) {
+  // Parameters are immutable.
+  expectLoadError(std::string(Scaffold) + "handler C => N(s) { s = \"x\"; }",
+                  "not assignable");
+  // Component globals are immutable.
+  expectLoadError(std::string(Scaffold) + "handler C => N(s) { X = Y; }",
+                  "not assignable");
+  // Rebinding is rejected.
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { X <- spawn D(); }",
+                  "already bound");
+}
+
+TEST(Validate, ComponentEqualityRejected) {
+  // LAC restriction: components are identified via lookup, never compared.
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { if (sender == X) { nop; } }",
+                  "components cannot be compared");
+}
+
+TEST(Validate, SenderOnlyInHandlers) {
+  expectLoadError("component C \"c\" { f: str };\ninit { Z <- spawn "
+                  "C(sender.f); }",
+                  "'sender' is only available in handlers");
+}
+
+TEST(Validate, ConfigFieldResolution) {
+  ProgramPtr P = mustLoad(std::string(Scaffold) +
+                          "handler C => N(s) { flag = sender.tag == s; }");
+  ASSERT_NE(P, nullptr);
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { flag = sender.nope == s; }",
+                  "no config field");
+  // Config reads require a component-typed base.
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { flag = s.tag == s; }",
+                  "requires a component-typed expression");
+}
+
+TEST(Validate, LookupRules) {
+  ProgramPtr P = mustLoad(std::string(Scaffold) + R"(
+handler C => N(s) {
+  lookup C(tag == s) as other {
+    send(other, N(other.tag));
+  }
+}
+)");
+  ASSERT_NE(P, nullptr);
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { lookup C(zz == s) as o { nop; } }",
+                  "no config field");
+  expectLoadError(std::string(Scaffold) +
+                      "handler C => N(s) { lookup C(tag == 3) as o { nop; } }",
+                  "type mismatch");
+}
+
+TEST(Validate, BranchBindingsDoNotEscape) {
+  expectLoadError(std::string(Scaffold) + R"(
+handler C => N(s) {
+  if (flag) {
+    r <- call "f"(s);
+  }
+  send(Y, N(r));
+}
+)",
+                  "undefined variable 'r'");
+}
+
+TEST(Validate, PropertyPatternRules) {
+  const std::string Base = "component Tab \"t\" { domain: str };\n"
+                           "message Put(str);\n";
+  // Undeclared forall variable.
+  expectLoadError(Base + "property P:\n  [Recv(Tab(domain = d), Put(_))] "
+                         "Enables [Send(Tab, Put(_))];",
+                  "not declared in the forall clause");
+  // Unused forall variable.
+  expectLoadError(Base + "property P: forall d.\n  [Recv(Tab, Put(_))] "
+                         "Enables [Send(Tab, Put(_))];",
+                  "never used");
+  // Trigger-variable discipline: for Enables the trigger is B.
+  expectLoadError(Base + "property P: forall d.\n  [Recv(Tab(domain = d), "
+                         "Put(_))] Enables [Send(Tab, Put(_))];",
+                  "must occur in the trigger");
+  // ...for Ensures the trigger is A, so the same shape is fine.
+  ProgramPtr P = mustLoad(Base + "property P: forall d.\n  "
+                                 "[Recv(Tab(domain = d), Put(_))] Ensures "
+                                 "[Send(Tab, Put(_))];");
+  ASSERT_NE(P, nullptr);
+  // Field indices got resolved.
+  EXPECT_EQ(P->Properties[0].traceProp().A.Comp.Fields[0].FieldIndex, 0);
+}
+
+TEST(Validate, PropertyPatternTyping) {
+  const std::string Base = "component Tab \"t\" { domain: str };\n"
+                           "message Put(str, num);\n";
+  expectLoadError(Base + "property P:\n  [Recv(Tab, Put(_, \"s\"))] Enables "
+                         "[Send(Tab, Put(_, _))];",
+                  "has type str, expected num");
+  expectLoadError(Base + "property P: forall v.\n  [Recv(Tab, Put(v, v))] "
+                         "Enables [Send(Tab, Put(v, v))];",
+                  "used at both");
+  expectLoadError(Base + "property P:\n  [Recv(Tab, Put(_))] Enables "
+                         "[Send(Tab, Put(_, _))];",
+                  "wrong number of payload patterns");
+  expectLoadError(Base + "property P:\n  [Recv(Zed, Put(_, _))] Enables "
+                         "[Send(Tab, Put(_, _))];",
+                  "unknown component type");
+}
+
+TEST(Validate, NIPropertyRules) {
+  const std::string Base = "component Tab \"t\" { domain: str };\n"
+                           "message Put(str);\nvar x: num = 0;\n";
+  ProgramPtr P = mustLoad(Base + "property NI: forall d.\n  noninterference "
+                                 "{ high components: Tab(domain = d); high "
+                                 "vars: x; };");
+  ASSERT_NE(P, nullptr);
+  expectLoadError(Base + "property NI:\n  noninterference { high "
+                         "components: ; high vars: zz; };",
+                  "unknown state variable");
+  expectLoadError(Base + "property NI: forall d.\n  noninterference { high "
+                         "components: Tab; high vars: ; };",
+                  "never used");
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,69 @@
+//===- tests/value_test.cc - Values, actions, traces ------------*- C++ -*-===//
+
+#include "trace/action.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex {
+namespace {
+
+TEST(Value, KindsAndEquality) {
+  EXPECT_EQ(Value::num(3), Value::num(3));
+  EXPECT_NE(Value::num(3), Value::num(4));
+  EXPECT_NE(Value::num(1), Value::boolean(true)) << "typed equality";
+  EXPECT_EQ(Value::str("a"), Value::str("a"));
+  EXPECT_NE(Value::str("a"), Value::str("b"));
+  EXPECT_EQ(Value::fdesc(5), Value::fdesc(5));
+  EXPECT_NE(Value::fdesc(5), Value::comp(5)) << "fdesc is not comp";
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::num(-7).str(), "-7");
+  EXPECT_EQ(Value::str("hi\"there").str(), "\"hi\\\"there\"");
+  EXPECT_EQ(Value::boolean(true).str(), "true");
+  EXPECT_EQ(Value::boolean(false).str(), "false");
+  EXPECT_EQ(Value::fdesc(3).str(), "fd#3");
+  EXPECT_EQ(Value::comp(2).str(), "comp#2");
+}
+
+TEST(Value, HashDistinguishesKinds) {
+  EXPECT_NE(Value::num(1).hash(), Value::boolean(true).hash());
+  EXPECT_EQ(Value::str("x").hash(), Value::str("x").hash());
+}
+
+TEST(Action, ConstructorsAndPrinting) {
+  Message M;
+  M.Name = "Ping";
+  M.Args = {Value::num(1), Value::str("a")};
+  EXPECT_EQ(M.str(), "Ping(1, \"a\")");
+
+  EXPECT_EQ(Action::select(2).str(), "Select(comp#2)");
+  EXPECT_EQ(Action::recv(0, M).str(), "Recv(comp#0, Ping(1, \"a\"))");
+  EXPECT_EQ(Action::send(1, M).str(), "Send(comp#1, Ping(1, \"a\"))");
+  EXPECT_EQ(Action::spawn(3).str(), "Spawn(comp#3)");
+  EXPECT_EQ(
+      Action::call("wget", {Value::str("url")}, Value::str("body")).str(),
+      "Call(wget, [\"url\"] -> \"body\")");
+}
+
+TEST(Trace, FindComponent) {
+  Trace T;
+  T.Components.push_back({0, "Tab", {Value::str("a.com")}});
+  T.Components.push_back({1, "Tab", {Value::str("b.com")}});
+  ASSERT_NE(T.findComponent(1), nullptr);
+  EXPECT_EQ(T.findComponent(1)->Config[0], Value::str("b.com"));
+  EXPECT_EQ(T.findComponent(9), nullptr);
+}
+
+TEST(Trace, Rendering) {
+  Trace T;
+  T.Components.push_back({0, "Door", {}});
+  T.Actions.push_back(Action::spawn(0));
+  T.Actions.push_back(Action::select(0));
+  std::string S = T.str();
+  EXPECT_NE(S.find("0: Spawn(comp#0)"), std::string::npos);
+  EXPECT_NE(S.find("Door#0"), std::string::npos);
+}
+
+} // namespace
+} // namespace reflex

@@ -1,0 +1,302 @@
+//===- tools/reflex_cli.cc - The reflex command-line driver -----*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+// The user-facing entry point (the role the paper's Python frontend +
+// coqc pipeline played): point it at a .rfx file and it verifies,
+// refutes, runs, or pretty-prints the kernel.
+//
+//   reflex verify  <file.rfx> [options]   prove every property
+//   reflex bmc     <file.rfx> --property P [--depth N]
+//                                         search for a counterexample
+//   reflex run     <file.rfx> [--steps N --seed S]
+//                                         fuzz the kernel with random
+//                                         component traffic, under the
+//                                         runtime monitor
+//   reflex print   <file.rfx>             parse, validate, pretty-print
+//   reflex info    <file.rfx>             inventory + abstraction stats
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/synthetic.h"
+#include "reflex/reflex.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace reflex;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: reflex <command> <file.rfx> [options]\n"
+      "\n"
+      "commands:\n"
+      "  verify   prove every property of the program fully automatically\n"
+      "           options: --no-skip --no-simplify --no-cache --no-check\n"
+      "                    --bmc-depth N (refute Unknowns)  --certs FILE\n"
+      "                    --json FILE (machine-readable report)\n"
+      "  bmc      bounded search for a counterexample trace\n"
+      "           options: --property NAME (required) --depth N\n"
+      "  run      drive the kernel with random component traffic\n"
+      "           options: --steps N --seed S --quiet\n"
+      "  print    parse + validate + pretty-print\n"
+      "  info     program inventory and behavioral-abstraction statistics\n");
+  return 2;
+}
+
+Result<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error("cannot open '" + Path + "'");
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Args {
+  std::string Command;
+  std::string File;
+  std::map<std::string, std::string> Options; // --key [value]
+};
+
+bool takesValue(const std::string &Key) {
+  return Key == "--bmc-depth" || Key == "--certs" || Key == "--property" ||
+         Key == "--depth" || Key == "--steps" || Key == "--seed" ||
+         Key == "--json";
+}
+
+Result<Args> parseArgs(int Argc, char **Argv) {
+  if (Argc < 3)
+    return Error("missing command or file");
+  Args A;
+  A.Command = Argv[1];
+  A.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Key = Argv[I];
+    if (!startsWith(Key, "--"))
+      return Error("unexpected argument '" + Key + "'");
+    if (takesValue(Key)) {
+      if (I + 1 >= Argc)
+        return Error("option '" + Key + "' needs a value");
+      A.Options[Key] = Argv[++I];
+    } else {
+      A.Options[Key] = "";
+    }
+  }
+  return A;
+}
+
+size_t numOption(const Args &A, const std::string &Key, size_t Default) {
+  auto It = A.Options.find(Key);
+  return It == A.Options.end() ? Default : std::stoul(It->second);
+}
+
+int cmdVerify(const Args &A, const Program &P) {
+  VerifyOptions Opts;
+  Opts.SyntacticSkip = !A.Options.count("--no-skip");
+  Opts.Simplify = !A.Options.count("--no-simplify");
+  Opts.CacheInvariants = !A.Options.count("--no-cache");
+  Opts.CheckCertificates = !A.Options.count("--no-check");
+  Opts.BmcDepthOnUnknown = numOption(A, "--bmc-depth", 0);
+
+  VerifySession Session(P, Opts);
+  VerificationReport Report = Session.verifyAll();
+
+  std::string CertJson = "[";
+  for (size_t I = 0; I < Report.Results.size(); ++I) {
+    const PropertyResult &R = Report.Results[I];
+    std::printf("%-36s %-8s %8.2f ms%s\n", R.Name.c_str(),
+                verifyStatusName(R.Status), R.Millis,
+                R.Status == VerifyStatus::Proved
+                    ? (R.CertChecked ? "  [cert checked]" : "")
+                    : "");
+    if (R.Status != VerifyStatus::Proved)
+      std::printf("    %s\n", R.Reason.c_str());
+    if (R.Status == VerifyStatus::Refuted)
+      std::printf("    counterexample:\n%s",
+                  R.Counterexample.str().c_str());
+    if (R.Status == VerifyStatus::Proved) {
+      if (CertJson.size() > 1)
+        CertJson += ",";
+      CertJson += R.Cert.toJson(Session.termContext());
+    }
+  }
+  CertJson += "]";
+
+  if (auto It = A.Options.find("--certs"); It != A.Options.end()) {
+    std::ofstream Out(It->second);
+    Out << CertJson << "\n";
+    std::printf("certificates written to %s\n", It->second.c_str());
+  }
+  if (auto It = A.Options.find("--json"); It != A.Options.end()) {
+    std::ofstream Out(It->second);
+    Out << Report.toJson() << "\n";
+    std::printf("report written to %s\n", It->second.c_str());
+  }
+
+  std::printf("\n%u/%zu properties proved in %.2f ms\n",
+              Report.provedCount(), Report.Results.size(),
+              Report.TotalMillis);
+  return Report.allProved() ? 0 : 1;
+}
+
+int cmdBmc(const Args &A, const Program &P) {
+  auto It = A.Options.find("--property");
+  if (It == A.Options.end()) {
+    std::fprintf(stderr, "bmc requires --property NAME\n");
+    return 2;
+  }
+  const Property *Prop = P.findProperty(It->second);
+  if (!Prop) {
+    std::fprintf(stderr, "no property named '%s'\n", It->second.c_str());
+    return 2;
+  }
+  BmcOptions Opts;
+  Opts.MaxDepth = numOption(A, "--depth", 4);
+  WallTimer Timer;
+  BmcResult R = bmcSearch(P, *Prop, Opts);
+  std::printf("explored %zu states in %.2f ms\n", R.StatesExplored,
+              Timer.elapsedMillis());
+  if (!R.Violated) {
+    std::printf("no violation within %zu exchanges\n", Opts.MaxDepth);
+    return 0;
+  }
+  std::printf("VIOLATION: %s\n%s", R.Explanation.c_str(),
+              R.Counterexample.str().c_str());
+  return 1;
+}
+
+/// A fuzzing script: every component fires a few random messages with
+/// payloads from the harvested domains.
+class FuzzScript : public ComponentScript {
+public:
+  FuzzScript(const Program &P, uint64_t Seed, unsigned Burst)
+      : P(P), Rand(Seed), Burst(Burst) {}
+
+  void onStart() override { fire(); }
+  void onMessage(const Message &) override {
+    if (Rand.chance(1, 2))
+      fire();
+  }
+
+private:
+  void fire() {
+    for (unsigned I = 0; I < Burst; ++I) {
+      const MessageDecl &MD =
+          P.Messages[Rand.below(P.Messages.size())];
+      Message M;
+      M.Name = MD.Name;
+      for (BaseType Ty : MD.Payload) {
+        std::vector<Value> Dom = harvestDomain(P, Ty);
+        if (Dom.empty())
+          Dom.push_back(Value::num(0));
+        M.Args.push_back(Dom[Rand.below(Dom.size())]);
+      }
+      sendToKernel(std::move(M));
+    }
+  }
+
+  const Program &P;
+  Rng Rand;
+  unsigned Burst;
+};
+
+int cmdRun(const Args &A, const Program &P) {
+  size_t Steps = numOption(A, "--steps", 200);
+  uint64_t Seed = numOption(A, "--seed", 1);
+  bool Quiet = A.Options.count("--quiet") != 0;
+
+  Runtime Rt(
+      P,
+      [&](const ComponentInstance &) -> std::unique_ptr<ComponentScript> {
+        return std::make_unique<FuzzScript>(P, Seed++, 3);
+      },
+      CallRegistry(), Seed);
+  Rt.enableMonitor();
+  Rt.start();
+  size_t Done = Rt.run(Steps);
+  if (!Quiet)
+    std::printf("%s", Rt.trace().str().c_str());
+  std::printf("serviced %zu exchanges, %zu trace actions, %zu components\n",
+              Done, Rt.trace().Actions.size(),
+              Rt.trace().Components.size());
+  if (Rt.lastViolation()) {
+    std::printf("MONITOR VIOLATION: %s\n",
+                Rt.lastViolation()->Explanation.c_str());
+    return 1;
+  }
+  std::printf("runtime monitor: all declared trace properties held\n");
+  return 0;
+}
+
+int cmdInfo(const Args &, const Program &P) {
+  std::printf("program: %s\n", P.Name.empty() ? "<unnamed>" : P.Name.c_str());
+  std::printf("  component types: %zu\n", P.Components.size());
+  std::printf("  message types:   %zu\n", P.Messages.size());
+  std::printf("  state variables: %zu\n", P.StateVars.size());
+  std::printf("  handlers:        %zu (of %zu possible exchange cases)\n",
+              P.Handlers.size(), P.Components.size() * P.Messages.size());
+  std::printf("  properties:      %zu\n", P.Properties.size());
+
+  TermContext Ctx;
+  BehAbs Abs = buildBehAbs(Ctx, P);
+  size_t Paths = 0, Emits = 0;
+  for (const HandlerSummary &S : Abs.Handlers) {
+    Paths += S.Paths.size();
+    for (const SymPath &Path : S.Paths)
+      Emits += Path.Emits.size();
+  }
+  std::printf("behavioral abstraction:\n");
+  std::printf("  init paths:      %zu\n", Abs.Init.Paths.size());
+  std::printf("  handler paths:   %zu across %zu cases\n", Paths,
+              Abs.Handlers.size());
+  std::printf("  emitted actions: %zu symbolic\n", Emits);
+  std::printf("  terms allocated: %zu\n", Ctx.termCount());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Result<Args> A = parseArgs(Argc, Argv);
+  if (!A.ok()) {
+    std::fprintf(stderr, "error: %s\n", A.error().c_str());
+    return usage();
+  }
+
+  Result<std::string> Source = readFile(A->File);
+  if (!Source.ok()) {
+    std::fprintf(stderr, "error: %s\n", Source.error().c_str());
+    return 2;
+  }
+  Result<ProgramPtr> P = loadProgram(*Source, A->File);
+  if (!P.ok()) {
+    std::fprintf(stderr, "%s", P.error().c_str());
+    return 1;
+  }
+
+  if (A->Command == "verify")
+    return cmdVerify(*A, **P);
+  if (A->Command == "bmc")
+    return cmdBmc(*A, **P);
+  if (A->Command == "run")
+    return cmdRun(*A, **P);
+  if (A->Command == "print") {
+    std::printf("%s", printProgram(**P).c_str());
+    return 0;
+  }
+  if (A->Command == "info")
+    return cmdInfo(*A, **P);
+  std::fprintf(stderr, "unknown command '%s'\n", A->Command.c_str());
+  return usage();
+}
