@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bughunt.dir/bench_bughunt.cc.o"
+  "CMakeFiles/bench_bughunt.dir/bench_bughunt.cc.o.d"
+  "bench_bughunt"
+  "bench_bughunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bughunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

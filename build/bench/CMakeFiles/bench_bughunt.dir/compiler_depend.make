@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_bughunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_controller.dir/car_controller.cpp.o"
+  "CMakeFiles/car_controller.dir/car_controller.cpp.o.d"
+  "car_controller"
+  "car_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

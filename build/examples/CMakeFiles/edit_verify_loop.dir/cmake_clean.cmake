@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_verify_loop.dir/edit_verify_loop.cpp.o"
+  "CMakeFiles/edit_verify_loop.dir/edit_verify_loop.cpp.o.d"
+  "edit_verify_loop"
+  "edit_verify_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_verify_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edit_verify_loop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for edit_verify_loop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssh_server.dir/ssh_server.cpp.o"
+  "CMakeFiles/ssh_server.dir/ssh_server.cpp.o.d"
+  "ssh_server"
+  "ssh_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssh_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

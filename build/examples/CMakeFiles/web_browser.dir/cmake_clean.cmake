@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_browser.dir/web_browser.cpp.o"
+  "CMakeFiles/web_browser.dir/web_browser.cpp.o.d"
+  "web_browser"
+  "web_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/cmd.cc" "src/CMakeFiles/reflex.dir/ast/cmd.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/cmd.cc.o.d"
+  "/root/repo/src/ast/expr.cc" "src/CMakeFiles/reflex.dir/ast/expr.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/expr.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/reflex.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/reflex.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/types.cc" "src/CMakeFiles/reflex.dir/ast/types.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/types.cc.o.d"
+  "/root/repo/src/ast/validate.cc" "src/CMakeFiles/reflex.dir/ast/validate.cc.o" "gcc" "src/CMakeFiles/reflex.dir/ast/validate.cc.o.d"
+  "/root/repo/src/interp/evaluator.cc" "src/CMakeFiles/reflex.dir/interp/evaluator.cc.o" "gcc" "src/CMakeFiles/reflex.dir/interp/evaluator.cc.o.d"
+  "/root/repo/src/interp/runtime.cc" "src/CMakeFiles/reflex.dir/interp/runtime.cc.o" "gcc" "src/CMakeFiles/reflex.dir/interp/runtime.cc.o.d"
+  "/root/repo/src/interp/scripts.cc" "src/CMakeFiles/reflex.dir/interp/scripts.cc.o" "gcc" "src/CMakeFiles/reflex.dir/interp/scripts.cc.o.d"
+  "/root/repo/src/kernels/browser.cc" "src/CMakeFiles/reflex.dir/kernels/browser.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/browser.cc.o.d"
+  "/root/repo/src/kernels/browser2.cc" "src/CMakeFiles/reflex.dir/kernels/browser2.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/browser2.cc.o.d"
+  "/root/repo/src/kernels/browser3.cc" "src/CMakeFiles/reflex.dir/kernels/browser3.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/browser3.cc.o.d"
+  "/root/repo/src/kernels/car.cc" "src/CMakeFiles/reflex.dir/kernels/car.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/car.cc.o.d"
+  "/root/repo/src/kernels/kernels.cc" "src/CMakeFiles/reflex.dir/kernels/kernels.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/kernels.cc.o.d"
+  "/root/repo/src/kernels/scripts.cc" "src/CMakeFiles/reflex.dir/kernels/scripts.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/scripts.cc.o.d"
+  "/root/repo/src/kernels/ssh.cc" "src/CMakeFiles/reflex.dir/kernels/ssh.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/ssh.cc.o.d"
+  "/root/repo/src/kernels/ssh2.cc" "src/CMakeFiles/reflex.dir/kernels/ssh2.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/ssh2.cc.o.d"
+  "/root/repo/src/kernels/synthetic.cc" "src/CMakeFiles/reflex.dir/kernels/synthetic.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/synthetic.cc.o.d"
+  "/root/repo/src/kernels/webserver.cc" "src/CMakeFiles/reflex.dir/kernels/webserver.cc.o" "gcc" "src/CMakeFiles/reflex.dir/kernels/webserver.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/reflex.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/reflex.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/reflex.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/reflex.dir/parser/parser.cc.o.d"
+  "/root/repo/src/prop/check.cc" "src/CMakeFiles/reflex.dir/prop/check.cc.o" "gcc" "src/CMakeFiles/reflex.dir/prop/check.cc.o.d"
+  "/root/repo/src/prop/property.cc" "src/CMakeFiles/reflex.dir/prop/property.cc.o" "gcc" "src/CMakeFiles/reflex.dir/prop/property.cc.o.d"
+  "/root/repo/src/reflex/api.cc" "src/CMakeFiles/reflex.dir/reflex/api.cc.o" "gcc" "src/CMakeFiles/reflex.dir/reflex/api.cc.o.d"
+  "/root/repo/src/support/diagnostics.cc" "src/CMakeFiles/reflex.dir/support/diagnostics.cc.o" "gcc" "src/CMakeFiles/reflex.dir/support/diagnostics.cc.o.d"
+  "/root/repo/src/support/interner.cc" "src/CMakeFiles/reflex.dir/support/interner.cc.o" "gcc" "src/CMakeFiles/reflex.dir/support/interner.cc.o.d"
+  "/root/repo/src/support/json.cc" "src/CMakeFiles/reflex.dir/support/json.cc.o" "gcc" "src/CMakeFiles/reflex.dir/support/json.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/CMakeFiles/reflex.dir/support/strings.cc.o" "gcc" "src/CMakeFiles/reflex.dir/support/strings.cc.o.d"
+  "/root/repo/src/sym/solver.cc" "src/CMakeFiles/reflex.dir/sym/solver.cc.o" "gcc" "src/CMakeFiles/reflex.dir/sym/solver.cc.o.d"
+  "/root/repo/src/sym/symeval.cc" "src/CMakeFiles/reflex.dir/sym/symeval.cc.o" "gcc" "src/CMakeFiles/reflex.dir/sym/symeval.cc.o.d"
+  "/root/repo/src/sym/term.cc" "src/CMakeFiles/reflex.dir/sym/term.cc.o" "gcc" "src/CMakeFiles/reflex.dir/sym/term.cc.o.d"
+  "/root/repo/src/trace/action.cc" "src/CMakeFiles/reflex.dir/trace/action.cc.o" "gcc" "src/CMakeFiles/reflex.dir/trace/action.cc.o.d"
+  "/root/repo/src/trace/pattern.cc" "src/CMakeFiles/reflex.dir/trace/pattern.cc.o" "gcc" "src/CMakeFiles/reflex.dir/trace/pattern.cc.o.d"
+  "/root/repo/src/trace/value.cc" "src/CMakeFiles/reflex.dir/trace/value.cc.o" "gcc" "src/CMakeFiles/reflex.dir/trace/value.cc.o.d"
+  "/root/repo/src/verify/absreplay.cc" "src/CMakeFiles/reflex.dir/verify/absreplay.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/absreplay.cc.o.d"
+  "/root/repo/src/verify/behabs.cc" "src/CMakeFiles/reflex.dir/verify/behabs.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/behabs.cc.o.d"
+  "/root/repo/src/verify/bmc.cc" "src/CMakeFiles/reflex.dir/verify/bmc.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/bmc.cc.o.d"
+  "/root/repo/src/verify/certificate.cc" "src/CMakeFiles/reflex.dir/verify/certificate.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/certificate.cc.o.d"
+  "/root/repo/src/verify/checker.cc" "src/CMakeFiles/reflex.dir/verify/checker.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/checker.cc.o.d"
+  "/root/repo/src/verify/incremental.cc" "src/CMakeFiles/reflex.dir/verify/incremental.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/incremental.cc.o.d"
+  "/root/repo/src/verify/invariant.cc" "src/CMakeFiles/reflex.dir/verify/invariant.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/invariant.cc.o.d"
+  "/root/repo/src/verify/ni.cc" "src/CMakeFiles/reflex.dir/verify/ni.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/ni.cc.o.d"
+  "/root/repo/src/verify/prover.cc" "src/CMakeFiles/reflex.dir/verify/prover.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/prover.cc.o.d"
+  "/root/repo/src/verify/symexec.cc" "src/CMakeFiles/reflex.dir/verify/symexec.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/symexec.cc.o.d"
+  "/root/repo/src/verify/symstate.cc" "src/CMakeFiles/reflex.dir/verify/symstate.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/symstate.cc.o.d"
+  "/root/repo/src/verify/verifier.cc" "src/CMakeFiles/reflex.dir/verify/verifier.cc.o" "gcc" "src/CMakeFiles/reflex.dir/verify/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absreplay_test.dir/absreplay_test.cc.o"
+  "CMakeFiles/absreplay_test.dir/absreplay_test.cc.o.d"
+  "absreplay_test"
+  "absreplay_test.pdb"
+  "absreplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absreplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

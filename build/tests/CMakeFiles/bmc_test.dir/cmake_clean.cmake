@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_test.dir/bmc_test.cc.o"
+  "CMakeFiles/bmc_test.dir/bmc_test.cc.o.d"
+  "bmc_test"
+  "bmc_test.pdb"
+  "bmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_test.dir/mutation_test.cc.o"
+  "CMakeFiles/mutation_test.dir/mutation_test.cc.o.d"
+  "mutation_test"
+  "mutation_test.pdb"
+  "mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ni_test.dir/ni_test.cc.o"
+  "CMakeFiles/ni_test.dir/ni_test.cc.o.d"
+  "ni_test"
+  "ni_test.pdb"
+  "ni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

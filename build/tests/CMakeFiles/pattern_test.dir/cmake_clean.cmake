@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_test.dir/pattern_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern_test.cc.o.d"
+  "pattern_test"
+  "pattern_test.pdb"
+  "pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_check_test.dir/prop_check_test.cc.o"
+  "CMakeFiles/prop_check_test.dir/prop_check_test.cc.o.d"
+  "prop_check_test"
+  "prop_check_test.pdb"
+  "prop_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prover_test.dir/prover_test.cc.o"
+  "CMakeFiles/prover_test.dir/prover_test.cc.o.d"
+  "prover_test"
+  "prover_test.pdb"
+  "prover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

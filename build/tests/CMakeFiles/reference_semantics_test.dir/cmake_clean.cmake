@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_semantics_test.dir/reference_semantics_test.cc.o"
+  "CMakeFiles/reference_semantics_test.dir/reference_semantics_test.cc.o.d"
+  "reference_semantics_test"
+  "reference_semantics_test.pdb"
+  "reference_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symeval_test.dir/symeval_test.cc.o"
+  "CMakeFiles/symeval_test.dir/symeval_test.cc.o.d"
+  "symeval_test"
+  "symeval_test.pdb"
+  "symeval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symeval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symexec_test.dir/symexec_test.cc.o"
+  "CMakeFiles/symexec_test.dir/symexec_test.cc.o.d"
+  "symexec_test"
+  "symexec_test.pdb"
+  "symexec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symexec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_cli.dir/reflex_cli.cc.o"
+  "CMakeFiles/reflex_cli.dir/reflex_cli.cc.o.d"
+  "reflex"
+  "reflex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
