@@ -1,0 +1,238 @@
+//===- bench/bench_parallel.cc - Parallel + cached verification -----------===//
+//
+// The verification-service bench: all seven kernels (41 properties)
+// verified sequentially, then on N workers, then against a cold and a
+// warm persistent proof cache. Writes BENCH_parallel.json so later PRs
+// can track the perf trajectory.
+//
+// Correctness gates (exit non-zero on failure):
+//  * every parallel run's per-property statuses and reasons are identical
+//    to the sequential run's (the scheduler's determinism contract);
+//  * the warm-cache run serves every property from the cache, with every
+//    proved verdict re-validated by the certificate checker.
+//
+// Flags:
+//   --jobs N    largest worker count to measure (default 4; 0 = cores)
+//   --smoke     one repetition, no speedup expectations — the TSan
+//               harness uses this to race-check the service cheaply
+//   --out FILE  JSON output path (default BENCH_parallel.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "service/scheduler.h"
+#include "service/threadpool.h"
+#include "support/json.h"
+#include "support/timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace reflex;
+
+namespace {
+
+struct Suite {
+  std::vector<ProgramPtr> Owned;
+  std::vector<const Program *> Programs;
+};
+
+Suite loadSuite() {
+  Suite S;
+  for (const kernels::KernelDef *K : kernels::all()) {
+    S.Owned.push_back(kernels::load(*K));
+    S.Programs.push_back(S.Owned.back().get());
+  }
+  return S;
+}
+
+/// Statuses+reasons of a batch, flattened in deterministic order.
+std::vector<std::pair<std::string, std::string>>
+verdicts(const BatchOutcome &Out) {
+  std::vector<std::pair<std::string, std::string>> V;
+  for (const VerificationReport &R : Out.Reports)
+    for (const PropertyResult &PR : R.Results)
+      V.emplace_back(std::string(verifyStatusName(PR.Status)) + "/" + PR.Name,
+                     PR.Reason);
+  return V;
+}
+
+double minOverRuns(unsigned Runs, const std::vector<const Program *> &Programs,
+                   const SchedulerOptions &Opts, BatchOutcome *Last) {
+  double Best = -1;
+  for (unsigned I = 0; I < Runs; ++I) {
+    BatchOutcome Out = verifyPrograms(Programs, Opts);
+    if (Best < 0 || Out.TotalMillis < Best)
+      Best = Out.TotalMillis;
+    if (Last)
+      *Last = std::move(Out);
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned MaxJobs = 4;
+  bool Smoke = false;
+  std::string OutPath = "BENCH_parallel.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
+      MaxJobs = unsigned(std::stoul(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "usage: bench_parallel [--jobs N] [--smoke] "
+                           "[--out FILE]\n");
+      return 2;
+    }
+  }
+  if (MaxJobs == 0)
+    MaxJobs = ThreadPool::defaultWorkerCount();
+  const unsigned Runs = Smoke ? 1 : 3;
+
+  Suite S = loadSuite();
+  std::printf("=== Parallel verification service: %zu kernels, %u "
+              "properties ===\n\n",
+              S.Programs.size(), kernels::totalProperties());
+
+  // Sequential baseline.
+  SchedulerOptions Seq;
+  Seq.Jobs = 1;
+  BatchOutcome SeqOut;
+  double SeqMs = minOverRuns(Runs, S.Programs, Seq, &SeqOut);
+  auto SeqVerdicts = verdicts(SeqOut);
+  std::printf("%-24s %10.2f ms   (%u/%u proved)\n", "sequential (1 worker)",
+              SeqMs, SeqOut.provedCount(), SeqOut.propertyCount());
+
+  // Parallel sweep: 2, 4, ..., MaxJobs (dedup, ascending).
+  std::vector<unsigned> JobCounts;
+  for (unsigned J = 2; J < MaxJobs; J *= 2)
+    JobCounts.push_back(J);
+  if (MaxJobs >= 2)
+    JobCounts.push_back(MaxJobs);
+
+  struct ParallelRow {
+    unsigned Jobs;
+    double Ms;
+    double Speedup;
+  };
+  std::vector<ParallelRow> Rows;
+  bool Deterministic = true;
+  for (unsigned J : JobCounts) {
+    SchedulerOptions Par;
+    Par.Jobs = J;
+    BatchOutcome Out;
+    double Ms = minOverRuns(Runs, S.Programs, Par, &Out);
+    if (verdicts(Out) != SeqVerdicts) {
+      std::fprintf(stderr,
+                   "FAIL: %u-worker verdicts differ from sequential\n", J);
+      Deterministic = false;
+    }
+    double Speedup = Ms > 0 ? SeqMs / Ms : 0;
+    Rows.push_back({J, Ms, Speedup});
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "parallel (%u workers)", J);
+    std::printf("%-24s %10.2f ms   %.2fx\n", Label, Ms, Speedup);
+  }
+
+  // Proof cache: cold populate, then a warm run that must serve all 41
+  // verdicts from disk (proved ones re-checked by the checker).
+  std::filesystem::path CacheDir =
+      std::filesystem::temp_directory_path() /
+      ("reflex-bench-cache-" + std::to_string(::getpid()));
+  double ColdMs = 0, WarmMs = 0;
+  uint64_t WarmHits = 0, WarmRejected = 0;
+  bool WarmAllCached = false;
+  {
+    Result<std::unique_ptr<ProofCache>> Cache =
+        ProofCache::open(CacheDir.string());
+    if (!Cache.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", Cache.error().c_str());
+      return 1;
+    }
+    SchedulerOptions Cached;
+    Cached.Jobs = MaxJobs;
+    Cached.Cache = Cache->get();
+    BatchOutcome Cold = verifyPrograms(S.Programs, Cached);
+    ColdMs = Cold.TotalMillis;
+    BatchOutcome Warm = verifyPrograms(S.Programs, Cached);
+    WarmMs = Warm.TotalMillis;
+    WarmHits = Warm.CacheStats.Hits;
+    WarmRejected = Warm.CacheStats.Rejected;
+    WarmAllCached = WarmHits == Warm.propertyCount();
+    for (const VerificationReport &R : Warm.Reports)
+      for (const PropertyResult &PR : R.Results)
+        if (PR.Status == VerifyStatus::Proved && !PR.CertChecked)
+          WarmAllCached = false;
+    if (verdicts(Warm) != SeqVerdicts) {
+      std::fprintf(stderr, "FAIL: warm-cache verdicts differ from "
+                           "sequential\n");
+      Deterministic = false;
+    }
+    std::printf("%-24s %10.2f ms\n", "cache cold (populate)", ColdMs);
+    std::printf("%-24s %10.2f ms   %.2fx vs sequential, %llu/%u from "
+                "cache\n",
+                "cache warm", WarmMs, WarmMs > 0 ? SeqMs / WarmMs : 0,
+                (unsigned long long)WarmHits, Warm.propertyCount());
+  }
+  std::error_code EC;
+  std::filesystem::remove_all(CacheDir, EC);
+
+  // JSON trajectory record.
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "parallel");
+  W.field("smoke", Smoke);
+  W.field("kernels", int64_t(S.Programs.size()));
+  W.field("properties", int64_t(SeqOut.propertyCount()));
+  W.field("proved", int64_t(SeqOut.provedCount()));
+  W.key("sequential_ms");
+  W.value(SeqMs);
+  W.key("parallel");
+  W.beginArray();
+  for (const ParallelRow &R : Rows) {
+    W.beginObject();
+    W.field("jobs", int64_t(R.Jobs));
+    W.key("ms");
+    W.value(R.Ms);
+    W.key("speedup");
+    W.value(R.Speedup);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("cache");
+  W.beginObject();
+  W.key("cold_ms");
+  W.value(ColdMs);
+  W.key("warm_ms");
+  W.value(WarmMs);
+  W.key("warm_speedup_vs_sequential");
+  W.value(WarmMs > 0 ? SeqMs / WarmMs : 0);
+  W.field("warm_hits", int64_t(WarmHits));
+  W.field("warm_rejected", int64_t(WarmRejected));
+  W.field("warm_all_cached", WarmAllCached);
+  W.endObject();
+  W.field("deterministic", Deterministic);
+  W.endObject();
+  std::ofstream Out(OutPath);
+  Out << W.take() << "\n";
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  if (!Deterministic || !WarmAllCached) {
+    std::fprintf(stderr, "FAIL: %s\n",
+                 !Deterministic ? "nondeterministic verdicts"
+                                : "warm cache did not serve all verdicts");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,245 @@
+//===- service/proofcache.cc - Persistent content-addressed cache ---------===//
+
+#include "service/proofcache.h"
+
+#include "support/json.h"
+#include "support/sha256.h"
+#include "support/timer.h"
+#include "verify/checker.h"
+#include "verify/incremental.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace reflex {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Bumped whenever the entry layout or the canonical certificate form
+/// changes; old entries become misses, not parse errors.
+constexpr int64_t EntryVersion = 1;
+
+} // namespace
+
+Result<std::unique_ptr<ProofCache>> ProofCache::open(const std::string &Dir) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return Error("cannot create cache directory '" + Dir +
+                 "': " + EC.message());
+  // Probe writability now so a read-only directory fails loudly at open
+  // time rather than silently degrading every store.
+  fs::path Probe = fs::path(Dir) / ".probe";
+  {
+    std::ofstream Out(Probe);
+    if (!Out)
+      return Error("cache directory '" + Dir + "' is not writable");
+  }
+  fs::remove(Probe, EC);
+  return std::unique_ptr<ProofCache>(new ProofCache(Dir));
+}
+
+std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
+  std::ostringstream OS;
+  OS << "skip=" << Opts.SyntacticSkip << ";inv-cache=" << Opts.CacheInvariants
+     << ";simplify=" << Opts.Simplify << ";check=" << Opts.CheckCertificates
+     << ";bmc=" << Opts.BmcDepthOnUnknown
+     << ";max-disjuncts=" << Opts.Limits.MaxDisjuncts
+     << ";max-paths=" << Opts.Limits.MaxPaths;
+  return OS.str();
+}
+
+std::string ProofCache::keyFor(const std::string &CodeFingerprint,
+                               const Property &Prop,
+                               const VerifyOptions &Opts) {
+  Sha256 H;
+  H.updateField(CodeFingerprint);
+  H.updateField(Prop.str());
+  H.updateField(optionsFingerprint(Opts));
+  return H.hexDigest();
+}
+
+std::string ProofCache::pathFor(const std::string &Key) const {
+  return (fs::path(Dir) / (Key + ".json")).string();
+}
+
+std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
+  std::ifstream In(pathFor(Key));
+  if (!In)
+    return std::nullopt;
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  Result<JsonValue> Doc = parseJson(SS.str());
+  if (!Doc.ok() || !Doc->isObject())
+    return std::nullopt;
+  if (int64_t(Doc->getNumber("version", 0)) != EntryVersion)
+    return std::nullopt;
+
+  ProofCacheEntry E;
+  std::string Status = Doc->getString("status");
+  if (Status == verifyStatusName(VerifyStatus::Proved))
+    E.Status = VerifyStatus::Proved;
+  else if (Status == verifyStatusName(VerifyStatus::Unknown))
+    E.Status = VerifyStatus::Unknown;
+  else
+    return std::nullopt; // Refuted is never cached; anything else is junk.
+  E.Reason = Doc->getString("reason");
+  E.Millis = Doc->getNumber("millis", 0);
+  E.CertChecked = Doc->getBool("cert_checked", false);
+  E.CanonicalCert = Doc->getString("canonical_cert");
+  E.CertJson = Doc->getString("cert_json");
+  if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
+    return std::nullopt; // a proved entry without its proof is unusable
+  return E;
+}
+
+Result<void> ProofCache::store(const std::string &Key,
+                               const ProofCacheEntry &Entry,
+                               const std::string &ProgramName,
+                               const std::string &PropertyName) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("version", EntryVersion);
+  W.field("program", ProgramName);
+  W.field("property", PropertyName);
+  W.field("status", verifyStatusName(Entry.Status));
+  W.field("reason", Entry.Reason);
+  W.key("millis");
+  W.value(Entry.Millis);
+  W.field("cert_checked", Entry.CertChecked);
+  W.field("canonical_cert", Entry.CanonicalCert);
+  W.field("cert_json", Entry.CertJson);
+  W.endObject();
+
+  // Atomic publish: write a per-thread temp file, then rename over the
+  // final path. Readers either see the old entry or the complete new one.
+  std::string Final = pathFor(Key);
+  std::ostringstream TmpName;
+  TmpName << Final << ".tmp." << std::this_thread::get_id();
+  {
+    std::ofstream Out(TmpName.str(), std::ios::trunc);
+    if (!Out)
+      return Error("cannot write cache entry '" + TmpName.str() + "'");
+    Out << W.take() << "\n";
+    if (!Out.good())
+      return Error("short write on cache entry '" + TmpName.str() + "'");
+  }
+  std::error_code EC;
+  fs::rename(TmpName.str(), Final, EC);
+  if (EC) {
+    fs::remove(TmpName.str(), EC);
+    return Error("cannot publish cache entry '" + Final + "'");
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Stores;
+  }
+  return {};
+}
+
+ProofCache::Stats ProofCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+void ProofCache::noteHit() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Hits;
+}
+
+void ProofCache::noteMiss() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Misses;
+}
+
+void ProofCache::noteRejected() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Rejected;
+}
+
+PropertyResult verifyPropertyCached(VerifySession &Session,
+                                    const Property &Prop, ProofCache *Cache,
+                                    const std::string &CodeFingerprint) {
+  if (!Cache)
+    return Session.verify(Prop);
+
+  const VerifyOptions &Opts = Session.options();
+  std::string CodeFP = CodeFingerprint.empty()
+                           ? codeFingerprint(Session.program())
+                           : CodeFingerprint;
+  std::string Key = ProofCache::keyFor(CodeFP, Prop, Opts);
+
+  if (std::optional<ProofCacheEntry> E = Cache->lookup(Key)) {
+    WallTimer Timer;
+    if (E->Status == VerifyStatus::Unknown) {
+      // Reusing "the automation could not prove this" needs no proof
+      // object; the key ties it to the exact code/property/options.
+      PropertyResult R;
+      R.Name = Prop.Name;
+      R.Status = VerifyStatus::Unknown;
+      R.Reason = std::move(E->Reason);
+      R.CacheHit = true;
+      R.Millis = Timer.elapsedMillis();
+      Cache->noteHit();
+      return R;
+    }
+    // Proved. The entry is untrusted: re-derive in this session and
+    // require the canonical forms to agree (the checker is the trust
+    // anchor, exactly as for freshly produced certificates).
+    if (!Opts.CheckCertificates) {
+      PropertyResult R;
+      R.Name = Prop.Name;
+      R.Status = VerifyStatus::Proved;
+      R.CertJson = std::move(E->CertJson);
+      R.CertChecked = false;
+      R.CacheHit = true;
+      R.Millis = Timer.elapsedMillis();
+      Cache->noteHit();
+      return R;
+    }
+    RecheckOutcome Chk = checkCanonicalCertificate(
+        Session.termContext(), Session.program(), Session.behAbs(), Prop,
+        E->CanonicalCert, proverOptions(Opts));
+    if (Chk.Ok) {
+      PropertyResult R;
+      R.Name = Prop.Name;
+      R.Status = VerifyStatus::Proved;
+      R.Cert = std::move(Chk.Rederived);
+      R.CertJson = R.Cert.toJson(Session.termContext());
+      R.CertChecked = true;
+      R.CacheHit = true;
+      R.Millis = Timer.elapsedMillis();
+      Cache->noteHit();
+      return R;
+    }
+    // Tampered/corrupt/stale: fall through to a full verification, which
+    // will overwrite the entry.
+    Cache->noteRejected();
+  } else {
+    Cache->noteMiss();
+  }
+
+  PropertyResult R = Session.verify(Prop);
+  if (R.Status == VerifyStatus::Proved || R.Status == VerifyStatus::Unknown) {
+    ProofCacheEntry E;
+    E.Status = R.Status;
+    E.Reason = R.Reason;
+    E.Millis = R.Millis;
+    E.CertChecked = R.CertChecked;
+    if (R.Status == VerifyStatus::Proved) {
+      E.CanonicalCert = R.Cert.canonical(Session.termContext());
+      E.CertJson = R.CertJson;
+    }
+    // Store failures are non-fatal: the cache is an accelerator, the
+    // verdict in hand is what matters.
+    (void)Cache->store(Key, E, Session.program().Name, Prop.Name);
+  }
+  return R;
+}
+
+} // namespace reflex

@@ -1,0 +1,143 @@
+//===- service/proofcache.h - Persistent content-addressed cache -*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk proof cache behind `reflex verify --cache-dir` and the
+/// incremental verifier: verdicts keyed by SHA-256 of
+///
+///     codeFingerprint(P)  +  property text  +  canonical VerifyOptions
+///
+/// so a cache entry can only be found by the exact (kernel, property,
+/// options) triple that produced it. Entries store the status, reason,
+/// original timing, and — for proved properties — the certificate in two
+/// renderings: the audit JSON (Certificate::toJson) and the canonical
+/// form (Certificate::canonical) the checker compares.
+///
+/// Trust model (the paper's de Bruijn criterion, extended across process
+/// boundaries): the cache is *untrusted*. Certificates reference
+/// hash-consed terms, so a cached proof cannot be rehydrated into a live
+/// session; instead, a hit for a proved property is only served after
+/// checkCanonicalCertificate re-runs the deterministic derivation in the
+/// live session and confirms its canonical form matches the cached
+/// certificate byte-for-byte. A corrupt, tampered, or simply stale entry
+/// fails that comparison and the property is re-verified in full (and the
+/// entry overwritten). What a warm hit buys is skipping the independent
+/// checker pass (the comparison subsumes it) and skipping BMC refutation
+/// searches for cached Unknowns — and, through the incremental verifier,
+/// carrying verdicts across process restarts.
+///
+/// Thread safety: all public methods are safe to call concurrently (the
+/// scheduler's workers share one ProofCache). Writes are atomic
+/// (temp-file + rename), so concurrent processes sharing a cache
+/// directory at worst duplicate work, never read torn entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SERVICE_PROOFCACHE_H
+#define REFLEX_SERVICE_PROOFCACHE_H
+
+#include "support/result.h"
+#include "verify/verifier.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace reflex {
+
+/// One cached verdict, as read from disk. Refuted verdicts are never
+/// cached (their counterexample traces reference a live runtime; BMC is
+/// cheap to re-run relative to proofs), so Status is Proved or Unknown.
+struct ProofCacheEntry {
+  VerifyStatus Status = VerifyStatus::Unknown;
+  std::string Reason;
+  /// Wall-clock of the original (cold) verification, for reporting.
+  double Millis = 0;
+  bool CertChecked = false;
+  /// Proved only: canonical certificate (what the checker compares).
+  std::string CanonicalCert;
+  /// Proved only: audit JSON (what --certs exports on an unchecked hit).
+  std::string CertJson;
+};
+
+/// A persistent content-addressed store of verification verdicts.
+class ProofCache {
+public:
+  /// Opens (creating if needed) a cache rooted at \p Dir.
+  static Result<std::unique_ptr<ProofCache>> open(const std::string &Dir);
+
+  const std::string &directory() const { return Dir; }
+
+  /// The canonical serialization of the options that shape proofs and
+  /// certificates. Part of the key: an entry produced under different
+  /// options is a different proof.
+  static std::string optionsFingerprint(const VerifyOptions &Opts);
+
+  /// The content-addressed key (64 hex chars). \p CodeFingerprint is
+  /// codeFingerprint(P) — computed once per program by callers, since it
+  /// renders the whole kernel.
+  static std::string keyFor(const std::string &CodeFingerprint,
+                            const Property &Prop, const VerifyOptions &Opts);
+
+  /// Reads the entry for \p Key. Missing, unparsable, or
+  /// version-mismatched files are misses.
+  std::optional<ProofCacheEntry> lookup(const std::string &Key);
+
+  /// Atomically writes the entry for \p Key. \p ProgramName and
+  /// \p PropertyName are stored for human auditing only.
+  Result<void> store(const std::string &Key, const ProofCacheEntry &Entry,
+                     const std::string &ProgramName,
+                     const std::string &PropertyName);
+
+  /// Cumulative traffic counters (process-lifetime, all threads).
+  struct Stats {
+    uint64_t Hits = 0;     ///< entry found and (for Proved) re-validated
+    uint64_t Misses = 0;   ///< no usable entry
+    uint64_t Stores = 0;   ///< entries written
+    uint64_t Rejected = 0; ///< entries the checker refused (tampering,
+                           ///< corruption, or a stale fingerprint match)
+  };
+  Stats stats() const;
+
+  // Traffic accounting, called by verifyPropertyCached.
+  void noteHit();
+  void noteMiss();
+  void noteRejected();
+
+private:
+  explicit ProofCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  std::string pathFor(const std::string &Key) const;
+
+  std::string Dir;
+  mutable std::mutex Mu;
+  Stats S;
+};
+
+/// Cache-aware verification of one property in \p Session:
+///
+///  * \p Cache == nullptr — plain Session.verify(Prop);
+///  * miss — full verification, then the verdict is stored;
+///  * hit, Proved — checkCanonicalCertificate re-derives the proof in the
+///    session and compares; on success the result carries the re-derived
+///    (live) certificate with CertChecked = CacheHit = true. Rejection
+///    falls back to full verification and overwrites the entry. When the
+///    session's options disable certificate checking, the hit is served
+///    without re-validation (matching the user's chosen trust level);
+///  * hit, Unknown — status and reason are reused directly.
+///
+/// \p CodeFingerprint must be codeFingerprint(Session.program()), or
+/// empty to have it computed here (callers verifying many properties
+/// should precompute it).
+PropertyResult verifyPropertyCached(VerifySession &Session,
+                                    const Property &Prop, ProofCache *Cache,
+                                    const std::string &CodeFingerprint = {});
+
+} // namespace reflex
+
+#endif // REFLEX_SERVICE_PROOFCACHE_H

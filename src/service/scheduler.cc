@@ -1,0 +1,168 @@
+//===- service/scheduler.cc - Parallel verification scheduling ------------===//
+
+#include "service/scheduler.h"
+
+#include "service/threadpool.h"
+#include "support/timer.h"
+#include "verify/incremental.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+namespace reflex {
+
+bool BatchOutcome::allProved() const {
+  for (const VerificationReport &R : Reports)
+    if (!R.allProved())
+      return false;
+  return !Reports.empty();
+}
+
+unsigned BatchOutcome::provedCount() const {
+  unsigned N = 0;
+  for (const VerificationReport &R : Reports)
+    N += R.provedCount();
+  return N;
+}
+
+unsigned BatchOutcome::propertyCount() const {
+  unsigned N = 0;
+  for (const VerificationReport &R : Reports)
+    N += unsigned(R.Results.size());
+  return N;
+}
+
+namespace {
+
+/// One schedulable unit: a property of a program.
+struct Job {
+  size_t ProgIdx;
+  size_t PropIdx;
+};
+
+/// Work counters a worker's session contributes to a program's report.
+struct WorkCounters {
+  size_t TermCount = 0;
+  uint64_t SolverQueries = 0;
+  uint64_t InvariantCacheHits = 0;
+};
+
+} // namespace
+
+BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
+                            const SchedulerOptions &Opts) {
+  BatchOutcome Out;
+  WallTimer Timer;
+
+  ProofCache::Stats Before;
+  if (Opts.Cache)
+    Before = Opts.Cache->stats();
+
+  // Jobs in declaration order; per-program code fingerprints computed once
+  // (they render the whole kernel).
+  std::vector<Job> Jobs;
+  std::vector<std::string> CodeFPs(Programs.size());
+  for (size_t PI = 0; PI < Programs.size(); ++PI) {
+    if (Opts.Cache)
+      CodeFPs[PI] = codeFingerprint(*Programs[PI]);
+    for (size_t I = 0; I < Programs[PI]->Properties.size(); ++I)
+      Jobs.push_back({PI, I});
+  }
+
+  // Result slots: each is written by exactly one worker; the pool's
+  // wait() barrier publishes them to this thread.
+  std::vector<std::vector<PropertyResult>> Slots(Programs.size());
+  for (size_t PI = 0; PI < Programs.size(); ++PI)
+    Slots[PI].resize(Programs[PI]->Properties.size());
+
+  std::atomic<size_t> NextJob{0};
+  std::mutex CountersMu;
+  std::vector<WorkCounters> Counters(Programs.size());
+
+  unsigned Workers = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultWorkerCount();
+  // Never spawn more workers than jobs: an idle worker would still build
+  // nothing, but the clamp keeps session counts (and TSan schedules) tidy.
+  if (size_t(Workers) > Jobs.size() && !Jobs.empty())
+    Workers = unsigned(Jobs.size());
+  if (Workers == 0)
+    Workers = 1;
+
+  auto WorkerBody = [&] {
+    // Private sessions: TermContext / solver memo / invariant cache are
+    // not thread-safe and must never be shared across workers.
+    std::map<size_t, std::unique_ptr<VerifySession>> Sessions;
+    for (;;) {
+      size_t J = NextJob.fetch_add(1, std::memory_order_relaxed);
+      if (J >= Jobs.size())
+        break;
+      const Job &Jb = Jobs[J];
+      const Program &P = *Programs[Jb.ProgIdx];
+      std::unique_ptr<VerifySession> &Session = Sessions[Jb.ProgIdx];
+      if (!Session)
+        Session = std::make_unique<VerifySession>(P, Opts.Verify);
+      Slots[Jb.ProgIdx][Jb.PropIdx] = verifyPropertyCached(
+          *Session, P.Properties[Jb.PropIdx], Opts.Cache, CodeFPs[Jb.ProgIdx]);
+    }
+    // Contribute this worker's session counters before exiting.
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    for (const auto &[ProgIdx, Session] : Sessions) {
+      WorkCounters &C = Counters[ProgIdx];
+      C.TermCount += Session->termContext().termCount();
+      C.SolverQueries += Session->solverQueries();
+      C.InvariantCacheHits += Session->invariantCacheHits();
+    }
+  };
+
+  if (Workers == 1) {
+    // Degenerate case: run inline; no pool, no synchronization.
+    WorkerBody();
+  } else {
+    ThreadPool Pool(Workers);
+    for (unsigned I = 0; I < Workers; ++I)
+      Pool.post(WorkerBody);
+    Pool.wait();
+  }
+
+  // Deterministic merge: input order, declaration order, counters summed.
+  Out.Reports.resize(Programs.size());
+  for (size_t PI = 0; PI < Programs.size(); ++PI) {
+    VerificationReport &R = Out.Reports[PI];
+    R.ProgramName = Programs[PI]->Name;
+    R.Results = std::move(Slots[PI]);
+    for (const PropertyResult &PR : R.Results) {
+      R.TotalMillis += PR.Millis;
+      if (Opts.Cache) {
+        if (PR.CacheHit)
+          ++R.ProofCacheHits;
+        else
+          ++R.ProofCacheMisses;
+      }
+    }
+    R.TermCount = Counters[PI].TermCount;
+    R.SolverQueries = Counters[PI].SolverQueries;
+    R.InvariantCacheHits = Counters[PI].InvariantCacheHits;
+  }
+
+  if (Opts.Cache) {
+    ProofCache::Stats After = Opts.Cache->stats();
+    Out.CacheStats.Hits = After.Hits - Before.Hits;
+    Out.CacheStats.Misses = After.Misses - Before.Misses;
+    Out.CacheStats.Stores = After.Stores - Before.Stores;
+    Out.CacheStats.Rejected = After.Rejected - Before.Rejected;
+  }
+  Out.TotalMillis = Timer.elapsedMillis();
+  return Out;
+}
+
+VerificationReport verifyParallel(const Program &P,
+                                  const SchedulerOptions &Opts) {
+  BatchOutcome Out = verifyPrograms({&P}, Opts);
+  VerificationReport R = std::move(Out.Reports.front());
+  // For a single program the batch wall clock *is* the program's wall
+  // clock; report it the way verifyAll does.
+  R.TotalMillis = Out.TotalMillis;
+  return R;
+}
+
+} // namespace reflex

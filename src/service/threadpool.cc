@@ -1,0 +1,77 @@
+//===- service/threadpool.cc - Fixed-size worker pool -----------*- C++ -*-===//
+
+#include "service/threadpool.h"
+
+namespace reflex {
+
+unsigned ThreadPool::defaultWorkerCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 2;
+}
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = defaultWorkerCount();
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::post(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping)
+      return false;
+    Queue.push(std::move(Task));
+  }
+  WorkReady.notify_one();
+  return true;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Drained.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping && Threads.empty())
+      return;
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        // Stopping and nothing left: exit after the queue drains so
+        // shutdown never abandons accepted work.
+        return;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop();
+      ++InFlight;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        Drained.notify_all();
+    }
+  }
+}
+
+} // namespace reflex

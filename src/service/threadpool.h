@@ -1,0 +1,83 @@
+//===- service/threadpool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool in the house style: no exceptions
+/// escape the library (tasks are required not to throw; the pool itself
+/// reports setup failure via Result<T>), explicit lifetime, no global
+/// state. The verification scheduler (service/scheduler.h) posts one
+/// long-lived pull-loop task per worker; the pool is deliberately minimal
+/// — a queue, a set of joinable threads, and a drain barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SERVICE_THREADPOOL_H
+#define REFLEX_SERVICE_THREADPOOL_H
+
+#include "support/result.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reflex {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+///
+/// Invariants:
+///  * tasks must not throw (library code is exception-free; a throwing
+///    task would cross a thread boundary and terminate);
+///  * post() after shutdown() is rejected (returns false) instead of
+///    asserting, so racing producers have an error path;
+///  * the destructor drains the queue and joins every worker.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (clamped to at least 1). \p Workers == 0
+  /// means "hardware concurrency".
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. Returns false (and drops the task) when the pool
+  /// has been shut down.
+  bool post(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and every in-flight task finished.
+  /// Tasks posted while wait() blocks are waited for too.
+  void wait();
+
+  /// Stops accepting work, drains already-queued tasks, and joins all
+  /// workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  unsigned workerCount() const { return unsigned(Threads.size()); }
+
+  /// The pool size the scheduler uses for "--jobs 0": hardware
+  /// concurrency, with a sane floor when the runtime reports 0.
+  static unsigned defaultWorkerCount();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable WorkReady; // workers sleep here
+  std::condition_variable Drained;   // wait() sleeps here
+  std::queue<std::function<void()>> Queue;
+  size_t InFlight = 0; // tasks popped but not yet finished
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SERVICE_THREADPOOL_H

@@ -4,7 +4,10 @@
 
 #include "support/strings.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace reflex {
 
@@ -81,6 +84,301 @@ void JsonWriter::value(bool V) {
 void JsonWriter::nullValue() {
   prepareValue();
   Buffer += "null";
+}
+
+//===----------------------------------------------------------------------===
+// Parsing
+//===----------------------------------------------------------------------===
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Val] : Entries)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+std::string JsonValue::getString(std::string_view Key,
+                                 std::string Default) const {
+  const JsonValue *V = get(Key);
+  return V && V->isString() ? V->stringValue() : std::move(Default);
+}
+
+double JsonValue::getNumber(std::string_view Key, double Default) const {
+  const JsonValue *V = get(Key);
+  return V && V->isNumber() ? V->numberValue() : Default;
+}
+
+bool JsonValue::getBool(std::string_view Key, bool Default) const {
+  const JsonValue *V = get(Key);
+  return V && V->isBool() ? V->boolValue() : Default;
+}
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.Flag = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> Xs) {
+  JsonValue V;
+  V.K = Kind::Array;
+  V.Items = std::move(Xs);
+  return V;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> Es) {
+  JsonValue V;
+  V.K = Kind::Object;
+  V.Entries = std::move(Es);
+  return V;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view. Depth-capped so a
+/// hostile cache entry cannot blow the stack.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  Result<JsonValue> parse() {
+    Result<JsonValue> V = parseValue(0);
+    if (!V.ok())
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing characters after document");
+    return V;
+  }
+
+private:
+  static constexpr size_t MaxDepth = 64;
+
+  Error err(const std::string &Msg) {
+    return Error("json: " + Msg + " at offset " + std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) == W) {
+      Pos += W.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parseValue(size_t Depth) {
+    if (Depth > MaxDepth)
+      return err("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"') {
+      Result<std::string> S = parseString();
+      if (!S.ok())
+        return Error(S.error());
+      return JsonValue::makeString(S.take());
+    }
+    if (consumeWord("true"))
+      return JsonValue::makeBool(true);
+    if (consumeWord("false"))
+      return JsonValue::makeBool(false);
+    if (consumeWord("null"))
+      return JsonValue::makeNull();
+    return parseNumber();
+  }
+
+  Result<JsonValue> parseObject(size_t Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, JsonValue>> Entries;
+    skipWs();
+    if (consume('}'))
+      return JsonValue::makeObject(std::move(Entries));
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return err("expected object key");
+      Result<std::string> Key = parseString();
+      if (!Key.ok())
+        return Error(Key.error());
+      skipWs();
+      if (!consume(':'))
+        return err("expected ':'");
+      Result<JsonValue> Val = parseValue(Depth + 1);
+      if (!Val.ok())
+        return Val;
+      Entries.emplace_back(Key.take(), Val.take());
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return JsonValue::makeObject(std::move(Entries));
+      return err("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> parseArray(size_t Depth) {
+    ++Pos; // '['
+    std::vector<JsonValue> Items;
+    skipWs();
+    if (consume(']'))
+      return JsonValue::makeArray(std::move(Items));
+    for (;;) {
+      Result<JsonValue> Val = parseValue(Depth + 1);
+      if (!Val.ok())
+        return Val;
+      Items.push_back(Val.take());
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return JsonValue::makeArray(std::move(Items));
+      return err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> parseString() {
+    ++Pos; // opening quote
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return err("bad \\u escape");
+        }
+        // UTF-8 encode the code point (surrogate pairs are not combined;
+        // the writer never emits them).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xc0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3f));
+        } else {
+          Out += char(0xe0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3f));
+          Out += char(0x80 | (Code & 0x3f));
+        }
+        break;
+      }
+      default:
+        return err("bad escape character");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    (void)consume('-');
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    errno = 0;
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size() || errno == ERANGE) {
+      Pos = Start;
+      return err("malformed number");
+    }
+    return JsonValue::makeNumber(V);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Result<JsonValue> parseJson(std::string_view Text) {
+  return JsonParser(Text).parse();
 }
 
 } // namespace reflex

@@ -7,17 +7,24 @@
 ///
 /// \file
 /// A minimal streaming JSON writer used to export proof certificates and
-/// bench results. Write-only; no parsing (nothing in the system consumes
-/// JSON, it is an audit artifact).
+/// bench results, plus a small recursive-descent parser (JsonValue /
+/// parseJson) used by the persistent proof cache to read its own entries
+/// back. The parser accepts standard JSON and is the inverse of the
+/// writer; it exists for cache entries and tooling, not as a general
+/// interchange layer.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REFLEX_SUPPORT_JSON_H
 #define REFLEX_SUPPORT_JSON_H
 
+#include "support/result.h"
+
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace reflex {
@@ -77,6 +84,62 @@ private:
   std::vector<bool> NeedComma;
   bool PendingKey = false;
 };
+
+/// A parsed JSON document node. Objects preserve key order (entries are
+/// stored as a vector of pairs); duplicate keys keep the first occurrence
+/// on lookup.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return Flag; }
+  double numberValue() const { return Num; }
+  const std::string &stringValue() const { return Str; }
+  const std::vector<JsonValue> &items() const { return Items; }
+  const std::vector<std::pair<std::string, JsonValue>> &entries() const {
+    return Entries;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(std::string_view Key) const;
+
+  /// Typed convenience getters for object members, with defaults.
+  std::string getString(std::string_view Key,
+                        std::string Default = "") const;
+  double getNumber(std::string_view Key, double Default = 0) const;
+  bool getBool(std::string_view Key, bool Default = false) const;
+
+  // Construction (used by the parser; callers normally only read).
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray(std::vector<JsonValue> Xs);
+  static JsonValue
+  makeObject(std::vector<std::pair<std::string, JsonValue>> Es);
+
+private:
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Entries;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Errors carry a byte offset.
+Result<JsonValue> parseJson(std::string_view Text);
 
 } // namespace reflex
 

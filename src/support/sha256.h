@@ -1,0 +1,59 @@
+//===- support/sha256.h - SHA-256 content hashing ---------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained SHA-256 (FIPS 180-4) implementation used to derive
+/// content-addressed keys for the persistent proof cache
+/// (service/proofcache.h). Collision resistance is what makes "same key
+/// => same (code, property, options)" a sound cache assumption; the cache
+/// additionally re-validates hits with the certificate checker, so even a
+/// collision (or a tampered entry) cannot smuggle in a wrong verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_SHA256_H
+#define REFLEX_SUPPORT_SHA256_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reflex {
+
+/// Incremental SHA-256 hasher. Feed data with update(), finish with
+/// hexDigest(). A default-constructed hasher is ready to use.
+class Sha256 {
+public:
+  Sha256();
+
+  /// Absorbs \p Data. May be called repeatedly.
+  void update(std::string_view Data);
+
+  /// Convenience for hashing length-delimited fields: absorbs the length
+  /// followed by the bytes, so concatenation ambiguities ("ab"+"c" vs
+  /// "a"+"bc") produce distinct digests.
+  void updateField(std::string_view Data);
+
+  /// Finalizes and returns the 64-character lowercase hex digest. The
+  /// hasher must not be used afterwards.
+  std::string hexDigest();
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes = 0;
+  uint8_t Buf[64];
+  size_t BufLen = 0;
+};
+
+/// One-shot convenience: the hex SHA-256 of \p Data.
+std::string sha256Hex(std::string_view Data);
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_SHA256_H

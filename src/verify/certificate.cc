@@ -68,20 +68,27 @@ void writeLits(JsonWriter &W, const TermContext &Ctx,
 
 } // namespace
 
-std::string Certificate::toJson(const TermContext &Ctx) const {
+namespace {
+
+/// Shared body of toJson and canonical. \p Audit adds the fields that are
+/// for human consumption only (program name, NI notes); the canonical
+/// form omits them so it contains exactly what certsEqual compares.
+std::string renderCertificate(const Certificate &Cert, const TermContext &Ctx,
+                              bool Audit) {
   JsonWriter W;
   W.beginObject();
-  W.field("program", ProgramName);
-  W.field("property", PropertyName);
-  W.field("kind", Kind);
+  if (Audit)
+    W.field("program", Cert.ProgramName);
+  W.field("property", Cert.PropertyName);
+  W.field("kind", Cert.Kind);
   W.key("steps");
   W.beginArray();
-  for (const ProofStep &S : Steps)
+  for (const ProofStep &S : Cert.Steps)
     writeStep(W, Ctx, S);
   W.endArray();
   W.key("invariants");
   W.beginArray();
-  for (const InvariantRecord &Inv : Invariants) {
+  for (const InvariantRecord &Inv : Cert.Invariants) {
     W.beginObject();
     W.field("id", static_cast<int64_t>(Inv.Id));
     W.field("forbids", Inv.Forbids);
@@ -96,17 +103,17 @@ std::string Certificate::toJson(const TermContext &Ctx) const {
     W.endObject();
   }
   W.endArray();
-  if (!NICases.empty()) {
+  if (!Cert.NICases.empty()) {
     W.key("ni_cases");
     W.beginArray();
-    for (const NICaseRecord &C : NICases) {
+    for (const NICaseRecord &C : Cert.NICases) {
       W.beginObject();
       W.field("where", C.Where);
       W.field("path", static_cast<int64_t>(C.PathIndex));
       W.field("sender_high", C.SenderHigh);
       W.key("label_lits");
       writeLits(W, Ctx, C.LabelLits);
-      if (!C.Note.empty())
+      if (Audit && !C.Note.empty())
         W.field("note", C.Note);
       W.endObject();
     }
@@ -114,6 +121,16 @@ std::string Certificate::toJson(const TermContext &Ctx) const {
   }
   W.endObject();
   return W.take();
+}
+
+} // namespace
+
+std::string Certificate::toJson(const TermContext &Ctx) const {
+  return renderCertificate(*this, Ctx, /*Audit=*/true);
+}
+
+std::string Certificate::canonical(const TermContext &Ctx) const {
+  return renderCertificate(*this, Ctx, /*Audit=*/false);
 }
 
 } // namespace reflex

@@ -121,6 +121,15 @@ struct Certificate {
 
   /// JSON export for auditing.
   std::string toJson(const TermContext &Ctx) const;
+
+  /// Canonical serialization: a deterministic JSON rendering of exactly
+  /// the fields the checker compares (verify/checker.cc's certsEqual) —
+  /// no program name, no free-form notes. Two certificates produced by
+  /// the deterministic prover for the same (program, property, options)
+  /// have identical canonical forms, which is what the persistent proof
+  /// cache stores and what checkCanonicalCertificate compares against a
+  /// fresh re-derivation.
+  std::string canonical(const TermContext &Ctx) const;
 };
 
 } // namespace reflex

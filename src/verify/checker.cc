@@ -112,4 +112,40 @@ CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
   return Out;
 }
 
+RecheckOutcome checkCanonicalCertificate(TermContext &Ctx, const Program &P,
+                                         const BehAbs &Abs,
+                                         const Property &Prop,
+                                         const std::string &Canonical,
+                                         const ProverOptions &Opts) {
+  RecheckOutcome Out;
+
+  // Fresh solver and invariant cache: the cached certificate gets the same
+  // from-scratch re-derivation checkCertificate performs.
+  Solver FreshSolv(Ctx);
+  if (Prop.isTrace()) {
+    InvariantCache FreshCache;
+    TraceProofOutcome Redo =
+        proveTraceProperty(Ctx, FreshSolv, P, Abs, Prop, Opts, FreshCache);
+    if (!Redo.Proved) {
+      Out.Why = "re-derivation failed: " + Redo.Reason;
+      return Out;
+    }
+    Out.Rederived = std::move(Redo.Cert);
+  } else {
+    NIProofOutcome Redo = proveNonInterference(Ctx, FreshSolv, P, Abs, Prop);
+    if (!Redo.Proved) {
+      Out.Why = "re-derivation failed: " + Redo.Reason;
+      return Out;
+    }
+    Out.Rederived = std::move(Redo.Cert);
+  }
+  Out.RederivedProved = true;
+  if (Out.Rederived.canonical(Ctx) != Canonical) {
+    Out.Why = "cached certificate differs from re-derivation";
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
 } // namespace reflex

@@ -40,6 +40,32 @@ CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
                               const Certificate &Cert,
                               const ProverOptions &Opts);
 
+/// Outcome of re-validating a *serialized* certificate (a cached one: the
+/// originating session is gone, so only its canonical rendering survives).
+struct RecheckOutcome {
+  bool Ok = false;
+  std::string Why;
+  /// The freshly re-derived certificate (valid when the re-derivation
+  /// proved the property, whether or not it matched the cached form). Its
+  /// terms live in the TermContext passed to checkCanonicalCertificate.
+  Certificate Rederived;
+  bool RederivedProved = false;
+};
+
+/// The persistent proof cache's trust anchor: re-derives the proof of
+/// \p Prop from scratch (fresh solver, fresh invariant cache — exactly
+/// like checkCertificate) and accepts iff the re-derivation's canonical
+/// serialization equals \p Canonical (Certificate::canonical). Because
+/// structural certificate equality coincides with canonical-form equality,
+/// this is checkCertificate lifted to certificates that crossed a process
+/// boundary; a corrupt or tampered cache entry fails the comparison and
+/// the caller must fall back to full re-verification.
+RecheckOutcome checkCanonicalCertificate(TermContext &Ctx, const Program &P,
+                                         const BehAbs &Abs,
+                                         const Property &Prop,
+                                         const std::string &Canonical,
+                                         const ProverOptions &Opts);
+
 } // namespace reflex
 
 #endif // REFLEX_VERIFY_CHECKER_H

@@ -3,6 +3,7 @@
 #include "verify/incremental.h"
 
 #include "ast/printer.h"
+#include "service/proofcache.h"
 #include "support/timer.h"
 
 namespace reflex {
@@ -43,10 +44,15 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
     }
     if (!Session)
       Session = std::make_unique<VerifySession>(P, Opts);
-    PropertyResult R = Session->verify(Prop);
+    PropertyResult R =
+        verifyPropertyCached(*Session, Prop, Cache, LastCodeFingerprint);
     ++Out.Reverified;
-    // Strip the certificate before caching: it references the session's
-    // term context, which dies with the session.
+    if (R.CacheHit)
+      ++Out.CacheHits;
+    // Strip only what cannot outlive the session: the live certificate
+    // (its terms reference the session's term context) and the
+    // counterexample trace. The certificate JSON is retained, so reused
+    // proved verdicts still carry their proof in exportable form.
     PropertyResult Cached = R;
     Cached.Cert = Certificate();
     Cached.Counterexample = Trace();

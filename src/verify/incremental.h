@@ -24,9 +24,17 @@
 ///    on *any* handler through its guard invariants, so no finer sound
 ///    footprint is attempted).
 ///
-/// Reused results carry their status and original timing but not their
-/// certificate (certificates reference the originating session's term
-/// context); run a fresh full verification when certificates are needed.
+/// Reused results carry their status, original timing, and — for proved
+/// properties — their certificate JSON (PropertyResult::CertJson, exported
+/// while the originating session was alive). Only the *live* certificate
+/// (PropertyResult::Cert, whose terms reference the originating session's
+/// term context) is dropped, since that session dies between calls.
+///
+/// An optional persistent ProofCache (service/proofcache.h) backs the
+/// in-memory verdict store: verdicts survive process restarts, and every
+/// proved verdict served from disk is first re-validated by the
+/// independent certificate checker. The in-memory reuse path is unchanged
+/// — the cache only sees properties this instance would re-verify.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,17 +48,27 @@
 
 namespace reflex {
 
+class ProofCache;
+
 class IncrementalVerifier {
 public:
-  explicit IncrementalVerifier(const VerifyOptions &Opts = {})
-      : Opts(Opts) {}
+  /// \p Cache, when non-null, must outlive the verifier; it persists
+  /// verdicts across processes (keyed by code fingerprint + property text
+  /// + options, see service/proofcache.h).
+  explicit IncrementalVerifier(const VerifyOptions &Opts = {},
+                               ProofCache *Cache = nullptr)
+      : Opts(Opts), Cache(Cache) {}
 
   struct Outcome {
     VerificationReport Report;
-    /// Results served from the previous version's verdicts.
+    /// Results served from the previous version's verdicts (in-memory).
     unsigned Reused = 0;
-    /// Properties verified in this call.
+    /// Properties verified in this call (including those answered by the
+    /// persistent cache).
     unsigned Reverified = 0;
+    /// Of the Reverified, how many were served by the persistent proof
+    /// cache (proved ones re-validated by the checker).
+    unsigned CacheHits = 0;
   };
 
   /// Verifies \p P, reusing verdicts from the previous call where sound.
@@ -58,8 +76,10 @@ public:
 
 private:
   VerifyOptions Opts;
+  ProofCache *Cache;
   std::string LastCodeFingerprint;
-  /// Property text -> last verdict (certificate stripped).
+  /// Property text -> last verdict (live certificate stripped; the
+  /// certificate JSON is retained).
   std::map<std::string, PropertyResult> Verdicts;
 };
 

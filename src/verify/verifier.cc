@@ -65,6 +65,10 @@ std::string VerificationReport::toJson() const {
   W.value(TotalMillis);
   W.field("terms", static_cast<int64_t>(TermCount));
   W.field("solver_queries", static_cast<int64_t>(SolverQueries));
+  if (ProofCacheHits || ProofCacheMisses) {
+    W.field("proof_cache_hits", static_cast<int64_t>(ProofCacheHits));
+    W.field("proof_cache_misses", static_cast<int64_t>(ProofCacheMisses));
+  }
   W.endObject();
   return W.take();
 }
@@ -92,15 +96,24 @@ VerifySession::~VerifySession() = default;
 
 TermContext &VerifySession::termContext() { return I->Ctx; }
 const BehAbs &VerifySession::behAbs() const { return I->Abs; }
+const Program &VerifySession::program() const { return I->P; }
+const VerifyOptions &VerifySession::options() const { return I->Opts; }
+uint64_t VerifySession::solverQueries() const { return I->Solv.queriesSolved(); }
+uint64_t VerifySession::invariantCacheHits() const { return I->Cache.Hits; }
+
+ProverOptions proverOptions(const VerifyOptions &Opts) {
+  ProverOptions POpts;
+  POpts.SyntacticSkip = Opts.SyntacticSkip;
+  POpts.CacheInvariants = Opts.CacheInvariants;
+  return POpts;
+}
 
 PropertyResult VerifySession::verify(const Property &Prop) {
   PropertyResult R;
   R.Name = Prop.Name;
   WallTimer Timer;
 
-  ProverOptions POpts;
-  POpts.SyntacticSkip = I->Opts.SyntacticSkip;
-  POpts.CacheInvariants = I->Opts.CacheInvariants;
+  ProverOptions POpts = proverOptions(I->Opts);
 
   bool Proved = false;
   std::string Reason;
@@ -132,6 +145,11 @@ PropertyResult VerifySession::verify(const Property &Prop) {
         R.Reason = "certificate rejected: " + Chk.Why;
       }
     }
+    if (R.Status == VerifyStatus::Proved)
+      // Export now, while this session's term context is alive: the JSON
+      // is the form that may outlive the session (scheduler merges,
+      // incremental verdict reuse, proof-cache entries).
+      R.CertJson = R.Cert.toJson(I->Ctx);
   } else {
     R.Status = VerifyStatus::Unknown;
     R.Reason = std::move(Reason);

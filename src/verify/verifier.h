@@ -54,8 +54,19 @@ struct PropertyResult {
   /// Unknown: the failing obligation; Refuted: the violation explanation.
   std::string Reason;
   double Millis = 0;
-  Certificate Cert;        // Proved only
+  /// Proved only. Carries TermRefs into the originating session's term
+  /// context — valid only while that session is alive. Consumers that
+  /// outlive the session (the scheduler's merged reports, the incremental
+  /// verifier's verdict store, the proof cache) use CertJson instead.
+  Certificate Cert;
+  /// Proved only: the certificate's audit JSON (Certificate::toJson),
+  /// exported while the originating session was alive, so it survives the
+  /// session. Empty otherwise.
+  std::string CertJson;
   bool CertChecked = false;
+  /// True when the verdict was served by the persistent proof cache (and,
+  /// for Proved, re-validated by the independent checker).
+  bool CacheHit = false;
   Trace Counterexample;    // Refuted only
 };
 
@@ -67,6 +78,9 @@ struct VerificationReport {
   size_t TermCount = 0;
   uint64_t SolverQueries = 0;
   uint64_t InvariantCacheHits = 0;
+  /// Persistent proof-cache traffic (zero when no cache is attached).
+  uint64_t ProofCacheHits = 0;
+  uint64_t ProofCacheMisses = 0;
 
   bool allProved() const;
   unsigned provedCount() const;
@@ -95,10 +109,24 @@ public:
   TermContext &termContext();
   const BehAbs &behAbs() const;
 
+  // Accessors for layers that drive sessions from outside (the parallel
+  // scheduler and the proof cache in src/service): the verified program,
+  // the options the session was built with, and the session's work
+  // counters for deterministic report merging.
+  const Program &program() const;
+  const VerifyOptions &options() const;
+  uint64_t solverQueries() const;
+  uint64_t invariantCacheHits() const;
+
 private:
   struct Impl;
   std::unique_ptr<Impl> I;
 };
+
+/// The ProverOptions subset of a VerifyOptions (the mapping
+/// VerifySession::verify applies; exposed so cache re-validation uses
+/// exactly the options the certificate was produced with).
+ProverOptions proverOptions(const VerifyOptions &Opts);
 
 /// Convenience: parse + validate happen elsewhere; this verifies all
 /// properties of an already-validated program in a fresh session.

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -135,6 +136,40 @@ TEST(Cli, JsonReportAndCertsWritten) {
             std::string::npos);
 }
 
+TEST(Cli, ParallelJobsAndProofCache) {
+  std::string Path = writeTemp(GoodKernel, "jobs.rfx");
+  std::string CacheDir = std::string(::testing::TempDir()) + "proofcache";
+  std::filesystem::remove_all(CacheDir); // a stale dir would warm the cache
+
+  // Parallel verification with a cold cache: everything misses.
+  CliResult Cold =
+      runCli("verify " + Path + " --jobs 4 --cache-dir " + CacheDir);
+  EXPECT_EQ(Cold.ExitCode, 0) << Cold.Output;
+  EXPECT_NE(Cold.Output.find("1/1 properties proved"), std::string::npos);
+  EXPECT_NE(Cold.Output.find("proof cache: 0 hits, 1 miss"),
+            std::string::npos)
+      << Cold.Output;
+
+  // Second run: the verdict comes from the cache, checker re-validated.
+  CliResult Warm =
+      runCli("verify " + Path + " --jobs 4 --cache-dir " + CacheDir);
+  EXPECT_EQ(Warm.ExitCode, 0) << Warm.Output;
+  EXPECT_NE(Warm.Output.find("[cached]"), std::string::npos) << Warm.Output;
+  EXPECT_NE(Warm.Output.find("cert checked"), std::string::npos);
+  EXPECT_NE(Warm.Output.find("proof cache: 1 hit, 0 misses"),
+            std::string::npos)
+      << Warm.Output;
+
+  // --jobs must not change verdicts: sequential output agrees.
+  CliResult Seq = runCli("verify " + Path + " --jobs 1");
+  EXPECT_EQ(Seq.ExitCode, 0) << Seq.Output;
+  EXPECT_NE(Seq.Output.find("1/1 properties proved"), std::string::npos);
+
+  // An unusable cache directory is a hard error, not silent degradation.
+  CliResult Bad = runCli("verify " + Path + " --cache-dir /proc/nope");
+  EXPECT_EQ(Bad.ExitCode, 2) << Bad.Output;
+}
+
 TEST(Cli, InfoReportsInventory) {
   std::string Path = writeTemp(GoodKernel, "info.rfx");
   CliResult R = runCli("info " + Path);
@@ -149,6 +184,9 @@ TEST(Cli, BadUsage) {
   std::string Path = writeTemp(GoodKernel, "usage.rfx");
   EXPECT_EQ(runCli("bmc " + Path).ExitCode, 2) << "missing --property";
   EXPECT_EQ(runCli("verify /does/not/exist.rfx").ExitCode, 2);
+  CliResult BadNum = runCli("verify " + Path + " --jobs abc");
+  EXPECT_EQ(BadNum.ExitCode, 2) << "non-numeric --jobs must not abort";
+  EXPECT_NE(BadNum.Output.find("needs a number"), std::string::npos);
 }
 
 TEST(Cli, SyntaxErrorsRenderDiagnostics) {

@@ -1,0 +1,477 @@
+//===- tests/service_test.cc - Verification service -------------*- C++ -*-===//
+//
+// The parallel verification service and its persistent proof cache:
+// thread pool lifecycle, deterministic scheduler merges, SHA-256 /
+// JSON-parser support pieces, cold/warm cache flows, and the trust
+// story — a tampered cache entry must be rejected by the certificate
+// checker and the property fully re-verified.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+#include "service/scheduler.h"
+#include "service/threadpool.h"
+#include "support/json.h"
+#include "support/sha256.h"
+#include "test_util.h"
+#include "verify/incremental.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace reflex {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A throwaway cache directory, removed on destruction.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag)
+      : Path(fs::temp_directory_path() /
+             ("reflex-" + Tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  fs::path Path;
+};
+
+/// A kernel with one provable and one unprovable property — exercises
+/// both cacheable verdict kinds without a 41-property run.
+const char *MixedSrc = R"(
+component A "a";
+message Ping(num);
+message Mark(num);
+init { X <- spawn A(); }
+handler A => Ping(n) { send(X, Mark(n)); }
+property Bad: forall n.
+  [Recv(A, Mark(n))] Enables [Send(A, Mark(n))];
+property Fine: forall n.
+  [Recv(A, Ping(n))] Ensures [Send(A, Mark(n))];
+)";
+
+std::unique_ptr<ProofCache> mustOpen(const std::string &Dir) {
+  Result<std::unique_ptr<ProofCache>> C = ProofCache::open(Dir);
+  EXPECT_TRUE(C.ok()) << (C.ok() ? "" : C.error());
+  return C.ok() ? C.take() : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryPostedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_TRUE(Pool.post([&] { Ran.fetch_add(1); }));
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 200);
+
+  // The pool is reusable after a drain.
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(Pool.post([&] { Ran.fetch_add(1); }));
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 250);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRejectsLatePosts) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 20; ++I)
+    Pool.post([&] { Ran.fetch_add(1); });
+  Pool.shutdown();
+  EXPECT_EQ(Ran.load(), 20) << "shutdown drains already-accepted work";
+  EXPECT_FALSE(Pool.post([&] { Ran.fetch_add(1); }));
+  Pool.shutdown(); // second shutdown is a no-op
+  EXPECT_EQ(Ran.load(), 20);
+}
+
+TEST(ThreadPool, ZeroWorkersMeansHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workerCount(), ThreadPool::defaultWorkerCount());
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Support pieces the cache key rests on
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256, MatchesKnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(
+      sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Multi-block input (448 bits of message + padding spills a block).
+  EXPECT_EQ(
+      sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Incremental updates equal one-shot hashing.
+  Sha256 H;
+  H.update("ab");
+  H.update("c");
+  EXPECT_EQ(H.hexDigest(), sha256Hex("abc"));
+}
+
+TEST(Sha256, FieldFramingPreventsConcatenationCollisions) {
+  Sha256 A;
+  A.updateField("ab");
+  A.updateField("c");
+  Sha256 B;
+  B.updateField("a");
+  B.updateField("bc");
+  EXPECT_NE(A.hexDigest(), B.hexDigest());
+}
+
+TEST(Json, ParserReadsWriterOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("name", "quote\" slash\\ tab\t");
+  W.field("count", int64_t(41));
+  W.field("flag", true);
+  W.key("xs");
+  W.beginArray();
+  W.value(int64_t(1));
+  W.nullValue();
+  W.value(-2.5);
+  W.endArray();
+  W.endObject();
+
+  Result<JsonValue> Doc = parseJson(W.take());
+  ASSERT_TRUE(Doc.ok()) << Doc.error();
+  ASSERT_TRUE(Doc->isObject());
+  EXPECT_EQ(Doc->getString("name"), "quote\" slash\\ tab\t");
+  EXPECT_EQ(Doc->getNumber("count", 0), 41);
+  EXPECT_TRUE(Doc->getBool("flag", false));
+  const JsonValue *Xs = Doc->get("xs");
+  ASSERT_NE(Xs, nullptr);
+  ASSERT_TRUE(Xs->isArray());
+  ASSERT_EQ(Xs->items().size(), 3u);
+  EXPECT_EQ(Xs->items()[0].numberValue(), 1);
+  EXPECT_TRUE(Xs->items()[1].isNull());
+  EXPECT_EQ(Xs->items()[2].numberValue(), -2.5);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parseJson("").ok());
+  EXPECT_FALSE(parseJson("{").ok());
+  EXPECT_FALSE(parseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(parseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(parseJson("\"bad escape \\q\"").ok());
+  EXPECT_FALSE(parseJson("{\"a\" 1}").ok());
+  // Unicode escapes decode to UTF-8.
+  Result<JsonValue> U = parseJson("\"\\u00e9\"");
+  ASSERT_TRUE(U.ok()) << U.error();
+  EXPECT_EQ(U->stringValue(), "\xc3\xa9");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, ParallelVerdictsMatchSequential) {
+  ProgramPtr Ssh = kernels::load(kernels::ssh());
+  ProgramPtr Ssh2 = kernels::load(kernels::ssh2());
+  ProgramPtr Web = kernels::load(kernels::webserver());
+  std::vector<const Program *> Programs{Ssh.get(), Ssh2.get(), Web.get()};
+
+  SchedulerOptions Seq;
+  Seq.Jobs = 1;
+  BatchOutcome A = verifyPrograms(Programs, Seq);
+
+  SchedulerOptions Par;
+  Par.Jobs = 4;
+  BatchOutcome B = verifyPrograms(Programs, Par);
+
+  ASSERT_EQ(A.Reports.size(), Programs.size());
+  ASSERT_EQ(B.Reports.size(), Programs.size());
+  for (size_t P = 0; P < Programs.size(); ++P) {
+    const VerificationReport &RA = A.Reports[P];
+    const VerificationReport &RB = B.Reports[P];
+    EXPECT_EQ(RB.ProgramName, Programs[P]->Name);
+    ASSERT_EQ(RA.Results.size(), RB.Results.size());
+    ASSERT_EQ(RB.Results.size(), Programs[P]->Properties.size());
+    for (size_t I = 0; I < RA.Results.size(); ++I) {
+      // Declaration order, byte-identical status + reason.
+      EXPECT_EQ(RB.Results[I].Name, Programs[P]->Properties[I].Name);
+      EXPECT_EQ(RA.Results[I].Status, RB.Results[I].Status)
+          << RA.Results[I].Name;
+      EXPECT_EQ(RA.Results[I].Reason, RB.Results[I].Reason)
+          << RA.Results[I].Name;
+    }
+  }
+  EXPECT_EQ(A.provedCount(), B.provedCount());
+  EXPECT_EQ(B.propertyCount(),
+            unsigned(Ssh->Properties.size() + Ssh2->Properties.size() +
+                     Web->Properties.size()));
+  EXPECT_TRUE(B.allProved());
+}
+
+TEST(Scheduler, SingleProgramParallelReportLooksLikeVerifyAll) {
+  ProgramPtr P = kernels::load(kernels::car());
+  SchedulerOptions Opts;
+  Opts.Jobs = 4;
+  VerificationReport R = verifyParallel(*P, Opts);
+  VerificationReport Fresh = verifyProgram(*P);
+
+  ASSERT_EQ(R.Results.size(), Fresh.Results.size());
+  for (size_t I = 0; I < R.Results.size(); ++I) {
+    EXPECT_EQ(R.Results[I].Name, Fresh.Results[I].Name);
+    EXPECT_EQ(R.Results[I].Status, Fresh.Results[I].Status);
+    EXPECT_EQ(R.Results[I].Reason, Fresh.Results[I].Reason);
+    if (R.Results[I].Status == VerifyStatus::Proved) {
+      EXPECT_TRUE(R.Results[I].CertChecked);
+      EXPECT_FALSE(R.Results[I].CertJson.empty())
+          << "merged results must carry session-independent certificates";
+    }
+  }
+  EXPECT_GT(R.SolverQueries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Proof cache
+//===----------------------------------------------------------------------===//
+
+TEST(ProofCache, KeyIsStableAndContentAddressed) {
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+  VerifyOptions Opts;
+
+  std::string K1 = ProofCache::keyFor(FP, P->Properties[0], Opts);
+  EXPECT_EQ(K1.size(), 64u);
+  EXPECT_EQ(K1.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(K1, ProofCache::keyFor(FP, P->Properties[0], Opts));
+
+  // Any input change changes the key.
+  EXPECT_NE(K1, ProofCache::keyFor(FP, P->Properties[1], Opts));
+  EXPECT_NE(K1, ProofCache::keyFor(FP + "x", P->Properties[0], Opts));
+  VerifyOptions NoSimp = Opts;
+  NoSimp.Simplify = false;
+  EXPECT_NE(K1, ProofCache::keyFor(FP, P->Properties[0], NoSimp));
+}
+
+TEST(ProofCache, ColdMissThenRevalidatedWarmHit) {
+  TempDir Dir("cache-warm");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+
+  // Cold: both verdict kinds (Proved "Fine", Unknown "Bad") miss + store.
+  {
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    VerifySession S(*P);
+    for (const Property &Prop : P->Properties) {
+      PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), FP);
+      EXPECT_FALSE(R.CacheHit);
+    }
+    EXPECT_EQ(Cache->stats().Misses, 2u);
+    EXPECT_EQ(Cache->stats().Stores, 2u);
+    EXPECT_EQ(Cache->stats().Hits, 0u);
+  }
+
+  // Warm, in a fresh process-equivalent (new cache handle, new session):
+  // the proved verdict is served only after checker re-validation; the
+  // unknown verdict is reused directly.
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  VerifySession S(*P);
+  PropertyResult Bad =
+      verifyPropertyCached(S, P->Properties[0], Cache.get(), FP);
+  PropertyResult Fine =
+      verifyPropertyCached(S, P->Properties[1], Cache.get(), FP);
+
+  EXPECT_EQ(Bad.Status, VerifyStatus::Unknown);
+  EXPECT_TRUE(Bad.CacheHit);
+  EXPECT_FALSE(Bad.Reason.empty());
+
+  EXPECT_EQ(Fine.Status, VerifyStatus::Proved);
+  EXPECT_TRUE(Fine.CacheHit);
+  EXPECT_TRUE(Fine.CertChecked) << "proved hits must be re-validated";
+  EXPECT_FALSE(Fine.CertJson.empty());
+  EXPECT_EQ(Cache->stats().Hits, 2u);
+  EXPECT_EQ(Cache->stats().Rejected, 0u);
+}
+
+TEST(ProofCache, TamperedCertificateIsRejectedAndReVerified) {
+  TempDir Dir("cache-tamper");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+  const Property &Fine = P->Properties[1];
+  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string EntryPath = Dir.str() + "/" + Key + ".json";
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    ASSERT_EQ(R.Status, VerifyStatus::Proved);
+  }
+
+  // Tamper: prepend junk to the canonical certificate inside the entry.
+  // The file stays valid JSON; only the proof content is wrong.
+  std::string Entry;
+  {
+    std::ifstream In(EntryPath);
+    ASSERT_TRUE(In.good()) << "no entry at " << EntryPath;
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Entry = SS.str();
+  }
+  size_t Pos = Entry.find("\"canonical_cert\":\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Entry.insert(Pos + std::string("\"canonical_cert\":\"").size(), "XX");
+  {
+    std::ofstream Out(EntryPath, std::ios::trunc);
+    Out << Entry;
+  }
+
+  // The checker must refuse the tampered proof; the property is then
+  // re-verified from scratch (not served from the cache) and the entry
+  // overwritten with an honest one.
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit);
+    EXPECT_TRUE(R.CertChecked);
+  }
+  EXPECT_EQ(Cache->stats().Rejected, 1u);
+
+  // The overwritten entry is trustworthy again.
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_TRUE(R.CacheHit);
+    EXPECT_TRUE(R.CertChecked);
+  }
+}
+
+TEST(ProofCache, MalformedEntryIsAMiss) {
+  TempDir Dir("cache-garbage");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+  const Property &Fine = P->Properties[1];
+  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    std::ofstream Out(Dir.str() + "/" + Key + ".json");
+    Out << "this is not json{{{";
+  }
+  EXPECT_FALSE(Cache->lookup(Key).has_value());
+
+  VerifySession S(*P);
+  PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+  EXPECT_EQ(R.Status, VerifyStatus::Proved);
+  EXPECT_FALSE(R.CacheHit);
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+  EXPECT_EQ(Cache->stats().Stores, 1u) << "the garbage entry is replaced";
+  EXPECT_TRUE(Cache->lookup(Key).has_value());
+}
+
+TEST(ProofCache, OpenFailsOnUnwritableDirectory) {
+  Result<std::unique_ptr<ProofCache>> C =
+      ProofCache::open("/proc/reflex-no-such-cache");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(Scheduler, WarmCacheServesWholeBatch) {
+  TempDir Dir("cache-batch");
+  ProgramPtr Ssh = kernels::load(kernels::ssh());
+  ProgramPtr Ssh2 = kernels::load(kernels::ssh2());
+  std::vector<const Program *> Programs{Ssh.get(), Ssh2.get()};
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  SchedulerOptions Opts;
+  Opts.Jobs = 4;
+  Opts.Cache = Cache.get();
+
+  BatchOutcome Cold = verifyPrograms(Programs, Opts);
+  EXPECT_EQ(Cold.CacheStats.Hits, 0u);
+  EXPECT_EQ(Cold.CacheStats.Misses, Cold.propertyCount());
+
+  BatchOutcome Warm = verifyPrograms(Programs, Opts);
+  EXPECT_EQ(Warm.CacheStats.Hits, Warm.propertyCount());
+  EXPECT_EQ(Warm.CacheStats.Misses, 0u);
+  EXPECT_EQ(Warm.CacheStats.Rejected, 0u);
+  ASSERT_EQ(Warm.Reports.size(), Cold.Reports.size());
+  for (size_t P = 0; P < Warm.Reports.size(); ++P) {
+    EXPECT_EQ(Warm.Reports[P].ProofCacheHits,
+              Warm.Reports[P].Results.size());
+    for (size_t I = 0; I < Warm.Reports[P].Results.size(); ++I) {
+      const PropertyResult &W = Warm.Reports[P].Results[I];
+      const PropertyResult &C = Cold.Reports[P].Results[I];
+      EXPECT_EQ(W.Status, C.Status) << W.Name;
+      EXPECT_EQ(W.Reason, C.Reason) << W.Name;
+      EXPECT_TRUE(W.CacheHit);
+      if (W.Status == VerifyStatus::Proved) {
+        EXPECT_TRUE(W.CertChecked);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental verifier backed by the persistent cache
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, PersistentCacheSurvivesVerifierInstances) {
+  TempDir Dir("cache-incr");
+  ProgramPtr P = kernels::load(kernels::ssh2());
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+
+  // First instance: populates the cache.
+  {
+    IncrementalVerifier IV(VerifyOptions{}, Cache.get());
+    auto Out = IV.verify(*P);
+    EXPECT_EQ(Out.CacheHits, 0u);
+    EXPECT_EQ(Out.Reverified, P->Properties.size());
+    EXPECT_TRUE(Out.Report.allProved());
+  }
+
+  // Second instance (a "restarted process"): no in-memory verdicts, so
+  // everything re-verifies — but every verdict is answered by the
+  // persistent cache, checker-validated.
+  IncrementalVerifier IV(VerifyOptions{}, Cache.get());
+  auto Out = IV.verify(*P);
+  EXPECT_EQ(Out.Reused, 0u);
+  EXPECT_EQ(Out.Reverified, P->Properties.size());
+  EXPECT_EQ(Out.CacheHits, P->Properties.size());
+  EXPECT_TRUE(Out.Report.allProved());
+
+  // Third call on the same instance: in-memory reuse, and the reused
+  // proved verdicts still carry their certificate JSON.
+  auto Again = IV.verify(*P);
+  EXPECT_EQ(Again.Reused, P->Properties.size());
+  for (const PropertyResult &R : Again.Report.Results) {
+    if (R.Status == VerifyStatus::Proved) {
+      EXPECT_FALSE(R.CertJson.empty())
+          << "reused verdicts must retain certificates: " << R.Name;
+    }
+  }
+}
+
+} // namespace
+} // namespace reflex

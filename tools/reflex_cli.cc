@@ -21,12 +21,16 @@
 
 #include "kernels/synthetic.h"
 #include "reflex/reflex.h"
+#include "service/scheduler.h"
 #include "support/strings.h"
 #include "support/timer.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +49,10 @@ int usage() {
       "           options: --no-skip --no-simplify --no-cache --no-check\n"
       "                    --bmc-depth N (refute Unknowns)  --certs FILE\n"
       "                    --json FILE (machine-readable report)\n"
+      "                    --jobs N (parallel verification; 0 = all cores)\n"
+      "                    --cache-dir PATH (persistent proof cache;\n"
+      "                    cached proofs are re-checked by the certificate\n"
+      "                    checker before reuse)\n"
       "  bmc      bounded search for a counterexample trace\n"
       "           options: --property NAME (required) --depth N\n"
       "  run      drive the kernel with random component traffic\n"
@@ -72,7 +80,7 @@ struct Args {
 bool takesValue(const std::string &Key) {
   return Key == "--bmc-depth" || Key == "--certs" || Key == "--property" ||
          Key == "--depth" || Key == "--steps" || Key == "--seed" ||
-         Key == "--json";
+         Key == "--json" || Key == "--jobs" || Key == "--cache-dir";
 }
 
 Result<Args> parseArgs(int Argc, char **Argv) {
@@ -98,37 +106,62 @@ Result<Args> parseArgs(int Argc, char **Argv) {
 
 size_t numOption(const Args &A, const std::string &Key, size_t Default) {
   auto It = A.Options.find(Key);
-  return It == A.Options.end() ? Default : std::stoul(It->second);
+  if (It == A.Options.end())
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(It->second.c_str(), &End, 10);
+  if (End == It->second.c_str() || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: option '%s' needs a number, got '%s'\n",
+                 Key.c_str(), It->second.c_str());
+    std::exit(2);
+  }
+  return V;
 }
 
 int cmdVerify(const Args &A, const Program &P) {
-  VerifyOptions Opts;
+  SchedulerOptions SOpts;
+  VerifyOptions &Opts = SOpts.Verify;
   Opts.SyntacticSkip = !A.Options.count("--no-skip");
   Opts.Simplify = !A.Options.count("--no-simplify");
   Opts.CacheInvariants = !A.Options.count("--no-cache");
   Opts.CheckCertificates = !A.Options.count("--no-check");
   Opts.BmcDepthOnUnknown = numOption(A, "--bmc-depth", 0);
+  SOpts.Jobs = unsigned(numOption(A, "--jobs", 1));
 
-  VerifySession Session(P, Opts);
-  VerificationReport Report = Session.verifyAll();
+  std::unique_ptr<ProofCache> Cache;
+  if (auto It = A.Options.find("--cache-dir"); It != A.Options.end()) {
+    Result<std::unique_ptr<ProofCache>> Opened = ProofCache::open(It->second);
+    if (!Opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", Opened.error().c_str());
+      return 2;
+    }
+    Cache = Opened.take();
+    SOpts.Cache = Cache.get();
+  }
+
+  VerificationReport Report = verifyParallel(P, SOpts);
 
   std::string CertJson = "[";
   for (size_t I = 0; I < Report.Results.size(); ++I) {
     const PropertyResult &R = Report.Results[I];
-    std::printf("%-36s %-8s %8.2f ms%s\n", R.Name.c_str(),
+    std::printf("%-36s %-8s %8.2f ms%s%s\n", R.Name.c_str(),
                 verifyStatusName(R.Status), R.Millis,
                 R.Status == VerifyStatus::Proved
                     ? (R.CertChecked ? "  [cert checked]" : "")
-                    : "");
+                    : "",
+                R.CacheHit ? "  [cached]" : "");
     if (R.Status != VerifyStatus::Proved)
       std::printf("    %s\n", R.Reason.c_str());
     if (R.Status == VerifyStatus::Refuted)
       std::printf("    counterexample:\n%s",
                   R.Counterexample.str().c_str());
     if (R.Status == VerifyStatus::Proved) {
+      // CertJson was exported while the verifying session was alive (the
+      // scheduler's sessions are gone by now).
       if (CertJson.size() > 1)
         CertJson += ",";
-      CertJson += R.Cert.toJson(Session.termContext());
+      CertJson += R.CertJson;
     }
   }
   CertJson += "]";
@@ -144,6 +177,13 @@ int cmdVerify(const Args &A, const Program &P) {
     std::printf("report written to %s\n", It->second.c_str());
   }
 
+  if (Cache)
+    std::printf("\nproof cache: %llu hit%s, %llu miss%s (%s)\n",
+                (unsigned long long)Report.ProofCacheHits,
+                Report.ProofCacheHits == 1 ? "" : "s",
+                (unsigned long long)Report.ProofCacheMisses,
+                Report.ProofCacheMisses == 1 ? "" : "es",
+                Cache->directory().c_str());
   std::printf("\n%u/%zu properties proved in %.2f ms\n",
               Report.provedCount(), Report.Results.size(),
               Report.TotalMillis);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Race-checks the verification service under ThreadSanitizer.
+#
+# Builds the tree into build-tsan/ with -fsanitize=thread (the
+# REFLEX_SANITIZE CMake option), then runs the two concurrent entry
+# points:
+#   * tests/service_test      — thread pool, scheduler, shared proof cache
+#   * bench/bench_parallel    — the full 41-property suite on 4 workers,
+#                               in --smoke mode (one repetition)
+#
+# Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
+cmake --build "$BUILD" -j --target service_test bench_parallel
+
+# Halt on the first report and fail the script (exit code 66 is TSan's
+# conventional "issues found" code under halt_on_error).
+export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
+
+echo "== service_test (TSan) =="
+"$BUILD/tests/service_test"
+
+echo "== bench_parallel --jobs 4 --smoke (TSan) =="
+"$BUILD/bench/bench_parallel" --jobs 4 --smoke \
+  --out "$BUILD/BENCH_parallel.smoke.json"
+
+echo "TSan: no data races reported"
