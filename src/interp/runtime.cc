@@ -15,8 +15,44 @@ void Runtime::attachScript(const ComponentInstance &C) {
   assert(static_cast<size_t>(C.Id) == ByCompId.size() &&
          "spawn ids must be dense");
   ByCompId.push_back(Scripts ? Scripts(C) : nullptr);
-  if (ByCompId.back())
-    ByCompId.back()->onStart();
+  if (ByCompId.back()) {
+    try {
+      ByCompId.back()->onStart();
+    } catch (const std::exception &E) {
+      markCrashed(C.Id, "onStart", E.what());
+    } catch (...) {
+      markCrashed(C.Id, "onStart", "unknown exception");
+    }
+  }
+}
+
+void Runtime::deliver(int64_t Id, const Message &M) {
+  ComponentScript *S = script(Id);
+  if (!S)
+    return;
+  try {
+    S->onMessage(M);
+  } catch (const std::exception &E) {
+    markCrashed(Id, "onMessage", E.what());
+  } catch (...) {
+    markCrashed(Id, "onMessage", "unknown exception");
+  }
+}
+
+void Runtime::markCrashed(int64_t Id, const char *Where, const char *What) {
+  Crashes.push_back({Id, Where, What});
+  // Detach the script: pending requests die with it, it never becomes
+  // ready again, and later kernel sends to it are dropped — exactly a
+  // dead component process. Kernel state is untouched.
+  if (Id >= 0 && static_cast<size_t>(Id) < ByCompId.size())
+    ByCompId[Id].reset();
+}
+
+bool Runtime::isCrashed(int64_t Id) const {
+  for (const CrashRecord &C : Crashes)
+    if (C.Id == Id)
+      return true;
+  return false;
 }
 
 ComponentScript *Runtime::script(int64_t Id) {
@@ -33,8 +69,7 @@ void Runtime::start() {
   };
   Hooks.OnSpawn = [this](const ComponentInstance &C) { attachScript(C); };
   Hooks.OnSend = [this](const ComponentInstance &To, const Message &M) {
-    if (ComponentScript *S = script(To.Id))
-      S->onMessage(M);
+    deliver(To.Id, M);
   };
   Eval.runInit(St, Hooks);
 }
@@ -58,8 +93,7 @@ bool Runtime::step() {
   };
   Hooks.OnSpawn = [this](const ComponentInstance &C) { attachScript(C); };
   Hooks.OnSend = [this](const ComponentInstance &To, const Message &Msg) {
-    if (ComponentScript *S = script(To.Id))
-      S->onMessage(Msg);
+    deliver(To.Id, Msg);
   };
   Eval.runExchange(St, Chosen, M, Hooks);
 

@@ -114,11 +114,28 @@ public:
   const KernelState &state() const { return St; }
   const Trace &trace() const { return St.Tr; }
 
-  /// The script driving component \p Id (null if none).
+  /// The script driving component \p Id (null if none, or crashed).
   ComponentScript *script(int64_t Id);
+
+  /// Crash isolation (components are untrusted, paper §3): a script whose
+  /// onStart/onMessage callback throws is marked crashed and detached —
+  /// it never becomes ready again — while the kernel event loop and the
+  /// runtime monitor keep running. The paper's counterpart is a sandboxed
+  /// component process dying: the kernel, which holds all verified state,
+  /// shrugs.
+  struct CrashRecord {
+    int64_t Id = -1;
+    std::string Where; ///< "onStart" or "onMessage"
+    std::string What;  ///< exception message
+  };
+  bool isCrashed(int64_t Id) const;
+  size_t crashedCount() const { return Crashes.size(); }
+  const std::vector<CrashRecord> &crashes() const { return Crashes; }
 
 private:
   void attachScript(const ComponentInstance &C);
+  void deliver(int64_t Id, const Message &M);
+  void markCrashed(int64_t Id, const char *Where, const char *What);
 
   const Program &P;
   Evaluator Eval;
@@ -127,6 +144,7 @@ private:
   Rng Rand;
   KernelState St;
   std::vector<std::unique_ptr<ComponentScript>> ByCompId;
+  std::vector<CrashRecord> Crashes;
   bool Monitor = false;
   std::optional<Violation> Bad;
 };

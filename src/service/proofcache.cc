@@ -20,7 +20,7 @@ namespace fs = std::filesystem;
 namespace {
 
 /// Bumped whenever the entry layout or the canonical certificate form
-/// changes; old entries become misses, not parse errors.
+/// changes; old entries are quarantined at first lookup and re-verified.
 constexpr int64_t EntryVersion = 1;
 
 } // namespace
@@ -40,7 +40,26 @@ Result<std::unique_ptr<ProofCache>> ProofCache::open(const std::string &Dir) {
       return Error("cache directory '" + Dir + "' is not writable");
   }
   fs::remove(Probe, EC);
-  return std::unique_ptr<ProofCache>(new ProofCache(Dir));
+
+  // Sweep orphaned temp files from crashed writers. Anything matching
+  // "*.json.tmp.*" predates this process (live writers rename their temp
+  // away within one store() call), so removing them only reclaims junk
+  // that would otherwise accumulate forever.
+  uint64_t Swept = 0;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    if (DE.path().filename().string().find(".json.tmp.") ==
+        std::string::npos)
+      continue;
+    std::error_code RmEC;
+    if (fs::remove(DE.path(), RmEC))
+      ++Swept;
+  }
+
+  auto Cache = std::unique_ptr<ProofCache>(new ProofCache(Dir));
+  Cache->S.SweptTmp = Swept;
+  return Cache;
 }
 
 std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
@@ -68,17 +87,29 @@ std::string ProofCache::pathFor(const std::string &Key) const {
 }
 
 std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
-  std::ifstream In(pathFor(Key));
-  if (!In)
+  FaultyIO IO(Faults);
+  Result<std::string> Bytes = IO.readFile(pathFor(Key), Key);
+  if (!Bytes.ok()) {
+    // Distinguish absence (a plain miss) from an unreadable file (an IO
+    // error, possibly injected): neither tells us the entry is damaged,
+    // so neither quarantines.
     return std::nullopt;
-  std::stringstream SS;
-  SS << In.rdbuf();
+  }
 
-  Result<JsonValue> Doc = parseJson(SS.str());
+  // From here on the file exists and was read; anything undecodable is
+  // damage — quarantine the evidence and report a miss.
+  auto Damaged = [&](const char *Why) -> std::optional<ProofCacheEntry> {
+    (void)Why;
+    quarantine(Key);
+    noteRejected();
+    return std::nullopt;
+  };
+
+  Result<JsonValue> Doc = parseJson(*Bytes);
   if (!Doc.ok() || !Doc->isObject())
-    return std::nullopt;
+    return Damaged("unparsable JSON");
   if (int64_t(Doc->getNumber("version", 0)) != EntryVersion)
-    return std::nullopt;
+    return Damaged("version mismatch");
 
   ProofCacheEntry E;
   std::string Status = Doc->getString("status");
@@ -87,15 +118,28 @@ std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
   else if (Status == verifyStatusName(VerifyStatus::Unknown))
     E.Status = VerifyStatus::Unknown;
   else
-    return std::nullopt; // Refuted is never cached; anything else is junk.
+    return Damaged("junk status"); // Refuted/budget statuses never cached
   E.Reason = Doc->getString("reason");
   E.Millis = Doc->getNumber("millis", 0);
   E.CertChecked = Doc->getBool("cert_checked", false);
   E.CanonicalCert = Doc->getString("canonical_cert");
   E.CertJson = Doc->getString("cert_json");
   if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
-    return std::nullopt; // a proved entry without its proof is unusable
+    return Damaged("proved entry without its certificate");
   return E;
+}
+
+void ProofCache::quarantine(const std::string &Key) {
+  std::error_code EC;
+  fs::path QDir = fs::path(Dir) / "quarantine";
+  fs::create_directories(QDir, EC);
+  if (EC)
+    return; // best effort: evidence preservation must not block verification
+  fs::rename(pathFor(Key), QDir / (Key + ".json"), EC);
+  if (EC)
+    return; // entry vanished (concurrent quarantine/overwrite) — fine
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Quarantined;
 }
 
 Result<void> ProofCache::store(const std::string &Key,
@@ -116,24 +160,21 @@ Result<void> ProofCache::store(const std::string &Key,
   W.field("cert_json", Entry.CertJson);
   W.endObject();
 
-  // Atomic publish: write a per-thread temp file, then rename over the
-  // final path. Readers either see the old entry or the complete new one.
+  // Atomic publish: write and fsync a per-thread temp file, then rename
+  // over the final path. Readers either see the old entry or the complete
+  // new one; the fsync ensures a crash right after the rename cannot
+  // publish an empty or torn entry.
   std::string Final = pathFor(Key);
   std::ostringstream TmpName;
   TmpName << Final << ".tmp." << std::this_thread::get_id();
-  {
-    std::ofstream Out(TmpName.str(), std::ios::trunc);
-    if (!Out)
-      return Error("cannot write cache entry '" + TmpName.str() + "'");
-    Out << W.take() << "\n";
-    if (!Out.good())
-      return Error("short write on cache entry '" + TmpName.str() + "'");
-  }
-  std::error_code EC;
-  fs::rename(TmpName.str(), Final, EC);
-  if (EC) {
+  FaultyIO IO(Faults);
+  if (Result<void> W1 = IO.writeFile(TmpName.str(), W.take() + "\n", Key);
+      !W1.ok())
+    return Error("cannot write cache entry: " + W1.error());
+  if (Result<void> R1 = IO.renameFile(TmpName.str(), Final, Key); !R1.ok()) {
+    std::error_code EC;
     fs::remove(TmpName.str(), EC);
-    return Error("cannot publish cache entry '" + Final + "'");
+    return Error("cannot publish cache entry: " + R1.error());
   }
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -164,9 +205,13 @@ void ProofCache::noteRejected() {
 
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
-                                    const std::string &CodeFingerprint) {
+                                    const std::string &CodeFingerprint,
+                                    Deadline *Budget) {
+  auto Verify = [&] {
+    return Budget ? Session.verify(Prop, *Budget) : Session.verify(Prop);
+  };
   if (!Cache)
-    return Session.verify(Prop);
+    return Verify();
 
   const VerifyOptions &Opts = Session.options();
   std::string CodeFP = CodeFingerprint.empty()
@@ -202,9 +247,11 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
       Cache->noteHit();
       return R;
     }
+    ProverOptions RecheckOpts = proverOptions(Opts);
+    RecheckOpts.Budget = Budget;
     RecheckOutcome Chk = checkCanonicalCertificate(
         Session.termContext(), Session.program(), Session.behAbs(), Prop,
-        E->CanonicalCert, proverOptions(Opts));
+        E->CanonicalCert, RecheckOpts);
     if (Chk.Ok) {
       PropertyResult R;
       R.Name = Prop.Name;
@@ -217,14 +264,21 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
       Cache->noteHit();
       return R;
     }
-    // Tampered/corrupt/stale: fall through to a full verification, which
-    // will overwrite the entry.
-    Cache->noteRejected();
+    if (Budget && Budget->expiredNow()) {
+      // The re-check failed only because the budget ran out mid-way —
+      // that says nothing about the entry, so it stays where it is. The
+      // full verification below fails fast with the budget status.
+    } else {
+      // Tampered/corrupt/stale: quarantine the evidence and fall through
+      // to a full verification, which will publish a fresh entry.
+      Cache->noteRejected();
+      Cache->quarantine(Key);
+    }
   } else {
     Cache->noteMiss();
   }
 
-  PropertyResult R = Session.verify(Prop);
+  PropertyResult R = Verify();
   if (R.Status == VerifyStatus::Proved || R.Status == VerifyStatus::Unknown) {
     ProofCacheEntry E;
     E.Status = R.Status;

@@ -40,6 +40,7 @@
 #ifndef REFLEX_SERVICE_PROOFCACHE_H
 #define REFLEX_SERVICE_PROOFCACHE_H
 
+#include "support/faultinject.h"
 #include "support/result.h"
 #include "verify/verifier.h"
 
@@ -68,10 +69,20 @@ struct ProofCacheEntry {
 /// A persistent content-addressed store of verification verdicts.
 class ProofCache {
 public:
-  /// Opens (creating if needed) a cache rooted at \p Dir.
+  /// Opens (creating if needed) a cache rooted at \p Dir. Sweeps orphaned
+  /// `*.tmp.*` files left behind by crashed writers (any tmp file present
+  /// at open predates this process; a *concurrent* process sharing the
+  /// directory could in the worst case lose an in-flight store — which
+  /// costs a re-verification, never a wrong verdict).
   static Result<std::unique_ptr<ProofCache>> open(const std::string &Dir);
 
   const std::string &directory() const { return Dir; }
+
+  /// Attaches a fault-injection plan; all subsequent file IO consults it
+  /// (sites "cache.read", "cache.write", "cache.rename", keyed by cache
+  /// key). Call before sharing the cache across threads; \p Plan must
+  /// outlive the cache. Null detaches.
+  void setFaultPlan(const FaultPlan *Plan) { Faults = Plan; }
 
   /// The canonical serialization of the options that shape proofs and
   /// certificates. Part of the key: an entry produced under different
@@ -84,9 +95,19 @@ public:
   static std::string keyFor(const std::string &CodeFingerprint,
                             const Property &Prop, const VerifyOptions &Opts);
 
-  /// Reads the entry for \p Key. Missing, unparsable, or
-  /// version-mismatched files are misses.
+  /// Reads the entry for \p Key. A missing file is a plain miss; a file
+  /// that is present but damaged — unparsable, truncated, wrong version,
+  /// junk status, a proved entry without its certificate — is quarantined
+  /// (renamed into quarantine/, preserving the evidence) and counted as
+  /// Rejected, then reported as a miss so the caller re-verifies.
   std::optional<ProofCacheEntry> lookup(const std::string &Key);
+
+  /// Moves the entry for \p Key aside into `<dir>/quarantine/<key>.json`,
+  /// overwriting any previous quarantined copy of the same key. Used by
+  /// lookup for undecodable entries and by verifyPropertyCached for
+  /// well-formed entries whose certificate fails the canonical re-check.
+  /// No-op if the entry vanished meanwhile (a concurrent quarantine).
+  void quarantine(const std::string &Key);
 
   /// Atomically writes the entry for \p Key. \p ProgramName and
   /// \p PropertyName are stored for human auditing only.
@@ -99,8 +120,10 @@ public:
     uint64_t Hits = 0;     ///< entry found and (for Proved) re-validated
     uint64_t Misses = 0;   ///< no usable entry
     uint64_t Stores = 0;   ///< entries written
-    uint64_t Rejected = 0; ///< entries the checker refused (tampering,
-                           ///< corruption, or a stale fingerprint match)
+    uint64_t Rejected = 0;    ///< entries refused: undecodable on disk, or
+                              ///< the checker rejected the certificate
+    uint64_t Quarantined = 0; ///< entries moved aside into quarantine/
+    uint64_t SweptTmp = 0;    ///< orphaned *.tmp.* files removed at open
   };
   Stats stats() const;
 
@@ -115,6 +138,7 @@ private:
   std::string pathFor(const std::string &Key) const;
 
   std::string Dir;
+  const FaultPlan *Faults = nullptr;
   mutable std::mutex Mu;
   Stats S;
 };
@@ -134,9 +158,16 @@ private:
 /// \p CodeFingerprint must be codeFingerprint(Session.program()), or
 /// empty to have it computed here (callers verifying many properties
 /// should precompute it).
+///
+/// \p Budget optionally bounds the whole operation, including the
+/// certificate re-check on a warm hit; a re-check that fails only because
+/// the budget ran out is *not* a rejection (the entry stays), the
+/// property just reports its budget status. Budget statuses are never
+/// stored.
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
-                                    const std::string &CodeFingerprint = {});
+                                    const std::string &CodeFingerprint = {},
+                                    Deadline *Budget = nullptr);
 
 } // namespace reflex
 

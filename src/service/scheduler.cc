@@ -6,9 +6,13 @@
 #include "support/timer.h"
 #include "verify/incremental.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <thread>
 
 namespace reflex {
 
@@ -88,6 +92,80 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   if (Workers == 0)
     Workers = 1;
 
+  // One job, with isolation and retries: every attempt runs inside a
+  // catch-all (the library is exception-free by convention, but workers
+  // are the last line of defense — and the fault plan injects throws
+  // here on purpose). A crash or a transient budget failure poisons at
+  // most this worker's session for the program, which is rebuilt fresh
+  // for the retry; the returned result is a pure function of
+  // (program, property, options, fault plan), never of interleaving.
+  auto RunJob =
+      [&](std::map<size_t, std::unique_ptr<VerifySession>> &Sessions,
+          const Job &Jb) -> PropertyResult {
+    const Program &P = *Programs[Jb.ProgIdx];
+    const Property &Prop = P.Properties[Jb.PropIdx];
+    const std::string JobTag = P.Name + "/" + Prop.Name;
+    const unsigned MaxAttempts = Opts.Retries + 1;
+    std::string CrashWhat;
+    for (unsigned A = 0;; ++A) {
+      if (A && Opts.RetryBackoffMs) {
+        uint64_t Ms = std::min<uint64_t>(
+            uint64_t(Opts.RetryBackoffMs) << (A - 1), 250);
+        std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+      }
+      bool Crashed = false;
+      PropertyResult R;
+      try {
+        if (Opts.Faults && Opts.Faults->decide("worker", JobTag + "#" +
+                                                             std::to_string(
+                                                                 A)) !=
+                               FaultKind::None)
+          throw std::runtime_error("injected worker fault");
+        std::unique_ptr<VerifySession> &Session = Sessions[Jb.ProgIdx];
+        if (!Session)
+          Session = std::make_unique<VerifySession>(P, Opts.Verify);
+        if (Opts.Faults &&
+            Opts.Faults->decide("budget", JobTag) != FaultKind::None) {
+          Deadline D;
+          D.setStepBudget(1);
+          R = verifyPropertyCached(*Session, Prop, Opts.Cache,
+                                   CodeFPs[Jb.ProgIdx], &D);
+        } else {
+          R = verifyPropertyCached(*Session, Prop, Opts.Cache,
+                                   CodeFPs[Jb.ProgIdx]);
+        }
+      } catch (const std::exception &E) {
+        Crashed = true;
+        CrashWhat = E.what();
+      } catch (...) {
+        Crashed = true;
+        CrashWhat = "unknown exception";
+      }
+      if (Crashed) {
+        // The session may have been mid-mutation; never reuse it.
+        Sessions[Jb.ProgIdx].reset();
+        if (A + 1 < MaxAttempts)
+          continue;
+        PropertyResult F;
+        F.Name = Prop.Name;
+        F.Status = VerifyStatus::Aborted;
+        F.Reason = "worker crashed: " + CrashWhat + " (" +
+                   std::to_string(MaxAttempts) +
+                   (MaxAttempts == 1 ? " attempt)" : " attempts)");
+        F.Attempts = MaxAttempts;
+        return F;
+      }
+      R.Attempts = A + 1;
+      bool Transient = R.Status == VerifyStatus::Timeout ||
+                       R.Status == VerifyStatus::ResourceExhausted;
+      if (Transient && A + 1 < MaxAttempts) {
+        Sessions[Jb.ProgIdx].reset(); // retry on a fresh session
+        continue;
+      }
+      return R;
+    }
+  };
+
   auto WorkerBody = [&] {
     // Private sessions: TermContext / solver memo / invariant cache are
     // not thread-safe and must never be shared across workers.
@@ -97,12 +175,7 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
       if (J >= Jobs.size())
         break;
       const Job &Jb = Jobs[J];
-      const Program &P = *Programs[Jb.ProgIdx];
-      std::unique_ptr<VerifySession> &Session = Sessions[Jb.ProgIdx];
-      if (!Session)
-        Session = std::make_unique<VerifySession>(P, Opts.Verify);
-      Slots[Jb.ProgIdx][Jb.PropIdx] = verifyPropertyCached(
-          *Session, P.Properties[Jb.PropIdx], Opts.Cache, CodeFPs[Jb.ProgIdx]);
+      Slots[Jb.ProgIdx][Jb.PropIdx] = RunJob(Sessions, Jb);
     }
     // Contribute this worker's session counters before exiting.
     std::lock_guard<std::mutex> Lock(CountersMu);
@@ -150,6 +223,8 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     Out.CacheStats.Misses = After.Misses - Before.Misses;
     Out.CacheStats.Stores = After.Stores - Before.Stores;
     Out.CacheStats.Rejected = After.Rejected - Before.Rejected;
+    Out.CacheStats.Quarantined = After.Quarantined - Before.Quarantined;
+    Out.CacheStats.SweptTmp = After.SweptTmp; // counted at open, not per batch
   }
   Out.TotalMillis = Timer.elapsedMillis();
   return Out;

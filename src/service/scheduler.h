@@ -24,6 +24,16 @@
 /// with results in declaration order and aggregate work counters summed
 /// across every session that served the program.
 ///
+/// Fault tolerance: every job runs inside a catch-all; a worker that
+/// throws (or a job that exhausts its budget) is retried on a fresh
+/// private session with capped exponential backoff, up to
+/// SchedulerOptions::Retries extra attempts, after which the job reports
+/// its failure diagnostics in its declaration-order slot. One bad job
+/// costs one verdict, never the batch. Injected faults (FaultPlan
+/// decisions, which are pure functions of (seed, site, key)) preserve the
+/// worker-count determinism above; genuinely *timing*-dependent failures
+/// (a real wall-clock deadline under load) by nature may not.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REFLEX_SERVICE_SCHEDULER_H
@@ -44,6 +54,24 @@ struct SchedulerOptions {
   VerifyOptions Verify;
   /// Optional persistent proof cache, shared by all workers (thread-safe).
   ProofCache *Cache = nullptr;
+  /// Transient-failure retries per job: a worker exception (anything the
+  /// job throws, including session construction) or a
+  /// Timeout/ResourceExhausted result is retried up to this many extra
+  /// times, each on a fresh private session, with capped exponential
+  /// backoff. Aborted is *not* retried — it means the caller cancelled.
+  /// A job that exhausts its attempts reports its last failure in place;
+  /// the batch always completes.
+  unsigned Retries = 0;
+  /// Backoff base: retry k sleeps min(RetryBackoffMs << (k-1), 250) ms
+  /// first. 0 disables sleeping (tests).
+  unsigned RetryBackoffMs = 5;
+  /// Optional fault plan, consulted per attempt at site "worker" (key
+  /// "program/property#attempt"; any non-None decision makes the worker
+  /// throw) and per job at site "budget" (key "program/property"; any
+  /// non-None decision runs the job under a one-step budget, which
+  /// exhausts deterministically). Cache IO faults are separate: attach
+  /// the same plan to the cache via ProofCache::setFaultPlan.
+  const FaultPlan *Faults = nullptr;
 };
 
 /// The merged outcome of a batch run.

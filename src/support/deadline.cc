@@ -1,0 +1,36 @@
+//===- support/deadline.cc - Cooperative budgets ----------------*- C++ -*-===//
+
+#include "support/deadline.h"
+
+namespace reflex {
+
+const char *budgetOutcomeName(BudgetOutcome O) {
+  switch (O) {
+  case BudgetOutcome::Ok:
+    return "Ok";
+  case BudgetOutcome::Timeout:
+    return "Timeout";
+  case BudgetOutcome::ResourceExhausted:
+    return "ResourceExhausted";
+  case BudgetOutcome::Aborted:
+    return "Aborted";
+  }
+  return "?";
+}
+
+std::string Deadline::describe() const {
+  switch (Out) {
+  case BudgetOutcome::Ok:
+    return "";
+  case BudgetOutcome::Timeout:
+    return "wall-clock deadline of " + std::to_string(WallMillis) +
+           " ms exceeded";
+  case BudgetOutcome::ResourceExhausted:
+    return "step budget of " + std::to_string(StepBudget) + " exhausted";
+  case BudgetOutcome::Aborted:
+    return "cancelled by caller";
+  }
+  return "";
+}
+
+} // namespace reflex

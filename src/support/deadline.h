@@ -1,0 +1,135 @@
+//===- support/deadline.h - Cooperative budgets -----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation and resource budgets for the prover, in the
+/// style of a SAT solver's terminate()/limit machinery: a Deadline is a
+/// token installed for one verification attempt that the hot loops
+/// (solver queries, prover path enumeration, symbolic execution) poll via
+/// expired(). Three limits compose:
+///
+///  * a wall-clock deadline (setWallMillis),
+///  * a step budget counting polls — dominated by solver queries, the
+///    prover's unit of work (setStepBudget),
+///  * an external cancel flag shared across threads (setCancelFlag).
+///
+/// Polling is cheap by design: every poll increments a counter and
+/// compares it against the step budget; the clock and the atomic cancel
+/// flag are only consulted every PollStride polls (and on the first), so
+/// an unlimited Deadline costs an increment and two predictable branches
+/// per solver query. Once expired, the outcome latches — outcome() and
+/// describe() report *why* deterministically.
+///
+/// Soundness under expiry: an expired Solver answers Maybe ("could not
+/// refute"), so entailment fails and the prover can only produce a
+/// failure, never a false Proved. See docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_DEADLINE_H
+#define REFLEX_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace reflex {
+
+/// Why a Deadline expired (Ok: it has not).
+enum class BudgetOutcome : uint8_t { Ok, Timeout, ResourceExhausted, Aborted };
+
+const char *budgetOutcomeName(BudgetOutcome O);
+
+/// A thread-safe cancellation latch. The canceller (another thread, a
+/// signal handler via a pre-registered flag) calls cancel(); every
+/// Deadline sharing the flag observes it at its next stride poll.
+class CancelFlag {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// One verification attempt's budget token. Not thread-safe itself (one
+/// prover thread polls it); cross-thread cancellation goes through the
+/// shared CancelFlag.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// Arms a wall-clock limit of \p Ms milliseconds from now (0 = none).
+  void setWallMillis(uint64_t Ms) {
+    WallMillis = Ms;
+    if (Ms)
+      WallEnd = Clock::now() + std::chrono::milliseconds(Ms);
+  }
+
+  /// Arms a step budget: expired() returns true from the (Steps+1)-th
+  /// poll on (0 = none).
+  void setStepBudget(uint64_t Steps) { StepBudget = Steps; }
+
+  void setCancelFlag(std::shared_ptr<const CancelFlag> F) {
+    Cancel = std::move(F);
+  }
+
+  /// Any limit armed? An inactive Deadline never expires.
+  bool active() const { return WallMillis || StepBudget || Cancel != nullptr; }
+
+  /// One unit of work. Returns true once the budget is exhausted; the
+  /// verdict latches (steps stop counting, the reason is frozen).
+  bool expired() {
+    if (Out != BudgetOutcome::Ok)
+      return true;
+    ++Steps;
+    if (StepBudget && Steps > StepBudget) {
+      Out = BudgetOutcome::ResourceExhausted;
+      return true;
+    }
+    if (Steps == 1 || Steps % PollStride == 0) {
+      if (Cancel && Cancel->cancelled()) {
+        Out = BudgetOutcome::Aborted;
+        return true;
+      }
+      if (WallMillis && Clock::now() >= WallEnd) {
+        Out = BudgetOutcome::Timeout;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The latched verdict, without consuming a step.
+  bool expiredNow() const { return Out != BudgetOutcome::Ok; }
+  BudgetOutcome outcome() const { return Out; }
+  uint64_t steps() const { return Steps; }
+
+  /// Deterministic human-readable expiry reason (empty while Ok). Does
+  /// not mention elapsed time or step counts at detection — only the
+  /// configured limits — so reports compare equal across worker counts.
+  std::string describe() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  /// Clock/cancel-flag poll stride. 64 solver queries take well under a
+  /// millisecond, so wall-clock detection latency stays negligible.
+  static constexpr uint64_t PollStride = 64;
+
+  uint64_t WallMillis = 0;
+  Clock::time_point WallEnd{};
+  uint64_t StepBudget = 0;
+  uint64_t Steps = 0;
+  std::shared_ptr<const CancelFlag> Cancel;
+  BudgetOutcome Out = BudgetOutcome::Ok;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_DEADLINE_H

@@ -1,0 +1,173 @@
+//===- support/faultinject.cc - Deterministic fault injection ---*- C++ -*-===//
+
+#include "support/faultinject.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define REFLEX_HAVE_FSYNC 1
+#endif
+
+namespace reflex {
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:
+    return "None";
+  case FaultKind::Fail:
+    return "Fail";
+  case FaultKind::Truncate:
+    return "Truncate";
+  case FaultKind::BitFlip:
+    return "BitFlip";
+  }
+  return "?";
+}
+
+uint64_t FaultPlan::mix(std::string_view Site, std::string_view Key) const {
+  // FNV-1a over seed || site || NUL || key, then a SplitMix64-style
+  // finalizer. Pure in its inputs: no call-order or thread dependence.
+  uint64_t H = 1469598103934665603ULL;
+  auto Feed = [&H](const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ULL;
+    }
+  };
+  Feed(&Seed, sizeof(Seed));
+  Feed(Site.data(), Site.size());
+  unsigned char Zero = 0;
+  Feed(&Zero, 1);
+  Feed(Key.data(), Key.size());
+  H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  H = (H ^ (H >> 27)) * 0x94D049BB133111EBULL;
+  return H ^ (H >> 31);
+}
+
+FaultKind FaultPlan::decide(std::string_view Site, std::string_view Key) const {
+  for (const FaultRule &R : Rules)
+    if (R.Site == Site &&
+        (R.KeyPart.empty() || Key.find(R.KeyPart) != std::string_view::npos))
+      return R.Kind;
+  if (!Permille)
+    return FaultKind::None;
+  uint64_t H = mix(Site, Key);
+  if (H % 1000 >= Permille)
+    return FaultKind::None;
+  switch ((H / 1000) % 3) {
+  case 0:
+    return FaultKind::Fail;
+  case 1:
+    return FaultKind::Truncate;
+  default:
+    return FaultKind::BitFlip;
+  }
+}
+
+uint64_t FaultPlan::arg(std::string_view Site, std::string_view Key,
+                        uint64_t Bound) const {
+  // A second, independent draw: re-mix with a salt so arg() does not
+  // correlate with decide().
+  uint64_t H = mix(Site, Key) ^ 0xA5A5A5A55A5A5A5AULL;
+  H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return H % Bound;
+}
+
+namespace {
+
+/// Applies a payload fault in place. Truncation keeps at least one byte
+/// short of the original (and at most half), so a parser always sees a
+/// damaged document; bit flips pick a deterministic offset.
+void corrupt(std::string &Bytes, FaultKind K, const FaultPlan &Plan,
+             std::string_view Site, std::string_view Key) {
+  if (Bytes.empty())
+    return;
+  if (K == FaultKind::Truncate) {
+    Bytes.resize(Plan.arg(Site, Key, (Bytes.size() + 1) / 2));
+  } else if (K == FaultKind::BitFlip) {
+    uint64_t Bit = Plan.arg(Site, Key, Bytes.size() * 8);
+    Bytes[Bit / 8] = static_cast<char>(Bytes[Bit / 8] ^ (1u << (Bit % 8)));
+  }
+}
+
+} // namespace
+
+Result<std::string> FaultyIO::readFile(const std::string &Path,
+                                       std::string_view Key) const {
+  FaultKind K = Plan ? Plan->decide("cache.read", Key) : FaultKind::None;
+  if (K == FaultKind::Fail)
+    return Error("injected read failure: " + Path);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return Error("no such entry: " + Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (In.bad())
+    return Error("read error: " + Path);
+  std::string Bytes = SS.str();
+  if (Plan && K != FaultKind::None)
+    corrupt(Bytes, K, *Plan, "cache.read", Key);
+  return Bytes;
+}
+
+Result<void> FaultyIO::writeFile(const std::string &Path,
+                                 std::string_view Bytes,
+                                 std::string_view Key) const {
+  FaultKind K = Plan ? Plan->decide("cache.write", Key) : FaultKind::None;
+  if (K == FaultKind::Fail)
+    return Error("injected write failure: " + Path);
+  std::string Payload(Bytes);
+  if (Plan && K != FaultKind::None)
+    corrupt(Payload, K, *Plan, "cache.write", Key);
+#ifdef REFLEX_HAVE_FSYNC
+  // POSIX path: write through a file descriptor so the bytes can be
+  // fsynced before the caller renames the file into place — without the
+  // fsync, a crash after the rename can publish an empty or torn entry.
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return Error("cannot open for writing: " + Path);
+  size_t Off = 0;
+  while (Off < Payload.size()) {
+    ssize_t N = ::write(Fd, Payload.data() + Off, Payload.size() - Off);
+    if (N < 0) {
+      ::close(Fd);
+      return Error("write error: " + Path);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0) {
+    ::close(Fd);
+    return Error("fsync error: " + Path);
+  }
+  if (::close(Fd) != 0)
+    return Error("close error: " + Path);
+#else
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.is_open())
+    return Error("cannot open for writing: " + Path);
+  Out.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  Out.flush();
+  if (!Out.good())
+    return Error("write error: " + Path);
+#endif
+  return {};
+}
+
+Result<void> FaultyIO::renameFile(const std::string &From,
+                                  const std::string &To,
+                                  std::string_view Key) const {
+  FaultKind K = Plan ? Plan->decide("cache.rename", Key) : FaultKind::None;
+  if (K == FaultKind::Fail)
+    return Error("injected rename failure: " + To);
+  if (std::rename(From.c_str(), To.c_str()) != 0)
+    return Error("rename failed: " + From + " -> " + To);
+  return {};
+}
+
+} // namespace reflex

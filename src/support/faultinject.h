@@ -1,0 +1,121 @@
+//===- support/faultinject.h - Deterministic fault injection ----*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded fault-injection harness for robustness testing. A FaultPlan
+/// decides, for a named *site* ("cache.read", "cache.write",
+/// "cache.rename", "worker", "budget") and a per-operation *key* (a cache
+/// key, a "program/property#attempt" job tag), whether that operation
+/// should fail and how. Decisions are a pure function of
+/// (seed, site, key) — independent of call order and thread
+/// interleaving — which is what lets the robustness tests assert that a
+/// faulted batch produces identical verdicts at --jobs 1 and --jobs 4.
+///
+/// Two modes compose:
+///  * explicit rules (addRule): "every read of a key containing X is
+///    truncated" — first matching rule wins; tests use these to stage
+///    precise scenarios;
+///  * a seeded probabilistic background (Permille faults per decision,
+///    kind chosen by the same hash) for fuzzing.
+///
+/// FaultyIO is the file-IO shim the proof cache routes through: plain
+/// read/write/rename when no plan is attached, injected errors,
+/// truncations, and bit-flips when one is. writeFile also fsyncs before
+/// returning, so a subsequent rename publishes durable bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_FAULTINJECT_H
+#define REFLEX_SUPPORT_FAULTINJECT_H
+
+#include "support/result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reflex {
+
+/// How an operation should misbehave.
+enum class FaultKind : uint8_t {
+  None,     ///< proceed normally
+  Fail,     ///< the operation errors out
+  Truncate, ///< IO only: drop the tail of the payload (torn write/read)
+  BitFlip,  ///< IO only: flip one bit of the payload (silent corruption)
+};
+
+const char *faultKindName(FaultKind K);
+
+/// An explicit fault rule: applies at \p Site to every key containing
+/// \p KeyPart (empty matches all keys).
+struct FaultRule {
+  std::string Site;
+  std::string KeyPart;
+  FaultKind Kind = FaultKind::Fail;
+};
+
+/// A deterministic plan of injected faults.
+class FaultPlan {
+public:
+  /// An empty plan: no background faults; rules may still be added.
+  FaultPlan() = default;
+
+  /// A seeded probabilistic plan: each (site, key) decision faults with
+  /// probability \p Permille / 1000.
+  FaultPlan(uint64_t Seed, unsigned Permille)
+      : Seed(Seed), Permille(Permille > 1000 ? 1000 : Permille) {}
+
+  void addRule(FaultRule R) { Rules.push_back(std::move(R)); }
+
+  /// The (pure) decision for one operation.
+  FaultKind decide(std::string_view Site, std::string_view Key) const;
+
+  /// A deterministic auxiliary draw in [0, Bound) for the same decision —
+  /// truncation lengths and bit positions. \p Bound must be nonzero.
+  uint64_t arg(std::string_view Site, std::string_view Key,
+               uint64_t Bound) const;
+
+private:
+  uint64_t mix(std::string_view Site, std::string_view Key) const;
+
+  uint64_t Seed = 0;
+  unsigned Permille = 0;
+  std::vector<FaultRule> Rules;
+};
+
+/// File IO routed through a fault plan. Stateless; a null plan means
+/// plain IO. All methods are safe to call concurrently.
+class FaultyIO {
+public:
+  explicit FaultyIO(const FaultPlan *Plan = nullptr) : Plan(Plan) {}
+
+  /// Reads the whole file. A missing file is an error whose message
+  /// contains "no such entry" (callers distinguish absence from damage).
+  /// Site "cache.read": Fail errors, Truncate returns a prefix, BitFlip
+  /// corrupts one bit of the returned bytes (the file itself is intact).
+  Result<std::string> readFile(const std::string &Path,
+                               std::string_view Key) const;
+
+  /// Writes (creating/replacing) and fsyncs the file. Site "cache.write":
+  /// Fail errors out, Truncate persists only a prefix (a torn write that
+  /// "succeeded"), BitFlip persists one flipped bit.
+  Result<void> writeFile(const std::string &Path, std::string_view Bytes,
+                         std::string_view Key) const;
+
+  /// Renames From over To (atomic within a filesystem). Site
+  /// "cache.rename": Fail errors out.
+  Result<void> renameFile(const std::string &From, const std::string &To,
+                          std::string_view Key) const;
+
+private:
+  const FaultPlan *Plan;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_FAULTINJECT_H

@@ -180,6 +180,10 @@ struct OrderFact {
 } // namespace
 
 SatResult Solver::checkLits(const std::vector<Lit> &Lits) {
+  // Budget poll: one step per query. Expired queries answer Maybe (sound)
+  // and bypass the memo entirely — see setDeadline.
+  if (Budget && Budget->expired())
+    return SatResult::Maybe;
   // Memo on the exact literal set (order-insensitive). Terms are
   // hash-consed so ids identify atoms.
   std::vector<uint64_t> Key;

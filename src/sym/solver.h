@@ -30,6 +30,7 @@
 #ifndef REFLEX_SYM_SOLVER_H
 #define REFLEX_SYM_SOLVER_H
 
+#include "support/deadline.h"
 #include "sym/term.h"
 
 #include <unordered_map>
@@ -50,6 +51,14 @@ public:
   /// subproofs at key cut points" optimization (§6.4) and is switched off
   /// together with the invariant-proof cache in the ablation bench.
   void setMemoEnabled(bool On) { MemoEnabled = On; }
+
+  /// Installs (or clears, with nullptr) a cooperative budget token.
+  /// Every checkLits call polls it; once expired, queries answer Maybe —
+  /// "could not refute" — without solving and without touching the memo
+  /// (an expiry-Maybe must not poison results for later properties that
+  /// share this solver). Maybe is always sound here, so an expired solver
+  /// can only make the prover fail, never certify a false proof.
+  void setDeadline(Deadline *D) { Budget = D; }
 
   /// Is the conjunction of \p Lits contradictory?
   SatResult checkLits(const std::vector<Lit> &Lits);
@@ -77,6 +86,7 @@ private:
   TermContext &Ctx;
   std::unordered_map<uint64_t, SatResult> Memo;
   bool MemoEnabled = true;
+  Deadline *Budget = nullptr;
   uint64_t QueriesSolved = 0;
 };
 

@@ -56,7 +56,10 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
     PropertyResult Cached = R;
     Cached.Cert = Certificate();
     Cached.Counterexample = Trace();
-    Verdicts[Key] = Cached;
+    // Budget statuses are circumstances, not verdicts: a later edit cycle
+    // may well have the time the last one lacked, so never reuse them.
+    if (!isBudgetStatus(Cached.Status))
+      Verdicts[Key] = Cached;
     Out.Report.Results.push_back(std::move(Cached));
   }
   Out.Report.TotalMillis = Timer.elapsedMillis();

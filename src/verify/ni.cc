@@ -60,6 +60,8 @@ public:
     return false;
   }
 
+  void setBudget(Deadline *D) { Budget = D; }
+
   bool run(std::string &WhyOut) {
     // The common init prefix must be deterministic: no native calls.
     if (P.Init && cmdHasCall(*P.Init)) {
@@ -68,11 +70,17 @@ public:
       return false;
     }
 
-    for (const HandlerSummary &S : Abs.Handlers)
+    for (const HandlerSummary &S : Abs.Handlers) {
+      // Budget backstop; the shared Solver polls per query on its own.
+      if (Budget && Budget->expired()) {
+        WhyOut = "verification budget exhausted";
+        return false;
+      }
       if (!processSummary(S)) {
         WhyOut = Why;
         return false;
       }
+    }
     return true;
   }
 
@@ -446,13 +454,14 @@ private:
   std::set<std::string> HighVars;
   std::set<std::string> HighDeterminedTypes;
   std::string Why;
+  Deadline *Budget = nullptr;
 };
 
 } // namespace
 
 NIProofOutcome proveNonInterference(TermContext &Ctx, Solver &Solv,
                                     const Program &P, const BehAbs &Abs,
-                                    const Property &Prop) {
+                                    const Property &Prop, Deadline *Budget) {
   assert(!Prop.isTrace() && "not a non-interference property");
   NIProofOutcome Out;
   Out.Cert.ProgramName = P.Name;
@@ -466,6 +475,7 @@ NIProofOutcome proveNonInterference(TermContext &Ctx, Solver &Solv,
   }
 
   NIEngine E(Ctx, Solv, P, Abs, Prop.niProp(), Out.Cert);
+  E.setBudget(Budget);
   Out.Proved = E.run(Out.Reason);
   return Out;
 }

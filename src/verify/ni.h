@@ -39,6 +39,7 @@
 #define REFLEX_VERIFY_NI_H
 
 #include "ast/program.h"
+#include "support/deadline.h"
 #include "sym/solver.h"
 #include "verify/behabs.h"
 #include "verify/certificate.h"
@@ -51,10 +52,13 @@ struct NIProofOutcome {
   std::string Reason;
 };
 
-/// Attempts to prove the non-interference property \p Prop.
+/// Attempts to prove the non-interference property \p Prop. \p Budget is
+/// an optional cooperative cancellation token, polled per handler summary
+/// (and, via the shared Solver, per query); null means unlimited.
 NIProofOutcome proveNonInterference(TermContext &Ctx, Solver &Solv,
                                     const Program &P, const BehAbs &Abs,
-                                    const Property &Prop);
+                                    const Property &Prop,
+                                    Deadline *Budget = nullptr);
 
 } // namespace reflex
 

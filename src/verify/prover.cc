@@ -96,9 +96,23 @@ private:
     return false;
   }
 
+  /// Budget poll at a loop head. Expiry fails the current obligation with
+  /// a deterministic reason; most detections actually happen inside the
+  /// solver (which answers Maybe once expired), this is a backstop for
+  /// paths that take no queries.
+  bool budgetExpired() {
+    if (Opts.Budget && Opts.Budget->expired()) {
+      Why = "verification budget exhausted";
+      return true;
+    }
+    return false;
+  }
+
   /// Checks every potential trigger occurrence on one path.
   bool processPath(const std::string &Where, int PathIdx, const SymPath &Path,
                    bool IsInit) {
+    if (budgetExpired())
+      return false;
     const ActionPattern &Trigger = TP.trigger();
     for (size_t K = 0; K < Path.Emits.size(); ++K) {
       SymBinding Sigma;
@@ -471,6 +485,8 @@ private:
 
   bool proveInvariantSteps(const GuardInvariant &Inv, InvariantRecord &Rec,
                            unsigned Depth) {
+    if (Opts.Budget && Opts.Budget->expired())
+      return false;
     SymBinding PatB = patSymBinding(Ctx, Inv);
     std::set<std::string> GuardVars;
     collectGuardVars(Inv.Guard, Ctx, GuardVars);

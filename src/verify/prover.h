@@ -30,6 +30,7 @@
 #define REFLEX_VERIFY_PROVER_H
 
 #include "ast/program.h"
+#include "support/deadline.h"
 #include "sym/solver.h"
 #include "verify/behabs.h"
 #include "verify/certificate.h"
@@ -50,6 +51,11 @@ namespace reflex {
 struct ProverOptions {
   bool SyntacticSkip = true;
   bool CacheInvariants = true;
+  /// Optional cooperative budget, polled at path-enumeration loop heads
+  /// (the solver polls it independently via Solver::setDeadline). Owned
+  /// by the caller; null means unlimited. Deliberately not part of any
+  /// fingerprint: polling never alters a completed derivation.
+  Deadline *Budget = nullptr;
 };
 
 /// Cross-property cache of invariant proofs. Entries are std::nullopt for

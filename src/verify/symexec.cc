@@ -46,6 +46,10 @@ public:
 
 private:
   void execInto(const Cmd &C, PathState St, std::vector<PathState> &Out) {
+    // Budget expiry degrades exactly like a blown path cap: the summary
+    // is marked Incomplete and the prover answers Unknown.
+    if (!Overflowed && Limits.Budget && Limits.Budget->expired())
+      Overflowed = true;
     if (Overflowed) {
       Out.push_back(std::move(St));
       return;

@@ -23,6 +23,7 @@
 #define REFLEX_VERIFY_SYMEXEC_H
 
 #include "ast/program.h"
+#include "support/deadline.h"
 #include "verify/symstate.h"
 
 namespace reflex {
@@ -33,6 +34,12 @@ namespace reflex {
 struct SymExecLimits {
   size_t MaxDisjuncts = 64;
   size_t MaxPaths = 4096;
+  /// Optional cooperative budget for the abstraction build, polled once
+  /// per symbolically executed command. Expiry marks the summary
+  /// Incomplete, exactly like blowing a path cap. Caller-owned; the
+  /// verifier session installs its own token here (see
+  /// VerifySession::Impl), so user-supplied VerifyOptions leave it null.
+  Deadline *Budget = nullptr;
 };
 
 /// Summarizes the init section. \p P must be validated.

@@ -15,9 +15,45 @@ const char *verifyStatusName(VerifyStatus S) {
     return "Refuted";
   case VerifyStatus::Unknown:
     return "Unknown";
+  case VerifyStatus::Timeout:
+    return "Timeout";
+  case VerifyStatus::ResourceExhausted:
+    return "ResourceExhausted";
+  case VerifyStatus::Aborted:
+    return "Aborted";
   }
   return "?";
 }
+
+bool isBudgetStatus(VerifyStatus S) {
+  return S == VerifyStatus::Timeout || S == VerifyStatus::ResourceExhausted ||
+         S == VerifyStatus::Aborted;
+}
+
+namespace {
+
+VerifyStatus statusForOutcome(BudgetOutcome O) {
+  switch (O) {
+  case BudgetOutcome::Timeout:
+    return VerifyStatus::Timeout;
+  case BudgetOutcome::ResourceExhausted:
+    return VerifyStatus::ResourceExhausted;
+  case BudgetOutcome::Aborted:
+    return VerifyStatus::Aborted;
+  case BudgetOutcome::Ok:
+    break;
+  }
+  return VerifyStatus::Unknown;
+}
+
+void armDeadline(Deadline &D, const VerifyOptions &Opts) {
+  D.setWallMillis(Opts.TimeoutMillis);
+  D.setStepBudget(Opts.StepBudget);
+  if (Opts.Cancel)
+    D.setCancelFlag(Opts.Cancel);
+}
+
+} // namespace
 
 bool VerificationReport::allProved() const {
   for (const PropertyResult &R : Results)
@@ -58,6 +94,8 @@ std::string VerificationReport::toJson() const {
       W.field("cert_checked", R.CertChecked);
     else
       W.field("reason", R.Reason);
+    if (R.Attempts > 1)
+      W.field("attempts", static_cast<int64_t>(R.Attempts));
     W.endObject();
   }
   W.endArray();
@@ -78,7 +116,18 @@ struct VerifySession::Impl {
       : P(P), Opts(Opts), Solv(Ctx) {
     Ctx.setSimplify(Opts.Simplify);
     Solv.setMemoEnabled(Opts.CacheInvariants);
-    Abs = buildBehAbs(Ctx, P, Opts.Limits);
+    // The abstraction build gets its own budget token with the session's
+    // limits; the summaries degrade to Incomplete on expiry, and the
+    // latched outcome short-circuits every later verify() call.
+    Deadline BuildD;
+    armDeadline(BuildD, Opts);
+    SymExecLimits Limits = Opts.Limits;
+    Limits.Budget = BuildD.active() ? &BuildD : nullptr;
+    Abs = buildBehAbs(Ctx, P, Limits);
+    BuildOutcome = BuildD.outcome();
+    if (BuildOutcome != BudgetOutcome::Ok)
+      BuildReason =
+          "behavioral abstraction build abandoned: " + BuildD.describe();
   }
 
   const Program &P;
@@ -87,6 +136,8 @@ struct VerifySession::Impl {
   Solver Solv;
   BehAbs Abs;
   InvariantCache Cache;
+  BudgetOutcome BuildOutcome = BudgetOutcome::Ok;
+  std::string BuildReason;
 };
 
 VerifySession::VerifySession(const Program &P, const VerifyOptions &Opts)
@@ -109,11 +160,31 @@ ProverOptions proverOptions(const VerifyOptions &Opts) {
 }
 
 PropertyResult VerifySession::verify(const Property &Prop) {
+  Deadline D;
+  armDeadline(D, I->Opts);
+  return verify(Prop, D);
+}
+
+PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
   PropertyResult R;
   R.Name = Prop.Name;
   WallTimer Timer;
 
+  // A budget that ran out while the abstraction was being built ends
+  // every attempt before it starts: there is nothing sound to prove
+  // against, and the outcome is already known.
+  if (I->BuildOutcome != BudgetOutcome::Ok) {
+    R.Status = statusForOutcome(I->BuildOutcome);
+    R.Reason = I->BuildReason;
+    R.Millis = Timer.elapsedMillis();
+    return R;
+  }
+
   ProverOptions POpts = proverOptions(I->Opts);
+  if (D.active()) {
+    POpts.Budget = &D;
+    I->Solv.setDeadline(&D);
+  }
 
   bool Proved = false;
   std::string Reason;
@@ -125,12 +196,18 @@ PropertyResult VerifySession::verify(const Property &Prop) {
     Reason = std::move(Out.Reason);
     Cert = std::move(Out.Cert);
   } else {
-    NIProofOutcome Out =
-        proveNonInterference(I->Ctx, I->Solv, I->P, I->Abs, Prop);
+    NIProofOutcome Out = proveNonInterference(I->Ctx, I->Solv, I->P, I->Abs,
+                                              Prop, POpts.Budget);
     Proved = Out.Proved;
     Reason = std::move(Out.Reason);
     Cert = std::move(Out.Cert);
   }
+  I->Solv.setDeadline(nullptr);
+  // The checker re-derivation below runs unbudgeted: a Proved outcome
+  // means the derivation completed within budget, so re-running it
+  // terminates, and budgeting it would turn near-edge expiries into
+  // spurious "certificate rejected" verdicts.
+  POpts.Budget = nullptr;
 
   if (Proved) {
     R.Status = VerifyStatus::Proved;
@@ -150,6 +227,13 @@ PropertyResult VerifySession::verify(const Property &Prop) {
       // is the form that may outlive the session (scheduler merges,
       // incremental verdict reuse, proof-cache entries).
       R.CertJson = R.Cert.toJson(I->Ctx);
+  } else if (D.expiredNow()) {
+    // Not a verdict: the budget ended the attempt. No certificate, no
+    // BMC refutation search (it would burn time the caller said we do
+    // not have). The reason mentions only the configured limit, so
+    // reports compare equal across worker counts.
+    R.Status = statusForOutcome(D.outcome());
+    R.Reason = "verification budget exhausted: " + D.describe();
   } else {
     R.Status = VerifyStatus::Unknown;
     R.Reason = std::move(Reason);

@@ -19,6 +19,7 @@
 #ifndef REFLEX_VERIFY_VERIFIER_H
 #define REFLEX_VERIFY_VERIFIER_H
 
+#include "support/deadline.h"
 #include "verify/bmc.h"
 #include "verify/checker.h"
 #include "verify/ni.h"
@@ -42,11 +43,33 @@ struct VerifyOptions {
   /// counterexample up to this depth (0 disables).
   size_t BmcDepthOnUnknown = 0;
   SymExecLimits Limits;
+  /// Per-property budgets (0 = unlimited) and an optional external cancel
+  /// flag, polled cooperatively by the prover's hot loops. Budgets never
+  /// change what a *completed* proof looks like (polling takes no
+  /// decisions), so they are deliberately not part of the proof-cache
+  /// options fingerprint.
+  uint64_t TimeoutMillis = 0;
+  uint64_t StepBudget = 0;
+  std::shared_ptr<CancelFlag> Cancel;
 };
 
-enum class VerifyStatus : uint8_t { Proved, Refuted, Unknown };
+/// Proved/Refuted/Unknown are the verdicts of the paper's automation.
+/// Timeout, ResourceExhausted, and Aborted are *non-verdicts*: the budget
+/// or the caller ended the attempt first. They carry no certificate, are
+/// never cached or reused, and the scheduler may retry them.
+enum class VerifyStatus : uint8_t {
+  Proved,
+  Refuted,
+  Unknown,
+  Timeout,
+  ResourceExhausted,
+  Aborted,
+};
 
 const char *verifyStatusName(VerifyStatus S);
+
+/// True for the transient budget/cancellation statuses.
+bool isBudgetStatus(VerifyStatus S);
 
 struct PropertyResult {
   std::string Name;
@@ -67,6 +90,9 @@ struct PropertyResult {
   /// True when the verdict was served by the persistent proof cache (and,
   /// for Proved, re-validated by the independent checker).
   bool CacheHit = false;
+  /// How many attempts the scheduler made (retries + 1); 1 outside the
+  /// fault-tolerant scheduler.
+  unsigned Attempts = 1;
   Trace Counterexample;    // Refuted only
 };
 
@@ -100,8 +126,13 @@ public:
   VerifySession(const Program &P, const VerifyOptions &Opts = {});
   ~VerifySession();
 
-  /// Verifies a single property.
+  /// Verifies a single property under the budget configured in the
+  /// session's options (a fresh Deadline per call).
   PropertyResult verify(const Property &Prop);
+
+  /// Verifies a single property under an explicit, caller-owned budget
+  /// token (the scheduler's fault plan injects per-job budgets this way).
+  PropertyResult verify(const Property &Prop, Deadline &D);
 
   /// Verifies every property of the program.
   VerificationReport verifyAll();

@@ -189,6 +189,55 @@ TEST(Cli, BadUsage) {
   EXPECT_NE(BadNum.Output.find("needs a number"), std::string::npos);
 }
 
+TEST(Cli, BudgetFlagsRejectNonNumericValues) {
+  std::string Path = writeTemp(GoodKernel, "budgetflags.rfx");
+  for (const char *Flag :
+       {"--timeout-ms", "--step-budget", "--retries", "--fault-seed"}) {
+    CliResult Bad = runCli("verify " + Path + " " + Flag + " abc");
+    EXPECT_EQ(Bad.ExitCode, 2) << Flag << "\n" << Bad.Output;
+    EXPECT_NE(Bad.Output.find("needs a number"), std::string::npos)
+        << Flag << "\n" << Bad.Output;
+  }
+}
+
+TEST(Cli, BudgetExhaustionGetsItsOwnExitCode) {
+  std::string Path = writeTemp(GoodKernel, "budget.rfx");
+
+  // A one-step budget cannot prove anything — but that is not a
+  // refutation, so the exit code is 3, not 1.
+  CliResult Exhausted = runCli("verify " + Path + " --step-budget 1");
+  EXPECT_EQ(Exhausted.ExitCode, 3) << Exhausted.Output;
+  EXPECT_NE(Exhausted.Output.find("ResourceExhausted"), std::string::npos)
+      << Exhausted.Output;
+  EXPECT_NE(Exhausted.Output.find("step budget"), std::string::npos)
+      << Exhausted.Output;
+
+  // Generous budgets (and retries) change nothing about a proving run.
+  CliResult Fine = runCli("verify " + Path +
+                          " --timeout-ms 60000 --step-budget 100000000"
+                          " --retries 2");
+  EXPECT_EQ(Fine.ExitCode, 0) << Fine.Output;
+  EXPECT_NE(Fine.Output.find("1/1 properties proved"), std::string::npos);
+}
+
+TEST(Cli, FaultSeedRunsToCompletion) {
+  std::string Path = writeTemp(GoodKernel, "faultseed.rfx");
+  std::string CacheDir = std::string(::testing::TempDir()) + "faultcache";
+  std::filesystem::remove_all(CacheDir);
+  // Whatever the injected faults do, the run must produce a complete
+  // report — never a crash, never a silent partial batch.
+  CliResult R = runCli("verify " + Path + " --fault-seed 7 --retries 3" +
+                       " --cache-dir " + CacheDir + " --jobs 2");
+  EXPECT_NE(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("properties proved"), std::string::npos)
+      << R.Output;
+  // Same seed, same outcome: fault decisions are deterministic.
+  std::filesystem::remove_all(CacheDir);
+  CliResult R2 = runCli("verify " + Path + " --fault-seed 7 --retries 3" +
+                        " --cache-dir " + CacheDir + " --jobs 2");
+  EXPECT_EQ(R.ExitCode, R2.ExitCode);
+}
+
 TEST(Cli, SyntaxErrorsRenderDiagnostics) {
   std::string Path = writeTemp("component ;;;", "bad.rfx");
   CliResult R = runCli("verify " + Path);

@@ -1,15 +1,25 @@
-//===- tests/robustness_test.cc - Frontend robustness -----------*- C++ -*-===//
+//===- tests/robustness_test.cc - Whole-system robustness -------*- C++ -*-===//
 //
-// The frontend must never crash, hang, or accept garbage: fuzz it with
-// random token soup, truncations of valid programs, and deeply nested
-// input. Every outcome must be either a valid Program or clean
-// diagnostics.
+// The system must never crash, hang, or accept garbage. Frontend: fuzz
+// with random token soup, truncations of valid programs, and deeply
+// nested input — every outcome is a valid Program or clean diagnostics.
+// Service: seeded fault plans (cache IO faults x worker throws x budget
+// exhaustion) over the full verification pipeline — every batch
+// completes with worker-count-independent verdicts. Runtime: a component
+// script that throws is isolated while the event loop and monitor keep
+// running.
 //
 //===----------------------------------------------------------------------===//
 
+#include "interp/scripts.h"
 #include "kernels/kernels.h"
+#include "service/scheduler.h"
 #include "support/rng.h"
 #include "test_util.h"
+
+#include <filesystem>
+
+#include <unistd.h>
 
 namespace reflex {
 namespace {
@@ -127,6 +137,196 @@ TEST(Robustness, SymbolicExecutionLimitsReportIncomplete) {
   PropertyResult R = verifyOne(*P, "P");
   EXPECT_EQ(R.Status, VerifyStatus::Unknown);
   EXPECT_NE(R.Reason.find("incomplete"), std::string::npos) << R.Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injected verification pipeline
+//===----------------------------------------------------------------------===//
+
+namespace fs = std::filesystem;
+
+/// A throwaway cache directory, removed on destruction.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag)
+      : Path(fs::temp_directory_path() /
+             ("reflex-" + Tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+
+private:
+  fs::path Path;
+};
+
+/// One faulted run of the pipeline: cold batch then warm batch against a
+/// fresh cache, all IO and worker decisions driven by \p Plan. Returns
+/// the flattened (name, status, reason, attempts) list of the two runs.
+std::vector<std::string>
+faultedPipeline(const std::vector<const Program *> &Programs,
+                const FaultPlan &Plan, unsigned Jobs,
+                const std::string &Tag) {
+  TempDir Dir(Tag);
+  Result<std::unique_ptr<ProofCache>> Cache = ProofCache::open(Dir.str());
+  EXPECT_TRUE(Cache.ok()) << (Cache.ok() ? "" : Cache.error());
+  if (!Cache.ok())
+    return {};
+  (*Cache)->setFaultPlan(&Plan);
+
+  SchedulerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Cache = Cache->get();
+  Opts.Faults = &Plan;
+  Opts.Retries = 2;
+  Opts.RetryBackoffMs = 0;
+
+  std::vector<std::string> Flat;
+  for (int Pass = 0; Pass < 2; ++Pass) { // cold (writes), warm (reads)
+    BatchOutcome Out = verifyPrograms(Programs, Opts);
+    EXPECT_EQ(Out.Reports.size(), Programs.size()) << "batch completes";
+    for (size_t PI = 0; PI < Out.Reports.size(); ++PI) {
+      EXPECT_EQ(Out.Reports[PI].Results.size(),
+                Programs[PI]->Properties.size())
+          << "every property gets a verdict slot";
+      for (size_t I = 0; I < Out.Reports[PI].Results.size(); ++I) {
+        const PropertyResult &R = Out.Reports[PI].Results[I];
+        EXPECT_EQ(R.Name, Programs[PI]->Properties[I].Name)
+            << "declaration order survives faults";
+        Flat.push_back(R.Name + "|" + verifyStatusName(R.Status) + "|" +
+                       R.Reason + "|" + std::to_string(R.Attempts));
+      }
+    }
+  }
+  return Flat;
+}
+
+class PipelineFaultFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineFaultFuzz, FaultedBatchesCompleteDeterministically) {
+  ProgramPtr Ssh = kernels::load(kernels::ssh());
+  ProgramPtr Web = kernels::load(kernels::webserver());
+  std::vector<const Program *> Programs{Ssh.get(), Web.get()};
+
+  // A hefty background fault rate: ~15% of every cache read/write/rename,
+  // worker attempt, and budget decision misbehaves, with the kind (fail /
+  // truncate / bit-flip) drawn from the same seeded hash.
+  FaultPlan Plan(GetParam(), /*Permille=*/150);
+
+  std::string Tag = "fuzz-" + std::to_string(GetParam());
+  std::vector<std::string> OneWorker =
+      faultedPipeline(Programs, Plan, 1, Tag + "-j1");
+  std::vector<std::string> FourWorkers =
+      faultedPipeline(Programs, Plan, 4, Tag + "-j4");
+  ASSERT_FALSE(OneWorker.empty());
+  EXPECT_EQ(OneWorker, FourWorkers)
+      << "fault decisions are pure in (seed, site, key): the worker "
+         "count must not change any verdict, reason, or attempt count";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFaultFuzz,
+                         ::testing::Values(101u, 202u, 303u));
+
+//===----------------------------------------------------------------------===//
+// Runtime crash isolation
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, CrashingComponentScriptIsIsolated) {
+  // A (id 0) crashes on its first delivery; B (id 1) keeps exchanging;
+  // C (id 2) crashes during onStart. The kernel event loop and the
+  // runtime monitor must shrug — exactly like the paper's sandboxed
+  // component processes dying under a live kernel.
+  const char Src[] = R"(
+component A "a";
+component B "b";
+component C "c";
+message Ping(num);
+message Mark(num);
+var pings: num = 0;
+init { X <- spawn A(); Y <- spawn B(); Z <- spawn C(); }
+handler A => Ping(n) { pings = pings + 1; send(X, Mark(n)); }
+handler B => Ping(n) { pings = pings + 1; send(Y, Mark(n)); }
+property PingFirst: forall n.
+  [Recv(A, Ping(n))] Enables [Send(A, Mark(n))];
+)";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+
+  int BMarks = 0;
+  auto Factory = [&BMarks](const ComponentInstance &C)
+      -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "A")
+      return std::make_unique<LambdaScript>(
+          [](const LambdaScript::SendFn &Send) {
+            Message M;
+            M.Name = "Ping";
+            M.Args = {Value::num(1)};
+            Send(std::move(M));
+          },
+          [](const Message &, const LambdaScript::SendFn &) {
+            throw std::runtime_error("mark handler exploded");
+          });
+    if (C.TypeName == "B")
+      return std::make_unique<LambdaScript>(
+          [](const LambdaScript::SendFn &Send) {
+            Message M;
+            M.Name = "Ping";
+            M.Args = {Value::num(2)};
+            Send(std::move(M));
+          },
+          [&BMarks](const Message &, const LambdaScript::SendFn &Send) {
+            if (++BMarks < 3) {
+              Message M;
+              M.Name = "Ping";
+              M.Args = {Value::num(2)};
+              Send(std::move(M));
+            }
+          });
+    return std::make_unique<LambdaScript>(
+        [](const LambdaScript::SendFn &) {
+          throw std::runtime_error("boot failure");
+        },
+        nullptr);
+  };
+
+  Runtime Rt(*P, Factory, CallRegistry(), /*Seed=*/3);
+  Rt.enableMonitor();
+  Rt.start();
+  EXPECT_TRUE(Rt.isCrashed(2)) << "C dies in onStart, during init";
+  Rt.run(100);
+
+  // Both crashes recorded with their phase and message; the victims are
+  // detached (never ready again), everyone else kept running.
+  ASSERT_EQ(Rt.crashedCount(), 2u);
+  EXPECT_TRUE(Rt.isCrashed(0));
+  EXPECT_FALSE(Rt.isCrashed(1));
+  EXPECT_EQ(Rt.script(0), nullptr);
+  EXPECT_EQ(Rt.script(2), nullptr);
+  EXPECT_NE(Rt.script(1), nullptr);
+  for (const Runtime::CrashRecord &C : Rt.crashes()) {
+    if (C.Id == 0) {
+      EXPECT_EQ(C.Where, "onMessage");
+      EXPECT_EQ(C.What, "mark handler exploded");
+    } else {
+      EXPECT_EQ(C.Id, 2);
+      EXPECT_EQ(C.Where, "onStart");
+      EXPECT_EQ(C.What, "boot failure");
+    }
+  }
+
+  // B's exchanges went on after A's crash, and the monitor stayed live
+  // and clean on the growing trace.
+  EXPECT_EQ(BMarks, 3) << "B ping-pongs to completion";
+  EXPECT_GE(Rt.state().Vars.at("pings").asNum(), 4);
+  EXPECT_FALSE(Rt.lastViolation().has_value());
+
+  // Crash isolation must not leak into verification: the same program
+  // still proves its property.
+  PropertyResult R = verifyOne(*P, "PingFirst");
+  EXPECT_EQ(R.Status, VerifyStatus::Proved);
 }
 
 } // namespace

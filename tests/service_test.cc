@@ -389,6 +389,183 @@ TEST(ProofCache, MalformedEntryIsAMiss) {
   EXPECT_TRUE(Cache->lookup(Key).has_value());
 }
 
+//===----------------------------------------------------------------------===//
+// Cache hardening: orphan sweep + corruption quarantine
+//===----------------------------------------------------------------------===//
+
+std::string readAll(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void writeAll(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Bytes;
+}
+
+size_t fileCount(const fs::path &Dir) {
+  size_t N = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir, EC))
+    if (DE.is_regular_file())
+      ++N;
+  return N;
+}
+
+TEST(ProofCache, OrphanedTmpFilesAreSweptAtOpen) {
+  TempDir Dir("cache-sweep");
+  fs::create_directories(Dir.str());
+  // Two stranded temp files from "crashed writers", one real entry.
+  writeAll(Dir.str() + "/aaaa.json.tmp.1234", "half-written junk");
+  writeAll(Dir.str() + "/bbbb.json.tmp.99", "{\"version\":1");
+  writeAll(Dir.str() + "/keep.json", "{}");
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->stats().SweptTmp, 2u);
+  EXPECT_FALSE(fs::exists(Dir.str() + "/aaaa.json.tmp.1234"));
+  EXPECT_FALSE(fs::exists(Dir.str() + "/bbbb.json.tmp.99"));
+  EXPECT_TRUE(fs::exists(Dir.str() + "/keep.json"))
+      << "only *.json.tmp.* files may be swept";
+}
+
+/// Populates the cache with MixedSrc's provable property and corrupts the
+/// stored entry via \p Mutate; the damaged entry must be quarantined (the
+/// evidence preserved on disk, not deleted), the property fully
+/// re-verified, and a fresh trustworthy entry published.
+void corruptionRoundTrip(const char *Tag,
+                         void (*Mutate)(std::string &Entry)) {
+  TempDir Dir(std::string("cache-") + Tag);
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+  const Property &Fine = P->Properties[1];
+  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string EntryPath = Dir.str() + "/" + Key + ".json";
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    ASSERT_EQ(R.Status, VerifyStatus::Proved);
+  }
+
+  std::string Entry = readAll(EntryPath);
+  ASSERT_FALSE(Entry.empty());
+  Mutate(Entry);
+  writeAll(EntryPath, Entry);
+
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit) << "damaged entries must not be served";
+    EXPECT_TRUE(R.CertChecked);
+  }
+  EXPECT_EQ(Cache->stats().Rejected, 1u);
+  EXPECT_EQ(Cache->stats().Quarantined, 1u);
+  EXPECT_TRUE(
+      fs::exists(fs::path(Dir.str()) / "quarantine" / (Key + ".json")))
+      << "quarantine preserves the evidence under the entry's key";
+
+  // The re-verification published an honest replacement.
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_TRUE(R.CacheHit);
+    EXPECT_TRUE(R.CertChecked);
+  }
+  EXPECT_EQ(Cache->stats().Quarantined, 1u) << "no second quarantine";
+}
+
+TEST(ProofCache, TruncatedEntryIsQuarantinedAndReVerified) {
+  corruptionRoundTrip("truncated", [](std::string &Entry) {
+    Entry.resize(Entry.size() / 2); // a torn write that got published
+  });
+}
+
+TEST(ProofCache, BitFlippedCertificateIsQuarantinedAndReVerified) {
+  corruptionRoundTrip("bitflip", [](std::string &Entry) {
+    size_t Pos = Entry.find("\"canonical_cert\":\"");
+    ASSERT_NE(Pos, std::string::npos);
+    size_t Target = Pos + std::string("\"canonical_cert\":\"").size() + 5;
+    ASSERT_LT(Target, Entry.size());
+    Entry[Target] = char(Entry[Target] ^ 0x04); // silent bit rot
+  });
+}
+
+TEST(ProofCache, WrongVersionEntryIsQuarantinedAndReVerified) {
+  corruptionRoundTrip("version", [](std::string &Entry) {
+    size_t Pos = Entry.find("\"version\":1");
+    ASSERT_NE(Pos, std::string::npos);
+    Entry.replace(Pos, std::string("\"version\":1").size(),
+                  "\"version\":99");
+  });
+}
+
+TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
+  TempDir Dir("cache-faultio");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::string FP = codeFingerprint(*P);
+  const Property &Fine = P->Properties[1];
+  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    VerifySession S(*P);
+    ASSERT_EQ(verifyPropertyCached(S, Fine, Cache.get(), FP).Status,
+              VerifyStatus::Proved);
+  }
+
+  // Read failure: the verdict is still right, served by re-verification;
+  // the intact file is not quarantined (an IO error is not damage).
+  FaultPlan ReadFail;
+  ReadFail.addRule({"cache.read", "", FaultKind::Fail});
+  Cache->setFaultPlan(&ReadFail);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit);
+  }
+  EXPECT_EQ(Cache->stats().Quarantined, 0u);
+  EXPECT_TRUE(fs::exists(Dir.str() + "/" + Key + ".json"));
+
+  // Truncated read: the bytes handed back are damaged even though the
+  // file is fine — lookup must reject rather than trust them.
+  FaultPlan ReadTorn;
+  ReadTorn.addRule({"cache.read", "", FaultKind::Truncate});
+  Cache->setFaultPlan(&ReadTorn);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit);
+  }
+
+  // Rename failure: the store is refused, no half-published entry and no
+  // leftover temp file in the cache directory.
+  Cache->setFaultPlan(nullptr);
+  TempDir Dir2("cache-faultrename");
+  std::unique_ptr<ProofCache> Cache2 = mustOpen(Dir2.str());
+  ASSERT_NE(Cache2, nullptr);
+  FaultPlan NoRename;
+  NoRename.addRule({"cache.rename", "", FaultKind::Fail});
+  Cache2->setFaultPlan(&NoRename);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache2.get(), FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved) << "verdict survives";
+  }
+  EXPECT_EQ(Cache2->stats().Stores, 0u);
+  EXPECT_EQ(fileCount(Dir2.str()), 0u) << "failed publishes leave no junk";
+}
+
 TEST(ProofCache, OpenFailsOnUnwritableDirectory) {
   Result<std::unique_ptr<ProofCache>> C =
       ProofCache::open("/proc/reflex-no-such-cache");
@@ -430,6 +607,195 @@ TEST(Scheduler, WarmCacheServesWholeBatch) {
       }
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler fault tolerance: retries, crash isolation, injected budgets
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, WorkerCrashIsRetriedThenIsolated) {
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  // Property order in MixedSrc: Bad (Unknown), Fine (Proved).
+  FaultPlan Plan;
+  // Fine's worker throws on attempt 0 only: the retry must succeed.
+  Plan.addRule({"worker", "/Fine#0", FaultKind::Fail});
+  // Bad's worker throws on every attempt: the job must exhaust its
+  // retries and report the crash in place — the batch still completes.
+  Plan.addRule({"worker", "/Bad", FaultKind::Fail});
+
+  SchedulerOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Retries = 1;
+  Opts.RetryBackoffMs = 0;
+  Opts.Faults = &Plan;
+  BatchOutcome Out = verifyPrograms({P.get()}, Opts);
+
+  ASSERT_EQ(Out.Reports.size(), 1u);
+  ASSERT_EQ(Out.Reports[0].Results.size(), 2u);
+  const PropertyResult &Bad = Out.Reports[0].Results[0];
+  const PropertyResult &Fine = Out.Reports[0].Results[1];
+
+  EXPECT_EQ(Bad.Name, "Bad");
+  EXPECT_EQ(Bad.Status, VerifyStatus::Aborted);
+  EXPECT_NE(Bad.Reason.find("worker crashed"), std::string::npos)
+      << Bad.Reason;
+  EXPECT_NE(Bad.Reason.find("injected worker fault"), std::string::npos);
+  EXPECT_NE(Bad.Reason.find("2 attempts"), std::string::npos);
+  EXPECT_EQ(Bad.Attempts, 2u);
+
+  EXPECT_EQ(Fine.Name, "Fine");
+  EXPECT_EQ(Fine.Status, VerifyStatus::Proved)
+      << "a crash on the first attempt must not cost the verdict";
+  EXPECT_TRUE(Fine.CertChecked);
+  EXPECT_EQ(Fine.Attempts, 2u);
+}
+
+TEST(Scheduler, InjectedBudgetExhaustionIsReportedNotCached) {
+  TempDir Dir("cache-budget");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+
+  FaultPlan Plan;
+  Plan.addRule({"budget", "/Fine", FaultKind::Fail}); // one-step budget
+  SchedulerOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Retries = 1;
+  Opts.RetryBackoffMs = 0;
+  Opts.Faults = &Plan;
+  Opts.Cache = Cache.get();
+  BatchOutcome Out = verifyPrograms({P.get()}, Opts);
+
+  ASSERT_EQ(Out.Reports.size(), 1u);
+  const PropertyResult &Fine = Out.Reports[0].Results[1];
+  EXPECT_EQ(Fine.Status, VerifyStatus::ResourceExhausted);
+  EXPECT_NE(Fine.Reason.find("step budget"), std::string::npos)
+      << Fine.Reason;
+  EXPECT_EQ(Fine.Attempts, 2u) << "budget statuses are transient: retried";
+
+  // Budget statuses are circumstances, not verdicts: never persisted.
+  std::string Key = ProofCache::keyFor(codeFingerprint(*P),
+                                       P->Properties[1], VerifyOptions{});
+  EXPECT_FALSE(fs::exists(Dir.str() + "/" + Key + ".json"));
+
+  // Without the fault the same batch proves Fine — and the cached entry
+  // appears.
+  SchedulerOptions Clean = Opts;
+  Clean.Faults = nullptr;
+  BatchOutcome Ok = verifyPrograms({P.get()}, Clean);
+  EXPECT_EQ(Ok.Reports[0].Results[1].Status, VerifyStatus::Proved);
+  EXPECT_TRUE(fs::exists(Dir.str() + "/" + Key + ".json"));
+}
+
+/// The PR's acceptance scenario: a warm cache with three corrupted
+/// entries (truncated, bit-flipped, wrong version), one property whose
+/// worker crashes on every attempt, and one property that exhausts an
+/// injected budget. The batch must complete with a declaration-ordered
+/// report, identical verdicts at 1 and 4 workers, and the corrupted
+/// entries quarantined on disk.
+std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs) {
+  ProgramPtr Ssh = kernels::load(kernels::ssh());
+  ProgramPtr Car = kernels::load(kernels::car());
+  std::vector<const Program *> Programs{Ssh.get(), Car.get()};
+
+  TempDir Dir("cache-accept-" + std::to_string(Jobs));
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  EXPECT_NE(Cache, nullptr);
+
+  // Warm the cache faultlessly.
+  SchedulerOptions Fill;
+  Fill.Jobs = Jobs;
+  Fill.Cache = Cache.get();
+  BatchOutcome Cold = verifyPrograms(Programs, Fill);
+  EXPECT_TRUE(Cold.allProved());
+
+  // Corrupt three of car's entries on disk, three different ways.
+  EXPECT_GE(Car->Properties.size(), 3u);
+  std::vector<std::string> CorruptKeys;
+  for (size_t I = 0; I < 3; ++I) {
+    std::string Key = ProofCache::keyFor(codeFingerprint(*Car),
+                                         Car->Properties[I],
+                                         VerifyOptions{});
+    std::string Path = Dir.str() + "/" + Key + ".json";
+    std::string Entry = readAll(Path);
+    EXPECT_FALSE(Entry.empty()) << Path;
+    if (I == 0) {
+      Entry.resize(Entry.size() / 2);
+    } else if (I == 1) {
+      size_t Pos = Entry.find("\"canonical_cert\":\"");
+      EXPECT_NE(Pos, std::string::npos);
+      Entry[Pos + 25] = char(Entry[Pos + 25] ^ 0x04);
+    } else {
+      size_t Pos = Entry.find("\"version\":1");
+      EXPECT_NE(Pos, std::string::npos);
+      Entry.replace(Pos, std::string("\"version\":1").size(),
+                    "\"version\":99");
+    }
+    writeAll(Path, Entry);
+    CorruptKeys.push_back(Key);
+  }
+
+  // Stage the runtime faults: ssh's first property crashes its worker on
+  // every attempt, ssh's second runs under an injected one-step budget.
+  FaultPlan Plan;
+  Plan.addRule({"worker", Ssh->Name + "/" + Ssh->Properties[0].Name,
+                FaultKind::Fail});
+  Plan.addRule({"budget", Ssh->Name + "/" + Ssh->Properties[1].Name,
+                FaultKind::Fail});
+
+  SchedulerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Cache = Cache.get();
+  Opts.Faults = &Plan;
+  Opts.Retries = 1;
+  Opts.RetryBackoffMs = 0;
+  BatchOutcome Out = verifyPrograms(Programs, Opts);
+
+  // Complete, declaration-ordered report.
+  EXPECT_EQ(Out.Reports.size(), 2u);
+  std::vector<std::string> Flat;
+  for (size_t PI = 0; PI < Programs.size(); ++PI) {
+    EXPECT_EQ(Out.Reports[PI].Results.size(),
+              Programs[PI]->Properties.size());
+    for (size_t I = 0; I < Out.Reports[PI].Results.size(); ++I) {
+      const PropertyResult &R = Out.Reports[PI].Results[I];
+      EXPECT_EQ(R.Name, Programs[PI]->Properties[I].Name)
+          << "declaration order";
+      Flat.push_back(R.Name + "|" + verifyStatusName(R.Status) + "|" +
+                     R.Reason + "|" + std::to_string(R.Attempts));
+    }
+  }
+
+  // The staged outcomes.
+  EXPECT_EQ(Out.Reports[0].Results[0].Status, VerifyStatus::Aborted);
+  EXPECT_NE(Out.Reports[0].Results[0].Reason.find("worker crashed"),
+            std::string::npos);
+  EXPECT_EQ(Out.Reports[0].Results[1].Status,
+            VerifyStatus::ResourceExhausted);
+  for (size_t I = 2; I < Out.Reports[0].Results.size(); ++I)
+    EXPECT_EQ(Out.Reports[0].Results[I].Status, VerifyStatus::Proved);
+  for (const PropertyResult &R : Out.Reports[1].Results)
+    EXPECT_EQ(R.Status, VerifyStatus::Proved)
+        << "corrupted entries re-verify: " << R.Name;
+
+  // The evidence: all three damaged entries quarantined, counted once.
+  EXPECT_EQ(Out.CacheStats.Quarantined, 3u);
+  EXPECT_EQ(Out.CacheStats.Rejected, 3u);
+  for (const std::string &Key : CorruptKeys)
+    EXPECT_TRUE(fs::exists(fs::path(Dir.str()) / "quarantine" /
+                           (Key + ".json")))
+        << Key;
+  return Flat;
+}
+
+TEST(Scheduler, FaultedBatchIsCompleteAndDeterministicAcrossWorkerCounts) {
+  std::vector<std::string> OneWorker = runFaultedAcceptanceBatch(1);
+  std::vector<std::string> FourWorkers = runFaultedAcceptanceBatch(4);
+  EXPECT_EQ(OneWorker, FourWorkers)
+      << "verdicts, reasons, and attempt counts must not depend on the "
+         "worker count";
 }
 
 //===----------------------------------------------------------------------===//

@@ -53,6 +53,15 @@ int usage() {
       "                    --cache-dir PATH (persistent proof cache;\n"
       "                    cached proofs are re-checked by the certificate\n"
       "                    checker before reuse)\n"
+      "                    --timeout-ms N / --step-budget N (per-property\n"
+      "                    budgets; exhausted properties report Timeout /\n"
+      "                    ResourceExhausted, exit code 3)\n"
+      "                    --retries N (retry crashed or budget-exhausted\n"
+      "                    jobs on a fresh session)\n"
+      "                    --fault-seed S (deterministic fault injection\n"
+      "                    into cache IO and workers, for drills)\n"
+      "           exit codes: 0 all proved, 1 refuted or unknown,\n"
+      "                       2 usage/IO error, 3 budget exhausted only\n"
       "  bmc      bounded search for a counterexample trace\n"
       "           options: --property NAME (required) --depth N\n"
       "  run      drive the kernel with random component traffic\n"
@@ -80,7 +89,9 @@ struct Args {
 bool takesValue(const std::string &Key) {
   return Key == "--bmc-depth" || Key == "--certs" || Key == "--property" ||
          Key == "--depth" || Key == "--steps" || Key == "--seed" ||
-         Key == "--json" || Key == "--jobs" || Key == "--cache-dir";
+         Key == "--json" || Key == "--jobs" || Key == "--cache-dir" ||
+         Key == "--timeout-ms" || Key == "--step-budget" ||
+         Key == "--retries" || Key == "--fault-seed";
 }
 
 Result<Args> parseArgs(int Argc, char **Argv) {
@@ -127,7 +138,19 @@ int cmdVerify(const Args &A, const Program &P) {
   Opts.CacheInvariants = !A.Options.count("--no-cache");
   Opts.CheckCertificates = !A.Options.count("--no-check");
   Opts.BmcDepthOnUnknown = numOption(A, "--bmc-depth", 0);
+  Opts.TimeoutMillis = numOption(A, "--timeout-ms", 0);
+  Opts.StepBudget = numOption(A, "--step-budget", 0);
   SOpts.Jobs = unsigned(numOption(A, "--jobs", 1));
+  SOpts.Retries = unsigned(numOption(A, "--retries", 0));
+
+  // --fault-seed arms a deterministic failure drill: ~3% of fault-plan
+  // decisions (cache IO operations, worker attempts) misbehave, chosen
+  // purely by (seed, site, key). Same seed, same faults, any --jobs.
+  FaultPlan Plan;
+  if (A.Options.count("--fault-seed")) {
+    Plan = FaultPlan(numOption(A, "--fault-seed", 0), /*Permille=*/30);
+    SOpts.Faults = &Plan;
+  }
 
   std::unique_ptr<ProofCache> Cache;
   if (auto It = A.Options.find("--cache-dir"); It != A.Options.end()) {
@@ -137,6 +160,8 @@ int cmdVerify(const Args &A, const Program &P) {
       return 2;
     }
     Cache = Opened.take();
+    if (SOpts.Faults)
+      Cache->setFaultPlan(SOpts.Faults);
     SOpts.Cache = Cache.get();
   }
 
@@ -177,17 +202,37 @@ int cmdVerify(const Args &A, const Program &P) {
     std::printf("report written to %s\n", It->second.c_str());
   }
 
-  if (Cache)
+  if (Cache) {
     std::printf("\nproof cache: %llu hit%s, %llu miss%s (%s)\n",
                 (unsigned long long)Report.ProofCacheHits,
                 Report.ProofCacheHits == 1 ? "" : "s",
                 (unsigned long long)Report.ProofCacheMisses,
                 Report.ProofCacheMisses == 1 ? "" : "es",
                 Cache->directory().c_str());
+    ProofCache::Stats CS = Cache->stats();
+    if (CS.Quarantined || CS.SweptTmp)
+      std::printf("proof cache hygiene: %llu entr%s quarantined, %llu "
+                  "orphaned tmp file%s swept\n",
+                  (unsigned long long)CS.Quarantined,
+                  CS.Quarantined == 1 ? "y" : "ies",
+                  (unsigned long long)CS.SweptTmp,
+                  CS.SweptTmp == 1 ? "" : "s");
+  }
   std::printf("\n%u/%zu properties proved in %.2f ms\n",
               Report.provedCount(), Report.Results.size(),
               Report.TotalMillis);
-  return Report.allProved() ? 0 : 1;
+
+  // Exit codes: 0 all proved; 1 a definitive non-proof (Refuted, or an
+  // Unknown the automation could not discharge); 3 when the *only*
+  // failures are budget/cancellation statuses — the caller can retry
+  // with a bigger budget, nothing was disproved.
+  if (Report.allProved())
+    return 0;
+  bool OnlyBudget = true;
+  for (const PropertyResult &R : Report.Results)
+    if (R.Status != VerifyStatus::Proved && !isBudgetStatus(R.Status))
+      OnlyBudget = false;
+  return OnlyBudget ? 3 : 1;
 }
 
 int cmdBmc(const Args &A, const Program &P) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Memory- and UB-checks the fault-tolerance paths under ASan + UBSan.
+#
+# Builds the tree into build-asan/ with -fsanitize=address,undefined (the
+# REFLEX_SANITIZE CMake option accepts the comma-separated list), then
+# runs the entry points that exercise injected faults, corrupted cache
+# entries, worker retries, and script crash isolation:
+#   * tests/service_test      — quarantine, orphan sweep, faulted batches
+#   * tests/robustness_test   — seeded pipeline fuzz, runtime crash isolation
+#   * bench/bench_faults      — budgets + faults over the full suite,
+#                               in --smoke mode (one repetition)
+#
+# Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-asan}"
+
+cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
+cmake --build "$BUILD" -j --target service_test robustness_test bench_faults
+
+# Fail the script on the first report from either sanitizer.
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+echo "== service_test (ASan+UBSan) =="
+"$BUILD/tests/service_test"
+
+echo "== robustness_test (ASan+UBSan) =="
+"$BUILD/tests/robustness_test"
+
+echo "== bench_faults --smoke (ASan+UBSan) =="
+"$BUILD/bench/bench_faults" --smoke --out "$BUILD/BENCH_faults.smoke.json"
+
+echo "ASan/UBSan: no issues reported"
