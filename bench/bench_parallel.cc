@@ -1,15 +1,25 @@
 //===- bench/bench_parallel.cc - Parallel + cached verification -----------===//
 //
 // The verification-service bench: all seven kernels (41 properties)
-// verified sequentially, then on N workers, then against a cold and a
-// warm persistent proof cache. Writes BENCH_parallel.json so later PRs
-// can track the perf trajectory.
+// verified sequentially, then on N workers (shared frozen abstraction +
+// cross-worker caches, with a sharing-off ablation row), then against a
+// cold and a warm persistent proof cache — the warm cache measured twice,
+// once with the full obligation-replay re-check and once on the fast
+// hash-chain path against a freshly reopened cache (so the open-time
+// preload index is exercised). Writes BENCH_parallel.json so later PRs
+// can track the perf trajectory. Timings are medians over `reps`
+// repetitions (medians resist scheduler noise; minima hide it), the
+// sequential-vs-parallel speedups are medians of *paired*
+// adjacent-batch ratios (neighboring batches see nearly the same
+// machine, so container jitter cancels instead of masquerading as a
+// speedup or slowdown), and speedups are reported to two decimals —
+// the honest precision at this host's noise floor.
 //
 // Correctness gates (exit non-zero on failure):
 //  * every parallel run's per-property statuses and reasons are identical
 //    to the sequential run's (the scheduler's determinism contract);
-//  * the warm-cache run serves every property from the cache, with every
-//    proved verdict re-validated by the certificate checker.
+//  * both warm-cache runs serve every property from the cache, with every
+//    proved verdict re-validated (full replay resp. fast hash chain).
 //
 // Flags:
 //   --jobs N    largest worker count to measure (default 4; 0 = cores)
@@ -25,6 +35,8 @@
 #include "support/json.h"
 #include "support/timer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -64,17 +76,23 @@ verdicts(const BatchOutcome &Out) {
   return V;
 }
 
-double minOverRuns(unsigned Runs, const std::vector<const Program *> &Programs,
-                   const SchedulerOptions &Opts, BatchOutcome *Last) {
-  double Best = -1;
+/// Median wall clock over \p Runs repetitions (odd Runs → true median).
+/// Medians, not minima: a minimum under-reports contended phases and can
+/// even go negative in derived overhead percentages when noise exceeds
+/// the effect; the median is a consistent estimator of the typical run.
+double medianOverRuns(unsigned Runs,
+                      const std::vector<const Program *> &Programs,
+                      const SchedulerOptions &Opts, BatchOutcome *Last) {
+  std::vector<double> Ms;
+  Ms.reserve(Runs);
   for (unsigned I = 0; I < Runs; ++I) {
     BatchOutcome Out = verifyPrograms(Programs, Opts);
-    if (Best < 0 || Out.TotalMillis < Best)
-      Best = Out.TotalMillis;
+    Ms.push_back(Out.TotalMillis);
     if (Last)
       *Last = std::move(Out);
   }
-  return Best;
+  std::sort(Ms.begin(), Ms.end());
+  return Ms[Ms.size() / 2];
 }
 
 } // namespace
@@ -98,28 +116,87 @@ int main(int Argc, char **Argv) {
   }
   if (MaxJobs == 0)
     MaxJobs = ThreadPool::defaultWorkerCount();
-  const unsigned Runs = Smoke ? 1 : 3;
+  const unsigned Runs = Smoke ? 1 : 5;
+  // Paired samples per repetition, and batches per sample: a speedup is
+  // estimated from Runs * Inner paired ratios, each ratio formed from
+  // two adjacent samples of Sub whole batches (median). A batch is a few
+  // milliseconds, so even Runs * Inner * Sub batches per configuration
+  // total a couple of seconds — cheap insurance against the container's
+  // heavy-tailed scheduling noise.
+  const unsigned Inner = Smoke ? 1 : 10;
+  const unsigned Sub = Smoke ? 1 : 3;
 
   Suite S = loadSuite();
   std::printf("=== Parallel verification service: %zu kernels, %u "
               "properties ===\n\n",
               S.Programs.size(), kernels::totalProperties());
 
-  // Sequential baseline.
-  SchedulerOptions Seq;
-  Seq.Jobs = 1;
-  BatchOutcome SeqOut;
-  double SeqMs = minOverRuns(Runs, S.Programs, Seq, &SeqOut);
-  auto SeqVerdicts = verdicts(SeqOut);
-  std::printf("%-24s %10.2f ms   (%u/%u proved)\n", "sequential (1 worker)",
-              SeqMs, SeqOut.provedCount(), SeqOut.propertyCount());
-
-  // Parallel sweep: 2, 4, ..., MaxJobs (dedup, ascending).
+  // Measured configurations: the sequential baseline, the parallel sweep
+  // (2, 4, ..., MaxJobs; dedup, ascending), and the sharing-off ablation
+  // at the widest worker count (private per-worker abstractions and
+  // caches, i.e. the pre-sharing scheduler; recorded, not gated).
   std::vector<unsigned> JobCounts;
   for (unsigned J = 2; J < MaxJobs; J *= 2)
     JobCounts.push_back(J);
   if (MaxJobs >= 2)
     JobCounts.push_back(MaxJobs);
+
+  // Paired batches: every parallel configuration is measured as a series
+  // of (sequential batch, parallel batch) pairs run back to back, and its
+  // speedup is the median of the per-pair ratios over all Runs * Inner
+  // pairs. Container jitter on this host is batch-scale (a batch is a
+  // few milliseconds; neighboring batches see nearly the same machine,
+  // batches seconds apart do not), so pairing at the batch level is what
+  // actually cancels it — ratios of phase medians measured far apart
+  // absorb the drift between the phases. Within a pair the order
+  // alternates (seq-then-par, par-then-seq), so any systematic
+  // first-vs-second-of-pair effect cancels too.
+  SchedulerOptions Seq;
+  Seq.Jobs = 1;
+  verifyPrograms(S.Programs, Seq); // untimed warm-up
+  std::vector<double> SeqSamples;
+  std::vector<std::vector<double>> ParSamples(JobCounts.size());
+  std::vector<std::vector<double>> ParRatios(JobCounts.size());
+  std::vector<double> NoShareSamples;
+  BatchOutcome SeqOut;
+  std::vector<BatchOutcome> ParOut(JobCounts.size());
+  BatchOutcome NoShareOut;
+  for (unsigned R = 0; R < Runs * Inner; ++R) {
+    for (size_t JI = 0; JI < JobCounts.size(); ++JI) {
+      SchedulerOptions Par;
+      Par.Jobs = JobCounts[JI];
+      double S0 = 0, P0 = 0;
+      if (R % 2 == 0) {
+        S0 = medianOverRuns(Sub, S.Programs, Seq, &SeqOut);
+        P0 = medianOverRuns(Sub, S.Programs, Par, &ParOut[JI]);
+      } else {
+        P0 = medianOverRuns(Sub, S.Programs, Par, &ParOut[JI]);
+        S0 = medianOverRuns(Sub, S.Programs, Seq, &SeqOut);
+      }
+      SeqSamples.push_back(S0);
+      ParSamples[JI].push_back(P0);
+      ParRatios[JI].push_back(P0 > 0 ? S0 / P0 : 0);
+    }
+    if (MaxJobs >= 2) {
+      SchedulerOptions NS;
+      NS.Jobs = MaxJobs;
+      NS.SharedCaches = false;
+      NoShareSamples.push_back(
+          medianOverRuns(Sub, S.Programs, NS, &NoShareOut));
+    }
+  }
+  auto Median = [](std::vector<double> V) {
+    std::sort(V.begin(), V.end());
+    return V[V.size() / 2];
+  };
+  // Speedups carry two significant decimals: the per-ratio noise floor on
+  // this host is a couple of percent, so further digits are not signal.
+  auto Round2 = [](double X) { return std::round(X * 100) / 100; };
+
+  double SeqMs = Median(SeqSamples);
+  auto SeqVerdicts = verdicts(SeqOut);
+  std::printf("%-24s %10.2f ms   (%u/%u proved)\n", "sequential (1 worker)",
+              SeqMs, SeqOut.provedCount(), SeqOut.propertyCount());
 
   struct ParallelRow {
     unsigned Jobs;
@@ -128,31 +205,47 @@ int main(int Argc, char **Argv) {
   };
   std::vector<ParallelRow> Rows;
   bool Deterministic = true;
-  for (unsigned J : JobCounts) {
-    SchedulerOptions Par;
-    Par.Jobs = J;
-    BatchOutcome Out;
-    double Ms = minOverRuns(Runs, S.Programs, Par, &Out);
-    if (verdicts(Out) != SeqVerdicts) {
+  for (size_t JI = 0; JI < JobCounts.size(); ++JI) {
+    unsigned J = JobCounts[JI];
+    if (verdicts(ParOut[JI]) != SeqVerdicts) {
       std::fprintf(stderr,
                    "FAIL: %u-worker verdicts differ from sequential\n", J);
       Deterministic = false;
     }
-    double Speedup = Ms > 0 ? SeqMs / Ms : 0;
+    double Ms = Median(ParSamples[JI]);
+    double Speedup = Round2(Median(ParRatios[JI]));
     Rows.push_back({J, Ms, Speedup});
     char Label[64];
     std::snprintf(Label, sizeof(Label), "parallel (%u workers)", J);
     std::printf("%-24s %10.2f ms   %.2fx\n", Label, Ms, Speedup);
   }
 
-  // Proof cache: cold populate, then a warm run that must serve all 41
-  // verdicts from disk (proved ones re-checked by the checker).
+  double NoShareMs = 0;
+  if (MaxJobs >= 2) {
+    NoShareMs = Median(NoShareSamples);
+    if (verdicts(NoShareOut) != SeqVerdicts) {
+      std::fprintf(stderr, "FAIL: sharing-off verdicts differ from "
+                           "sequential\n");
+      Deterministic = false;
+    }
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "no-share (%u workers)", MaxJobs);
+    std::printf("%-24s %10.2f ms   %.2fx\n", Label, NoShareMs,
+                NoShareMs > 0 ? SeqMs / NoShareMs : 0);
+  }
+
+  // Proof cache: cold populate, then two warm phases that must serve all
+  // 41 verdicts from disk — first with the full obligation-replay
+  // re-check, then on the fast hash-chain path against a *reopened*
+  // cache, so the open-time preload index (one stat+read pass) is what
+  // serves the hits. The fast phase is the headline warm number: it is
+  // the steady state of an incremental re-verification service.
   std::filesystem::path CacheDir =
       std::filesystem::temp_directory_path() /
       ("reflex-bench-cache-" + std::to_string(::getpid()));
-  double ColdMs = 0, WarmMs = 0;
-  uint64_t WarmHits = 0, WarmRejected = 0;
-  bool WarmAllCached = false;
+  double ColdMs = 0, WarmFullMs = 0, WarmFastMs = 0;
+  uint64_t WarmHits = 0, WarmRejected = 0, FastHits = 0;
+  bool WarmAllCached = false, FastAllCached = false;
   {
     Result<std::unique_ptr<ProofCache>> Cache =
         ProofCache::open(CacheDir.string());
@@ -165,8 +258,8 @@ int main(int Argc, char **Argv) {
     Cached.Cache = Cache->get();
     BatchOutcome Cold = verifyPrograms(S.Programs, Cached);
     ColdMs = Cold.TotalMillis;
-    BatchOutcome Warm = verifyPrograms(S.Programs, Cached);
-    WarmMs = Warm.TotalMillis;
+    BatchOutcome Warm;
+    WarmFullMs = medianOverRuns(Runs, S.Programs, Cached, &Warm);
     WarmHits = Warm.CacheStats.Hits;
     WarmRejected = Warm.CacheStats.Rejected;
     WarmAllCached = WarmHits == Warm.propertyCount();
@@ -182,8 +275,40 @@ int main(int Argc, char **Argv) {
     std::printf("%-24s %10.2f ms\n", "cache cold (populate)", ColdMs);
     std::printf("%-24s %10.2f ms   %.2fx vs sequential, %llu/%u from "
                 "cache\n",
-                "cache warm", WarmMs, WarmMs > 0 ? SeqMs / WarmMs : 0,
+                "cache warm (full)", WarmFullMs,
+                WarmFullMs > 0 ? SeqMs / WarmFullMs : 0,
                 (unsigned long long)WarmHits, Warm.propertyCount());
+  }
+  {
+    Result<std::unique_ptr<ProofCache>> Cache =
+        ProofCache::open(CacheDir.string());
+    if (!Cache.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", Cache.error().c_str());
+      return 1;
+    }
+    SchedulerOptions Fast;
+    Fast.Jobs = MaxJobs;
+    Fast.Cache = Cache->get();
+    Fast.Verify.FastCacheRecheck = true;
+    BatchOutcome Out;
+    WarmFastMs = medianOverRuns(Runs, S.Programs, Fast, &Out);
+    FastHits = Out.CacheStats.Hits;
+    FastAllCached = FastHits == Out.propertyCount();
+    for (const VerificationReport &R : Out.Reports)
+      for (const PropertyResult &PR : R.Results)
+        if (PR.Status == VerifyStatus::Proved && !PR.CertChecked &&
+            !PR.FastRecheck)
+          FastAllCached = false;
+    if (verdicts(Out) != SeqVerdicts) {
+      std::fprintf(stderr, "FAIL: fast warm-cache verdicts differ from "
+                           "sequential\n");
+      Deterministic = false;
+    }
+    std::printf("%-24s %10.2f ms   %.2fx vs sequential, %llu/%u from "
+                "cache\n",
+                "cache warm (fast)", WarmFastMs,
+                WarmFastMs > 0 ? SeqMs / WarmFastMs : 0,
+                (unsigned long long)FastHits, Out.propertyCount());
   }
   std::error_code EC;
   std::filesystem::remove_all(CacheDir, EC);
@@ -193,6 +318,7 @@ int main(int Argc, char **Argv) {
   W.beginObject();
   W.field("bench", "parallel");
   W.field("smoke", Smoke);
+  W.field("reps", int64_t(Runs));
   W.field("kernels", int64_t(S.Programs.size()));
   W.field("properties", int64_t(SeqOut.propertyCount()));
   W.field("proved", int64_t(SeqOut.provedCount()));
@@ -210,17 +336,28 @@ int main(int Argc, char **Argv) {
     W.endObject();
   }
   W.endArray();
+  if (MaxJobs >= 2) {
+    W.key("noshare_ms");
+    W.value(NoShareMs);
+  }
   W.key("cache");
   W.beginObject();
   W.key("cold_ms");
   W.value(ColdMs);
-  W.key("warm_ms");
-  W.value(WarmMs);
+  W.key("warm_full_ms");
+  W.value(WarmFullMs);
+  W.key("warm_fast_ms");
+  W.value(WarmFastMs);
+  // Headline: the fast hash-chain path is the steady-state warm cost.
   W.key("warm_speedup_vs_sequential");
-  W.value(WarmMs > 0 ? SeqMs / WarmMs : 0);
+  W.value(Round2(WarmFastMs > 0 ? SeqMs / WarmFastMs : 0));
+  W.key("warm_full_speedup_vs_sequential");
+  W.value(Round2(WarmFullMs > 0 ? SeqMs / WarmFullMs : 0));
   W.field("warm_hits", int64_t(WarmHits));
+  W.field("warm_fast_hits", int64_t(FastHits));
   W.field("warm_rejected", int64_t(WarmRejected));
   W.field("warm_all_cached", WarmAllCached);
+  W.field("warm_fast_all_cached", FastAllCached);
   W.endObject();
   W.field("deterministic", Deterministic);
   W.endObject();
@@ -228,10 +365,12 @@ int main(int Argc, char **Argv) {
   Out << W.take() << "\n";
   std::printf("\nwrote %s\n", OutPath.c_str());
 
-  if (!Deterministic || !WarmAllCached) {
+  if (!Deterministic || !WarmAllCached || !FastAllCached) {
     std::fprintf(stderr, "FAIL: %s\n",
-                 !Deterministic ? "nondeterministic verdicts"
-                                : "warm cache did not serve all verdicts");
+                 !Deterministic  ? "nondeterministic verdicts"
+                 : !WarmAllCached ? "warm cache did not serve all verdicts"
+                                  : "fast warm cache did not serve all "
+                                    "verdicts");
     return 1;
   }
   return 0;

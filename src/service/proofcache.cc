@@ -21,7 +21,38 @@ namespace {
 
 /// Bumped whenever the entry layout or the canonical certificate form
 /// changes; old entries are quarantined at first lookup and re-verified.
+/// (cert_sha256 was added without a bump: it is optional, and entries
+/// missing it simply take the full re-check path.)
 constexpr int64_t EntryVersion = 1;
+
+/// Decodes one entry file's bytes. Returns nullopt for anything a lookup
+/// would treat as damage (unparsable, wrong version, junk status, proved
+/// without certificate). Shared by lookup() and the open()-time preload.
+std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
+  Result<JsonValue> Doc = parseJson(Bytes);
+  if (!Doc.ok() || !Doc->isObject())
+    return std::nullopt;
+  if (int64_t(Doc->getNumber("version", 0)) != EntryVersion)
+    return std::nullopt;
+
+  ProofCacheEntry E;
+  std::string Status = Doc->getString("status");
+  if (Status == verifyStatusName(VerifyStatus::Proved))
+    E.Status = VerifyStatus::Proved;
+  else if (Status == verifyStatusName(VerifyStatus::Unknown))
+    E.Status = VerifyStatus::Unknown;
+  else
+    return std::nullopt; // Refuted/budget statuses never cached
+  E.Reason = Doc->getString("reason");
+  E.Millis = Doc->getNumber("millis", 0);
+  E.CertChecked = Doc->getBool("cert_checked", false);
+  E.CanonicalCert = Doc->getString("canonical_cert");
+  E.CertJson = Doc->getString("cert_json");
+  E.CertSha256 = Doc->getString("cert_sha256");
+  if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
+    return std::nullopt; // proved entry without its certificate
+  return E;
+}
 
 } // namespace
 
@@ -59,7 +90,42 @@ Result<std::unique_ptr<ProofCache>> ProofCache::open(const std::string &Dir) {
 
   auto Cache = std::unique_ptr<ProofCache>(new ProofCache(Dir));
   Cache->S.SweptTmp = Swept;
+  Cache->preloadIndex();
   return Cache;
+}
+
+void ProofCache::preloadIndex() {
+  // One stat+read pass over the directory: every decodable entry goes
+  // into the in-memory index with the (size, mtime) signature it had
+  // right now. Undecodable files are left alone — damage handling (with
+  // its quarantine + counter semantics) belongs to lookup(), which a
+  // damaged entry still reaches because it is simply not indexed.
+  std::error_code EC;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    const fs::path &P = DE.path();
+    if (P.extension() != ".json")
+      continue;
+    std::error_code SzEC, MtEC;
+    uintmax_t Size = fs::file_size(P, SzEC);
+    fs::file_time_type MTime = fs::last_write_time(P, MtEC);
+    if (SzEC || MtEC)
+      continue;
+    std::ifstream In(P, std::ios::binary);
+    if (!In)
+      continue;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::optional<ProofCacheEntry> E = decodeEntry(Buf.str());
+    if (!E)
+      continue;
+    IndexedEntry IE;
+    IE.Size = Size;
+    IE.MTime = MTime;
+    IE.Entry = std::move(*E);
+    Index.emplace(P.stem().string(), std::move(IE));
+  }
 }
 
 std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
@@ -87,6 +153,27 @@ std::string ProofCache::pathFor(const std::string &Key) const {
 }
 
 std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
+  // Fast path: the open()-time index, re-validated against the file's
+  // current stat signature so an entry overwritten, tampered with, or
+  // quarantined since open never gets served stale. Skipped while a
+  // fault plan is attached — injected IO faults must see real file IO.
+  if (!Faults) {
+    std::lock_guard<std::mutex> Lock(IndexMu);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      std::error_code SzEC, MtEC;
+      fs::path P = pathFor(Key);
+      uintmax_t Size = fs::file_size(P, SzEC);
+      fs::file_time_type MTime = fs::last_write_time(P, MtEC);
+      if (!SzEC && !MtEC && Size == It->second.Size &&
+          MTime == It->second.MTime)
+        return It->second.Entry;
+      // The file changed (or vanished) since open: drop the snapshot and
+      // take the disk path below, where damage handling lives.
+      Index.erase(It);
+    }
+  }
+
   FaultyIO IO(Faults);
   Result<std::string> Bytes = IO.readFile(pathFor(Key), Key);
   if (!Bytes.ok()) {
@@ -98,38 +185,22 @@ std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
 
   // From here on the file exists and was read; anything undecodable is
   // damage — quarantine the evidence and report a miss.
-  auto Damaged = [&](const char *Why) -> std::optional<ProofCacheEntry> {
-    (void)Why;
+  std::optional<ProofCacheEntry> E = decodeEntry(*Bytes);
+  if (!E) {
     quarantine(Key);
     noteRejected();
     return std::nullopt;
-  };
-
-  Result<JsonValue> Doc = parseJson(*Bytes);
-  if (!Doc.ok() || !Doc->isObject())
-    return Damaged("unparsable JSON");
-  if (int64_t(Doc->getNumber("version", 0)) != EntryVersion)
-    return Damaged("version mismatch");
-
-  ProofCacheEntry E;
-  std::string Status = Doc->getString("status");
-  if (Status == verifyStatusName(VerifyStatus::Proved))
-    E.Status = VerifyStatus::Proved;
-  else if (Status == verifyStatusName(VerifyStatus::Unknown))
-    E.Status = VerifyStatus::Unknown;
-  else
-    return Damaged("junk status"); // Refuted/budget statuses never cached
-  E.Reason = Doc->getString("reason");
-  E.Millis = Doc->getNumber("millis", 0);
-  E.CertChecked = Doc->getBool("cert_checked", false);
-  E.CanonicalCert = Doc->getString("canonical_cert");
-  E.CertJson = Doc->getString("cert_json");
-  if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
-    return Damaged("proved entry without its certificate");
+  }
   return E;
 }
 
 void ProofCache::quarantine(const std::string &Key) {
+  {
+    // The on-disk entry is about to move aside; the open()-time snapshot
+    // of it must go with it.
+    std::lock_guard<std::mutex> Lock(IndexMu);
+    Index.erase(Key);
+  }
   std::error_code EC;
   fs::path QDir = fs::path(Dir) / "quarantine";
   fs::create_directories(QDir, EC);
@@ -158,6 +229,8 @@ Result<void> ProofCache::store(const std::string &Key,
   W.field("cert_checked", Entry.CertChecked);
   W.field("canonical_cert", Entry.CanonicalCert);
   W.field("cert_json", Entry.CertJson);
+  if (!Entry.CertSha256.empty())
+    W.field("cert_sha256", Entry.CertSha256);
   W.endObject();
 
   // Atomic publish: write and fsync a per-thread temp file, then rename
@@ -203,20 +276,126 @@ void ProofCache::noteRejected() {
   ++S.Rejected;
 }
 
-PropertyResult verifyPropertyCached(VerifySession &Session,
-                                    const Property &Prop, ProofCache *Cache,
-                                    const std::string &CodeFingerprint,
-                                    Deadline *Budget) {
+namespace {
+
+bool isKnownJustify(const std::string &Name) {
+  static const Justify All[] = {
+      Justify::PathInfeasible, Justify::LocalObligation, Justify::CompOrigin,
+      Justify::InvariantHistory, Justify::NoCompHistory,
+      Justify::GuardPreserved, Justify::SyntacticSkip, Justify::NoPriorLocal};
+  for (Justify J : All)
+    if (Name == justifyName(J))
+      return true;
+  return false;
+}
+
+/// Structural validation of one proof-step object against the set of
+/// invariant ids declared in the certificate.
+bool stepWellFormed(const JsonValue &Step,
+                    const std::vector<int64_t> &InvariantIds) {
+  if (!Step.isObject())
+    return false;
+  const JsonValue *J = Step.get("justify");
+  if (!J || !J->isString() || !isKnownJustify(J->stringValue()))
+    return false;
+  if (const JsonValue *Inv = Step.get("invariant")) {
+    if (!Inv->isNumber())
+      return false;
+    int64_t Id = int64_t(Inv->numberValue());
+    bool Found = false;
+    for (int64_t Known : InvariantIds)
+      Found |= Known == Id;
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+/// The structural half of the fast re-check: the canonical certificate
+/// must parse, name a property, carry a kind, and every proof step —
+/// top-level and inside each auxiliary invariant — must cite a known
+/// justification whose invariant reference (if any) resolves within the
+/// certificate itself.
+ProofCache::CertParse parseCanonicalCert(const std::string &CanonicalCert) {
+  ProofCache::CertParse Out;
+  Result<JsonValue> Doc = parseJson(CanonicalCert);
+  if (!Doc.ok() || !Doc->isObject())
+    return Out;
+  Out.PropName = Doc->getString("property");
+  if (Out.PropName.empty() || Doc->getString("kind").empty())
+    return Out;
+  const JsonValue *Steps = Doc->get("steps");
+  if (!Steps || !Steps->isArray())
+    return Out;
+  std::vector<int64_t> InvariantIds;
+  const JsonValue *Invs = Doc->get("invariants");
+  if (Invs) {
+    if (!Invs->isArray())
+      return Out;
+    for (const JsonValue &Inv : Invs->items()) {
+      if (!Inv.isObject())
+        return Out;
+      InvariantIds.push_back(int64_t(Inv.getNumber("id", 0)));
+    }
+  }
+  for (const JsonValue &Step : Steps->items())
+    if (!stepWellFormed(Step, InvariantIds))
+      return Out;
+  if (Invs)
+    for (const JsonValue &Inv : Invs->items()) {
+      const JsonValue *ISteps = Inv.get("steps");
+      if (!ISteps || !ISteps->isArray())
+        return Out;
+      for (const JsonValue &Step : ISteps->items())
+        if (!stepWellFormed(Step, InvariantIds))
+          return Out;
+    }
+  Out.StructOk = true;
+  return Out;
+}
+
+} // namespace
+
+bool ProofCache::validateCertificateFast(const ProofCacheEntry &Entry,
+                                         const Property &Prop) {
+  // The hash chain: the stored digest must cover the stored certificate.
+  // This is what makes bit-flips, truncation, and splices detectable
+  // without replaying the proof — an attacker able to recompute the
+  // digest could as well forge a fresh entry, which is exactly the trust
+  // level --fast-cache opts into (see docs/PERF.md). Digest and parse
+  // are memoized by certificate *content*: the map's key equality pins
+  // which bytes the memo covers, so same bytes always report the same
+  // digest, and a batch that re-checks one certificate many times pays
+  // for one SHA-256 and one parse.
+  CertCheck Checked;
+  {
+    std::lock_guard<std::mutex> Lock(ParseMu);
+    auto It = ParseMemo.find(Entry.CanonicalCert);
+    if (It != ParseMemo.end()) {
+      Checked = It->second;
+    } else {
+      Checked.Sha256 = sha256Hex(Entry.CanonicalCert);
+      Checked.Parse = parseCanonicalCert(Entry.CanonicalCert);
+      ParseMemo.emplace(Entry.CanonicalCert, Checked);
+    }
+  }
+  return Checked.Sha256 == Entry.CertSha256 && Checked.Parse.StructOk &&
+         Checked.Parse.PropName == Prop.Name;
+}
+
+PropertyResult verifyPropertyCached(
+    const Program &P, const VerifyOptions &Opts,
+    const std::function<VerifySession &()> &Session, const Property &Prop,
+    ProofCache *Cache, const std::string &CodeFingerprint, Deadline *Budget) {
   auto Verify = [&] {
-    return Budget ? Session.verify(Prop, *Budget) : Session.verify(Prop);
+    VerifySession &Live = Session();
+    return Budget ? Live.verify(Prop, *Budget) : Live.verify(Prop);
   };
   if (!Cache)
     return Verify();
 
-  const VerifyOptions &Opts = Session.options();
-  std::string CodeFP = CodeFingerprint.empty()
-                           ? codeFingerprint(Session.program())
-                           : CodeFingerprint;
+  std::string CodeFP =
+      CodeFingerprint.empty() ? codeFingerprint(P) : CodeFingerprint;
   std::string Key = ProofCache::keyFor(CodeFP, Prop, Opts);
 
   if (std::optional<ProofCacheEntry> E = Cache->lookup(Key)) {
@@ -233,7 +412,7 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
       Cache->noteHit();
       return R;
     }
-    // Proved. The entry is untrusted: re-derive in this session and
+    // Proved. The entry is untrusted: re-derive in a live session and
     // require the canonical forms to agree (the checker is the trust
     // anchor, exactly as for freshly produced certificates).
     if (!Opts.CheckCertificates) {
@@ -247,32 +426,59 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
       Cache->noteHit();
       return R;
     }
-    ProverOptions RecheckOpts = proverOptions(Opts);
-    RecheckOpts.Budget = Budget;
-    RecheckOutcome Chk = checkCanonicalCertificate(
-        Session.termContext(), Session.program(), Session.behAbs(), Prop,
-        E->CanonicalCert, RecheckOpts);
-    if (Chk.Ok) {
-      PropertyResult R;
-      R.Name = Prop.Name;
-      R.Status = VerifyStatus::Proved;
-      R.Cert = std::move(Chk.Rederived);
-      R.CertJson = R.Cert.toJson(Session.termContext());
-      R.CertChecked = true;
-      R.CacheHit = true;
-      R.Millis = Timer.elapsedMillis();
-      Cache->noteHit();
-      return R;
-    }
-    if (Budget && Budget->expiredNow()) {
-      // The re-check failed only because the budget ran out mid-way —
-      // that says nothing about the entry, so it stays where it is. The
-      // full verification below fails fast with the budget status.
-    } else {
-      // Tampered/corrupt/stale: quarantine the evidence and fall through
-      // to a full verification, which will publish a fresh entry.
+    bool TryFullRecheck = true;
+    if (Opts.FastCacheRecheck && !E->CertSha256.empty()) {
+      // Fast mode: hash chain + memoized structural validation; no
+      // session, no obligation replay. An entry that fails this is
+      // damaged by construction (its digest does not cover its
+      // certificate, or the certificate is structural junk), so it is
+      // quarantined rather than retried at full strength.
+      TryFullRecheck = false;
+      if (Cache->validateCertificateFast(*E, Prop)) {
+        PropertyResult R;
+        R.Name = Prop.Name;
+        R.Status = VerifyStatus::Proved;
+        R.CertJson = std::move(E->CertJson);
+        R.CertChecked = false;
+        R.FastRecheck = true;
+        R.CacheHit = true;
+        R.Millis = Timer.elapsedMillis();
+        Cache->noteHit();
+        return R;
+      }
       Cache->noteRejected();
       Cache->quarantine(Key);
+    }
+    if (TryFullRecheck) {
+      VerifySession &Live = Session();
+      ProverOptions RecheckOpts = proverOptions(Opts);
+      RecheckOpts.Budget = Budget;
+      RecheckOutcome Chk = checkCanonicalCertificate(
+          Live.termContext(), Live.program(), Live.behAbs(), Prop,
+          E->CanonicalCert, RecheckOpts);
+      if (Chk.Ok) {
+        PropertyResult R;
+        R.Name = Prop.Name;
+        R.Status = VerifyStatus::Proved;
+        R.Cert = std::move(Chk.Rederived);
+        R.CertJson = R.Cert.toJson(Live.termContext());
+        R.CertChecked = true;
+        R.CacheHit = true;
+        R.Millis = Timer.elapsedMillis();
+        Cache->noteHit();
+        return R;
+      }
+      if (Budget && Budget->expiredNow()) {
+        // The re-check failed only because the budget ran out mid-way —
+        // that says nothing about the entry, so it stays where it is. The
+        // full verification below fails fast with the budget status.
+      } else {
+        // Tampered/corrupt/stale: quarantine the evidence and fall
+        // through to a full verification, which will publish a fresh
+        // entry.
+        Cache->noteRejected();
+        Cache->quarantine(Key);
+      }
     }
   } else {
     Cache->noteMiss();
@@ -286,14 +492,25 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
     E.Millis = R.Millis;
     E.CertChecked = R.CertChecked;
     if (R.Status == VerifyStatus::Proved) {
-      E.CanonicalCert = R.Cert.canonical(Session.termContext());
+      E.CanonicalCert = R.Cert.canonical(Session().termContext());
       E.CertJson = R.CertJson;
+      E.CertSha256 = sha256Hex(E.CanonicalCert);
     }
     // Store failures are non-fatal: the cache is an accelerator, the
     // verdict in hand is what matters.
-    (void)Cache->store(Key, E, Session.program().Name, Prop.Name);
+    (void)Cache->store(Key, E, P.Name, Prop.Name);
   }
   return R;
+}
+
+PropertyResult verifyPropertyCached(VerifySession &Session,
+                                    const Property &Prop, ProofCache *Cache,
+                                    const std::string &CodeFingerprint,
+                                    Deadline *Budget) {
+  return verifyPropertyCached(
+      Session.program(), Session.options(),
+      [&Session]() -> VerifySession & { return Session; }, Prop, Cache,
+      CodeFingerprint, Budget);
 }
 
 } // namespace reflex

@@ -44,10 +44,13 @@
 #include "support/result.h"
 #include "verify/verifier.h"
 
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 namespace reflex {
 
@@ -64,6 +67,12 @@ struct ProofCacheEntry {
   std::string CanonicalCert;
   /// Proved only: audit JSON (what --certs exports on an unchecked hit).
   std::string CertJson;
+  /// Proved only: SHA-256 (hex) of CanonicalCert, recorded at store time.
+  /// The fast re-check mode (VerifyOptions::FastCacheRecheck) validates
+  /// this hash chain instead of replaying obligations. Empty in entries
+  /// stored before the field existed — those always take the full
+  /// re-check.
+  std::string CertSha256;
 };
 
 /// A persistent content-addressed store of verification verdicts.
@@ -74,6 +83,14 @@ public:
   /// at open predates this process; a *concurrent* process sharing the
   /// directory could in the worst case lose an in-flight store — which
   /// costs a re-verification, never a wrong verdict).
+  /// Opening also preloads every decodable entry into an in-memory index
+  /// in one stat+read pass, so warm batch lookups are served from memory
+  /// (each hit re-validated against the file's current size/mtime
+  /// signature — an entry that changed on disk falls back to a fresh
+  /// read). The index is deliberately *not* maintained by store(): it is
+  /// a snapshot of the directory at open time, which keeps every
+  /// freshly-written or externally-modified entry on the read-from-disk
+  /// path where damage detection lives.
   static Result<std::unique_ptr<ProofCache>> open(const std::string &Dir);
 
   const std::string &directory() const { return Dir; }
@@ -132,15 +149,56 @@ public:
   void noteMiss();
   void noteRejected();
 
+  /// The fast re-check: computes SHA-256 over the entry's canonical
+  /// certificate and compares it to the recorded CertSha256 (the hash
+  /// chain), then structurally validates the certificate JSON — right
+  /// property, known justifications, resolvable invariant references —
+  /// without replaying obligations. Digest and parse are memoized by
+  /// certificate *content* (same bytes, same digest), so a batch
+  /// re-check hashes and parses each distinct certificate once per
+  /// process. Pre-condition: Entry.CertSha256 is non-empty.
+  bool validateCertificateFast(const ProofCacheEntry &Entry,
+                               const Property &Prop);
+
+  /// Result of the memoized structural parse (public so the out-of-line
+  /// parser helper can name it; not part of the cache's API surface).
+  struct CertParse {
+    bool StructOk = false;
+    std::string PropName;
+  };
+
 private:
   explicit ProofCache(std::string Dir) : Dir(std::move(Dir)) {}
 
   std::string pathFor(const std::string &Key) const;
+  void preloadIndex();
 
   std::string Dir;
   const FaultPlan *Faults = nullptr;
   mutable std::mutex Mu;
   Stats S;
+
+  /// Entries preloaded at open(), keyed by cache key, each pinned to the
+  /// (size, mtime) signature observed during the preload pass. Bypassed
+  /// entirely while a fault plan is attached (fault injection targets the
+  /// file IO path).
+  struct IndexedEntry {
+    uintmax_t Size = 0;
+    std::filesystem::file_time_type MTime;
+    ProofCacheEntry Entry;
+  };
+  mutable std::mutex IndexMu;
+  std::unordered_map<std::string, IndexedEntry> Index;
+
+  /// Memoized digest + structural validation of canonical certificates,
+  /// keyed by the certificate content itself (the map's key equality —
+  /// not the claimed digest — pins which bytes the memo entry covers).
+  struct CertCheck {
+    std::string Sha256;
+    CertParse Parse;
+  };
+  mutable std::mutex ParseMu;
+  std::unordered_map<std::string, CertCheck> ParseMemo;
 };
 
 /// Cache-aware verification of one property in \p Session:
@@ -164,10 +222,30 @@ private:
 /// the budget ran out is *not* a rejection (the entry stays), the
 /// property just reports its budget status. Budget statuses are never
 /// stored.
+///
+/// With VerifyOptions::FastCacheRecheck, a Proved hit that carries a
+/// certificate hash is served after validateCertificateFast instead of
+/// the full canonical re-derivation (FastRecheck = true, CertChecked =
+/// false in the result); a failed fast validation quarantines the entry
+/// and re-verifies in full. Entries without a hash take the full re-check.
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
                                     const std::string &CodeFingerprint = {},
                                     Deadline *Budget = nullptr);
+
+/// Lazy-session variant: \p Session is invoked only if a live session is
+/// actually needed — a cache miss, a full certificate re-check, or a
+/// rejected entry. Unknown hits, unchecked Proved hits, and fast-mode
+/// Proved hits are served without ever building one; this is what makes
+/// the warm path cheap (no symbolic re-execution of the program) and what
+/// the scheduler uses to avoid building sessions for fully cached
+/// programs. The provider may be called multiple times and must return
+/// the same session (for \p P, with \p Opts) each time.
+PropertyResult verifyPropertyCached(
+    const Program &P, const VerifyOptions &Opts,
+    const std::function<VerifySession &()> &Session, const Property &Prop,
+    ProofCache *Cache, const std::string &CodeFingerprint = {},
+    Deadline *Budget = nullptr);
 
 } // namespace reflex
 

@@ -52,6 +52,16 @@ struct WorkCounters {
   uint64_t InvariantCacheHits = 0;
 };
 
+/// Per-program shared state under SchedulerOptions::SharedCaches: the
+/// phase-1 frozen abstraction (built once by whichever worker gets there
+/// first, then shared read-only) and the phase-2 cross-worker cache
+/// tiers. Heap-allocated per program because the members are immovable.
+struct ProgramShare {
+  std::mutex Mu; ///< guards Abs (get-or-build); caches lock internally
+  std::shared_ptr<const FrozenAbstraction> Abs;
+  SharedVerifyCaches Caches;
+};
+
 } // namespace
 
 BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
@@ -91,6 +101,53 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     Workers = unsigned(Jobs.size());
   if (Workers == 0)
     Workers = 1;
+  // Workers is the *logical* concurrency cap; the pool never runs more
+  // OS threads than the machine has cores. Oversubscribed CPU-bound
+  // workers add context-switch and cache-eviction overhead without
+  // adding concurrency — on a single-core host it turns "--jobs 4" into
+  // a measurable slowdown. Verdicts are thread-count independent (the
+  // determinism contract above), so the clamp is unobservable outside
+  // timing.
+  unsigned Threads = std::min(Workers, ThreadPool::defaultWorkerCount());
+  if (Threads == 0)
+    Threads = 1;
+
+  // Phase-1 slots: one shared frozen abstraction (plus cross-worker cache
+  // tiers) per program, built on first demand.
+  std::vector<std::unique_ptr<ProgramShare>> Shares;
+  if (Opts.SharedCaches) {
+    Shares.reserve(Programs.size());
+    for (size_t PI = 0; PI < Programs.size(); ++PI)
+      Shares.push_back(std::make_unique<ProgramShare>());
+  }
+
+  // Builds a session for one program. Shared mode: get-or-build the
+  // program's FrozenAbstraction under its mutex and lay a private overlay
+  // session over it; a build whose budget expired is *not* left in the
+  // shared slot, so a retry rebuilds from scratch — matching the old
+  // fresh-session-per-retry semantics. The cross-worker cache tiers are
+  // only attached when more than one thread actually runs (on a single
+  // thread the private tiers already see every entry first; the shared
+  // tiers would only add locking and publish copies).
+  auto MakeSession = [&](size_t ProgIdx) -> std::unique_ptr<VerifySession> {
+    const Program &P = *Programs[ProgIdx];
+    if (!Opts.SharedCaches)
+      return std::make_unique<VerifySession>(P, Opts.Verify);
+    ProgramShare &Sh = *Shares[ProgIdx];
+    std::shared_ptr<const FrozenAbstraction> Abs;
+    {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      if (!Sh.Abs) {
+        Sh.Abs = FrozenAbstraction::build(P, Opts.Verify);
+        if (Sh.Abs->buildOutcome() != BudgetOutcome::Ok)
+          Abs = std::move(Sh.Abs); // keep the failed build out of the slot
+      }
+      if (!Abs)
+        Abs = Sh.Abs;
+    }
+    return std::make_unique<VerifySession>(
+        std::move(Abs), Threads > 1 ? &Sh.Caches : nullptr);
+  };
 
   // One job, with isolation and retries: every attempt runs inside a
   // catch-all (the library is exception-free by convention, but workers
@@ -121,18 +178,23 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
                                                                  A)) !=
                                FaultKind::None)
           throw std::runtime_error("injected worker fault");
-        std::unique_ptr<VerifySession> &Session = Sessions[Jb.ProgIdx];
-        if (!Session)
-          Session = std::make_unique<VerifySession>(P, Opts.Verify);
+        // Lazy session: a warm cache hit (Unknown, unchecked Proved, or
+        // fast-validated Proved) is served without ever building one.
+        auto SessionFor = [&]() -> VerifySession & {
+          std::unique_ptr<VerifySession> &Session = Sessions[Jb.ProgIdx];
+          if (!Session)
+            Session = MakeSession(Jb.ProgIdx);
+          return *Session;
+        };
         if (Opts.Faults &&
             Opts.Faults->decide("budget", JobTag) != FaultKind::None) {
           Deadline D;
           D.setStepBudget(1);
-          R = verifyPropertyCached(*Session, Prop, Opts.Cache,
-                                   CodeFPs[Jb.ProgIdx], &D);
+          R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
+                                   Opts.Cache, CodeFPs[Jb.ProgIdx], &D);
         } else {
-          R = verifyPropertyCached(*Session, Prop, Opts.Cache,
-                                   CodeFPs[Jb.ProgIdx]);
+          R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
+                                   Opts.Cache, CodeFPs[Jb.ProgIdx]);
         }
       } catch (const std::exception &E) {
         Crashed = true;
@@ -167,8 +229,9 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   };
 
   auto WorkerBody = [&] {
-    // Private sessions: TermContext / solver memo / invariant cache are
-    // not thread-safe and must never be shared across workers.
+    // Per-worker sessions: the overlay TermContext and the private memo
+    // tiers are not thread-safe and are never shared across workers (the
+    // frozen base and the sharded cache tiers underneath them are).
     std::map<size_t, std::unique_ptr<VerifySession>> Sessions;
     for (;;) {
       size_t J = NextJob.fetch_add(1, std::memory_order_relaxed);
@@ -177,9 +240,13 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
       const Job &Jb = Jobs[J];
       Slots[Jb.ProgIdx][Jb.PropIdx] = RunJob(Sessions, Jb);
     }
-    // Contribute this worker's session counters before exiting.
+    // Contribute this worker's session counters before exiting. A slot
+    // may be null — the session was never built (every job served warm
+    // from the proof cache) or was discarded after a crashed attempt.
     std::lock_guard<std::mutex> Lock(CountersMu);
     for (const auto &[ProgIdx, Session] : Sessions) {
+      if (!Session)
+        continue;
       WorkCounters &C = Counters[ProgIdx];
       C.TermCount += Session->termContext().termCount();
       C.SolverQueries += Session->solverQueries();
@@ -187,13 +254,17 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     }
   };
 
-  if (Workers == 1) {
+  if (Threads == 1) {
     // Degenerate case: run inline; no pool, no synchronization.
     WorkerBody();
   } else {
-    ThreadPool Pool(Workers);
-    for (unsigned I = 0; I < Workers; ++I)
+    // The calling thread is one of the workers: a pool of Threads-1 plus
+    // this thread. Blocking in wait() while the pool computes would
+    // waste a core's worth of work on machines where cores are scarce.
+    ThreadPool Pool(Threads - 1);
+    for (unsigned I = 0; I + 1 < Threads; ++I)
       Pool.post(WorkerBody);
+    WorkerBody();
     Pool.wait();
   }
 

@@ -7,22 +7,27 @@
 ///
 /// \file
 /// Schedules a batch of (program, property) verification jobs across a
-/// thread pool. The exploitable structure is the paper's own (§6.4):
-/// `VerifySession::verify(Prop)` calls are independent across properties
-/// and across kernels, so the 41-property suite parallelizes trivially —
-/// *except* that a session's TermContext, solver memo, and invariant
-/// cache are single-threaded state. The scheduler therefore never shares
-/// a session between threads: each worker lazily builds a private
-/// VerifySession per program it touches, and properties are handed out
-/// from a global work list (dynamic load balancing — NI properties
-/// dominate runtimes, so static partitioning would straggle).
+/// thread pool, in two phases (docs/PERF.md). Phase 1, once per program:
+/// build a FrozenAbstraction — the term context plus symbolically
+/// executed handler summaries, frozen immutable — and share it read-only
+/// across workers via shared_ptr. Phase 2, per property in parallel:
+/// each worker's VerifySession lays a private overlay TermContext over
+/// the frozen base (property-local terms are single-threaded state and
+/// stay private), while completed solver-memo and invariant-cache
+/// entries whose terms live in the frozen base are published to sharded
+/// cross-worker caches (SharedVerifyCaches) so one worker's finished
+/// proof work is reusable by the others. Properties are handed out from
+/// a global work list (dynamic load balancing — NI properties dominate
+/// runtimes, so static partitioning would straggle).
 ///
 /// Determinism: per-property statuses, reasons, and certificates are
 /// functions of (program, property, options) only — the prover is
-/// deterministic and per-session caches are semantically transparent —
-/// so any worker count produces the same verdict list. Reports are merged
-/// with results in declaration order and aggregate work counters summed
-/// across every session that served the program.
+/// deterministic and all cache tiers (private and shared) are
+/// semantically transparent: a hit returns exactly what the worker would
+/// have computed. So any worker count, with sharing on or off, produces
+/// the same verdict list. Reports are merged with results in declaration
+/// order and aggregate work counters summed across every session that
+/// served the program.
 ///
 /// Fault tolerance: every job runs inside a catch-all; a worker that
 /// throws (or a job that exhausts its budget) is retried on a fresh
@@ -47,9 +52,12 @@
 namespace reflex {
 
 struct SchedulerOptions {
-  /// Worker threads. 0 means hardware concurrency; 1 degenerates to the
+  /// Logical workers. 0 means hardware concurrency; 1 degenerates to the
   /// sequential order (one worker pulls jobs in declaration order with
-  /// one session per program, i.e. verifyAll semantics).
+  /// one session per program, i.e. verifyAll semantics). The scheduler
+  /// never runs more OS threads than the machine has cores —
+  /// oversubscription only adds context-switch overhead for CPU-bound
+  /// proving, and verdicts are worker-count independent anyway.
   unsigned Jobs = 1;
   VerifyOptions Verify;
   /// Optional persistent proof cache, shared by all workers (thread-safe).
@@ -72,6 +80,13 @@ struct SchedulerOptions {
   /// exhausts deterministically). Cache IO faults are separate: attach
   /// the same plan to the cache via ProofCache::setFaultPlan.
   const FaultPlan *Faults = nullptr;
+  /// Phase-1/phase-2 sharing (docs/PERF.md): build each program's
+  /// abstraction once as a shared FrozenAbstraction and attach the
+  /// cross-worker cache tiers (solver memo + invariant cache). Off, every
+  /// worker builds a fully private session per program — the pre-sharing
+  /// behavior, kept as an ablation knob for the bench. Either setting
+  /// produces identical verdicts (caches are semantically transparent).
+  bool SharedCaches = true;
 };
 
 /// The merged outcome of a batch run.

@@ -13,7 +13,20 @@ StringInterner::StringInterner() {
   Index.emplace(Strings.back(), 0);
 }
 
+StringInterner::StringInterner(const StringInterner *B)
+    : Base(B), BaseSize(static_cast<uint32_t>(B->size())) {
+  // The base already holds symbol 0 (the empty string); the overlay must
+  // not shadow it, so it starts empty and offsets everything it adds.
+}
+
 Symbol StringInterner::intern(std::string_view S) {
+  if (Base) {
+    // Read-only probe of the (frozen) base first: shared strings keep
+    // their base ids so symbols stay interchangeable across layers.
+    auto BIt = Base->Index.find(S);
+    if (BIt != Base->Index.end())
+      return Symbol{BIt->second};
+  }
   auto It = Index.find(S);
   if (It != Index.end())
     return Symbol{It->second};
@@ -21,14 +34,17 @@ Symbol StringInterner::intern(std::string_view S) {
   // buffer is stable because we only ever append to Strings and the string
   // contents live on the heap.
   Strings.emplace_back(S);
-  uint32_t Id = static_cast<uint32_t>(Strings.size() - 1);
+  uint32_t Id = BaseSize + static_cast<uint32_t>(Strings.size() - 1);
   Index.emplace(Strings.back(), Id);
   return Symbol{Id};
 }
 
 const std::string &StringInterner::str(Symbol Sym) const {
-  assert(Sym.Id < Strings.size() && "symbol from a different interner?");
-  return Strings[Sym.Id];
+  if (Base && Sym.Id < BaseSize)
+    return Base->str(Sym);
+  assert(Sym.Id - BaseSize < Strings.size() &&
+         "symbol from a different interner?");
+  return Strings[Sym.Id - BaseSize];
 }
 
 } // namespace reflex

@@ -32,9 +32,20 @@ struct Symbol {
 };
 
 /// Interns strings and hands out stable Symbol handles.
+///
+/// An interner may be layered on top of a frozen base interner (see the
+/// overlay constructor): base symbols resolve through the base, and new
+/// strings get ids past the base's range. Symbols are therefore
+/// interchangeable between the base and any overlay layered on it.
 class StringInterner {
 public:
   StringInterner();
+
+  /// Overlay constructor: layer this interner on top of \p Base. The base
+  /// must outlive the overlay and must not grow while the overlay exists
+  /// (the overlay snapshots its size). Strings already interned in the
+  /// base keep their ids; new strings get ids >= Base->size().
+  explicit StringInterner(const StringInterner *Base);
 
   /// Interns \p S, returning its symbol. Symbol 0 is the empty string.
   Symbol intern(std::string_view S);
@@ -43,7 +54,7 @@ public:
   /// lifetime of the interner.
   const std::string &str(Symbol Sym) const;
 
-  size_t size() const { return Strings.size(); }
+  size_t size() const { return BaseSize + Strings.size(); }
 
 private:
   // Deque: element addresses are stable under growth, so both the
@@ -51,6 +62,8 @@ private:
   // (short strings live in the SSO buffer inside the element itself).
   std::deque<std::string> Strings;
   std::unordered_map<std::string_view, uint32_t> Index;
+  const StringInterner *Base = nullptr;
+  uint32_t BaseSize = 0;
 };
 
 } // namespace reflex

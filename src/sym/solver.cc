@@ -209,10 +209,28 @@ SatResult Solver::checkLits(const std::vector<Lit> &Lits) {
     if (It != Memo.end())
       return It->second;
   }
+  // Cross-worker tier: eligible only when every atom lives in the frozen
+  // base, so the id-derived key identifies the same query in every
+  // worker's overlay. A hit is copied into the private memo and does not
+  // count as a solved query.
+  bool BasePure = false;
+  if (MemoEnabled && Shared) {
+    BasePure = true;
+    for (const Lit &L : Lits)
+      BasePure &= Ctx.inFrozenBase(L.Atom);
+    if (BasePure)
+      if (std::optional<SatResult> Hit = Shared->lookup(H)) {
+        Memo.emplace(H, *Hit);
+        return *Hit;
+      }
+  }
   SatResult R = solve(Lits);
   ++QueriesSolved;
-  if (MemoEnabled)
+  if (MemoEnabled) {
     Memo.emplace(H, R);
+    if (BasePure)
+      Shared->publish(H, R);
+  }
   return R;
 }
 

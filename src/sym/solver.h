@@ -33,12 +33,56 @@
 #include "support/deadline.h"
 #include "sym/term.h"
 
+#include <array>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace reflex {
 
 enum class SatResult : uint8_t { Unsat, Maybe };
+
+/// A cross-worker tier for the solver memo, sharded to keep lock traffic
+/// off the hot path. Workers verifying properties of the same frozen
+/// abstraction publish solved queries here and consult it after a private
+/// memo miss. Only queries whose atoms all live in the frozen base context
+/// are eligible (their ids — and hence the memo key — mean the same thing
+/// in every worker's overlay); overlay-local queries stay private.
+///
+/// Sharing is semantically transparent: a hit returns exactly the result
+/// solve() would have computed, because the solver is deterministic over a
+/// fixed term context and expired-budget queries answer Maybe *before*
+/// reaching the memo (so tainted results are never published).
+class SharedSolverMemo {
+public:
+  std::optional<SatResult> lookup(uint64_t Key) const {
+    const Bucket &B = shard(Key);
+    std::shared_lock<std::shared_mutex> Lock(B.Mu);
+    auto It = B.Map.find(Key);
+    if (It == B.Map.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void publish(uint64_t Key, SatResult R) {
+    Bucket &B = shard(Key);
+    std::unique_lock<std::shared_mutex> Lock(B.Mu);
+    B.Map.emplace(Key, R);
+  }
+
+private:
+  struct Bucket {
+    mutable std::shared_mutex Mu;
+    std::unordered_map<uint64_t, SatResult> Map;
+  };
+  static constexpr size_t NumShards = 16;
+  Bucket &shard(uint64_t Key) { return Shards[(Key >> 4) % NumShards]; }
+  const Bucket &shard(uint64_t Key) const {
+    return Shards[(Key >> 4) % NumShards];
+  }
+  std::array<Bucket, NumShards> Shards;
+};
 
 /// Stateless decision procedures plus a memo table. One Solver instance is
 /// shared across a verification run; the memo is keyed by sorted literal
@@ -51,6 +95,12 @@ public:
   /// subproofs at key cut points" optimization (§6.4) and is switched off
   /// together with the invariant-proof cache in the ablation bench.
   void setMemoEnabled(bool On) { MemoEnabled = On; }
+
+  /// Attaches (or detaches, with nullptr) a cross-worker memo tier. Only
+  /// meaningful when Ctx is an overlay over a frozen base shared with the
+  /// other workers; queries over base-only atoms are looked up/published
+  /// there. No effect while the private memo is disabled.
+  void setSharedMemo(SharedSolverMemo *M) { Shared = M; }
 
   /// Installs (or clears, with nullptr) a cooperative budget token.
   /// Every checkLits call polls it; once expired, queries answer Maybe —
@@ -86,6 +136,7 @@ private:
   TermContext &Ctx;
   std::unordered_map<uint64_t, SatResult> Memo;
   bool MemoEnabled = true;
+  SharedSolverMemo *Shared = nullptr;
   Deadline *Budget = nullptr;
   uint64_t QueriesSolved = 0;
 };

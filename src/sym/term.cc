@@ -3,6 +3,8 @@
 #include "sym/term.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 
@@ -34,16 +36,47 @@ bool sameNode(const TermNode &A, const TermNode &B) {
 
 } // namespace
 
-TermRef TermContext::make(TermNode N) {
-  uint64_t H = hashNode(N);
-  auto &Bucket = HashCons[H];
-  for (TermRef Existing : Bucket)
+TermContext::TermContext(const TermContext *B)
+    : Simplify(B->Simplify), Base(B),
+      BaseCount(static_cast<uint32_t>(B->termCount())), Strings(&B->Strings),
+      FreshSerial(B->FreshSerial), CompSerial(B->CompSerial) {
+  // The base must be immutable while overlays read it lock-free. An
+  // unfrozen base is a programming error, not a recoverable condition.
+  if (!B->Frozen) {
+    std::fprintf(stderr,
+                 "reflex: TermContext overlay layered on an unfrozen base\n");
+    std::abort();
+  }
+}
+
+TermRef TermContext::findExisting(uint64_t H, const TermNode &N) const {
+  if (Base)
+    if (TermRef Hit = Base->findExisting(H, N))
+      return Hit;
+  auto It = HashCons.find(H);
+  if (It == HashCons.end())
+    return nullptr;
+  for (TermRef Existing : It->second)
     if (sameNode(*Existing, N))
       return Existing;
-  N.Id = static_cast<uint32_t>(Nodes.size());
+  return nullptr;
+}
+
+TermRef TermContext::make(TermNode N) {
+  uint64_t H = hashNode(N);
+  if (TermRef Existing = findExisting(H, N))
+    return Existing;
+  if (Frozen) {
+    // Unconditional (not assert): must hold in release builds too, since
+    // the thread-safety of shared frozen abstractions depends on it.
+    std::fprintf(stderr, "reflex: term built on a frozen TermContext "
+                         "without an overlay\n");
+    std::abort();
+  }
+  N.Id = BaseCount + static_cast<uint32_t>(Nodes.size());
   Nodes.push_back(std::move(N));
   TermRef Ref = &Nodes.back();
-  Bucket.push_back(Ref);
+  HashCons[H].push_back(Ref);
   return Ref;
 }
 
@@ -85,11 +118,19 @@ TermRef TermContext::lit(const Value &V) {
   }
 }
 
+TermRef TermContext::findNamedSym(const std::string &Key) const {
+  for (const TermContext *C = this; C; C = C->Base) {
+    auto It = C->NamedSyms.find(Key);
+    if (It != C->NamedSyms.end())
+      return It->second;
+  }
+  return nullptr;
+}
+
 TermRef TermContext::stateSym(std::string_view Name, BaseType Ty) {
   std::string Key = "s:" + std::string(Name);
-  auto It = NamedSyms.find(Key);
-  if (It != NamedSyms.end())
-    return It->second;
+  if (TermRef Existing = findNamedSym(Key))
+    return Existing;
   TermNode N;
   N.Kind = TermKind::SymVar;
   N.Ty = Ty;
@@ -102,9 +143,8 @@ TermRef TermContext::stateSym(std::string_view Name, BaseType Ty) {
 
 TermRef TermContext::patSym(std::string_view Name, BaseType Ty) {
   std::string Key = "p:" + std::string(Name);
-  auto It = NamedSyms.find(Key);
-  if (It != NamedSyms.end())
-    return It->second;
+  if (TermRef Existing = findNamedSym(Key))
+    return Existing;
   TermNode N;
   N.Kind = TermKind::SymVar;
   N.Ty = Ty;

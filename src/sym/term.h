@@ -106,19 +106,46 @@ using TermRef = const TermNode *;
 /// folding, trivial equalities) unless simplification is disabled — the
 /// toggle exists so the ablation bench can measure the paper's
 /// "domain-specific reduction strategies" optimization (§6.4).
+///
+/// A context can be frozen (freeze()): after that, any attempt to allocate
+/// a new term in it aborts the process. To keep building terms over a
+/// frozen context, layer an overlay context on top of it with the overlay
+/// constructor — lookups (hash-consing, named symbols, interned strings)
+/// fall through to the frozen base, and new terms are allocated privately
+/// in the overlay with ids continuing past the base's range. This is how
+/// the verification service shares one immutable abstraction (base) across
+/// worker threads, each with its own overlay arena: base reads are
+/// lock-free because freeze() makes mutation a process abort, not a race.
 class TermContext {
 public:
   TermContext() = default;
   TermContext(const TermContext &) = delete;
   TermContext &operator=(const TermContext &) = delete;
 
+  /// Overlay constructor: layer this context on top of \p Base, which must
+  /// be frozen already and must outlive the overlay. Terms owned by the
+  /// base keep their ids and may be freely mixed with overlay terms;
+  /// simplification mode and serial counters continue from the base.
+  explicit TermContext(const TermContext *Base);
+
   /// Enables/disables builder-level simplification.
   void setSimplify(bool On) { Simplify = On; }
   bool simplifyEnabled() const { return Simplify; }
 
+  /// Makes the context immutable: any later term allocation (without an
+  /// overlay) aborts. Irreversible.
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+
+  /// Number of terms owned by the frozen base chain (0 for a standalone
+  /// context). Terms with Id < baseTermCount() are shared and immutable.
+  uint32_t baseTermCount() const { return BaseCount; }
+  /// True iff \p T lives in the frozen base this overlay was layered on.
+  bool inFrozenBase(TermRef T) const { return T->Id < BaseCount; }
+
   /// Number of distinct terms allocated (memory proxy for the ablation
-  /// bench).
-  size_t termCount() const { return Nodes.size(); }
+  /// bench). For an overlay this includes the base's terms.
+  size_t termCount() const { return BaseCount + Nodes.size(); }
 
   // Literals.
   TermRef numLit(int64_t V);
@@ -171,8 +198,15 @@ public:
 
 private:
   TermRef make(TermNode N);
+  /// Hash-cons lookup through the base chain (no allocation).
+  TermRef findExisting(uint64_t H, const TermNode &N) const;
+  /// Named-symbol lookup through the base chain.
+  TermRef findNamedSym(const std::string &Key) const;
 
   bool Simplify = true;
+  bool Frozen = false;
+  const TermContext *Base = nullptr; // frozen base of an overlay, or null
+  uint32_t BaseCount = 0;            // Base->termCount() at layering time
   StringInterner Strings;
   std::deque<TermNode> Nodes;
   std::unordered_map<uint64_t, std::vector<TermRef>> HashCons;

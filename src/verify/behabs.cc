@@ -4,12 +4,36 @@
 
 namespace reflex {
 
+// Index key: the pair is unambiguous because identifiers cannot contain
+// '\0'.
+static std::string summaryKey(const std::string &CompType,
+                              const std::string &MsgName) {
+  std::string Key;
+  Key.reserve(CompType.size() + 1 + MsgName.size());
+  Key += CompType;
+  Key += '\0';
+  Key += MsgName;
+  return Key;
+}
+
 const HandlerSummary *BehAbs::findSummary(const std::string &CompType,
                                           const std::string &MsgName) const {
+  if (!SummaryIndex.empty()) {
+    auto It = SummaryIndex.find(summaryKey(CompType, MsgName));
+    return It == SummaryIndex.end() ? nullptr : &Handlers[It->second];
+  }
   for (const HandlerSummary &H : Handlers)
     if (H.CompType == CompType && H.MsgName == MsgName)
       return &H;
   return nullptr;
+}
+
+void BehAbs::indexSummaries() {
+  SummaryIndex.clear();
+  SummaryIndex.reserve(Handlers.size());
+  for (size_t I = 0; I < Handlers.size(); ++I)
+    SummaryIndex.emplace(summaryKey(Handlers[I].CompType, Handlers[I].MsgName),
+                         I);
 }
 
 bool BehAbs::incomplete() const {
@@ -34,6 +58,9 @@ BehAbs buildBehAbs(TermContext &Ctx, const Program &P,
         Abs.Handlers.push_back(makeDefaultSummary(Ctx, P, CT.Name, MD.Name));
     }
   }
+  // Built eagerly (not lazily on first lookup) so a frozen abstraction can
+  // be read concurrently without synchronization.
+  Abs.indexSummaries();
   return Abs;
 }
 

@@ -28,6 +28,8 @@
 
 #include "verify/symexec.h"
 
+#include <unordered_map>
+
 namespace reflex {
 
 /// The behavioral abstraction of a validated program.
@@ -40,9 +42,18 @@ struct BehAbs {
   const HandlerSummary *findSummary(const std::string &CompType,
                                     const std::string &MsgName) const;
 
+  /// Builds the (component type, message) -> summary index consulted by
+  /// findSummary. buildBehAbs calls this once after filling Handlers;
+  /// hand-assembled abstractions that skip it fall back to a linear scan.
+  /// Must not be called once the abstraction is shared across threads.
+  void indexSummaries();
+
   /// True if any part of the abstraction overflowed symbolic-execution
   /// limits (prover must answer Unknown).
   bool incomplete() const;
+
+private:
+  std::unordered_map<std::string, size_t> SummaryIndex;
 };
 
 /// Builds the abstraction. \p P must be validated; all terms are created

@@ -58,10 +58,61 @@ struct ProverOptions {
   Deadline *Budget = nullptr;
 };
 
+/// A cross-worker tier for the invariant-proof cache (§6.4, "saving
+/// subproofs at key cut points" — shared between the workers of the
+/// verification service rather than within one session). Keys are the
+/// rendered GuardInvariant::cacheKey strings, which are context-
+/// independent; values follow InvariantCache semantics (nullopt = the
+/// attempt failed).
+///
+/// Published records are guard-stripped: guard literals usually reference
+/// overlay-allocated eq-nodes that die with the publishing worker's
+/// session, while a record's Steps bind only frozen-base terms (enforced
+/// at publish time). The adopting worker grafts its own candidate's guard
+/// back in — safe because the key renders the guard, so equal keys mean
+/// semantically identical guards.
+class SharedInvariantCache {
+public:
+  std::optional<std::optional<InvariantRecord>>
+  lookup(const std::string &Key) const {
+    const Bucket &B = shard(Key);
+    std::shared_lock<std::shared_mutex> Lock(B.Mu);
+    auto It = B.Map.find(Key);
+    if (It == B.Map.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  void publish(const std::string &Key,
+               const std::optional<InvariantRecord> &Rec) {
+    Bucket &B = shard(Key);
+    std::unique_lock<std::shared_mutex> Lock(B.Mu);
+    B.Map.emplace(Key, Rec);
+  }
+
+private:
+  struct Bucket {
+    mutable std::shared_mutex Mu;
+    std::map<std::string, std::optional<InvariantRecord>> Map;
+  };
+  static constexpr size_t NumShards = 8;
+  size_t shardIndex(const std::string &Key) const {
+    return std::hash<std::string>()(Key) % NumShards;
+  }
+  Bucket &shard(const std::string &Key) { return Shards[shardIndex(Key)]; }
+  const Bucket &shard(const std::string &Key) const {
+    return Shards[shardIndex(Key)];
+  }
+  std::array<Bucket, NumShards> Shards;
+};
+
 /// Cross-property cache of invariant proofs. Entries are std::nullopt for
-/// invariants that were attempted and failed.
+/// invariants that were attempted and failed. When Shared is set (the
+/// parallel service, over a frozen abstraction), misses consult the
+/// cross-worker tier and shareable outcomes are published to it.
 struct InvariantCache {
   std::map<std::string, std::optional<InvariantRecord>> Map;
+  SharedInvariantCache *Shared = nullptr;
   uint64_t Hits = 0;
 };
 

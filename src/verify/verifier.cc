@@ -90,10 +90,17 @@ std::string VerificationReport::toJson() const {
     W.field("status", verifyStatusName(R.Status));
     W.key("millis");
     W.value(R.Millis);
-    if (R.Status == VerifyStatus::Proved)
+    if (R.Status == VerifyStatus::Proved) {
       W.field("cert_checked", R.CertChecked);
-    else
+      // Audit trail for proof-cache hits: which re-validation accepted
+      // the entry (full obligation replay vs the fast hash-chain check).
+      if (R.CacheHit)
+        W.field("recheck", R.FastRecheck   ? "fast"
+                           : R.CertChecked ? "full"
+                                           : "none");
+    } else {
       W.field("reason", R.Reason);
+    }
     if (R.Attempts > 1)
       W.field("attempts", static_cast<int64_t>(R.Attempts));
     W.endObject();
@@ -111,37 +118,79 @@ std::string VerificationReport::toJson() const {
   return W.take();
 }
 
+FrozenAbstraction::FrozenAbstraction(const Program &P,
+                                     const VerifyOptions &Opts)
+    : P(P), Opts(Opts) {
+  Ctx.setSimplify(Opts.Simplify);
+  // The abstraction build gets its own budget token with the session's
+  // limits; the summaries degrade to Incomplete on expiry, and the
+  // latched outcome short-circuits every later verify() call.
+  Deadline BuildD;
+  armDeadline(BuildD, Opts);
+  SymExecLimits Limits = Opts.Limits;
+  Limits.Budget = BuildD.active() ? &BuildD : nullptr;
+  Abs = buildBehAbs(Ctx, P, Limits);
+  Outcome = BuildD.outcome();
+  if (Outcome != BudgetOutcome::Ok)
+    Reason = "behavioral abstraction build abandoned: " + BuildD.describe();
+  // Widen the frozen base with the terms every property proof touches, so
+  // they are shared (and shared-cache-eligible) rather than re-created in
+  // each worker's overlay: the boolean literals and the pattern-variable
+  // symbols of the trace properties. Invariant records bind pattern
+  // symbols and abstraction terms, so this makes them base-pure.
+  Ctx.boolLit(true);
+  Ctx.boolLit(false);
+  for (const Property &Prop : P.Properties) {
+    if (!Prop.isTrace())
+      continue;
+    const TraceProperty &TP = Prop.traceProp();
+    std::map<std::string, BaseType> VarTypes;
+    collectPatVarTypes(P, TP.A, VarTypes);
+    collectPatVarTypes(P, TP.B, VarTypes);
+    for (const auto &[Name, Ty] : VarTypes)
+      Ctx.patSym(Name, Ty);
+  }
+  // From here on the context is immutable; sessions allocate in overlays.
+  Ctx.freeze();
+}
+
+std::shared_ptr<const FrozenAbstraction>
+FrozenAbstraction::build(const Program &P, const VerifyOptions &Opts) {
+  return std::shared_ptr<const FrozenAbstraction>(
+      new FrozenAbstraction(P, Opts));
+}
+
 struct VerifySession::Impl {
-  Impl(const Program &P, const VerifyOptions &Opts)
-      : P(P), Opts(Opts), Solv(Ctx) {
-    Ctx.setSimplify(Opts.Simplify);
+  Impl(std::shared_ptr<const FrozenAbstraction> FrozenIn,
+       SharedVerifyCaches *Shared)
+      : Frozen(std::move(FrozenIn)), P(Frozen->program()),
+        Opts(Frozen->options()), Ctx(&Frozen->context()), Solv(Ctx),
+        Abs(Frozen->behAbs()), BuildOutcome(Frozen->buildOutcome()),
+        BuildReason(Frozen->buildReason()) {
     Solv.setMemoEnabled(Opts.CacheInvariants);
-    // The abstraction build gets its own budget token with the session's
-    // limits; the summaries degrade to Incomplete on expiry, and the
-    // latched outcome short-circuits every later verify() call.
-    Deadline BuildD;
-    armDeadline(BuildD, Opts);
-    SymExecLimits Limits = Opts.Limits;
-    Limits.Budget = BuildD.active() ? &BuildD : nullptr;
-    Abs = buildBehAbs(Ctx, P, Limits);
-    BuildOutcome = BuildD.outcome();
-    if (BuildOutcome != BudgetOutcome::Ok)
-      BuildReason =
-          "behavioral abstraction build abandoned: " + BuildD.describe();
+    if (Shared) {
+      Solv.setSharedMemo(&Shared->SolverMemo);
+      Cache.Shared = &Shared->Invariants;
+    }
   }
 
+  std::shared_ptr<const FrozenAbstraction> Frozen;
   const Program &P;
   VerifyOptions Opts;
-  TermContext Ctx;
+  TermContext Ctx; ///< this session's overlay over the frozen base
   Solver Solv;
-  BehAbs Abs;
+  const BehAbs &Abs;
   InvariantCache Cache;
   BudgetOutcome BuildOutcome = BudgetOutcome::Ok;
   std::string BuildReason;
 };
 
 VerifySession::VerifySession(const Program &P, const VerifyOptions &Opts)
-    : I(std::make_unique<Impl>(P, Opts)) {}
+    : I(std::make_unique<Impl>(FrozenAbstraction::build(P, Opts), nullptr)) {}
+
+VerifySession::VerifySession(std::shared_ptr<const FrozenAbstraction> Abs,
+                             SharedVerifyCaches *Shared)
+    : I(std::make_unique<Impl>(std::move(Abs), Shared)) {}
 
 VerifySession::~VerifySession() = default;
 

@@ -51,6 +51,15 @@ struct VerifyOptions {
   uint64_t TimeoutMillis = 0;
   uint64_t StepBudget = 0;
   std::shared_ptr<CancelFlag> Cancel;
+  /// Proof-cache re-check mode: when true, a cached Proved entry is
+  /// accepted after validating the certificate's hash chain (stored
+  /// SHA-256 of the canonical form) and structure, without replaying every
+  /// obligation through the checker. The report records which mode served
+  /// each hit ("recheck": "fast"/"full"), so audits can tell them apart.
+  /// Deliberately not part of the proof-cache options fingerprint: it
+  /// changes how much an entry is re-validated on reuse, not what the
+  /// proof looks like.
+  bool FastCacheRecheck = false;
 };
 
 /// Proved/Refuted/Unknown are the verdicts of the paper's automation.
@@ -90,6 +99,10 @@ struct PropertyResult {
   /// True when the verdict was served by the persistent proof cache (and,
   /// for Proved, re-validated by the independent checker).
   bool CacheHit = false;
+  /// Proved cache hits only: the entry was accepted by the fast hash-chain
+  /// validation (VerifyOptions::FastCacheRecheck) instead of a full
+  /// obligation replay. Always false when CertChecked is true.
+  bool FastRecheck = false;
   /// How many attempts the scheduler made (retries + 1); 1 outside the
   /// fault-tolerant scheduler.
   unsigned Attempts = 1;
@@ -117,13 +130,65 @@ struct VerificationReport {
   std::string toJson() const;
 };
 
+/// Phase 1 of the two-phase parallel pipeline (docs/PERF.md): everything
+/// about a program that is property-independent — the term context with
+/// the symbolically executed handler summaries (BehAbs) plus pre-interned
+/// property pattern symbols — built once, then frozen. Frozen means the
+/// TermContext aborts on any further allocation, so the abstraction can be
+/// shared read-only across worker threads without locks; each worker lays
+/// its own overlay TermContext on top for property-local terms (Phase 2).
+class FrozenAbstraction {
+public:
+  /// Builds and freezes the abstraction. \p P must be validated and
+  /// outlive the result. Respects the budget in \p Opts: on expiry the
+  /// outcome is latched (buildOutcome()) and sessions over this
+  /// abstraction short-circuit, exactly like a private session whose
+  /// build ran out of budget.
+  static std::shared_ptr<const FrozenAbstraction>
+  build(const Program &P, const VerifyOptions &Opts = {});
+
+  const Program &program() const { return P; }
+  const VerifyOptions &options() const { return Opts; }
+  const TermContext &context() const { return Ctx; }
+  const BehAbs &behAbs() const { return Abs; }
+  BudgetOutcome buildOutcome() const { return Outcome; }
+  const std::string &buildReason() const { return Reason; }
+
+private:
+  FrozenAbstraction(const Program &P, const VerifyOptions &Opts);
+
+  const Program &P;
+  VerifyOptions Opts;
+  TermContext Ctx;
+  BehAbs Abs;
+  BudgetOutcome Outcome = BudgetOutcome::Ok;
+  std::string Reason;
+};
+
+/// The cross-worker caches of Phase 2: sharded, mutex-striped tiers for
+/// the solver memo and the §6.4 invariant cache. One instance per
+/// (program, frozen abstraction); attach to sessions built over that
+/// abstraction. Entries are semantically transparent (a hit returns what
+/// the worker would have computed), so verdicts stay deterministic.
+struct SharedVerifyCaches {
+  SharedSolverMemo SolverMemo;
+  SharedInvariantCache Invariants;
+};
+
 /// A verification session: one abstraction, many properties. Keeps the
 /// term context, solver memo, and invariant cache alive across properties
 /// (the cut-point caching of §6.4).
 class VerifySession {
 public:
-  /// \p P must be validated and outlive the session.
+  /// \p P must be validated and outlive the session. Builds a private
+  /// abstraction (equivalent to a single-use FrozenAbstraction).
   VerifySession(const Program &P, const VerifyOptions &Opts = {});
+
+  /// A session over a shared frozen abstraction: property-local terms go
+  /// to a private overlay context; options come from the abstraction.
+  /// \p Shared (optional) attaches the cross-worker cache tiers.
+  explicit VerifySession(std::shared_ptr<const FrozenAbstraction> Abs,
+                         SharedVerifyCaches *Shared = nullptr);
   ~VerifySession();
 
   /// Verifies a single property under the budget configured in the

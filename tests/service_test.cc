@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <thread>
 #include <fstream>
 #include <sstream>
 
@@ -695,7 +696,8 @@ TEST(Scheduler, InjectedBudgetExhaustionIsReportedNotCached) {
 /// injected budget. The batch must complete with a declaration-ordered
 /// report, identical verdicts at 1 and 4 workers, and the corrupted
 /// entries quarantined on disk.
-std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs) {
+std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
+                                                   bool SharedCaches = true) {
   ProgramPtr Ssh = kernels::load(kernels::ssh());
   ProgramPtr Car = kernels::load(kernels::car());
   std::vector<const Program *> Programs{Ssh.get(), Car.get()};
@@ -707,6 +709,7 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs) {
   // Warm the cache faultlessly.
   SchedulerOptions Fill;
   Fill.Jobs = Jobs;
+  Fill.SharedCaches = SharedCaches;
   Fill.Cache = Cache.get();
   BatchOutcome Cold = verifyPrograms(Programs, Fill);
   EXPECT_TRUE(Cold.allProved());
@@ -747,6 +750,7 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs) {
 
   SchedulerOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.SharedCaches = SharedCaches;
   Opts.Cache = Cache.get();
   Opts.Faults = &Plan;
   Opts.Retries = 1;
@@ -796,6 +800,83 @@ TEST(Scheduler, FaultedBatchIsCompleteAndDeterministicAcrossWorkerCounts) {
   EXPECT_EQ(OneWorker, FourWorkers)
       << "verdicts, reasons, and attempt counts must not depend on the "
          "worker count";
+}
+
+TEST(Scheduler, SharingToggleDoesNotChangeFaultedVerdicts) {
+  // The same seeded fault plan (worker crashes, injected budgets,
+  // corrupted cache entries) at four workers, with the phase-1/phase-2
+  // sharing on and off: the shared frozen abstraction and the
+  // cross-worker cache tiers are semantically transparent, so the
+  // verdict list — including failure reasons and attempt counts — must
+  // not depend on the toggle.
+  std::vector<std::string> Shared = runFaultedAcceptanceBatch(4, true);
+  std::vector<std::string> Private = runFaultedAcceptanceBatch(4, false);
+  EXPECT_EQ(Shared, Private)
+      << "SchedulerOptions::SharedCaches must not change verdicts";
+}
+
+//===----------------------------------------------------------------------===//
+// Two-phase sharing: one frozen abstraction, many racing sessions
+//===----------------------------------------------------------------------===//
+
+/// Serializes a report with the run-to-run-varying fields (wall clock and
+/// work-effort counters — timing and effort, never verdicts; shared-cache
+/// hits legitimately shift work between racing sessions) zeroed, so what
+/// remains must be byte-identical across worker counts and interleavings:
+/// names, statuses, reasons, certificate checks, attempt counts.
+std::string stableReportJson(VerificationReport R) {
+  R.TotalMillis = 0;
+  R.TermCount = 0;
+  R.SolverQueries = 0;
+  R.InvariantCacheHits = 0;
+  for (PropertyResult &PR : R.Results)
+    PR.Millis = 0;
+  return R.toJson();
+}
+
+TEST(Scheduler, RacingSessionsOverOneFrozenAbstractionAgree) {
+  // The cross-thread schedule the scheduler cannot produce on a small
+  // machine (it never runs more OS threads than cores): four raw threads,
+  // each with a private overlay session, racing over one shared
+  // FrozenAbstraction and one set of cross-worker cache tiers. Under TSan
+  // (tools/run_tsan.sh) this is the data-race check for the whole
+  // phase-1/phase-2 sharing design; on any host it checks that every
+  // racing session produces the one-worker report, byte for byte.
+  ProgramPtr P = kernels::load(kernels::ssh2());
+  std::shared_ptr<const FrozenAbstraction> Abs =
+      FrozenAbstraction::build(*P);
+  ASSERT_EQ(Abs->buildOutcome(), BudgetOutcome::Ok);
+  SharedVerifyCaches Caches;
+
+  SchedulerOptions Seq;
+  Seq.Jobs = 1;
+  VerificationReport RefReport = verifyParallel(*P, Seq);
+  std::vector<std::string> RefCerts;
+  for (const PropertyResult &PR : RefReport.Results)
+    RefCerts.push_back(PR.CertJson);
+  std::string Ref = stableReportJson(std::move(RefReport));
+
+  constexpr unsigned NumThreads = 4;
+  std::vector<std::string> Got(NumThreads);
+  std::vector<std::vector<std::string>> Certs(NumThreads);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        VerifySession S(Abs, &Caches);
+        VerificationReport R = S.verifyAll();
+        for (const PropertyResult &PR : R.Results)
+          Certs[T].push_back(PR.CertJson);
+        Got[T] = stableReportJson(std::move(R));
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    EXPECT_EQ(Got[T], Ref) << "thread " << T;
+    EXPECT_EQ(Certs[T], RefCerts)
+        << "thread " << T << ": certificates must be interleaving-free";
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -158,5 +158,92 @@ TEST(Term, TermCountGrows) {
   EXPECT_GT(Ctx.termCount(), Before);
 }
 
+//===----------------------------------------------------------------------===//
+// Frozen contexts and overlays (the phase-1/phase-2 sharing split)
+//===----------------------------------------------------------------------===//
+
+TEST(TermOverlay, DedupsIntoTheFrozenBaseByPointer) {
+  TermContext Base;
+  TermRef X = Base.stateSym("x", BaseType::Num);
+  TermRef Sum = Base.add(X, Base.numLit(1));
+  Base.freeze();
+
+  TermContext Over(&Base);
+  // Hash-consing looks through the layer: rebuilding a base term from the
+  // overlay finds the base node itself, so mixed base/overlay terms keep
+  // pointer-equality semantics.
+  EXPECT_EQ(Over.stateSym("x", BaseType::Num), X) << "named-symbol lookup";
+  EXPECT_EQ(Over.add(Over.stateSym("x", BaseType::Num), Over.numLit(1)), Sum);
+  EXPECT_TRUE(Over.inFrozenBase(Sum));
+  EXPECT_EQ(Over.baseTermCount(), uint32_t(Base.termCount()));
+  EXPECT_EQ(Over.termCount(), Base.termCount()) << "no overlay allocations";
+}
+
+TEST(TermOverlay, NewTermsContinueTheIdSpace) {
+  TermContext Base;
+  Base.stateSym("x", BaseType::Num);
+  Base.freeze();
+
+  TermContext Over(&Base);
+  TermRef Fresh = Over.numLit(42); // not in the base
+  EXPECT_FALSE(Over.inFrozenBase(Fresh));
+  EXPECT_GE(Fresh->Id, Over.baseTermCount());
+  EXPECT_EQ(Over.termCount(), Base.termCount() + 1);
+  // Overlay terms compose with base terms in new nodes.
+  TermRef Mixed = Over.add(Over.stateSym("x", BaseType::Num), Fresh);
+  EXPECT_FALSE(Over.inFrozenBase(Mixed));
+  EXPECT_EQ(Mixed, Over.add(Over.stateSym("x", BaseType::Num),
+                            Over.numLit(42)))
+      << "hash-consing holds within the overlay too";
+}
+
+TEST(TermOverlay, SiblingOverlaysAreIndependentAndDeterministic) {
+  TermContext Base;
+  Base.stateSym("x", BaseType::Num);
+  Base.freeze();
+
+  // Two overlays over one base — the per-worker arrangement. Each is
+  // private: the same new term gets the same deterministic id in both
+  // (ids are a function of allocation order, which both repeat), but the
+  // nodes live in their own arenas.
+  TermContext A(&Base);
+  TermContext B(&Base);
+  TermRef FA = A.numLit(7);
+  TermRef FB = B.numLit(7);
+  EXPECT_NE(FA, FB) << "overlay allocations are private";
+  EXPECT_EQ(FA->Id, FB->Id) << "but deterministic";
+  EXPECT_EQ(A.str(FA), B.str(FB));
+}
+
+TEST(TermOverlay, FreezeStillServesExistingTerms) {
+  TermContext Ctx;
+  TermRef X = Ctx.stateSym("x", BaseType::Num);
+  TermRef Lit = Ctx.numLit(3);
+  TermRef Sum = Ctx.add(X, Lit);
+  Ctx.freeze();
+  EXPECT_TRUE(Ctx.frozen());
+  // Reads and hash-cons *lookups* stay legal — only allocation aborts.
+  EXPECT_EQ(Ctx.stateSym("x", BaseType::Num), X);
+  EXPECT_EQ(Ctx.add(X, Lit), Sum);
+  EXPECT_EQ(Ctx.str(Sum), Ctx.str(Sum));
+}
+
+TEST(TermContextDeathTest, BuildingANewTermOnAFrozenContextAborts) {
+  TermContext Ctx;
+  Ctx.stateSym("x", BaseType::Num);
+  Ctx.freeze();
+  // No overlay: allocating any term the context has not seen before is
+  // the exact bug the freeze bit exists to catch (a worker mutating the
+  // shared base instead of its overlay), so it must abort, not race.
+  EXPECT_DEATH(Ctx.numLit(99), "frozen TermContext");
+}
+
+TEST(TermContextDeathTest, LayeringAnOverlayOnAnUnfrozenBaseAborts) {
+  TermContext Base;
+  Base.stateSym("x", BaseType::Num);
+  // The base must be frozen before overlays read it lock-free.
+  EXPECT_DEATH(TermContext{&Base}, "unfrozen base");
+}
+
 } // namespace
 } // namespace reflex

@@ -53,6 +53,12 @@ int usage() {
       "                    --cache-dir PATH (persistent proof cache;\n"
       "                    cached proofs are re-checked by the certificate\n"
       "                    checker before reuse)\n"
+      "                    --fast-cache (accept cached proofs after the\n"
+      "                    hash-chain + structural validation instead of a\n"
+      "                    full obligation replay)\n"
+      "                    --no-share (build private per-worker\n"
+      "                    abstractions instead of one shared frozen\n"
+      "                    abstraction with cross-worker caches)\n"
       "                    --timeout-ms N / --step-budget N (per-property\n"
       "                    budgets; exhausted properties report Timeout /\n"
       "                    ResourceExhausted, exit code 3)\n"
@@ -140,8 +146,10 @@ int cmdVerify(const Args &A, const Program &P) {
   Opts.BmcDepthOnUnknown = numOption(A, "--bmc-depth", 0);
   Opts.TimeoutMillis = numOption(A, "--timeout-ms", 0);
   Opts.StepBudget = numOption(A, "--step-budget", 0);
+  Opts.FastCacheRecheck = A.Options.count("--fast-cache") != 0;
   SOpts.Jobs = unsigned(numOption(A, "--jobs", 1));
   SOpts.Retries = unsigned(numOption(A, "--retries", 0));
+  SOpts.SharedCaches = !A.Options.count("--no-share");
 
   // --fault-seed arms a deterministic failure drill: ~3% of fault-plan
   // decisions (cache IO operations, worker attempts) misbehave, chosen

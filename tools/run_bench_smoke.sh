@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the service benches in smoke mode as a fast CI gate.
+#
+# Smoke mode is one repetition with no speedup expectations: the benches
+# exit non-zero on what must *never* regress — nondeterministic verdicts
+# across worker counts or sharing modes, a warm proof cache that fails
+# to serve (and re-validate) every verdict on both re-check paths, or a
+# fault-tolerance failure in bench_faults. The timed, 5-repetition runs
+# that produce the committed BENCH_*.json artifacts are run manually.
+#
+# Usage: tools/run_bench_smoke.sh [build-dir]       (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_parallel bench_faults
+
+ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
+
+echo "bench-smoke: all gates passed"
