@@ -1,0 +1,344 @@
+//===- bench/bench_incremental.cc - Edit-localized re-verification --------===//
+//
+// The incremental re-verification bench: for every example kernel plus a
+// synthetic stage-chain kernel, measure the edit-verify loop the proof
+// footprints exist to accelerate. Three scenarios per kernel:
+//
+//  * cold            — first verification of the pristine kernel (the
+//                      baseline a fresh checkout pays);
+//  * edit one        — one handler body edited interface-preservingly
+//                      (a semantically no-op self-assignment of a
+//                      variable the handler already assigns), then
+//                      re-verified through an IncrementalVerifier warmed
+//                      on the pristine kernel: only properties whose
+//                      proof footprints touch the edited handler re-run;
+//  * edit all        — every handler edited, so every footprint is hit
+//                      and everything re-verifies (the incremental
+//                      machinery's worst case, bounding its overhead).
+//
+// The headline number is the edit-one speedup versus a from-scratch
+// verification of the *edited* kernel, estimated — like bench_parallel —
+// as the median of paired adjacent ratios (full and incremental batches
+// run back to back with alternating order, so container jitter cancels
+// instead of masquerading as a speedup).
+//
+// Correctness gates (exit non-zero on failure):
+//  * the mutation audit: the incremental verdicts for the edited kernel
+//    are byte-identical (status, reason, certificate JSON) to a
+//    from-scratch verification, and audit mode's internal re-proving of
+//    every reused verdict finds no mismatch;
+//  * outside --smoke, the aggregate edit-one speedup is >= 3x.
+//
+// Flags:
+//   --stages N  chain-kernel size (default 12; more stages, more
+//               edit-disjoint properties)
+//   --smoke     one repetition, no speedup gate (CI races/sanitizers)
+//   --out FILE  JSON output path (default BENCH_incremental.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/cmd.h"
+#include "kernels/kernels.h"
+#include "kernels/synthetic.h"
+#include "reflex/reflex.h"
+#include "support/json.h"
+#include "support/timer.h"
+#include "verify/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace reflex;
+
+namespace {
+
+/// Inserts \p Stmt at the start of the \p I-th handler's body (0-based,
+/// source order). Returns "" past the last handler.
+std::string mutateHandler(const std::string &Src, size_t I,
+                          const std::string &Stmt) {
+  size_t Pos = 0;
+  for (size_t N = 0;; ++N) {
+    Pos = Src.find("\nhandler ", Pos);
+    if (Pos == std::string::npos)
+      return {};
+    size_t Brace = Src.find('{', Pos);
+    if (Brace == std::string::npos)
+      return {};
+    if (N == I)
+      return Src.substr(0, Brace + 1) + "\n  " + Stmt + Src.substr(Brace + 1);
+    Pos = Brace;
+  }
+}
+
+/// A no-op, interface-preserving statement for handler \p H: a
+/// self-assignment of a variable the handler already assigns (the assign
+/// set — which the prover's skip predicates factor through — is
+/// unchanged). Empty when the handler assigns nothing.
+std::string nopFor(const Handler &H) {
+  std::set<std::string> Assigned;
+  collectAssignedVars(*H.Body, Assigned);
+  if (Assigned.empty())
+    return {};
+  const std::string &V = *Assigned.begin();
+  return V + " = " + V + ";";
+}
+
+struct Subject {
+  std::string Name;
+  std::string Src1;    // pristine
+  std::string SrcOne;  // one handler edited (iface-preserving)
+  std::string SrcAll;  // every editable handler edited
+  ProgramPtr P1, POne, PAll;
+};
+
+ProgramPtr mustLoad(const std::string &Src, const std::string &What) {
+  Result<ProgramPtr> P = loadProgram(Src, What);
+  if (!P.ok()) {
+    std::fprintf(stderr, "FAIL: cannot load %s: %s\n", What.c_str(),
+                 P.error().c_str());
+    std::exit(1);
+  }
+  return P.take();
+}
+
+/// Builds the edited variants. The edit-one handler is the *last* handler
+/// with a non-empty assign set — late handlers tend to sit outside most
+/// proofs' footprints, which is the representative "small localized edit"
+/// this bench exists to measure. Kernels where no handler assigns
+/// anything cannot be edited interface-preservingly and are dropped.
+bool buildSubject(const std::string &Name, const std::string &Src,
+                  Subject &S) {
+  S.Name = Name;
+  S.Src1 = Src;
+  S.P1 = mustLoad(Src, Name);
+
+  size_t EditIdx = SIZE_MAX;
+  std::string EditNop;
+  for (size_t I = 0; I < S.P1->Handlers.size(); ++I) {
+    std::string Nop = nopFor(S.P1->Handlers[I]);
+    if (!Nop.empty()) {
+      EditIdx = I;
+      EditNop = Nop;
+    }
+  }
+  if (EditIdx == SIZE_MAX)
+    return false;
+  S.SrcOne = mutateHandler(Src, EditIdx, EditNop);
+  S.POne = mustLoad(S.SrcOne, Name + " (one edit)");
+
+  S.SrcAll = Src;
+  for (size_t I = 0; I < S.P1->Handlers.size(); ++I) {
+    std::string Nop = nopFor(S.P1->Handlers[I]);
+    if (Nop.empty())
+      continue;
+    S.SrcAll = mutateHandler(S.SrcAll, I, Nop);
+  }
+  S.PAll = mustLoad(S.SrcAll, Name + " (all edited)");
+  return true;
+}
+
+double median(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Stages = 12;
+  bool Smoke = false;
+  std::string OutPath = "BENCH_incremental.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--stages") && I + 1 < Argc)
+      Stages = unsigned(std::stoul(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "usage: bench_incremental [--stages N] [--smoke] "
+                           "[--out FILE]\n");
+      return 2;
+    }
+  }
+  const unsigned Runs = Smoke ? 1 : 5;
+  const unsigned Inner = Smoke ? 1 : 6;
+
+  std::vector<Subject> Subjects;
+  for (const kernels::KernelDef *K : kernels::all()) {
+    Subject S;
+    if (buildSubject(K->Name, K->Source, S))
+      Subjects.push_back(std::move(S));
+    else
+      std::printf("(skipping %s: no interface-preserving edit exists)\n",
+                  K->Name.c_str());
+  }
+  {
+    Subject S;
+    if (buildSubject("chain" + std::to_string(Stages),
+                     kernels::syntheticChainKernel(Stages), S))
+      Subjects.push_back(std::move(S));
+  }
+
+  size_t TotalProps = 0;
+  for (const Subject &S : Subjects)
+    TotalProps += S.P1->Properties.size();
+  std::printf("=== Incremental re-verification: %zu kernels, %zu "
+              "properties ===\n\n",
+              Subjects.size(), TotalProps);
+
+  // Mutation audit (untimed, gating): the incremental verdicts for every
+  // edited variant must be byte-identical to a from-scratch verification,
+  // and audit mode must re-prove every reused verdict without mismatch.
+  bool AuditOk = true;
+  uint64_t ReusedOne = 0, ReverifiedOne = 0;
+  for (const Subject &S : Subjects) {
+    for (const Program *Edited : {S.POne.get(), S.PAll.get()}) {
+      IncrementalVerifier IV;
+      IV.setAuditReuse(true);
+      IV.verify(*S.P1);
+      IncrementalVerifier::Outcome Out = IV.verify(*Edited);
+      if (Edited == S.POne.get()) {
+        ReusedOne += Out.Reused;
+        ReverifiedOne += Out.Reverified;
+      }
+      if (Out.AuditFailures) {
+        AuditOk = false;
+        for (const std::string &Err : Out.AuditErrors)
+          std::fprintf(stderr, "FAIL: %s audit: %s\n", S.Name.c_str(),
+                       Err.c_str());
+      }
+      VerificationReport Fresh = verifyProgram(*Edited);
+      if (Out.Report.Results.size() != Fresh.Results.size()) {
+        AuditOk = false;
+        continue;
+      }
+      for (size_t I = 0; I < Fresh.Results.size(); ++I) {
+        const PropertyResult &Got = Out.Report.Results[I];
+        const PropertyResult &Want = Fresh.Results[I];
+        if (Got.Status != Want.Status || Got.Reason != Want.Reason ||
+            Got.CertJson != Want.CertJson) {
+          AuditOk = false;
+          std::fprintf(stderr,
+                       "FAIL: %s / %s: incremental verdict differs from "
+                       "from-scratch\n",
+                       S.Name.c_str(), Want.Name.c_str());
+        }
+      }
+    }
+  }
+  std::printf("mutation audit: %s (%llu reused + %llu re-verified across "
+              "one-handler edits)\n\n",
+              AuditOk ? "byte-identical verdicts" : "FAILED",
+              (unsigned long long)ReusedOne,
+              (unsigned long long)ReverifiedOne);
+
+  // Timed phases. Aggregate (summed over kernels) per sample; the
+  // edit-one speedup is the median of paired adjacent ratios, full and
+  // incremental batches back to back with alternating order.
+  auto ColdBatch = [&] {
+    double Ms = 0;
+    for (const Subject &S : Subjects) {
+      IncrementalVerifier IV;
+      Ms += IV.verify(*S.P1).Report.TotalMillis;
+    }
+    return Ms;
+  };
+  auto FullBatch = [&] {
+    double Ms = 0;
+    for (const Subject &S : Subjects) {
+      IncrementalVerifier IV;
+      Ms += IV.verify(*S.POne).Report.TotalMillis;
+    }
+    return Ms;
+  };
+  auto EditOneBatch = [&] {
+    double Ms = 0;
+    for (const Subject &S : Subjects) {
+      IncrementalVerifier IV;
+      IV.verify(*S.P1); // untimed warm-up: the pre-edit session
+      Ms += IV.verify(*S.POne).Report.TotalMillis;
+    }
+    return Ms;
+  };
+  auto EditAllBatch = [&] {
+    double Ms = 0;
+    for (const Subject &S : Subjects) {
+      IncrementalVerifier IV;
+      IV.verify(*S.P1);
+      Ms += IV.verify(*S.PAll).Report.TotalMillis;
+    }
+    return Ms;
+  };
+
+  ColdBatch(); // untimed warm-up
+  std::vector<double> ColdMsS, FullMsS, OneMsS, AllMsS, Ratios;
+  for (unsigned R = 0; R < Runs * Inner; ++R) {
+    ColdMsS.push_back(ColdBatch());
+    AllMsS.push_back(EditAllBatch());
+    double Full = 0, One = 0;
+    if (R % 2 == 0) {
+      Full = FullBatch();
+      One = EditOneBatch();
+    } else {
+      One = EditOneBatch();
+      Full = FullBatch();
+    }
+    FullMsS.push_back(Full);
+    OneMsS.push_back(One);
+    Ratios.push_back(One > 0 ? Full / One : 0);
+  }
+  auto Round2 = [](double X) { return std::round(X * 100) / 100; };
+  double ColdMs = median(ColdMsS), FullMs = median(FullMsS);
+  double OneMs = median(OneMsS), AllMs = median(AllMsS);
+  double Speedup = Round2(median(Ratios));
+
+  std::printf("%-28s %10.2f ms\n", "cold (pristine)", ColdMs);
+  std::printf("%-28s %10.2f ms\n", "full re-verify (edited)", FullMs);
+  std::printf("%-28s %10.2f ms   %.2fx vs full\n", "edit one handler", OneMs,
+              Speedup);
+  std::printf("%-28s %10.2f ms\n", "edit all handlers", AllMs);
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "incremental");
+  W.field("smoke", Smoke);
+  W.field("reps", int64_t(Runs));
+  W.field("kernels", int64_t(Subjects.size()));
+  W.field("properties", int64_t(TotalProps));
+  W.field("chain_stages", int64_t(Stages));
+  W.key("cold_ms");
+  W.value(ColdMs);
+  W.key("full_reverify_ms");
+  W.value(FullMs);
+  W.key("edit_one_handler_ms");
+  W.value(OneMs);
+  W.key("edit_all_handlers_ms");
+  W.value(AllMs);
+  W.key("edit_one_speedup_vs_full");
+  W.value(Speedup);
+  W.field("edit_one_reused", int64_t(ReusedOne));
+  W.field("edit_one_reverified", int64_t(ReverifiedOne));
+  W.field("mutation_audit_ok", AuditOk);
+  W.endObject();
+  std::ofstream Out(OutPath);
+  Out << W.take() << "\n";
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  if (!AuditOk) {
+    std::fprintf(stderr, "FAIL: mutation audit found diverging verdicts\n");
+    return 1;
+  }
+  if (!Smoke && Speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: edit-one speedup %.2fx below the 3x gate\n", Speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -88,4 +88,20 @@ void collectAssignedVars(const Cmd &C, std::set<std::string> &Out) {
   });
 }
 
+void collectSentMessages(const Cmd &C, std::set<std::string> &Out) {
+  anyCmd(C, [&](const Cmd &Sub) {
+    if (const auto *S = dynCastCmd<SendCmd>(&Sub))
+      Out.insert(S->msgName());
+    return false;
+  });
+}
+
+void collectSpawnedTypes(const Cmd &C, std::set<std::string> &Out) {
+  anyCmd(C, [&](const Cmd &Sub) {
+    if (const auto *S = dynCastCmd<SpawnCmd>(&Sub))
+      Out.insert(S->compType());
+    return false;
+  });
+}
+
 } // namespace reflex

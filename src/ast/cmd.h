@@ -239,6 +239,8 @@ bool cmdAssignsVar(const Cmd &C, const std::string &Var);
 bool cmdHasCall(const Cmd &C);
 bool cmdHasEffect(const Cmd &C);
 void collectAssignedVars(const Cmd &C, std::set<std::string> &Out);
+void collectSentMessages(const Cmd &C, std::set<std::string> &Out);
+void collectSpawnedTypes(const Cmd &C, std::set<std::string> &Out);
 
 /// Checked downcasts for commands (mirrors the Expr helpers).
 template <typename T> const T *dynCastCmd(const Cmd *C) {

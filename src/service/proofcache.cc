@@ -6,7 +6,6 @@
 #include "support/sha256.h"
 #include "support/timer.h"
 #include "verify/checker.h"
-#include "verify/incremental.h"
 
 #include <filesystem>
 #include <fstream>
@@ -22,8 +21,11 @@ namespace {
 /// Bumped whenever the entry layout or the canonical certificate form
 /// changes; old entries are quarantined at first lookup and re-verified.
 /// (cert_sha256 was added without a bump: it is optional, and entries
-/// missing it simply take the full re-check path.)
-constexpr int64_t EntryVersion = 1;
+/// missing it simply take the full re-check path. Version 2 moved the key
+/// to the declaration fingerprint and added the proof footprint and
+/// per-handler fingerprints — version-1 entries were keyed by the whole
+/// program text and cannot be validated footprint-relatively.)
+constexpr int64_t EntryVersion = 2;
 
 /// Decodes one entry file's bytes. Returns nullopt for anything a lookup
 /// would treat as damage (unparsable, wrong version, junk status, proved
@@ -51,6 +53,36 @@ std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
   E.CertSha256 = Doc->getString("cert_sha256");
   if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
     return std::nullopt; // proved entry without its certificate
+  E.FootprintCollected = Doc->getBool("footprint_collected", false);
+  E.FootprintAll = Doc->getBool("footprint_all", false);
+  if (const JsonValue *FP = Doc->get("footprint")) {
+    if (!FP->isArray())
+      return std::nullopt;
+    for (const JsonValue &K : FP->items()) {
+      if (!K.isString())
+        return std::nullopt;
+      E.Footprint.push_back(K.stringValue());
+    }
+  }
+  // Per-handler fingerprints, encoded as {"Comp=>Msg": "bodyfp:ifacefp"}.
+  // An entry without them (or with a malformed pair) is treated as damage:
+  // version-2 entries always record them, and serving a hit without being
+  // able to compare handler bodies would be unsound.
+  const JsonValue *HF = Doc->get("handler_fps");
+  if (!HF || !HF->isObject())
+    return std::nullopt;
+  for (const auto &[Key, Val] : HF->entries()) {
+    if (!Val.isString())
+      return std::nullopt;
+    const std::string &Pair = Val.stringValue();
+    size_t Colon = Pair.find(':');
+    if (Colon == std::string::npos)
+      return std::nullopt;
+    HandlerFingerprint F;
+    F.BodyFp = Pair.substr(0, Colon);
+    F.IfaceFp = Pair.substr(Colon + 1);
+    E.HandlerFps.emplace(Key, std::move(F));
+  }
   return E;
 }
 
@@ -138,11 +170,11 @@ std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
   return OS.str();
 }
 
-std::string ProofCache::keyFor(const std::string &CodeFingerprint,
+std::string ProofCache::keyFor(const std::string &DeclFingerprint,
                                const Property &Prop,
                                const VerifyOptions &Opts) {
   Sha256 H;
-  H.updateField(CodeFingerprint);
+  H.updateField(DeclFingerprint);
   H.updateField(Prop.str());
   H.updateField(optionsFingerprint(Opts));
   return H.hexDigest();
@@ -153,6 +185,7 @@ std::string ProofCache::pathFor(const std::string &Key) const {
 }
 
 std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
+  WallTimer DecodeTimer;
   // Fast path: the open()-time index, re-validated against the file's
   // current stat signature so an entry overwritten, tampered with, or
   // quarantined since open never gets served stale. Skipped while a
@@ -166,8 +199,10 @@ std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
       uintmax_t Size = fs::file_size(P, SzEC);
       fs::file_time_type MTime = fs::last_write_time(P, MtEC);
       if (!SzEC && !MtEC && Size == It->second.Size &&
-          MTime == It->second.MTime)
+          MTime == It->second.MTime) {
+        noteDecodeMillis(DecodeTimer.elapsedMillis());
         return It->second.Entry;
+      }
       // The file changed (or vanished) since open: drop the snapshot and
       // take the disk path below, where damage handling lives.
       Index.erase(It);
@@ -180,12 +215,14 @@ std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
     // Distinguish absence (a plain miss) from an unreadable file (an IO
     // error, possibly injected): neither tells us the entry is damaged,
     // so neither quarantines.
+    noteDecodeMillis(DecodeTimer.elapsedMillis());
     return std::nullopt;
   }
 
   // From here on the file exists and was read; anything undecodable is
   // damage — quarantine the evidence and report a miss.
   std::optional<ProofCacheEntry> E = decodeEntry(*Bytes);
+  noteDecodeMillis(DecodeTimer.elapsedMillis());
   if (!E) {
     quarantine(Key);
     noteRejected();
@@ -231,6 +268,18 @@ Result<void> ProofCache::store(const std::string &Key,
   W.field("cert_json", Entry.CertJson);
   if (!Entry.CertSha256.empty())
     W.field("cert_sha256", Entry.CertSha256);
+  W.field("footprint_collected", Entry.FootprintCollected);
+  W.field("footprint_all", Entry.FootprintAll);
+  W.key("footprint");
+  W.beginArray();
+  for (const std::string &K : Entry.Footprint)
+    W.value(K);
+  W.endArray();
+  W.key("handler_fps");
+  W.beginObject();
+  for (const auto &[K, F] : Entry.HandlerFps)
+    W.field(K, F.BodyFp + ":" + F.IfaceFp);
+  W.endObject();
   W.endObject();
 
   // Atomic publish: write and fsync a per-thread temp file, then rename
@@ -274,6 +323,31 @@ void ProofCache::noteMiss() {
 void ProofCache::noteRejected() {
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.Rejected;
+}
+
+void ProofCache::noteFootprintHit() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.FootprintHits;
+}
+
+void ProofCache::noteDecodeMillis(double Ms) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.DecodeMillis += Ms;
+}
+
+void ProofCache::noteRecheckMillis(double Ms) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.RecheckMillis += Ms;
+}
+
+bool ProofCache::fullRecheckMemoized(const std::string &MemoKey) const {
+  std::lock_guard<std::mutex> Lock(RecheckMu);
+  return RecheckOk.count(MemoKey) != 0;
+}
+
+void ProofCache::noteFullRecheckOk(const std::string &MemoKey) {
+  std::lock_guard<std::mutex> Lock(RecheckMu);
+  RecheckOk.insert(MemoKey);
 }
 
 namespace {
@@ -383,10 +457,22 @@ bool ProofCache::validateCertificateFast(const ProofCacheEntry &Entry,
          Checked.Parse.PropName == Prop.Name;
 }
 
+std::string ProofCache::memoizedDigest(const std::string &CanonicalCert) {
+  std::lock_guard<std::mutex> Lock(ParseMu);
+  auto It = ParseMemo.find(CanonicalCert);
+  if (It == ParseMemo.end()) {
+    CertCheck C;
+    C.Sha256 = sha256Hex(CanonicalCert);
+    C.Parse = parseCanonicalCert(CanonicalCert);
+    It = ParseMemo.emplace(CanonicalCert, std::move(C)).first;
+  }
+  return It->second.Sha256;
+}
+
 PropertyResult verifyPropertyCached(
     const Program &P, const VerifyOptions &Opts,
     const std::function<VerifySession &()> &Session, const Property &Prop,
-    ProofCache *Cache, const std::string &CodeFingerprint, Deadline *Budget) {
+    ProofCache *Cache, const ProgramFingerprints *Fps, Deadline *Budget) {
   auto Verify = [&] {
     VerifySession &Live = Session();
     return Budget ? Live.verify(Prop, *Budget) : Live.verify(Prop);
@@ -394,22 +480,52 @@ PropertyResult verifyPropertyCached(
   if (!Cache)
     return Verify();
 
-  std::string CodeFP =
-      CodeFingerprint.empty() ? codeFingerprint(P) : CodeFingerprint;
-  std::string Key = ProofCache::keyFor(CodeFP, Prop, Opts);
+  ProgramFingerprints LocalFps;
+  if (!Fps) {
+    LocalFps = ProgramFingerprints::compute(P);
+    Fps = &LocalFps;
+  }
+  std::string Key = ProofCache::keyFor(Fps->DeclFp, Prop, Opts);
 
-  if (std::optional<ProofCacheEntry> E = Cache->lookup(Key)) {
+  std::optional<ProofCacheEntry> E = Cache->lookup(Key);
+  // Footprint-relative validation (verify/footprint.h): the key covers
+  // only declarations, so the entry may have been stored for different
+  // handler bodies. Serve it only when the delta to the current program
+  // is provably irrelevant to the proof; an incompatible entry is stale,
+  // not damaged — a plain miss, overwritten after re-verification.
+  ProofFootprint EntryFP;
+  bool FootprintRelative = false;
+  if (E) {
+    FingerprintDelta D = fingerprintDelta(E->HandlerFps, Fps->Handlers);
+    EntryFP.Collected = E->FootprintCollected;
+    EntryFP.AllHandlers = E->FootprintAll;
+    EntryFP.Handlers.insert(E->Footprint.begin(), E->Footprint.end());
+    if (footprintReusable(EntryFP, D))
+      FootprintRelative = !D.empty();
+    else
+      E.reset();
+  }
+
+  if (E) {
     WallTimer Timer;
-    if (E->Status == VerifyStatus::Unknown) {
-      // Reusing "the automation could not prove this" needs no proof
-      // object; the key ties it to the exact code/property/options.
-      PropertyResult R;
+    auto ServeHit = [&](PropertyResult &R) {
       R.Name = Prop.Name;
-      R.Status = VerifyStatus::Unknown;
-      R.Reason = std::move(E->Reason);
       R.CacheHit = true;
+      R.FootprintHit = FootprintRelative;
+      R.Footprint = EntryFP;
       R.Millis = Timer.elapsedMillis();
       Cache->noteHit();
+      if (FootprintRelative)
+        Cache->noteFootprintHit();
+    };
+    if (E->Status == VerifyStatus::Unknown) {
+      // Reusing "the automation could not prove this" needs no proof
+      // object; the key + footprint validation tie it to code the search
+      // actually consulted.
+      PropertyResult R;
+      R.Status = VerifyStatus::Unknown;
+      R.Reason = std::move(E->Reason);
+      ServeHit(R);
       return R;
     }
     // Proved. The entry is untrusted: re-derive in a live session and
@@ -417,13 +533,10 @@ PropertyResult verifyPropertyCached(
     // anchor, exactly as for freshly produced certificates).
     if (!Opts.CheckCertificates) {
       PropertyResult R;
-      R.Name = Prop.Name;
       R.Status = VerifyStatus::Proved;
       R.CertJson = std::move(E->CertJson);
       R.CertChecked = false;
-      R.CacheHit = true;
-      R.Millis = Timer.elapsedMillis();
-      Cache->noteHit();
+      ServeHit(R);
       return R;
     }
     bool TryFullRecheck = true;
@@ -434,38 +547,58 @@ PropertyResult verifyPropertyCached(
       // certificate, or the certificate is structural junk), so it is
       // quarantined rather than retried at full strength.
       TryFullRecheck = false;
-      if (Cache->validateCertificateFast(*E, Prop)) {
+      WallTimer RecheckTimer;
+      bool FastOk = Cache->validateCertificateFast(*E, Prop);
+      Cache->noteRecheckMillis(RecheckTimer.elapsedMillis());
+      if (FastOk) {
         PropertyResult R;
-        R.Name = Prop.Name;
         R.Status = VerifyStatus::Proved;
         R.CertJson = std::move(E->CertJson);
         R.CertChecked = false;
         R.FastRecheck = true;
-        R.CacheHit = true;
-        R.Millis = Timer.elapsedMillis();
-        Cache->noteHit();
+        ServeHit(R);
         return R;
       }
       Cache->noteRejected();
       Cache->quarantine(Key);
     }
     if (TryFullRecheck) {
+      // Full-mode memo: replaying a byte-identical certificate against
+      // byte-identical handler bodies is deterministic, so once this
+      // process has accepted (key, handler bodies, certificate content),
+      // later hits are served without rebuilding a session or replaying
+      // obligations — this is what keeps warm full-mode re-checking
+      // cheaper than re-proving.
+      std::string MemoKey =
+          Key + ":" + Fps->HandlersFp + ":" +
+          Cache->memoizedDigest(E->CanonicalCert);
+      if (Cache->fullRecheckMemoized(MemoKey)) {
+        PropertyResult R;
+        R.Status = VerifyStatus::Proved;
+        R.CertJson = std::move(E->CertJson);
+        R.CertChecked = true;
+        ServeHit(R);
+        return R;
+      }
       VerifySession &Live = Session();
       ProverOptions RecheckOpts = proverOptions(Opts);
       RecheckOpts.Budget = Budget;
+      WallTimer RecheckTimer;
       RecheckOutcome Chk = checkCanonicalCertificate(
           Live.termContext(), Live.program(), Live.behAbs(), Prop,
           E->CanonicalCert, RecheckOpts);
+      Cache->noteRecheckMillis(RecheckTimer.elapsedMillis());
       if (Chk.Ok) {
+        Cache->noteFullRecheckOk(MemoKey);
         PropertyResult R;
-        R.Name = Prop.Name;
         R.Status = VerifyStatus::Proved;
         R.Cert = std::move(Chk.Rederived);
+        R.Cert.Footprint = E->FootprintAll
+                               ? std::vector<std::string>{"*"}
+                               : E->Footprint;
         R.CertJson = R.Cert.toJson(Live.termContext());
         R.CertChecked = true;
-        R.CacheHit = true;
-        R.Millis = Timer.elapsedMillis();
-        Cache->noteHit();
+        ServeHit(R);
         return R;
       }
       if (Budget && Budget->expiredNow()) {
@@ -486,31 +619,36 @@ PropertyResult verifyPropertyCached(
 
   PropertyResult R = Verify();
   if (R.Status == VerifyStatus::Proved || R.Status == VerifyStatus::Unknown) {
-    ProofCacheEntry E;
-    E.Status = R.Status;
-    E.Reason = R.Reason;
-    E.Millis = R.Millis;
-    E.CertChecked = R.CertChecked;
+    ProofCacheEntry NewE;
+    NewE.Status = R.Status;
+    NewE.Reason = R.Reason;
+    NewE.Millis = R.Millis;
+    NewE.CertChecked = R.CertChecked;
     if (R.Status == VerifyStatus::Proved) {
-      E.CanonicalCert = R.Cert.canonical(Session().termContext());
-      E.CertJson = R.CertJson;
-      E.CertSha256 = sha256Hex(E.CanonicalCert);
+      NewE.CanonicalCert = R.Cert.canonical(Session().termContext());
+      NewE.CertJson = R.CertJson;
+      NewE.CertSha256 = sha256Hex(NewE.CanonicalCert);
     }
+    NewE.FootprintCollected = R.Footprint.Collected;
+    NewE.FootprintAll = R.Footprint.AllHandlers;
+    NewE.Footprint.assign(R.Footprint.Handlers.begin(),
+                          R.Footprint.Handlers.end());
+    NewE.HandlerFps = Fps->Handlers;
     // Store failures are non-fatal: the cache is an accelerator, the
     // verdict in hand is what matters.
-    (void)Cache->store(Key, E, P.Name, Prop.Name);
+    (void)Cache->store(Key, NewE, P.Name, Prop.Name);
   }
   return R;
 }
 
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
-                                    const std::string &CodeFingerprint,
+                                    const ProgramFingerprints *Fps,
                                     Deadline *Budget) {
   return verifyPropertyCached(
       Session.program(), Session.options(),
-      [&Session]() -> VerifySession & { return Session; }, Prop, Cache,
-      CodeFingerprint, Budget);
+      [&Session]() -> VerifySession & { return Session; }, Prop, Cache, Fps,
+      Budget);
 }
 
 } // namespace reflex

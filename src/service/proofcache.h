@@ -9,13 +9,20 @@
 /// The on-disk proof cache behind `reflex verify --cache-dir` and the
 /// incremental verifier: verdicts keyed by SHA-256 of
 ///
-///     codeFingerprint(P)  +  property text  +  canonical VerifyOptions
+///     declaration fingerprint  +  property text  +  canonical options
 ///
-/// so a cache entry can only be found by the exact (kernel, property,
-/// options) triple that produced it. Entries store the status, reason,
-/// original timing, and — for proved properties — the certificate in two
-/// renderings: the audit JSON (Certificate::toJson) and the canonical
-/// form (Certificate::canonical) the checker compares.
+/// where the declaration fingerprint (ProgramFingerprints::DeclFp,
+/// verify/footprint.h) covers everything *except* handler bodies. Handler
+/// bodies are validated per-entry instead: an entry records the
+/// per-handler fingerprints of the program it was proved against plus the
+/// proof's footprint, and a lookup against an edited program is served
+/// when the edit is provably irrelevant to the proof (disjoint from the
+/// footprint, interface fingerprints preserved — footprintReusable).
+/// This is what makes warm hits survive unrelated edits. Entries store
+/// the status, reason, original timing, and — for proved properties —
+/// the certificate in two renderings: the audit JSON
+/// (Certificate::toJson) and the canonical form (Certificate::canonical)
+/// the checker compares.
 ///
 /// Trust model (the paper's de Bruijn criterion, extended across process
 /// boundaries): the cache is *untrusted*. Certificates reference
@@ -42,6 +49,7 @@
 
 #include "support/faultinject.h"
 #include "support/result.h"
+#include "verify/footprint.h"
 #include "verify/verifier.h"
 
 #include <filesystem>
@@ -51,6 +59,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace reflex {
 
@@ -73,6 +82,16 @@ struct ProofCacheEntry {
   /// stored before the field existed — those always take the full
   /// re-check.
   std::string CertSha256;
+  /// The proof footprint recorded when the verdict was produced
+  /// (verify/footprint.h). Not collected -> the entry is only served for
+  /// a byte-identical program.
+  bool FootprintCollected = false;
+  bool FootprintAll = false;
+  std::vector<std::string> Footprint;
+  /// Per-handler fingerprints of the program the verdict was proved
+  /// against, recorded at store time. Lookups compare them against the
+  /// current program's fingerprints to decide footprint-relative reuse.
+  std::map<std::string, HandlerFingerprint> HandlerFps;
 };
 
 /// A persistent content-addressed store of verification verdicts.
@@ -106,10 +125,11 @@ public:
   /// options is a different proof.
   static std::string optionsFingerprint(const VerifyOptions &Opts);
 
-  /// The content-addressed key (64 hex chars). \p CodeFingerprint is
-  /// codeFingerprint(P) — computed once per program by callers, since it
-  /// renders the whole kernel.
-  static std::string keyFor(const std::string &CodeFingerprint,
+  /// The content-addressed key (64 hex chars). \p DeclFingerprint is
+  /// ProgramFingerprints::DeclFp — the program minus handler bodies and
+  /// properties — so entries for the same declarations remain findable
+  /// across handler edits (per-handler validation happens at lookup).
+  static std::string keyFor(const std::string &DeclFingerprint,
                             const Property &Prop, const VerifyOptions &Opts);
 
   /// Reads the entry for \p Key. A missing file is a plain miss; a file
@@ -141,6 +161,15 @@ public:
                               ///< the checker rejected the certificate
     uint64_t Quarantined = 0; ///< entries moved aside into quarantine/
     uint64_t SweptTmp = 0;    ///< orphaned *.tmp.* files removed at open
+    /// Of the hits, how many were footprint-relative (the entry was
+    /// stored for an edited-since program version).
+    uint64_t FootprintHits = 0;
+    /// Phase timings (wall-clock, summed across threads): time spent
+    /// reading + decoding entries in lookup(), and time spent
+    /// re-validating certificates on hits (full canonical replay or fast
+    /// hash-chain validation). The parallel bench reports the split.
+    double DecodeMillis = 0;
+    double RecheckMillis = 0;
   };
   Stats stats() const;
 
@@ -148,6 +177,9 @@ public:
   void noteHit();
   void noteMiss();
   void noteRejected();
+  void noteFootprintHit();
+  void noteDecodeMillis(double Ms);
+  void noteRecheckMillis(double Ms);
 
   /// The fast re-check: computes SHA-256 over the entry's canonical
   /// certificate and compares it to the recorded CertSha256 (the hash
@@ -166,6 +198,22 @@ public:
     bool StructOk = false;
     std::string PropName;
   };
+
+  /// The content digest of a canonical certificate, served from the same
+  /// content-keyed memo the fast re-check uses (one SHA-256 per distinct
+  /// certificate per process).
+  std::string memoizedDigest(const std::string &CanonicalCert);
+
+  /// The full-recheck memo: once checkCanonicalCertificate has accepted a
+  /// certificate against a given program (identified by \p MemoKey —
+  /// cache key + handler-body digest + certificate digest), replaying the
+  /// byte-identical certificate against the byte-identical program is
+  /// guaranteed to accept again (the derivation is deterministic), so
+  /// later warm hits skip the replay. This is what keeps warm full-mode
+  /// re-checking cheaper than re-proving: each distinct certificate is
+  /// replayed through the checker at most once per process.
+  bool fullRecheckMemoized(const std::string &MemoKey) const;
+  void noteFullRecheckOk(const std::string &MemoKey);
 
 private:
   explicit ProofCache(std::string Dir) : Dir(std::move(Dir)) {}
@@ -199,6 +247,12 @@ private:
   };
   mutable std::mutex ParseMu;
   std::unordered_map<std::string, CertCheck> ParseMemo;
+
+  /// Keys of full re-checks that succeeded this process (see
+  /// fullRecheckMemoized). Only successes are memoized — a failed replay
+  /// quarantines the entry, so it cannot recur.
+  mutable std::mutex RecheckMu;
+  std::unordered_set<std::string> RecheckOk;
 };
 
 /// Cache-aware verification of one property in \p Session:
@@ -213,9 +267,15 @@ private:
 ///    without re-validation (matching the user's chosen trust level);
 ///  * hit, Unknown — status and reason are reused directly.
 ///
-/// \p CodeFingerprint must be codeFingerprint(Session.program()), or
-/// empty to have it computed here (callers verifying many properties
-/// should precompute it).
+/// \p Fps must be ProgramFingerprints::compute(Session.program()), or
+/// null to have it computed here (callers verifying many properties
+/// should precompute it). The cache key is derived from its DeclFp; a
+/// hit whose stored handler fingerprints differ from the current ones is
+/// served only when footprintReusable holds (the edit is disjoint from
+/// the entry's recorded proof footprint and every handler interface is
+/// preserved), in which case the result carries FootprintHit = true; an
+/// incompatible entry is a plain miss (stale, not damaged — no
+/// quarantine) and is overwritten after re-verification.
 ///
 /// \p Budget optionally bounds the whole operation, including the
 /// certificate re-check on a warm hit; a re-check that fails only because
@@ -228,9 +288,13 @@ private:
 /// the full canonical re-derivation (FastRecheck = true, CertChecked =
 /// false in the result); a failed fast validation quarantines the entry
 /// and re-verifies in full. Entries without a hash take the full re-check.
+/// Full re-checks of a certificate already accepted for this exact (key,
+/// handler bodies, certificate content) this process are served from the
+/// recheck memo without replaying (CertChecked = true, no live
+/// certificate — CertJson comes from the entry).
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
-                                    const std::string &CodeFingerprint = {},
+                                    const ProgramFingerprints *Fps = nullptr,
                                     Deadline *Budget = nullptr);
 
 /// Lazy-session variant: \p Session is invoked only if a live session is
@@ -244,7 +308,7 @@ PropertyResult verifyPropertyCached(VerifySession &Session,
 PropertyResult verifyPropertyCached(
     const Program &P, const VerifyOptions &Opts,
     const std::function<VerifySession &()> &Session, const Property &Prop,
-    ProofCache *Cache, const std::string &CodeFingerprint = {},
+    ProofCache *Cache, const ProgramFingerprints *Fps = nullptr,
     Deadline *Budget = nullptr);
 
 } // namespace reflex

@@ -4,7 +4,6 @@
 
 #include "service/threadpool.h"
 #include "support/timer.h"
-#include "verify/incremental.h"
 
 #include <algorithm>
 #include <atomic>
@@ -39,10 +38,13 @@ unsigned BatchOutcome::propertyCount() const {
 
 namespace {
 
-/// One schedulable unit: a property of a program.
+/// One schedulable unit: a property of a program. DupOf points at the
+/// byte-identical job whose result this slot copies (SIZE_MAX: dispatch
+/// normally).
 struct Job {
   size_t ProgIdx;
   size_t PropIdx;
+  size_t DupOf = SIZE_MAX;
 };
 
 /// Work counters a worker's session contributes to a program's report.
@@ -73,15 +75,35 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   if (Opts.Cache)
     Before = Opts.Cache->stats();
 
-  // Jobs in declaration order; per-program code fingerprints computed once
-  // (they render the whole kernel).
+  // Jobs in declaration order; per-program fingerprints computed once
+  // (they render the whole kernel). The cache keys lookups off them, and
+  // the dedup pass below uses them as program identity.
   std::vector<Job> Jobs;
-  std::vector<std::string> CodeFPs(Programs.size());
+  std::vector<ProgramFingerprints> Fps(Programs.size());
   for (size_t PI = 0; PI < Programs.size(); ++PI) {
-    if (Opts.Cache)
-      CodeFPs[PI] = codeFingerprint(*Programs[PI]);
+    Fps[PI] = ProgramFingerprints::compute(*Programs[PI]);
     for (size_t I = 0; I < Programs[PI]->Properties.size(); ++I)
       Jobs.push_back({PI, I});
+  }
+
+  // Dedup identical jobs before dispatch: same declarations, same handler
+  // bodies, same property text -> same verdict (the determinism
+  // contract), so dispatch the first and copy its slot into the others
+  // after the barrier. \x1f separates the components unambiguously (it
+  // cannot appear in rendered programs).
+  {
+    std::map<std::string, size_t> FirstJob;
+    for (size_t J = 0; J < Jobs.size(); ++J) {
+      const Job &Jb = Jobs[J];
+      std::string IdKey = Fps[Jb.ProgIdx].DeclFp + '\x1f' +
+                          Fps[Jb.ProgIdx].HandlersFp + '\x1f' +
+                          Programs[Jb.ProgIdx]->Properties[Jb.PropIdx].str();
+      auto [It, Fresh] = FirstJob.emplace(std::move(IdKey), J);
+      if (!Fresh) {
+        Jobs[J].DupOf = It->second;
+        ++Out.DedupedJobs;
+      }
+    }
   }
 
   // Result slots: each is written by exactly one worker; the pool's
@@ -191,10 +213,10 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
           Deadline D;
           D.setStepBudget(1);
           R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
-                                   Opts.Cache, CodeFPs[Jb.ProgIdx], &D);
+                                   Opts.Cache, &Fps[Jb.ProgIdx], &D);
         } else {
           R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
-                                   Opts.Cache, CodeFPs[Jb.ProgIdx]);
+                                   Opts.Cache, &Fps[Jb.ProgIdx]);
         }
       } catch (const std::exception &E) {
         Crashed = true;
@@ -238,6 +260,8 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
       if (J >= Jobs.size())
         break;
       const Job &Jb = Jobs[J];
+      if (Jb.DupOf != SIZE_MAX)
+        continue; // slot filled from the canonical job after the barrier
       Slots[Jb.ProgIdx][Jb.PropIdx] = RunJob(Sessions, Jb);
     }
     // Contribute this worker's session counters before exiting. A slot
@@ -268,6 +292,16 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     Pool.wait();
   }
 
+  // Fill deduplicated slots from their canonical jobs (the pool's wait()
+  // barrier above published every canonical result). The copy includes
+  // the live certificate's TermRefs — same lifetime caveat as any slot:
+  // consumers that outlive the producing session use CertJson.
+  for (const Job &Jb : Jobs)
+    if (Jb.DupOf != SIZE_MAX) {
+      const Job &Src = Jobs[Jb.DupOf];
+      Slots[Jb.ProgIdx][Jb.PropIdx] = Slots[Src.ProgIdx][Src.PropIdx];
+    }
+
   // Deterministic merge: input order, declaration order, counters summed.
   Out.Reports.resize(Programs.size());
   for (size_t PI = 0; PI < Programs.size(); ++PI) {
@@ -281,6 +315,8 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
           ++R.ProofCacheHits;
         else
           ++R.ProofCacheMisses;
+        if (PR.FootprintHit)
+          ++R.FootprintHits;
       }
     }
     R.TermCount = Counters[PI].TermCount;
@@ -295,6 +331,9 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     Out.CacheStats.Stores = After.Stores - Before.Stores;
     Out.CacheStats.Rejected = After.Rejected - Before.Rejected;
     Out.CacheStats.Quarantined = After.Quarantined - Before.Quarantined;
+    Out.CacheStats.FootprintHits = After.FootprintHits - Before.FootprintHits;
+    Out.CacheStats.DecodeMillis = After.DecodeMillis - Before.DecodeMillis;
+    Out.CacheStats.RecheckMillis = After.RecheckMillis - Before.RecheckMillis;
     Out.CacheStats.SweptTmp = After.SweptTmp; // counted at open, not per batch
   }
   Out.TotalMillis = Timer.elapsedMillis();

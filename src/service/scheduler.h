@@ -20,6 +20,15 @@
 /// a global work list (dynamic load balancing — NI properties dominate
 /// runtimes, so static partitioning would straggle).
 ///
+/// Identical jobs are deduplicated before dispatch: two (program,
+/// property) pairs whose program fingerprints (declarations + every
+/// handler body, verify/footprint.h) and property text coincide are
+/// provably the same verification (verdicts are functions of (program,
+/// property, options) only), so only the first is dispatched and the
+/// duplicate's declaration-order slot receives a copy of its result.
+/// Batches that verify the same kernel under many names — CI matrices,
+/// the bench's repeated programs — pay for each distinct proof once.
+///
 /// Determinism: per-property statuses, reasons, and certificates are
 /// functions of (program, property, options) only — the prover is
 /// deterministic and all cache tiers (private and shared) are
@@ -100,6 +109,10 @@ struct BatchOutcome {
   double TotalMillis = 0;
   /// Proof-cache traffic during this batch (zeros when no cache).
   ProofCache::Stats CacheStats;
+  /// Jobs not dispatched because they were byte-identical to an earlier
+  /// job in the batch (same program fingerprints, same property text);
+  /// their slots carry copies of the canonical job's result.
+  uint64_t DedupedJobs = 0;
 
   bool allProved() const;
   unsigned provedCount() const;

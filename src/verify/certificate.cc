@@ -81,6 +81,13 @@ std::string renderCertificate(const Certificate &Cert, const TermContext &Ctx,
     W.field("program", Cert.ProgramName);
   W.field("property", Cert.PropertyName);
   W.field("kind", Cert.Kind);
+  if (Audit && !Cert.Footprint.empty()) {
+    W.key("footprint");
+    W.beginArray();
+    for (const std::string &Key : Cert.Footprint)
+      W.value(Key);
+    W.endArray();
+  }
   W.key("steps");
   W.beginArray();
   for (const ProofStep &S : Cert.Steps)

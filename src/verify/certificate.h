@@ -116,6 +116,13 @@ struct Certificate {
   std::vector<ProofStep> Steps;
   std::vector<InvariantRecord> Invariants;
   std::vector<NICaseRecord> NICases;
+  /// The proof footprint (verify/footprint.h): sorted handler keys the
+  /// search consulted, filled in by the verification session for audit
+  /// export. Empty when not recorded (or when the footprint is
+  /// all-handlers, which the audit JSON spells "*"). Audit-only: the
+  /// canonical form omits it (the checker re-derives proofs without
+  /// footprints, and footprints are bookkeeping, not proof content).
+  std::vector<std::string> Footprint;
 
   const InvariantRecord *findInvariant(int Id) const;
 

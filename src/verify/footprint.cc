@@ -1,0 +1,121 @@
+//===- verify/footprint.cc - Proof footprints and fingerprints ------------===//
+
+#include "verify/footprint.h"
+
+#include "ast/printer.h"
+#include "support/sha256.h"
+
+#include <sstream>
+
+namespace reflex {
+
+std::string handlerKey(const std::string &CompType,
+                       const std::string &MsgName) {
+  return CompType + "=>" + MsgName;
+}
+
+std::string handlerKey(const Handler &H) {
+  return handlerKey(H.CompType, H.MsgName);
+}
+
+namespace {
+
+std::string hashHandlerBody(const Handler &H) {
+  // Render exactly as printProgram does, so the body fingerprint is the
+  // canonical-printed handler (roundtrip-stable, whitespace-normalized).
+  std::ostringstream OS;
+  OS << "handler " << H.CompType << " => " << H.MsgName << "(";
+  for (size_t I = 0; I < H.Params.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << H.Params[I];
+  }
+  OS << ") {\n" << printCmd(*H.Body, 1) << "}\n";
+  return sha256Hex(OS.str());
+}
+
+std::string hashHandlerIface(const Handler &H) {
+  std::set<std::string> Sends, Spawns, Assigns;
+  collectSentMessages(*H.Body, Sends);
+  collectSpawnedTypes(*H.Body, Spawns);
+  collectAssignedVars(*H.Body, Assigns);
+  Sha256 Hash;
+  Hash.updateField("sends");
+  for (const std::string &S : Sends)
+    Hash.updateField(S);
+  Hash.updateField("spawns");
+  for (const std::string &S : Spawns)
+    Hash.updateField(S);
+  Hash.updateField("assigns");
+  for (const std::string &S : Assigns)
+    Hash.updateField(S);
+  return Hash.hexDigest();
+}
+
+} // namespace
+
+ProgramFingerprints ProgramFingerprints::compute(const Program &P) {
+  ProgramFingerprints Out;
+
+  // Declarations: the printed program up to the first handler (or, for a
+  // handler-free program, the first property). printProgram emits
+  // sections in a fixed order with headers at line starts, so the cut is
+  // unambiguous.
+  std::string Printed = printProgram(P);
+  size_t Cut = Printed.find("\nhandler ");
+  if (Cut == std::string::npos)
+    Cut = Printed.find("\nproperty ");
+  if (Cut != std::string::npos)
+    Printed.resize(Cut);
+  Out.DeclFp = sha256Hex(Printed);
+
+  Sha256 All;
+  for (const Handler &H : P.Handlers) {
+    HandlerFingerprint F;
+    F.BodyFp = hashHandlerBody(H);
+    F.IfaceFp = hashHandlerIface(H);
+    std::string Key = handlerKey(H);
+    All.updateField(Key);
+    All.updateField(F.BodyFp);
+    Out.Handlers.emplace(std::move(Key), std::move(F));
+  }
+  Out.HandlersFp = All.hexDigest();
+  return Out;
+}
+
+FingerprintDelta
+fingerprintDelta(const std::map<std::string, HandlerFingerprint> &Old,
+                 const std::map<std::string, HandlerFingerprint> &New) {
+  FingerprintDelta D;
+  for (const auto &[Key, F] : Old) {
+    auto It = New.find(Key);
+    if (It == New.end()) {
+      D.Changed.insert(Key);
+      D.IfaceChanged = true; // a declared handler disappeared
+    } else if (It->second.BodyFp != F.BodyFp) {
+      D.Changed.insert(Key);
+      D.IfaceChanged |= It->second.IfaceFp != F.IfaceFp;
+    }
+  }
+  for (const auto &[Key, F] : New) {
+    (void)F;
+    if (!Old.count(Key)) {
+      D.Changed.insert(Key);
+      D.IfaceChanged = true; // a declared handler appeared
+    }
+  }
+  return D;
+}
+
+bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D) {
+  if (D.empty())
+    return true;
+  if (!FP.Collected || FP.AllHandlers || D.IfaceChanged)
+    return false;
+  for (const std::string &Key : D.Changed)
+    if (FP.Handlers.count(Key))
+      return false;
+  return true;
+}
+
+} // namespace reflex

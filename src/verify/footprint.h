@@ -1,0 +1,129 @@
+//===- verify/footprint.h - Proof footprints and fingerprints ---*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edit-localized incremental re-verification (the paper's stated future
+/// work, §6.4) rests on two artifacts defined here:
+///
+///  * The **proof footprint** of a verdict: the set of handler keys
+///    ("CompType=>MsgName") whose summaries the proof search symbolically
+///    processed — in the property's own induction, in every guard-
+///    invariant induction it ran (successful *and* failed attempts: a
+///    failed attempt steers the search, so its dependencies count), and
+///    transitively through every invariant-cache entry it adopted.
+///
+///  * The **per-handler fingerprints** of a program: a body fingerprint
+///    (SHA-256 of the canonical-printed handler) and an *interface*
+///    fingerprint (SHA-256 of the handler's sorted sent-message,
+///    spawned-type, and assigned-variable sets). The interface sets are
+///    exactly what the prover's syntactic-skip predicates (summaryMayEmit
+///    / summaryMayAssign) consult, which is the only way a proof depends
+///    on a handler it never symbolically processed.
+///
+/// Soundness argument (docs/INCREMENTAL.md has the long form): the prover
+/// is deterministic, and its control flow depends on a handler H only
+/// through (a) H's summary, when H is symbolically processed — recorded
+/// in the footprint — or (b) the syntactic-skip predicates, which factor
+/// through H's interface sets. Hence if an edit changes only handlers
+/// outside a verdict's footprint and preserves every changed handler's
+/// interface fingerprint (and leaves declarations, init, property text,
+/// and options untouched), the entire proof search replays byte-for-byte
+/// and the previous verdict — certificate included — is still exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_FOOTPRINT_H
+#define REFLEX_VERIFY_FOOTPRINT_H
+
+#include "ast/program.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace reflex {
+
+/// The handler key used by footprints and fingerprints (matches the
+/// certificate's ProofStep::Where spelling for handler cases).
+std::string handlerKey(const std::string &CompType, const std::string &MsgName);
+std::string handlerKey(const Handler &H);
+
+/// The set of handlers a proof consulted. Collected by the prover for
+/// trace properties; NI proofs and BMC-assisted verdicts are marked
+/// AllHandlers (they inspect every handler body by construction).
+struct ProofFootprint {
+  /// False when no footprint was recorded (legacy cache entries, budget
+  /// statuses): reuse must fall back to full re-verification.
+  bool Collected = false;
+  /// The verdict depends on every handler (NI label analysis scans all
+  /// bodies; BMC explores concrete program semantics).
+  bool AllHandlers = false;
+  /// Handler keys symbolically processed (empty and meaningless when
+  /// AllHandlers is set).
+  std::set<std::string> Handlers;
+
+  void merge(const ProofFootprint &O) {
+    Collected = Collected || O.Collected;
+    AllHandlers = AllHandlers || O.AllHandlers;
+    Handlers.insert(O.Handlers.begin(), O.Handlers.end());
+  }
+};
+
+/// Fingerprints of one declared handler.
+struct HandlerFingerprint {
+  /// SHA-256 of the canonical-printed handler (header, params, body).
+  std::string BodyFp;
+  /// SHA-256 of the handler's interface sets: sorted sent messages,
+  /// spawned component types, assigned state variables — everything the
+  /// syntactic-skip predicates can observe about the body.
+  std::string IfaceFp;
+};
+
+/// Per-handler fingerprints of a whole program, plus the declaration
+/// fingerprint everything else hangs off.
+struct ProgramFingerprints {
+  /// SHA-256 of the printed program *minus* handlers and properties:
+  /// program name, component types, messages, state variables, init. Any
+  /// change here invalidates everything (shared state/config semantics).
+  std::string DeclFp;
+  /// Declared handlers only (BehAbs default summaries for undeclared
+  /// pairs are functions of the declarations alone).
+  std::map<std::string, HandlerFingerprint> Handlers;
+  /// SHA-256 over all (key, BodyFp) pairs — a whole-code digest used to
+  /// memoize work that depends on every handler body.
+  std::string HandlersFp;
+
+  static ProgramFingerprints compute(const Program &P);
+};
+
+/// The handler-level difference between two fingerprint maps.
+struct FingerprintDelta {
+  /// Keys whose body fingerprint differs, plus keys present on only one
+  /// side (a declared handler appeared or disappeared).
+  std::set<std::string> Changed;
+  /// True when any changed key's *interface* fingerprint differs (or the
+  /// key was added/removed): syntactic-skip decisions anywhere in the
+  /// program may flip, so no footprint-based reuse is sound.
+  bool IfaceChanged = false;
+
+  bool empty() const { return Changed.empty(); }
+};
+
+FingerprintDelta
+fingerprintDelta(const std::map<std::string, HandlerFingerprint> &Old,
+                 const std::map<std::string, HandlerFingerprint> &New);
+
+/// Is a verdict with footprint \p FP still exact after an edit with
+/// handler delta \p D (declarations, property text, and options already
+/// known unchanged)? True when nothing changed, or when the footprint was
+/// collected, is not AllHandlers, no interface fingerprint moved, and the
+/// changed set is disjoint from the footprint.
+bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_FOOTPRINT_H

@@ -6,6 +6,10 @@
 #include "service/proofcache.h"
 #include "support/timer.h"
 
+#include <memory>
+#include <set>
+#include <sstream>
+
 namespace reflex {
 
 std::string codeFingerprint(const Program &P) {
@@ -24,31 +28,63 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
   Out.Report.ProgramName = P.Name;
   WallTimer Timer;
 
-  std::string Code = codeFingerprint(P);
-  if (Code != LastCodeFingerprint) {
-    // Kernel changed: previous verdicts are void (any handler can matter
-    // to any property through its guard invariants).
-    Verdicts.clear();
-    LastCodeFingerprint = std::move(Code);
+  ProgramFingerprints Fp = ProgramFingerprints::compute(P);
+  // Property keys whose verdicts survived a handler edit *this call*.
+  std::set<std::string> RetainedByFootprint;
+  if (HaveLast) {
+    if (Fp.DeclFp != LastFp.DeclFp) {
+      // Declarations changed (components, messages, state variables,
+      // init): everything a proof consulted may mean something else now.
+      Verdicts.clear();
+    } else {
+      FingerprintDelta D = fingerprintDelta(LastFp.Handlers, Fp.Handlers);
+      if (!D.empty()) {
+        // Handler bodies changed: keep exactly the verdicts whose proofs
+        // provably did not look at the edit (see verify/footprint.h).
+        for (auto It = Verdicts.begin(); It != Verdicts.end();) {
+          if (footprintReusable(It->second.Footprint, D)) {
+            It->second.FootprintHit = true;
+            RetainedByFootprint.insert(It->first);
+            ++It;
+          } else {
+            It = Verdicts.erase(It);
+          }
+        }
+      }
+    }
   }
+  LastFp = std::move(Fp);
+  HaveLast = true;
 
   // One shared session for everything that must be (re)verified.
   std::unique_ptr<VerifySession> Session;
+  // Audit mode: every property served without a fresh verification.
+  std::vector<const Property *> ToAudit;
   for (const Property &Prop : P.Properties) {
     std::string Key = Prop.str();
     auto It = Verdicts.find(Key);
     if (It != Verdicts.end()) {
       ++Out.Reused;
+      if (RetainedByFootprint.count(Key))
+        ++Out.FootprintReused;
+      if (It->second.FootprintHit)
+        ++Out.Report.FootprintHits;
+      if (AuditReuse)
+        ToAudit.push_back(&Prop);
       Out.Report.Results.push_back(It->second);
       continue;
     }
     if (!Session)
       Session = std::make_unique<VerifySession>(P, Opts);
-    PropertyResult R =
-        verifyPropertyCached(*Session, Prop, Cache, LastCodeFingerprint);
+    PropertyResult R = verifyPropertyCached(*Session, Prop, Cache, &LastFp);
     ++Out.Reverified;
-    if (R.CacheHit)
+    if (R.CacheHit) {
       ++Out.CacheHits;
+      if (AuditReuse)
+        ToAudit.push_back(&Prop);
+    }
+    if (R.FootprintHit)
+      ++Out.Report.FootprintHits;
     // Strip only what cannot outlive the session: the live certificate
     // (its terms reference the session's term context) and the
     // counterexample trace. The certificate JSON is retained, so reused
@@ -62,6 +98,37 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
       Verdicts[Key] = Cached;
     Out.Report.Results.push_back(std::move(Cached));
   }
+
+  if (!ToAudit.empty()) {
+    // Re-prove every served verdict in a fresh session (no cache, no
+    // reuse) and require byte-identical results. Verdicts are
+    // deterministic functions of (program, property, options), so any
+    // disagreement means a reuse decision was unsound.
+    VerifySession Fresh(P, Opts);
+    for (const Property *Prop : ToAudit) {
+      PropertyResult Ref = Fresh.verify(*Prop);
+      const PropertyResult *Served = Out.Report.find(Prop->Name);
+      ++Out.Audited;
+      std::ostringstream Err;
+      if (!Served)
+        Err << "served result vanished from the report";
+      else if (Served->Status != Ref.Status)
+        Err << "status mismatch: served " << verifyStatusName(Served->Status)
+            << ", fresh " << verifyStatusName(Ref.Status);
+      else if (Served->Reason != Ref.Reason)
+        Err << "reason mismatch: served '" << Served->Reason << "', fresh '"
+            << Ref.Reason << "'";
+      else if (Served->Status == VerifyStatus::Proved &&
+               Served->CertJson != Ref.CertJson)
+        Err << "certificate mismatch (served and fresh audit JSON differ)";
+      std::string Msg = Err.str();
+      if (!Msg.empty()) {
+        ++Out.AuditFailures;
+        Out.AuditErrors.push_back(Prop->Name + ": " + Msg);
+      }
+    }
+  }
+
   Out.Report.TotalMillis = Timer.elapsedMillis();
   return Out;
 }

@@ -12,17 +12,23 @@
 ///
 /// The model matches the paper's edit-verify workflow: the user edits the
 /// kernel or its properties and re-runs the automation. This verifier
-/// fingerprints the program's *code* (everything except the property
-/// declarations) and each property's text:
+/// fingerprints the program per handler (verify/footprint.h) and each
+/// property's text, and records the *proof footprint* — the set of
+/// handlers the proof search consulted — with every verdict:
 ///
-///  * unchanged code + unchanged property  -> the previous verdict is
+///  * unchanged code + unchanged property -> the previous verdict is
 ///    reused (sound: verification depends on nothing else);
 ///  * changed/new property over unchanged code -> only that property is
 ///    re-verified, sharing one session (abstraction, solver memo,
 ///    invariant cache) with the others;
-///  * changed code -> everything re-verifies (a trace property can depend
-///    on *any* handler through its guard invariants, so no finer sound
-///    footprint is attempted).
+///  * changed handler bodies -> a verdict survives when the edit is
+///    provably irrelevant to its proof: the changed handlers are disjoint
+///    from the verdict's footprint and every handler's *interface*
+///    (messages sent, component types spawned, state variables assigned)
+///    is preserved — see footprintReusable and the soundness argument in
+///    verify/footprint.h. Anything else (declaration changes, interface
+///    changes, footprint overlap, a verdict without a collected
+///    footprint) re-verifies from scratch.
 ///
 /// Reused results carry their status, original timing, and — for proved
 /// properties — their certificate JSON (PropertyResult::CertJson, exported
@@ -31,20 +37,28 @@
 /// term context) is dropped, since that session dies between calls.
 ///
 /// An optional persistent ProofCache (service/proofcache.h) backs the
-/// in-memory verdict store: verdicts survive process restarts, and every
-/// proved verdict served from disk is first re-validated by the
-/// independent certificate checker. The in-memory reuse path is unchanged
-/// — the cache only sees properties this instance would re-verify.
+/// in-memory verdict store: verdicts survive process restarts and — since
+/// the cache key covers only declarations, with per-handler validation at
+/// lookup — unrelated handler edits. Every proved verdict served from
+/// disk is first re-validated by the independent certificate checker.
+///
+/// The audit mode (setAuditReuse, the CLI's --audit-footprints) re-proves
+/// every verdict that was served without a fresh verification this call —
+/// in-memory reuse and cache hits alike — in a fresh session and requires
+/// status, reason, and certificate JSON to agree byte-for-byte. It turns
+/// the footprint soundness argument into a dynamically checked claim.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REFLEX_VERIFY_INCREMENTAL_H
 #define REFLEX_VERIFY_INCREMENTAL_H
 
+#include "verify/footprint.h"
 #include "verify/verifier.h"
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace reflex {
 
@@ -53,22 +67,38 @@ class ProofCache;
 class IncrementalVerifier {
 public:
   /// \p Cache, when non-null, must outlive the verifier; it persists
-  /// verdicts across processes (keyed by code fingerprint + property text
-  /// + options, see service/proofcache.h).
+  /// verdicts across processes (keyed by declaration fingerprint +
+  /// property text + options, validated per handler at lookup — see
+  /// service/proofcache.h).
   explicit IncrementalVerifier(const VerifyOptions &Opts = {},
                                ProofCache *Cache = nullptr)
       : Opts(Opts), Cache(Cache) {}
+
+  /// Audit mode: after serving, re-prove every reused verdict from
+  /// scratch and record mismatches in Outcome (Audited / AuditFailures /
+  /// AuditErrors). Expensive by design — it exists to *check* the
+  /// incremental machinery, not to be fast.
+  void setAuditReuse(bool On) { AuditReuse = On; }
 
   struct Outcome {
     VerificationReport Report;
     /// Results served from the previous version's verdicts (in-memory).
     unsigned Reused = 0;
+    /// Of the Reused, how many survived a handler edit *this call* via
+    /// footprint disjointness (zero when the code did not change).
+    unsigned FootprintReused = 0;
     /// Properties verified in this call (including those answered by the
     /// persistent cache).
     unsigned Reverified = 0;
     /// Of the Reverified, how many were served by the persistent proof
     /// cache (proved ones re-validated by the checker).
     unsigned CacheHits = 0;
+    /// Audit mode only: verdicts re-proved from scratch, and how many of
+    /// those disagreed with what was served (always zero unless the
+    /// incremental machinery is broken).
+    unsigned Audited = 0;
+    unsigned AuditFailures = 0;
+    std::vector<std::string> AuditErrors;
   };
 
   /// Verifies \p P, reusing verdicts from the previous call where sound.
@@ -77,14 +107,20 @@ public:
 private:
   VerifyOptions Opts;
   ProofCache *Cache;
-  std::string LastCodeFingerprint;
+  bool AuditReuse = false;
+  bool HaveLast = false;
+  ProgramFingerprints LastFp;
   /// Property text -> last verdict (live certificate stripped; the
-  /// certificate JSON is retained).
+  /// certificate JSON is retained). Each verdict carries its footprint,
+  /// which is what decides survival across handler edits.
   std::map<std::string, PropertyResult> Verdicts;
 };
 
 /// The code fingerprint: the printed program with the property section
 /// removed. Two programs with equal fingerprints have identical kernels.
+/// (The incremental verifier itself uses the finer ProgramFingerprints;
+/// this whole-kernel digest remains for callers that only need "did any
+/// code change at all".)
 std::string codeFingerprint(const Program &P);
 
 } // namespace reflex

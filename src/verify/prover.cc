@@ -64,6 +64,7 @@ public:
         Cache(Cache), Cert(Cert) {
     collectPatVarTypes(P, TP.A, VarTypes);
     collectPatVarTypes(P, TP.B, VarTypes);
+    FPFrames.emplace_back(); // the property-level footprint frame
   }
 
   bool run(std::string &WhyOut) {
@@ -82,12 +83,28 @@ public:
         Cert.Steps.push_back(std::move(Step));
         continue;
       }
+      // Symbolically processed: this case's outcome reads the handler's
+      // summary, so the handler joins the footprint. (Skipped summaries
+      // are deliberately absent — the skip decision factors through the
+      // interface fingerprint, see verify/footprint.h.)
+      noteHandler(whereOf(S));
       for (size_t I = 0; I < S.Paths.size(); ++I)
         if (!processPath(whereOf(S), static_cast<int>(I), S.Paths[I],
                          /*IsInit=*/false))
           return fail(WhyOut);
     }
     return true;
+  }
+
+  /// The property-level footprint: every handler consulted by run(),
+  /// including inside failed invariant attempts and transitively through
+  /// adopted cache entries. Valid after run() returns (either way — an
+  /// Unknown's footprint covers the consulted prefix, which is all a
+  /// re-run would consult again).
+  void exportFootprint(ProofFootprint &FP) {
+    FP.Collected = FPComplete;
+    FP.AllHandlers = false;
+    FP.Handlers = FPFrames.front();
   }
 
 private:
@@ -387,10 +404,14 @@ private:
                                     unsigned Depth = 0) {
     std::string Key = Inv.cacheKey(Ctx);
 
-    // Already used by this certificate?
+    // Already used by this certificate? Its footprint was recorded when
+    // the attempt completed; fold it into the current frame so cached
+    // sub-attempts still propagate their dependencies upward.
     auto LocalIt = LocalInvariants.find(Key);
-    if (LocalIt != LocalInvariants.end())
+    if (LocalIt != LocalInvariants.end()) {
+      mergeLocalFootprint(Key);
       return LocalIt->second;
+    }
 
     // Depth cap and cycle guard for nested strengthening (the paper's
     // automation performs one nested induction; we allow a little more).
@@ -402,6 +423,17 @@ private:
       auto It = Cache.Map.find(Key);
       if (It != Cache.Map.end()) {
         ++Cache.Hits;
+        // Transitive footprint: the adopted attempt consulted handlers
+        // this proof never touched itself; they become this proof's
+        // dependencies too (for failures as much as successes — an
+        // adopted failure steers the search).
+        auto FpIt = Cache.Footprints.find(Key);
+        if (FpIt != Cache.Footprints.end()) {
+          FPFrames.back().insert(FpIt->second.begin(), FpIt->second.end());
+          LocalFootprints[Key] = FpIt->second;
+        } else {
+          FPComplete = false; // entry predates footprint recording
+        }
         return adoptRecord(Key, It->second);
       }
       // Cross-worker tier. Entries are published guard-stripped (see
@@ -409,9 +441,9 @@ private:
       // the key's rendering pins the guard, so equal keys mean equal
       // guards.
       if (Cache.Shared) {
-        if (std::optional<std::optional<InvariantRecord>> SharedHit =
+        if (std::optional<SharedInvariantCache::Entry> SharedHit =
                 Cache.Shared->lookup(Key)) {
-          std::optional<InvariantRecord> Entry = std::move(*SharedHit);
+          std::optional<InvariantRecord> Entry = std::move(SharedHit->Rec);
           if (Entry) {
             Entry->Guard = Inv.Guard;
             Entry->Action = Inv.Action;
@@ -419,6 +451,10 @@ private:
           }
           ++Cache.Hits;
           Cache.Map.emplace(Key, Entry);
+          Cache.Footprints.emplace(Key, SharedHit->Footprint);
+          FPFrames.back().insert(SharedHit->Footprint.begin(),
+                                 SharedHit->Footprint.end());
+          LocalFootprints[Key] = std::move(SharedHit->Footprint);
           return adoptRecord(Key, Entry);
         }
       }
@@ -433,9 +469,16 @@ private:
     // sub-invariants into the certificate along the way; roll those back
     // so certificates only record what the final proof uses (and so the
     // checker's cold-cache re-derivation numbers records identically).
+    // The attempt's *footprint* is not rolled back: consulted is
+    // consulted, and a re-run would consult the same handlers again.
     size_t CertSnapshot = Cert.Invariants.size();
     InFlight.insert(Key);
+    FPFrames.emplace_back();
     bool Ok = proveInvariantSteps(Inv, Rec, Depth);
+    std::set<std::string> Mine = std::move(FPFrames.back());
+    FPFrames.pop_back();
+    FPFrames.back().insert(Mine.begin(), Mine.end());
+    LocalFootprints[Key] = Mine;
     InFlight.erase(Key);
     if (!Ok && Cert.Invariants.size() > CertSnapshot) {
       Cert.Invariants.resize(CertSnapshot);
@@ -456,6 +499,7 @@ private:
       SelfContained &= S.InvariantId < 0;
     if (Opts.CacheInvariants && (!Ok || SelfContained)) {
       Cache.Map.emplace(Key, Entry);
+      Cache.Footprints.emplace(Key, Mine);
       // Cross-worker tier. Three extra gates beyond the private cache:
       //  * never publish under an expired budget — a budget-starved
       //    failure is this worker's accident, not a fact about the
@@ -478,7 +522,7 @@ private:
           std::optional<InvariantRecord> Pub = Entry;
           if (Pub)
             Pub->Guard.clear();
-          Cache.Shared->publish(Key, Pub);
+          Cache.Shared->publish(Key, Pub, Mine);
         }
       }
     }
@@ -579,6 +623,7 @@ private:
         Rec.Steps.push_back(std::move(Step));
         continue;
       }
+      noteHandler(whereOf(S));
       for (size_t I = 0; I < S.Paths.size(); ++I) {
         const SymPath &Path = S.Paths[I];
         std::vector<Lit> Assume =
@@ -689,6 +734,18 @@ private:
     return true;
   }
 
+  /// Footprint recording (verify/footprint.h): the current frame is the
+  /// innermost in-flight proof (the property itself, or a nested
+  /// invariant attempt). Frames merge into their parent on pop, so every
+  /// consulted handler ultimately reaches the property-level frame.
+  void noteHandler(const std::string &Where) { FPFrames.back().insert(Where); }
+
+  void mergeLocalFootprint(const std::string &Key) {
+    auto It = LocalFootprints.find(Key);
+    if (It != LocalFootprints.end())
+      FPFrames.back().insert(It->second.begin(), It->second.end());
+  }
+
   TermContext &Ctx;
   Solver &Solv;
   const Program &P;
@@ -701,6 +758,15 @@ private:
   std::map<std::string, BaseType> VarTypes;
   std::map<std::string, std::optional<int>> LocalInvariants;
   std::set<std::string> InFlight;
+  /// Footprint frame stack: [0] is the property-level frame; one frame is
+  /// pushed per in-flight invariant attempt.
+  std::vector<std::set<std::string>> FPFrames;
+  /// Key -> footprint of the completed attempt (or adopted entry), for
+  /// LocalInvariants hits.
+  std::map<std::string, std::set<std::string>> LocalFootprints;
+  /// Cleared when an adopted private-cache entry carries no footprint
+  /// (cannot happen for entries recorded by this engine; defensive).
+  bool FPComplete = true;
 };
 
 } // namespace
@@ -719,11 +785,19 @@ TraceProofOutcome proveTraceProperty(TermContext &Ctx, Solver &Solv,
   if (Abs.incomplete()) {
     Out.Reason = "behavioral abstraction incomplete (symbolic execution "
                  "limits exceeded)";
+    // Which handler blew the limits is a function of every handler body;
+    // only an all-handlers footprint is sound for this outcome.
+    if (Opts.Footprint) {
+      Opts.Footprint->Collected = true;
+      Opts.Footprint->AllHandlers = true;
+    }
     return Out;
   }
 
   Engine E(Ctx, Solv, P, Abs, Prop.traceProp(), Opts, Cache, Out.Cert);
   Out.Proved = E.run(Out.Reason);
+  if (Opts.Footprint)
+    E.exportFootprint(*Opts.Footprint);
   return Out;
 }
 

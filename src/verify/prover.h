@@ -34,6 +34,7 @@
 #include "sym/solver.h"
 #include "verify/behabs.h"
 #include "verify/certificate.h"
+#include "verify/footprint.h"
 #include "verify/invariant.h"
 
 #include <optional>
@@ -56,6 +57,12 @@ struct ProverOptions {
   /// by the caller; null means unlimited. Deliberately not part of any
   /// fingerprint: polling never alters a completed derivation.
   Deadline *Budget = nullptr;
+  /// Optional out-param: the proof footprint (verify/footprint.h) — every
+  /// handler summary the search symbolically processed, transitively
+  /// through adopted invariant-cache entries. Recording never takes a
+  /// decision, so collection cannot change a derivation; like Budget it
+  /// is not part of any fingerprint.
+  ProofFootprint *Footprint = nullptr;
 };
 
 /// A cross-worker tier for the invariant-proof cache (§6.4, "saving
@@ -73,8 +80,15 @@ struct ProverOptions {
 /// semantically identical guards.
 class SharedInvariantCache {
 public:
-  std::optional<std::optional<InvariantRecord>>
-  lookup(const std::string &Key) const {
+  /// One published attempt: the record (nullopt = the attempt failed) and
+  /// the handler footprint its proof consulted, carried so adopters can
+  /// fold the entry's dependencies into their own footprint.
+  struct Entry {
+    std::optional<InvariantRecord> Rec;
+    std::set<std::string> Footprint;
+  };
+
+  std::optional<Entry> lookup(const std::string &Key) const {
     const Bucket &B = shard(Key);
     std::shared_lock<std::shared_mutex> Lock(B.Mu);
     auto It = B.Map.find(Key);
@@ -84,16 +98,17 @@ public:
   }
 
   void publish(const std::string &Key,
-               const std::optional<InvariantRecord> &Rec) {
+               const std::optional<InvariantRecord> &Rec,
+               const std::set<std::string> &Footprint) {
     Bucket &B = shard(Key);
     std::unique_lock<std::shared_mutex> Lock(B.Mu);
-    B.Map.emplace(Key, Rec);
+    B.Map.emplace(Key, Entry{Rec, Footprint});
   }
 
 private:
   struct Bucket {
     mutable std::shared_mutex Mu;
-    std::map<std::string, std::optional<InvariantRecord>> Map;
+    std::map<std::string, Entry> Map;
   };
   static constexpr size_t NumShards = 8;
   size_t shardIndex(const std::string &Key) const {
@@ -112,6 +127,10 @@ private:
 /// cross-worker tier and shareable outcomes are published to it.
 struct InvariantCache {
   std::map<std::string, std::optional<InvariantRecord>> Map;
+  /// Parallel to Map: the handler footprint each attempt consulted
+  /// (successes *and* failures — an adopted failure steers the search, so
+  /// its dependencies propagate to the adopting proof's footprint).
+  std::map<std::string, std::set<std::string>> Footprints;
   SharedInvariantCache *Shared = nullptr;
   uint64_t Hits = 0;
 };

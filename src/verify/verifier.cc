@@ -101,6 +101,10 @@ std::string VerificationReport::toJson() const {
     } else {
       W.field("reason", R.Reason);
     }
+    // Footprint-relative hits: served from an entry stored for an edited
+    // version of the program (verify/footprint.h).
+    if (R.FootprintHit)
+      W.field("footprint_relative", true);
     if (R.Attempts > 1)
       W.field("attempts", static_cast<int64_t>(R.Attempts));
     W.endObject();
@@ -114,6 +118,8 @@ std::string VerificationReport::toJson() const {
     W.field("proof_cache_hits", static_cast<int64_t>(ProofCacheHits));
     W.field("proof_cache_misses", static_cast<int64_t>(ProofCacheMisses));
   }
+  if (FootprintHits)
+    W.field("footprint_hits", static_cast<int64_t>(FootprintHits));
   W.endObject();
   return W.take();
 }
@@ -239,6 +245,7 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
   std::string Reason;
   Certificate Cert;
   if (Prop.isTrace()) {
+    POpts.Footprint = &R.Footprint;
     TraceProofOutcome Out = proveTraceProperty(I->Ctx, I->Solv, I->P, I->Abs,
                                                Prop, POpts, I->Cache);
     Proved = Out.Proved;
@@ -250,6 +257,11 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
     Proved = Out.Proved;
     Reason = std::move(Out.Reason);
     Cert = std::move(Out.Cert);
+    // NI processes every handler summary, and its label analysis scans
+    // every handler body (spawn reachability); only the conservative
+    // all-handlers footprint is sound.
+    R.Footprint.Collected = true;
+    R.Footprint.AllHandlers = true;
   }
   I->Solv.setDeadline(nullptr);
   // The checker re-derivation below runs unbudgeted: a Proved outcome
@@ -271,18 +283,28 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
         R.Reason = "certificate rejected: " + Chk.Why;
       }
     }
-    if (R.Status == VerifyStatus::Proved)
+    if (R.Status == VerifyStatus::Proved) {
       // Export now, while this session's term context is alive: the JSON
       // is the form that may outlive the session (scheduler merges,
-      // incremental verdict reuse, proof-cache entries).
+      // incremental verdict reuse, proof-cache entries). The audit JSON
+      // carries the footprint ("*" = all handlers).
+      if (R.Footprint.Collected)
+        R.Cert.Footprint =
+            R.Footprint.AllHandlers
+                ? std::vector<std::string>{"*"}
+                : std::vector<std::string>(R.Footprint.Handlers.begin(),
+                                           R.Footprint.Handlers.end());
       R.CertJson = R.Cert.toJson(I->Ctx);
+    }
   } else if (D.expiredNow()) {
     // Not a verdict: the budget ended the attempt. No certificate, no
     // BMC refutation search (it would burn time the caller said we do
     // not have). The reason mentions only the configured limit, so
-    // reports compare equal across worker counts.
+    // reports compare equal across worker counts. Budget statuses are
+    // never reused, so they carry no footprint.
     R.Status = statusForOutcome(D.outcome());
     R.Reason = "verification budget exhausted: " + D.describe();
+    R.Footprint = ProofFootprint();
   } else {
     R.Status = VerifyStatus::Unknown;
     R.Reason = std::move(Reason);
@@ -295,6 +317,11 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
         R.Reason = B.Explanation;
         R.Counterexample = std::move(B.Counterexample);
       }
+      // Refuted or not, the BMC searched the concrete semantics of the
+      // whole program: the verdict now depends on every handler.
+      R.Footprint.Collected = true;
+      R.Footprint.AllHandlers = true;
+      R.Footprint.Handlers.clear();
     }
   }
   R.Millis = Timer.elapsedMillis();

@@ -103,6 +103,14 @@ struct PropertyResult {
   /// validation (VerifyOptions::FastCacheRecheck) instead of a full
   /// obligation replay. Always false when CertChecked is true.
   bool FastRecheck = false;
+  /// Cache hits only: the entry was stored for a *different* version of
+  /// the program and validated footprint-relatively (the edit was
+  /// disjoint from the proof's footprint, see verify/footprint.h).
+  bool FootprintHit = false;
+  /// The proof footprint (verify/footprint.h): the handlers this verdict
+  /// depends on. Collected for trace properties; AllHandlers for NI and
+  /// BMC-assisted verdicts; not Collected for budget statuses.
+  ProofFootprint Footprint;
   /// How many attempts the scheduler made (retries + 1); 1 outside the
   /// fault-tolerant scheduler.
   unsigned Attempts = 1;
@@ -120,6 +128,10 @@ struct VerificationReport {
   /// Persistent proof-cache traffic (zero when no cache is attached).
   uint64_t ProofCacheHits = 0;
   uint64_t ProofCacheMisses = 0;
+  /// Of the hits, how many were served footprint-relatively: the entry
+  /// was stored for an edited-since version of the program and revalidated
+  /// against the current handler fingerprints (verify/footprint.h).
+  uint64_t FootprintHits = 0;
 
   bool allProved() const;
   unsigned provedCount() const;

@@ -170,6 +170,33 @@ TEST(Cli, ParallelJobsAndProofCache) {
   EXPECT_EQ(Bad.ExitCode, 2) << Bad.Output;
 }
 
+TEST(Cli, AuditFootprintsReProvesCachedVerdicts) {
+  std::string Path = writeTemp(GoodKernel, "audit.rfx");
+  std::string CacheDir = std::string(::testing::TempDir()) + "auditcache";
+  std::filesystem::remove_all(CacheDir);
+
+  CliResult Cold = runCli("verify " + Path + " --cache-dir " + CacheDir);
+  ASSERT_EQ(Cold.ExitCode, 0) << Cold.Output;
+
+  // The warm run serves the verdict from the cache; the audit re-proves
+  // it from scratch and must find byte-identical results.
+  CliResult Warm = runCli("verify " + Path + " --cache-dir " + CacheDir +
+                          " --audit-footprints");
+  EXPECT_EQ(Warm.ExitCode, 0) << Warm.Output;
+  EXPECT_NE(Warm.Output.find("[cached]"), std::string::npos) << Warm.Output;
+  EXPECT_NE(Warm.Output.find(
+                "footprint audit: 1 reused verdict re-proved, 0 mismatches"),
+            std::string::npos)
+      << Warm.Output;
+
+  // Without reuse there is nothing to audit; the flag is still accepted.
+  CliResult NoCache = runCli("verify " + Path + " --audit-footprints");
+  EXPECT_EQ(NoCache.ExitCode, 0) << NoCache.Output;
+  EXPECT_NE(NoCache.Output.find("0 reused verdicts re-proved"),
+            std::string::npos)
+      << NoCache.Output;
+}
+
 TEST(Cli, InfoReportsInventory) {
   std::string Path = writeTemp(GoodKernel, "info.rfx");
   CliResult R = runCli("info " + Path);

@@ -39,14 +39,16 @@ TEST(Incremental, NewPropertyOnlyVerifiesItself) {
   EXPECT_EQ(Out.Reverified, 1u);
 }
 
-TEST(Incremental, CodeEditInvalidatesEverything) {
+TEST(Incremental, IfacePreservingEditReverifiesOnlyDependents) {
   const kernels::KernelDef &K = kernels::ssh();
   ProgramPtr P1 = kernels::load(K);
   IncrementalVerifier IV;
   IV.verify(*P1);
 
-  // Change a handler body (behaviourally harmless, but the fingerprint
-  // must be conservative).
+  // Duplicate an assignment the Password=>Auth handler already performs:
+  // its body changes but its interface (messages sent, types spawned,
+  // variables assigned) does not. Verdicts whose proofs never consulted
+  // the edited handler survive via their footprints; the rest re-verify.
   std::string Src2 = K.Source;
   size_t Pos = Src2.find("auth_ok = true;");
   ASSERT_NE(Pos, std::string::npos);
@@ -54,9 +56,65 @@ TEST(Incremental, CodeEditInvalidatesEverything) {
   ProgramPtr P2 = mustLoad(Src2);
   ASSERT_NE(P2, nullptr);
   auto Out = IV.verify(*P2);
+  EXPECT_EQ(Out.Reused + Out.Reverified, unsigned(P2->Properties.size()));
+  EXPECT_GT(Out.Reused, 0u) << "edit-disjoint proofs must survive";
+  EXPECT_EQ(Out.FootprintReused, Out.Reused);
+  EXPECT_GT(Out.Reverified, 0u)
+      << "AuthBeforeTerm's proof consults Password=>Auth";
+  EXPECT_TRUE(Out.Report.allProved()) << "the edit preserves the policies";
+
+  // The retained verdicts must be exactly what a fresh run produces.
+  VerificationReport Fresh = verifyProgram(*P2);
+  ASSERT_EQ(Out.Report.Results.size(), Fresh.Results.size());
+  for (size_t I = 0; I < Fresh.Results.size(); ++I) {
+    EXPECT_EQ(Out.Report.Results[I].Status, Fresh.Results[I].Status)
+        << Fresh.Results[I].Name;
+    EXPECT_EQ(Out.Report.Results[I].CertJson, Fresh.Results[I].CertJson)
+        << Fresh.Results[I].Name;
+  }
+}
+
+TEST(Incremental, IfaceChangingEditInvalidatesEverything) {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  IncrementalVerifier IV;
+  IV.verify(*P1);
+
+  // A semantically harmless self-assignment of a variable the handler
+  // does not otherwise assign: the assign set grows, so the handler's
+  // *interface* fingerprint changes — and the prover's syntactic skip
+  // predicates factor through exactly that interface, so no footprint is
+  // trustworthy. Everything must re-verify.
+  std::string Src2 = K.Source;
+  size_t Pos = Src2.find("auth_ok = true;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src2.insert(Pos, "attempts = attempts;\n  ");
+  ProgramPtr P2 = mustLoad(Src2);
+  ASSERT_NE(P2, nullptr);
+  auto Out = IV.verify(*P2);
   EXPECT_EQ(Out.Reused, 0u);
   EXPECT_EQ(Out.Reverified, P2->Properties.size());
   EXPECT_TRUE(Out.Report.allProved()) << "the edit preserves the policies";
+}
+
+TEST(Incremental, DeclarationEditInvalidatesEverything) {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  IncrementalVerifier IV;
+  IV.verify(*P1);
+
+  // Add an unused state variable: no handler body changes, but the
+  // declaration fingerprint does — default summaries and symbol meanings
+  // are functions of the declarations, so nothing may be reused.
+  std::string Src2 = K.Source;
+  size_t Pos = Src2.find("var attempts");
+  ASSERT_NE(Pos, std::string::npos);
+  Src2.insert(Pos, "var spare: num = 0;\n");
+  ProgramPtr P2 = mustLoad(Src2);
+  ASSERT_NE(P2, nullptr);
+  auto Out = IV.verify(*P2);
+  EXPECT_EQ(Out.Reused, 0u);
+  EXPECT_EQ(Out.Reverified, P2->Properties.size());
 }
 
 TEST(Incremental, VerdictsAgreeWithFreshVerification) {
@@ -82,6 +140,72 @@ property Fine: forall n.
   for (size_t I = 0; I < Fresh.Results.size(); ++I)
     EXPECT_EQ(Cached.Report.Results[I].Status, Fresh.Results[I].Status)
         << Fresh.Results[I].Name;
+}
+
+/// Inserts \p Stmt at the start of the \p I-th handler's body (0-based,
+/// source order). Returns "" when the source has fewer handlers.
+std::string mutateHandler(const std::string &Src, size_t I,
+                          const std::string &Stmt) {
+  size_t Pos = 0;
+  for (size_t N = 0;; ++N) {
+    Pos = Src.find("\nhandler ", Pos);
+    if (Pos == std::string::npos)
+      return {};
+    size_t Brace = Src.find('{', Pos);
+    if (Brace == std::string::npos)
+      return {};
+    if (N == I)
+      return Src.substr(0, Brace + 1) + "\n  " + Stmt +
+             Src.substr(Brace + 1);
+    Pos = Brace;
+  }
+}
+
+TEST(Incremental, MutationAuditEveryHandlerOfEveryKernel) {
+  // The exhaustive soundness audit behind the footprint machinery: for
+  // every example kernel, edit each handler in turn (a self-assignment of
+  // the first state variable — semantically a no-op, interface-preserving
+  // exactly when the handler already assigns that variable, so both the
+  // reuse and the invalidation paths are exercised across the sweep) and
+  // require the incremental verdict set to be byte-identical — status,
+  // reason, certificate JSON — to a from-scratch verification of the
+  // mutated program. Audit mode additionally re-proves every reused
+  // verdict inside the verifier itself.
+  for (const kernels::KernelDef *K : kernels::all()) {
+    ProgramPtr P1 = kernels::load(*K);
+    if (P1->StateVars.empty())
+      continue; // the no-op statement needs a variable to re-assign
+    const std::string Var = P1->StateVars.front().Name;
+    const std::string Nop = Var + " = " + Var + ";";
+    for (size_t H = 0;; ++H) {
+      std::string Src2 = mutateHandler(K->Source, H, Nop);
+      if (Src2.empty())
+        break;
+      ProgramPtr P2 = mustLoad(Src2);
+      ASSERT_NE(P2, nullptr) << K->Name << " handler " << H;
+
+      IncrementalVerifier IV;
+      IV.setAuditReuse(true);
+      IV.verify(*P1);
+      auto Out = IV.verify(*P2);
+      EXPECT_EQ(Out.AuditFailures, 0u) << K->Name << " handler " << H;
+      for (const std::string &Err : Out.AuditErrors)
+        ADD_FAILURE() << K->Name << " handler " << H << ": " << Err;
+
+      VerificationReport Fresh = verifyProgram(*P2);
+      ASSERT_EQ(Out.Report.Results.size(), Fresh.Results.size());
+      for (size_t I = 0; I < Fresh.Results.size(); ++I) {
+        const PropertyResult &Got = Out.Report.Results[I];
+        const PropertyResult &Want = Fresh.Results[I];
+        EXPECT_EQ(Got.Status, Want.Status)
+            << K->Name << " handler " << H << " " << Want.Name;
+        EXPECT_EQ(Got.Reason, Want.Reason)
+            << K->Name << " handler " << H << " " << Want.Name;
+        EXPECT_EQ(Got.CertJson, Want.CertJson)
+            << K->Name << " handler " << H << " " << Want.Name;
+      }
+    }
+  }
 }
 
 TEST(Incremental, FingerprintStripsOnlyProperties) {

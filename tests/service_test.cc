@@ -250,27 +250,27 @@ TEST(Scheduler, SingleProgramParallelReportLooksLikeVerifyAll) {
 TEST(ProofCache, KeyIsStableAndContentAddressed) {
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
   VerifyOptions Opts;
 
-  std::string K1 = ProofCache::keyFor(FP, P->Properties[0], Opts);
+  std::string K1 = ProofCache::keyFor(FP.DeclFp, P->Properties[0], Opts);
   EXPECT_EQ(K1.size(), 64u);
   EXPECT_EQ(K1.find_first_not_of("0123456789abcdef"), std::string::npos);
-  EXPECT_EQ(K1, ProofCache::keyFor(FP, P->Properties[0], Opts));
+  EXPECT_EQ(K1, ProofCache::keyFor(FP.DeclFp, P->Properties[0], Opts));
 
   // Any input change changes the key.
-  EXPECT_NE(K1, ProofCache::keyFor(FP, P->Properties[1], Opts));
-  EXPECT_NE(K1, ProofCache::keyFor(FP + "x", P->Properties[0], Opts));
+  EXPECT_NE(K1, ProofCache::keyFor(FP.DeclFp, P->Properties[1], Opts));
+  EXPECT_NE(K1, ProofCache::keyFor(FP.DeclFp + "x", P->Properties[0], Opts));
   VerifyOptions NoSimp = Opts;
   NoSimp.Simplify = false;
-  EXPECT_NE(K1, ProofCache::keyFor(FP, P->Properties[0], NoSimp));
+  EXPECT_NE(K1, ProofCache::keyFor(FP.DeclFp, P->Properties[0], NoSimp));
 }
 
 TEST(ProofCache, ColdMissThenRevalidatedWarmHit) {
   TempDir Dir("cache-warm");
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
 
   // Cold: both verdict kinds (Proved "Fine", Unknown "Bad") miss + store.
   {
@@ -278,7 +278,7 @@ TEST(ProofCache, ColdMissThenRevalidatedWarmHit) {
     ASSERT_NE(Cache, nullptr);
     VerifySession S(*P);
     for (const Property &Prop : P->Properties) {
-      PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), FP);
+      PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
       EXPECT_FALSE(R.CacheHit);
     }
     EXPECT_EQ(Cache->stats().Misses, 2u);
@@ -293,9 +293,9 @@ TEST(ProofCache, ColdMissThenRevalidatedWarmHit) {
   ASSERT_NE(Cache, nullptr);
   VerifySession S(*P);
   PropertyResult Bad =
-      verifyPropertyCached(S, P->Properties[0], Cache.get(), FP);
+      verifyPropertyCached(S, P->Properties[0], Cache.get(), &FP);
   PropertyResult Fine =
-      verifyPropertyCached(S, P->Properties[1], Cache.get(), FP);
+      verifyPropertyCached(S, P->Properties[1], Cache.get(), &FP);
 
   EXPECT_EQ(Bad.Status, VerifyStatus::Unknown);
   EXPECT_TRUE(Bad.CacheHit);
@@ -313,16 +313,16 @@ TEST(ProofCache, TamperedCertificateIsRejectedAndReVerified) {
   TempDir Dir("cache-tamper");
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
   const Property &Fine = P->Properties[1];
-  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Fine, VerifyOptions{});
   std::string EntryPath = Dir.str() + "/" + Key + ".json";
 
   std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
   ASSERT_NE(Cache, nullptr);
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     ASSERT_EQ(R.Status, VerifyStatus::Proved);
   }
 
@@ -349,7 +349,7 @@ TEST(ProofCache, TamperedCertificateIsRejectedAndReVerified) {
   // overwritten with an honest one.
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_EQ(R.Status, VerifyStatus::Proved);
     EXPECT_FALSE(R.CacheHit);
     EXPECT_TRUE(R.CertChecked);
@@ -359,7 +359,7 @@ TEST(ProofCache, TamperedCertificateIsRejectedAndReVerified) {
   // The overwritten entry is trustworthy again.
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_TRUE(R.CacheHit);
     EXPECT_TRUE(R.CertChecked);
   }
@@ -369,9 +369,9 @@ TEST(ProofCache, MalformedEntryIsAMiss) {
   TempDir Dir("cache-garbage");
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
   const Property &Fine = P->Properties[1];
-  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Fine, VerifyOptions{});
 
   std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
   ASSERT_NE(Cache, nullptr);
@@ -382,7 +382,7 @@ TEST(ProofCache, MalformedEntryIsAMiss) {
   EXPECT_FALSE(Cache->lookup(Key).has_value());
 
   VerifySession S(*P);
-  PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+  PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
   EXPECT_EQ(R.Status, VerifyStatus::Proved);
   EXPECT_FALSE(R.CacheHit);
   EXPECT_EQ(Cache->stats().Misses, 1u);
@@ -441,16 +441,16 @@ void corruptionRoundTrip(const char *Tag,
   TempDir Dir(std::string("cache-") + Tag);
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
   const Property &Fine = P->Properties[1];
-  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Fine, VerifyOptions{});
   std::string EntryPath = Dir.str() + "/" + Key + ".json";
 
   std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
   ASSERT_NE(Cache, nullptr);
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     ASSERT_EQ(R.Status, VerifyStatus::Proved);
   }
 
@@ -461,7 +461,7 @@ void corruptionRoundTrip(const char *Tag,
 
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_EQ(R.Status, VerifyStatus::Proved);
     EXPECT_FALSE(R.CacheHit) << "damaged entries must not be served";
     EXPECT_TRUE(R.CertChecked);
@@ -475,7 +475,7 @@ void corruptionRoundTrip(const char *Tag,
   // The re-verification published an honest replacement.
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_TRUE(R.CacheHit);
     EXPECT_TRUE(R.CertChecked);
   }
@@ -500,9 +500,9 @@ TEST(ProofCache, BitFlippedCertificateIsQuarantinedAndReVerified) {
 
 TEST(ProofCache, WrongVersionEntryIsQuarantinedAndReVerified) {
   corruptionRoundTrip("version", [](std::string &Entry) {
-    size_t Pos = Entry.find("\"version\":1");
+    size_t Pos = Entry.find("\"version\":2");
     ASSERT_NE(Pos, std::string::npos);
-    Entry.replace(Pos, std::string("\"version\":1").size(),
+    Entry.replace(Pos, std::string("\"version\":2").size(),
                   "\"version\":99");
   });
 }
@@ -511,15 +511,15 @@ TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
   TempDir Dir("cache-faultio");
   ProgramPtr P = mustLoad(MixedSrc);
   ASSERT_NE(P, nullptr);
-  std::string FP = codeFingerprint(*P);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
   const Property &Fine = P->Properties[1];
-  std::string Key = ProofCache::keyFor(FP, Fine, VerifyOptions{});
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Fine, VerifyOptions{});
 
   std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
   ASSERT_NE(Cache, nullptr);
   {
     VerifySession S(*P);
-    ASSERT_EQ(verifyPropertyCached(S, Fine, Cache.get(), FP).Status,
+    ASSERT_EQ(verifyPropertyCached(S, Fine, Cache.get(), &FP).Status,
               VerifyStatus::Proved);
   }
 
@@ -530,7 +530,7 @@ TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
   Cache->setFaultPlan(&ReadFail);
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_EQ(R.Status, VerifyStatus::Proved);
     EXPECT_FALSE(R.CacheHit);
   }
@@ -544,7 +544,7 @@ TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
   Cache->setFaultPlan(&ReadTorn);
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
     EXPECT_EQ(R.Status, VerifyStatus::Proved);
     EXPECT_FALSE(R.CacheHit);
   }
@@ -560,7 +560,7 @@ TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
   Cache2->setFaultPlan(&NoRename);
   {
     VerifySession S(*P);
-    PropertyResult R = verifyPropertyCached(S, Fine, Cache2.get(), FP);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache2.get(), &FP);
     EXPECT_EQ(R.Status, VerifyStatus::Proved) << "verdict survives";
   }
   EXPECT_EQ(Cache2->stats().Stores, 0u);
@@ -608,6 +608,107 @@ TEST(Scheduler, WarmCacheServesWholeBatch) {
       }
     }
   }
+}
+
+TEST(ProofCache, FootprintRelativeHitSurvivesUnrelatedEdit) {
+  TempDir Dir("cache-footprint");
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+
+  // Warm the cache from the pristine kernel.
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  ProgramFingerprints Fp1 = ProgramFingerprints::compute(*P1);
+  {
+    VerifySession S(*P1);
+    for (const Property &Prop : P1->Properties)
+      ASSERT_EQ(verifyPropertyCached(S, Prop, Cache.get(), &Fp1).Status,
+                VerifyStatus::Proved);
+  }
+
+  // Edit one handler body without changing its interface: Password=>Auth
+  // gains a duplicated assignment. The declaration fingerprint (and so
+  // every cache key) is unchanged; per-entry validation decides reuse.
+  std::string Src2 = K.Source;
+  size_t Pos = Src2.find("auth_ok = true;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src2.insert(Pos, "auth_user = user;\n  ");
+  ProgramPtr P2 = mustLoad(Src2);
+  ASSERT_NE(P2, nullptr);
+  ProgramFingerprints Fp2 = ProgramFingerprints::compute(*P2);
+  ASSERT_EQ(Fp1.DeclFp, Fp2.DeclFp);
+  ASSERT_NE(Fp1.HandlersFp, Fp2.HandlersFp);
+
+  uint64_t FootprintHits = 0, Misses = 0;
+  {
+    VerifySession S(*P2);
+    for (const Property &Prop : P2->Properties) {
+      PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &Fp2);
+      EXPECT_EQ(R.Status, VerifyStatus::Proved) << Prop.Name;
+      if (R.FootprintHit) {
+        EXPECT_TRUE(R.CacheHit);
+        EXPECT_TRUE(R.CertChecked)
+            << "footprint-relative proved hits replay the checker too";
+        ++FootprintHits;
+      }
+      if (!R.CacheHit)
+        ++Misses;
+    }
+  }
+  EXPECT_GT(FootprintHits, 0u)
+      << "proofs disjoint from the edit must be served from the cache";
+  EXPECT_GT(Misses, 0u)
+      << "proofs that consulted Password=>Auth must re-verify";
+  EXPECT_EQ(Cache->stats().FootprintHits, FootprintHits);
+  EXPECT_EQ(Cache->stats().Quarantined, 0u)
+      << "a stale entry is a miss, not damage";
+
+  // An interface-changing edit of the same handler invalidates even the
+  // disjoint proofs: the skip predicates factor through the interface.
+  std::string Src3 = K.Source;
+  Pos = Src3.find("auth_ok = true;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src3.insert(Pos, "attempts = attempts;\n  ");
+  ProgramPtr P3 = mustLoad(Src3);
+  ASSERT_NE(P3, nullptr);
+  ProgramFingerprints Fp3 = ProgramFingerprints::compute(*P3);
+  {
+    VerifySession S(*P3);
+    PropertyResult R =
+        verifyPropertyCached(S, P3->Properties[0], Cache.get(), &Fp3);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit);
+  }
+}
+
+TEST(Scheduler, IdenticalJobsAreDedupedBeforeDispatch) {
+  // The same kernel loaded twice: every (program, property) pair of the
+  // second copy is byte-identical to the first's, so only the first
+  // copy's jobs dispatch and the duplicates' slots carry copies.
+  ProgramPtr A = kernels::load(kernels::ssh());
+  ProgramPtr B = kernels::load(kernels::ssh());
+  SchedulerOptions Opts;
+  Opts.Jobs = 4;
+  BatchOutcome Out = verifyPrograms({A.get(), B.get()}, Opts);
+
+  EXPECT_EQ(Out.DedupedJobs, uint64_t(B->Properties.size()));
+  ASSERT_EQ(Out.Reports.size(), 2u);
+  ASSERT_EQ(Out.Reports[0].Results.size(), Out.Reports[1].Results.size());
+  EXPECT_TRUE(Out.allProved());
+  for (size_t I = 0; I < Out.Reports[0].Results.size(); ++I) {
+    const PropertyResult &R0 = Out.Reports[0].Results[I];
+    const PropertyResult &R1 = Out.Reports[1].Results[I];
+    EXPECT_EQ(R0.Name, R1.Name);
+    EXPECT_EQ(R0.Status, R1.Status);
+    EXPECT_EQ(R0.Reason, R1.Reason);
+    EXPECT_EQ(R0.CertJson, R1.CertJson)
+        << "deduped slots carry the canonical job's certificate";
+  }
+
+  // Distinct programs never dedupe.
+  ProgramPtr C = kernels::load(kernels::ssh2());
+  BatchOutcome Mixed = verifyPrograms({A.get(), C.get()}, Opts);
+  EXPECT_EQ(Mixed.DedupedJobs, 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -677,7 +778,7 @@ TEST(Scheduler, InjectedBudgetExhaustionIsReportedNotCached) {
   EXPECT_EQ(Fine.Attempts, 2u) << "budget statuses are transient: retried";
 
   // Budget statuses are circumstances, not verdicts: never persisted.
-  std::string Key = ProofCache::keyFor(codeFingerprint(*P),
+  std::string Key = ProofCache::keyFor(ProgramFingerprints::compute(*P).DeclFp,
                                        P->Properties[1], VerifyOptions{});
   EXPECT_FALSE(fs::exists(Dir.str() + "/" + Key + ".json"));
 
@@ -718,7 +819,7 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
   EXPECT_GE(Car->Properties.size(), 3u);
   std::vector<std::string> CorruptKeys;
   for (size_t I = 0; I < 3; ++I) {
-    std::string Key = ProofCache::keyFor(codeFingerprint(*Car),
+    std::string Key = ProofCache::keyFor(ProgramFingerprints::compute(*Car).DeclFp,
                                          Car->Properties[I],
                                          VerifyOptions{});
     std::string Path = Dir.str() + "/" + Key + ".json";
@@ -731,9 +832,9 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
       EXPECT_NE(Pos, std::string::npos);
       Entry[Pos + 25] = char(Entry[Pos + 25] ^ 0x04);
     } else {
-      size_t Pos = Entry.find("\"version\":1");
+      size_t Pos = Entry.find("\"version\":2");
       EXPECT_NE(Pos, std::string::npos);
-      Entry.replace(Pos, std::string("\"version\":1").size(),
+      Entry.replace(Pos, std::string("\"version\":2").size(),
                     "\"version\":99");
     }
     writeAll(Path, Entry);
@@ -813,6 +914,62 @@ TEST(Scheduler, SharingToggleDoesNotChangeFaultedVerdicts) {
   std::vector<std::string> Private = runFaultedAcceptanceBatch(4, false);
   EXPECT_EQ(Shared, Private)
       << "SchedulerOptions::SharedCaches must not change verdicts";
+}
+
+/// Footprint-relative warm batch under faults: warm a cache from the
+/// pristine ssh kernel, edit one handler body interface-preservingly,
+/// then re-verify the edited kernel from the warm cache with an injected
+/// first-attempt worker crash. Footprint-relative hits must serve the
+/// edit-disjoint proofs, and the flattened verdicts must not depend on
+/// the worker count.
+std::vector<std::string> runFootprintWarmBatch(unsigned Jobs) {
+  const kernels::KernelDef &K = kernels::ssh();
+  ProgramPtr P1 = kernels::load(K);
+  std::string Src2 = K.Source;
+  size_t Pos = Src2.find("auth_ok = true;");
+  EXPECT_NE(Pos, std::string::npos);
+  Src2.insert(Pos, "auth_user = user;\n  ");
+  ProgramPtr P2 = mustLoad(Src2);
+  EXPECT_NE(P2, nullptr);
+
+  TempDir Dir("cache-fpwarm-" + std::to_string(Jobs));
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  EXPECT_NE(Cache, nullptr);
+  SchedulerOptions Fill;
+  Fill.Jobs = Jobs;
+  Fill.Cache = Cache.get();
+  BatchOutcome Cold = verifyPrograms({P1.get()}, Fill);
+  EXPECT_TRUE(Cold.allProved());
+
+  FaultPlan Plan;
+  Plan.addRule({"worker", P2->Name + "/" + P2->Properties[0].Name + "#0",
+                FaultKind::Fail});
+  SchedulerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Cache = Cache.get();
+  Opts.Faults = &Plan;
+  Opts.Retries = 1;
+  Opts.RetryBackoffMs = 0;
+  BatchOutcome Out = verifyPrograms({P2.get()}, Opts);
+  EXPECT_TRUE(Out.allProved());
+  EXPECT_GT(Out.CacheStats.FootprintHits, 0u)
+      << "edit-disjoint proofs must be served footprint-relatively";
+  EXPECT_GT(Out.CacheStats.Misses, 0u)
+      << "the edited handler's dependents must re-verify";
+
+  std::vector<std::string> Flat;
+  for (const PropertyResult &R : Out.Reports[0].Results)
+    Flat.push_back(R.Name + "|" + verifyStatusName(R.Status) + "|" +
+                   R.Reason + "|" + std::to_string(R.Attempts) + "|" +
+                   (R.FootprintHit ? "fp" : "-"));
+  return Flat;
+}
+
+TEST(Scheduler, FootprintWarmBatchDeterministicAcrossWorkerCounts) {
+  std::vector<std::string> OneWorker = runFootprintWarmBatch(1);
+  std::vector<std::string> FourWorkers = runFootprintWarmBatch(4);
+  EXPECT_EQ(OneWorker, FourWorkers)
+      << "footprint-relative reuse must not depend on the worker count";
 }
 
 //===----------------------------------------------------------------------===//

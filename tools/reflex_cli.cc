@@ -56,6 +56,10 @@ int usage() {
       "                    --fast-cache (accept cached proofs after the\n"
       "                    hash-chain + structural validation instead of a\n"
       "                    full obligation replay)\n"
+      "                    --audit-footprints (re-prove every verdict that\n"
+      "                    was served from a cache or footprint instead of\n"
+      "                    a fresh proof search; any disagreement aborts\n"
+      "                    with exit code 4)\n"
       "                    --no-share (build private per-worker\n"
       "                    abstractions instead of one shared frozen\n"
       "                    abstraction with cross-worker caches)\n"
@@ -67,7 +71,8 @@ int usage() {
       "                    --fault-seed S (deterministic fault injection\n"
       "                    into cache IO and workers, for drills)\n"
       "           exit codes: 0 all proved, 1 refuted or unknown,\n"
-      "                       2 usage/IO error, 3 budget exhausted only\n"
+      "                       2 usage/IO error, 3 budget exhausted only,\n"
+      "                       4 footprint audit mismatch\n"
       "  bmc      bounded search for a counterexample trace\n"
       "           options: --property NAME (required) --depth N\n"
       "  run      drive the kernel with random component traffic\n"
@@ -173,7 +178,8 @@ int cmdVerify(const Args &A, const Program &P) {
     SOpts.Cache = Cache.get();
   }
 
-  VerificationReport Report = verifyParallel(P, SOpts);
+  BatchOutcome Batch = verifyPrograms({&P}, SOpts);
+  VerificationReport &Report = Batch.Reports[0];
 
   std::string CertJson = "[";
   for (size_t I = 0; I < Report.Results.size(); ++I) {
@@ -183,7 +189,9 @@ int cmdVerify(const Args &A, const Program &P) {
                 R.Status == VerifyStatus::Proved
                     ? (R.CertChecked ? "  [cert checked]" : "")
                     : "",
-                R.CacheHit ? "  [cached]" : "");
+                R.CacheHit ? (R.FootprintHit ? "  [cached, footprint]"
+                                             : "  [cached]")
+                           : "");
     if (R.Status != VerifyStatus::Proved)
       std::printf("    %s\n", R.Reason.c_str());
     if (R.Status == VerifyStatus::Refuted)
@@ -217,6 +225,14 @@ int cmdVerify(const Args &A, const Program &P) {
                 (unsigned long long)Report.ProofCacheMisses,
                 Report.ProofCacheMisses == 1 ? "" : "es",
                 Cache->directory().c_str());
+    if (Batch.CacheStats.FootprintHits)
+      std::printf("  footprint-relative hits: %llu (served despite edits "
+                  "outside the proof's footprint)\n",
+                  (unsigned long long)Batch.CacheStats.FootprintHits);
+    if (Batch.CacheStats.DecodeMillis || Batch.CacheStats.RecheckMillis)
+      std::printf("  decode %.2f ms, re-check %.2f ms\n",
+                  Batch.CacheStats.DecodeMillis,
+                  Batch.CacheStats.RecheckMillis);
     ProofCache::Stats CS = Cache->stats();
     if (CS.Quarantined || CS.SweptTmp)
       std::printf("proof cache hygiene: %llu entr%s quarantined, %llu "
@@ -226,9 +242,53 @@ int cmdVerify(const Args &A, const Program &P) {
                   (unsigned long long)CS.SweptTmp,
                   CS.SweptTmp == 1 ? "" : "s");
   }
+  if (Batch.DedupedJobs)
+    std::printf("deduplicated %llu identical job%s before dispatch\n",
+                (unsigned long long)Batch.DedupedJobs,
+                Batch.DedupedJobs == 1 ? "" : "s");
   std::printf("\n%u/%zu properties proved in %.2f ms\n",
               Report.provedCount(), Report.Results.size(),
               Report.TotalMillis);
+
+  // --audit-footprints: distrust every verdict that was served without a
+  // fresh proof search this run (a cache hit, footprint-relative or not)
+  // and re-prove it from scratch. Verdicts are deterministic functions of
+  // (program, property, options), so any disagreement means a reuse
+  // decision was unsound — abort loudly rather than report it.
+  if (A.Options.count("--audit-footprints")) {
+    unsigned Audited = 0, Mismatches = 0;
+    std::unique_ptr<VerifySession> Fresh;
+    for (const PropertyResult &R : Report.Results) {
+      if (!R.CacheHit)
+        continue;
+      const Property *Prop = P.findProperty(R.Name);
+      if (!Prop)
+        continue;
+      if (!Fresh)
+        Fresh = std::make_unique<VerifySession>(P, Opts);
+      PropertyResult Ref = Fresh->verify(*Prop);
+      ++Audited;
+      std::string Why;
+      if (Ref.Status != R.Status)
+        Why = std::string("status: served ") + verifyStatusName(R.Status) +
+              ", fresh " + verifyStatusName(Ref.Status);
+      else if (Ref.Reason != R.Reason)
+        Why = "reason: served '" + R.Reason + "', fresh '" + Ref.Reason + "'";
+      else if (R.Status == VerifyStatus::Proved && Ref.CertJson != R.CertJson)
+        Why = "certificate JSON differs";
+      if (!Why.empty()) {
+        ++Mismatches;
+        std::fprintf(stderr, "audit FAILURE for %s: %s\n", R.Name.c_str(),
+                     Why.c_str());
+      }
+    }
+    std::printf("footprint audit: %u reused verdict%s re-proved, "
+                "%u mismatch%s\n",
+                Audited, Audited == 1 ? "" : "s", Mismatches,
+                Mismatches == 1 ? "" : "es");
+    if (Mismatches)
+      return 4;
+  }
 
   // Exit codes: 0 all proved; 1 a definitive non-proof (Refuted, or an
   // Unknown the automation could not discharge); 3 when the *only*

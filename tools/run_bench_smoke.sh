@@ -5,7 +5,9 @@
 # exit non-zero on what must *never* regress — nondeterministic verdicts
 # across worker counts or sharing modes, a warm proof cache that fails
 # to serve (and re-validate) every verdict on both re-check paths, or a
-# fault-tolerance failure in bench_faults. The timed, 5-repetition runs
+# fault-tolerance failure in bench_faults, or an incremental
+# re-verification whose verdicts diverge from a from-scratch run
+# (bench_incremental's mutation audit). The timed, 5-repetition runs
 # that produce the committed BENCH_*.json artifacts are run manually.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]       (default: build)
@@ -15,7 +17,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_parallel bench_faults
+cmake --build "$BUILD" -j --target bench_parallel bench_faults bench_incremental
 
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 
