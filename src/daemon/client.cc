@@ -1,0 +1,38 @@
+//===- daemon/client.cc - reflexd client library --------------------------===//
+
+#include "daemon/client.h"
+
+#include "daemon/protocol.h"
+
+namespace reflex {
+
+Result<DaemonClient> DaemonClient::connect(const std::string &SocketPath) {
+  Result<UnixSocket> S = UnixSocket::connectTo(SocketPath);
+  if (!S.ok())
+    return Error(S.error());
+  return DaemonClient(S.take());
+}
+
+Result<std::string> DaemonClient::callRaw(const std::string &RequestJson) {
+  if (Result<void> Sent = Sock.sendAll(RequestJson + "\n"); !Sent.ok())
+    return Error(Sent.error());
+  std::string Frame;
+  Result<bool> Got = Sock.readLine(Frame, DaemonMaxFrameBytes);
+  if (!Got.ok())
+    return Error(Got.error());
+  if (!*Got)
+    return Error("daemon closed the connection without answering");
+  return Frame;
+}
+
+Result<JsonValue> DaemonClient::call(const std::string &RequestJson) {
+  Result<std::string> Frame = callRaw(RequestJson);
+  if (!Frame.ok())
+    return Error(Frame.error());
+  Result<JsonValue> Doc = parseJson(*Frame);
+  if (!Doc.ok())
+    return Error("unparsable response frame: " + Doc.error());
+  return Doc;
+}
+
+} // namespace reflex

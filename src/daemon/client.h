@@ -1,0 +1,53 @@
+//===- daemon/client.h - reflexd client library -----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the reflexd protocol (daemon/protocol.h): connect
+/// to the daemon's socket, send one JSON frame per request, read one
+/// frame back. Used by `reflex client`, the daemon tests, and
+/// bench_daemon; anything that can speak newline-delimited JSON over an
+/// AF_UNIX socket interoperates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_DAEMON_CLIENT_H
+#define REFLEX_DAEMON_CLIENT_H
+
+#include "support/json.h"
+#include "support/result.h"
+#include "support/socket.h"
+
+#include <string>
+
+namespace reflex {
+
+class DaemonClient {
+public:
+  /// Connects to the daemon listening at \p SocketPath.
+  static Result<DaemonClient> connect(const std::string &SocketPath);
+
+  /// One round-trip: sends \p RequestJson as a frame, reads the response
+  /// frame. Errors on transport failure (including the daemon closing
+  /// the connection without answering).
+  Result<std::string> callRaw(const std::string &RequestJson);
+
+  /// callRaw + parse. The response object's "ok"/"error" fields are the
+  /// caller's to inspect — a structured daemon error is a successful
+  /// round-trip here.
+  Result<JsonValue> call(const std::string &RequestJson);
+
+  UnixSocket &socket() { return Sock; }
+
+private:
+  explicit DaemonClient(UnixSocket S) : Sock(std::move(S)) {}
+
+  UnixSocket Sock;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_DAEMON_CLIENT_H

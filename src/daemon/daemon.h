@@ -1,0 +1,200 @@
+//===- daemon/daemon.h - reflexd, the verification daemon ------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// reflexd — a persistent verification daemon. The paper's workflow is
+/// edit → re-verify → edit; paying a cold process (parse, abstraction
+/// build, cache open) for every iteration wastes exactly the state that
+/// makes re-verification cheap. The daemon keeps it alive across
+/// requests: one shared persistent ProofCache, and per-program
+/// *sessions* holding the parsed program, the warm frozen abstraction +
+/// cross-worker cache tiers (service/scheduler.h VerifyShare), and the
+/// incremental verifier's verdict store with proof footprints
+/// (verify/incremental.h).
+///
+/// Transport: Unix-domain stream socket, newline-delimited JSON frames
+/// (daemon/protocol.h). One thread per client; requests on one
+/// connection run in order, connections run concurrently, and all of
+/// them share the scheduler's determinism contract — verdicts are
+/// functions of (program, property, options), so concurrent clients get
+/// byte-identical results to one-shot CLI runs.
+///
+/// An `edit` request re-fingerprints the session's program, reuses
+/// every verdict whose proof footprint is disjoint from the edit, and
+/// re-verifies only the dependents — *through the scheduler*, as one
+/// batch sharing the session's frozen abstraction and sharded caches
+/// (IncrementalVerifier::setScheduler; this resolves the roadmap item
+/// about wiring the incremental verifier through the frozen-abstraction
+/// path).
+///
+/// Robustness: a client that disconnects mid-request fires that
+/// request's CancelFlag (SchedulerOptions::Cancel) — the batch's jobs
+/// abort cooperatively, and because Aborted results are never cached or
+/// published to shared tiers, the abandoned request cannot poison any
+/// later one. A per-request wall deadline (--request-timeout-ms) rides
+/// the same token. Sessions are LRU-bounded (--max-sessions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_DAEMON_DAEMON_H
+#define REFLEX_DAEMON_DAEMON_H
+
+#include "daemon/protocol.h"
+#include "service/proofcache.h"
+#include "service/scheduler.h"
+#include "support/result.h"
+#include "support/socket.h"
+#include "verify/incremental.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace reflex {
+
+struct DaemonOptions {
+  /// Where to listen (AF_UNIX; ~107-byte path limit). Required.
+  std::string SocketPath;
+  /// Default scheduler workers per request (0 = all cores); a request's
+  /// options.jobs overrides per request.
+  unsigned Jobs = 0;
+  /// Optional persistent proof cache shared by every request and session.
+  std::string CacheDir;
+  /// Open-session LRU bound: opening one beyond this evicts the least
+  /// recently used session.
+  unsigned MaxSessions = 8;
+  /// Per-request wall deadline in ms (0 = none): an overrunning request
+  /// is cancelled exactly like a vanished client.
+  uint64_t RequestTimeoutMs = 0;
+  /// Footprint-aware cache compaction (ProofCache::gc): after a
+  /// close-session and at shutdown, drop cache entries whose recorded
+  /// program identity matches nothing this daemon run has seen.
+  bool AutoGc = false;
+};
+
+/// The daemon. start() binds the socket; serve() (or serveInBackground())
+/// runs the accept loop until a shutdown request or stop().
+class ReflexDaemon {
+public:
+  static Result<std::unique_ptr<ReflexDaemon>> start(const DaemonOptions &O);
+  ~ReflexDaemon();
+
+  ReflexDaemon(const ReflexDaemon &) = delete;
+  ReflexDaemon &operator=(const ReflexDaemon &) = delete;
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+  /// Runs the accept loop on the calling thread until shutdown: accepts
+  /// clients, spawns one handler thread each, and on shutdown drains
+  /// in-flight requests, disconnects idle clients, joins every handler,
+  /// and (with AutoGc) compacts the proof cache.
+  void serve();
+
+  /// serve() on an internal thread; returns immediately. The destructor
+  /// (or stop() + the destructor) joins it.
+  void serveInBackground();
+
+  /// Requests shutdown from any thread: no new clients are accepted and
+  /// serve() returns once in-flight requests drain. Idempotent.
+  void stop();
+
+private:
+  explicit ReflexDaemon(DaemonOptions O) : Opts(std::move(O)) {}
+
+  /// One open session: the parsed program, the warm share, and the
+  /// incremental verifier's verdict store. Ops on one session serialize
+  /// on Mu; the map lock (SessionsMu) is never held across verification.
+  struct Session {
+    std::mutex Mu;
+    std::string Source;
+    ProgramPtr Prog;
+    /// Request options fixed at open-session (a session is one
+    /// (program-lineage, options) pair; change options by reopening).
+    unsigned Jobs = 0;
+    unsigned Retries = 0;
+    bool SharedCaches = true;
+    bool UseProofCache = true;
+    VerifyOptions Verify;
+    /// Warm frozen abstraction + shared cache tiers; replaced wholesale
+    /// when an edit changes the program (the old tiers reference the old
+    /// frozen base).
+    std::unique_ptr<VerifyShare> Share;
+    std::unique_ptr<IncrementalVerifier> Inc;
+    uint64_t LastUsed = 0;
+  };
+
+  void handleClient(std::shared_ptr<UnixSocket> Sock);
+  std::string handleRequest(const std::string &Frame, UnixSocket &Sock);
+
+  std::string doVerify(const DaemonRequest &R,
+                       const std::shared_ptr<CancelFlag> &Cancel);
+  std::string doOpenSession(const DaemonRequest &R,
+                            const std::shared_ptr<CancelFlag> &Cancel);
+  std::string doEdit(const DaemonRequest &R,
+                     const std::shared_ptr<CancelFlag> &Cancel);
+  std::string doCloseSession(const DaemonRequest &R);
+  std::string doStats();
+  std::string doCacheGc();
+  std::string doShutdown();
+
+  /// Loads a request's program from inline text or path; records its
+  /// declaration identity for cache GC liveness.
+  Result<ProgramPtr> loadRequestProgram(const DaemonRequest &R,
+                                        std::string *SourceOut = nullptr);
+  SchedulerOptions schedulerOptionsFor(const DaemonRequest &R) const;
+  void noteProgramSeen(const Program &P);
+  ProofCache::GcOutcome runGc();
+  void recordVerb(const std::string &Verb, double Millis, bool Ok);
+
+  DaemonOptions Opts;
+  UnixListener Listener;
+  std::unique_ptr<ProofCache> Cache;
+
+  std::atomic<bool> Stopping{false};
+  std::thread ServeThread; ///< serveInBackground only
+
+  std::mutex ClientsMu;
+  std::vector<std::thread> ClientThreads;
+  std::vector<std::weak_ptr<UnixSocket>> ClientSocks;
+
+  /// In-flight request drain: shutdown waits for this to reach zero
+  /// before disconnecting idle clients.
+  std::mutex ActiveMu;
+  std::condition_variable ActiveCv;
+  unsigned ActiveRequests = 0;
+
+  std::mutex SessionsMu;
+  std::map<std::string, std::shared_ptr<Session>> Sessions;
+  std::atomic<uint64_t> UseTick{0};
+
+  /// Metrics + GC liveness, one lock: per-verb counts and log-scale
+  /// latency histograms (<1, <10, <100, <1000, >=1000 ms), error count,
+  /// incremental-reuse totals, and every program identity seen this run.
+  std::mutex StatsMu;
+  std::chrono::steady_clock::time_point StartedAt;
+  uint64_t RequestsServed = 0;
+  uint64_t RequestErrors = 0;
+  uint64_t TotalReused = 0;
+  uint64_t TotalFootprintReused = 0;
+  uint64_t TotalReverified = 0;
+  std::map<std::string, uint64_t> VerbCounts;
+  std::map<std::string, std::array<uint64_t, 5>> VerbLatency;
+  std::set<std::string> KnownDeclIds;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_DAEMON_DAEMON_H

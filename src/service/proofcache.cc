@@ -51,6 +51,7 @@ std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
   E.CanonicalCert = Doc->getString("canonical_cert");
   E.CertJson = Doc->getString("cert_json");
   E.CertSha256 = Doc->getString("cert_sha256");
+  E.DeclSha256 = Doc->getString("decl_sha256");
   if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
     return std::nullopt; // proved entry without its certificate
   E.FootprintCollected = Doc->getBool("footprint_collected", false);
@@ -268,6 +269,8 @@ Result<void> ProofCache::store(const std::string &Key,
   W.field("cert_json", Entry.CertJson);
   if (!Entry.CertSha256.empty())
     W.field("cert_sha256", Entry.CertSha256);
+  if (!Entry.DeclSha256.empty())
+    W.field("decl_sha256", Entry.DeclSha256);
   W.field("footprint_collected", Entry.FootprintCollected);
   W.field("footprint_all", Entry.FootprintAll);
   W.key("footprint");
@@ -303,6 +306,51 @@ Result<void> ProofCache::store(const std::string &Key,
     ++S.Stores;
   }
   return {};
+}
+
+std::string ProofCache::declId(const std::string &DeclFingerprint) {
+  return sha256Hex(DeclFingerprint);
+}
+
+ProofCache::GcOutcome
+ProofCache::gc(const std::set<std::string> &LiveDeclSha256) {
+  GcOutcome Out;
+  std::error_code EC;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    const fs::path &P = DE.path();
+    if (P.extension() != ".json")
+      continue;
+    ++Out.Scanned;
+    std::string Bytes;
+    {
+      std::ifstream In(P, std::ios::binary);
+      std::ostringstream Buf;
+      if (In)
+        Buf << In.rdbuf();
+      Bytes = Buf.str();
+    }
+    std::optional<ProofCacheEntry> E = decodeEntry(Bytes);
+    bool Live = E && !E->DeclSha256.empty() &&
+                LiveDeclSha256.count(E->DeclSha256) != 0;
+    if (Live) {
+      ++Out.Kept;
+      continue;
+    }
+    std::error_code RmEC;
+    if (!fs::remove(P, RmEC) || RmEC) {
+      ++Out.Kept; // could not delete: leave it indexed and findable
+      continue;
+    }
+    ++Out.Dropped;
+    std::lock_guard<std::mutex> Lock(IndexMu);
+    Index.erase(P.stem().string());
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.GcRuns;
+  S.GcDropped += Out.Dropped;
+  return Out;
 }
 
 ProofCache::Stats ProofCache::stats() const {
@@ -634,6 +682,7 @@ PropertyResult verifyPropertyCached(
     NewE.Footprint.assign(R.Footprint.Handlers.begin(),
                           R.Footprint.Handlers.end());
     NewE.HandlerFps = Fps->Handlers;
+    NewE.DeclSha256 = ProofCache::declId(Fps->DeclFp);
     // Store failures are non-fatal: the cache is an accelerator, the
     // verdict in hand is what matters.
     (void)Cache->store(Key, NewE, P.Name, Prop.Name);

@@ -57,6 +57,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -92,6 +93,13 @@ struct ProofCacheEntry {
   /// against, recorded at store time. Lookups compare them against the
   /// current program's fingerprints to decide footprint-relative reuse.
   std::map<std::string, HandlerFingerprint> HandlerFps;
+  /// SHA-256 (hex) of the declaration fingerprint the entry was keyed
+  /// under (ProofCache::declId), recorded at store time so garbage
+  /// collection can group entries by program without re-deriving keys.
+  /// Optional, like cert_sha256: entries stored before the field existed
+  /// simply have it empty — gc() treats them as unclaimed (dropping one
+  /// only ever costs a re-verification, never a wrong verdict).
+  std::string DeclSha256;
 };
 
 /// A persistent content-addressed store of verification verdicts.
@@ -152,6 +160,30 @@ public:
                      const std::string &ProgramName,
                      const std::string &PropertyName);
 
+  /// The program identity gc() groups entries by: SHA-256 (hex) of the
+  /// declaration fingerprint (ProgramFingerprints::DeclFp). Stored in
+  /// every entry at store time (ProofCacheEntry::DeclSha256).
+  static std::string declId(const std::string &DeclFingerprint);
+
+  struct GcOutcome {
+    uint64_t Scanned = 0; ///< entry files examined
+    uint64_t Dropped = 0; ///< entries deleted
+    uint64_t Kept = 0;    ///< entries retained (their program is live)
+  };
+
+  /// Footprint-aware garbage collection: scans every entry on disk and
+  /// deletes those whose recorded declaration identity
+  /// (ProofCacheEntry::DeclSha256) matches no element of
+  /// \p LiveDeclSha256 — i.e. no program the caller still knows about.
+  /// Entries missing the field (pre-field stores) and undecodable files
+  /// are dropped too: eviction costs at most a re-verification, and the
+  /// trust model never believes an entry without validating it anyway.
+  /// Surviving entries are untouched on disk (warm hits keep hitting).
+  /// Safe to run concurrently with lookups and stores — a concurrently
+  /// stored entry for a dead program at worst survives until the next
+  /// collection. Counted in Stats (GcRuns, GcDropped).
+  GcOutcome gc(const std::set<std::string> &LiveDeclSha256);
+
   /// Cumulative traffic counters (process-lifetime, all threads).
   struct Stats {
     uint64_t Hits = 0;     ///< entry found and (for Proved) re-validated
@@ -161,6 +193,8 @@ public:
                               ///< the checker rejected the certificate
     uint64_t Quarantined = 0; ///< entries moved aside into quarantine/
     uint64_t SweptTmp = 0;    ///< orphaned *.tmp.* files removed at open
+    uint64_t GcRuns = 0;      ///< gc() invocations
+    uint64_t GcDropped = 0;   ///< entries deleted across all gc() runs
     /// Of the hits, how many were footprint-relative (the entry was
     /// stored for an edited-since program version).
     uint64_t FootprintHits = 0;

@@ -38,11 +38,14 @@ unsigned BatchOutcome::propertyCount() const {
 
 namespace {
 
-/// One schedulable unit: a property of a program. DupOf points at the
-/// byte-identical job whose result this slot copies (SIZE_MAX: dispatch
-/// normally).
+/// One schedulable unit: a property of a program. Slot is the result
+/// position within the program's report (for a full batch it equals the
+/// declaration index; for a subset batch it is the position within the
+/// requested index list). DupOf points at the byte-identical job whose
+/// result this slot copies (SIZE_MAX: dispatch normally).
 struct Job {
   size_t ProgIdx;
+  size_t Slot;
   size_t PropIdx;
   size_t DupOf = SIZE_MAX;
 };
@@ -64,10 +67,12 @@ struct ProgramShare {
   SharedVerifyCaches Caches;
 };
 
-} // namespace
-
-BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
-                            const SchedulerOptions &Opts) {
+/// The shared core behind verifyPrograms and verifyPropertySubset:
+/// verifies, for each program, exactly the properties whose declaration
+/// indices appear in its PropIdx list, slotting results in list order.
+BatchOutcome runBatch(const std::vector<const Program *> &Programs,
+                      const std::vector<std::vector<size_t>> &PropIdx,
+                      const SchedulerOptions &Opts) {
   BatchOutcome Out;
   WallTimer Timer;
 
@@ -75,15 +80,33 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   if (Opts.Cache)
     Before = Opts.Cache->stats();
 
-  // Jobs in declaration order; per-program fingerprints computed once
-  // (they render the whole kernel). The cache keys lookups off them, and
-  // the dedup pass below uses them as program identity.
+  // The batch cancellation token overrides any Verify-level flag: one
+  // token covers every job of the batch (and, reusably, every batch a
+  // caller arms with it). It is delivered through an explicit per-job
+  // Deadline rather than VerifyOptions — options get baked into frozen
+  // abstractions, which a persistent VerifyShare carries into *later*
+  // batches, and a stale client's fired token must never abort them.
+  // Cancellation is deliberately not part of the cache options
+  // fingerprint: it changes when an attempt ends, never what a
+  // completed proof looks like.
+  VerifyOptions VOpts = Opts.Verify;
+  if (Opts.Cancel)
+    VOpts.Cancel = nullptr;
+  auto BatchCancelled = [&Opts] {
+    return Opts.Cancel && Opts.Cancel->cancelled();
+  };
+
+  // Jobs in request order; per-program fingerprints computed once (they
+  // render the whole kernel). The cache keys lookups off them, and the
+  // dedup pass below uses them as program identity.
   std::vector<Job> Jobs;
   std::vector<ProgramFingerprints> Fps(Programs.size());
   for (size_t PI = 0; PI < Programs.size(); ++PI) {
     Fps[PI] = ProgramFingerprints::compute(*Programs[PI]);
-    for (size_t I = 0; I < Programs[PI]->Properties.size(); ++I)
-      Jobs.push_back({PI, I});
+    size_t Slot = 0;
+    for (size_t I : PropIdx[PI])
+      if (I < Programs[PI]->Properties.size())
+        Jobs.push_back({PI, Slot++, I});
   }
 
   // Dedup identical jobs before dispatch: same declarations, same handler
@@ -109,8 +132,9 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   // Result slots: each is written by exactly one worker; the pool's
   // wait() barrier publishes them to this thread.
   std::vector<std::vector<PropertyResult>> Slots(Programs.size());
-  for (size_t PI = 0; PI < Programs.size(); ++PI)
-    Slots[PI].resize(Programs[PI]->Properties.size());
+  for (const Job &Jb : Jobs)
+    if (Jb.Slot >= Slots[Jb.ProgIdx].size())
+      Slots[Jb.ProgIdx].resize(Jb.Slot + 1);
 
   std::atomic<size_t> NextJob{0};
   std::mutex CountersMu;
@@ -135,9 +159,14 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
     Threads = 1;
 
   // Phase-1 slots: one shared frozen abstraction (plus cross-worker cache
-  // tiers) per program, built on first demand.
+  // tiers) per program, built on first demand. A single-program batch
+  // handed a persistent VerifyShare uses — and warms — that instead, so
+  // the abstraction and the cache tiers survive into the owner's next
+  // batch (the daemon's session warm path).
   std::vector<std::unique_ptr<ProgramShare>> Shares;
-  if (Opts.SharedCaches) {
+  VerifyShare *Persist =
+      (Opts.SharedCaches && Programs.size() == 1) ? Opts.Share : nullptr;
+  if (Opts.SharedCaches && !Persist) {
     Shares.reserve(Programs.size());
     for (size_t PI = 0; PI < Programs.size(); ++PI)
       Shares.push_back(std::make_unique<ProgramShare>());
@@ -148,27 +177,33 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   // session over it; a build whose budget expired is *not* left in the
   // shared slot, so a retry rebuilds from scratch — matching the old
   // fresh-session-per-retry semantics. The cross-worker cache tiers are
-  // only attached when more than one thread actually runs (on a single
-  // thread the private tiers already see every entry first; the shared
-  // tiers would only add locking and publish copies).
+  // attached when more than one thread actually runs (on a single thread
+  // the private tiers already see every entry first; the shared tiers
+  // would only add locking and publish copies) — or always, for a
+  // persistent share, whose whole point is carrying entries across
+  // batches after this batch's private sessions are gone.
   auto MakeSession = [&](size_t ProgIdx) -> std::unique_ptr<VerifySession> {
     const Program &P = *Programs[ProgIdx];
     if (!Opts.SharedCaches)
-      return std::make_unique<VerifySession>(P, Opts.Verify);
-    ProgramShare &Sh = *Shares[ProgIdx];
+      return std::make_unique<VerifySession>(P, VOpts);
+    std::mutex &ShMu = Persist ? Persist->Mu : Shares[ProgIdx]->Mu;
+    std::shared_ptr<const FrozenAbstraction> &ShAbs =
+        Persist ? Persist->Abs : Shares[ProgIdx]->Abs;
+    SharedVerifyCaches &ShCaches =
+        Persist ? Persist->Caches : Shares[ProgIdx]->Caches;
     std::shared_ptr<const FrozenAbstraction> Abs;
     {
-      std::lock_guard<std::mutex> Lock(Sh.Mu);
-      if (!Sh.Abs) {
-        Sh.Abs = FrozenAbstraction::build(P, Opts.Verify);
-        if (Sh.Abs->buildOutcome() != BudgetOutcome::Ok)
-          Abs = std::move(Sh.Abs); // keep the failed build out of the slot
+      std::lock_guard<std::mutex> Lock(ShMu);
+      if (!ShAbs) {
+        ShAbs = FrozenAbstraction::build(P, VOpts);
+        if (ShAbs->buildOutcome() != BudgetOutcome::Ok)
+          Abs = std::move(ShAbs); // keep the failed build out of the slot
       }
       if (!Abs)
-        Abs = Sh.Abs;
+        Abs = ShAbs;
     }
     return std::make_unique<VerifySession>(
-        std::move(Abs), Threads > 1 ? &Sh.Caches : nullptr);
+        std::move(Abs), (Persist || Threads > 1) ? &ShCaches : nullptr);
   };
 
   // One job, with isolation and retries: every attempt runs inside a
@@ -208,15 +243,28 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
             Session = MakeSession(Jb.ProgIdx);
           return *Session;
         };
-        if (Opts.Faults &&
-            Opts.Faults->decide("budget", JobTag) != FaultKind::None) {
+        bool FaultBudget =
+            Opts.Faults &&
+            Opts.Faults->decide("budget", JobTag) != FaultKind::None;
+        if (FaultBudget || Opts.Cancel) {
+          // An explicit per-attempt budget: the injected one-step fault
+          // budget, or the batch's limits with the cancellation token
+          // attached (the token never rides in VerifyOptions — see the
+          // VOpts note above).
           Deadline D;
-          D.setStepBudget(1);
-          R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
-                                   Opts.Cache, &Fps[Jb.ProgIdx], &D);
+          if (FaultBudget)
+            D.setStepBudget(1);
+          else {
+            D.setWallMillis(VOpts.TimeoutMillis);
+            D.setStepBudget(VOpts.StepBudget);
+          }
+          if (Opts.Cancel)
+            D.setCancelFlag(Opts.Cancel);
+          R = verifyPropertyCached(P, VOpts, SessionFor, Prop, Opts.Cache,
+                                   &Fps[Jb.ProgIdx], &D);
         } else {
-          R = verifyPropertyCached(P, Opts.Verify, SessionFor, Prop,
-                                   Opts.Cache, &Fps[Jb.ProgIdx]);
+          R = verifyPropertyCached(P, VOpts, SessionFor, Prop, Opts.Cache,
+                                   &Fps[Jb.ProgIdx]);
         }
       } catch (const std::exception &E) {
         Crashed = true;
@@ -262,7 +310,19 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
       const Job &Jb = Jobs[J];
       if (Jb.DupOf != SIZE_MAX)
         continue; // slot filled from the canonical job after the barrier
-      Slots[Jb.ProgIdx][Jb.PropIdx] = RunJob(Sessions, Jb);
+      if (BatchCancelled()) {
+        // The cancellation beat this job to dispatch: abort it in place,
+        // with the same status and reason a Deadline-detected abort
+        // mid-proof produces, so reports do not depend on which side of
+        // the dispatch the token fired (verifier.cc's budget wording).
+        PropertyResult R;
+        R.Name = Programs[Jb.ProgIdx]->Properties[Jb.PropIdx].Name;
+        R.Status = VerifyStatus::Aborted;
+        R.Reason = "verification budget exhausted: cancelled by caller";
+        Slots[Jb.ProgIdx][Jb.Slot] = std::move(R);
+        continue;
+      }
+      Slots[Jb.ProgIdx][Jb.Slot] = RunJob(Sessions, Jb);
     }
     // Contribute this worker's session counters before exiting. A slot
     // may be null — the session was never built (every job served warm
@@ -299,7 +359,7 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   for (const Job &Jb : Jobs)
     if (Jb.DupOf != SIZE_MAX) {
       const Job &Src = Jobs[Jb.DupOf];
-      Slots[Jb.ProgIdx][Jb.PropIdx] = Slots[Src.ProgIdx][Src.PropIdx];
+      Slots[Jb.ProgIdx][Jb.Slot] = Slots[Src.ProgIdx][Src.Slot];
     }
 
   // Deterministic merge: input order, declaration order, counters summed.
@@ -338,6 +398,23 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
   }
   Out.TotalMillis = Timer.elapsedMillis();
   return Out;
+}
+
+} // namespace
+
+BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
+                            const SchedulerOptions &Opts) {
+  std::vector<std::vector<size_t>> Idx(Programs.size());
+  for (size_t PI = 0; PI < Programs.size(); ++PI)
+    for (size_t I = 0; I < Programs[PI]->Properties.size(); ++I)
+      Idx[PI].push_back(I);
+  return runBatch(Programs, Idx, Opts);
+}
+
+BatchOutcome verifyPropertySubset(const Program &P,
+                                  const std::vector<size_t> &PropIdx,
+                                  const SchedulerOptions &Opts) {
+  return runBatch({&P}, {PropIdx}, Opts);
 }
 
 VerificationReport verifyParallel(const Program &P,

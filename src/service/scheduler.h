@@ -56,9 +56,31 @@
 #include "service/proofcache.h"
 #include "verify/verifier.h"
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace reflex {
+
+/// A persistent per-program share, owned by a caller that verifies the
+/// same program across many batches (the daemon's open sessions, the
+/// incremental verifier's edit loop): the phase-1 FrozenAbstraction plus
+/// the phase-2 cross-worker cache tiers, built by the first batch that
+/// needs them and reused by every later batch handed the same share.
+/// This is what lets an `edit` request's re-verified dependents — and
+/// every identical-program request after it — skip abstraction
+/// construction entirely. Contract: a share serves exactly one
+/// (program, VerifyOptions) pair; after an edit the owner must replace
+/// it with a fresh instance (the terms in both tiers reference the old
+/// frozen base). All tiers are semantically transparent, so verdicts
+/// are byte-identical with or without a share.
+struct VerifyShare {
+  std::mutex Mu; ///< guards Abs (get-or-build); caches lock internally
+  std::shared_ptr<const FrozenAbstraction> Abs;
+  SharedVerifyCaches Caches;
+
+  bool warm() const { return Abs != nullptr; }
+};
 
 struct SchedulerOptions {
   /// Logical workers. 0 means hardware concurrency; 1 degenerates to the
@@ -96,6 +118,22 @@ struct SchedulerOptions {
   /// behavior, kept as an ablation knob for the bench. Either setting
   /// produces identical verdicts (caches are semantically transparent).
   bool SharedCaches = true;
+  /// Reusable batch cancellation token. When set, every job's budget
+  /// polls it (in addition to Verify's own budgets — the token replaces
+  /// Verify.Cancel for the batch), and jobs the cancellation beats to
+  /// dispatch are aborted in place without running. Cancelled jobs
+  /// report VerifyStatus::Aborted; Aborted is never retried, never
+  /// cached, and never published to shared tiers, so a cancelled batch
+  /// cannot poison later identical batches (tests assert
+  /// byte-identical reruns). The token is reusable in the sense that
+  /// one flag can cover many batches (a daemon client's whole
+  /// connection); once fired it stays fired.
+  std::shared_ptr<CancelFlag> Cancel;
+  /// Optional persistent share (see VerifyShare) for single-program
+  /// batches. Ignored when the batch has more than one program or
+  /// SharedCaches is off. The share must outlive the call and belong to
+  /// this exact (program, Verify) pair.
+  VerifyShare *Share = nullptr;
 };
 
 /// The merged outcome of a batch run.
@@ -126,6 +164,19 @@ BatchOutcome verifyPrograms(const std::vector<const Program *> &Programs,
 
 /// Single-program convenience (the CLI's `verify --jobs N`).
 VerificationReport verifyParallel(const Program &P,
+                                  const SchedulerOptions &Opts);
+
+/// Session-scoped batch: verifies only the properties of \p P whose
+/// declaration indices appear in \p PropIdx, in that order (results come
+/// back in the same order). This is the incremental verifier's dependent
+/// re-verification path — after an edit, the footprint-overlapping
+/// properties are re-proved as one batch sharing a single frozen
+/// abstraction and the sharded cache tiers (plus, via
+/// SchedulerOptions::Share, any abstraction a session owner kept warm).
+/// Out-of-range indices are ignored. The returned BatchOutcome has
+/// exactly one report.
+BatchOutcome verifyPropertySubset(const Program &P,
+                                  const std::vector<size_t> &PropIdx,
                                   const SchedulerOptions &Opts);
 
 } // namespace reflex

@@ -69,6 +69,11 @@ void JsonWriter::value(int64_t V) {
   Buffer += std::to_string(V);
 }
 
+void JsonWriter::rawValue(std::string_view Json) {
+  prepareValue();
+  Buffer += Json;
+}
+
 void JsonWriter::value(double V) {
   prepareValue();
   char Tmp[64];

@@ -52,6 +52,11 @@ public:
   void value(double V);
   void value(bool V);
   void nullValue();
+  /// Splices \p Json into the output verbatim (no quoting, no escaping).
+  /// For embedding an already-serialized document — e.g. a certificate's
+  /// exported JSON — as a value without re-encoding it as a string. The
+  /// caller vouches that \p Json is itself well-formed JSON.
+  void rawValue(std::string_view Json);
 
   /// Convenience: key + string value. The const char* overload exists so
   /// string literals do not decay into the bool overload.

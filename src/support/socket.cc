@@ -1,0 +1,184 @@
+//===- support/socket.cc - Unix-domain socket helpers -----------*- C++ -*-===//
+
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace reflex {
+
+namespace {
+
+Result<int> makeSocket() {
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0)
+    return Error(std::string("socket: ") + std::strerror(errno));
+  return FD;
+}
+
+Result<sockaddr_un> addrFor(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return Error("socket path '" + Path + "' is empty or longer than " +
+                 std::to_string(sizeof(Addr.sun_path) - 1) + " bytes");
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return Addr;
+}
+
+} // namespace
+
+Result<UnixSocket> UnixSocket::connectTo(const std::string &Path) {
+  Result<sockaddr_un> Addr = addrFor(Path);
+  if (!Addr.ok())
+    return Error(Addr.error());
+  Result<int> FD = makeSocket();
+  if (!FD.ok())
+    return Error(FD.error());
+  if (::connect(*FD, reinterpret_cast<const sockaddr *>(&*Addr),
+                sizeof(*Addr)) != 0) {
+    int E = errno;
+    ::close(*FD);
+    return Error("cannot connect to '" + Path + "': " + std::strerror(E));
+  }
+  return UnixSocket(*FD);
+}
+
+void UnixSocket::close() {
+  if (FD >= 0) {
+    ::close(FD);
+    FD = -1;
+  }
+  Buf.clear();
+}
+
+Result<void> UnixSocket::sendAll(std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(FD, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error(std::string("send: ") + std::strerror(errno));
+    }
+    Off += size_t(N);
+  }
+  return {};
+}
+
+Result<bool> UnixSocket::readLine(std::string &Out, size_t MaxBytes) {
+  Out.clear();
+  for (;;) {
+    // Serve from the read-ahead first: recv may have spilled past the
+    // previous frame's newline (pipelined requests).
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Out.append(Buf, 0, NL);
+      Buf.erase(0, NL + 1);
+      if (Out.size() > MaxBytes)
+        return Error("frame too large (" + std::to_string(Out.size()) +
+                     " bytes, limit " + std::to_string(MaxBytes) + ")");
+      return true;
+    }
+    Out += Buf;
+    Buf.clear();
+    if (Out.size() > MaxBytes)
+      return Error("frame too large (over " + std::to_string(MaxBytes) +
+                   " bytes)");
+    char Chunk[4096];
+    ssize_t N = ::recv(FD, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error(std::string("recv: ") + std::strerror(errno));
+    }
+    if (N == 0) {
+      if (Out.empty())
+        return false; // clean EOF between frames
+      return Error("truncated frame: peer closed mid-line after " +
+                   std::to_string(Out.size()) + " bytes");
+    }
+    Buf.append(Chunk, size_t(N));
+  }
+}
+
+bool UnixSocket::peerClosed() const {
+  if (FD < 0)
+    return true;
+  char C;
+  ssize_t N = ::recv(FD, &C, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (N == 0)
+    return true; // orderly shutdown from the peer
+  if (N < 0)
+    return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+  return false; // pipelined bytes waiting: very much alive
+}
+
+Result<UnixListener> UnixListener::bindAt(const std::string &Path) {
+  Result<sockaddr_un> Addr = addrFor(Path);
+  if (!Addr.ok())
+    return Error(Addr.error());
+  Result<int> FD = makeSocket();
+  if (!FD.ok())
+    return Error(FD.error());
+  // A stale socket file (crashed daemon) would make bind fail forever;
+  // a *live* daemon still fails below because two binds cannot coexist
+  // only if the old file is gone — so this follows the common unlink-
+  // then-bind convention for daemon sockets.
+  ::unlink(Path.c_str());
+  if (::bind(*FD, reinterpret_cast<const sockaddr *>(&*Addr),
+             sizeof(*Addr)) != 0) {
+    int E = errno;
+    ::close(*FD);
+    return Error("cannot bind '" + Path + "': " + std::strerror(E));
+  }
+  if (::listen(*FD, 16) != 0) {
+    int E = errno;
+    ::close(*FD);
+    ::unlink(Path.c_str());
+    return Error("cannot listen on '" + Path + "': " + std::strerror(E));
+  }
+  UnixListener L;
+  L.FD = *FD;
+  L.SockPath = Path;
+  return L;
+}
+
+Result<UnixSocket> UnixListener::accept() {
+  for (;;) {
+    int CFD = ::accept(FD, nullptr, nullptr);
+    if (CFD >= 0)
+      return UnixSocket(CFD);
+    if (errno == EINTR)
+      continue;
+    return Error(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+void UnixListener::interrupt() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (FD >= 0)
+    ::shutdown(FD, SHUT_RDWR);
+}
+
+void UnixListener::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (FD >= 0) {
+      ::shutdown(FD, SHUT_RDWR);
+      ::close(FD);
+      FD = -1;
+    }
+  }
+  if (!SockPath.empty()) {
+    ::unlink(SockPath.c_str());
+    SockPath.clear();
+  }
+}
+
+} // namespace reflex

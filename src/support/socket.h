@@ -1,0 +1,142 @@
+//===- support/socket.h - Unix-domain socket helpers ------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over AF_UNIX stream sockets, used by the `reflexd`
+/// verification daemon (src/daemon) and its client. The framing the
+/// daemon protocol needs is newline-delimited: readLine() accumulates
+/// bytes until '\n' under a hard size cap, so a malformed or hostile
+/// peer can cost at most one frame's worth of memory. Writes suppress
+/// SIGPIPE (a peer that disconnected mid-response is an error return,
+/// never a process kill), and peerClosed() gives the daemon a
+/// non-blocking way to notice a client that vanished while its request
+/// is still being verified — the hook request cancellation hangs off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_SUPPORT_SOCKET_H
+#define REFLEX_SUPPORT_SOCKET_H
+
+#include "support/result.h"
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace reflex {
+
+/// A connected AF_UNIX stream socket (one endpoint). Move-only; closes
+/// its descriptor on destruction.
+class UnixSocket {
+public:
+  UnixSocket() = default;
+  explicit UnixSocket(int FD) : FD(FD) {}
+  ~UnixSocket() { close(); }
+
+  UnixSocket(UnixSocket &&O) noexcept : FD(O.FD), Buf(std::move(O.Buf)) {
+    O.FD = -1;
+  }
+  UnixSocket &operator=(UnixSocket &&O) noexcept {
+    if (this != &O) {
+      close();
+      FD = O.FD;
+      Buf = std::move(O.Buf);
+      O.FD = -1;
+    }
+    return *this;
+  }
+  UnixSocket(const UnixSocket &) = delete;
+  UnixSocket &operator=(const UnixSocket &) = delete;
+
+  /// Connects to the daemon listening at \p Path.
+  static Result<UnixSocket> connectTo(const std::string &Path);
+
+  bool valid() const { return FD >= 0; }
+  int fd() const { return FD; }
+  void close();
+
+  /// Writes all of \p Bytes (retrying short writes and EINTR), with
+  /// SIGPIPE suppressed — a vanished peer surfaces as an Error.
+  Result<void> sendAll(std::string_view Bytes);
+
+  /// Reads one newline-terminated frame into \p Out (newline stripped).
+  /// Returns false on clean EOF before any byte of a new frame; errors
+  /// on IO failure, on EOF mid-frame ("truncated frame"), and on a frame
+  /// exceeding \p MaxBytes ("frame too large" — the connection is
+  /// unusable afterwards, since the rest of the oversized frame cannot
+  /// be resynchronized).
+  Result<bool> readLine(std::string &Out, size_t MaxBytes);
+
+  /// Non-blocking probe: true once the peer has shut down its write end
+  /// (a pending pipelined request does NOT count as closed). Used by the
+  /// daemon to cancel verification jobs whose client disconnected.
+  bool peerClosed() const;
+
+private:
+  int FD = -1;
+  /// Read-ahead spilled past the last '\n' by readLine's recv calls.
+  std::string Buf;
+};
+
+/// A bound, listening AF_UNIX socket. Unlinks a pre-existing socket file
+/// at bind time (a stale file from a crashed daemon would otherwise make
+/// the path unusable forever) and unlinks its own file on destruction.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+
+  UnixListener(UnixListener &&O) noexcept
+      : FD(O.FD), SockPath(std::move(O.SockPath)) {
+    O.FD = -1;
+    O.SockPath.clear();
+  }
+  UnixListener &operator=(UnixListener &&O) noexcept {
+    if (this != &O) {
+      close();
+      FD = O.FD;
+      SockPath = std::move(O.SockPath);
+      O.FD = -1;
+      O.SockPath.clear();
+    }
+    return *this;
+  }
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens at \p Path. AF_UNIX paths are limited to
+  /// ~107 bytes; longer paths are rejected with an Error.
+  static Result<UnixListener> bindAt(const std::string &Path);
+
+  bool valid() const { return FD >= 0; }
+  const std::string &path() const { return SockPath; }
+
+  /// Blocks for the next client. Errors once interrupt() (or close())
+  /// has been called.
+  Result<UnixSocket> accept();
+
+  /// Unblocks a concurrent accept() (it returns an Error). Safe to call
+  /// from another thread, including concurrently with close(): the two
+  /// serialize on a lock, so interrupt() can never act on a descriptor
+  /// close() already released (fd-reuse hazard).
+  void interrupt();
+
+  void close();
+
+private:
+  int FD = -1;
+  std::string SockPath;
+  /// Serializes interrupt() against close(). accept() deliberately does
+  /// not take it (it blocks); the owner must not close() while an
+  /// accept() is in flight on another thread — interrupt() first, then
+  /// close() once the accept loop has exited.
+  std::mutex Mu;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_SUPPORT_SOCKET_H

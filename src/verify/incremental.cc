@@ -4,6 +4,7 @@
 
 #include "ast/printer.h"
 #include "service/proofcache.h"
+#include "service/scheduler.h"
 #include "support/timer.h"
 
 #include <memory>
@@ -11,6 +12,16 @@
 #include <sstream>
 
 namespace reflex {
+
+IncrementalVerifier::IncrementalVerifier(const VerifyOptions &Opts,
+                                         ProofCache *Cache)
+    : Opts(Opts), Cache(Cache) {}
+
+IncrementalVerifier::~IncrementalVerifier() = default;
+
+void IncrementalVerifier::setScheduler(const SchedulerOptions &S) {
+  Sched = std::make_unique<SchedulerOptions>(S);
+}
 
 std::string codeFingerprint(const Program &P) {
   // Render everything except properties. printProgram emits properties
@@ -56,11 +67,14 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
   LastFp = std::move(Fp);
   HaveLast = true;
 
-  // One shared session for everything that must be (re)verified.
-  std::unique_ptr<VerifySession> Session;
+  // Pass 1, in declaration order: serve what survives, collect what must
+  // be (re)verified.
+  std::vector<PropertyResult> Results(P.Properties.size());
+  std::vector<size_t> NeedIdx;
   // Audit mode: every property served without a fresh verification.
   std::vector<const Property *> ToAudit;
-  for (const Property &Prop : P.Properties) {
+  for (size_t I = 0; I < P.Properties.size(); ++I) {
+    const Property &Prop = P.Properties[I];
     std::string Key = Prop.str();
     auto It = Verdicts.find(Key);
     if (It != Verdicts.end()) {
@@ -71,33 +85,55 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
         ++Out.Report.FootprintHits;
       if (AuditReuse)
         ToAudit.push_back(&Prop);
-      Out.Report.Results.push_back(It->second);
+      Results[I] = It->second;
       continue;
     }
-    if (!Session)
-      Session = std::make_unique<VerifySession>(P, Opts);
-    PropertyResult R = verifyPropertyCached(*Session, Prop, Cache, &LastFp);
-    ++Out.Reverified;
-    if (R.CacheHit) {
-      ++Out.CacheHits;
-      if (AuditReuse)
-        ToAudit.push_back(&Prop);
-    }
-    if (R.FootprintHit)
-      ++Out.Report.FootprintHits;
-    // Strip only what cannot outlive the session: the live certificate
-    // (its terms reference the session's term context) and the
-    // counterexample trace. The certificate JSON is retained, so reused
-    // proved verdicts still carry their proof in exportable form.
-    PropertyResult Cached = R;
-    Cached.Cert = Certificate();
-    Cached.Counterexample = Trace();
-    // Budget statuses are circumstances, not verdicts: a later edit cycle
-    // may well have the time the last one lacked, so never reuse them.
-    if (!isBudgetStatus(Cached.Status))
-      Verdicts[Key] = Cached;
-    Out.Report.Results.push_back(std::move(Cached));
+    NeedIdx.push_back(I);
   }
+
+  // Pass 2: verify the needed properties — either through the parallel
+  // scheduler as one batch sharing a frozen abstraction and the sharded
+  // cache tiers (setScheduler; this is the daemon's `edit` path), or on
+  // one private sequential session. Both are verdict-identical.
+  if (!NeedIdx.empty()) {
+    if (Sched) {
+      SchedulerOptions S = *Sched;
+      S.Verify = Opts;
+      S.Cache = Cache;
+      BatchOutcome B = verifyPropertySubset(P, NeedIdx, S);
+      for (size_t J = 0; J < NeedIdx.size(); ++J)
+        Results[NeedIdx[J]] = std::move(B.Reports[0].Results[J]);
+    } else {
+      VerifySession Session(P, Opts);
+      for (size_t I : NeedIdx)
+        Results[I] = verifyPropertyCached(Session, P.Properties[I], Cache,
+                                          &LastFp);
+    }
+    for (size_t I : NeedIdx) {
+      PropertyResult &R = Results[I];
+      ++Out.Reverified;
+      if (R.CacheHit) {
+        ++Out.CacheHits;
+        if (AuditReuse)
+          ToAudit.push_back(&P.Properties[I]);
+      }
+      if (R.FootprintHit)
+        ++Out.Report.FootprintHits;
+      // Strip only what cannot outlive the session: the live certificate
+      // (its terms reference the session's term context) and the
+      // counterexample trace. The certificate JSON is retained, so reused
+      // proved verdicts still carry their proof in exportable form.
+      R.Cert = Certificate();
+      R.Counterexample = Trace();
+      // Budget statuses are circumstances, not verdicts: a later edit
+      // cycle may well have the time the last one lacked, so never reuse
+      // them.
+      if (!isBudgetStatus(R.Status))
+        Verdicts[P.Properties[I].str()] = R;
+    }
+  }
+  for (PropertyResult &R : Results)
+    Out.Report.Results.push_back(std::move(R));
 
   if (!ToAudit.empty()) {
     // Re-prove every served verdict in a fresh session (no cache, no

@@ -57,12 +57,14 @@
 #include "verify/verifier.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace reflex {
 
 class ProofCache;
+struct SchedulerOptions;
 
 class IncrementalVerifier {
 public:
@@ -71,8 +73,20 @@ public:
   /// property text + options, validated per handler at lookup — see
   /// service/proofcache.h).
   explicit IncrementalVerifier(const VerifyOptions &Opts = {},
-                               ProofCache *Cache = nullptr)
-      : Opts(Opts), Cache(Cache) {}
+                               ProofCache *Cache = nullptr);
+  ~IncrementalVerifier();
+
+  /// Routes every (re)verification through the parallel scheduler
+  /// (service/scheduler.h) instead of a private sequential session: the
+  /// properties needing verification after an edit are submitted as one
+  /// verifyPropertySubset batch, so they share a single frozen
+  /// abstraction, the sharded cross-worker cache tiers, and — when \p S
+  /// carries a SchedulerOptions::Share — any abstraction the session
+  /// owner kept warm from previous calls. \p S.Verify and \p S.Cache are
+  /// overwritten with this verifier's options and cache (the determinism
+  /// contract keys verdicts on them). Verdicts are byte-identical to the
+  /// sequential path for any worker count.
+  void setScheduler(const SchedulerOptions &S);
 
   /// Audit mode: after serving, re-prove every reused verdict from
   /// scratch and record mismatches in Outcome (Audited / AuditFailures /
@@ -107,6 +121,8 @@ public:
 private:
   VerifyOptions Opts;
   ProofCache *Cache;
+  /// When set, verification runs as scheduler batches (see setScheduler).
+  std::unique_ptr<SchedulerOptions> Sched;
   bool AuditReuse = false;
   bool HaveLast = false;
   ProgramFingerprints LastFp;

@@ -1077,5 +1077,197 @@ TEST(Incremental, PersistentCacheSurvivesVerifierInstances) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Batch cancellation (SchedulerOptions::Cancel)
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, CancelledBatchAbortsEveryJobInPlace) {
+  ProgramPtr P = kernels::load(kernels::ssh());
+  SchedulerOptions S;
+  S.Jobs = 2;
+  S.Cancel = std::make_shared<CancelFlag>();
+  S.Cancel->cancel(); // beats dispatch: every job aborts without running
+  BatchOutcome B = verifyPrograms({P.get()}, S);
+  ASSERT_EQ(B.Reports[0].Results.size(), P->Properties.size());
+  for (const PropertyResult &R : B.Reports[0].Results) {
+    EXPECT_EQ(R.Status, VerifyStatus::Aborted) << R.Name;
+    EXPECT_EQ(R.Reason, "verification budget exhausted: cancelled by caller");
+    EXPECT_EQ(R.Attempts, 1u) << "Aborted must never be retried: " << R.Name;
+  }
+}
+
+TEST(Scheduler, CancelledBatchLeavesLaterIdenticalBatchesByteIdentical) {
+  ProgramPtr P = kernels::load(kernels::ssh2());
+  TempDir Dir("cache-cancel");
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+
+  // The baseline: the batch's verdicts with no cancellation anywhere in
+  // the process's history (fresh share, fresh cache-free run).
+  SchedulerOptions Base;
+  Base.Jobs = 2;
+  BatchOutcome Want = verifyPrograms({P.get()}, Base);
+
+  // A cancelled batch against a persistent share and a proof cache: the
+  // worst case for poisoning, since both outlive the batch.
+  VerifyShare Share;
+  SchedulerOptions S = Base;
+  S.Cache = Cache.get();
+  S.Share = &Share;
+  S.Cancel = std::make_shared<CancelFlag>();
+  S.Cancel->cancel();
+  BatchOutcome Cancelled = verifyPrograms({P.get()}, S);
+  for (const PropertyResult &R : Cancelled.Reports[0].Results)
+    EXPECT_EQ(R.Status, VerifyStatus::Aborted) << R.Name;
+  EXPECT_EQ(Cache->stats().Stores, 0u)
+      << "Aborted results must never be cached";
+
+  // The identical batch with a live (unfired) token, reusing the same
+  // share and cache: byte-identical to the never-cancelled baseline.
+  S.Cancel = std::make_shared<CancelFlag>();
+  BatchOutcome Clean = verifyPrograms({P.get()}, S);
+  ASSERT_EQ(Clean.Reports[0].Results.size(), Want.Reports[0].Results.size());
+  for (size_t I = 0; I < Want.Reports[0].Results.size(); ++I) {
+    const PropertyResult &Got = Clean.Reports[0].Results[I];
+    const PropertyResult &W = Want.Reports[0].Results[I];
+    EXPECT_EQ(Got.Name, W.Name);
+    EXPECT_EQ(Got.Status, W.Status) << W.Name;
+    EXPECT_EQ(Got.Reason, W.Reason) << W.Name;
+    EXPECT_EQ(Got.CertJson, W.CertJson) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Session-scoped batches and persistent shares
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, PropertySubsetVerifiesExactlyTheRequestedIndices) {
+  ProgramPtr P = kernels::load(kernels::ssh());
+  SchedulerOptions S;
+  S.Jobs = 2;
+  BatchOutcome Full = verifyPrograms({P.get()}, S);
+
+  // Reversed order, with an out-of-range index that must be ignored.
+  std::vector<size_t> Idx;
+  for (size_t I = P->Properties.size(); I-- > 0;)
+    Idx.push_back(I);
+  Idx.push_back(P->Properties.size() + 7);
+  BatchOutcome Sub = verifyPropertySubset(*P, Idx, S);
+  ASSERT_EQ(Sub.Reports.size(), 1u);
+  ASSERT_EQ(Sub.Reports[0].Results.size(), P->Properties.size());
+  for (size_t J = 0; J < P->Properties.size(); ++J) {
+    const PropertyResult &Got = Sub.Reports[0].Results[J];
+    const PropertyResult &W =
+        Full.Reports[0].Results[P->Properties.size() - 1 - J];
+    EXPECT_EQ(Got.Name, W.Name) << "subset order must follow PropIdx";
+    EXPECT_EQ(Got.Status, W.Status) << W.Name;
+    EXPECT_EQ(Got.Reason, W.Reason) << W.Name;
+    EXPECT_EQ(Got.CertJson, W.CertJson) << W.Name;
+  }
+}
+
+TEST(Scheduler, PersistentShareStaysWarmAndVerdictIdenticalAcrossBatches) {
+  ProgramPtr P = kernels::load(kernels::ssh2());
+  SchedulerOptions S;
+  S.Jobs = 2;
+  BatchOutcome Want = verifyPrograms({P.get()}, S);
+
+  VerifyShare Share;
+  EXPECT_FALSE(Share.warm());
+  S.Share = &Share;
+  for (int Round = 0; Round < 3; ++Round) {
+    BatchOutcome B = verifyPrograms({P.get()}, S);
+    EXPECT_TRUE(Share.warm()) << "round " << Round
+                              << " should leave the abstraction built";
+    ASSERT_EQ(B.Reports[0].Results.size(), Want.Reports[0].Results.size());
+    for (size_t I = 0; I < Want.Reports[0].Results.size(); ++I) {
+      const PropertyResult &Got = B.Reports[0].Results[I];
+      const PropertyResult &W = Want.Reports[0].Results[I];
+      EXPECT_EQ(Got.Status, W.Status) << W.Name << " round " << Round;
+      EXPECT_EQ(Got.Reason, W.Reason) << W.Name << " round " << Round;
+      EXPECT_EQ(Got.CertJson, W.CertJson) << W.Name << " round " << Round;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Footprint-aware cache GC
+//===----------------------------------------------------------------------===//
+
+TEST(ProofCache, GcDropsDeadProgramsAndKeepsLiveOnesWarm) {
+  TempDir Dir("cache-gc");
+  ProgramPtr Live = kernels::load(kernels::ssh2());
+  ProgramPtr Dead = kernels::load(kernels::car());
+  std::string LiveId =
+      ProofCache::declId(ProgramFingerprints::compute(*Live).DeclFp);
+
+  uint64_t LiveStores = 0, DeadStores = 0;
+  {
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    SchedulerOptions S;
+    S.Cache = Cache.get();
+    verifyPrograms({Live.get()}, S);
+    LiveStores = Cache->stats().Stores;
+    verifyPrograms({Dead.get()}, S);
+    DeadStores = Cache->stats().Stores - LiveStores;
+  }
+  ASSERT_GT(LiveStores, 0u);
+  ASSERT_GT(DeadStores, 0u);
+  auto CountEntries = [&] {
+    size_t N = 0;
+    for (const auto &E : fs::directory_iterator(Dir.str()))
+      if (E.is_regular_file() && E.path().extension() == ".json")
+        ++N;
+    return N;
+  };
+  ASSERT_EQ(CountEntries(), size_t(LiveStores + DeadStores));
+
+  // Reopen (a fresh process) and collect everything but Live.
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  ProofCache::GcOutcome G = Cache->gc({LiveId});
+  EXPECT_EQ(G.Scanned, LiveStores + DeadStores);
+  EXPECT_EQ(G.Dropped, DeadStores);
+  EXPECT_EQ(G.Kept, LiveStores);
+  EXPECT_EQ(CountEntries(), size_t(LiveStores))
+      << "GC must shrink the directory to the live entries";
+  EXPECT_EQ(Cache->stats().GcRuns, 1u);
+  EXPECT_EQ(Cache->stats().GcDropped, DeadStores);
+
+  // The survivors still serve checker-validated warm hits...
+  SchedulerOptions S;
+  S.Cache = Cache.get();
+  BatchOutcome Warm = verifyPrograms({Live.get()}, S);
+  EXPECT_EQ(Warm.Reports[0].ProofCacheHits, Live->Properties.size());
+  EXPECT_EQ(Warm.Reports[0].ProofCacheMisses, 0u);
+  // ...and the collected program is simply a cold miss again.
+  BatchOutcome Cold = verifyPrograms({Dead.get()}, S);
+  EXPECT_EQ(Cold.Reports[0].ProofCacheHits, 0u);
+  EXPECT_GT(Cold.Reports[0].ProofCacheMisses, 0u);
+}
+
+TEST(ProofCache, GcTreatsUndecodableEntriesAsDead) {
+  TempDir Dir("cache-gc-junk");
+  ProgramPtr Live = kernels::load(kernels::ssh2());
+  std::string LiveId =
+      ProofCache::declId(ProgramFingerprints::compute(*Live).DeclFp);
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  SchedulerOptions S;
+  S.Cache = Cache.get();
+  verifyPrograms({Live.get()}, S);
+  uint64_t Stores = Cache->stats().Stores;
+  ASSERT_GT(Stores, 0u);
+
+  // An entry nobody can decode carries no provenance; dropping it only
+  // costs a re-verification, so GC collects it.
+  std::ofstream(fs::path(Dir.str()) / "garbage.json") << "{not json";
+  ProofCache::GcOutcome G = Cache->gc({LiveId});
+  EXPECT_EQ(G.Scanned, Stores + 1);
+  EXPECT_EQ(G.Dropped, 1u);
+  EXPECT_EQ(G.Kept, Stores);
+}
+
 } // namespace
 } // namespace reflex

@@ -19,11 +19,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "daemon/client.h"
+#include "daemon/daemon.h"
 #include "kernels/synthetic.h"
 #include "reflex/reflex.h"
 #include "service/scheduler.h"
 #include "support/strings.h"
 #include "support/timer.h"
+
+#include <iostream>
 
 #include <cerrno>
 #include <cstdio>
@@ -78,7 +82,22 @@ int usage() {
       "  run      drive the kernel with random component traffic\n"
       "           options: --steps N --seed S --quiet\n"
       "  print    parse + validate + pretty-print\n"
-      "  info     program inventory and behavioral-abstraction statistics\n");
+      "  info     program inventory and behavioral-abstraction statistics\n"
+      "  cache-gc drop proof-cache entries for every program except this\n"
+      "           one (footprint-aware compaction)\n"
+      "           options: --cache-dir PATH (required)\n"
+      "  daemon   run reflexd, the persistent verification daemon (no\n"
+      "           file argument; see docs/DAEMON.md)\n"
+      "           options: --socket PATH (required) --jobs N\n"
+      "                    --cache-dir PATH --max-sessions N\n"
+      "                    --request-timeout-ms N --auto-gc\n"
+      "  client   send newline-delimited JSON frames to a running daemon\n"
+      "           (no file argument)\n"
+      "           options: --socket PATH (required)\n"
+      "                    --frame JSON (one request; default: read\n"
+      "                    frames from stdin, one per line)\n"
+      "           exit codes: 0 every response ok, 1 a response carried\n"
+      "                       an error, 2 usage/connect failure\n");
   return 2;
 }
 
@@ -102,16 +121,30 @@ bool takesValue(const std::string &Key) {
          Key == "--depth" || Key == "--steps" || Key == "--seed" ||
          Key == "--json" || Key == "--jobs" || Key == "--cache-dir" ||
          Key == "--timeout-ms" || Key == "--step-budget" ||
-         Key == "--retries" || Key == "--fault-seed";
+         Key == "--retries" || Key == "--fault-seed" || Key == "--socket" ||
+         Key == "--max-sessions" || Key == "--request-timeout-ms" ||
+         Key == "--frame";
+}
+
+/// daemon/client take no .rfx file — everything is options.
+bool fileLess(const std::string &Command) {
+  return Command == "daemon" || Command == "client";
 }
 
 Result<Args> parseArgs(int Argc, char **Argv) {
-  if (Argc < 3)
+  if (Argc < 2)
     return Error("missing command or file");
   Args A;
   A.Command = Argv[1];
-  A.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  int OptStart = 3;
+  if (fileLess(A.Command)) {
+    OptStart = 2;
+  } else {
+    if (Argc < 3)
+      return Error("missing command or file");
+    A.File = Argv[2];
+  }
+  for (int I = OptStart; I < Argc; ++I) {
     std::string Key = Argv[I];
     if (!startsWith(Key, "--"))
       return Error("unexpected argument '" + Key + "'");
@@ -392,6 +425,95 @@ int cmdRun(const Args &A, const Program &P) {
   return 0;
 }
 
+int cmdCacheGc(const Args &A, const Program &P) {
+  auto It = A.Options.find("--cache-dir");
+  if (It == A.Options.end()) {
+    std::fprintf(stderr, "cache-gc requires --cache-dir PATH\n");
+    return 2;
+  }
+  Result<std::unique_ptr<ProofCache>> Cache = ProofCache::open(It->second);
+  if (!Cache.ok()) {
+    std::fprintf(stderr, "error: %s\n", Cache.error().c_str());
+    return 2;
+  }
+  // Footprint-aware compaction: this program's declaration identity is
+  // the only live one; entries for any other program are dropped.
+  // Surviving entries keep serving warm hits unchanged.
+  std::string Live =
+      ProofCache::declId(ProgramFingerprints::compute(P).DeclFp);
+  ProofCache::GcOutcome G = (*Cache)->gc({Live});
+  std::printf("proof cache gc (%s):\n", It->second.c_str());
+  std::printf("  scanned %llu entr%s, dropped %llu, kept %llu\n",
+              (unsigned long long)G.Scanned, G.Scanned == 1 ? "y" : "ies",
+              (unsigned long long)G.Dropped, (unsigned long long)G.Kept);
+  return 0;
+}
+
+int cmdDaemon(const Args &A) {
+  auto It = A.Options.find("--socket");
+  if (It == A.Options.end()) {
+    std::fprintf(stderr, "daemon requires --socket PATH\n");
+    return 2;
+  }
+  DaemonOptions O;
+  O.SocketPath = It->second;
+  O.Jobs = unsigned(numOption(A, "--jobs", 0));
+  O.MaxSessions = unsigned(numOption(A, "--max-sessions", 8));
+  O.RequestTimeoutMs = numOption(A, "--request-timeout-ms", 0);
+  O.AutoGc = A.Options.count("--auto-gc") != 0;
+  if (auto C = A.Options.find("--cache-dir"); C != A.Options.end())
+    O.CacheDir = C->second;
+
+  Result<std::unique_ptr<ReflexDaemon>> D = ReflexDaemon::start(O);
+  if (!D.ok()) {
+    std::fprintf(stderr, "error: %s\n", D.error().c_str());
+    return 2;
+  }
+  std::printf("reflexd listening on %s\n", O.SocketPath.c_str());
+  std::fflush(stdout);
+  (*D)->serve();
+  std::printf("reflexd shut down\n");
+  return 0;
+}
+
+int cmdClient(const Args &A) {
+  auto It = A.Options.find("--socket");
+  if (It == A.Options.end()) {
+    std::fprintf(stderr, "client requires --socket PATH\n");
+    return 2;
+  }
+  Result<DaemonClient> C = DaemonClient::connect(It->second);
+  if (!C.ok()) {
+    std::fprintf(stderr, "error: %s\n", C.error().c_str());
+    return 2;
+  }
+  bool AllOk = true;
+  auto RoundTrip = [&](const std::string &Frame) -> bool {
+    Result<std::string> Resp = C->callRaw(Frame);
+    if (!Resp.ok()) {
+      std::fprintf(stderr, "error: %s\n", Resp.error().c_str());
+      return false;
+    }
+    std::printf("%s\n", Resp->c_str());
+    Result<JsonValue> Doc = parseJson(*Resp);
+    AllOk = AllOk && Doc.ok() && Doc->getBool("ok", false);
+    return true;
+  };
+  if (auto F = A.Options.find("--frame"); F != A.Options.end()) {
+    if (!RoundTrip(F->second))
+      return 2;
+  } else {
+    std::string Line;
+    while (std::getline(std::cin, Line)) {
+      if (Line.empty())
+        continue;
+      if (!RoundTrip(Line))
+        return 2;
+    }
+  }
+  return AllOk ? 0 : 1;
+}
+
 int cmdInfo(const Args &, const Program &P) {
   std::printf("program: %s\n", P.Name.empty() ? "<unnamed>" : P.Name.c_str());
   std::printf("  component types: %zu\n", P.Components.size());
@@ -427,6 +549,12 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
+  // File-less commands dispatch before any program is loaded.
+  if (A->Command == "daemon")
+    return cmdDaemon(*A);
+  if (A->Command == "client")
+    return cmdClient(*A);
+
   Result<std::string> Source = readFile(A->File);
   if (!Source.ok()) {
     std::fprintf(stderr, "error: %s\n", Source.error().c_str());
@@ -450,6 +578,8 @@ int main(int Argc, char **Argv) {
   }
   if (A->Command == "info")
     return cmdInfo(*A, **P);
+  if (A->Command == "cache-gc")
+    return cmdCacheGc(*A, **P);
   std::fprintf(stderr, "unknown command '%s'\n", A->Command.c_str());
   return usage();
 }

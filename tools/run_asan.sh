@@ -6,6 +6,8 @@
 # runs the entry points that exercise injected faults, corrupted cache
 # entries, worker retries, and script crash isolation:
 #   * tests/service_test      — quarantine, orphan sweep, faulted batches
+#   * tests/daemon_test       — reflexd request/session/GC lifecycle incl.
+#                               malformed-frame and vanished-client paths
 #   * tests/robustness_test   — seeded pipeline fuzz, runtime crash isolation
 #   * bench/bench_faults      — budgets + faults over the full suite,
 #                               in --smoke mode (one repetition)
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
-cmake --build "$BUILD" -j --target service_test robustness_test bench_faults
+cmake --build "$BUILD" -j --target service_test daemon_test robustness_test bench_faults
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -25,6 +27,9 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
 echo "== service_test (ASan+UBSan) =="
 "$BUILD/tests/service_test"
+
+echo "== daemon_test (ASan+UBSan) =="
+"$BUILD/tests/daemon_test"
 
 echo "== robustness_test (ASan+UBSan) =="
 "$BUILD/tests/robustness_test"

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end reflexd smoke: start the daemon through the real CLI, drive
+# one full session lifecycle through `reflex client`, and check every
+# response is ok. Exercises the shipped binaries exactly as a user would
+# (tools/run_daemon_smoke.sh <path-to-reflex-cli>); wired into ctest
+# under the bench-smoke label.
+set -u
+
+CLI="${1:-${REFLEX_CLI:-}}"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+  echo "usage: $0 <path-to-reflex-cli>" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d /tmp/rfx-smoke-XXXXXX)"
+SOCK="$WORK/d.sock"
+LOG="$WORK/daemon.log"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$LOG" ] && sed 's/^/  daemon: /' "$LOG" >&2
+  exit 1
+}
+
+cat > "$WORK/demo.rfx" <<'EOF'
+program demo;
+component Admin "admin.py";
+component Door "door.c";
+message Grant(str);
+message Scan(str);
+message Unlock(str);
+var granted: str = "";
+var armed: bool = false;
+init {
+  A <- spawn Admin();
+  D <- spawn Door();
+}
+handler Admin => Grant(b) { granted = b; armed = true; }
+handler Door => Scan(b) {
+  if (armed && b == granted) { send(D, Unlock(b)); }
+}
+property UnlockNeedsGrant: forall b.
+  [Recv(Admin, Grant(b))] Enables [Send(Door, Unlock(b))];
+EOF
+# The same kernel with an interface-preserving no-op edit in one handler.
+sed 's/{ granted = b; armed = true; }/{ granted = b; armed = true; armed = armed; }/' \
+  "$WORK/demo.rfx" > "$WORK/demo_edit.rfx"
+
+"$CLI" daemon --socket "$SOCK" --cache-dir "$WORK/cache" > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited before binding"
+  sleep 0.05
+done
+[ -S "$SOCK" ] || fail "socket never appeared at $SOCK"
+
+# One frame per verb; every response must be ok:true.
+ask() {
+  local what="$1" frame="$2"
+  local resp
+  resp="$("$CLI" client --socket "$SOCK" --frame "$frame")" \
+    || fail "$what: client transport error"
+  case "$resp" in
+    '{"ok":true'*) ;;
+    *) fail "$what: $resp" ;;
+  esac
+  echo "$resp"
+}
+
+json_escape_file() { # embed a file's content as a JSON string
+  sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' "$1" | awk '{printf "%s\\n", $0}'
+}
+SRC1="$(json_escape_file "$WORK/demo.rfx")"
+SRC2="$(json_escape_file "$WORK/demo_edit.rfx")"
+
+ask ping '{"verb":"ping"}' > /dev/null
+R="$(ask verify "{\"verb\":\"verify\",\"program\":\"$SRC1\"}")"
+case "$R" in *'"proved":1'*) ;; *) fail "verify did not prove: $R" ;; esac
+ask open-session "{\"verb\":\"open-session\",\"session\":\"s\",\"program\":\"$SRC1\"}" > /dev/null
+R="$(ask edit "{\"verb\":\"edit\",\"session\":\"s\",\"program\":\"$SRC2\"}")"
+case "$R" in *'"proved":1'*) ;; *) fail "edit did not prove: $R" ;; esac
+R="$(ask stats '{"verb":"stats"}')"
+case "$R" in *'"verbs"'*) ;; *) fail "stats has no verbs object: $R" ;; esac
+ask close-session '{"verb":"close-session","session":"s"}' > /dev/null
+ask cache-gc '{"verb":"cache-gc"}' > /dev/null
+ask shutdown '{"verb":"shutdown"}' > /dev/null
+
+wait "$DAEMON_PID" || fail "daemon exited non-zero after shutdown"
+DAEMON_PID=""
+grep -q "reflexd shut down" "$LOG" || fail "daemon never logged shutdown"
+echo "PASS: daemon smoke (verify, session edit, stats, gc, shutdown)"

@@ -5,6 +5,8 @@
 # REFLEX_SANITIZE CMake option), then runs the two concurrent entry
 # points:
 #   * tests/service_test      — thread pool, scheduler, shared proof cache
+#   * tests/daemon_test       — reflexd: thread-per-client request handling,
+#                               per-request watcher threads, shared sessions
 #   * bench/bench_parallel    — the full 41-property suite on 4 workers,
 #                               in --smoke mode (one repetition)
 #
@@ -15,7 +17,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" -j --target service_test bench_parallel
+cmake --build "$BUILD" -j --target service_test daemon_test bench_parallel
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -23,6 +25,9 @@ export TSAN_OPTIONS="halt_on_error=1 exitcode=66 ${TSAN_OPTIONS:-}"
 
 echo "== service_test (TSan) =="
 "$BUILD/tests/service_test"
+
+echo "== daemon_test (TSan) =="
+"$BUILD/tests/daemon_test"
 
 echo "== bench_parallel --jobs 4 --smoke (TSan) =="
 "$BUILD/bench/bench_parallel" --jobs 4 --smoke \
