@@ -290,6 +290,22 @@ void ReflexDaemon::noteProgramSeen(const Program &P) {
   KnownDeclIds.insert(std::move(Id));
 }
 
+void ReflexDaemon::noteEnginesServed(const VerificationReport &Rep) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  for (const PropertyResult &R : Rep.Results)
+    if (!R.ServedBy.empty())
+      ++EngineServed[R.ServedBy];
+}
+
+void ReflexDaemon::writeGcOutcome(JsonWriter &W,
+                                  const ProofCache::GcOutcome &G) {
+  W.field("scanned", int64_t(G.Scanned));
+  W.field("dropped", int64_t(G.Dropped));
+  W.field("kept", int64_t(G.Kept));
+  if (G.ManifestLive)
+    W.field("manifest_live", int64_t(G.ManifestLive));
+}
+
 ProofCache::GcOutcome ReflexDaemon::runGc() {
   std::set<std::string> Live;
   {
@@ -317,6 +333,7 @@ std::string ReflexDaemon::doVerify(const DaemonRequest &R,
   SchedulerOptions S = schedulerOptionsFor(R);
   S.Cancel = Cancel;
   BatchOutcome B = verifyPrograms({P->get()}, S);
+  noteEnginesServed(B.Reports[0]);
 
   JsonWriter W;
   W.beginObject();
@@ -382,6 +399,7 @@ ReflexDaemon::doOpenSession(const DaemonRequest &R,
     TotalFootprintReused += Out.FootprintReused;
     TotalReverified += Out.Reverified;
   }
+  noteEnginesServed(Out.Report);
 
   JsonWriter W;
   W.beginObject();
@@ -450,6 +468,7 @@ std::string ReflexDaemon::doEdit(const DaemonRequest &R,
     TotalFootprintReused += Out.FootprintReused;
     TotalReverified += Out.Reverified;
   }
+  noteEnginesServed(Out.Report);
 
   JsonWriter W;
   W.beginObject();
@@ -483,9 +502,7 @@ std::string ReflexDaemon::doCloseSession(const DaemonRequest &R) {
     ProofCache::GcOutcome G = runGc();
     W.key("gc");
     W.beginObject();
-    W.field("scanned", int64_t(G.Scanned));
-    W.field("dropped", int64_t(G.Dropped));
-    W.field("kept", int64_t(G.Kept));
+    writeGcOutcome(W, G);
     W.endObject();
   }
   W.endObject();
@@ -514,6 +531,11 @@ std::string ReflexDaemon::doStats() {
     W.field("reused", int64_t(TotalReused));
     W.field("footprint_reused", int64_t(TotalFootprintReused));
     W.field("reverified", int64_t(TotalReverified));
+    W.key("engines");
+    W.beginObject();
+    for (const auto &[Engine, Count] : EngineServed)
+      W.field(Engine, int64_t(Count));
+    W.endObject();
     W.key("verbs");
     W.beginObject();
     for (const auto &[Verb, Count] : VerbCounts) {
@@ -565,9 +587,7 @@ std::string ReflexDaemon::doCacheGc() {
   W.beginObject();
   W.field("ok", true);
   W.field("verb", "cache-gc");
-  W.field("scanned", int64_t(G.Scanned));
-  W.field("dropped", int64_t(G.Dropped));
-  W.field("kept", int64_t(G.Kept));
+  writeGcOutcome(W, G);
   W.endObject();
   return W.take();
 }

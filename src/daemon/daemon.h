@@ -156,8 +156,12 @@ private:
                                         std::string *SourceOut = nullptr);
   SchedulerOptions schedulerOptionsFor(const DaemonRequest &R) const;
   void noteProgramSeen(const Program &P);
+  /// Accumulates per-engine verdict counts from a finished report.
+  void noteEnginesServed(const VerificationReport &Rep);
   ProofCache::GcOutcome runGc();
   void recordVerb(const std::string &Verb, double Millis, bool Ok);
+  /// Renders a GC outcome as the protocol's gc-result fields.
+  static void writeGcOutcome(JsonWriter &W, const ProofCache::GcOutcome &G);
 
   DaemonOptions Opts;
   UnixListener Listener;
@@ -192,6 +196,9 @@ private:
   uint64_t TotalReverified = 0;
   std::map<std::string, uint64_t> VerbCounts;
   std::map<std::string, std::array<uint64_t, 5>> VerbLatency;
+  /// Verdicts served per engine ("induction"/"pdr"), across every verify,
+  /// open-session, and edit report this run — the portfolio's win tally.
+  std::map<std::string, uint64_t> EngineServed;
   std::set<std::string> KnownDeclIds;
 };
 

@@ -115,6 +115,13 @@ Result<DaemonRequest> decodeDaemonRequest(const std::string &Frame) {
   REFLEX_FLAG(R.UseProofCache, "no_proof_cache", true);
 #undef REFLEX_NUM
 #undef REFLEX_FLAG
+  Result<std::string> Engine = strField(*Opts, "engine");
+  if (!Engine.ok())
+    return Error(Engine.error());
+  if (std::optional<EngineKind> K = parseEngineKind(*Engine))
+    R.Verify.Engine = *K;
+  else
+    return Error("option 'engine' must be induction, pdr, or portfolio");
   return R;
 }
 
@@ -144,6 +151,8 @@ void writePropertyResult(JsonWriter &W, const PropertyResult &R) {
     W.field("fast_recheck", true);
   if (R.Attempts > 1)
     W.field("attempts", int64_t(R.Attempts));
+  if (!R.ServedBy.empty())
+    W.field("engine", R.ServedBy);
   W.endObject();
 }
 

@@ -73,6 +73,12 @@ const KernelDef &ssh();
 const KernelDef &ssh2();
 const KernelDef &webserver();
 
+/// Portfolio demo kernel (kernels/pdrlock.cc): its one property needs a
+/// relatively inductive strengthening, so induction answers Unknown but
+/// PDR proves it with a clausal certificate. NOT part of all() — the
+/// paper's evaluation set stays at 41 properties.
+const KernelDef &pdrlock();
+
 /// All seven, in Figure 6 order.
 std::vector<const KernelDef *> all();
 

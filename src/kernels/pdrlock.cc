@@ -1,0 +1,126 @@
+//===- kernels/pdrlock.cc - PDR portfolio demo kernel -----------*- C++ -*-===//
+//
+// A small interlock kernel built to separate the two proof engines
+// (verify/engine.h): its one property needs a *mutually* inductive
+// strengthening, so plain handler induction answers Unknown while PDR
+// discovers the clausal invariant and proves it (docs/ENGINES.md).
+//
+// The shape is a bootstrap deadlock: Commit arms the interlock, but only
+// once primed; Prime sets the primed bit, but only once armed. From the
+// initial state (neither bit set) the pair can never bootstrap, so the
+// armed state — and with it Fire's Rogue emission — is unreachable. The
+// invariant is the conjunction !armed && !primed, and each conjunct's
+// inductive step needs the *other* conjunct: blocking "armed" needs
+// "!primed" at the Commit predecessor, and blocking "primed" needs
+// "!armed" at the Prime predecessor. The induction engine's nested guard
+// synthesis chases exactly that chain — {armed} -> {primed} -> {armed} —
+// hits its own in-flight cycle guard, and gives up: hierarchical
+// strengthening cannot close a mutual dependency. PDR's frames hold both
+// blocked cubes at once, so consecution for each uses the other and the
+// two-clause invariant {!armed, !primed} reaches a fixpoint — a
+// checkable clausal certificate for a property induction cannot serve.
+//
+// Not part of the paper's Figure 6 evaluation (kernels::all() stays at
+// the paper's 41 properties); exposed separately for the portfolio
+// bench and tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/kernels.h"
+
+namespace reflex {
+namespace kernels {
+
+static const char PdrlockSource[] = R"rfx(
+program pdrlock;
+
+component Driver "driver.py";
+component Sink "sink.c";
+
+message Prime();        # set the primed bit (requires armed)
+message Commit();       # arm the interlock (requires primed)
+message Disarm();       # release the interlock
+message Bless(str);     # ask the kernel to bless a payload
+message Fire(str);      # try to emit a rogue payload
+message Blessed(str);   # kernel -> Sink: payload was blessed
+message Rogue(str);     # kernel -> Sink: unblessed emission (unreachable)
+
+var armed: bool = false;
+var primed: bool = false;
+
+init {
+  D <- spawn Driver();
+  S <- spawn Sink();
+}
+
+handler Driver => Prime() {
+  if (armed) {
+    primed = true;
+  }
+}
+
+handler Driver => Commit() {
+  if (primed) {
+    armed = true;
+  }
+}
+
+handler Driver => Disarm() {
+  armed = false;
+}
+
+handler Driver => Bless(u) {
+  send(S, Blessed(u));
+}
+
+handler Driver => Fire(u) {
+  if (armed) {
+    send(S, Rogue(u));
+  }
+}
+
+# --- Properties -----------------------------------------------------------
+
+property RogueNeedsBlessing: forall u.
+  [Send(Sink, Blessed(u))] Enables [Send(Sink, Rogue(u))];
+)rfx";
+
+static ScriptFactory pdrlockScripts() {
+  return [](const ComponentInstance &C) -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName == "Driver")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{
+              msg("Prime"), msg("Commit"), msg("Bless", {Value::str("pkg")}),
+              msg("Fire", {Value::str("pkg")}), msg("Disarm"),
+              msg("Fire", {Value::str("pkg")})},
+          std::map<std::string, ScriptedComponent::Responder>{});
+    if (C.TypeName == "Sink")
+      return std::make_unique<ScriptedComponent>(
+          std::vector<Message>{},
+          std::map<std::string, ScriptedComponent::Responder>{});
+    return nullptr;
+  };
+}
+
+const KernelDef &pdrlock() {
+  static const KernelDef K = [] {
+    KernelDef D;
+    D.Name = "pdrlock";
+    D.Description =
+        "portfolio demo: interlock needing a mutually inductive invariant";
+    D.Source = PdrlockSource;
+    D.Rows = {
+        {"RogueNeedsBlessing",
+         "Unblessed emission requires a prior blessing (vacuously: the "
+         "emitting state is unreachable)",
+         0},
+    };
+    D.MakeScripts = pdrlockScripts;
+    D.MakeCalls = [] { return CallRegistry(); };
+    return D;
+  }();
+  return K;
+}
+
+} // namespace kernels
+} // namespace reflex

@@ -7,6 +7,7 @@
 #include "support/timer.h"
 #include "verify/checker.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -26,6 +27,13 @@ namespace {
 /// per-handler fingerprints — version-1 entries were keyed by the whole
 /// program text and cannot be validated footprint-relatively.)
 constexpr int64_t EntryVersion = 2;
+
+/// The GC manifest's filename. Lives beside the entries (same .json
+/// extension a key file has, but keys are 64 hex chars, so no collision);
+/// the directory scans skip it by name.
+// Deliberately not *.json: directory scans (preload, gc, tests) treat
+// every .json file as a cache entry, and the manifest is not one.
+constexpr const char *GcManifestName = "gc.manifest";
 
 /// Decodes one entry file's bytes. Returns nullopt for anything a lookup
 /// would treat as damage (unparsable, wrong version, junk status, proved
@@ -52,6 +60,7 @@ std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
   E.CertJson = Doc->getString("cert_json");
   E.CertSha256 = Doc->getString("cert_sha256");
   E.DeclSha256 = Doc->getString("decl_sha256");
+  E.ServedBy = Doc->getString("served_by");
   if (E.Status == VerifyStatus::Proved && E.CanonicalCert.empty())
     return std::nullopt; // proved entry without its certificate
   E.FootprintCollected = Doc->getBool("footprint_collected", false);
@@ -138,7 +147,7 @@ void ProofCache::preloadIndex() {
     if (!DE.is_regular_file(EC))
       continue;
     const fs::path &P = DE.path();
-    if (P.extension() != ".json")
+    if (P.extension() != ".json" || P.filename() == GcManifestName)
       continue;
     std::error_code SzEC, MtEC;
     uintmax_t Size = fs::file_size(P, SzEC);
@@ -167,7 +176,8 @@ std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
      << ";simplify=" << Opts.Simplify << ";check=" << Opts.CheckCertificates
      << ";bmc=" << Opts.BmcDepthOnUnknown
      << ";max-disjuncts=" << Opts.Limits.MaxDisjuncts
-     << ";max-paths=" << Opts.Limits.MaxPaths;
+     << ";max-paths=" << Opts.Limits.MaxPaths
+     << ";engine=" << engineKindName(Opts.Engine);
   return OS.str();
 }
 
@@ -271,6 +281,8 @@ Result<void> ProofCache::store(const std::string &Key,
     W.field("cert_sha256", Entry.CertSha256);
   if (!Entry.DeclSha256.empty())
     W.field("decl_sha256", Entry.DeclSha256);
+  if (!Entry.ServedBy.empty())
+    W.field("served_by", Entry.ServedBy);
   W.field("footprint_collected", Entry.FootprintCollected);
   W.field("footprint_all", Entry.FootprintAll);
   W.key("footprint");
@@ -312,15 +324,90 @@ std::string ProofCache::declId(const std::string &DeclFingerprint) {
   return sha256Hex(DeclFingerprint);
 }
 
+std::map<std::string, uint64_t> ProofCache::loadGcManifest() const {
+  std::map<std::string, uint64_t> Seen;
+  std::ifstream In(fs::path(Dir) / GcManifestName, std::ios::binary);
+  if (!In)
+    return Seen;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Result<JsonValue> Doc = parseJson(Buf.str());
+  if (!Doc.ok() || !Doc->isObject())
+    return Seen;
+  const JsonValue *Decls = Doc->get("decls");
+  if (!Decls || !Decls->isObject())
+    return Seen;
+  for (const auto &[Id, When] : Decls->entries())
+    if (When.isNumber() && When.numberValue() >= 0)
+      Seen.emplace(Id, uint64_t(When.numberValue()));
+  return Seen;
+}
+
+void ProofCache::storeGcManifest(
+    const std::map<std::string, uint64_t> &Seen) const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("version", int64_t(1));
+  W.key("decls");
+  W.beginObject();
+  for (const auto &[Id, When] : Seen)
+    W.field(Id, int64_t(When));
+  W.endObject();
+  W.endObject();
+  // Same atomic publish discipline as entries; best effort (a lost
+  // manifest costs at most an early eviction and a re-verification).
+  fs::path Final = fs::path(Dir) / GcManifestName;
+  std::ostringstream TmpName;
+  TmpName << Final.string() << ".tmp." << std::this_thread::get_id();
+  {
+    std::ofstream OutF(TmpName.str(), std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return;
+    OutF << W.take() << "\n";
+    if (!OutF)
+      return;
+  }
+  std::error_code EC;
+  fs::rename(TmpName.str(), Final, EC);
+  if (EC)
+    fs::remove(TmpName.str(), EC);
+}
+
 ProofCache::GcOutcome
 ProofCache::gc(const std::set<std::string> &LiveDeclSha256) {
   GcOutcome Out;
+
+  // Merge the caller's live set into the persisted manifest, then widen
+  // the live set with every program the manifest saw within the retention
+  // window: a daemon that restarted since a program was last verified has
+  // an empty live set for it, but its entries are still warm capital.
+  const uint64_t Now = uint64_t(std::chrono::duration_cast<std::chrono::seconds>(
+                                    std::chrono::system_clock::now()
+                                        .time_since_epoch())
+                                    .count());
+  std::map<std::string, uint64_t> Seen = loadGcManifest();
+  for (const std::string &Id : LiveDeclSha256)
+    Seen[Id] = Now;
+  std::set<std::string> Live = LiveDeclSha256;
+  for (auto It = Seen.begin(); It != Seen.end();) {
+    uint64_t Age = It->second > Now ? 0 : Now - It->second;
+    if (ManifestMaxAge == 0 ? LiveDeclSha256.count(It->first) == 0
+                            : Age > ManifestMaxAge) {
+      It = Seen.erase(It);
+      continue;
+    }
+    if (ManifestMaxAge != 0 && Live.insert(It->first).second)
+      ++Out.ManifestLive;
+    ++It;
+  }
+  storeGcManifest(Seen);
+
   std::error_code EC;
   for (const fs::directory_entry &DE : fs::directory_iterator(Dir, EC)) {
     if (!DE.is_regular_file(EC))
       continue;
     const fs::path &P = DE.path();
-    if (P.extension() != ".json")
+    if (P.extension() != ".json" || P.filename() == GcManifestName)
       continue;
     ++Out.Scanned;
     std::string Bytes;
@@ -332,9 +419,9 @@ ProofCache::gc(const std::set<std::string> &LiveDeclSha256) {
       Bytes = Buf.str();
     }
     std::optional<ProofCacheEntry> E = decodeEntry(Bytes);
-    bool Live = E && !E->DeclSha256.empty() &&
-                LiveDeclSha256.count(E->DeclSha256) != 0;
-    if (Live) {
+    bool IsLive = E && !E->DeclSha256.empty() &&
+                  Live.count(E->DeclSha256) != 0;
+    if (IsLive) {
       ++Out.Kept;
       continue;
     }
@@ -404,7 +491,8 @@ bool isKnownJustify(const std::string &Name) {
   static const Justify All[] = {
       Justify::PathInfeasible, Justify::LocalObligation, Justify::CompOrigin,
       Justify::InvariantHistory, Justify::NoCompHistory,
-      Justify::GuardPreserved, Justify::SyntacticSkip, Justify::NoPriorLocal};
+      Justify::GuardPreserved, Justify::SyntacticSkip, Justify::NoPriorLocal,
+      Justify::FrameBlocked};
   for (Justify J : All)
     if (Name == justifyName(J))
       return true;
@@ -558,6 +646,7 @@ PropertyResult verifyPropertyCached(
     WallTimer Timer;
     auto ServeHit = [&](PropertyResult &R) {
       R.Name = Prop.Name;
+      R.ServedBy = E->ServedBy;
       R.CacheHit = true;
       R.FootprintHit = FootprintRelative;
       R.Footprint = EntryFP;
@@ -683,6 +772,7 @@ PropertyResult verifyPropertyCached(
                           R.Footprint.Handlers.end());
     NewE.HandlerFps = Fps->Handlers;
     NewE.DeclSha256 = ProofCache::declId(Fps->DeclFp);
+    NewE.ServedBy = R.ServedBy;
     // Store failures are non-fatal: the cache is an accelerator, the
     // verdict in hand is what matters.
     (void)Cache->store(Key, NewE, P.Name, Prop.Name);

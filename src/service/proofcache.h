@@ -100,6 +100,11 @@ struct ProofCacheEntry {
   /// simply have it empty — gc() treats them as unclaimed (dropping one
   /// only ever costs a re-verification, never a wrong verdict).
   std::string DeclSha256;
+  /// The engine that produced the verdict ("induction" / "pdr"), restored
+  /// into PropertyResult::ServedBy on hits so reports stay byte-identical
+  /// across cache states. Empty in pre-portfolio entries (which can no
+  /// longer hit anyway: the engine joined the options fingerprint).
+  std::string ServedBy;
 };
 
 /// A persistent content-addressed store of verification verdicts.
@@ -169,6 +174,10 @@ public:
     uint64_t Scanned = 0; ///< entry files examined
     uint64_t Dropped = 0; ///< entries deleted
     uint64_t Kept = 0;    ///< entries retained (their program is live)
+    /// Programs treated as live because the persisted manifest saw them
+    /// recently, though the caller's live set did not name them (e.g. a
+    /// daemon restarted since they were last verified).
+    uint64_t ManifestLive = 0;
   };
 
   /// Footprint-aware garbage collection: scans every entry on disk and
@@ -183,6 +192,17 @@ public:
   /// stored entry for a dead program at worst survives until the next
   /// collection. Counted in Stats (GcRuns, GcDropped).
   GcOutcome gc(const std::set<std::string> &LiveDeclSha256);
+
+  /// How long a program's entries survive gc() after it was last named in
+  /// a live set, via the persisted manifest (`<dir>/gc.manifest`:
+  /// decl id -> last-seen wall-clock seconds). Each gc() stamps the
+  /// caller's live set into the manifest and treats every program stamped
+  /// within the window as live, so compaction works across daemon
+  /// restarts without a warm-up pass — a restart empties the caller's
+  /// live set, not the manifest. 0 disables the manifest contribution
+  /// (only the caller's set counts; the manifest is still stamped).
+  void setGcManifestMaxAge(uint64_t Seconds) { ManifestMaxAge = Seconds; }
+  uint64_t gcManifestMaxAge() const { return ManifestMaxAge; }
 
   /// Cumulative traffic counters (process-lifetime, all threads).
   struct Stats {
@@ -255,7 +275,16 @@ private:
   std::string pathFor(const std::string &Key) const;
   void preloadIndex();
 
+  /// The persisted GC live-set (decl id -> last-seen seconds since the
+  /// Unix epoch). Best-effort on both ends: an unreadable manifest is an
+  /// empty one, a failed write leaves the previous manifest in place.
+  std::map<std::string, uint64_t> loadGcManifest() const;
+  void storeGcManifest(const std::map<std::string, uint64_t> &Seen) const;
+
   std::string Dir;
+  /// Default: two weeks — long enough to ride out restarts and weekends,
+  /// short enough that abandoned programs' entries do get reclaimed.
+  uint64_t ManifestMaxAge = 14 * 24 * 60 * 60;
   const FaultPlan *Faults = nullptr;
   mutable std::mutex Mu;
   Stats S;

@@ -24,6 +24,8 @@ const char *justifyName(Justify J) {
     return "syntactic-skip";
   case Justify::NoPriorLocal:
     return "no-prior-local";
+  case Justify::FrameBlocked:
+    return "frame-blocked";
   }
   return "?";
 }
@@ -81,6 +83,10 @@ std::string renderCertificate(const Certificate &Cert, const TermContext &Ctx,
     W.field("program", Cert.ProgramName);
   W.field("property", Cert.PropertyName);
   W.field("kind", Cert.Kind);
+  // The engine tag and clausal invariant appear only for non-default
+  // engines: induction certificates keep their pre-portfolio bytes.
+  if (!Cert.Engine.empty())
+    W.field("engine", Cert.Engine);
   if (Audit && !Cert.Footprint.empty()) {
     W.key("footprint");
     W.beginArray();
@@ -110,6 +116,13 @@ std::string renderCertificate(const Certificate &Cert, const TermContext &Ctx,
     W.endObject();
   }
   W.endArray();
+  if (!Cert.Engine.empty()) {
+    W.key("clauses");
+    W.beginArray();
+    for (const std::vector<Lit> &Clause : Cert.InvClauses)
+      writeLits(W, Ctx, Clause);
+    W.endArray();
+  }
   if (!Cert.NICases.empty()) {
     W.key("ni_cases");
     W.beginArray();

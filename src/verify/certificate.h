@@ -56,6 +56,10 @@ enum class Justify : uint8_t {
   SyntacticSkip,
   /// Disables: every earlier in-path emission was refuted as a match.
   NoPriorLocal,
+  /// PDR only: the obligation's pre-state cube is excluded by the
+  /// certificate's clausal invariant (Certificate::InvClauses) — the
+  /// trigger occurrence is unreachable.
+  FrameBlocked,
 };
 
 const char *justifyName(Justify J);
@@ -123,6 +127,16 @@ struct Certificate {
   /// canonical form omits it (the checker re-derives proofs without
   /// footprints, and footprints are bookkeeping, not proof content).
   std::vector<std::string> Footprint;
+  /// The proof engine that produced this certificate: "pdr" for PDR
+  /// clausal certificates, empty for the induction prover (the default is
+  /// omitted from every serialization, keeping induction certificates
+  /// byte-identical to pre-portfolio builds).
+  std::string Engine;
+  /// PDR only: the final inductive frame as clauses over the canonical
+  /// state symbols (each clause a disjunction of literals; the negation of
+  /// a blocked cube). The checker re-proves that the conjunction is
+  /// initial, consecutive, and excludes every FrameBlocked obligation.
+  std::vector<std::vector<Lit>> InvClauses;
 
   const InvariantRecord *findInvariant(int Id) const;
 

@@ -2,6 +2,9 @@
 
 #include "verify/checker.h"
 
+#include "support/json.h"
+#include "verify/pdr.h"
+
 #include <sstream>
 
 namespace reflex {
@@ -40,7 +43,8 @@ bool stepsEqual(const std::vector<ProofStep> &A,
 
 bool certsEqual(const Certificate &A, const Certificate &B,
                 std::string &Why) {
-  if (A.PropertyName != B.PropertyName || A.Kind != B.Kind) {
+  if (A.PropertyName != B.PropertyName || A.Kind != B.Kind ||
+      A.Engine != B.Engine) {
     Why = "certificate header differs";
     return false;
   }
@@ -61,6 +65,15 @@ bool certsEqual(const Certificate &A, const Certificate &B,
     if (!stepsEqual(X.Steps, Y.Steps, Why))
       return false;
   }
+  if (A.InvClauses.size() != B.InvClauses.size()) {
+    Why = "invariant clause count differs";
+    return false;
+  }
+  for (size_t I = 0; I < A.InvClauses.size(); ++I)
+    if (!litsEqual(A.InvClauses[I], B.InvClauses[I])) {
+      Why = "invariant clause " + std::to_string(I) + " differs";
+      return false;
+    }
   if (A.NICases.size() != B.NICases.size()) {
     Why = "NI case count differs";
     return false;
@@ -77,6 +90,48 @@ bool certsEqual(const Certificate &A, const Certificate &B,
   return true;
 }
 
+/// Re-derives a certificate for \p Prop with the engine named by
+/// \p Engine ("" / "induction" for the paper's prover, "pdr" for the
+/// reachability engine). False with \p Why when the engine is unknown or
+/// the re-derivation does not prove the property.
+bool rederive(TermContext &Ctx, Solver &FreshSolv, const Program &P,
+              const BehAbs &Abs, const Property &Prop,
+              const ProverOptions &Opts, const std::string &Engine,
+              Certificate &Redone, std::string &Why) {
+  if (!Prop.isTrace()) {
+    NIProofOutcome Redo = proveNonInterference(Ctx, FreshSolv, P, Abs, Prop);
+    if (!Redo.Proved) {
+      Why = "re-derivation failed: " + Redo.Reason;
+      return false;
+    }
+    Redone = std::move(Redo.Cert);
+    return true;
+  }
+  if (Engine == "pdr") {
+    PdrOutcome Redo = provePdrProperty(Ctx, FreshSolv, P, Abs, Prop, Opts);
+    if (!Redo.Proved) {
+      Why = "re-derivation failed: " + Redo.Reason;
+      return false;
+    }
+    Redone = std::move(Redo.Cert);
+    return true;
+  }
+  if (!Engine.empty() && Engine != "induction") {
+    Why = "unknown certificate engine '" + Engine + "'";
+    return false;
+  }
+  // Fresh invariant cache: ids and proofs re-derived from scratch.
+  InvariantCache FreshCache;
+  TraceProofOutcome Redo =
+      proveTraceProperty(Ctx, FreshSolv, P, Abs, Prop, Opts, FreshCache);
+  if (!Redo.Proved) {
+    Why = "re-derivation failed: " + Redo.Reason;
+    return false;
+  }
+  Redone = std::move(Redo.Cert);
+  return true;
+}
+
 } // namespace
 
 CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
@@ -88,26 +143,18 @@ CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
   // Fresh solver: every query in the re-derivation is recomputed.
   Solver FreshSolv(Ctx);
 
-  if (Prop.isTrace()) {
-    // Fresh invariant cache: ids and proofs re-derived from scratch.
-    InvariantCache FreshCache;
-    TraceProofOutcome Redo = proveTraceProperty(Ctx, FreshSolv, P, Abs, Prop,
-                                                Opts, FreshCache);
-    if (!Redo.Proved) {
-      Out.Why = "re-derivation failed: " + Redo.Reason;
-      return Out;
-    }
-    if (!certsEqual(Cert, Redo.Cert, Out.Why))
-      return Out;
-  } else {
-    NIProofOutcome Redo = proveNonInterference(Ctx, FreshSolv, P, Abs, Prop);
-    if (!Redo.Proved) {
-      Out.Why = "re-derivation failed: " + Redo.Reason;
-      return Out;
-    }
-    if (!certsEqual(Cert, Redo.Cert, Out.Why))
-      return Out;
-  }
+  Certificate Redone;
+  if (!rederive(Ctx, FreshSolv, P, Abs, Prop, Opts, Cert.Engine, Redone,
+                Out.Why))
+    return Out;
+  if (!certsEqual(Cert, Redone, Out.Why))
+    return Out;
+  // PDR certificates additionally get their clausal invariant re-proved
+  // obligation by obligation: a tampered clause set that somehow survived
+  // the structural comparison still fails the solver here.
+  if (Cert.Engine == "pdr" &&
+      !checkPdrInvariant(Ctx, FreshSolv, P, Abs, Prop, Cert, Opts, Out.Why))
+    return Out;
   Out.Ok = true;
   return Out;
 }
@@ -119,26 +166,19 @@ RecheckOutcome checkCanonicalCertificate(TermContext &Ctx, const Program &P,
                                          const ProverOptions &Opts) {
   RecheckOutcome Out;
 
+  // The canonical form names its engine (induction omits the field);
+  // re-derive with the same one, else the byte comparison is meaningless.
+  std::string Engine;
+  if (Result<JsonValue> V = parseJson(Canonical))
+    if (const JsonValue *E = V->get("engine"); E && E->isString())
+      Engine = E->stringValue();
+
   // Fresh solver and invariant cache: the cached certificate gets the same
   // from-scratch re-derivation checkCertificate performs.
   Solver FreshSolv(Ctx);
-  if (Prop.isTrace()) {
-    InvariantCache FreshCache;
-    TraceProofOutcome Redo =
-        proveTraceProperty(Ctx, FreshSolv, P, Abs, Prop, Opts, FreshCache);
-    if (!Redo.Proved) {
-      Out.Why = "re-derivation failed: " + Redo.Reason;
-      return Out;
-    }
-    Out.Rederived = std::move(Redo.Cert);
-  } else {
-    NIProofOutcome Redo = proveNonInterference(Ctx, FreshSolv, P, Abs, Prop);
-    if (!Redo.Proved) {
-      Out.Why = "re-derivation failed: " + Redo.Reason;
-      return Out;
-    }
-    Out.Rederived = std::move(Redo.Cert);
-  }
+  if (!rederive(Ctx, FreshSolv, P, Abs, Prop, Opts, Engine, Out.Rederived,
+                Out.Why))
+    return Out;
   Out.RederivedProved = true;
   if (Out.Rederived.canonical(Ctx) != Canonical) {
     Out.Why = "cached certificate differs from re-derivation";

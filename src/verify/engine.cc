@@ -1,0 +1,33 @@
+//===- verify/engine.cc - Proof-engine selection ----------------*- C++ -*-===//
+
+#include "verify/engine.h"
+
+namespace reflex {
+
+const char *engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Induction:
+    return "induction";
+  case EngineKind::Pdr:
+    return "pdr";
+  case EngineKind::Portfolio:
+    return "portfolio";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> parseEngineKind(const std::string &Name) {
+  if (Name.empty() || Name == "induction")
+    return EngineKind::Induction;
+  if (Name == "pdr")
+    return EngineKind::Pdr;
+  if (Name == "portfolio")
+    return EngineKind::Portfolio;
+  return std::nullopt;
+}
+
+const char *servingEngineName(EngineKind K) {
+  return K == EngineKind::Pdr ? "pdr" : "induction";
+}
+
+} // namespace reflex

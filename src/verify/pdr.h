@@ -1,0 +1,98 @@
+//===- verify/pdr.h - Property-directed reachability ------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A PDR/IC3 engine over the behavioral abstraction: the second backend of
+/// the portfolio prover (verify/engine.h). Where the induction engine
+/// discharges a history obligation by synthesizing a guard invariant from
+/// the obligation's own branch conditions, PDR asks a complementary
+/// question: is the *pre-state* the obligation fires from reachable at
+/// all? It maintains a trace of frames F_0 ⊆ F_1 ⊆ ... ⊆ F_k — each a set
+/// of clauses over the canonical state symbols, with F_i
+/// over-approximating the states reachable in at most i exchanges —
+/// blocks the obligation's pre-state cube frame by frame (proof
+/// obligations ordered by level, counterexamples-to-induction recursed as
+/// predecessor cubes, blocked cubes inductively generalized literal by
+/// literal), and declares victory when two adjacent frames coincide: that
+/// frame is an inductive invariant excluding every bad cube.
+///
+/// The state space is the valuation of the program's state variables; one
+/// transition per (handler summary, symbolic path), with the path's
+/// Updates as the post-state assignment. Because the solver is
+/// sound-for-Unsat only (no models), counterexamples-to-induction are
+/// over-approximated syntactically: the predecessor of cube c through
+/// path p is the state-pure projection of p's path condition conjoined
+/// with c's post-image — every concrete predecessor satisfies it, so
+/// blocking it blocks them all. Frame clauses enter queries by a
+/// deterministic case split (the solver handles conjunctions of literals
+/// only).
+///
+/// On Proved, the final frame is emitted as a *clausal-invariant
+/// certificate* (Certificate::InvClauses, Engine = "pdr"): the checker
+/// re-validates that the invariant is initial, consecutive, and excludes
+/// every frame-blocked obligation — each a solver obligation
+/// (checkPdrInvariant) — in addition to the canonical re-derivation
+/// comparison shared with induction certificates. On a level-0
+/// counterexample the abstract trace is confirmed through the concrete
+/// bounded model checker, so a PDR Refuted carries the same kind of
+/// concrete Trace a BMC refutation does; an unconfirmed abstraction is
+/// reported as Unknown, never as Refuted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_VERIFY_PDR_H
+#define REFLEX_VERIFY_PDR_H
+
+#include "verify/bmc.h"
+#include "verify/prover.h"
+
+namespace reflex {
+
+/// Outcome of a PDR proof attempt. Unlike the induction prover, PDR can
+/// refute: a level-0 obligation that intersects the initial states yields
+/// an abstract counterexample, which is replayed through the concrete
+/// semantics (bmcSearch) before being believed.
+struct PdrOutcome {
+  bool Proved = false;
+  /// A concrete, trace-checked counterexample was found.
+  bool Refuted = false;
+  /// Proved only: Engine == "pdr", Steps mirror the obligation
+  /// enumeration, InvClauses carry the final frame.
+  Certificate Cert;
+  /// !Proved: the failing obligation, frame-limit note, or refutation
+  /// explanation.
+  std::string Reason;
+  Trace Counterexample; ///< Refuted only.
+};
+
+/// Attempts to prove (or concretely refute) trace property \p Prop by
+/// property-directed reachability over \p Abs. Deterministic: identical
+/// inputs yield identical certificates, clause-for-clause — the same
+/// contract the induction prover honors, and what lets the proof cache
+/// compare canonical forms byte-for-byte. Respects
+/// \p Opts.Budget/.Footprint like proveTraceProperty (the footprint is
+/// always all-handlers: every transition is consulted).
+PdrOutcome provePdrProperty(TermContext &Ctx, Solver &Solv, const Program &P,
+                            const BehAbs &Abs, const Property &Prop,
+                            const ProverOptions &Opts);
+
+/// The checker-side validation of a PDR clausal certificate: re-enumerates
+/// the proof obligations (verifying the recorded steps match), then
+/// validates the clausal invariant with fresh solver obligations —
+/// initial (no init path reaches a blocked cube), consecutive (no
+/// transition leaves the invariant region), and property-implying (every
+/// frame-blocked obligation's pre-state cube is excluded). Returns false
+/// with \p Why on the first failed obligation; tampered, truncated, and
+/// non-inductive clause sets all fail here.
+bool checkPdrInvariant(TermContext &Ctx, Solver &Solv, const Program &P,
+                       const BehAbs &Abs, const Property &Prop,
+                       const Certificate &Cert, const ProverOptions &Opts,
+                       std::string &Why);
+
+} // namespace reflex
+
+#endif // REFLEX_VERIFY_PDR_H

@@ -4,6 +4,9 @@
 
 #include "support/json.h"
 #include "support/timer.h"
+#include "verify/pdr.h"
+
+#include <thread>
 
 namespace reflex {
 
@@ -107,6 +110,8 @@ std::string VerificationReport::toJson() const {
       W.field("footprint_relative", true);
     if (R.Attempts > 1)
       W.field("attempts", static_cast<int64_t>(R.Attempts));
+    if (!R.ServedBy.empty())
+      W.field("engine", R.ServedBy);
     W.endObject();
   }
   W.endArray();
@@ -174,6 +179,7 @@ struct VerifySession::Impl {
         Abs(Frozen->behAbs()), BuildOutcome(Frozen->buildOutcome()),
         BuildReason(Frozen->buildReason()) {
     Solv.setMemoEnabled(Opts.CacheInvariants);
+    this->Shared = Shared;
     if (Shared) {
       Solv.setSharedMemo(&Shared->SolverMemo);
       Cache.Shared = &Shared->Invariants;
@@ -189,6 +195,10 @@ struct VerifySession::Impl {
   InvariantCache Cache;
   BudgetOutcome BuildOutcome = BudgetOutcome::Ok;
   std::string BuildReason;
+  /// The cross-worker cache tiers this session was attached to (if any);
+  /// remembered so the portfolio race can attach its PDR session to the
+  /// same tiers.
+  SharedVerifyCaches *Shared = nullptr;
 };
 
 VerifySession::VerifySession(const Program &P, const VerifyOptions &Opts)
@@ -221,8 +231,21 @@ PropertyResult VerifySession::verify(const Property &Prop) {
 }
 
 PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
+  EngineKind Eng = I->Opts.Engine;
+  // NI has a single prover (§5.2); the engine selection concerns trace
+  // properties only.
+  if (!Prop.isTrace())
+    Eng = EngineKind::Induction;
+  if (Eng == EngineKind::Portfolio)
+    return verifyPortfolio(Prop, D);
+  return verifyOne(Prop, D, Eng);
+}
+
+PropertyResult VerifySession::verifyOne(const Property &Prop, Deadline &D,
+                                        EngineKind Eng) {
   PropertyResult R;
   R.Name = Prop.Name;
+  R.ServedBy = servingEngineName(Eng);
   WallTimer Timer;
 
   // A budget that ran out while the abstraction was being built ends
@@ -242,9 +265,20 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
   }
 
   bool Proved = false;
+  bool Refuted = false;
   std::string Reason;
   Certificate Cert;
-  if (Prop.isTrace()) {
+  if (Prop.isTrace() && Eng == EngineKind::Pdr) {
+    POpts.Footprint = &R.Footprint;
+    PdrOutcome Out = provePdrProperty(I->Ctx, I->Solv, I->P, I->Abs, Prop,
+                                      POpts);
+    Proved = Out.Proved;
+    Refuted = Out.Refuted;
+    Reason = std::move(Out.Reason);
+    Cert = std::move(Out.Cert);
+    if (Refuted)
+      R.Counterexample = std::move(Out.Counterexample);
+  } else if (Prop.isTrace()) {
     POpts.Footprint = &R.Footprint;
     TraceProofOutcome Out = proveTraceProperty(I->Ctx, I->Solv, I->P, I->Abs,
                                                Prop, POpts, I->Cache);
@@ -296,6 +330,12 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
                                            R.Footprint.Handlers.end());
       R.CertJson = R.Cert.toJson(I->Ctx);
     }
+  } else if (Refuted) {
+    // PDR's refutations are believed only after a concrete replay
+    // (verify/pdr.h), so this is as sound as a BMC Refuted — and carries
+    // the same all-handlers footprint, already set by the engine.
+    R.Status = VerifyStatus::Refuted;
+    R.Reason = std::move(Reason);
   } else if (D.expiredNow()) {
     // Not a verdict: the budget ended the attempt. No certificate, no
     // BMC refutation search (it would burn time the caller said we do
@@ -326,6 +366,58 @@ PropertyResult VerifySession::verify(const Property &Prop, Deadline &D) {
   }
   R.Millis = Timer.elapsedMillis();
   return R;
+}
+
+PropertyResult VerifySession::verifyPortfolio(const Property &Prop,
+                                              Deadline &D) {
+  // The race: PDR runs on a second thread over its own session (private
+  // overlay context and solver — the frozen base and the shared cache
+  // tiers are the only cross-thread state, both designed for this), while
+  // induction runs here. The raced PDR attempt is a *prefetch*: its
+  // verdict decides whether the caller consults PDR at all, and its
+  // queries warm the shared solver memo, but the served PDR result is
+  // materialized in this session so its certificate terms live in this
+  // session's context (PropertyResult::Cert's lifetime contract).
+  // Selection follows the canonical priority rule of verify/engine.h, so
+  // the verdict is a function of (program, property, options) only.
+  auto PdrCancel = std::make_shared<CancelFlag>();
+  VerifyStatus RacedStatus = VerifyStatus::Unknown;
+  std::thread Racer([this, &Prop, &PdrCancel, &RacedStatus] {
+    VerifySession PdrS(I->Frozen, I->Shared);
+    PdrS.I->Opts.Engine = EngineKind::Pdr;
+    PdrS.I->Opts.Cancel = PdrCancel;
+    Deadline PdrD;
+    armDeadline(PdrD, PdrS.I->Opts);
+    RacedStatus = PdrS.verifyOne(Prop, PdrD, EngineKind::Pdr).Status;
+  });
+
+  PropertyResult IndR = verifyOne(Prop, D, EngineKind::Induction);
+  if (IndR.Status == VerifyStatus::Proved || isBudgetStatus(IndR.Status)) {
+    // Induction's sound verdict wins by priority — whatever PDR is still
+    // computing cannot be selected. A budget status likewise ends the
+    // attempt (not a verdict, for portfolio exactly as for a single
+    // engine); either way the racer's result is moot, so cancel it.
+    PdrCancel->cancel();
+    Racer.join();
+    return IndR;
+  }
+  Racer.join();
+
+  if (RacedStatus == VerifyStatus::Proved ||
+      RacedStatus == VerifyStatus::Refuted ||
+      isBudgetStatus(RacedStatus)) {
+    // PDR has (or, under a racer-side budget expiry, may have) a sound
+    // verdict induction lacks: re-derive it deterministically in this
+    // session. The raced attempt already warmed the shared memo, so the
+    // replay is mostly cache hits.
+    PropertyResult PdrR = verifyOne(Prop, D, EngineKind::Pdr);
+    if (PdrR.Status == VerifyStatus::Proved ||
+        PdrR.Status == VerifyStatus::Refuted || isBudgetStatus(PdrR.Status))
+      return PdrR;
+  }
+  // Neither engine is sound here: induction's Unknown (with its BMC
+  // fallback already applied) is the more actionable diagnostic.
+  return IndR;
 }
 
 VerificationReport VerifySession::verifyAll() {

@@ -22,6 +22,7 @@
 #include "support/deadline.h"
 #include "verify/bmc.h"
 #include "verify/checker.h"
+#include "verify/engine.h"
 #include "verify/ni.h"
 #include "verify/prover.h"
 
@@ -39,6 +40,12 @@ struct VerifyOptions {
   bool Simplify = true;
   /// Re-check every certificate with the independent checker.
   bool CheckCertificates = true;
+  /// Which proof engine serves trace properties (verify/engine.h):
+  /// induction (default), pdr, or portfolio (race both; canonical
+  /// priority selection keeps verdicts deterministic). Part of the
+  /// proof-cache options fingerprint: entries from different engines
+  /// never shadow each other.
+  EngineKind Engine = EngineKind::Induction;
   /// When the prover answers Unknown, search for a concrete
   /// counterexample up to this depth (0 disables).
   size_t BmcDepthOnUnknown = 0;
@@ -114,6 +121,11 @@ struct PropertyResult {
   /// How many attempts the scheduler made (retries + 1); 1 outside the
   /// fault-tolerant scheduler.
   unsigned Attempts = 1;
+  /// The engine that produced this verdict ("induction" or "pdr" —
+  /// portfolio serves through one of its members, see verify/engine.h).
+  /// Restored verbatim on proof-cache hits so reports compare
+  /// byte-identical across cache states.
+  std::string ServedBy;
   Trace Counterexample;    // Refuted only
 };
 
@@ -227,6 +239,11 @@ public:
   uint64_t invariantCacheHits() const;
 
 private:
+  /// One engine, no dispatch: the shared tail of every verify() call.
+  PropertyResult verifyOne(const Property &Prop, Deadline &D, EngineKind Eng);
+  /// The portfolio race (see verify/engine.h for the selection rule).
+  PropertyResult verifyPortfolio(const Property &Prop, Deadline &D);
+
   struct Impl;
   std::unique_ptr<Impl> I;
 };

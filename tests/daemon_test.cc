@@ -655,6 +655,121 @@ TEST(Daemon, CacheGcDropsDeadProgramsAndKeepsWarmHitsAlive) {
       << "GC must not evict live entries";
 }
 
+//===----------------------------------------------------------------------===//
+// Proof engines over the wire (docs/ENGINES.md)
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, EngineOptionMatchesOneShotByteForByte) {
+  TestDaemon TD(daemonOptions("engine"));
+  ASSERT_NE(TD.D, nullptr);
+  DaemonClient C = mustConnect(TD.D->socketPath());
+
+  const kernels::KernelDef &K = kernels::pdrlock();
+  ProgramPtr P = kernels::load(K);
+  for (EngineKind Kind : {EngineKind::Pdr, EngineKind::Portfolio}) {
+    SchedulerOptions S;
+    S.Jobs = 0;
+    S.Verify.Engine = Kind;
+    VerificationReport Want = verifyPrograms({P.get()}, S).Reports[0];
+    JsonValue Resp =
+        mustCall(C, frame("verify", "", K.Source,
+                          std::string("{\"engine\":\"") +
+                              engineKindName(Kind) + "\"}"));
+    ASSERT_TRUE(Resp.getBool("ok")) << Resp.getString("error");
+    expectResultsMatch(Resp, Want, engineKindName(Kind));
+    // The wire result names the engine that actually served each verdict.
+    const JsonValue *Results = Resp.get("results");
+    ASSERT_NE(Results, nullptr);
+    for (size_t I = 0; I < Want.Results.size(); ++I)
+      EXPECT_EQ(Results->items()[I].getString("engine"),
+                Want.Results[I].ServedBy)
+          << Want.Results[I].Name;
+  }
+}
+
+TEST(Daemon, BadEngineOptionIsAStructuredError) {
+  TestDaemon TD(daemonOptions("engine-bad"));
+  ASSERT_NE(TD.D, nullptr);
+  DaemonClient C = mustConnect(TD.D->socketPath());
+  JsonValue Resp = mustCall(C, frame("verify", "", kernels::ssh2().Source,
+                                     "{\"engine\":\"zzz\"}"));
+  EXPECT_FALSE(Resp.getBool("ok"));
+  EXPECT_NE(Resp.getString("error").find(
+                "must be induction, pdr, or portfolio"),
+            std::string::npos)
+      << Resp.getString("error");
+}
+
+TEST(Daemon, StatsCountVerdictsServedPerEngine) {
+  TestDaemon TD(daemonOptions("engine-stats"));
+  ASSERT_NE(TD.D, nullptr);
+  DaemonClient C = mustConnect(TD.D->socketPath());
+
+  ASSERT_TRUE(
+      mustCall(C, frame("verify", "", kernels::ssh2().Source)).getBool("ok"));
+  ASSERT_TRUE(mustCall(C, frame("verify", "", kernels::pdrlock().Source,
+                                "{\"engine\":\"pdr\"}"))
+                  .getBool("ok"));
+
+  JsonValue S = mustCall(C, frame("stats"));
+  ASSERT_TRUE(S.getBool("ok"));
+  const JsonValue *Engines = S.get("engines");
+  ASSERT_NE(Engines, nullptr);
+  EXPECT_GE(Engines->getNumber("induction"), 1.0)
+      << "ssh2's verdicts are served by induction";
+  EXPECT_GE(Engines->getNumber("pdr"), 1.0)
+      << "pdrlock under --engine=pdr is served by PDR";
+}
+
+TEST(Daemon, GcManifestKeepsWarmEntriesAcrossDaemonRestarts) {
+  std::string CacheDir =
+      std::string(::testing::TempDir()) + "daemon_gc_manifest";
+  fs::remove_all(CacheDir);
+  auto CountEntries = [&] {
+    size_t N = 0;
+    for (const auto &E : fs::directory_iterator(CacheDir))
+      if (E.is_regular_file() && E.path().extension() == ".json")
+        ++N;
+    return N;
+  };
+
+  size_t FirstLifeEntries = 0;
+  {
+    // Daemon #1 verifies ssh2 and gcs: the manifest stamps it live.
+    DaemonOptions O = daemonOptions("gc-manifest-1");
+    O.CacheDir = CacheDir;
+    TestDaemon TD(O);
+    ASSERT_NE(TD.D, nullptr);
+    DaemonClient C = mustConnect(TD.D->socketPath());
+    ASSERT_TRUE(mustCall(C, frame("verify", "", kernels::ssh2().Source))
+                    .getBool("ok"));
+    JsonValue Gc = mustCall(C, frame("cache-gc"));
+    ASSERT_TRUE(Gc.getBool("ok"));
+    EXPECT_EQ(Gc.getNumber("dropped"), 0.0);
+    FirstLifeEntries = CountEntries();
+    ASSERT_GT(FirstLifeEntries, 0u);
+  }
+
+  {
+    // Daemon #2 never sees ssh2, yet its gc keeps the entries: the
+    // manifest remembers they were live moments ago. The response
+    // reports the widening.
+    DaemonOptions O = daemonOptions("gc-manifest-2");
+    O.CacheDir = CacheDir;
+    TestDaemon TD(O);
+    ASSERT_NE(TD.D, nullptr);
+    DaemonClient C = mustConnect(TD.D->socketPath());
+    ASSERT_TRUE(mustCall(C, frame("verify", "", kernels::car().Source))
+                    .getBool("ok"));
+    JsonValue Gc = mustCall(C, frame("cache-gc"));
+    ASSERT_TRUE(Gc.getBool("ok"));
+    EXPECT_EQ(Gc.getNumber("dropped"), 0.0)
+        << "a restart must not cold-start the warm proof capital";
+    EXPECT_GE(Gc.getNumber("manifest_live"), 1.0);
+    EXPECT_GE(size_t(Gc.getNumber("kept")), FirstLifeEntries);
+  }
+}
+
 TEST(Daemon, ShutdownVerbDrainsAndStopsServing) {
   TestDaemon TD(daemonOptions("down"));
   ASSERT_NE(TD.D, nullptr);

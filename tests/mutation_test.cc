@@ -44,9 +44,26 @@ TEST_P(MutationTest, MutantRejectedAndRefuted) {
   ProgramPtr Healthy = kernels::load(*K);
   EXPECT_EQ(verifyOne(*Healthy, M.Property).Status, VerifyStatus::Proved);
 
-  // ...the mutant must not.
+  // ...the mutant must not — under any proof engine. PDR and the
+  // portfolio search a different invariant space than induction, so each
+  // gets its own chance to wrongly certify the bug.
   PropertyResult R = verifyOne(*P, M.Property);
   EXPECT_NE(R.Status, VerifyStatus::Proved) << "prover certified a bug!";
+  for (EngineKind Kind :
+       {EngineKind::Pdr, EngineKind::Portfolio}) {
+    VerifyOptions O;
+    O.Engine = Kind;
+    PropertyResult ER = verifyOne(*P, M.Property, O);
+    EXPECT_NE(ER.Status, VerifyStatus::Proved)
+        << engineKindName(Kind) << " certified a bug!";
+  }
+  // The portfolio is never weaker than induction: the healthy kernel
+  // stays proved. (PDR alone may honestly return Unknown here — that
+  // one-sidedness is exactly why the portfolio exists.)
+  VerifyOptions Port;
+  Port.Engine = EngineKind::Portfolio;
+  EXPECT_EQ(verifyOne(*Healthy, M.Property, Port).Status,
+            VerifyStatus::Proved);
 
   if (M.BmcDepth > 0) {
     BmcOptions Opts;

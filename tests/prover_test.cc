@@ -9,6 +9,8 @@
 
 #include "test_util.h"
 
+#include "kernels/kernels.h"
+
 namespace reflex {
 namespace {
 
@@ -404,6 +406,192 @@ property Impossible: forall n.
         EXPECT_EQ(Rep.Results[1].Status, VerifyStatus::Unknown)
             << Skip << Simplify << Cache;
       }
+}
+
+//===----------------------------------------------------------------------===//
+// The PDR engine (verify/pdr.h) and the portfolio (verify/engine.h)
+//===----------------------------------------------------------------------===//
+
+TEST(Pdr, SeparatesFromInductionOnPdrlock) {
+  // pdrlock's property needs a mutually inductive strengthening:
+  // induction's hierarchical guard chasing cycles and gives up, PDR's
+  // frames close the mutual dependency (kernels/pdrlock.cc).
+  ProgramPtr P = kernels::load(kernels::pdrlock());
+  ASSERT_NE(P, nullptr);
+
+  VerifyOptions Ind;
+  Ind.Engine = EngineKind::Induction;
+  PropertyResult IndR = verifyOne(*P, "RogueNeedsBlessing", Ind);
+  EXPECT_EQ(IndR.Status, VerifyStatus::Unknown) << IndR.Reason;
+  EXPECT_EQ(IndR.ServedBy, "induction");
+
+  VerifyOptions Pdr;
+  Pdr.Engine = EngineKind::Pdr;
+  PropertyResult PdrR = verifyOne(*P, "RogueNeedsBlessing", Pdr);
+  EXPECT_EQ(PdrR.Status, VerifyStatus::Proved) << PdrR.Reason;
+  EXPECT_TRUE(PdrR.CertChecked);
+  EXPECT_EQ(PdrR.ServedBy, "pdr");
+  EXPECT_EQ(PdrR.Cert.Engine, "pdr");
+  // The discovered invariant is the two-clause conjunction
+  // {!armed, !primed}.
+  EXPECT_EQ(PdrR.Cert.InvClauses.size(), 2u);
+
+  VerifyOptions Port;
+  Port.Engine = EngineKind::Portfolio;
+  PropertyResult PortR = verifyOne(*P, "RogueNeedsBlessing", Port);
+  EXPECT_EQ(PortR.Status, VerifyStatus::Proved) << PortR.Reason;
+  EXPECT_EQ(PortR.ServedBy, "pdr");
+  EXPECT_EQ(PortR.CertJson, PdrR.CertJson)
+      << "the portfolio must serve the PDR proof byte-identically";
+}
+
+TEST(Pdr, AgreesWithInductionOnLocallyDischargeable) {
+  // A property every engine discharges without frames: the obligation
+  // scan (shared with induction) finds the trigger in the same path, so
+  // PDR proves it with an empty clause set.
+  std::string Src = std::string(Pingpong) + R"(
+handler A => Ping(n) {
+  send(Y, Pong(n));
+}
+property PingBeforePong: forall n.
+  [Recv(A, Ping(n))] Enables [Send(B, Pong(n))];
+)";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  VerifyOptions Pdr;
+  Pdr.Engine = EngineKind::Pdr;
+  PropertyResult R = verifyOne(*P, "PingBeforePong", Pdr);
+  EXPECT_EQ(R.Status, VerifyStatus::Proved) << R.Reason;
+  EXPECT_TRUE(R.CertChecked);
+  EXPECT_TRUE(R.Cert.InvClauses.empty());
+}
+
+TEST(Pdr, HonestUnknownOnUnconditionalEmission) {
+  // The emission has no state-pure pre-state to block (the handler sends
+  // unconditionally), so PDR reports Unknown with a reason — never a
+  // false Proved.
+  std::string Src = std::string(Pingpong) + R"(
+handler A => Ping(n) {
+  send(Y, Mark(n));
+}
+property ArmBeforeFire: forall n.
+  [Recv(B, Pong(n))] Enables [Send(B, Mark(n))];
+)";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  VerifyOptions Pdr;
+  Pdr.Engine = EngineKind::Pdr;
+  PropertyResult R = verifyOne(*P, "ArmBeforeFire", Pdr);
+  EXPECT_EQ(R.Status, VerifyStatus::Unknown);
+  EXPECT_FALSE(R.Reason.empty());
+}
+
+// pdrlock with the bootstrap deadlock broken: Boot primes the interlock
+// from any unarmed state, so the rogue emission is genuinely reachable
+// and the property is false.
+const char PdrBoot[] = R"(
+component Driver "driver.py";
+component Sink "sink.c";
+message Boot();
+message Commit();
+message Bless(str);
+message Fire(str);
+message Blessed(str);
+message Rogue(str);
+var armed: bool = false;
+var primed: bool = false;
+init {
+  D <- spawn Driver();
+  S <- spawn Sink();
+}
+handler Driver => Boot() {
+  if (!armed) {
+    primed = true;
+  }
+}
+handler Driver => Commit() {
+  if (primed) {
+    armed = true;
+  }
+}
+handler Driver => Bless(u) {
+  send(S, Blessed(u));
+}
+handler Driver => Fire(u) {
+  if (armed) {
+    send(S, Rogue(u));
+  }
+}
+property RogueNeedsBlessing: forall u.
+  [Send(Sink, Blessed(u))] Enables [Send(Sink, Rogue(u))];
+)";
+
+TEST(Pdr, RefutesWithConcreteConfirmedTrace) {
+  // PDR's backward chase reaches the initial states; the abstract
+  // counterexample is replayed by bounded concrete search, so Refuted
+  // carries a real trace exactly like BMC's.
+  ProgramPtr P = mustLoad(PdrBoot);
+  ASSERT_NE(P, nullptr);
+  VerifyOptions Pdr;
+  Pdr.Engine = EngineKind::Pdr;
+  PropertyResult R = verifyOne(*P, "RogueNeedsBlessing", Pdr);
+  EXPECT_EQ(R.Status, VerifyStatus::Refuted) << R.Reason;
+  EXPECT_FALSE(R.Counterexample.Actions.empty());
+  EXPECT_FALSE(R.Reason.empty());
+
+  // Induction alone cannot decide it...
+  VerifyOptions Ind;
+  Ind.Engine = EngineKind::Induction;
+  PropertyResult IndR = verifyOne(*P, "RogueNeedsBlessing", Ind);
+  EXPECT_EQ(IndR.Status, VerifyStatus::Unknown);
+
+  // ...so the portfolio serves PDR's sound refutation.
+  VerifyOptions Port;
+  Port.Engine = EngineKind::Portfolio;
+  PropertyResult PortR = verifyOne(*P, "RogueNeedsBlessing", Port);
+  EXPECT_EQ(PortR.Status, VerifyStatus::Refuted);
+  EXPECT_EQ(PortR.ServedBy, "pdr");
+  EXPECT_EQ(PortR.Reason, R.Reason);
+}
+
+TEST(Pdr, PortfolioPrefersInductionWhenBothProve) {
+  // Canonical selection: when induction proves, its certificate is
+  // served regardless of which engine finished first (verdicts must be
+  // functions of (program, property, options), not of the race).
+  std::string Src = std::string(Pingpong) + R"(
+handler A => Ping(n) {
+  send(Y, Pong(n));
+}
+property PingBeforePong: forall n.
+  [Recv(A, Ping(n))] Enables [Send(B, Pong(n))];
+)";
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  VerifyOptions Port;
+  Port.Engine = EngineKind::Portfolio;
+  PropertyResult R = verifyOne(*P, "PingBeforePong", Port);
+  EXPECT_EQ(R.Status, VerifyStatus::Proved) << R.Reason;
+  EXPECT_EQ(R.ServedBy, "induction");
+  VerifyOptions Ind;
+  PropertyResult IndR = verifyOne(*P, "PingBeforePong", Ind);
+  EXPECT_EQ(R.CertJson, IndR.CertJson);
+}
+
+TEST(Pdr, NonTracePropertiesFallBackToInduction) {
+  // NI properties have no transition-relation formulation here; every
+  // engine choice serves them through the induction path.
+  ProgramPtr P = kernels::load(kernels::ssh2());
+  ASSERT_NE(P, nullptr);
+  for (EngineKind K : {EngineKind::Pdr, EngineKind::Portfolio}) {
+    VerifyOptions O;
+    O.Engine = K;
+    VerificationReport Rep = verifyProgram(*P, O);
+    for (const PropertyResult &R : Rep.Results) {
+      const Property *Prop = P->findProperty(R.Name);
+      if (Prop && !Prop->isTrace())
+        EXPECT_EQ(R.ServedBy, "induction") << R.Name;
+    }
+  }
 }
 
 } // namespace

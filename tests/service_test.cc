@@ -1269,5 +1269,264 @@ TEST(ProofCache, GcTreatsUndecodableEntriesAsDead) {
   EXPECT_EQ(G.Kept, Stores);
 }
 
+//===----------------------------------------------------------------------===//
+// Proof engines through the service layer (docs/ENGINES.md)
+//===----------------------------------------------------------------------===//
+
+/// The whole suite plus the engine-separating pdrlock kernel, verified
+/// under \p Kind, flattened to byte-comparable verdict strings.
+std::vector<std::string> runEngineBatch(EngineKind Kind, unsigned Jobs,
+                                        bool Shared, uint64_t FaultSeed = 0) {
+  ProgramPtr Ssh2 = kernels::load(kernels::ssh2());
+  ProgramPtr Car = kernels::load(kernels::car());
+  ProgramPtr Lock = kernels::load(kernels::pdrlock());
+  std::vector<const Program *> Programs{Ssh2.get(), Car.get(), Lock.get()};
+
+  SchedulerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.SharedCaches = Shared;
+  Opts.Verify.Engine = Kind;
+  // A seeded probabilistic plan plus one staged crash: every fault
+  // decision is a pure function of (site, key, seed), so the flattened
+  // verdicts must be identical for the same seed at any worker count.
+  FaultPlan Plan(FaultSeed, FaultSeed ? 10 : 0);
+  if (FaultSeed) {
+    Plan.addRule({"worker", Lock->Name + "/" +
+                      Lock->Properties[0].Name + "#0",
+                  FaultKind::Fail});
+    Opts.Faults = &Plan;
+    Opts.Retries = 1;
+    Opts.RetryBackoffMs = 0;
+  }
+  BatchOutcome Out = verifyPrograms(Programs, Opts);
+  std::vector<std::string> Flat;
+  for (const VerificationReport &Rep : Out.Reports)
+    for (const PropertyResult &R : Rep.Results)
+      Flat.push_back(R.Name + "|" + verifyStatusName(R.Status) + "|" +
+                     R.Reason + "|" + R.ServedBy + "|" + R.CertJson);
+  return Flat;
+}
+
+TEST(Scheduler, PdrVerdictsDeterministicAcrossWorkersAndSharing) {
+  std::vector<std::string> Base = runEngineBatch(EngineKind::Pdr, 1, true);
+  EXPECT_EQ(Base, runEngineBatch(EngineKind::Pdr, 4, true));
+  EXPECT_EQ(Base, runEngineBatch(EngineKind::Pdr, 4, false));
+}
+
+TEST(Scheduler, PortfolioVerdictsDeterministicAcrossWorkersAndSharing) {
+  // The race's timing must be erased by the canonical selection rule:
+  // statuses, reasons, serving engines, and certificate bytes all agree
+  // across worker counts and the sharing toggle.
+  std::vector<std::string> Base =
+      runEngineBatch(EngineKind::Portfolio, 1, true);
+  EXPECT_EQ(Base, runEngineBatch(EngineKind::Portfolio, 4, true));
+  EXPECT_EQ(Base, runEngineBatch(EngineKind::Portfolio, 4, false));
+}
+
+TEST(Scheduler, FaultedPortfolioVerdictsAreSeedDeterministic) {
+  // A seeded worker crash on pdrlock's property, retried once: the final
+  // verdicts (portfolio selection included) must not depend on the
+  // worker count.
+  std::vector<std::string> One =
+      runEngineBatch(EngineKind::Portfolio, 1, true, 7);
+  std::vector<std::string> Four =
+      runEngineBatch(EngineKind::Portfolio, 4, true, 7);
+  EXPECT_EQ(One, Four);
+}
+
+TEST(ProofCache, EngineJoinsTheCacheKey) {
+  ProgramPtr P = kernels::load(kernels::pdrlock());
+  ASSERT_NE(P, nullptr);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
+  const Property &Prop = P->Properties[0];
+  VerifyOptions Ind, Pdr, Port;
+  Pdr.Engine = EngineKind::Pdr;
+  Port.Engine = EngineKind::Portfolio;
+  std::string KInd = ProofCache::keyFor(FP.DeclFp, Prop, Ind);
+  std::string KPdr = ProofCache::keyFor(FP.DeclFp, Prop, Pdr);
+  std::string KPort = ProofCache::keyFor(FP.DeclFp, Prop, Port);
+  // Different engines may return different verdicts for the same
+  // property, so they must never share an entry.
+  EXPECT_NE(KInd, KPdr);
+  EXPECT_NE(KInd, KPort);
+  EXPECT_NE(KPdr, KPort);
+}
+
+TEST(ProofCache, PdrWarmHitRestoresServingEngine) {
+  TempDir Dir("cache-pdr-warm");
+  ProgramPtr P = kernels::load(kernels::pdrlock());
+  ASSERT_NE(P, nullptr);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
+  VerifyOptions VO;
+  VO.Engine = EngineKind::Pdr;
+  const Property &Prop = P->Properties[0];
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  std::string ColdCert, ColdServed;
+  {
+    VerifySession S(*P, VO);
+    PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
+    ASSERT_EQ(R.Status, VerifyStatus::Proved) << R.Reason;
+    EXPECT_FALSE(R.CacheHit);
+    ColdCert = R.CertJson;
+    ColdServed = R.ServedBy;
+  }
+  EXPECT_EQ(ColdServed, "pdr");
+  {
+    VerifySession S(*P, VO);
+    PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_TRUE(R.CacheHit);
+    EXPECT_EQ(R.ServedBy, ColdServed)
+        << "warm hits must say which engine produced the proof";
+    EXPECT_EQ(R.CertJson, ColdCert);
+  }
+  // The same property under the default engine is a separate key: the
+  // warm PDR proof must not leak into an induction lookup.
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
+    EXPECT_FALSE(R.CacheHit);
+    EXPECT_EQ(R.Status, VerifyStatus::Unknown);
+  }
+}
+
+TEST(ProofCache, DamagedPdrEntryIsQuarantinedAndReVerified) {
+  TempDir Dir("cache-pdr-damage");
+  ProgramPtr P = kernels::load(kernels::pdrlock());
+  ASSERT_NE(P, nullptr);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
+  VerifyOptions VO;
+  VO.Engine = EngineKind::Pdr;
+  const Property &Prop = P->Properties[0];
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Prop, VO);
+  std::string EntryPath = Dir.str() + "/" + Key + ".json";
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    VerifySession S(*P, VO);
+    PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
+    ASSERT_EQ(R.Status, VerifyStatus::Proved) << R.Reason;
+  }
+
+  // Corrupt a clause literal inside the stored clausal certificate.
+  std::string Entry = readAll(EntryPath);
+  size_t Pos = Entry.find("!armed");
+  ASSERT_NE(Pos, std::string::npos) << Entry;
+  Entry.replace(Pos, 6, "!prime");
+  writeAll(EntryPath, Entry);
+
+  {
+    VerifySession S(*P, VO);
+    PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit) << "a tampered PDR certificate was served";
+    EXPECT_TRUE(R.CertChecked);
+  }
+  EXPECT_EQ(Cache->stats().Quarantined, 1u);
+  EXPECT_TRUE(
+      fs::exists(fs::path(Dir.str()) / "quarantine" / (Key + ".json")));
+}
+
+//===----------------------------------------------------------------------===//
+// GC live-set manifest: liveness persists across cache reopenings
+//===----------------------------------------------------------------------===//
+
+TEST(ProofCache, GcManifestKeepsRecentlyLiveProgramsAcrossReopen) {
+  TempDir Dir("cache-gc-manifest");
+  ProgramPtr A = kernels::load(kernels::ssh2());
+  ProgramPtr B = kernels::load(kernels::car());
+  std::string AId =
+      ProofCache::declId(ProgramFingerprints::compute(*A).DeclFp);
+  std::string BId =
+      ProofCache::declId(ProgramFingerprints::compute(*B).DeclFp);
+
+  uint64_t AStores = 0, BStores = 0;
+  {
+    // Process 1 verifies both programs and runs a gc naming both live —
+    // the manifest now remembers when each was last claimed.
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    SchedulerOptions S;
+    S.Cache = Cache.get();
+    verifyPrograms({A.get()}, S);
+    AStores = Cache->stats().Stores;
+    verifyPrograms({B.get()}, S);
+    BStores = Cache->stats().Stores - AStores;
+    ProofCache::GcOutcome G = Cache->gc({AId, BId});
+    EXPECT_EQ(G.Dropped, 0u);
+  }
+  ASSERT_GT(AStores, 0u);
+  ASSERT_GT(BStores, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(Dir.str()) / "gc.manifest"));
+
+  {
+    // Process 2 (a daemon restart) only names A live. B was claimed
+    // within the manifest window, so its entries survive the restart
+    // instead of being dropped by the first post-restart gc.
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    ProofCache::GcOutcome G = Cache->gc({AId});
+    EXPECT_EQ(G.Dropped, 0u)
+        << "recently-live programs must survive a restart's gc";
+    EXPECT_EQ(G.Kept, AStores + BStores);
+    EXPECT_EQ(G.ManifestLive, 1u)
+        << "exactly one program (B) is alive only through the manifest";
+  }
+
+  {
+    // With the manifest contribution disabled the old semantics return:
+    // anything outside the caller's live set is collected immediately.
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    Cache->setGcManifestMaxAge(0);
+    ProofCache::GcOutcome G = Cache->gc({AId});
+    EXPECT_EQ(G.Dropped, BStores);
+    EXPECT_EQ(G.Kept, AStores);
+    EXPECT_EQ(G.ManifestLive, 0u);
+  }
+
+  // The manifest itself is metadata, never a collectable entry.
+  EXPECT_TRUE(fs::exists(fs::path(Dir.str()) / "gc.manifest"));
+}
+
+TEST(ProofCache, GcManifestExpiredStampsDoNotKeepEntriesAlive) {
+  TempDir Dir("cache-gc-manifest-age");
+  ProgramPtr A = kernels::load(kernels::ssh2());
+  ProgramPtr B = kernels::load(kernels::car());
+  std::string AId =
+      ProofCache::declId(ProgramFingerprints::compute(*A).DeclFp);
+  std::string BId =
+      ProofCache::declId(ProgramFingerprints::compute(*B).DeclFp);
+  {
+    std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+    ASSERT_NE(Cache, nullptr);
+    SchedulerOptions S;
+    S.Cache = Cache.get();
+    verifyPrograms({A.get()}, S);
+    verifyPrograms({B.get()}, S);
+    Cache->gc({AId, BId});
+  }
+  // Rewrite B's stamp as ancient so the window has lapsed.
+  fs::path Manifest = fs::path(Dir.str()) / "gc.manifest";
+  std::string Bytes = readAll(Manifest.string());
+  size_t Pos = Bytes.find("\"" + BId + "\":");
+  ASSERT_NE(Pos, std::string::npos) << Bytes;
+  size_t ValStart = Pos + BId.size() + 3;
+  size_t ValEnd = Bytes.find_first_of(",}", ValStart);
+  ASSERT_NE(ValEnd, std::string::npos);
+  Bytes.replace(ValStart, ValEnd - ValStart, "1");
+  writeAll(Manifest.string(), Bytes);
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  ProofCache::GcOutcome G = Cache->gc({AId});
+  EXPECT_GT(G.Dropped, 0u)
+      << "an expired manifest stamp must not keep dead entries alive";
+  EXPECT_EQ(G.ManifestLive, 0u);
+}
+
 } // namespace
 } // namespace reflex

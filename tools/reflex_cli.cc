@@ -35,6 +35,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +52,9 @@ int usage() {
       "commands:\n"
       "  verify   prove every property of the program fully automatically\n"
       "           options: --no-skip --no-simplify --no-cache --no-check\n"
+      "                    --engine induction|pdr|portfolio (which proof\n"
+      "                    engine serves trace properties; portfolio races\n"
+      "                    both, see docs/ENGINES.md)\n"
       "                    --bmc-depth N (refute Unknowns)  --certs FILE\n"
       "                    --json FILE (machine-readable report)\n"
       "                    --jobs N (parallel verification; 0 = all cores)\n"
@@ -123,7 +127,7 @@ bool takesValue(const std::string &Key) {
          Key == "--timeout-ms" || Key == "--step-budget" ||
          Key == "--retries" || Key == "--fault-seed" || Key == "--socket" ||
          Key == "--max-sessions" || Key == "--request-timeout-ms" ||
-         Key == "--frame";
+         Key == "--frame" || Key == "--engine";
 }
 
 /// daemon/client take no .rfx file — everything is options.
@@ -185,6 +189,17 @@ int cmdVerify(const Args &A, const Program &P) {
   Opts.TimeoutMillis = numOption(A, "--timeout-ms", 0);
   Opts.StepBudget = numOption(A, "--step-budget", 0);
   Opts.FastCacheRecheck = A.Options.count("--fast-cache") != 0;
+  if (auto It = A.Options.find("--engine"); It != A.Options.end()) {
+    std::optional<EngineKind> K = parseEngineKind(It->second);
+    if (!K) {
+      std::fprintf(stderr,
+                   "error: option '--engine' must be induction, pdr, or "
+                   "portfolio, got '%s'\n",
+                   It->second.c_str());
+      return 2;
+    }
+    Opts.Engine = *K;
+  }
   SOpts.Jobs = unsigned(numOption(A, "--jobs", 1));
   SOpts.Retries = unsigned(numOption(A, "--retries", 0));
   SOpts.SharedCaches = !A.Options.count("--no-share");

@@ -11,6 +11,11 @@
 #   * tests/robustness_test   — seeded pipeline fuzz, runtime crash isolation
 #   * bench/bench_faults      — budgets + faults over the full suite,
 #                               in --smoke mode (one repetition)
+#   * tests/certificate_test  — certificate tampering/truncation incl.
+#                               the PDR clausal certificates
+#   * bench/bench_portfolio   — every kernel under every engine (the
+#                               portfolio race allocates across threads),
+#                               in --smoke mode
 #
 # Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
 set -euo pipefail
@@ -19,7 +24,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
-cmake --build "$BUILD" -j --target service_test daemon_test robustness_test bench_faults
+cmake --build "$BUILD" -j --target service_test daemon_test robustness_test \
+  certificate_test bench_faults bench_portfolio
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -36,5 +42,12 @@ echo "== robustness_test (ASan+UBSan) =="
 
 echo "== bench_faults --smoke (ASan+UBSan) =="
 "$BUILD/bench/bench_faults" --smoke --out "$BUILD/BENCH_faults.smoke.json"
+
+echo "== certificate_test (ASan+UBSan) =="
+"$BUILD/tests/certificate_test"
+
+echo "== bench_portfolio --smoke (ASan+UBSan) =="
+"$BUILD/bench/bench_portfolio" --smoke \
+  --out "$BUILD/BENCH_portfolio.smoke.json"
 
 echo "ASan/UBSan: no issues reported"

@@ -9,6 +9,10 @@
 #                               per-request watcher threads, shared sessions
 #   * bench/bench_parallel    — the full 41-property suite on 4 workers,
 #                               in --smoke mode (one repetition)
+#   * tests/prover_test       — the portfolio's engine race (PDR on a
+#                               background session vs induction)
+#   * bench/bench_portfolio   — every kernel under every engine at 1 and
+#                               4 workers, in --smoke mode
 #
 # Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
 set -euo pipefail
@@ -17,7 +21,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" -j --target service_test daemon_test bench_parallel
+cmake --build "$BUILD" -j --target service_test daemon_test prover_test \
+  bench_parallel bench_portfolio
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -32,5 +37,12 @@ echo "== daemon_test (TSan) =="
 echo "== bench_parallel --jobs 4 --smoke (TSan) =="
 "$BUILD/bench/bench_parallel" --jobs 4 --smoke \
   --out "$BUILD/BENCH_parallel.smoke.json"
+
+echo "== prover_test (TSan) =="
+"$BUILD/tests/prover_test"
+
+echo "== bench_portfolio --jobs 4 --smoke (TSan) =="
+"$BUILD/bench/bench_portfolio" --jobs 4 --smoke \
+  --out "$BUILD/BENCH_portfolio.smoke.json"
 
 echo "TSan: no data races reported"
