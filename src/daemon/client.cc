@@ -3,6 +3,11 @@
 #include "daemon/client.h"
 
 #include "daemon/protocol.h"
+#include "support/faultinject.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace reflex {
 
@@ -33,6 +38,56 @@ Result<JsonValue> DaemonClient::call(const std::string &RequestJson) {
   if (!Doc.ok())
     return Error("unparsable response frame: " + Doc.error());
   return Doc;
+}
+
+Result<JsonValue>
+DaemonClient::callWithRetry(const std::string &SocketPath,
+                            const std::string &RequestJson,
+                            const DaemonRetryOptions &RO,
+                            unsigned *AttemptsOut) {
+  // Seeded jitter: FaultPlan::arg is a pure hash of (seed, site, key), so
+  // a client's whole backoff schedule is a deterministic function of its
+  // seed — reproducible in tests, decorrelated across seeds in a fleet.
+  FaultPlan Jitter(RO.Seed, 0); // zero Permille: only arg(), no faults
+  unsigned MaxAttempts = std::max(1u, RO.MaxAttempts);
+  std::string LastError = "daemon overloaded";
+
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (AttemptsOut)
+      *AttemptsOut = Attempt + 1;
+    uint64_t Hint = 0;
+    bool Retryable = false;
+    Result<DaemonClient> C = connect(SocketPath);
+    if (C.ok()) {
+      Result<JsonValue> Doc = C->call(RequestJson);
+      if (Doc.ok()) {
+        if (!Doc->getBool("overloaded"))
+          return Doc; // the caller's response, ok:true or a hard error
+        Hint = uint64_t(Doc->getNumber("retry_after_ms"));
+        LastError = Doc->getString("error", "daemon overloaded");
+        Retryable = true;
+      } else {
+        LastError = Doc.error();
+      }
+    } else {
+      // A supervised daemon may be mid-restart: its socket briefly does
+      // not exist. That window is exactly what the backoff is for.
+      LastError = C.error();
+      Retryable = true;
+    }
+    if (!Retryable || Attempt + 1 == MaxAttempts)
+      break;
+    uint64_t Exp = RO.BaseBackoffMs;
+    for (unsigned I = 0; I < Attempt && Exp < RO.BackoffCapMs; ++I)
+      Exp *= 2;
+    uint64_t Span = std::min(std::max(Exp, Hint),
+                             std::max(RO.BackoffCapMs, Hint));
+    uint64_t Wait =
+        Span + Jitter.arg("client.retry", std::to_string(Attempt),
+                          Span / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Wait));
+  }
+  return Error(LastError);
 }
 
 } // namespace reflex

@@ -21,14 +21,42 @@
 #include "support/result.h"
 #include "support/socket.h"
 
+#include <cstdint>
 #include <string>
 
 namespace reflex {
+
+/// Backoff policy for callWithRetry. The schedule is deterministic in
+/// Seed: capped exponential backoff with seeded jitter (support/
+/// faultinject's pure hash supplies the randomness), never below the
+/// daemon's retry_after_ms hint.
+struct DaemonRetryOptions {
+  unsigned MaxAttempts = 5;
+  uint64_t BaseBackoffMs = 25;
+  uint64_t BackoffCapMs = 1000;
+  /// Jitter seed. Callers running many concurrent clients should give
+  /// each a distinct seed so their retries do not stampede in lockstep.
+  uint64_t Seed = 0;
+};
 
 class DaemonClient {
 public:
   /// Connects to the daemon listening at \p SocketPath.
   static Result<DaemonClient> connect(const std::string &SocketPath);
+
+  /// One logical request with overload retries: connect, send, read; on a
+  /// structured overloaded response ({"overloaded":true}), back off
+  /// (seeded jitter, honoring the retry_after_ms hint) and try again on a
+  /// *fresh* connection — the daemon sheds either by answering on a live
+  /// connection (in-flight cap) or by answering-then-closing (connection
+  /// cap), and reconnecting covers both. Connect failures are retried on
+  /// the same schedule (a supervised daemon may be mid-restart). Errors
+  /// when attempts are exhausted or on a non-retryable transport failure.
+  /// \p AttemptsOut (optional) receives the number of attempts used.
+  static Result<JsonValue> callWithRetry(const std::string &SocketPath,
+                                         const std::string &RequestJson,
+                                         const DaemonRetryOptions &RO = {},
+                                         unsigned *AttemptsOut = nullptr);
 
   /// One round-trip: sends \p RequestJson as a frame, reads the response
   /// frame. Errors on transport failure (including the daemon closing

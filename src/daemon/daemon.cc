@@ -6,6 +6,7 @@
 #include "support/timer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -89,12 +90,233 @@ ReflexDaemon::start(const DaemonOptions &O) {
       return Error(C.error());
     D->Cache = C.take();
   }
+  if (D->Cache && O.Journal) {
+    // Replay + recover *before* binding the socket: the socket file is
+    // the readiness signal clients (and the supervisor's smoke checks)
+    // wait on, and it must not appear until recovered sessions are
+    // re-validated and seeded — a client must never race recovery.
+    JournalReplay Replay;
+    Result<std::unique_ptr<VerdictJournal>> J = VerdictJournal::open(
+        (std::filesystem::path(O.CacheDir) / "verdicts.journal").string(),
+        &Replay);
+    if (!J.ok())
+      return Error(J.error());
+    D->Journal = J.take();
+    D->recoverFromJournal(Replay);
+  }
   Result<UnixListener> L = UnixListener::bindAt(O.SocketPath);
   if (!L.ok())
     return Error(L.error());
   D->Listener = L.take();
   D->StartedAt = SteadyClock::now();
   return D;
+}
+
+void ReflexDaemon::recoverFromJournal(const JournalReplay &Replay) {
+  WallTimer Timer;
+  uint64_t SessionsIn = 0, SessionsBad = 0, VerdictsIn = 0, VerdictsBad = 0;
+
+  for (const JournalSession &JS : Replay.Sessions) {
+    // 1. The snapshot frame is untrusted input; put it through the same
+    // decoder a live client's frame takes.
+    Result<DaemonRequest> Req = decodeDaemonRequest(JS.OpenFrame);
+    if (!Req.ok() || Req->Verb != "open-session" || Req->Session != JS.Name ||
+        Req->ProgramText.empty()) {
+      ++SessionsBad;
+      VerdictsBad += JS.Verdicts.size();
+      continue;
+    }
+    Result<ProgramPtr> P = loadProgram(Req->ProgramText, "<journal>");
+    if (!P.ok()) {
+      ++SessionsBad;
+      VerdictsBad += JS.Verdicts.size();
+      continue;
+    }
+    // 2. Integrity cross-check: the snapshot's recorded program identity
+    // must match what its own source re-derives to.
+    ProgramFingerprints Fps = ProgramFingerprints::compute(**P);
+    if (ProofCache::declId(Fps.DeclFp) != JS.DeclSha256) {
+      ++SessionsBad;
+      VerdictsBad += JS.Verdicts.size();
+      continue;
+    }
+    noteProgramSeen(**P);
+
+    auto Sess = std::make_shared<Session>();
+    Sess->Source = Req->ProgramText;
+    Sess->Prog = P.take();
+    Sess->Jobs = Req->Jobs;
+    Sess->Retries = Req->Retries;
+    Sess->SharedCaches = Req->SharedCaches;
+    Sess->UseProofCache = Req->UseProofCache;
+    Sess->Verify = Req->Verify;
+    Sess->Share = std::make_unique<VerifyShare>();
+    Sess->Inc = std::make_unique<IncrementalVerifier>(
+        Req->Verify, Req->UseProofCache ? Cache.get() : nullptr);
+    Sess->LastUsed = ++UseTick;
+
+    // 3. Re-validate each verdict before re-admission. Unknown verdicts
+    // carry no trust (reusing one is the proof cache's existing policy);
+    // Proved verdicts go through the certificate checker's from-scratch
+    // re-derivation — a record that passed its checksum but carries a
+    // tampered certificate dies here, not in a client's hands. The
+    // lazily-built session is shared across the verdicts so recovery
+    // costs one abstraction build per session, not per property.
+    std::unique_ptr<VerifySession> VS;
+    ProverOptions RecheckOpts = proverOptions(Sess->Verify);
+    std::map<std::string, PropertyResult> Seeds;
+    for (const auto &[Text, V] : JS.Verdicts) {
+      const Property *Prop = nullptr;
+      for (const Property &Cand : Sess->Prog->Properties)
+        if (Cand.str() == Text) {
+          Prop = &Cand;
+          break;
+        }
+      if (!Prop || (V.Status != VerifyStatus::Proved &&
+                    V.Status != VerifyStatus::Unknown)) {
+        ++VerdictsBad;
+        continue;
+      }
+      PropertyResult R;
+      R.Name = Prop->Name;
+      R.Status = V.Status;
+      R.Reason = V.Reason;
+      R.Millis = V.Millis;
+      R.ServedBy = V.ServedBy;
+      R.Footprint.Collected = V.FootprintCollected;
+      R.Footprint.AllHandlers = V.FootprintAll;
+      R.Footprint.Handlers.insert(V.Footprint.begin(), V.Footprint.end());
+      if (V.Status == VerifyStatus::Proved) {
+        if (V.CanonicalCert.empty()) {
+          ++VerdictsBad;
+          continue;
+        }
+        // The full-recheck memo (keyed exactly like the proof cache's)
+        // deduplicates across sessions recovering the same program, and
+        // conversely pre-warms later cache hits on this key.
+        std::string MemoKey;
+        if (Cache)
+          MemoKey = ProofCache::keyFor(Fps.DeclFp, *Prop, Sess->Verify) +
+                    ":" + Fps.HandlersFp + ":" +
+                    Cache->memoizedDigest(V.CanonicalCert);
+        if (!MemoKey.empty() && Cache->fullRecheckMemoized(MemoKey)) {
+          R.CertJson = V.CertJson;
+        } else {
+          if (!VS)
+            VS = std::make_unique<VerifySession>(*Sess->Prog, Sess->Verify);
+          RecheckOutcome Chk =
+              checkCanonicalCertificate(VS->termContext(), *Sess->Prog,
+                                        VS->behAbs(), *Prop,
+                                        V.CanonicalCert, RecheckOpts);
+          if (!Chk.Ok) {
+            ++VerdictsBad;
+            continue;
+          }
+          // The rederived certificate knows nothing of footprints (the
+          // canonical form omits them); restore the journaled footprint
+          // so the audit JSON is byte-identical to the original.
+          if (V.FootprintCollected)
+            Chk.Rederived.Footprint =
+                V.FootprintAll ? std::vector<std::string>{"*"} : V.Footprint;
+          R.CertJson = Chk.Rederived.toJson(VS->termContext());
+          if (!MemoKey.empty())
+            Cache->noteFullRecheckOk(MemoKey);
+        }
+        R.CertChecked = true;
+      }
+      ++VerdictsIn;
+      Seeds[Text] = std::move(R);
+    }
+    Sess->Inc->seedVerdicts(*Sess->Prog, std::move(Seeds));
+
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    Sessions[JS.Name] = std::move(Sess);
+    ++SessionsIn;
+  }
+
+  // Replay order is oldest-first; apply the same LRU bound open-session
+  // enforces so recovery cannot resurrect more sessions than a live
+  // daemon would hold.
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    while (Opts.MaxSessions > 0 && Sessions.size() > Opts.MaxSessions) {
+      auto Oldest = Sessions.begin();
+      for (auto It = Sessions.begin(); It != Sessions.end(); ++It)
+        if (It->second->LastUsed < Oldest->second->LastUsed)
+          Oldest = It;
+      Sessions.erase(Oldest);
+      --SessionsIn;
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  JournalSessionsRecovered = SessionsIn;
+  JournalSessionsRejected = SessionsBad;
+  JournalVerdictsRecovered = VerdictsIn;
+  JournalVerdictsRejected = VerdictsBad;
+  JournalRecordsDiscarded = Replay.RecordsDiscarded;
+  JournalBytesTruncated = Replay.BytesTruncated;
+  JournalRecoveryMillis = Timer.elapsedMillis();
+}
+
+void ReflexDaemon::journalSessionState(const std::string &Name,
+                                       const Session &Sess,
+                                       const DaemonRequest &R,
+                                       const VerificationReport &Rep) {
+  if (!Journal)
+    return;
+  DaemonRequest Canon = R;
+  Canon.Session = Name;
+  ProgramFingerprints Fps = ProgramFingerprints::compute(*Sess.Prog);
+  uint64_t Errors = 0;
+  if (!Journal
+           ->appendSession(Name, encodeOpenSessionFrame(Canon, Sess.Source),
+                           ProofCache::declId(Fps.DeclFp))
+           .ok())
+    ++Errors;
+  // Results arrive in property declaration order (the incremental
+  // verifier's contract); pair them up to recover each property's text —
+  // the reuse key recovery seeds under.
+  size_t N = std::min(Rep.Results.size(), Sess.Prog->Properties.size());
+  for (size_t I = 0; I < N; ++I) {
+    const PropertyResult &PR = Rep.Results[I];
+    const Property &Prop = Sess.Prog->Properties[I];
+    if (PR.Status != VerifyStatus::Proved &&
+        PR.Status != VerifyStatus::Unknown)
+      continue; // budget statuses and Refuted are never journaled
+    JournalVerdict V;
+    V.PropertyText = Prop.str();
+    V.PropertyName = PR.Name;
+    V.Status = PR.Status;
+    V.Reason = PR.Reason;
+    V.Millis = PR.Millis;
+    V.CertJson = PR.CertJson;
+    V.ServedBy = PR.ServedBy;
+    V.FootprintCollected = PR.Footprint.Collected;
+    V.FootprintAll = PR.Footprint.AllHandlers;
+    V.Footprint.assign(PR.Footprint.Handlers.begin(),
+                       PR.Footprint.Handlers.end());
+    if (PR.Status == VerifyStatus::Proved) {
+      // The canonical certificate (the checker's comparison target at
+      // recovery) lives in the proof cache entry this verdict stored
+      // into; the live certificate died with its worker session. Without
+      // it the verdict cannot be re-validated, so it is not journaled —
+      // a crash then costs that property one re-verification.
+      if (!Cache || !Sess.UseProofCache)
+        continue;
+      std::optional<ProofCacheEntry> E =
+          Cache->lookup(ProofCache::keyFor(Fps.DeclFp, Prop, Sess.Verify));
+      if (!E || E->CanonicalCert.empty())
+        continue;
+      V.CanonicalCert = E->CanonicalCert;
+    }
+    if (!Journal->appendVerdict(Name, V).ok())
+      ++Errors;
+  }
+  if (Errors) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    JournalAppendErrors += Errors;
+  }
 }
 
 ReflexDaemon::~ReflexDaemon() {
@@ -124,17 +346,45 @@ void ReflexDaemon::serve() {
     if (!Client.ok())
       break; // interrupted (stop/shutdown) or the listener died
     auto Sock = std::make_shared<UnixSocket>(Client.take());
+    if (Opts.IoTimeoutMs)
+      Sock->setIoTimeoutMs(Opts.IoTimeoutMs);
+    if (Opts.SockFaults)
+      Sock->setFaultPlan(Opts.SockFaults,
+                         "srv#" + std::to_string(ClientSeq));
+    ++ClientSeq;
+    if (Opts.MaxClients &&
+        LiveClients.load(std::memory_order_relaxed) >= Opts.MaxClients) {
+      // Shed at the door: one structured frame, no handler thread. The
+      // connection was never admitted, so the client can always retry.
+      ShedConnections.fetch_add(1, std::memory_order_relaxed);
+      (void)Sock->sendAll(encodeDaemonOverloaded(Opts.RetryAfterMs) + "\n");
+      continue;
+    }
+    LiveClients.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> Lock(ClientsMu);
     ClientSocks.push_back(Sock);
-    ClientThreads.emplace_back(
-        [this, Sock = std::move(Sock)] { handleClient(Sock); });
+    ClientThreads.emplace_back([this, Sock = std::move(Sock)] {
+      handleClient(Sock);
+      LiveClients.fetch_sub(1, std::memory_order_relaxed);
+    });
   }
 
   // Drain: every request already being processed runs to completion (its
   // verdicts are real and cacheable); only then are idle connections shut
-  // down so their handler threads unblock from readLine and exit.
+  // down so their handler threads unblock from readLine and exit. With a
+  // drain grace configured, requests still running past it are cancelled
+  // through their CancelFlags — they answer with Aborted statuses (never
+  // cached), and shutdown always terminates.
   {
     std::unique_lock<std::mutex> Lock(ActiveMu);
+    if (Opts.DrainCancelMs &&
+        !ActiveCv.wait_for(Lock,
+                           std::chrono::milliseconds(Opts.DrainCancelMs),
+                           [this] { return ActiveRequests == 0; })) {
+      for (std::weak_ptr<CancelFlag> &W : ActiveCancels)
+        if (std::shared_ptr<CancelFlag> C = W.lock())
+          C->cancel();
+    }
     ActiveCv.wait(Lock, [this] { return ActiveRequests == 0; });
   }
   std::vector<std::thread> Threads;
@@ -219,9 +469,38 @@ std::string ReflexDaemon::handleRequest(const std::string &Frame,
     Response = W.take();
   } else if (Req->Verb == "verify" || Req->Verb == "open-session" ||
              Req->Verb == "edit") {
-    // The verbs that verify: arm a cancellation token watched against
-    // client disconnect and the per-request deadline.
+    // Admission gate: the verifying verbs are the expensive ones, so the
+    // in-flight cap applies to them alone. A rejected request was never
+    // admitted — nothing was verified, nothing cached — so the client's
+    // retry is always safe.
+    unsigned Before = InFlightVerifies.fetch_add(1, std::memory_order_acq_rel);
+    if (Opts.MaxInFlight && Before >= Opts.MaxInFlight) {
+      InFlightVerifies.fetch_sub(1, std::memory_order_acq_rel);
+      ShedRequests.fetch_add(1, std::memory_order_relaxed);
+      recordVerb(Req->Verb, Timer.elapsedMillis(), false);
+      return encodeDaemonOverloaded(Opts.RetryAfterMs);
+    }
+    // Exception-safe slot release: a request that throws must not consume
+    // its admission slot forever (handleClient turns the throw into a
+    // structured error and keeps serving).
+    struct SlotGuard {
+      std::atomic<unsigned> &C;
+      ~SlotGuard() { C.fetch_sub(1, std::memory_order_acq_rel); }
+    } Slot{InFlightVerifies};
+    // Arm a cancellation token watched against client disconnect and the
+    // per-request deadline, and registered for the shutdown drain's
+    // bounded-grace cancellation.
     auto Cancel = std::make_shared<CancelFlag>();
+    {
+      std::lock_guard<std::mutex> Lock(ActiveMu);
+      ActiveCancels.erase(
+          std::remove_if(ActiveCancels.begin(), ActiveCancels.end(),
+                         [](const std::weak_ptr<CancelFlag> &W) {
+                           return W.expired();
+                         }),
+          ActiveCancels.end());
+      ActiveCancels.push_back(Cancel);
+    }
     RequestWatch Watch(Sock, Cancel, Opts.RequestTimeoutMs);
     if (Req->Verb == "verify")
       Response = doVerify(*Req, Cancel);
@@ -304,6 +583,8 @@ void ReflexDaemon::writeGcOutcome(JsonWriter &W,
   W.field("kept", int64_t(G.Kept));
   if (G.ManifestLive)
     W.field("manifest_live", int64_t(G.ManifestLive));
+  W.field("quarantine_kept", int64_t(G.QuarantineKept));
+  W.field("quarantine_evicted", int64_t(G.QuarantineEvicted));
 }
 
 ProofCache::GcOutcome ReflexDaemon::runGc() {
@@ -400,6 +681,10 @@ ReflexDaemon::doOpenSession(const DaemonRequest &R,
     TotalReverified += Out.Reverified;
   }
   noteEnginesServed(Out.Report);
+  // Durability point: the session and its verdicts are journaled (each
+  // record fsynced) before the response leaves the daemon, so any verdict
+  // a client has seen survives a crash.
+  journalSessionState(R.Session, *Sess, Base, Out.Report);
 
   JsonWriter W;
   W.beginObject();
@@ -432,13 +717,15 @@ std::string ReflexDaemon::doEdit(const DaemonRequest &R,
 
   std::lock_guard<std::mutex> Lock(Sess->Mu);
   Sess->LastUsed = ++UseTick;
+  bool SourceChanged = false;
   if (!R.ProgramText.empty() || !R.ProgramPath.empty()) {
     std::string Source;
     DaemonRequest Load = R;
     Result<ProgramPtr> P = loadRequestProgram(Load, &Source);
     if (!P.ok())
       return encodeDaemonError(P.error());
-    if (Source != Sess->Source) {
+    SourceChanged = Source != Sess->Source;
+    if (SourceChanged) {
       // The program changed: the warm frozen abstraction and both shared
       // cache tiers reference the old program's terms, so replace the
       // share before the old Program dies. The incremental verifier's
@@ -469,6 +756,14 @@ std::string ReflexDaemon::doEdit(const DaemonRequest &R,
     TotalReverified += Out.Reverified;
   }
   noteEnginesServed(Out.Report);
+  // Re-journal the session wholesale: a snapshot record replaces the
+  // previous lineage at replay, so post-edit verdicts — including the
+  // footprint-reused ones — are what a restart recovers. An edit that
+  // changed nothing and re-verified nothing is exactly the state the
+  // journal already holds, so the watch-mode tick (the warm re-verify
+  // hot path) pays no fsyncs.
+  if (SourceChanged || Out.Reverified > 0)
+    journalSessionState(R.Session, *Sess, Base, Out.Report);
 
   JsonWriter W;
   W.beginObject();
@@ -491,6 +786,10 @@ std::string ReflexDaemon::doCloseSession(const DaemonRequest &R) {
   {
     std::lock_guard<std::mutex> Lock(SessionsMu);
     Existed = Sessions.erase(R.Session) != 0;
+  }
+  if (Existed && Journal && !Journal->appendClose(R.Session).ok()) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++JournalAppendErrors;
   }
   JsonWriter W;
   W.beginObject();
@@ -531,6 +830,29 @@ std::string ReflexDaemon::doStats() {
     W.field("reused", int64_t(TotalReused));
     W.field("footprint_reused", int64_t(TotalFootprintReused));
     W.field("reverified", int64_t(TotalReverified));
+    W.key("shed");
+    W.beginObject();
+    W.field("connections",
+            int64_t(ShedConnections.load(std::memory_order_relaxed)));
+    W.field("requests",
+            int64_t(ShedRequests.load(std::memory_order_relaxed)));
+    W.endObject();
+    if (Journal) {
+      W.key("journal");
+      W.beginObject();
+      W.field("path", Journal->path());
+      W.field("size_bytes", int64_t(Journal->sizeBytes()));
+      W.field("sessions_recovered", int64_t(JournalSessionsRecovered));
+      W.field("sessions_rejected", int64_t(JournalSessionsRejected));
+      W.field("verdicts_recovered", int64_t(JournalVerdictsRecovered));
+      W.field("verdicts_rejected", int64_t(JournalVerdictsRejected));
+      W.field("records_discarded", int64_t(JournalRecordsDiscarded));
+      W.field("bytes_truncated", int64_t(JournalBytesTruncated));
+      W.field("append_errors", int64_t(JournalAppendErrors));
+      W.key("recovery_millis");
+      W.value(JournalRecoveryMillis);
+      W.endObject();
+    }
     W.key("engines");
     W.beginObject();
     for (const auto &[Engine, Count] : EngineServed)
@@ -569,6 +891,7 @@ std::string ReflexDaemon::doStats() {
     W.field("quarantined", int64_t(CS.Quarantined));
     W.field("gc_runs", int64_t(CS.GcRuns));
     W.field("gc_dropped", int64_t(CS.GcDropped));
+    W.field("manifest_corrupt", int64_t(CS.ManifestCorrupt));
     W.key("decode_millis");
     W.value(CS.DecodeMillis);
     W.key("recheck_millis");

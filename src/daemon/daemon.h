@@ -43,6 +43,7 @@
 #ifndef REFLEX_DAEMON_DAEMON_H
 #define REFLEX_DAEMON_DAEMON_H
 
+#include "daemon/journal.h"
 #include "daemon/protocol.h"
 #include "service/proofcache.h"
 #include "service/scheduler.h"
@@ -83,6 +84,33 @@ struct DaemonOptions {
   /// close-session and at shutdown, drop cache entries whose recorded
   /// program identity matches nothing this daemon run has seen.
   bool AutoGc = false;
+  /// Durable verdict journal (daemon/journal.h; requires CacheDir — it
+  /// lives at `<cache-dir>/verdicts.journal`): session verdicts are
+  /// journaled fsync-first, and start() replays them, re-validating every
+  /// Proved verdict through the certificate checker before re-admission.
+  bool Journal = true;
+  /// Connection cap (0 = unlimited). A client accepted beyond the cap is
+  /// answered with one structured overloaded frame and disconnected; no
+  /// handler thread is spawned for it.
+  unsigned MaxClients = 0;
+  /// Admission gate on the verifying verbs (0 = unlimited): at most this
+  /// many verify/open-session/edit requests run concurrently; the rest
+  /// get the structured overloaded frame without being admitted.
+  unsigned MaxInFlight = 0;
+  /// Per-client IO progress timeout in ms (0 = none; see
+  /// UnixSocket::setIoTimeoutMs): bounds slow-loris senders and stalled
+  /// readers without ever disconnecting a merely idle client.
+  uint64_t IoTimeoutMs = 0;
+  /// Retry-after hint carried in overloaded responses.
+  uint64_t RetryAfterMs = 100;
+  /// Shutdown drain grace in ms (0 = wait indefinitely): in-flight
+  /// requests still running after this long are cancelled through their
+  /// CancelFlags (they answer with Aborted statuses, which are never
+  /// cached) so SIGTERM always terminates.
+  uint64_t DrainCancelMs = 0;
+  /// Chaos harness hook: a fault plan attached to every accepted client
+  /// socket (sites "sock.read"/"sock.write"). Must outlive the daemon.
+  const FaultPlan *SockFaults = nullptr;
 };
 
 /// The daemon. start() binds the socket; serve() (or serveInBackground())
@@ -150,6 +178,20 @@ private:
   std::string doCacheGc();
   std::string doShutdown();
 
+  /// Rebuilds sessions from the journal replay at start(): re-decodes
+  /// each snapshot frame, cross-checks the program identity, re-validates
+  /// every Proved verdict through the certificate checker, and seeds the
+  /// survivors into a fresh IncrementalVerifier — so the first request
+  /// after a crash is served from warm state, never from trust.
+  void recoverFromJournal(const JournalReplay &Replay);
+  /// Journals \p Name's current state: one session snapshot (the complete
+  /// re-decodable open-session frame) and one record per journalable
+  /// verdict of \p Rep (Proved with a canonical certificate on file, or
+  /// Unknown). Append failures are counted, never fatal.
+  void journalSessionState(const std::string &Name, const Session &Sess,
+                           const DaemonRequest &R,
+                           const VerificationReport &Rep);
+
   /// Loads a request's program from inline text or path; records its
   /// declaration identity for cache GC liveness.
   Result<ProgramPtr> loadRequestProgram(const DaemonRequest &R,
@@ -166,6 +208,7 @@ private:
   DaemonOptions Opts;
   UnixListener Listener;
   std::unique_ptr<ProofCache> Cache;
+  std::unique_ptr<VerdictJournal> Journal;
 
   std::atomic<bool> Stopping{false};
   std::thread ServeThread; ///< serveInBackground only
@@ -173,12 +216,22 @@ private:
   std::mutex ClientsMu;
   std::vector<std::thread> ClientThreads;
   std::vector<std::weak_ptr<UnixSocket>> ClientSocks;
+  /// Live (not yet exited) client connections, against MaxClients.
+  std::atomic<unsigned> LiveClients{0};
+  /// Concurrently verifying requests, against MaxInFlight.
+  std::atomic<unsigned> InFlightVerifies{0};
+  std::atomic<uint64_t> ShedConnections{0};
+  std::atomic<uint64_t> ShedRequests{0};
+  uint64_t ClientSeq = 0; ///< accept-order tag for per-socket fault plans
 
   /// In-flight request drain: shutdown waits for this to reach zero
-  /// before disconnecting idle clients.
+  /// before disconnecting idle clients. ActiveCancels holds the in-flight
+  /// requests' cancellation tokens so a bounded drain (DrainCancelMs) can
+  /// fire them.
   std::mutex ActiveMu;
   std::condition_variable ActiveCv;
   unsigned ActiveRequests = 0;
+  std::vector<std::weak_ptr<CancelFlag>> ActiveCancels;
 
   std::mutex SessionsMu;
   std::map<std::string, std::shared_ptr<Session>> Sessions;
@@ -200,6 +253,18 @@ private:
   /// open-session, and edit report this run — the portfolio's win tally.
   std::map<std::string, uint64_t> EngineServed;
   std::set<std::string> KnownDeclIds;
+  /// Journal accounting (under StatsMu; reported by the stats verb).
+  uint64_t JournalSessionsRecovered = 0;
+  uint64_t JournalVerdictsRecovered = 0;
+  /// Journaled verdicts replay *refused* to re-admit: checker rejection,
+  /// missing property, identity mismatch, undecodable frame. Each costs a
+  /// re-verification on demand, never a wrong verdict.
+  uint64_t JournalVerdictsRejected = 0;
+  uint64_t JournalSessionsRejected = 0;
+  uint64_t JournalRecordsDiscarded = 0;
+  uint64_t JournalBytesTruncated = 0;
+  uint64_t JournalAppendErrors = 0;
+  double JournalRecoveryMillis = 0;
 };
 
 } // namespace reflex

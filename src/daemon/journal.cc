@@ -1,0 +1,308 @@
+//===- daemon/journal.cc - Durable verdict journal ------------------------===//
+
+#include "daemon/journal.h"
+
+#include "support/json.h"
+#include "support/sha256.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace reflex {
+
+namespace {
+
+constexpr const char *RecordMagic = "RJ1";
+
+std::string encodeVerdictPayload(const std::string &Session,
+                                 const JournalVerdict &V) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", "verdict");
+  W.field("session", Session);
+  W.field("property", V.PropertyText);
+  W.field("name", V.PropertyName);
+  W.field("status", verifyStatusName(V.Status));
+  W.field("reason", V.Reason);
+  W.key("millis");
+  W.value(V.Millis);
+  W.field("canonical_cert", V.CanonicalCert);
+  W.field("cert_json", V.CertJson);
+  W.field("served_by", V.ServedBy);
+  W.field("footprint_collected", V.FootprintCollected);
+  W.field("footprint_all", V.FootprintAll);
+  W.key("footprint");
+  W.beginArray();
+  for (const std::string &H : V.Footprint)
+    W.value(H);
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string encodeSessionPayload(const std::string &Name,
+                                 const std::string &OpenFrame,
+                                 const std::string &DeclSha256) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", "session");
+  W.field("session", Name);
+  W.field("frame", OpenFrame);
+  W.field("decl_sha256", DeclSha256);
+  W.endObject();
+  return W.take();
+}
+
+std::string encodeClosePayload(const std::string &Name) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", "close");
+  W.field("session", Name);
+  W.endObject();
+  return W.take();
+}
+
+/// Decodes and applies one checksum-valid payload to the replay state.
+/// Unknown types and dangling verdicts are ignored rather than treated
+/// as tears: they are forward-compatible noise, not damage.
+bool applyPayload(const std::string &Payload, JournalReplay &R) {
+  Result<JsonValue> Doc = parseJson(Payload);
+  if (!Doc.ok() || !Doc->isObject())
+    return false;
+  std::string Type = Doc->getString("type");
+  std::string Session = Doc->getString("session");
+  if (Type.empty() || Session.empty())
+    return false;
+
+  auto Find = [&R](const std::string &Name) {
+    return std::find_if(R.Sessions.begin(), R.Sessions.end(),
+                        [&Name](const JournalSession &S) {
+                          return S.Name == Name;
+                        });
+  };
+
+  if (Type == "session") {
+    JournalSession S;
+    S.Name = Session;
+    S.OpenFrame = Doc->getString("frame");
+    S.DeclSha256 = Doc->getString("decl_sha256");
+    if (S.OpenFrame.empty())
+      return false;
+    auto It = Find(Session);
+    if (It != R.Sessions.end())
+      *It = std::move(S); // new lineage: verdicts below the snapshot reset
+    else
+      R.Sessions.push_back(std::move(S));
+    return true;
+  }
+  if (Type == "close") {
+    auto It = Find(Session);
+    if (It != R.Sessions.end())
+      R.Sessions.erase(It);
+    return true;
+  }
+  if (Type == "verdict") {
+    auto It = Find(Session);
+    if (It == R.Sessions.end())
+      return true; // verdict for a closed/unknown session: stale, skip
+    JournalVerdict V;
+    V.PropertyText = Doc->getString("property");
+    V.PropertyName = Doc->getString("name");
+    std::string Status = Doc->getString("status");
+    if (Status == "Proved")
+      V.Status = VerifyStatus::Proved;
+    else if (Status == "Unknown")
+      V.Status = VerifyStatus::Unknown;
+    else
+      return false; // only verdict statuses are ever journaled
+    V.Reason = Doc->getString("reason");
+    V.Millis = Doc->getNumber("millis");
+    V.CanonicalCert = Doc->getString("canonical_cert");
+    V.CertJson = Doc->getString("cert_json");
+    V.ServedBy = Doc->getString("served_by");
+    V.FootprintCollected = Doc->getBool("footprint_collected");
+    V.FootprintAll = Doc->getBool("footprint_all");
+    if (const JsonValue *FP = Doc->get("footprint"); FP && FP->isArray())
+      for (const JsonValue &H : FP->items())
+        if (H.isString())
+          V.Footprint.push_back(H.stringValue());
+    if (V.PropertyText.empty() ||
+        (V.Status == VerifyStatus::Proved && V.CanonicalCert.empty()))
+      return false;
+    It->Verdicts[V.PropertyText] = std::move(V);
+    return true;
+  }
+  return true; // unknown record type: forward-compatible, skip
+}
+
+/// Splits one "RJ1 <sha> <payload>" line; verifies the checksum.
+bool decodeRecordLine(std::string_view Line, std::string *PayloadOut) {
+  size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string_view::npos ||
+      Line.substr(0, Sp1) != RecordMagic)
+    return false;
+  size_t Sp2 = Line.find(' ', Sp1 + 1);
+  if (Sp2 == std::string_view::npos)
+    return false;
+  std::string_view Sha = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Payload = Line.substr(Sp2 + 1);
+  if (Sha.size() != 64 || sha256Hex(Payload) != Sha)
+    return false;
+  PayloadOut->assign(Payload);
+  return true;
+}
+
+} // namespace
+
+std::string VerdictJournal::encodeRecord(const std::string &PayloadJson) {
+  return std::string(RecordMagic) + " " + sha256Hex(PayloadJson) + " " +
+         PayloadJson;
+}
+
+VerdictJournal::~VerdictJournal() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Result<std::unique_ptr<VerdictJournal>>
+VerdictJournal::open(const std::string &Path, JournalReplay *Replay) {
+  auto J = std::unique_ptr<VerdictJournal>(new VerdictJournal(Path));
+
+  // Replay. The file is read in full; records apply in order until the
+  // first damaged line. Everything at and past the tear — a half-written
+  // record from a crash mid-append, or bytes some other process mangled —
+  // is discarded and *cut off the file*, so the journal is well-formed
+  // again before the first new append.
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (In) {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Bytes = SS.str();
+    }
+  }
+  size_t Good = 0; // byte offset past the last valid record
+  size_t Pos = 0;
+  bool Torn = false;
+  while (Pos < Bytes.size()) {
+    size_t NL = Bytes.find('\n', Pos);
+    if (NL == std::string::npos) {
+      Torn = true; // no newline: the classic torn tail
+      break;
+    }
+    std::string Payload;
+    if (!decodeRecordLine(
+            std::string_view(Bytes).substr(Pos, NL - Pos), &Payload) ||
+        !applyPayload(Payload, *Replay)) {
+      Torn = true;
+      break;
+    }
+    ++Replay->RecordsReplayed;
+    Pos = NL + 1;
+    Good = Pos;
+  }
+  if (Torn) {
+    Replay->BytesTruncated = Bytes.size() - Good;
+    // Count the discarded record-shaped chunks for diagnostics.
+    for (size_t P = Good; P < Bytes.size();) {
+      ++Replay->RecordsDiscarded;
+      size_t NL = Bytes.find('\n', P);
+      if (NL == std::string::npos)
+        break;
+      P = NL + 1;
+    }
+  }
+
+  // Compact: rewrite the surviving state as one snapshot + latest
+  // verdicts per session, atomically (write + fsync + rename — the same
+  // publish discipline as cache entries). This both truncates the torn
+  // tail and bounds growth across restarts.
+  {
+    std::string Out;
+    for (const JournalSession &S : Replay->Sessions) {
+      Out += encodeRecord(
+                 encodeSessionPayload(S.Name, S.OpenFrame, S.DeclSha256)) +
+             "\n";
+      for (const auto &[Text, V] : S.Verdicts)
+        Out += encodeRecord(encodeVerdictPayload(S.Name, V)) + "\n";
+    }
+    std::string Tmp = Path + ".tmp";
+    int TFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (TFd < 0)
+      return Error("cannot write journal: " + Tmp);
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::write(TFd, Out.data() + Off, Out.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(TFd);
+        return Error("journal write error: " + Tmp);
+      }
+      Off += size_t(N);
+    }
+    if (::fsync(TFd) != 0 || ::close(TFd) != 0)
+      return Error("journal fsync error: " + Tmp);
+    if (std::rename(Tmp.c_str(), Path.c_str()) != 0)
+      return Error("cannot publish journal: " + Path);
+  }
+
+  J->Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (J->Fd < 0)
+    return Error("cannot open journal for append: " + Path);
+  return J;
+}
+
+Result<void> VerdictJournal::append(const std::string &PayloadJson) {
+  std::string Line = encodeRecord(PayloadJson) + "\n";
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return Error("journal is closed");
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error("journal append failed: " + Path);
+    }
+    Off += size_t(N);
+  }
+  // Commit = fsync: the record is durable before the daemon's response
+  // leaves the process. A crash can tear at most the line being written,
+  // and the torn tail is truncated at the next replay.
+  if (::fsync(Fd) != 0)
+    return Error("journal fsync failed: " + Path);
+  return {};
+}
+
+Result<void> VerdictJournal::appendSession(const std::string &Name,
+                                           const std::string &OpenFrame,
+                                           const std::string &DeclSha256) {
+  return append(encodeSessionPayload(Name, OpenFrame, DeclSha256));
+}
+
+Result<void> VerdictJournal::appendVerdict(const std::string &Session,
+                                           const JournalVerdict &V) {
+  return append(encodeVerdictPayload(Session, V));
+}
+
+Result<void> VerdictJournal::appendClose(const std::string &Session) {
+  return append(encodeClosePayload(Session));
+}
+
+uint64_t VerdictJournal::sizeBytes() const {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return 0;
+  return uint64_t(St.st_size);
+}
+
+} // namespace reflex

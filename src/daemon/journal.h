@@ -1,0 +1,155 @@
+//===- daemon/journal.h - Durable verdict journal ---------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable verdict journal behind crash-safe reflexd. A daemon crash
+/// (SIGKILL, OOM, power loss) used to discard every warm session and
+/// incremental verdict; the journal makes that state *recoverable
+/// capital* without ever making it *trusted*.
+///
+/// Format: an append-only text file (`verdicts.journal` in the proof
+/// cache directory), one record per line:
+///
+///     RJ1 <sha256-hex-of-payload> <payload-json>\n
+///
+/// The payload is one of three record types:
+///   * `{"type":"session", ...}` — a session snapshot: its name plus a
+///     complete, re-decodable open-session request frame (program source
+///     inlined, options spelled out) and the program's declaration
+///     identity for an integrity cross-check;
+///   * `{"type":"verdict", ...}` — one property verdict of a session:
+///     property text + name, status, reason, canonical certificate and
+///     audit JSON, footprint, engine;
+///   * `{"type":"close", ...}` — the session was closed; recovery
+///     forgets it.
+///
+/// Durability: every append is written and fsync'd before the daemon's
+/// response leaves the process (commit = fsync). Torn tails — the
+/// half-written line a crash mid-append leaves behind — are detected by
+/// the per-record checksum at replay and *truncated off the file*, so
+/// one crash cannot poison the next.
+///
+/// Trust model (same as the proof cache): the journal is untrusted
+/// input. replay() only reconstructs plain data; the daemon re-admits a
+/// recovered Proved verdict into a live session exclusively after
+/// checkCanonicalCertificate re-derives the proof and the canonical
+/// forms agree. A record that passes its checksum but carries a
+/// tampered certificate is therefore re-verified, never served.
+///
+/// Growth: appends are incremental (a snapshot per open / source-
+/// changing edit, verdicts per verify pass); open() compacts the file
+/// back to one snapshot + the latest verdicts per live session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_DAEMON_JOURNAL_H
+#define REFLEX_DAEMON_JOURNAL_H
+
+#include "support/result.h"
+#include "verify/verifier.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reflex {
+
+/// One journaled property verdict (Proved or Unknown; budget statuses
+/// and Refuted are never journaled, mirroring the proof cache's policy).
+struct JournalVerdict {
+  std::string PropertyText; ///< Property::str() — the reuse key
+  std::string PropertyName;
+  VerifyStatus Status = VerifyStatus::Unknown;
+  std::string Reason;
+  double Millis = 0;
+  std::string CanonicalCert; ///< Proved only: what the checker re-derives
+  std::string CertJson;      ///< Proved only: audit JSON
+  std::string ServedBy;      ///< engine that produced the verdict
+  bool FootprintCollected = false;
+  bool FootprintAll = false;
+  std::vector<std::string> Footprint;
+};
+
+/// One recoverable session, as reconstructed by replay: the latest
+/// snapshot plus every verdict recorded since it.
+struct JournalSession {
+  std::string Name;
+  /// A complete open-session request frame (decodeDaemonRequest-able):
+  /// program source inlined, options spelled out. Recovery re-decodes it
+  /// exactly like a client's frame, so replayed sessions carry the same
+  /// options their originals verified under.
+  std::string OpenFrame;
+  /// ProofCache::declId of the program at snapshot time; recovery
+  /// re-derives it from the parsed source and skips the session on
+  /// mismatch (a frame/identity split means damage).
+  std::string DeclSha256;
+  /// Property text -> latest journaled verdict.
+  std::map<std::string, JournalVerdict> Verdicts;
+};
+
+/// What replay recovered, and what it had to discard.
+struct JournalReplay {
+  std::vector<JournalSession> Sessions; ///< open sessions, oldest first
+  uint64_t RecordsReplayed = 0;         ///< checksum-valid records applied
+  uint64_t RecordsDiscarded = 0;        ///< records dropped at the tear
+  uint64_t BytesTruncated = 0;          ///< torn-tail bytes cut off the file
+};
+
+/// The append-only, checksummed, fsync-on-commit verdict journal.
+/// Thread-safe: appends serialize on an internal lock.
+class VerdictJournal {
+public:
+  ~VerdictJournal();
+  VerdictJournal(const VerdictJournal &) = delete;
+  VerdictJournal &operator=(const VerdictJournal &) = delete;
+
+  /// Opens (creating if absent) the journal at \p Path: replays existing
+  /// records into \p Replay (never null), truncates any torn tail off
+  /// the file, compacts it to the recovered state, and arms it for
+  /// appends. Only unreadable/unwritable files error; corrupt content is
+  /// data loss to report (in Replay), not failure.
+  static Result<std::unique_ptr<VerdictJournal>> open(const std::string &Path,
+                                                      JournalReplay *Replay);
+
+  const std::string &path() const { return Path; }
+
+  /// Appends a session snapshot (open-session, or an edit that changed
+  /// the source). Fsyncs before returning.
+  Result<void> appendSession(const std::string &Name,
+                             const std::string &OpenFrame,
+                             const std::string &DeclSha256);
+
+  /// Appends one verdict for \p Session. Fsyncs before returning.
+  Result<void> appendVerdict(const std::string &Session,
+                             const JournalVerdict &V);
+
+  /// Appends a close record: replay stops recovering \p Session.
+  Result<void> appendClose(const std::string &Session);
+
+  /// Bytes currently in the journal file (diagnostics).
+  uint64_t sizeBytes() const;
+
+  /// Encodes one record line (without trailing newline): checksum header
+  /// + payload. Exposed for tests that forge records.
+  static std::string encodeRecord(const std::string &PayloadJson);
+
+private:
+  explicit VerdictJournal(std::string Path) : Path(std::move(Path)) {}
+
+  Result<void> append(const std::string &PayloadJson);
+
+  std::string Path;
+  std::mutex Mu;
+  int Fd = -1;
+};
+
+} // namespace reflex
+
+#endif // REFLEX_DAEMON_JOURNAL_H

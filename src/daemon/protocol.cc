@@ -184,4 +184,45 @@ std::string encodeDaemonError(const std::string &Msg) {
   return W.take();
 }
 
+std::string encodeDaemonOverloaded(uint64_t RetryAfterMs) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("ok", false);
+  W.field("error", "daemon overloaded; retry after backoff");
+  W.field("overloaded", true);
+  W.field("retry_after_ms", int64_t(RetryAfterMs));
+  W.endObject();
+  return W.take();
+}
+
+std::string encodeOpenSessionFrame(const DaemonRequest &R,
+                                   const std::string &Source) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("verb", "open-session");
+  W.field("session", R.Session);
+  W.field("program", Source);
+  W.key("options");
+  W.beginObject();
+  // Every key decodeDaemonRequest reads, spelled explicitly — absent-key
+  // defaults never enter the round trip, so a default that later changes
+  // cannot silently re-interpret an old journal.
+  W.field("jobs", int64_t(R.Jobs));
+  W.field("retries", int64_t(R.Retries));
+  W.field("bmc_depth", int64_t(R.Verify.BmcDepthOnUnknown));
+  W.field("timeout_ms", int64_t(R.Verify.TimeoutMillis));
+  W.field("step_budget", int64_t(R.Verify.StepBudget));
+  W.field("no_skip", !R.Verify.SyntacticSkip);
+  W.field("no_simplify", !R.Verify.Simplify);
+  W.field("no_cache", !R.Verify.CacheInvariants);
+  W.field("no_check", !R.Verify.CheckCertificates);
+  W.field("fast_cache", R.Verify.FastCacheRecheck);
+  W.field("no_share", !R.SharedCaches);
+  W.field("no_proof_cache", !R.UseProofCache);
+  W.field("engine", engineKindName(R.Verify.Engine));
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
 } // namespace reflex

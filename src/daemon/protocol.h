@@ -88,6 +88,21 @@ void writeReportResults(JsonWriter &W, const VerificationReport &Rep);
 /// A complete error response frame: {"ok":false,"error":MSG}.
 std::string encodeDaemonError(const std::string &Msg);
 
+/// The overload-shedding response: {"ok":false, "error":...,
+/// "overloaded":true, "retry_after_ms":N}. Clients distinguish it from a
+/// hard failure by the "overloaded" flag and back off (with jitter) at
+/// least the hinted interval before retrying — the request was never
+/// admitted, so retrying is always safe.
+std::string encodeDaemonOverloaded(uint64_t RetryAfterMs);
+
+/// Renders \p R back into a complete open-session request frame with the
+/// program source inlined (\p Source) and every option spelled out with
+/// the exact keys decodeDaemonRequest reads. The round trip
+/// decode(encode(R)) reproduces R; the daemon journals this frame so
+/// crash recovery re-opens sessions under byte-identical options.
+std::string encodeOpenSessionFrame(const DaemonRequest &R,
+                                   const std::string &Source);
+
 } // namespace reflex
 
 #endif // REFLEX_DAEMON_PROTOCOL_H

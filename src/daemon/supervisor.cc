@@ -1,0 +1,158 @@
+//===- daemon/supervisor.cc - Supervised daemon restart -------------------===//
+
+#include "daemon/supervisor.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdarg>
+#include <deque>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace reflex {
+
+namespace {
+
+// Signal forwarding: the handler may only touch sig_atomic_t, so the
+// child's pid is parked in one. A signal arriving between forks (pid 0)
+// is remembered and forwarded to the next child — the operator's SIGTERM
+// must not be lost to a restart race.
+volatile sig_atomic_t ChildPid = 0;
+volatile sig_atomic_t PendingSignal = 0;
+
+void forwardSignal(int Sig) {
+  PendingSignal = Sig;
+  pid_t Pid = ChildPid;
+  if (Pid > 0)
+    ::kill(Pid, Sig);
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t millisSince(SteadyClock::time_point T0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      SteadyClock::now() - T0)
+                      .count());
+}
+
+void logEvent(FILE *Log, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vfprintf(Log, Fmt, Args);
+  va_end(Args);
+  std::fputc('\n', Log);
+  std::fflush(Log);
+}
+
+} // namespace
+
+int runSupervised(const SupervisorOptions &Opts,
+                  const std::function<int()> &Child) {
+  FILE *Log = Opts.Log ? Opts.Log : stderr;
+
+  struct sigaction Fwd {};
+  Fwd.sa_handler = forwardSignal;
+  sigemptyset(&Fwd.sa_mask);
+  struct sigaction OldTerm {}, OldInt {};
+  ::sigaction(SIGTERM, &Fwd, &OldTerm);
+  ::sigaction(SIGINT, &Fwd, &OldInt);
+  PendingSignal = 0;
+
+  // Start times of recent children, for the crash-loop window.
+  std::deque<SteadyClock::time_point> Starts;
+  unsigned Restarts = 0;
+  int Exit = 0;
+
+  for (;;) {
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      logEvent(Log, "{\"event\":\"fork-failed\",\"errno\":%d}", errno);
+      Exit = 1;
+      break;
+    }
+    if (Pid == 0) {
+      // The child: restore default dispositions so the daemon's own
+      // drain logic (or default termination) sees the signals raw.
+      ::sigaction(SIGTERM, &OldTerm, nullptr);
+      ::sigaction(SIGINT, &OldInt, nullptr);
+      _exit(Child());
+    }
+    ChildPid = Pid;
+    if (int Sig = PendingSignal) // arrived during the fork window
+      ::kill(Pid, Sig);
+    Starts.push_back(SteadyClock::now());
+    logEvent(Log, "{\"event\":\"serving\",\"pid\":%d,\"restarts\":%u}",
+             int(Pid), Restarts);
+
+    int Status = 0;
+    while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+      // EINTR: a forwarded signal interrupted the wait; keep waiting for
+      // the child to act on it.
+    }
+    ChildPid = 0;
+
+    if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+      logEvent(Log, "{\"event\":\"stopped\",\"pid\":%d}", int(Pid));
+      Exit = 0;
+      break;
+    }
+    if (WIFSIGNALED(Status))
+      logEvent(Log, "{\"event\":\"exited\",\"pid\":%d,\"signal\":%d}",
+               int(Pid), WTERMSIG(Status));
+    else
+      logEvent(Log, "{\"event\":\"exited\",\"pid\":%d,\"code\":%d}",
+               int(Pid), WIFEXITED(Status) ? WEXITSTATUS(Status) : -1);
+
+    // An abnormal exit after the operator asked us to stop is still a
+    // stop — restarting against an explicit SIGTERM/SIGINT would fight
+    // the operator. The daemon's orderly drain exits 0 and takes the
+    // branch above instead.
+    if (PendingSignal) {
+      Exit = 1;
+      break;
+    }
+
+    // Crash-loop detection: count *starts* within the sliding window;
+    // exceeding MaxRestarts restarts means the child never stays up.
+    while (!Starts.empty() &&
+           millisSince(Starts.front()) > Opts.RestartWindowMs)
+      Starts.pop_front();
+    if (Starts.size() > Opts.MaxRestarts) {
+      logEvent(
+          Log,
+          "{\"event\":\"giving-up\",\"recent_restarts\":%zu,"
+          "\"window_ms\":%llu}",
+          Starts.size() - 1,
+          static_cast<unsigned long long>(Opts.RestartWindowMs));
+      Exit = 1;
+      break;
+    }
+
+    uint64_t Delay = Opts.BackoffMs;
+    for (size_t I = 1; I + 1 < Starts.size() && Delay < Opts.BackoffCapMs;
+         ++I)
+      Delay *= 2;
+    if (Delay > Opts.BackoffCapMs)
+      Delay = Opts.BackoffCapMs;
+    ++Restarts;
+    logEvent(Log,
+             "{\"event\":\"restarting\",\"delay_ms\":%llu,"
+             "\"recent_restarts\":%zu}",
+             static_cast<unsigned long long>(Delay), Starts.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    if (PendingSignal) { // the operator gave up during the backoff
+      Exit = 1;
+      break;
+    }
+  }
+
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  return Exit;
+}
+
+} // namespace reflex

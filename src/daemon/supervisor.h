@@ -1,0 +1,73 @@
+//===- daemon/supervisor.h - Supervised daemon restart ----------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervision half of crash-safe reflexd (`reflex daemon
+/// --supervise`): a parent process runs the serving daemon as a forked
+/// child and restarts it when it dies abnormally — SIGKILL, a crash, a
+/// nonzero exit. Combined with the durable verdict journal
+/// (daemon/journal.h), a kill -9 mid-batch costs one restart plus one
+/// journal replay, not the warm state.
+///
+/// State machine (one JSON event line on the log per transition):
+///
+///   serving --child exits 0--------------------------> stopped (exit 0)
+///   serving --child dies abnormally--> backoff --restart--> serving
+///   backoff --more than MaxRestarts starts within RestartWindowMs-->
+///                                                  giving-up (exit 1)
+///
+/// Backoff between restarts is capped exponential (BackoffMs doubling up
+/// to BackoffCapMs), indexed by the number of recent restarts, so a
+/// crash-looping child cannot busy-spin the machine; a child that stays
+/// up long enough for its start record to age out of the window earns a
+/// fresh budget. SIGTERM/SIGINT delivered to the supervisor are
+/// forwarded to the child — the daemon's drain handles them — and a
+/// child that then exits cleanly ends supervision with exit 0.
+///
+/// Events are newline-delimited JSON so scripts can follow along:
+///   {"event":"serving","pid":N,"restarts":K}
+///   {"event":"exited","pid":N,"code":C}   or  ...,"signal":S}
+///   {"event":"restarting","delay_ms":D,"recent_restarts":K}
+///   {"event":"giving-up","recent_restarts":K,"window_ms":W}
+///   {"event":"stopped","pid":N}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_DAEMON_SUPERVISOR_H
+#define REFLEX_DAEMON_SUPERVISOR_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+namespace reflex {
+
+struct SupervisorOptions {
+  /// Give up after more than this many *restarts* land inside one
+  /// RestartWindowMs window (the crash-loop detector). 0 means any
+  /// abnormal exit is final.
+  unsigned MaxRestarts = 5;
+  uint64_t RestartWindowMs = 30000;
+  /// First restart delay; doubles per recent restart up to the cap.
+  uint64_t BackoffMs = 100;
+  uint64_t BackoffCapMs = 2000;
+  /// Where event lines go (defaults to stderr when null).
+  FILE *Log = nullptr;
+};
+
+/// Runs \p Child (the serving daemon's whole lifetime: start + serve) in
+/// a forked process under the supervision state machine above. Returns
+/// the supervisor's exit code: 0 after a clean child exit, nonzero after
+/// giving up on a crash loop or failing to fork. Installs SIGTERM/SIGINT
+/// forwarding for its own lifetime (restoring the previous handlers on
+/// return); call it from a single-threaded process — it forks.
+int runSupervised(const SupervisorOptions &Opts,
+                  const std::function<int()> &Child);
+
+} // namespace reflex
+
+#endif // REFLEX_DAEMON_SUPERVISOR_H

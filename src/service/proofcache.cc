@@ -7,11 +7,15 @@
 #include "support/timer.h"
 #include "verify/checker.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace reflex {
 
@@ -324,19 +328,33 @@ std::string ProofCache::declId(const std::string &DeclFingerprint) {
   return sha256Hex(DeclFingerprint);
 }
 
-std::map<std::string, uint64_t> ProofCache::loadGcManifest() const {
+std::map<std::string, uint64_t> ProofCache::loadGcManifest() {
   std::map<std::string, uint64_t> Seen;
-  std::ifstream In(fs::path(Dir) / GcManifestName, std::ios::binary);
+  fs::path Path = fs::path(Dir) / GcManifestName;
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return Seen;
+    return Seen; // absent: the normal empty state, no warning
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  // Present but unreadable as JSON: a torn or corrupt manifest. Treat it
+  // as empty — the cost is at most early eviction plus re-verification,
+  // and the fresh manifest stored by this gc() replaces the damage — but
+  // say so, because silent resets hide a failing disk.
+  auto Corrupt = [&](const char *What) {
+    std::fprintf(stderr,
+                 "warning: proof cache manifest %s is %s; treating as "
+                 "empty\n",
+                 Path.string().c_str(), What);
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.ManifestCorrupt;
+    return Seen;
+  };
   Result<JsonValue> Doc = parseJson(Buf.str());
   if (!Doc.ok() || !Doc->isObject())
-    return Seen;
+    return Corrupt("not a JSON object (torn write or corruption)");
   const JsonValue *Decls = Doc->get("decls");
   if (!Decls || !Decls->isObject())
-    return Seen;
+    return Corrupt("missing its decls table");
   for (const auto &[Id, When] : Decls->entries())
     if (When.isNumber() && When.numberValue() >= 0)
       Seen.emplace(Id, uint64_t(When.numberValue()));
@@ -354,23 +372,50 @@ void ProofCache::storeGcManifest(
     W.field(Id, int64_t(When));
   W.endObject();
   W.endObject();
-  // Same atomic publish discipline as entries; best effort (a lost
-  // manifest costs at most an early eviction and a re-verification).
+  // Same atomic publish discipline as entries — FaultyIO::writeFile
+  // fsyncs the temp before the rename, so a crash between the two leaves
+  // the previous manifest intact and can never publish a torn one. Best
+  // effort beyond that: a failed write or rename just keeps the old
+  // manifest (costing at most an early eviction and a re-verification).
   fs::path Final = fs::path(Dir) / GcManifestName;
   std::ostringstream TmpName;
   TmpName << Final.string() << ".tmp." << std::this_thread::get_id();
-  {
-    std::ofstream OutF(TmpName.str(), std::ios::binary | std::ios::trunc);
-    if (!OutF)
-      return;
-    OutF << W.take() << "\n";
-    if (!OutF)
-      return;
-  }
-  std::error_code EC;
-  fs::rename(TmpName.str(), Final, EC);
-  if (EC)
+  FaultyIO IO(Faults);
+  if (!IO.writeFile(TmpName.str(), W.take() + "\n", GcManifestName).ok())
+    return;
+  if (!IO.renameFile(TmpName.str(), Final.string(), GcManifestName).ok()) {
+    std::error_code EC;
     fs::remove(TmpName.str(), EC);
+  }
+}
+
+void ProofCache::boundQuarantine(GcOutcome &Out) {
+  if (QuarantineMax == 0)
+    return;
+  fs::path QDir = fs::path(Dir) / "quarantine";
+  std::error_code EC;
+  // Oldest first by (mtime, name): mtime is when the evidence arrived,
+  // the name breaks ties deterministically for same-second bursts.
+  std::vector<std::pair<fs::file_time_type, fs::path>> Files;
+  for (const fs::directory_entry &DE : fs::directory_iterator(QDir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    Files.emplace_back(DE.last_write_time(EC), DE.path());
+  }
+  std::sort(Files.begin(), Files.end(),
+            [](const auto &A, const auto &B) {
+              return A.first != B.first ? A.first < B.first
+                                        : A.second < B.second;
+            });
+  size_t Excess =
+      Files.size() > QuarantineMax ? Files.size() - QuarantineMax : 0;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    std::error_code RmEC;
+    if (I < Excess && fs::remove(Files[I].second, RmEC) && !RmEC)
+      ++Out.QuarantineEvicted;
+    else
+      ++Out.QuarantineKept;
+  }
 }
 
 ProofCache::GcOutcome
@@ -434,6 +479,7 @@ ProofCache::gc(const std::set<std::string> &LiveDeclSha256) {
     std::lock_guard<std::mutex> Lock(IndexMu);
     Index.erase(P.stem().string());
   }
+  boundQuarantine(Out);
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.GcRuns;
   S.GcDropped += Out.Dropped;

@@ -178,6 +178,10 @@ public:
     /// recently, though the caller's live set did not name them (e.g. a
     /// daemon restarted since they were last verified).
     uint64_t ManifestLive = 0;
+    /// Quarantined evidence files surveyed / evicted (oldest first) to
+    /// keep quarantine/ within its bound.
+    uint64_t QuarantineKept = 0;
+    uint64_t QuarantineEvicted = 0;
   };
 
   /// Footprint-aware garbage collection: scans every entry on disk and
@@ -204,6 +208,15 @@ public:
   void setGcManifestMaxAge(uint64_t Seconds) { ManifestMaxAge = Seconds; }
   uint64_t gcManifestMaxAge() const { return ManifestMaxAge; }
 
+  /// Bound on quarantine/ entries. lookup() moves damaged entries there
+  /// as evidence rather than deleting them; without a bound a persistent
+  /// corruption source (bad disk, bit-flipping fault plan) grows it
+  /// forever. gc() evicts oldest-first — by (mtime, name), so the
+  /// newest evidence survives — down to this many files. 0 keeps
+  /// quarantine unbounded.
+  void setQuarantineMax(uint64_t N) { QuarantineMax = N; }
+  uint64_t quarantineMax() const { return QuarantineMax; }
+
   /// Cumulative traffic counters (process-lifetime, all threads).
   struct Stats {
     uint64_t Hits = 0;     ///< entry found and (for Proved) re-validated
@@ -215,6 +228,9 @@ public:
     uint64_t SweptTmp = 0;    ///< orphaned *.tmp.* files removed at open
     uint64_t GcRuns = 0;      ///< gc() invocations
     uint64_t GcDropped = 0;   ///< entries deleted across all gc() runs
+    /// Times a gc.manifest existed on disk but would not parse (torn or
+    /// corrupt); each is replayed as an empty manifest with a warning.
+    uint64_t ManifestCorrupt = 0;
     /// Of the hits, how many were footprint-relative (the entry was
     /// stored for an edited-since program version).
     uint64_t FootprintHits = 0;
@@ -276,15 +292,24 @@ private:
   void preloadIndex();
 
   /// The persisted GC live-set (decl id -> last-seen seconds since the
-  /// Unix epoch). Best-effort on both ends: an unreadable manifest is an
-  /// empty one, a failed write leaves the previous manifest in place.
-  std::map<std::string, uint64_t> loadGcManifest() const;
+  /// Unix epoch). Best-effort on both ends: a missing manifest is an
+  /// empty one; a present-but-corrupt manifest (torn write, bad disk) is
+  /// also treated as empty, with a stderr warning and a Stats counter —
+  /// losing it costs at most early evictions, never wrong verdicts. The
+  /// store fsyncs a temp file and renames it over the final path, so a
+  /// crash can tear at most the temp, not the published manifest.
+  std::map<std::string, uint64_t> loadGcManifest();
   void storeGcManifest(const std::map<std::string, uint64_t> &Seen) const;
+  /// Oldest-first eviction keeping quarantine/ within QuarantineMax.
+  void boundQuarantine(GcOutcome &Out);
 
   std::string Dir;
   /// Default: two weeks — long enough to ride out restarts and weekends,
   /// short enough that abandoned programs' entries do get reclaimed.
   uint64_t ManifestMaxAge = 14 * 24 * 60 * 60;
+  /// Default: enough evidence to diagnose a corruption burst without
+  /// letting a persistent source grow the directory unboundedly.
+  uint64_t QuarantineMax = 64;
   const FaultPlan *Faults = nullptr;
   mutable std::mutex Mu;
   Stats S;

@@ -25,6 +25,8 @@ const char *faultKindName(FaultKind K) {
     return "Truncate";
   case FaultKind::BitFlip:
     return "BitFlip";
+  case FaultKind::Delay:
+    return "Delay";
   }
   return "?";
 }

@@ -8,9 +8,10 @@
 /// \file
 /// A seeded fault-injection harness for robustness testing. A FaultPlan
 /// decides, for a named *site* ("cache.read", "cache.write",
-/// "cache.rename", "worker", "budget") and a per-operation *key* (a cache
-/// key, a "program/property#attempt" job tag), whether that operation
-/// should fail and how. Decisions are a pure function of
+/// "cache.rename", "worker", "budget", and the chaos harness's socket
+/// sites "sock.read"/"sock.write") and a per-operation *key* (a cache
+/// key, a "program/property#attempt" job tag, a "conn-tag#op" socket
+/// operation), whether that operation should fail and how. Decisions are a pure function of
 /// (seed, site, key) — independent of call order and thread
 /// interleaving — which is what lets the robustness tests assert that a
 /// faulted batch produces identical verdicts at --jobs 1 and --jobs 4.
@@ -45,8 +46,13 @@ namespace reflex {
 enum class FaultKind : uint8_t {
   None,     ///< proceed normally
   Fail,     ///< the operation errors out
-  Truncate, ///< IO only: drop the tail of the payload (torn write/read)
+  Truncate, ///< IO only: drop the tail of the payload (torn write/read).
+            ///< Socket sites ("sock.read"/"sock.write"): transfer in
+            ///< 1-8-byte chunks (a short read/write the caller's retry
+            ///< loop must absorb without corrupting the stream).
   BitFlip,  ///< IO only: flip one bit of the payload (silent corruption)
+  Delay,    ///< socket sites: sleep a small deterministic interval before
+            ///< proceeding (a slow peer / congested link)
 };
 
 const char *faultKindName(FaultKind K);

@@ -3,20 +3,39 @@
 #include "support/socket.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+// Linux suppresses SIGPIPE per send; BSD/macOS per socket. Cover both so
+// a daemon writing to a vanished client always gets EPIPE, never a kill.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace reflex {
 
 namespace {
 
+void suppressSigpipe(int FD) {
+#ifdef SO_NOSIGPIPE
+  int One = 1;
+  (void)::setsockopt(FD, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof(One));
+#else
+  (void)FD;
+#endif
+}
+
 Result<int> makeSocket() {
   int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (FD < 0)
     return Error(std::string("socket: ") + std::strerror(errno));
+  suppressSigpipe(FD);
   return FD;
 }
 
@@ -30,6 +49,21 @@ Result<sockaddr_un> addrFor(const std::string &Path) {
   return Addr;
 }
 
+/// poll() for \p Events, retrying EINTR. \p TimeoutMs of 0 means wait
+/// forever. Returns +1 ready, 0 timed out, -1 error (errno set).
+int pollFor(int FD, short Events, uint64_t TimeoutMs) {
+  pollfd P{};
+  P.fd = FD;
+  P.events = Events;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs == 0 ? -1 : int(TimeoutMs));
+    if (N >= 0)
+      return N > 0 ? 1 : 0;
+    if (errno != EINTR)
+      return -1;
+  }
+}
+
 } // namespace
 
 Result<UnixSocket> UnixSocket::connectTo(const std::string &Path) {
@@ -41,6 +75,17 @@ Result<UnixSocket> UnixSocket::connectTo(const std::string &Path) {
     return Error(FD.error());
   if (::connect(*FD, reinterpret_cast<const sockaddr *>(&*Addr),
                 sizeof(*Addr)) != 0) {
+    // EINTR mid-connect: the connection proceeds asynchronously; the
+    // POSIX-blessed completion is to wait for writability and read the
+    // final status from SO_ERROR (re-calling connect would race it).
+    if (errno == EINTR && pollFor(*FD, POLLOUT, 0) > 0) {
+      int Err = 0;
+      socklen_t Len = sizeof(Err);
+      if (::getsockopt(*FD, SOL_SOCKET, SO_ERROR, &Err, &Len) == 0 &&
+          Err == 0)
+        return UnixSocket(*FD);
+      errno = Err ? Err : ECONNREFUSED;
+    }
     int E = errno;
     ::close(*FD);
     return Error("cannot connect to '" + Path + "': " + std::strerror(E));
@@ -56,11 +101,60 @@ void UnixSocket::close() {
   Buf.clear();
 }
 
+FaultKind UnixSocket::nextFault(const char *Site, uint64_t Op,
+                                uint64_t *ChunkCap) {
+  if (!Faults)
+    return FaultKind::None;
+  std::string Key = FaultTag + "#" + std::to_string(Op);
+  FaultKind K = Faults->decide(Site, Key);
+  switch (K) {
+  case FaultKind::None:
+    break;
+  case FaultKind::Delay:
+    // A slow peer: a small, seeded pause. Decisions (and the length) are
+    // pure in (seed, site, key), so interleavings cannot change them.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 + Faults->arg(Site, Key, 10)));
+    K = FaultKind::None;
+    break;
+  case FaultKind::Truncate:
+    // A short read/write: force the transfer through 1-8-byte chunks so
+    // the retry loop must reassemble the stream without corruption.
+    if (ChunkCap)
+      *ChunkCap = 1 + Faults->arg(Site, Key, 8);
+    K = FaultKind::None;
+    break;
+  case FaultKind::Fail:
+  case FaultKind::BitFlip:
+    // Sockets do not silently flip bits (the kernel does not corrupt);
+    // both map to the connection dying under the caller.
+    K = FaultKind::Fail;
+    break;
+  }
+  return K;
+}
+
 Result<void> UnixSocket::sendAll(std::string_view Bytes) {
   size_t Off = 0;
   while (Off < Bytes.size()) {
-    ssize_t N = ::send(FD, Bytes.data() + Off, Bytes.size() - Off,
-                       MSG_NOSIGNAL);
+    uint64_t ChunkCap = UINT64_MAX;
+    if (nextFault("sock.write", WriteOps++, &ChunkCap) == FaultKind::Fail)
+      return Error("send: injected connection reset");
+    if (TimeoutMs) {
+      // Progress bound: a peer that drains nothing for a full window is
+      // stalled (slow-loris reading side); a slowly-draining peer that
+      // accepts at least a byte per window keeps going.
+      int Ready = pollFor(FD, POLLOUT, TimeoutMs);
+      if (Ready < 0)
+        return Error(std::string("poll: ") + std::strerror(errno));
+      if (Ready == 0)
+        return Error("send timeout: peer accepted no bytes for " +
+                     std::to_string(TimeoutMs) + " ms");
+    }
+    size_t Want = Bytes.size() - Off;
+    if (Want > ChunkCap)
+      Want = size_t(ChunkCap);
+    ssize_t N = ::send(FD, Bytes.data() + Off, Want, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -73,6 +167,14 @@ Result<void> UnixSocket::sendAll(std::string_view Bytes) {
 
 Result<bool> UnixSocket::readLine(std::string &Out, size_t MaxBytes) {
   Out.clear();
+  using Clock = std::chrono::steady_clock;
+  // The frame deadline arms at the first byte of a new frame (leftover
+  // read-ahead counts): idle connections may wait forever, but a frame
+  // that has *started* must finish within the window — a client
+  // trickling one byte per interval hits this, not a hung thread.
+  bool FrameStarted = !Buf.empty();
+  Clock::time_point FrameDeadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
   for (;;) {
     // Serve from the read-ahead first: recv may have spilled past the
     // previous frame's newline (pipelined requests).
@@ -90,8 +192,33 @@ Result<bool> UnixSocket::readLine(std::string &Out, size_t MaxBytes) {
     if (Out.size() > MaxBytes)
       return Error("frame too large (over " + std::to_string(MaxBytes) +
                    " bytes)");
+    uint64_t ChunkCap = UINT64_MAX;
+    if (nextFault("sock.read", ReadOps++, &ChunkCap) == FaultKind::Fail)
+      return Error("recv: injected connection reset");
+    if (TimeoutMs) {
+      uint64_t Wait = 0; // 0 = forever (no frame in progress)
+      if (FrameStarted || !Out.empty()) {
+        auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            FrameDeadline - Clock::now());
+        if (Left.count() <= 0)
+          return Error("read timeout: frame incomplete after " +
+                       std::to_string(TimeoutMs) + " ms (" +
+                       std::to_string(Out.size()) + " bytes so far)");
+        Wait = uint64_t(Left.count());
+      }
+      int Ready = pollFor(FD, POLLIN, Wait);
+      if (Ready < 0)
+        return Error(std::string("poll: ") + std::strerror(errno));
+      if (Ready == 0)
+        return Error("read timeout: frame incomplete after " +
+                     std::to_string(TimeoutMs) + " ms (" +
+                     std::to_string(Out.size()) + " bytes so far)");
+    }
     char Chunk[4096];
-    ssize_t N = ::recv(FD, Chunk, sizeof(Chunk), 0);
+    size_t Want = sizeof(Chunk);
+    if (Want > ChunkCap)
+      Want = size_t(ChunkCap);
+    ssize_t N = ::recv(FD, Chunk, Want, 0);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -102,6 +229,10 @@ Result<bool> UnixSocket::readLine(std::string &Out, size_t MaxBytes) {
         return false; // clean EOF between frames
       return Error("truncated frame: peer closed mid-line after " +
                    std::to_string(Out.size()) + " bytes");
+    }
+    if (!FrameStarted) {
+      FrameStarted = true;
+      FrameDeadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
     }
     Buf.append(Chunk, size_t(N));
   }
@@ -152,8 +283,10 @@ Result<UnixListener> UnixListener::bindAt(const std::string &Path) {
 Result<UnixSocket> UnixListener::accept() {
   for (;;) {
     int CFD = ::accept(FD, nullptr, nullptr);
-    if (CFD >= 0)
+    if (CFD >= 0) {
+      suppressSigpipe(CFD);
       return UnixSocket(CFD);
+    }
     if (errno == EINTR)
       continue;
     return Error(std::string("accept: ") + std::strerror(errno));

@@ -16,13 +16,31 @@
 /// non-blocking way to notice a client that vanished while its request
 /// is still being verified — the hook request cancellation hangs off.
 ///
+/// Robustness contract: every read/write/accept/connect/poll retries
+/// EINTR; short reads and short writes are absorbed by the transfer
+/// loops. An optional per-socket IO timeout bounds *progress*, not
+/// idleness: a frame that has started must finish within the window
+/// (defeats slow-loris trickling), and every write must make progress
+/// within the window (defeats a stalled reader pinning a handler
+/// thread) — but a connection idle *between* frames waits indefinitely
+/// (that is a keep-alive, not an attack).
+///
+/// Chaos hooks: a socket can carry a support/faultinject FaultPlan;
+/// sites "sock.read"/"sock.write" are consulted per operation (keyed by
+/// a caller-chosen tag plus a per-direction operation counter, so
+/// decisions stay independent of thread interleaving). Fail injects a
+/// connection reset, Truncate forces 1-8-byte short reads/writes through
+/// the retry loops, Delay sleeps a small deterministic interval.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REFLEX_SUPPORT_SOCKET_H
 #define REFLEX_SUPPORT_SOCKET_H
 
+#include "support/faultinject.h"
 #include "support/result.h"
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -37,38 +55,67 @@ public:
   explicit UnixSocket(int FD) : FD(FD) {}
   ~UnixSocket() { close(); }
 
-  UnixSocket(UnixSocket &&O) noexcept : FD(O.FD), Buf(std::move(O.Buf)) {
+  UnixSocket(UnixSocket &&O) noexcept
+      : FD(O.FD), Buf(std::move(O.Buf)), TimeoutMs(O.TimeoutMs),
+        Faults(O.Faults), FaultTag(std::move(O.FaultTag)),
+        ReadOps(O.ReadOps), WriteOps(O.WriteOps) {
     O.FD = -1;
+    O.Faults = nullptr;
   }
   UnixSocket &operator=(UnixSocket &&O) noexcept {
     if (this != &O) {
       close();
       FD = O.FD;
       Buf = std::move(O.Buf);
+      TimeoutMs = O.TimeoutMs;
+      Faults = O.Faults;
+      FaultTag = std::move(O.FaultTag);
+      ReadOps = O.ReadOps;
+      WriteOps = O.WriteOps;
       O.FD = -1;
+      O.Faults = nullptr;
     }
     return *this;
   }
   UnixSocket(const UnixSocket &) = delete;
   UnixSocket &operator=(const UnixSocket &) = delete;
 
-  /// Connects to the daemon listening at \p Path.
+  /// Connects to the daemon listening at \p Path (EINTR-safe: an
+  /// interrupted connect is completed via poll + SO_ERROR).
   static Result<UnixSocket> connectTo(const std::string &Path);
 
   bool valid() const { return FD >= 0; }
   int fd() const { return FD; }
   void close();
 
+  /// Progress timeout for reads and writes, in ms (0 = none). Reads: a
+  /// frame whose first byte has arrived must complete within the window.
+  /// Writes: each write must transfer at least one byte per window.
+  /// Idle waits for a *new* frame are unaffected.
+  void setIoTimeoutMs(uint64_t Ms) { TimeoutMs = Ms; }
+  uint64_t ioTimeoutMs() const { return TimeoutMs; }
+
+  /// Attaches a fault-injection plan consulted at "sock.read" /
+  /// "sock.write", keyed "<tag>#<op-index>". \p Plan must outlive the
+  /// socket; null detaches.
+  void setFaultPlan(const FaultPlan *Plan, std::string Tag = "sock") {
+    Faults = Plan;
+    FaultTag = std::move(Tag);
+  }
+
   /// Writes all of \p Bytes (retrying short writes and EINTR), with
-  /// SIGPIPE suppressed — a vanished peer surfaces as an Error.
+  /// SIGPIPE suppressed — a vanished peer surfaces as an Error. With an
+  /// IO timeout set, a peer that accepts no bytes for a full window is
+  /// an Error ("send timeout").
   Result<void> sendAll(std::string_view Bytes);
 
   /// Reads one newline-terminated frame into \p Out (newline stripped).
   /// Returns false on clean EOF before any byte of a new frame; errors
-  /// on IO failure, on EOF mid-frame ("truncated frame"), and on a frame
+  /// on IO failure, on EOF mid-frame ("truncated frame"), on a frame
   /// exceeding \p MaxBytes ("frame too large" — the connection is
   /// unusable afterwards, since the rest of the oversized frame cannot
-  /// be resynchronized).
+  /// be resynchronized), and — with an IO timeout set — on a started
+  /// frame that fails to finish within the window ("read timeout").
   Result<bool> readLine(std::string &Out, size_t MaxBytes);
 
   /// Non-blocking probe: true once the peer has shut down its write end
@@ -77,9 +124,16 @@ public:
   bool peerClosed() const;
 
 private:
+  FaultKind nextFault(const char *Site, uint64_t Op, uint64_t *ChunkCap);
+
   int FD = -1;
   /// Read-ahead spilled past the last '\n' by readLine's recv calls.
   std::string Buf;
+  uint64_t TimeoutMs = 0;
+  const FaultPlan *Faults = nullptr;
+  std::string FaultTag;
+  uint64_t ReadOps = 0;
+  uint64_t WriteOps = 0;
 };
 
 /// A bound, listening AF_UNIX socket. Unlinks a pre-existing socket file

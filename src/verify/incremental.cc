@@ -34,6 +34,13 @@ std::string codeFingerprint(const Program &P) {
   return Out;
 }
 
+void IncrementalVerifier::seedVerdicts(
+    const Program &P, std::map<std::string, PropertyResult> Seeds) {
+  LastFp = ProgramFingerprints::compute(P);
+  HaveLast = true;
+  Verdicts = std::move(Seeds);
+}
+
 IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
   Outcome Out;
   Out.Report.ProgramName = P.Name;

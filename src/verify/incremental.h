@@ -118,6 +118,15 @@ public:
   /// Verifies \p P, reusing verdicts from the previous call where sound.
   Outcome verify(const Program &P);
 
+  /// Primes the verdict store as if verify(\p P) had just returned
+  /// \p Verdicts (keyed by property text, live certificates already
+  /// stripped). Used by daemon crash recovery to rebuild a session's
+  /// warm state from the journal — after each verdict has been
+  /// re-validated by the certificate checker; this verifier trusts its
+  /// caller exactly as far as it trusts its own previous call.
+  void seedVerdicts(const Program &P,
+                    std::map<std::string, PropertyResult> Verdicts);
+
 private:
   VerifyOptions Opts;
   ProofCache *Cache;

@@ -21,6 +21,7 @@
 
 #include "daemon/client.h"
 #include "daemon/daemon.h"
+#include "daemon/supervisor.h"
 #include "kernels/synthetic.h"
 #include "reflex/reflex.h"
 #include "service/scheduler.h"
@@ -29,7 +30,10 @@
 
 #include <iostream>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +42,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace reflex;
@@ -95,6 +100,20 @@ int usage() {
       "           options: --socket PATH (required) --jobs N\n"
       "                    --cache-dir PATH --max-sessions N\n"
       "                    --request-timeout-ms N --auto-gc\n"
+      "                    --no-journal (skip the durable verdict journal\n"
+      "                    even when --cache-dir is set)\n"
+      "                    --max-clients N / --max-inflight N (overload\n"
+      "                    shedding; shed work gets a structured\n"
+      "                    'overloaded' error with a retry hint)\n"
+      "                    --retry-after-ms N (the hint, default 100)\n"
+      "                    --io-timeout-ms N (per-frame socket progress\n"
+      "                    timeout; slow clients are disconnected)\n"
+      "                    --drain-cancel-ms N (grace before in-flight\n"
+      "                    work is cancelled during SIGTERM drain)\n"
+      "                    --supervise (run the serving process as a\n"
+      "                    restarted child; see docs/ROBUSTNESS.md)\n"
+      "                    --max-restarts N --restart-window-ms N\n"
+      "                    (crash-loop detector for --supervise)\n"
       "  client   send newline-delimited JSON frames to a running daemon\n"
       "           (no file argument)\n"
       "           options: --socket PATH (required)\n"
@@ -127,7 +146,10 @@ bool takesValue(const std::string &Key) {
          Key == "--timeout-ms" || Key == "--step-budget" ||
          Key == "--retries" || Key == "--fault-seed" || Key == "--socket" ||
          Key == "--max-sessions" || Key == "--request-timeout-ms" ||
-         Key == "--frame" || Key == "--engine";
+         Key == "--frame" || Key == "--engine" || Key == "--max-clients" ||
+         Key == "--max-inflight" || Key == "--io-timeout-ms" ||
+         Key == "--retry-after-ms" || Key == "--drain-cancel-ms" ||
+         Key == "--max-restarts" || Key == "--restart-window-ms";
 }
 
 /// daemon/client take no .rfx file — everything is options.
@@ -461,34 +483,94 @@ int cmdCacheGc(const Args &A, const Program &P) {
   std::printf("  scanned %llu entr%s, dropped %llu, kept %llu\n",
               (unsigned long long)G.Scanned, G.Scanned == 1 ? "y" : "ies",
               (unsigned long long)G.Dropped, (unsigned long long)G.Kept);
+  std::printf("  quarantine: kept %llu, evicted %llu\n",
+              (unsigned long long)G.QuarantineKept,
+              (unsigned long long)G.QuarantineEvicted);
   return 0;
 }
 
-int cmdDaemon(const Args &A) {
-  auto It = A.Options.find("--socket");
-  if (It == A.Options.end()) {
-    std::fprintf(stderr, "daemon requires --socket PATH\n");
-    return 2;
-  }
+// Set by the SIGTERM/SIGINT handler and read by a watcher thread that
+// turns the flag into a stop() call (stop() takes locks, which a
+// handler must never do). A lock-free atomic is both async-signal-safe
+// and race-free against the watcher; sig_atomic_t alone is only the
+// former.
+std::atomic<int> DrainSignal{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+void noteDrainSignal(int Sig) {
+  DrainSignal.store(Sig, std::memory_order_relaxed);
+}
+
+int runDaemon(const Args &A) {
   DaemonOptions O;
-  O.SocketPath = It->second;
+  O.SocketPath = A.Options.find("--socket")->second;
   O.Jobs = unsigned(numOption(A, "--jobs", 0));
   O.MaxSessions = unsigned(numOption(A, "--max-sessions", 8));
   O.RequestTimeoutMs = numOption(A, "--request-timeout-ms", 0);
   O.AutoGc = A.Options.count("--auto-gc") != 0;
   if (auto C = A.Options.find("--cache-dir"); C != A.Options.end())
     O.CacheDir = C->second;
+  O.Journal = A.Options.count("--no-journal") == 0;
+  O.MaxClients = unsigned(numOption(A, "--max-clients", 0));
+  O.MaxInFlight = unsigned(numOption(A, "--max-inflight", 0));
+  O.IoTimeoutMs = numOption(A, "--io-timeout-ms", 0);
+  O.RetryAfterMs = numOption(A, "--retry-after-ms", 100);
+  O.DrainCancelMs = numOption(A, "--drain-cancel-ms", 0);
 
   Result<std::unique_ptr<ReflexDaemon>> D = ReflexDaemon::start(O);
   if (!D.ok()) {
     std::fprintf(stderr, "error: %s\n", D.error().c_str());
     return 2;
   }
+
+  // Graceful drain: SIGTERM/SIGINT stop the accept loop; serve() then
+  // finishes (or, past the --drain-cancel-ms grace, cancels) in-flight
+  // work, flushes the journal via the daemon teardown, and we exit 0 —
+  // which a supervisor treats as a deliberate stop, not a crash.
+  DrainSignal.store(0, std::memory_order_relaxed);
+  struct sigaction SA {};
+  SA.sa_handler = noteDrainSignal;
+  sigemptyset(&SA.sa_mask);
+  struct sigaction OldTerm {}, OldInt {};
+  ::sigaction(SIGTERM, &SA, &OldTerm);
+  ::sigaction(SIGINT, &SA, &OldInt);
+  std::atomic<bool> Done{false};
+  std::thread Watcher([&] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      if (DrainSignal.load(std::memory_order_relaxed)) {
+        (*D)->stop();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
   std::printf("reflexd listening on %s\n", O.SocketPath.c_str());
   std::fflush(stdout);
   (*D)->serve();
+  Done.store(true, std::memory_order_relaxed);
+  Watcher.join();
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  D->reset(); // full teardown (journal flush, socket unlink) before the
+              // shutdown message, so watchers of stdout see a done deal
   std::printf("reflexd shut down\n");
+  std::fflush(stdout);
   return 0;
+}
+
+int cmdDaemon(const Args &A) {
+  if (A.Options.find("--socket") == A.Options.end()) {
+    std::fprintf(stderr, "daemon requires --socket PATH\n");
+    return 2;
+  }
+  if (A.Options.count("--supervise")) {
+    SupervisorOptions SO;
+    SO.MaxRestarts = unsigned(numOption(A, "--max-restarts", 5));
+    SO.RestartWindowMs = numOption(A, "--restart-window-ms", 30000);
+    return runSupervised(SO, [&A] { return runDaemon(A); });
+  }
+  return runDaemon(A);
 }
 
 int cmdClient(const Args &A) {

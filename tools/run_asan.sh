@@ -16,6 +16,8 @@
 #   * bench/bench_portfolio   — every kernel under every engine (the
 #                               portfolio race allocates across threads),
 #                               in --smoke mode
+#   * tests/chaos_test        — torn/tampered journal replay, kill -9
+#                               recovery, shedding, supervised restarts
 #
 # Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
 set -euo pipefail
@@ -25,7 +27,7 @@ BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test robustness_test \
-  certificate_test bench_faults bench_portfolio
+  certificate_test chaos_test bench_faults bench_portfolio
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -49,5 +51,8 @@ echo "== certificate_test (ASan+UBSan) =="
 echo "== bench_portfolio --smoke (ASan+UBSan) =="
 "$BUILD/bench/bench_portfolio" --smoke \
   --out "$BUILD/BENCH_portfolio.smoke.json"
+
+echo "== chaos_test (ASan+UBSan) =="
+"$BUILD/tests/chaos_test"
 
 echo "ASan/UBSan: no issues reported"

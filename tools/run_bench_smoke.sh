@@ -7,7 +7,9 @@
 # to serve (and re-validate) every verdict on both re-check paths, or a
 # fault-tolerance failure in bench_faults, or an incremental
 # re-verification whose verdicts diverge from a from-scratch run
-# (bench_incremental's mutation audit). The timed, 5-repetition runs
+# (bench_incremental's mutation audit), or a crash-recovery/overload
+# regression in bench_chaos (lost sessions, un-truncated torn journal
+# tails, dropped accepted requests). The timed, 5-repetition runs
 # that produce the committed BENCH_*.json artifacts are run manually.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]       (default: build)
@@ -17,7 +19,8 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_parallel bench_faults bench_incremental
+cmake --build "$BUILD" -j --target bench_parallel bench_faults \
+  bench_incremental bench_chaos reflex_cli
 
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Chaos smoke for the shipped binary under supervision: start
+# `reflex daemon --supervise`, warm a session, kill -9 the serving child
+# and watch the supervisor restart it with the session recovered from
+# the journal; corrupt the journal tail and kill -9 again to prove torn
+# tails are truncated, not served; finally SIGTERM the supervisor and
+# require a clean drain (exit 0). Wired into ctest under the
+# bench-smoke and chaos labels (tools/run_chaos_smoke.sh <reflex-cli>).
+set -u
+
+CLI="${1:-${REFLEX_CLI:-}}"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+  echo "usage: $0 <path-to-reflex-cli>" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d /tmp/rfx-chaos-XXXXXX)"
+SOCK="$WORK/d.sock"
+LOG="$WORK/daemon.log"
+CACHE="$WORK/cache"
+SUP_PID=""
+
+cleanup() {
+  [ -n "$SUP_PID" ] && kill -9 "$SUP_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$LOG" ] && sed 's/^/  daemon: /' "$LOG" >&2
+  exit 1
+}
+
+cat > "$WORK/demo.rfx" <<'EOF'
+program demo;
+component Admin "admin.py";
+component Door "door.c";
+message Grant(str);
+message Scan(str);
+message Unlock(str);
+var granted: str = "";
+var armed: bool = false;
+init {
+  A <- spawn Admin();
+  D <- spawn Door();
+}
+handler Admin => Grant(b) { granted = b; armed = true; }
+handler Door => Scan(b) {
+  if (armed && b == granted) { send(D, Unlock(b)); }
+}
+property UnlockNeedsGrant: forall b.
+  [Recv(Admin, Grant(b))] Enables [Send(Door, Unlock(b))];
+EOF
+
+json_escape_file() { # embed a file's content as a JSON string
+  sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' "$1" | awk '{printf "%s\\n", $0}'
+}
+SRC="$(json_escape_file "$WORK/demo.rfx")"
+
+"$CLI" daemon --socket "$SOCK" --cache-dir "$CACHE" \
+  --supervise --max-restarts 5 > "$LOG" 2>&1 &
+SUP_PID=$!
+
+# The socket only appears once recovery (empty, first time) is done and
+# the child is serving.
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if "$CLI" client --socket "$SOCK" --frame '{"verb":"ping"}' \
+         2>/dev/null | grep -q '"ok":true'; then
+      return 0
+    fi
+    kill -0 "$SUP_PID" 2>/dev/null || fail "supervisor died"
+    sleep 0.05
+  done
+  fail "daemon never became ready"
+}
+serving_pid() {
+  grep '"event":"serving"' "$LOG" | tail -1 \
+    | sed 's/.*"pid":\([0-9]*\).*/\1/'
+}
+ask() {
+  local what="$1" frame="$2"
+  local resp
+  resp="$("$CLI" client --socket "$SOCK" --frame "$frame")" \
+    || fail "$what: client transport error"
+  case "$resp" in
+    '{"ok":true'*) ;;
+    *) fail "$what: $resp" ;;
+  esac
+  echo "$resp"
+}
+
+wait_ready
+R="$(ask open-session "{\"verb\":\"open-session\",\"session\":\"s\",\"program\":\"$SRC\"}")"
+case "$R" in *'"proved":1'*) ;; *) fail "open-session did not prove: $R" ;; esac
+
+# Round 1: kill -9 the serving child. The supervisor must restart it and
+# the journal must bring the session back, verdicts fully reusable.
+PID1="$(serving_pid)"
+[ -n "$PID1" ] || fail "no serving event in the supervisor log"
+kill -9 "$PID1" || fail "cannot kill serving child $PID1"
+for _ in $(seq 1 200); do
+  P="$(serving_pid)"
+  [ -n "$P" ] && [ "$P" != "$PID1" ] && break
+  sleep 0.05
+done
+[ "$(serving_pid)" != "$PID1" ] || fail "supervisor never restarted the child"
+wait_ready
+
+R="$(ask stats '{"verb":"stats"}')"
+case "$R" in
+  *'"sessions_recovered":1'*) ;;
+  *) fail "restarted daemon recovered no session: $R" ;;
+esac
+R="$(ask edit "{\"verb\":\"edit\",\"session\":\"s\",\"program\":\"$SRC\"}")"
+case "$R" in *'"proved":1'*) ;; *) fail "post-crash edit did not prove: $R" ;; esac
+case "$R" in *'"reverified":0'*) ;; *) fail "post-crash edit re-verified instead of reusing: $R" ;; esac
+
+# Round 2: tear the journal tail (a crash mid-append), kill -9 again.
+# Recovery must truncate the tear and still serve the session.
+printf 'RJ1 deadbeef {"type":"torn' >> "$CACHE/verdicts.journal" \
+  || fail "cannot corrupt the journal"
+PID2="$(serving_pid)"
+kill -9 "$PID2" || fail "cannot kill serving child $PID2"
+for _ in $(seq 1 200); do
+  P="$(serving_pid)"
+  [ -n "$P" ] && [ "$P" != "$PID2" ] && break
+  sleep 0.05
+done
+[ "$(serving_pid)" != "$PID2" ] || fail "supervisor never restarted after round 2"
+wait_ready
+
+R="$(ask stats '{"verb":"stats"}')"
+case "$R" in
+  *'"sessions_recovered":1'*) ;;
+  *) fail "round-2 restart recovered no session: $R" ;;
+esac
+case "$R" in
+  *'"bytes_truncated":0'*) fail "torn journal tail was not truncated: $R" ;;
+esac
+R="$(ask edit "{\"verb\":\"edit\",\"session\":\"s\",\"program\":\"$SRC\"}")"
+case "$R" in *'"proved":1'*) ;; *) fail "round-2 edit did not prove: $R" ;; esac
+
+# Drain: SIGTERM to the supervisor forwards to the child, which stops
+# accepting, finishes in flight, flushes, and exits 0 — a deliberate
+# stop the supervisor must not restart.
+kill -TERM "$SUP_PID" || fail "cannot signal the supervisor"
+wait "$SUP_PID"
+RC=$?
+SUP_PID=""
+[ "$RC" -eq 0 ] || fail "supervised drain exited $RC, want 0"
+grep -q '"event":"stopped"' "$LOG" || fail "supervisor never logged the stop"
+grep -q '"event":"restarting"' "$LOG" || fail "no restart was ever logged"
+
+echo "PASS: chaos smoke (kill -9 x2, torn journal, recovery, clean drain)"

@@ -13,6 +13,9 @@
 #                               background session vs induction)
 #   * bench/bench_portfolio   — every kernel under every engine at 1 and
 #                               4 workers, in --smoke mode
+#   * tests/chaos_test        — journal appends from handler threads,
+#                               overload shedding under concurrent
+#                               clients, supervised restarts
 #
 # Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
 set -euo pipefail
@@ -22,7 +25,7 @@ BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test prover_test \
-  bench_parallel bench_portfolio
+  chaos_test bench_parallel bench_portfolio
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -44,5 +47,8 @@ echo "== prover_test (TSan) =="
 echo "== bench_portfolio --jobs 4 --smoke (TSan) =="
 "$BUILD/bench/bench_portfolio" --jobs 4 --smoke \
   --out "$BUILD/BENCH_portfolio.smoke.json"
+
+echo "== chaos_test (TSan) =="
+"$BUILD/tests/chaos_test"
 
 echo "TSan: no data races reported"
