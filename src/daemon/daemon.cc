@@ -574,6 +574,11 @@ void ReflexDaemon::noteEnginesServed(const VerificationReport &Rep) {
   for (const PropertyResult &R : Rep.Results)
     if (!R.ServedBy.empty())
       ++EngineServed[R.ServedBy];
+  TotalSolverQueries += Rep.SolverQueries;
+  TotalSolverMemoHits += Rep.SolverMemoHits;
+  TotalSolverAssumptionChecks += Rep.SolverAssumptionChecks;
+  TotalSolverTrailUndos += Rep.SolverTrailUndos;
+  TotalSolverReasonLogBytes += Rep.SolverReasonLogBytes;
 }
 
 void ReflexDaemon::writeGcOutcome(JsonWriter &W,
@@ -857,6 +862,14 @@ std::string ReflexDaemon::doStats() {
     W.beginObject();
     for (const auto &[Engine, Count] : EngineServed)
       W.field(Engine, int64_t(Count));
+    W.endObject();
+    W.key("solver");
+    W.beginObject();
+    W.field("queries", int64_t(TotalSolverQueries));
+    W.field("memo_hits", int64_t(TotalSolverMemoHits));
+    W.field("assumption_checks", int64_t(TotalSolverAssumptionChecks));
+    W.field("trail_undos", int64_t(TotalSolverTrailUndos));
+    W.field("reason_log_bytes", int64_t(TotalSolverReasonLogBytes));
     W.endObject();
     W.key("verbs");
     W.beginObject();

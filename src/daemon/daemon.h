@@ -252,6 +252,14 @@ private:
   /// Verdicts served per engine ("induction"/"pdr"), across every verify,
   /// open-session, and edit report this run — the portfolio's win tally.
   std::map<std::string, uint64_t> EngineServed;
+  /// Incremental solver-core work totals (verifier.h report counters),
+  /// accumulated from every report the daemon produces; reported by the
+  /// stats verb's "solver" object.
+  uint64_t TotalSolverQueries = 0;
+  uint64_t TotalSolverMemoHits = 0;
+  uint64_t TotalSolverAssumptionChecks = 0;
+  uint64_t TotalSolverTrailUndos = 0;
+  uint64_t TotalSolverReasonLogBytes = 0;
   std::set<std::string> KnownDeclIds;
   /// Journal accounting (under StatsMu; reported by the stats verb).
   uint64_t JournalSessionsRecovered = 0;

@@ -47,5 +47,94 @@ std::string syntheticChainKernel(unsigned Stages) {
   return OS.str();
 }
 
+std::string syntheticFleetKernel(unsigned Lanes) {
+  assert(Lanes >= 1 && "fleet needs at least one lane");
+  std::ostringstream OS;
+  OS << "program fleet" << Lanes << ";\n";
+  OS << "component Driver \"driver.py\";\n";
+  OS << "component Node \"node.py\" { lane: num };\n";
+  for (unsigned I = 0; I < Lanes; ++I) {
+    OS << "message Open" << I << "(num);\n";
+    OS << "message Use" << I << "(num);\n";
+    OS << "message Ack" << I << "(num);\n";
+    OS << "message Out" << I << "(num);\n";
+  }
+  for (unsigned I = 0; I < Lanes; ++I)
+    OS << "var open" << I << ": bool = false;\n";
+  OS << "init {\n";
+  for (unsigned I = 0; I < Lanes; ++I)
+    OS << "  N" << I << " <- spawn Node(" << I << ");\n";
+  OS << "  D <- spawn Driver();\n}\n";
+
+  for (unsigned I = 0; I < Lanes; ++I) {
+    OS << "handler Driver => Open" << I << "(x) {\n"
+       << "  if (!open" << I << ") {\n"
+       << "    open" << I << " = true;\n"
+       << "    send(N" << I << ", Ack" << I << "(x));\n  }\n}\n";
+    OS << "handler Driver => Use" << I << "(x) {\n"
+       << "  if (open" << I << ") {\n"
+       << "    send(N" << I << ", Out" << I << "(x));\n  }\n}\n";
+  }
+
+  for (unsigned I = 0; I < Lanes; ++I)
+    OS << "property Lane" << I << ":\n  [Send(Node(lane=" << I << "), Ack"
+       << I << "(_))] Enables [Send(Node(lane=" << I << "), Out" << I
+       << "(_))];\n";
+  for (unsigned I = 0; I < Lanes; ++I)
+    OS << "property Once" << I << ":\n  atmostonce [Send(Node(lane=" << I
+       << "), Ack" << I << "(_))];\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Emits the complete binary if/else nest of syntheticBranchKernel below
+/// \p Level (leaves at \p Depth send Hit).
+void emitBranchNest(std::ostringstream &OS, unsigned Level, unsigned Depth,
+                    const std::string &Indent) {
+  if (Level == Depth) {
+    OS << Indent << "send(W, Hit(a0));\n";
+    return;
+  }
+  OS << Indent << "if (a" << Level << " < 5) {\n";
+  emitBranchNest(OS, Level + 1, Depth, Indent + "  ");
+  OS << Indent << "} else {\n";
+  emitBranchNest(OS, Level + 1, Depth, Indent + "  ");
+  OS << Indent << "}\n";
+}
+
+} // namespace
+
+std::string syntheticBranchKernel(unsigned Depth) {
+  assert(Depth >= 1 && Depth <= 8 && "branch nest depth out of range");
+  std::ostringstream OS;
+  OS << "program branch" << Depth << ";\n";
+  OS << "component Driver \"driver.py\";\n";
+  OS << "component Worker \"worker.py\";\n";
+  OS << "message Arm(num);\n";
+  OS << "message Go(num);\n";
+  OS << "message Hit(num);\n";
+  OS << "message Probe(";
+  for (unsigned I = 0; I < Depth; ++I)
+    OS << (I ? ", num" : "num");
+  OS << ");\n";
+  OS << "var armed: bool = false;\n";
+  OS << "init {\n  W <- spawn Worker();\n  D <- spawn Driver();\n}\n";
+
+  OS << "handler Driver => Arm(x) {\n"
+     << "  if (!armed) {\n    armed = true;\n    send(W, Go(x));\n  }\n}\n";
+  OS << "handler Driver => Probe(";
+  for (unsigned I = 0; I < Depth; ++I)
+    OS << (I ? ", a" : "a") << I;
+  OS << ") {\n  if (armed) {\n";
+  emitBranchNest(OS, 0, Depth, "    ");
+  OS << "  }\n}\n";
+
+  OS << "property Gated:\n  [Send(Worker, Go(_))] Enables "
+     << "[Send(Worker, Hit(_))];\n";
+  OS << "property ArmOnce:\n  atmostonce [Send(Worker, Go(_))];\n";
+  return OS.str();
+}
+
 } // namespace kernels
 } // namespace reflex

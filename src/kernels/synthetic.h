@@ -35,6 +35,36 @@ namespace kernels {
 /// Properties: Chain1..Chain{Stages-1} and Marker0..Marker{Stages-1}.
 std::string syntheticChainKernel(unsigned Stages);
 
+/// Reflex source of a fleet kernel with \p Lanes independent lanes
+/// (>= 1): scaled *component count*. Init spawns one Node component per
+/// lane (config field `lane`) plus a driver; each lane has an open/use
+/// handler pair gated by its own state flag. 2N handlers, N+1 spawned
+/// components, and 2N properties:
+///
+///  * Lane_i — [Send(Node(lane=i), Ack_i(_))] Enables
+///    [Send(Node(lane=i), Out_i(_))]: each proof synthesizes a lane-local
+///    guard invariant only two of the 2N handlers can disturb.
+///  * Once_i — atmostonce [Send(Node(lane=i), Ack_i(_))]: the open flag
+///    flips exactly once.
+///
+/// Stresses breadth: handler-count scaling of the induction case scan and
+/// the incremental solver's per-path scopes across many handlers.
+std::string syntheticFleetKernel(unsigned Lanes);
+
+/// Reflex source of a branch kernel with nesting depth \p Depth
+/// (1 <= Depth <= 8): scaled *branch nesting*. One probe handler whose
+/// body is a complete binary if/else nest over Depth independent message
+/// parameters — 2^Depth symbolic paths, each with a Depth+1-literal path
+/// condition, each emitting the same gated Hit message. Properties:
+///
+///  * Gated   — [Send(Worker, Go(_))] Enables [Send(Worker, Hit(_))]:
+///    every one of the 2^Depth paths needs the {armed} => Go invariant.
+///  * ArmOnce — atmostonce [Send(Worker, Go(_))].
+///
+/// Stresses depth: long path conditions exercising the solver's scoped
+/// assertion stack (push/assume/pop) and the undo trail.
+std::string syntheticBranchKernel(unsigned Depth);
+
 } // namespace kernels
 } // namespace reflex
 

@@ -55,6 +55,10 @@ struct WorkCounters {
   size_t TermCount = 0;
   uint64_t SolverQueries = 0;
   uint64_t InvariantCacheHits = 0;
+  uint64_t SolverMemoHits = 0;
+  uint64_t SolverAssumptionChecks = 0;
+  uint64_t SolverTrailUndos = 0;
+  uint64_t SolverReasonLogBytes = 0;
 };
 
 /// Per-program shared state under SchedulerOptions::SharedCaches: the
@@ -335,6 +339,11 @@ BatchOutcome runBatch(const std::vector<const Program *> &Programs,
       C.TermCount += Session->termContext().termCount();
       C.SolverQueries += Session->solverQueries();
       C.InvariantCacheHits += Session->invariantCacheHits();
+      const SolverStats &SS = Session->solverStats();
+      C.SolverMemoHits += SS.MemoHits + SS.SharedMemoHits;
+      C.SolverAssumptionChecks += SS.AssumptionChecks;
+      C.SolverTrailUndos += SS.TrailUndos;
+      C.SolverReasonLogBytes += SS.ReasonLogBytes;
     }
   };
 
@@ -382,6 +391,10 @@ BatchOutcome runBatch(const std::vector<const Program *> &Programs,
     R.TermCount = Counters[PI].TermCount;
     R.SolverQueries = Counters[PI].SolverQueries;
     R.InvariantCacheHits = Counters[PI].InvariantCacheHits;
+    R.SolverMemoHits = Counters[PI].SolverMemoHits;
+    R.SolverAssumptionChecks = Counters[PI].SolverAssumptionChecks;
+    R.SolverTrailUndos = Counters[PI].SolverTrailUndos;
+    R.SolverReasonLogBytes = Counters[PI].SolverReasonLogBytes;
   }
 
   if (Opts.Cache) {

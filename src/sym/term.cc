@@ -165,6 +165,16 @@ TermRef TermContext::freshSym(std::string_view Prefix, BaseType Ty) {
   return make(std::move(N));
 }
 
+TermRef TermContext::hypSym(std::string_view Name, BaseType Ty) {
+  TermNode N;
+  N.Kind = TermKind::SymVar;
+  N.Ty = Ty;
+  N.Tag = SymTag::Fresh;
+  N.Str = Strings.intern(Name);
+  N.IntVal = -1;
+  return make(std::move(N));
+}
+
 TermRef TermContext::comp(std::string_view TypeName, CompIdent Ident,
                           int64_t Serial, std::vector<TermRef> Config) {
   TermNode N;

@@ -163,6 +163,14 @@ public:
   TermRef patSym(std::string_view Name, BaseType Ty);
   /// A fresh symbolic constant; every call returns a distinct term.
   TermRef freshSym(std::string_view Prefix, BaseType Ty);
+  /// The hypothetical symbol of \p Name: Fresh-tagged like freshSym's
+  /// results but with a fixed serial, so the same name always yields the
+  /// same (hash-consed) term. For scoped what-if queries (NI's
+  /// hypothetical-component check) whose symbols must render identically
+  /// across re-derivations regardless of session allocation history; the
+  /// symbols must never escape their solver scope. Cannot alias freshSym
+  /// terms: their serials are the non-negative counter values.
+  TermRef hypSym(std::string_view Name, BaseType Ty);
 
   // Components.
   /// A component term; \p Config must have one term per config field of

@@ -94,6 +94,13 @@ std::string renderCertificate(const Certificate &Cert, const TermContext &Ctx,
       W.value(Key);
     W.endArray();
   }
+  if (Audit && !Cert.SolverLog.empty()) {
+    W.key("solver_log");
+    W.beginArray();
+    for (const std::string &Line : Cert.SolverLog)
+      W.value(Line);
+    W.endArray();
+  }
   W.key("steps");
   W.beginArray();
   for (const ProofStep &S : Cert.Steps)

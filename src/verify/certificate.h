@@ -127,6 +127,15 @@ struct Certificate {
   /// canonical form omits it (the checker re-derives proofs without
   /// footprints, and footprints are bookkeeping, not proof content).
   std::vector<std::string> Footprint;
+  /// Solver-level proof log (docs/SOLVER.md): rendered reason trails for
+  /// the Unsat answers of the checker's re-derivation, each one replayed
+  /// by the independent trail validator before it lands here, capped at a
+  /// fixed line budget and closed with a count + aggregate-hash summary
+  /// line. Audit-only like Footprint: filled by the checker (the live
+  /// prover runs with logging off), exported by toJson, omitted from the
+  /// canonical form, and ignored by certsEqual — the trails justify the
+  /// solver's answers, they are not proof content.
+  std::vector<std::string> SolverLog;
   /// The proof engine that produced this certificate: "pdr" for PDR
   /// clausal certificates, empty for the induction prover (the default is
   /// omitted from every serialization, keeping induction certificates

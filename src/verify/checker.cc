@@ -90,6 +90,45 @@ bool certsEqual(const Certificate &A, const Certificate &B,
   return true;
 }
 
+/// Line cap for the exported solver log: enough to audit real kernels
+/// without bloating certificate JSON for synthetic stress programs. Every
+/// trail is replayed regardless of the cap; only the rendering is capped.
+constexpr size_t MaxSolverLogLines = 64;
+
+/// Replays every reason trail the re-derivation's solver recorded through
+/// the independent trail validator (sym/solver.h's replayReasonTrail —
+/// its own union-find, no shared code with either solver core), then
+/// renders them into \p Redone's audit log. A single trail that fails
+/// replay rejects the certificate: an Unsat the solver cannot justify
+/// means the solver (or the undo trail behind it) is broken, and no
+/// verdict derived from it is trustworthy.
+bool validateSolverLog(const TermContext &Ctx, const Solver &FreshSolv,
+                       Certificate &Redone, std::string &Why) {
+  const std::vector<ReasonTrail> &Trails = FreshSolv.reasonTrails();
+  uint64_t Hash = 1469598103934665603ULL;
+  Redone.SolverLog.clear();
+  for (size_t I = 0; I < Trails.size(); ++I) {
+    std::string ReplayWhy;
+    if (!replayReasonTrail(Ctx, Trails[I], ReplayWhy)) {
+      Why = "solver reason trail " + std::to_string(I) +
+            " failed independent replay: " + ReplayWhy;
+      return false;
+    }
+    std::string Line = formatReasonTrail(Ctx, Trails[I]);
+    for (unsigned char C : Line) {
+      Hash ^= C;
+      Hash *= 1099511628211ULL;
+    }
+    if (Redone.SolverLog.size() < MaxSolverLogLines)
+      Redone.SolverLog.push_back(std::move(Line));
+  }
+  std::ostringstream OS;
+  OS << "replayed " << Trails.size() << " unsat trails; fnv1a=" << std::hex
+     << Hash;
+  Redone.SolverLog.push_back(OS.str());
+  return true;
+}
+
 /// Re-derives a certificate for \p Prop with the engine named by
 /// \p Engine ("" / "induction" for the paper's prover, "pdr" for the
 /// reachability engine). False with \p Why when the engine is unknown or
@@ -140,12 +179,16 @@ CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
                               const ProverOptions &Opts) {
   CheckOutcome Out;
 
-  // Fresh solver: every query in the re-derivation is recomputed.
+  // Fresh solver: every query in the re-derivation is recomputed, with
+  // reason-trail logging on so each Unsat answer justifies itself.
   Solver FreshSolv(Ctx);
+  FreshSolv.setLogEnabled(true);
 
   Certificate Redone;
   if (!rederive(Ctx, FreshSolv, P, Abs, Prop, Opts, Cert.Engine, Redone,
                 Out.Why))
+    return Out;
+  if (!validateSolverLog(Ctx, FreshSolv, Redone, Out.Why))
     return Out;
   if (!certsEqual(Cert, Redone, Out.Why))
     return Out;
@@ -155,6 +198,7 @@ CheckOutcome checkCertificate(TermContext &Ctx, const Program &P,
   if (Cert.Engine == "pdr" &&
       !checkPdrInvariant(Ctx, FreshSolv, P, Abs, Prop, Cert, Opts, Out.Why))
     return Out;
+  Out.SolverLog = std::move(Redone.SolverLog);
   Out.Ok = true;
   return Out;
 }
@@ -174,10 +218,14 @@ RecheckOutcome checkCanonicalCertificate(TermContext &Ctx, const Program &P,
       Engine = E->stringValue();
 
   // Fresh solver and invariant cache: the cached certificate gets the same
-  // from-scratch re-derivation checkCertificate performs.
+  // from-scratch re-derivation checkCertificate performs, reason trails
+  // included.
   Solver FreshSolv(Ctx);
+  FreshSolv.setLogEnabled(true);
   if (!rederive(Ctx, FreshSolv, P, Abs, Prop, Opts, Engine, Out.Rederived,
                 Out.Why))
+    return Out;
+  if (!validateSolverLog(Ctx, FreshSolv, Out.Rederived, Out.Why))
     return Out;
   Out.RederivedProved = true;
   if (Out.Rederived.canonical(Ctx) != Canonical) {

@@ -30,6 +30,12 @@ namespace reflex {
 struct CheckOutcome {
   bool Ok = false;
   std::string Why;
+  /// The re-derivation's validated solver log (Certificate::SolverLog):
+  /// every Unsat reason trail replayed by the independent validator, then
+  /// rendered. Valid when Ok; callers copy it into the certificate they
+  /// export so audit JSON is identical whether a verdict is served cold
+  /// or re-admitted from the proof cache.
+  std::vector<std::string> SolverLog;
 };
 
 /// Re-validates \p Cert for property \p Prop of \p P (abstracted by

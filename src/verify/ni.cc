@@ -122,18 +122,16 @@ private:
     return Lits;
   }
 
-  /// θc: is component \p C high under assumptions \p Assume?
-  Label labelOf(TermRef C, const std::vector<Lit> &Assume) {
+  /// θc: is component \p C high under the asserted case scope?
+  Label labelOf(TermRef C) {
     bool AnyPossible = false;
     for (const CompPattern &CP : NI.HighComps) {
       auto Lits = highMatchLits(C, CP);
       if (!Lits)
         continue;
-      if (Solv.entailsAll(Assume, *Lits))
+      if (Solv.entailsAllUnder(*Lits))
         return Label::Yes;
-      std::vector<Lit> Both = Assume;
-      Both.insert(Both.end(), Lits->begin(), Lits->end());
-      if (Solv.maybeSat(Both))
+      if (Solv.maybeSatUnder(*Lits))
         AnyPossible = true;
     }
     return AnyPossible ? Label::Maybe : Label::No;
@@ -207,13 +205,14 @@ private:
                 const std::vector<Lit> &CaseLits) {
     std::vector<Lit> Assume = Path.Cond;
     Assume.insert(Assume.end(), CaseLits.begin(), CaseLits.end());
-    if (!Solv.maybeSat(Assume))
+    Solver::Scope CaseScope(Solv, Assume);
+    if (Solv.check() == SatResult::Unsat)
       return true;
 
     for (const SymAction &E : Path.Emits) {
       if (E.Kind != SymAction::Send && E.Kind != SymAction::Spawn)
         continue;
-      Label L = labelOf(E.Comp, Assume);
+      Label L = labelOf(E.Comp);
       if (L != Label::No) {
         Why = "NIlo violated at " + Where + " path " +
               std::to_string(PathIdx) + ": low handler " +
@@ -248,7 +247,8 @@ private:
                  const std::vector<Lit> &CaseLits) {
     std::vector<Lit> Assume = Path.Cond;
     Assume.insert(Assume.end(), CaseLits.begin(), CaseLits.end());
-    if (!Solv.maybeSat(Assume))
+    Solver::Scope CaseScope(Solv, Assume);
+    if (Solv.check() == SatResult::Unsat)
       return true;
 
     // Allowed ("high") symbols on this path.
@@ -269,7 +269,7 @@ private:
     // Lookup-bound components are high data only when the lookup can only
     // ever find high components.
     for (TermRef C : Path.LookupComps) {
-      if (labelOf(C, Assume) == Label::Yes ||
+      if (labelOf(C) == Label::Yes ||
           HighDeterminedTypes.count(Ctx.symbolStr(C->Str))) {
         AllowedComps.insert(C);
         for (TermRef Field : C->Ops)
@@ -297,7 +297,7 @@ private:
               S, Where, "failed lookup constrained by low data");
       }
       if (!HighDeterminedTypes.count(Fact.TypeName) &&
-          !lookupHighOnly(Fact, Assume))
+          !lookupHighOnly(Fact))
         return fallbackNoHighEffects(
             S, Where, "failed lookup over possibly-low components of type " +
                           Fact.TypeName);
@@ -310,7 +310,7 @@ private:
     // (b,c) High-visible outputs must be functions of high data.
     for (const SymAction &E : Path.Emits) {
       if (E.Kind == SymAction::Send) {
-        if (labelOf(E.Comp, Assume) == Label::No)
+        if (labelOf(E.Comp) == Label::No)
           continue; // low outputs are unconstrained
         if (!HighSupport(E.Comp)) {
           Why = "NIhi violated at " + Where + ": send target " +
@@ -326,7 +326,7 @@ private:
             return false;
           }
       } else if (E.Kind == SymAction::Spawn) {
-        if (labelOf(E.Comp, Assume) == Label::No)
+        if (labelOf(E.Comp) == Label::No)
           continue;
         for (TermRef Cfg : E.Comp->Ops)
           if (!HighSupport(Cfg)) {
@@ -358,34 +358,43 @@ private:
   }
 
   /// Would any component satisfying \p Fact's constraints, under the
-  /// path's assumptions, necessarily be high? (Checks a hypothetical
+  /// asserted case scope, necessarily be high? (Checks a hypothetical
   /// component against the patterns.)
-  bool lookupHighOnly(const NoCompFact &Fact,
-                      const std::vector<Lit> &PathAssume) {
+  bool lookupHighOnly(const NoCompFact &Fact) {
     const ComponentTypeDecl *CT = P.findComponentType(Fact.TypeName);
     assert(CT);
+    // Deterministic hypothetical symbols (hypSym, fixed serial -1): the
+    // checker replays these queries in its reason-trail log, so their
+    // rendering must not depend on how many fresh terms the session
+    // allocated first. Safe to reuse across calls — each call constrains
+    // them only inside its own scope, and freshCompSerial() never issues
+    // negative serials, so the comp cannot alias a real component.
     std::vector<TermRef> Fields;
     for (const ConfigField &F : CT->Config)
-      Fields.push_back(Ctx.freshSym("hyp." + Fact.TypeName + "." + F.Name,
-                                    F.Type));
-    TermRef Hyp = Ctx.comp(Fact.TypeName, CompIdent::FlexPre,
-                           Ctx.freshCompSerial(), std::move(Fields));
-    std::vector<Lit> Assume = PathAssume;
+      Fields.push_back(
+          Ctx.hypSym("hyp." + Fact.TypeName + "." + F.Name, F.Type));
+    TermRef Hyp = Ctx.comp(Fact.TypeName, CompIdent::FlexPre, /*Serial=*/-1,
+                           std::move(Fields));
+    Solver::Scope HypScope(Solv);
     for (const auto &[Index, Required] : Fact.Constraints)
-      Assume.emplace_back(Ctx.eq(Hyp->Ops[Index], Required), true);
-    return labelOf(Hyp, Assume) == Label::Yes;
+      Solv.assume(Lit(Ctx.eq(Hyp->Ops[Index], Required), true));
+    return labelOf(Hyp) == Label::Yes;
   }
 
   /// Sound fallback: the entire handler must have no high-visible effects
   /// (then its internal decisions cannot matter to high observers).
   bool fallbackNoHighEffects(const HandlerSummary &S, const std::string &Where,
                              const std::string &Cause) {
+    // Labels here are relative to each path's own condition, not the
+    // caller's case split; rewind to the base context first.
+    Solver::Suspended Clean(Solv);
     for (size_t I = 0; I < S.Paths.size(); ++I) {
       const SymPath &Path = S.Paths[I];
+      Solver::Scope PathScope(Solv, Path.Cond);
       for (const SymAction &E : Path.Emits) {
         if (E.Kind != SymAction::Send && E.Kind != SymAction::Spawn)
           continue;
-        if (labelOf(E.Comp, Path.Cond) != Label::No) {
+        if (labelOf(E.Comp) != Label::No) {
           Why = "NIhi violated at " + Where + " (" + Cause +
                 "), and the handler has high-visible effects";
           return false;

@@ -320,14 +320,18 @@ private:
   /// excluded", which only ever costs completeness, never soundness.
   bool clausesExclude(const std::vector<Lit> &Conj,
                       const std::vector<const Cube *> &Clauses) {
+    // The transition conjunction is asserted once; the branch descent
+    // below pushes one negated clause literal per scope, so the solver
+    // keeps the shared prefix's congruence closure across all branches
+    // of the case split instead of re-solving it from scratch.
+    Solver::Scope Root(Solv, Conj);
     size_t Budget = MaxClauseBranches;
-    return branchExcludes(Conj, Clauses, 0, Budget);
+    return branchExcludes(Clauses, 0, Budget);
   }
 
-  bool branchExcludes(const std::vector<Lit> &Conj,
-                      const std::vector<const Cube *> &Clauses, size_t Idx,
+  bool branchExcludes(const std::vector<const Cube *> &Clauses, size_t Idx,
                       size_t &Budget) {
-    if (Solv.checkLits(Conj) == SatResult::Unsat)
+    if (Solv.check() == SatResult::Unsat)
       return true;
     if (Idx == Clauses.size())
       return false;
@@ -336,9 +340,9 @@ private:
       if (Budget == 0)
         return false;
       --Budget;
-      std::vector<Lit> Ext = Conj;
-      Ext.emplace_back(L.Atom, !L.Pos);
-      if (!branchExcludes(Ext, Clauses, Idx + 1, Budget))
+      Solver::Scope Branch(Solv);
+      Solv.assume(Lit(L.Atom, !L.Pos));
+      if (!branchExcludes(Clauses, Idx + 1, Budget))
         return false;
     }
     return true;
@@ -510,15 +514,19 @@ private:
       return false;
     }
     const ActionPattern &Trigger = TP.trigger();
+    Solver::Scope PathScope(Solv, Path.Cond);
     for (size_t K = 0; K < Path.Emits.size(); ++K) {
       SymBinding Sigma;
       auto MC = matchSymAction(Ctx, Path.Emits[K], Trigger, Sigma);
       if (!MC)
         continue;
+      if (!Solv.maybeSatUnder(*MC))
+        continue;
+      // frameObligation still projects the flat pre-state literal set;
+      // the solver works from the asserted stack.
       std::vector<Lit> Assume = Path.Cond;
       Assume.insert(Assume.end(), MC->begin(), MC->end());
-      if (!Solv.maybeSat(Assume))
-        continue;
+      Solver::Scope EmitScope(Solv, *MC);
       if (!dischargeLocal(Where, PathIdx, Path, K, Assume, Sigma, IsInit,
                           Why))
         return false;
@@ -559,7 +567,7 @@ private:
     case TraceOp::ImmBefore: {
       if (K > 0) {
         auto MC = matchUnder(Path.Emits[K - 1], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(K - 1);
           Steps.push_back(std::move(Step));
@@ -576,7 +584,7 @@ private:
     case TraceOp::ImmAfter: {
       if (K + 1 < Path.Emits.size()) {
         auto MC = matchUnder(Path.Emits[K + 1], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(K + 1);
           Steps.push_back(std::move(Step));
@@ -593,7 +601,7 @@ private:
     case TraceOp::Ensures: {
       for (size_t J = K + 1; J < Path.Emits.size(); ++J) {
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(J);
           Steps.push_back(std::move(Step));
@@ -610,7 +618,7 @@ private:
     case TraceOp::Enables: {
       for (size_t J = 0; J < K; ++J) {
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(J);
           Steps.push_back(std::move(Step));
@@ -623,7 +631,7 @@ private:
           Pseudo.Kind = SymAction::Spawn;
           Pseudo.Comp = Path.FoundComps[F];
           auto MC = matchUnder(Pseudo, Obl, Sigma);
-          if (MC && Solv.entailsAll(Assume, *MC)) {
+          if (MC && Solv.entailsAllUnder(*MC)) {
             Step.Kind = Justify::CompOrigin;
             Step.LocalIndex = static_cast<int>(F);
             Steps.push_back(std::move(Step));
@@ -642,9 +650,7 @@ private:
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
         if (!MC)
           continue;
-        std::vector<Lit> Both = Assume;
-        Both.insert(Both.end(), MC->begin(), MC->end());
-        if (Solv.maybeSat(Both))
+        if (Solv.maybeSatUnder(*MC))
           return frameObligation(
               std::move(Step), Assume, IsInit,
               "an earlier action in the same handler may match the "
@@ -658,7 +664,7 @@ private:
         return true;
       }
       if (Obl.Kind == ActionPattern::Spawn &&
-          noCompFactCovers(Path, Assume, Sigma, Obl)) {
+          noCompFactCovers(Path, Sigma, Obl)) {
         Step.Kind = Justify::NoCompHistory;
         Steps.push_back(std::move(Step));
         return true;
@@ -672,8 +678,8 @@ private:
   }
 
   /// Mirror of the induction prover's failed-lookup axiom.
-  bool noCompFactCovers(const SymPath &Path, const std::vector<Lit> &Assume,
-                        const SymBinding &Sigma, const ActionPattern &Obl) {
+  bool noCompFactCovers(const SymPath &Path, const SymBinding &Sigma,
+                        const ActionPattern &Obl) {
     for (const NoCompFact &Fact : Path.NoComp) {
       if (Fact.TypeName != Obl.Comp.TypeName)
         continue;
@@ -702,7 +708,7 @@ private:
           break;
         }
         if (!PatSide ||
-            !Solv.entails(Assume, Lit(Ctx.eq(PatSide, Required), true))) {
+            !Solv.entailsUnder(Lit(Ctx.eq(PatSide, Required), true))) {
           Covered = false;
           break;
         }

@@ -125,21 +125,28 @@ private:
     return false;
   }
 
-  /// Checks every potential trigger occurrence on one path.
+  /// Checks every potential trigger occurrence on one path. The path
+  /// condition is asserted once for the whole obligation family; each
+  /// trigger occurrence adds its match condition in a nested scope, so
+  /// the solver re-derives only the emission-specific consequences.
   bool processPath(const std::string &Where, int PathIdx, const SymPath &Path,
                    bool IsInit) {
     if (budgetExpired())
       return false;
     const ActionPattern &Trigger = TP.trigger();
+    Solver::Scope PathScope(Solv, Path.Cond);
     for (size_t K = 0; K < Path.Emits.size(); ++K) {
       SymBinding Sigma;
       auto MC = matchSymAction(Ctx, Path.Emits[K], Trigger, Sigma);
       if (!MC)
         continue;
+      if (!Solv.maybeSatUnder(*MC))
+        continue; // trigger occurrence cannot arise on this path
+      // synthesizeGuard and preStateGuard still want the flat literal
+      // vector; the solver itself works from the asserted stack.
       std::vector<Lit> Assume = Path.Cond;
       Assume.insert(Assume.end(), MC->begin(), MC->end());
-      if (!Solv.maybeSat(Assume))
-        continue; // trigger occurrence cannot arise on this path
+      Solver::Scope EmitScope(Solv, *MC);
       if (!discharge(Where, PathIdx, Path, K, Assume, Sigma, IsInit))
         return false;
     }
@@ -173,7 +180,7 @@ private:
         return obligationFailed(Step, "trigger is the first trace action; "
                                       "nothing precedes it");
       auto MC = matchUnder(Path.Emits[K - 1], Obl, Sigma);
-      if (MC && Solv.entailsAll(Assume, *MC)) {
+      if (MC && Solv.entailsAllUnder(*MC)) {
         Step.Kind = Justify::LocalObligation;
         Step.LocalIndex = static_cast<int>(K - 1);
         Cert.Steps.push_back(std::move(Step));
@@ -191,7 +198,7 @@ private:
                   "action is a future Select, which cannot match " +
                       Obl.str());
       auto MC = matchUnder(Path.Emits[K + 1], Obl, Sigma);
-      if (MC && Solv.entailsAll(Assume, *MC)) {
+      if (MC && Solv.entailsAllUnder(*MC)) {
         Step.Kind = Justify::LocalObligation;
         Step.LocalIndex = static_cast<int>(K + 1);
         Cert.Steps.push_back(std::move(Step));
@@ -205,7 +212,7 @@ private:
     case TraceOp::Ensures: {
       for (size_t J = K + 1; J < Path.Emits.size(); ++J) {
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(J);
           Cert.Steps.push_back(std::move(Step));
@@ -224,7 +231,7 @@ private:
       // (1) Local: an earlier emission in the same path.
       for (size_t J = 0; J < K; ++J) {
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(J);
           Cert.Steps.push_back(std::move(Step));
@@ -239,7 +246,7 @@ private:
           Pseudo.Kind = SymAction::Spawn;
           Pseudo.Comp = Path.FoundComps[F];
           auto MC = matchUnder(Pseudo, Obl, Sigma);
-          if (MC && Solv.entailsAll(Assume, *MC)) {
+          if (MC && Solv.entailsAllUnder(*MC)) {
             Step.Kind = Justify::CompOrigin;
             Step.LocalIndex = static_cast<int>(F);
             Cert.Steps.push_back(std::move(Step));
@@ -271,9 +278,7 @@ private:
         auto MC = matchUnder(Path.Emits[J], Obl, Sigma);
         if (!MC)
           continue;
-        std::vector<Lit> Both = Assume;
-        Both.insert(Both.end(), MC->begin(), MC->end());
-        if (Solv.maybeSat(Both))
+        if (Solv.maybeSatUnder(*MC))
           return obligationFailed(
               Step, "an earlier action in the same handler may match the "
                     "disabling pattern " +
@@ -287,7 +292,7 @@ private:
       // (2) Failed-lookup fact: a prior Spawn matching A would have left a
       // matching component alive, contradicting the lookup failure.
       if (Obl.Kind == ActionPattern::Spawn &&
-          noCompFactCovers(Path, Assume, Sigma, Obl)) {
+          noCompFactCovers(Path, Sigma, Obl)) {
         Step.Kind = Justify::NoCompHistory;
         Cert.Steps.push_back(std::move(Step));
         return true;
@@ -314,9 +319,9 @@ private:
   /// fact is provably forced by the pattern: any component matching the
   /// pattern would satisfy the failed lookup's predicate, so it cannot
   /// exist — hence it was never spawned (components are immortal and
-  /// configs immutable).
-  bool noCompFactCovers(const SymPath &Path, const std::vector<Lit> &Assume,
-                        const SymBinding &Sigma, const ActionPattern &Obl) {
+  /// configs immutable). Queries run under the asserted obligation stack.
+  bool noCompFactCovers(const SymPath &Path, const SymBinding &Sigma,
+                        const ActionPattern &Obl) {
     for (const NoCompFact &Fact : Path.NoComp) {
       if (Fact.TypeName != Obl.Comp.TypeName)
         continue;
@@ -344,8 +349,8 @@ private:
         case PatTerm::Wild:
           break;
         }
-        if (!PatSide || !Solv.entails(Assume, Lit(Ctx.eq(PatSide, Required),
-                                                  true))) {
+        if (!PatSide ||
+            !Solv.entailsUnder(Lit(Ctx.eq(PatSide, Required), true))) {
           Covered = false;
           break;
         }
@@ -575,6 +580,11 @@ private:
                            unsigned Depth) {
     if (Opts.Budget && Opts.Budget->expired())
       return false;
+    // Invariant proving is re-entrant (discharge calls it while an
+    // obligation's scopes are open, and it recurses through nested
+    // strengthening); rewind to the base context so each path below
+    // asserts exactly its own hypothesis.
+    Solver::Suspended Clean(Solv);
     SymBinding PatB = patSymBinding(Ctx, Inv);
     std::set<std::string> GuardVars;
     collectGuardVars(Inv.Guard, Ctx, GuardVars);
@@ -582,17 +592,18 @@ private:
     // Base case: init.
     for (size_t I = 0; I < Abs.Init.Paths.size(); ++I) {
       const SymPath &Path = Abs.Init.Paths[I];
-      std::vector<Lit> Assume = assumeWithGuard(Path, Inv, /*IsInit=*/true);
+      Solver::Scope PathScope(
+          Solv, assumeWithGuard(Path, Inv, /*IsInit=*/true));
       ProofStep Step;
       Step.Where = "init";
       Step.PathIndex = static_cast<int>(I);
-      if (!Solv.maybeSat(Assume)) {
+      if (Solv.check() == SatResult::Unsat) {
         Step.Kind = Justify::PathInfeasible;
         Rec.Steps.push_back(std::move(Step));
         continue;
       }
       if (Inv.Forbids) {
-        if (!refuteAllEmissions(Path, Assume, PatB, Inv.Action))
+        if (!refuteAllEmissions(Path, PatB, Inv.Action))
           return false;
         Step.Kind = Justify::NoPriorLocal;
         Rec.Steps.push_back(std::move(Step));
@@ -602,7 +613,7 @@ private:
       for (size_t J = 0; J < Path.Emits.size() && !Found; ++J) {
         SymBinding B = PatB;
         auto MC = matchSymAction(Ctx, Path.Emits[J], Inv.Action, B);
-        if (MC && Solv.entailsAll(Assume, *MC)) {
+        if (MC && Solv.entailsAllUnder(*MC)) {
           Step.Kind = Justify::LocalObligation;
           Step.LocalIndex = static_cast<int>(J);
           Found = true;
@@ -626,12 +637,12 @@ private:
       noteHandler(whereOf(S));
       for (size_t I = 0; I < S.Paths.size(); ++I) {
         const SymPath &Path = S.Paths[I];
-        std::vector<Lit> Assume =
-            assumeWithGuard(Path, Inv, /*IsInit=*/false);
+        Solver::Scope PathScope(
+            Solv, assumeWithGuard(Path, Inv, /*IsInit=*/false));
         ProofStep Step;
         Step.Where = whereOf(S);
         Step.PathIndex = static_cast<int>(I);
-        if (!Solv.maybeSat(Assume)) {
+        if (Solv.check() == SatResult::Unsat) {
           Step.Kind = Justify::PathInfeasible;
           Rec.Steps.push_back(std::move(Step));
           continue;
@@ -641,9 +652,9 @@ private:
           // be clean: either the guard already held (inductive
           // hypothesis), or the path's own pre-state branch conditions
           // re-establish the exclusion through a deeper induction.
-          if (!refuteAllEmissions(Path, Assume, PatB, Inv.Action))
+          if (!refuteAllEmissions(Path, PatB, Inv.Action))
             return false;
-          if (Solv.entailsAll(Assume, Inv.Guard)) {
+          if (Solv.entailsAllUnder(Inv.Guard)) {
             Step.Kind = Justify::GuardPreserved;
             Rec.Steps.push_back(std::move(Step));
             continue;
@@ -667,13 +678,13 @@ private:
         for (size_t J = 0; J < Path.Emits.size() && !Done; ++J) {
           SymBinding B = PatB;
           auto MC = matchSymAction(Ctx, Path.Emits[J], Inv.Action, B);
-          if (MC && Solv.entailsAll(Assume, *MC)) {
+          if (MC && Solv.entailsAllUnder(*MC)) {
             Step.Kind = Justify::LocalObligation;
             Step.LocalIndex = static_cast<int>(J);
             Done = true;
           }
         }
-        if (!Done && Solv.entailsAll(Assume, Inv.Guard)) {
+        if (!Done && Solv.entailsAllUnder(Inv.Guard)) {
           Step.Kind = Justify::GuardPreserved;
           Done = true;
         }
@@ -718,17 +729,15 @@ private:
   }
 
   /// For Forbids invariants: no emission of \p Path may match the action
-  /// under the assumptions.
-  bool refuteAllEmissions(const SymPath &Path, const std::vector<Lit> &Assume,
-                          const SymBinding &PatB, const ActionPattern &Act) {
+  /// under the asserted path hypothesis.
+  bool refuteAllEmissions(const SymPath &Path, const SymBinding &PatB,
+                          const ActionPattern &Act) {
     for (const SymAction &E : Path.Emits) {
       SymBinding B = PatB;
       auto MC = matchSymAction(Ctx, E, Act, B);
       if (!MC)
         continue;
-      std::vector<Lit> Both = Assume;
-      Both.insert(Both.end(), MC->begin(), MC->end());
-      if (Solv.maybeSat(Both))
+      if (Solv.maybeSatUnder(*MC))
         return false;
     }
     return true;

@@ -119,6 +119,13 @@ std::string VerificationReport::toJson() const {
   W.value(TotalMillis);
   W.field("terms", static_cast<int64_t>(TermCount));
   W.field("solver_queries", static_cast<int64_t>(SolverQueries));
+  W.field("solver_memo_hits", static_cast<int64_t>(SolverMemoHits));
+  W.field("solver_assumption_checks",
+          static_cast<int64_t>(SolverAssumptionChecks));
+  W.field("solver_trail_undos", static_cast<int64_t>(SolverTrailUndos));
+  if (SolverReasonLogBytes)
+    W.field("solver_reason_log_bytes",
+            static_cast<int64_t>(SolverReasonLogBytes));
   if (ProofCacheHits || ProofCacheMisses) {
     W.field("proof_cache_hits", static_cast<int64_t>(ProofCacheHits));
     W.field("proof_cache_misses", static_cast<int64_t>(ProofCacheMisses));
@@ -216,6 +223,9 @@ const Program &VerifySession::program() const { return I->P; }
 const VerifyOptions &VerifySession::options() const { return I->Opts; }
 uint64_t VerifySession::solverQueries() const { return I->Solv.queriesSolved(); }
 uint64_t VerifySession::invariantCacheHits() const { return I->Cache.Hits; }
+const SolverStats &VerifySession::solverStats() const {
+  return I->Solv.stats();
+}
 
 ProverOptions proverOptions(const VerifyOptions &Opts) {
   ProverOptions POpts;
@@ -315,6 +325,11 @@ PropertyResult VerifySession::verifyOne(const Property &Prop, Deadline &D,
         // A certificate the checker rejects is not a proof.
         R.Status = VerifyStatus::Unknown;
         R.Reason = "certificate rejected: " + Chk.Why;
+      } else {
+        // Adopt the checker's validated solver log: the audit JSON then
+        // matches a proof-cache re-admission byte for byte (both sides
+        // render the same deterministic re-derivation).
+        R.Cert.SolverLog = std::move(Chk.SolverLog);
       }
     }
     if (R.Status == VerifyStatus::Proved) {
@@ -430,6 +445,11 @@ VerificationReport VerifySession::verifyAll() {
   Report.TermCount = I->Ctx.termCount();
   Report.SolverQueries = I->Solv.queriesSolved();
   Report.InvariantCacheHits = I->Cache.Hits;
+  const SolverStats &SS = I->Solv.stats();
+  Report.SolverMemoHits = SS.MemoHits + SS.SharedMemoHits;
+  Report.SolverAssumptionChecks = SS.AssumptionChecks;
+  Report.SolverTrailUndos = SS.TrailUndos;
+  Report.SolverReasonLogBytes = SS.ReasonLogBytes;
   return Report;
 }
 

@@ -137,6 +137,15 @@ struct VerificationReport {
   size_t TermCount = 0;
   uint64_t SolverQueries = 0;
   uint64_t InvariantCacheHits = 0;
+  /// Incremental solver core counters (sym/solver.h SolverStats), summed
+  /// across the sessions that produced this report: memo hits (private +
+  /// shared), scoped checks answered under an asserted assumption stack,
+  /// undo-trail entries reversed by pop(), and bytes of recorded reason
+  /// trails (zero unless solver-level proof logging ran).
+  uint64_t SolverMemoHits = 0;
+  uint64_t SolverAssumptionChecks = 0;
+  uint64_t SolverTrailUndos = 0;
+  uint64_t SolverReasonLogBytes = 0;
   /// Persistent proof-cache traffic (zero when no cache is attached).
   uint64_t ProofCacheHits = 0;
   uint64_t ProofCacheMisses = 0;
@@ -237,6 +246,10 @@ public:
   const VerifyOptions &options() const;
   uint64_t solverQueries() const;
   uint64_t invariantCacheHits() const;
+  /// The full incremental-core counter set (sym/solver.h SolverStats):
+  /// memo hits, scoped assumption checks, undo-trail reversals,
+  /// reason-log bytes.
+  const SolverStats &solverStats() const;
 
 private:
   /// One engine, no dispatch: the shared tail of every verify() call.

@@ -986,6 +986,10 @@ std::string stableReportJson(VerificationReport R) {
   R.TermCount = 0;
   R.SolverQueries = 0;
   R.InvariantCacheHits = 0;
+  R.SolverMemoHits = 0;
+  R.SolverAssumptionChecks = 0;
+  R.SolverTrailUndos = 0;
+  R.SolverReasonLogBytes = 0;
   for (PropertyResult &PR : R.Results)
     PR.Millis = 0;
   return R.toJson();

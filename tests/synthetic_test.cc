@@ -42,6 +42,93 @@ TEST_P(ChainSweep, OptimizationsPreserveCompleteness) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ChainSweep,
                          ::testing::Values(2u, 3u, 5u, 8u, 13u));
 
+class FleetSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FleetSweep, AllPropertiesProve) {
+  unsigned Lanes = GetParam();
+  ProgramPtr P = mustLoad(kernels::syntheticFleetKernel(Lanes));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Properties.size(), 2 * Lanes);
+  VerificationReport R = verifyProgram(*P);
+  for (const PropertyResult &Res : R.Results)
+    EXPECT_EQ(Res.Status, VerifyStatus::Proved)
+        << "fleet" << Lanes << "/" << Res.Name << ": " << Res.Reason;
+}
+
+TEST_P(FleetSweep, OptimizationsPreserveCompleteness) {
+  unsigned Lanes = GetParam();
+  ProgramPtr P = mustLoad(kernels::syntheticFleetKernel(Lanes));
+  for (bool Skip : {false, true})
+    for (bool Cache : {false, true}) {
+      VerifyOptions O;
+      O.SyntacticSkip = Skip;
+      O.CacheInvariants = Cache;
+      EXPECT_TRUE(verifyProgram(*P, O).allProved())
+          << "lanes=" << Lanes << " skip=" << Skip << " cache=" << Cache;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetSweep, ::testing::Values(1u, 4u, 10u));
+
+TEST(Fleet, UngatedLaneIsRejected) {
+  // Drop lane 1's gate: Use1 emits Out1 unconditionally, so Lane1 (every
+  // Out1 preceded by Ack1) becomes unprovable (and false).
+  std::string Src = kernels::syntheticFleetKernel(3);
+  const char Guarded[] = "  if (open1) {\n    send(N1, Out1(x));\n  }";
+  size_t Pos = Src.find(Guarded);
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, sizeof(Guarded) - 1, "  send(N1, Out1(x));");
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  PropertyResult R = verifyOne(*P, "Lane1");
+  EXPECT_NE(R.Status, VerifyStatus::Proved);
+  // The other lanes are untouched and still prove.
+  EXPECT_EQ(verifyOne(*P, "Lane0").Status, VerifyStatus::Proved);
+}
+
+class BranchSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BranchSweep, AllPropertiesProve) {
+  unsigned Depth = GetParam();
+  ProgramPtr P = mustLoad(kernels::syntheticBranchKernel(Depth));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Properties.size(), 2u);
+  VerificationReport R = verifyProgram(*P);
+  for (const PropertyResult &Res : R.Results)
+    EXPECT_EQ(Res.Status, VerifyStatus::Proved)
+        << "branch" << Depth << "/" << Res.Name << ": " << Res.Reason;
+}
+
+TEST_P(BranchSweep, OptimizationsPreserveCompleteness) {
+  unsigned Depth = GetParam();
+  ProgramPtr P = mustLoad(kernels::syntheticBranchKernel(Depth));
+  for (bool Skip : {false, true})
+    for (bool Cache : {false, true}) {
+      VerifyOptions O;
+      O.SyntacticSkip = Skip;
+      O.CacheInvariants = Cache;
+      EXPECT_TRUE(verifyProgram(*P, O).allProved())
+          << "depth=" << Depth << " skip=" << Skip << " cache=" << Cache;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BranchSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u));
+
+TEST(Branch, UnarmedLeafIsRejected) {
+  // Remove the arm gate around the probe nest: Hit can be emitted before
+  // Go, so Gated becomes unprovable (and false).
+  std::string Src = kernels::syntheticBranchKernel(2);
+  const char Gate[] = "if (armed) {";
+  size_t Pos = Src.find(Gate, Src.find("Probe"));
+  ASSERT_NE(Pos, std::string::npos);
+  Src.replace(Pos, sizeof(Gate) - 1, "if (true) {");
+  ProgramPtr P = mustLoad(Src);
+  ASSERT_NE(P, nullptr);
+  PropertyResult R = verifyOne(*P, "Gated");
+  EXPECT_NE(R.Status, VerifyStatus::Proved);
+}
+
 TEST(Chain, BrokenChainIsRejected) {
   // Remove the guard of stage 2: Chain2 becomes unprovable (and false).
   std::string Src = kernels::syntheticChainKernel(4);

@@ -18,6 +18,12 @@
 #                               in --smoke mode
 #   * tests/chaos_test        — torn/tampered journal replay, kill -9
 #                               recovery, shedding, supervised restarts
+#   * tests/solver_test       — the incremental core's undo trail and
+#                               watched-term indexing (pointer-heavy)
+#   * tests/solver_diff_test  — randomized scoped-vs-scratch solving and
+#                               tampered reason-trail rejection
+#   * bench/bench_solver      — scoped-vs-scratch query parity + reason
+#                               trail replay, in --smoke mode
 #
 # Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
 set -euo pipefail
@@ -27,7 +33,8 @@ BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test robustness_test \
-  certificate_test chaos_test bench_faults bench_portfolio
+  certificate_test chaos_test solver_test solver_diff_test bench_faults \
+  bench_portfolio bench_solver
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -54,5 +61,15 @@ echo "== bench_portfolio --smoke (ASan+UBSan) =="
 
 echo "== chaos_test (ASan+UBSan) =="
 "$BUILD/tests/chaos_test"
+
+echo "== solver_test (ASan+UBSan) =="
+"$BUILD/tests/solver_test"
+
+echo "== solver_diff_test (ASan+UBSan) =="
+"$BUILD/tests/solver_diff_test"
+
+echo "== bench_solver --smoke (ASan+UBSan) =="
+"$BUILD/bench/bench_solver" --smoke --depth 4 --lanes 4 \
+  --out "$BUILD/BENCH_solver.smoke.json"
 
 echo "ASan/UBSan: no issues reported"

@@ -20,7 +20,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_parallel bench_faults \
-  bench_incremental bench_chaos reflex_cli
+  bench_incremental bench_chaos bench_solver reflex_cli
 
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 

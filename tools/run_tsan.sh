@@ -16,6 +16,13 @@
 #   * tests/chaos_test        — journal appends from handler threads,
 #                               overload shedding under concurrent
 #                               clients, supervised restarts
+#   * tests/solver_test       — the incremental solver core incl. the
+#                               shared cross-worker memo tier
+#   * tests/solver_diff_test  — incremental-vs-reference differential and
+#                               verdict parity across jobs/sharing/faults
+#                               (racing workers share the solver memo)
+#   * bench/bench_solver      — scoped-vs-scratch query parity + reason
+#                               trail replay, in --smoke mode
 #
 # Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
 set -euo pipefail
@@ -25,7 +32,8 @@ BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test prover_test \
-  chaos_test bench_parallel bench_portfolio
+  chaos_test solver_test solver_diff_test bench_parallel bench_portfolio \
+  bench_solver
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -50,5 +58,15 @@ echo "== bench_portfolio --jobs 4 --smoke (TSan) =="
 
 echo "== chaos_test (TSan) =="
 "$BUILD/tests/chaos_test"
+
+echo "== solver_test (TSan) =="
+"$BUILD/tests/solver_test"
+
+echo "== solver_diff_test (TSan) =="
+"$BUILD/tests/solver_diff_test"
+
+echo "== bench_solver --smoke (TSan) =="
+"$BUILD/bench/bench_solver" --smoke --depth 4 --lanes 4 \
+  --out "$BUILD/BENCH_solver.smoke.json"
 
 echo "TSan: no data races reported"
