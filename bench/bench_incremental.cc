@@ -22,17 +22,30 @@
 // run back to back with alternating order, so container jitter cancels
 // instead of masquerading as a speedup).
 //
+// A fourth scenario measures the *path-granular* footprints specifically:
+//
+//  * edit one branch  — per-leaf branch kernels (syntheticBranchKernel
+//                       sweeps, one property per leaf) with one leaf's
+//                       scratch literal edited. Path-granular footprints
+//                       re-verify exactly the one property whose proof
+//                       entered the edited leaf; the handler-granular
+//                       baseline (setPathGranularity(false)) re-verifies
+//                       the whole Gated_* family.
+//
 // Correctness gates (exit non-zero on failure):
 //  * the mutation audit: the incremental verdicts for the edited kernel
 //    are byte-identical (status, reason, certificate JSON) to a
 //    from-scratch verification, and audit mode's internal re-proving of
-//    every reused verdict finds no mismatch;
-//  * outside --smoke, the aggregate edit-one speedup is >= 3x.
+//    every reused verdict finds no mismatch (the branch-kernel edits are
+//    audited the same way);
+//  * outside --smoke, the aggregate edit-one speedup is >= 3x and the
+//    edit-one-branch speedup versus the handler-granular baseline is
+//    >= 2x.
 //
 // Flags:
 //   --stages N  chain-kernel size (default 12; more stages, more
 //               edit-disjoint properties)
-//   --smoke     one repetition, no speedup gate (CI races/sanitizers)
+//   --smoke     one repetition, no speedup gates (CI races/sanitizers)
 //   --out FILE  JSON output path (default BENCH_incremental.json)
 //
 //===----------------------------------------------------------------------===//
@@ -148,6 +161,36 @@ double median(std::vector<double> V) {
   return V[V.size() / 2];
 }
 
+/// A per-leaf branch kernel plus the variant with one leaf's scratch
+/// literal rewritten to a fresh value no other leaf uses. The edit
+/// changes exactly one path's post-state (never its emits), so it is the
+/// sharpest possible probe of path-granular reuse.
+struct BranchSubject {
+  unsigned Depth = 0;
+  ProgramPtr P1, PEdit;
+};
+
+BranchSubject buildBranchSubject(unsigned Depth) {
+  BranchSubject S;
+  S.Depth = Depth;
+  std::string Src = kernels::syntheticBranchKernel(Depth, true);
+  const unsigned EditLeaf = (1u << Depth) / 2;
+  std::string Old = "scratch = " + std::to_string(EditLeaf) + ";";
+  std::string New = "scratch = " + std::to_string(7777 + EditLeaf) + ";";
+  size_t Pos = Src.find(Old);
+  if (Pos == std::string::npos) {
+    std::fprintf(stderr, "FAIL: branch kernel is missing '%s'\n",
+                 Old.c_str());
+    std::exit(1);
+  }
+  std::string Src2 = Src;
+  Src2.replace(Pos, Old.size(), New);
+  std::string Name = "branch" + std::to_string(Depth) + "pl";
+  S.P1 = mustLoad(Src, Name);
+  S.PEdit = mustLoad(Src2, Name + " (one leaf edited)");
+  return S;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -239,6 +282,68 @@ int main(int Argc, char **Argv) {
               (unsigned long long)ReusedOne,
               (unsigned long long)ReverifiedOne);
 
+  // The path-granularity probe: per-leaf branch kernels with one leaf's
+  // scratch literal edited. Audited (byte-identical to from-scratch) in
+  // path mode, then timed against the handler-granular baseline.
+  std::vector<BranchSubject> Branches;
+  for (unsigned D : Smoke ? std::vector<unsigned>{2}
+                          : std::vector<unsigned>{2, 3, 4})
+    Branches.push_back(buildBranchSubject(D));
+
+  uint64_t BranchPathReused = 0, BranchPathReverified = 0;
+  uint64_t BranchHandlerReverified = 0;
+  for (const BranchSubject &B : Branches) {
+    IncrementalVerifier IV;
+    IV.setAuditReuse(true);
+    IV.verify(*B.P1);
+    IncrementalVerifier::Outcome Out = IV.verify(*B.PEdit);
+    BranchPathReused += Out.Reused;
+    BranchPathReverified += Out.Reverified;
+    if (Out.AuditFailures) {
+      AuditOk = false;
+      for (const std::string &Err : Out.AuditErrors)
+        std::fprintf(stderr, "FAIL: branch%upl audit: %s\n", B.Depth,
+                     Err.c_str());
+    }
+    VerificationReport Fresh = verifyProgram(*B.PEdit);
+    if (Out.Report.Results.size() != Fresh.Results.size()) {
+      AuditOk = false;
+      continue;
+    }
+    for (size_t I = 0; I < Fresh.Results.size(); ++I) {
+      const PropertyResult &Got = Out.Report.Results[I];
+      const PropertyResult &Want = Fresh.Results[I];
+      if (Got.Status != Want.Status || Got.Reason != Want.Reason ||
+          Got.CertJson != Want.CertJson) {
+        AuditOk = false;
+        std::fprintf(stderr,
+                     "FAIL: branch%upl / %s: incremental verdict differs "
+                     "from from-scratch\n",
+                     B.Depth, Want.Name.c_str());
+      }
+    }
+
+    IncrementalVerifier Baseline;
+    Baseline.setPathGranularity(false);
+    Baseline.verify(*B.P1);
+    IncrementalVerifier::Outcome Base = Baseline.verify(*B.PEdit);
+    BranchHandlerReverified += Base.Reverified;
+    if (Base.Reverified <= Out.Reverified) {
+      AuditOk = false;
+      std::fprintf(stderr,
+                   "FAIL: branch%upl: path granularity re-verified %llu "
+                   "properties, no fewer than the handler baseline's %llu\n",
+                   B.Depth, (unsigned long long)Out.Reverified,
+                   (unsigned long long)Base.Reverified);
+    }
+  }
+  std::printf("branch-leaf audit: %s (%llu reused + %llu re-verified "
+              "path-granularly; handler baseline re-verified %llu)\n\n",
+              AuditOk ? "byte-identical verdicts" : "FAILED",
+              (unsigned long long)BranchPathReused,
+              (unsigned long long)BranchPathReverified,
+              (unsigned long long)BranchHandlerReverified);
+
   // Timed phases. Aggregate (summed over kernels) per sample; the
   // edit-one speedup is the median of paired adjacent ratios, full and
   // incremental batches back to back with alternating order.
@@ -277,8 +382,23 @@ int main(int Argc, char **Argv) {
     return Ms;
   };
 
+  // The branch probe, timed at both granularities. The warmed pre-edit
+  // session is untimed in both arms; only the post-edit re-verification
+  // differs (one property versus the whole per-leaf family).
+  auto BranchBatch = [&](bool PathGranular) {
+    double Ms = 0;
+    for (const BranchSubject &B : Branches) {
+      IncrementalVerifier IV;
+      IV.setPathGranularity(PathGranular);
+      IV.verify(*B.P1);
+      Ms += IV.verify(*B.PEdit).Report.TotalMillis;
+    }
+    return Ms;
+  };
+
   ColdBatch(); // untimed warm-up
   std::vector<double> ColdMsS, FullMsS, OneMsS, AllMsS, Ratios;
+  std::vector<double> BranchPathMsS, BranchHandlerMsS, BranchRatios;
   for (unsigned R = 0; R < Runs * Inner; ++R) {
     ColdMsS.push_back(ColdBatch());
     AllMsS.push_back(EditAllBatch());
@@ -293,17 +413,35 @@ int main(int Argc, char **Argv) {
     FullMsS.push_back(Full);
     OneMsS.push_back(One);
     Ratios.push_back(One > 0 ? Full / One : 0);
+    double BrHandler = 0, BrPath = 0;
+    if (R % 2 == 0) {
+      BrHandler = BranchBatch(false);
+      BrPath = BranchBatch(true);
+    } else {
+      BrPath = BranchBatch(true);
+      BrHandler = BranchBatch(false);
+    }
+    BranchHandlerMsS.push_back(BrHandler);
+    BranchPathMsS.push_back(BrPath);
+    BranchRatios.push_back(BrPath > 0 ? BrHandler / BrPath : 0);
   }
   auto Round2 = [](double X) { return std::round(X * 100) / 100; };
   double ColdMs = median(ColdMsS), FullMs = median(FullMsS);
   double OneMs = median(OneMsS), AllMs = median(AllMsS);
   double Speedup = Round2(median(Ratios));
+  double BranchPathMs = median(BranchPathMsS);
+  double BranchHandlerMs = median(BranchHandlerMsS);
+  double BranchSpeedup = Round2(median(BranchRatios));
 
   std::printf("%-28s %10.2f ms\n", "cold (pristine)", ColdMs);
   std::printf("%-28s %10.2f ms\n", "full re-verify (edited)", FullMs);
   std::printf("%-28s %10.2f ms   %.2fx vs full\n", "edit one handler", OneMs,
               Speedup);
   std::printf("%-28s %10.2f ms\n", "edit all handlers", AllMs);
+  std::printf("%-28s %10.2f ms\n", "edit one branch (handler)",
+              BranchHandlerMs);
+  std::printf("%-28s %10.2f ms   %.2fx vs handler-granular\n",
+              "edit one branch (path)", BranchPathMs, BranchSpeedup);
 
   JsonWriter W;
   W.beginObject();
@@ -325,6 +463,17 @@ int main(int Argc, char **Argv) {
   W.value(Speedup);
   W.field("edit_one_reused", int64_t(ReusedOne));
   W.field("edit_one_reverified", int64_t(ReverifiedOne));
+  W.field("branch_kernels", int64_t(Branches.size()));
+  W.key("edit_one_branch_path_ms");
+  W.value(BranchPathMs);
+  W.key("edit_one_branch_handler_ms");
+  W.value(BranchHandlerMs);
+  W.key("edit_one_branch_speedup");
+  W.value(BranchSpeedup);
+  W.field("edit_one_branch_reused", int64_t(BranchPathReused));
+  W.field("edit_one_branch_reverified", int64_t(BranchPathReverified));
+  W.field("edit_one_branch_handler_reverified",
+          int64_t(BranchHandlerReverified));
   W.field("mutation_audit_ok", AuditOk);
   W.endObject();
   std::ofstream Out(OutPath);
@@ -338,6 +487,12 @@ int main(int Argc, char **Argv) {
   if (!Smoke && Speedup < 3.0) {
     std::fprintf(stderr,
                  "FAIL: edit-one speedup %.2fx below the 3x gate\n", Speedup);
+    return 1;
+  }
+  if (!Smoke && BranchSpeedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: edit-one-branch speedup %.2fx below the 2x gate\n",
+                 BranchSpeedup);
     return 1;
   }
   return 0;

@@ -185,7 +185,10 @@ void ReflexDaemon::recoverFromJournal(const JournalReplay &Replay) {
       R.ServedBy = V.ServedBy;
       R.Footprint.Collected = V.FootprintCollected;
       R.Footprint.AllHandlers = V.FootprintAll;
-      R.Footprint.Handlers.insert(V.Footprint.begin(), V.Footprint.end());
+      // Journaled footprints use the wire encoding ("key" = all paths,
+      // "key@ids" = entered paths); pre-path-granularity records decode
+      // conservatively as AllPaths.
+      R.Footprint.Handlers = decodeFootprintHandlers(V.Footprint);
       if (V.Status == VerifyStatus::Proved) {
         if (V.CanonicalCert.empty()) {
           ++VerdictsBad;
@@ -294,8 +297,7 @@ void ReflexDaemon::journalSessionState(const std::string &Name,
     V.ServedBy = PR.ServedBy;
     V.FootprintCollected = PR.Footprint.Collected;
     V.FootprintAll = PR.Footprint.AllHandlers;
-    V.Footprint.assign(PR.Footprint.Handlers.begin(),
-                       PR.Footprint.Handlers.end());
+    V.Footprint = encodeFootprintHandlers(PR.Footprint.Handlers);
     if (PR.Status == VerifyStatus::Proved) {
       // The canonical certificate (the checker's comparison target at
       // recovery) lives in the proof cache entry this verdict stored
@@ -684,6 +686,8 @@ ReflexDaemon::doOpenSession(const DaemonRequest &R,
     TotalReused += Out.Reused;
     TotalFootprintReused += Out.FootprintReused;
     TotalReverified += Out.Reverified;
+    TotalPathHits += Out.Report.PathHits;
+    TotalPathFallbacks += Out.Report.PathFallbacks;
   }
   noteEnginesServed(Out.Report);
   // Durability point: the session and its verdicts are journaled (each
@@ -759,6 +763,8 @@ std::string ReflexDaemon::doEdit(const DaemonRequest &R,
     TotalReused += Out.Reused;
     TotalFootprintReused += Out.FootprintReused;
     TotalReverified += Out.Reverified;
+    TotalPathHits += Out.Report.PathHits;
+    TotalPathFallbacks += Out.Report.PathFallbacks;
   }
   noteEnginesServed(Out.Report);
   // Re-journal the session wholesale: a snapshot record replaces the
@@ -834,6 +840,8 @@ std::string ReflexDaemon::doStats() {
     W.field("known_programs", int64_t(KnownDeclIds.size()));
     W.field("reused", int64_t(TotalReused));
     W.field("footprint_reused", int64_t(TotalFootprintReused));
+    W.field("path_hits", int64_t(TotalPathHits));
+    W.field("path_fallbacks", int64_t(TotalPathFallbacks));
     W.field("reverified", int64_t(TotalReverified));
     W.key("shed");
     W.beginObject();
@@ -900,6 +908,8 @@ std::string ReflexDaemon::doStats() {
     W.field("misses", int64_t(CS.Misses));
     W.field("stores", int64_t(CS.Stores));
     W.field("footprint_hits", int64_t(CS.FootprintHits));
+    W.field("path_hits", int64_t(CS.PathHits));
+    W.field("path_fallbacks", int64_t(CS.PathFallbacks));
     W.field("rejected", int64_t(CS.Rejected));
     W.field("quarantined", int64_t(CS.Quarantined));
     W.field("gc_runs", int64_t(CS.GcRuns));

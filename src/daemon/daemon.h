@@ -247,6 +247,10 @@ private:
   uint64_t TotalReused = 0;
   uint64_t TotalFootprintReused = 0;
   uint64_t TotalReverified = 0;
+  /// Path-granular footprint reuse (verifier.h report counters): reuses
+  /// only the path tier could serve, and reuse checks that fell back.
+  uint64_t TotalPathHits = 0;
+  uint64_t TotalPathFallbacks = 0;
   std::map<std::string, uint64_t> VerbCounts;
   std::map<std::string, std::array<uint64_t, 5>> VerbLatency;
   /// Verdicts served per engine ("induction"/"pdr"), across every verify,

@@ -173,6 +173,10 @@ void writeReportResults(JsonWriter &W, const VerificationReport &Rep) {
   }
   if (Rep.FootprintHits)
     W.field("footprint_hits", int64_t(Rep.FootprintHits));
+  if (Rep.PathHits || Rep.PathFallbacks) {
+    W.field("path_hits", int64_t(Rep.PathHits));
+    W.field("path_fallbacks", int64_t(Rep.PathFallbacks));
+  }
 }
 
 std::string encodeDaemonError(const std::string &Msg) {

@@ -89,36 +89,52 @@ std::string syntheticFleetKernel(unsigned Lanes) {
 namespace {
 
 /// Emits the complete binary if/else nest of syntheticBranchKernel below
-/// \p Level (leaves at \p Depth send Hit).
+/// \p Level (leaves at \p Depth send Hit). \p Leaf counts emitted leaves
+/// in source order; in per-leaf mode each leaf stamps its own literal
+/// into `scratch` and emits its own Hit message.
 void emitBranchNest(std::ostringstream &OS, unsigned Level, unsigned Depth,
-                    const std::string &Indent) {
+                    const std::string &Indent, bool PerLeaf,
+                    unsigned &Leaf) {
   if (Level == Depth) {
-    OS << Indent << "send(W, Hit(a0));\n";
+    if (PerLeaf) {
+      OS << Indent << "scratch = " << Leaf << ";\n";
+      OS << Indent << "send(W, Hit" << Leaf << "(a0));\n";
+      ++Leaf;
+    } else {
+      OS << Indent << "send(W, Hit(a0));\n";
+    }
     return;
   }
   OS << Indent << "if (a" << Level << " < 5) {\n";
-  emitBranchNest(OS, Level + 1, Depth, Indent + "  ");
+  emitBranchNest(OS, Level + 1, Depth, Indent + "  ", PerLeaf, Leaf);
   OS << Indent << "} else {\n";
-  emitBranchNest(OS, Level + 1, Depth, Indent + "  ");
+  emitBranchNest(OS, Level + 1, Depth, Indent + "  ", PerLeaf, Leaf);
   OS << Indent << "}\n";
 }
 
 } // namespace
 
-std::string syntheticBranchKernel(unsigned Depth) {
+std::string syntheticBranchKernel(unsigned Depth, bool PerLeafProps) {
   assert(Depth >= 1 && Depth <= 8 && "branch nest depth out of range");
+  const unsigned Leaves = 1u << Depth;
   std::ostringstream OS;
-  OS << "program branch" << Depth << ";\n";
+  OS << "program branch" << Depth << (PerLeafProps ? "pl" : "") << ";\n";
   OS << "component Driver \"driver.py\";\n";
   OS << "component Worker \"worker.py\";\n";
   OS << "message Arm(num);\n";
   OS << "message Go(num);\n";
-  OS << "message Hit(num);\n";
+  if (PerLeafProps)
+    for (unsigned L = 0; L < Leaves; ++L)
+      OS << "message Hit" << L << "(num);\n";
+  else
+    OS << "message Hit(num);\n";
   OS << "message Probe(";
   for (unsigned I = 0; I < Depth; ++I)
     OS << (I ? ", num" : "num");
   OS << ");\n";
   OS << "var armed: bool = false;\n";
+  if (PerLeafProps)
+    OS << "var scratch: num = 0;\n";
   OS << "init {\n  W <- spawn Worker();\n  D <- spawn Driver();\n}\n";
 
   OS << "handler Driver => Arm(x) {\n"
@@ -127,11 +143,17 @@ std::string syntheticBranchKernel(unsigned Depth) {
   for (unsigned I = 0; I < Depth; ++I)
     OS << (I ? ", a" : "a") << I;
   OS << ") {\n  if (armed) {\n";
-  emitBranchNest(OS, 0, Depth, "    ");
+  unsigned Leaf = 0;
+  emitBranchNest(OS, 0, Depth, "    ", PerLeafProps, Leaf);
   OS << "  }\n}\n";
 
-  OS << "property Gated:\n  [Send(Worker, Go(_))] Enables "
-     << "[Send(Worker, Hit(_))];\n";
+  if (PerLeafProps)
+    for (unsigned L = 0; L < Leaves; ++L)
+      OS << "property Gated" << L << ":\n  [Send(Worker, Go(_))] Enables "
+         << "[Send(Worker, Hit" << L << "(_))];\n";
+  else
+    OS << "property Gated:\n  [Send(Worker, Go(_))] Enables "
+       << "[Send(Worker, Hit(_))];\n";
   OS << "property ArmOnce:\n  atmostonce [Send(Worker, Go(_))];\n";
   return OS.str();
 }

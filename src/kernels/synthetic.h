@@ -63,7 +63,18 @@ std::string syntheticFleetKernel(unsigned Lanes);
 ///
 /// Stresses depth: long path conditions exercising the solver's scoped
 /// assertion stack (push/assume/pop) and the undo trail.
-std::string syntheticBranchKernel(unsigned Depth);
+///
+/// With \p PerLeafProps set, each of the 2^Depth leaves instead emits its
+/// own Hit_L message after stamping a leaf-distinct literal into a
+/// scratch state variable, and the Gated property splits into one
+/// Gated_L per leaf. Each Gated_L proof enters exactly leaf L of the
+/// probe handler (the other leaves' emits cannot match its trigger), and
+/// the {armed} => Go invariant never walks the probe handler at all — so
+/// editing one leaf's scratch literal invalidates exactly one proof
+/// under path-granular footprints, while the whole Gated_* family
+/// re-verifies under handler-granular ones. This is the workload behind
+/// bench_incremental's edit_one_branch gate.
+std::string syntheticBranchKernel(unsigned Depth, bool PerLeafProps = false);
 
 } // namespace kernels
 } // namespace reflex

@@ -24,13 +24,18 @@ namespace fs = std::filesystem;
 namespace {
 
 /// Bumped whenever the entry layout or the canonical certificate form
-/// changes; old entries are quarantined at first lookup and re-verified.
-/// (cert_sha256 was added without a bump: it is optional, and entries
-/// missing it simply take the full re-check path. Version 2 moved the key
-/// to the declaration fingerprint and added the proof footprint and
-/// per-handler fingerprints — version-1 entries were keyed by the whole
-/// program text and cannot be validated footprint-relatively.)
-constexpr int64_t EntryVersion = 2;
+/// changes. An entry from another version is *stale, not damaged*: it
+/// decodes to a plain miss (never quarantined) and is overwritten after
+/// re-verification. (cert_sha256 was added without a bump: it is
+/// optional, and entries missing it simply take the full re-check path.
+/// Version 2 moved the key to the declaration fingerprint and added the
+/// proof footprint and per-handler fingerprints. Version 3 made
+/// footprints path-granular — entries record which paths of each
+/// consulted handler the proof entered, plus the rendered path
+/// fingerprints reuse compares; v2 entries carry neither, and their
+/// guard order may predate render-stable sorting, so they cannot be
+/// validated against an edited program and simply miss.)
+constexpr int64_t EntryVersion = 3;
 
 /// The GC manifest's filename. Lives beside the entries (same .json
 /// extension a key file has, but keys are 64 hex chars, so no collision);
@@ -40,14 +45,23 @@ constexpr int64_t EntryVersion = 2;
 constexpr const char *GcManifestName = "gc.manifest";
 
 /// Decodes one entry file's bytes. Returns nullopt for anything a lookup
-/// would treat as damage (unparsable, wrong version, junk status, proved
-/// without certificate). Shared by lookup() and the open()-time preload.
-std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
+/// would treat as damage (unparsable, junk status, proved without
+/// certificate) — and for other-version entries, which additionally set
+/// \p Stale so lookup() reports a plain miss instead of quarantining.
+/// Shared by lookup() and the open()-time preload.
+std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes,
+                                           bool *Stale = nullptr) {
   Result<JsonValue> Doc = parseJson(Bytes);
   if (!Doc.ok() || !Doc->isObject())
     return std::nullopt;
-  if (int64_t(Doc->getNumber("version", 0)) != EntryVersion)
+  if (int64_t(Doc->getNumber("version", 0)) != EntryVersion) {
+    // A well-formed entry written under another layout generation (an
+    // old process's v2 file, or a newer process's) is not evidence of
+    // damage — it is simply unusable here.
+    if (Stale && int64_t(Doc->getNumber("version", 0)) > 0)
+      *Stale = true;
     return std::nullopt;
+  }
 
   ProofCacheEntry E;
   std::string Status = Doc->getString("status");
@@ -96,6 +110,35 @@ std::optional<ProofCacheEntry> decodeEntry(const std::string &Bytes) {
     F.BodyFp = Pair.substr(0, Colon);
     F.IfaceFp = Pair.substr(Colon + 1);
     E.HandlerFps.emplace(Key, std::move(F));
+  }
+  // Rendered path fingerprints of the footprint's handlers. Optional as a
+  // whole (entries for AllHandlers or uncollected footprints have none);
+  // malformed content is damage like any other field.
+  if (const JsonValue *PF = Doc->get("path_fps")) {
+    if (!PF->isObject())
+      return std::nullopt;
+    for (const auto &[Key, Val] : PF->entries()) {
+      if (!Val.isObject())
+        return std::nullopt;
+      SummaryFingerprint SF;
+      SF.SummaryFp = Val.getString("summary");
+      SF.Incomplete = Val.getBool("incomplete", false);
+      const JsonValue *Paths = Val.get("paths");
+      if (SF.SummaryFp.empty() || !Paths || !Paths->isArray())
+        return std::nullopt;
+      for (const JsonValue &PV : Paths->items()) {
+        if (!PV.isObject())
+          return std::nullopt;
+        PathFingerprint F;
+        F.Id = PV.getString("id");
+        F.EmitFp = PV.getString("emit");
+        F.FullFp = PV.getString("full");
+        if (F.Id.empty() || F.EmitFp.empty() || F.FullFp.empty())
+          return std::nullopt;
+        SF.Paths.push_back(std::move(F));
+      }
+      E.PathFps.emplace(Key, std::move(SF));
+    }
   }
   return E;
 }
@@ -235,10 +278,15 @@ std::optional<ProofCacheEntry> ProofCache::lookup(const std::string &Key) {
   }
 
   // From here on the file exists and was read; anything undecodable is
-  // damage — quarantine the evidence and report a miss.
-  std::optional<ProofCacheEntry> E = decodeEntry(*Bytes);
+  // damage — quarantine the evidence and report a miss — except an entry
+  // from another layout version, which is stale: a plain miss, left in
+  // place to be overwritten by the re-verification's store.
+  bool Stale = false;
+  std::optional<ProofCacheEntry> E = decodeEntry(*Bytes, &Stale);
   noteDecodeMillis(DecodeTimer.elapsedMillis());
   if (!E) {
+    if (Stale)
+      return std::nullopt;
     quarantine(Key);
     noteRejected();
     return std::nullopt;
@@ -299,6 +347,28 @@ Result<void> ProofCache::store(const std::string &Key,
   for (const auto &[K, F] : Entry.HandlerFps)
     W.field(K, F.BodyFp + ":" + F.IfaceFp);
   W.endObject();
+  if (!Entry.PathFps.empty()) {
+    W.key("path_fps");
+    W.beginObject();
+    for (const auto &[K, SF] : Entry.PathFps) {
+      W.key(K);
+      W.beginObject();
+      W.field("summary", SF.SummaryFp);
+      W.field("incomplete", SF.Incomplete);
+      W.key("paths");
+      W.beginArray();
+      for (const PathFingerprint &F : SF.Paths) {
+        W.beginObject();
+        W.field("id", F.Id);
+        W.field("emit", F.EmitFp);
+        W.field("full", F.FullFp);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endObject();
+  }
   W.endObject();
 
   // Atomic publish: write and fsync a per-thread temp file, then rename
@@ -511,6 +581,31 @@ void ProofCache::noteFootprintHit() {
   ++S.FootprintHits;
 }
 
+void ProofCache::notePathHit() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.PathHits;
+}
+
+void ProofCache::notePathFallback() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.PathFallbacks;
+}
+
+const PathFingerprints &
+ProofCache::pathFingerprintsFor(const std::string &MemoKey,
+                                VerifySession &Live) {
+  std::lock_guard<std::mutex> Lock(PathFpsMu);
+  auto It = PathFpsMemo.find(MemoKey);
+  if (It == PathFpsMemo.end())
+    // Computed under the lock on purpose: concurrent workers asking for
+    // the same program should wait for one computation, not race N.
+    It = PathFpsMemo
+             .emplace(MemoKey, computePathFingerprints(Live.termContext(),
+                                                       Live.behAbs()))
+             .first;
+  return It->second;
+}
+
 void ProofCache::noteDecodeMillis(double Ms) {
   std::lock_guard<std::mutex> Lock(Mu);
   S.DecodeMillis += Ms;
@@ -654,7 +749,8 @@ std::string ProofCache::memoizedDigest(const std::string &CanonicalCert) {
 PropertyResult verifyPropertyCached(
     const Program &P, const VerifyOptions &Opts,
     const std::function<VerifySession &()> &Session, const Property &Prop,
-    ProofCache *Cache, const ProgramFingerprints *Fps, Deadline *Budget) {
+    ProofCache *Cache, const ProgramFingerprints *Fps, Deadline *Budget,
+    const PathFingerprints *CurPaths) {
   auto Verify = [&] {
     VerifySession &Live = Session();
     return Budget ? Live.verify(Prop, *Budget) : Live.verify(Prop);
@@ -669,23 +765,49 @@ PropertyResult verifyPropertyCached(
   }
   std::string Key = ProofCache::keyFor(Fps->DeclFp, Prop, Opts);
 
+  // The current program's rendered path fingerprints — the "new" side of
+  // any path comparison, and what a stored verdict records for the next
+  // process. Lazy: a byte-identical program (the warm case) never needs
+  // them, so the no-edit fast path still serves without a session.
+  auto CurPathsFor = [&]() -> const PathFingerprints & {
+    if (CurPaths)
+      return *CurPaths;
+    return Cache->pathFingerprintsFor(
+        Fps->DeclFp + '\x1f' + Fps->HandlersFp + '\x1f' +
+            ProofCache::optionsFingerprint(Opts),
+        Session());
+  };
+
   std::optional<ProofCacheEntry> E = Cache->lookup(Key);
   // Footprint-relative validation (verify/footprint.h): the key covers
   // only declarations, so the entry may have been stored for different
   // handler bodies. Serve it only when the delta to the current program
-  // is provably irrelevant to the proof; an incompatible entry is stale,
-  // not damaged — a plain miss, overwritten after re-verification.
+  // is provably irrelevant to the proof — comparing the stored path
+  // fingerprints of the footprint's handlers against the current rendered
+  // abstraction; an incompatible entry is stale, not damaged — a plain
+  // miss, overwritten after re-verification.
   ProofFootprint EntryFP;
   bool FootprintRelative = false;
+  bool PathOnly = false;
+  bool PathFellBack = false;
   if (E) {
     FingerprintDelta D = fingerprintDelta(E->HandlerFps, Fps->Handlers);
     EntryFP.Collected = E->FootprintCollected;
     EntryFP.AllHandlers = E->FootprintAll;
-    EntryFP.Handlers.insert(E->Footprint.begin(), E->Footprint.end());
-    if (footprintReusable(EntryFP, D))
-      FootprintRelative = !D.empty();
-    else
-      E.reset();
+    EntryFP.Handlers = decodeFootprintHandlers(E->Footprint);
+    if (!D.empty()) {
+      const PathFingerprints &New = CurPathsFor();
+      if (footprintReusable(EntryFP, D, E->PathFps, New,
+                            FootprintGranularity::Path)) {
+        FootprintRelative = true;
+        PathOnly = !footprintReusable(EntryFP, D, E->PathFps, New,
+                                      FootprintGranularity::Handler);
+      } else {
+        PathFellBack = true;
+        Cache->notePathFallback();
+        E.reset();
+      }
+    }
   }
 
   if (E) {
@@ -695,11 +817,14 @@ PropertyResult verifyPropertyCached(
       R.ServedBy = E->ServedBy;
       R.CacheHit = true;
       R.FootprintHit = FootprintRelative;
+      R.PathHit = PathOnly;
       R.Footprint = EntryFP;
       R.Millis = Timer.elapsedMillis();
       Cache->noteHit();
       if (FootprintRelative)
         Cache->noteFootprintHit();
+      if (PathOnly)
+        Cache->notePathHit();
     };
     if (E->Status == VerifyStatus::Unknown) {
       // Reusing "the automation could not prove this" needs no proof
@@ -801,6 +926,7 @@ PropertyResult verifyPropertyCached(
   }
 
   PropertyResult R = Verify();
+  R.PathFallback = PathFellBack;
   if (R.Status == VerifyStatus::Proved || R.Status == VerifyStatus::Unknown) {
     ProofCacheEntry NewE;
     NewE.Status = R.Status;
@@ -814,8 +940,20 @@ PropertyResult verifyPropertyCached(
     }
     NewE.FootprintCollected = R.Footprint.Collected;
     NewE.FootprintAll = R.Footprint.AllHandlers;
-    NewE.Footprint.assign(R.Footprint.Handlers.begin(),
-                          R.Footprint.Handlers.end());
+    NewE.Footprint = encodeFootprintHandlers(R.Footprint.Handlers);
+    // Record the rendered path fingerprints of exactly the footprint's
+    // handlers — what a later lookup needs as the "old" side of its path
+    // comparison. The session exists (Verify just ran in it).
+    if (R.Footprint.Collected && !R.Footprint.AllHandlers &&
+        !R.Footprint.Handlers.empty()) {
+      const PathFingerprints &Cur = CurPathsFor();
+      for (const auto &[HKey, HF] : R.Footprint.Handlers) {
+        (void)HF;
+        auto It = Cur.find(HKey);
+        if (It != Cur.end())
+          NewE.PathFps.emplace(HKey, It->second);
+      }
+    }
     NewE.HandlerFps = Fps->Handlers;
     NewE.DeclSha256 = ProofCache::declId(Fps->DeclFp);
     NewE.ServedBy = R.ServedBy;
@@ -829,11 +967,12 @@ PropertyResult verifyPropertyCached(
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
                                     const ProgramFingerprints *Fps,
-                                    Deadline *Budget) {
+                                    Deadline *Budget,
+                                    const PathFingerprints *CurPaths) {
   return verifyPropertyCached(
       Session.program(), Session.options(),
       [&Session]() -> VerifySession & { return Session; }, Prop, Cache, Fps,
-      Budget);
+      Budget, CurPaths);
 }
 
 } // namespace reflex

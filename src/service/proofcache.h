@@ -14,11 +14,17 @@
 /// where the declaration fingerprint (ProgramFingerprints::DeclFp,
 /// verify/footprint.h) covers everything *except* handler bodies. Handler
 /// bodies are validated per-entry instead: an entry records the
-/// per-handler fingerprints of the program it was proved against plus the
-/// proof's footprint, and a lookup against an edited program is served
-/// when the edit is provably irrelevant to the proof (disjoint from the
-/// footprint, interface fingerprints preserved — footprintReusable).
-/// This is what makes warm hits survive unrelated edits. Entries store
+/// per-handler fingerprints of the program it was proved against, the
+/// proof's footprint (path-granular: which paths of each consulted
+/// handler the proof entered), and the rendered path fingerprints of the
+/// footprint's handlers. A lookup against an edited program is served
+/// when the edit is provably irrelevant to the proof: interface
+/// fingerprints preserved and, for every footprint handler, the rendered
+/// summary unchanged on everything the proof consulted — the whole
+/// summary, or every path's emit structure plus the full content of just
+/// the entered paths (footprintReusable). This is what makes warm hits
+/// survive unrelated edits — including edits *inside* a footprint
+/// handler, on branches the proof never entered. Entries store
 /// the status, reason, original timing, and — for proved properties —
 /// the certificate in two renderings: the audit JSON
 /// (Certificate::toJson) and the canonical form (Certificate::canonical)
@@ -84,11 +90,18 @@ struct ProofCacheEntry {
   /// re-check.
   std::string CertSha256;
   /// The proof footprint recorded when the verdict was produced
-  /// (verify/footprint.h). Not collected -> the entry is only served for
-  /// a byte-identical program.
+  /// (verify/footprint.h), in wire encoding — "key" for all paths,
+  /// "key@id1,id2" for the entered paths. Not collected -> the entry is
+  /// only served for a byte-identical program.
   bool FootprintCollected = false;
   bool FootprintAll = false;
   std::vector<std::string> Footprint;
+  /// Rendered path fingerprints of the footprint's handlers, as they were
+  /// in the program the verdict was proved against (the "old" side of the
+  /// path-granular reuse comparison). Recorded only for collected,
+  /// non-AllHandlers footprints; an entry without them can only be served
+  /// for a byte-identical program.
+  PathFingerprints PathFps;
   /// Per-handler fingerprints of the program the verdict was proved
   /// against, recorded at store time. Lookups compare them against the
   /// current program's fingerprints to decide footprint-relative reuse.
@@ -234,6 +247,13 @@ public:
     /// Of the hits, how many were footprint-relative (the entry was
     /// stored for an edited-since program version).
     uint64_t FootprintHits = 0;
+    /// Of the footprint-relative hits, how many only the path-granular
+    /// rule could serve (a footprint handler's rendered summary changed,
+    /// but only on paths the proof never entered)…
+    uint64_t PathHits = 0;
+    /// …and how many footprint-relative candidates (entry present, program
+    /// changed) fell back to re-verification.
+    uint64_t PathFallbacks = 0;
     /// Phase timings (wall-clock, summed across threads): time spent
     /// reading + decoding entries in lookup(), and time spent
     /// re-validating certificates on hits (full canonical replay or fast
@@ -248,8 +268,19 @@ public:
   void noteMiss();
   void noteRejected();
   void noteFootprintHit();
+  void notePathHit();
+  void notePathFallback();
   void noteDecodeMillis(double Ms);
   void noteRecheckMillis(double Ms);
+
+  /// The current program's rendered path fingerprints, memoized per
+  /// (program, options) identity for the life of the process — \p MemoKey
+  /// must pin both (DeclFp + HandlersFp + options fingerprint). Computed
+  /// from \p Live's abstraction on first demand; later lookups for the
+  /// same program (any property, any worker) reuse the map. The returned
+  /// reference lives as long as the cache.
+  const PathFingerprints &pathFingerprintsFor(const std::string &MemoKey,
+                                              VerifySession &Live);
 
   /// The fast re-check: computes SHA-256 over the entry's canonical
   /// certificate and compares it to the recorded CertSha256 (the hash
@@ -341,6 +372,12 @@ private:
   /// quarantines the entry, so it cannot recur.
   mutable std::mutex RecheckMu;
   std::unordered_set<std::string> RecheckOk;
+
+  /// Per-program rendered path fingerprints (see pathFingerprintsFor).
+  /// unordered_map value references are stable across inserts, so handing
+  /// them out under the lock is safe.
+  mutable std::mutex PathFpsMu;
+  std::unordered_map<std::string, PathFingerprints> PathFpsMemo;
 };
 
 /// Cache-aware verification of one property in \p Session:
@@ -359,11 +396,20 @@ private:
 /// null to have it computed here (callers verifying many properties
 /// should precompute it). The cache key is derived from its DeclFp; a
 /// hit whose stored handler fingerprints differ from the current ones is
-/// served only when footprintReusable holds (the edit is disjoint from
-/// the entry's recorded proof footprint and every handler interface is
-/// preserved), in which case the result carries FootprintHit = true; an
-/// incompatible entry is a plain miss (stale, not damaged — no
-/// quarantine) and is overwritten after re-verification.
+/// served only when footprintReusable holds against the entry's recorded
+/// path-granular footprint and stored path fingerprints (the edit kept
+/// every interface and left everything the proof consulted rendered
+/// byte-identical), in which case the result carries FootprintHit = true
+/// (and PathHit = true when only the path-granular rule could serve it);
+/// an incompatible entry is a plain miss (stale, not damaged — no
+/// quarantine) and is overwritten after re-verification, with the
+/// re-verified result carrying PathFallback = true.
+///
+/// \p CurPaths, when non-null, must be
+/// computePathFingerprints(<current program's abstraction>) — the "new"
+/// side of the path comparison; when null it is computed on demand from
+/// the live session and memoized in the cache per program, so only
+/// lookups that actually face a changed program pay for it.
 ///
 /// \p Budget optionally bounds the whole operation, including the
 /// certificate re-check on a warm hit; a re-check that fails only because
@@ -383,7 +429,8 @@ private:
 PropertyResult verifyPropertyCached(VerifySession &Session,
                                     const Property &Prop, ProofCache *Cache,
                                     const ProgramFingerprints *Fps = nullptr,
-                                    Deadline *Budget = nullptr);
+                                    Deadline *Budget = nullptr,
+                                    const PathFingerprints *CurPaths = nullptr);
 
 /// Lazy-session variant: \p Session is invoked only if a live session is
 /// actually needed — a cache miss, a full certificate re-check, or a
@@ -397,7 +444,7 @@ PropertyResult verifyPropertyCached(
     const Program &P, const VerifyOptions &Opts,
     const std::function<VerifySession &()> &Session, const Property &Prop,
     ProofCache *Cache, const ProgramFingerprints *Fps = nullptr,
-    Deadline *Budget = nullptr);
+    Deadline *Budget = nullptr, const PathFingerprints *CurPaths = nullptr);
 
 } // namespace reflex
 

@@ -117,7 +117,12 @@ BatchOutcome runBatch(const std::vector<const Program *> &Programs,
   // bodies, same property text -> same verdict (the determinism
   // contract), so dispatch the first and copy its slot into the others
   // after the barrier. \x1f separates the components unambiguously (it
-  // cannot appear in rendered programs).
+  // cannot appear in rendered programs). Deliberately *not* refined by
+  // path-granular footprints: slot copying requires byte-identical
+  // programs, which HandlersFp already pins (identical printed bodies =>
+  // identical rendered paths); footprint-relative equivalence across
+  // *different* programs is the proof cache's job, where it is validated
+  // per entry rather than assumed per job.
   {
     std::map<std::string, size_t> FirstJob;
     for (size_t J = 0; J < Jobs.size(); ++J) {
@@ -386,6 +391,10 @@ BatchOutcome runBatch(const std::vector<const Program *> &Programs,
           ++R.ProofCacheMisses;
         if (PR.FootprintHit)
           ++R.FootprintHits;
+        if (PR.PathHit)
+          ++R.PathHits;
+        if (PR.PathFallback)
+          ++R.PathFallbacks;
       }
     }
     R.TermCount = Counters[PI].TermCount;
@@ -405,6 +414,8 @@ BatchOutcome runBatch(const std::vector<const Program *> &Programs,
     Out.CacheStats.Rejected = After.Rejected - Before.Rejected;
     Out.CacheStats.Quarantined = After.Quarantined - Before.Quarantined;
     Out.CacheStats.FootprintHits = After.FootprintHits - Before.FootprintHits;
+    Out.CacheStats.PathHits = After.PathHits - Before.PathHits;
+    Out.CacheStats.PathFallbacks = After.PathFallbacks - Before.PathFallbacks;
     Out.CacheStats.DecodeMillis = After.DecodeMillis - Before.DecodeMillis;
     Out.CacheStats.RecheckMillis = After.RecheckMillis - Before.RecheckMillis;
     Out.CacheStats.SweptTmp = After.SweptTmp; // counted at open, not per batch

@@ -4,6 +4,7 @@
 
 #include "ast/printer.h"
 #include "support/sha256.h"
+#include "verify/behabs.h"
 
 #include <sstream>
 
@@ -16,6 +17,63 @@ std::string handlerKey(const std::string &CompType,
 
 std::string handlerKey(const Handler &H) {
   return handlerKey(H.CompType, H.MsgName);
+}
+
+std::string encodeFootprintEntry(const std::string &Key,
+                                 const HandlerFootprint &HF) {
+  if (HF.AllPaths)
+    return Key;
+  std::string Out = Key + "@";
+  bool First = true;
+  for (const std::string &Id : HF.Entered) {
+    if (!First)
+      Out += ",";
+    Out += Id;
+    First = false;
+  }
+  return Out;
+}
+
+std::pair<std::string, HandlerFootprint>
+decodeFootprintEntry(const std::string &Encoded) {
+  HandlerFootprint HF;
+  size_t At = Encoded.find('@');
+  if (At == std::string::npos) {
+    // Bare key: pre-path-granularity data (or an AllPaths consultation).
+    // AllPaths is the conservative reading — it can only suppress reuse.
+    HF.AllPaths = true;
+    return {Encoded, std::move(HF)};
+  }
+  std::string Key = Encoded.substr(0, At);
+  size_t Pos = At + 1;
+  while (Pos < Encoded.size()) {
+    size_t Comma = Encoded.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Encoded.size();
+    if (Comma > Pos)
+      HF.Entered.insert(Encoded.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return {std::move(Key), std::move(HF)};
+}
+
+std::vector<std::string>
+encodeFootprintHandlers(const std::map<std::string, HandlerFootprint> &H) {
+  std::vector<std::string> Out;
+  Out.reserve(H.size());
+  for (const auto &[Key, HF] : H)
+    Out.push_back(encodeFootprintEntry(Key, HF));
+  return Out;
+}
+
+std::map<std::string, HandlerFootprint>
+decodeFootprintHandlers(const std::vector<std::string> &Encoded) {
+  std::map<std::string, HandlerFootprint> Out;
+  for (const std::string &E : Encoded) {
+    auto [Key, HF] = decodeFootprintEntry(E);
+    Out[Key].merge(HF);
+  }
+  return Out;
 }
 
 namespace {
@@ -52,7 +110,88 @@ std::string hashHandlerIface(const Handler &H) {
   return Hash.hexDigest();
 }
 
+PathFingerprint fingerprintPath(const TermContext &Ctx, const SymPath &P) {
+  PathFingerprint F;
+  F.Id = P.PathId;
+
+  Sha256 Emit;
+  for (const SymAction &A : P.Emits)
+    Emit.updateField(symActionStr(Ctx, A));
+  F.EmitFp = Emit.hexDigest();
+
+  Sha256 Full;
+  Full.updateField(F.Id);
+  Full.updateField(F.EmitFp);
+  Full.updateField("cond");
+  for (const Lit &L : P.Cond) {
+    Full.updateField(L.Pos ? "+" : "-");
+    Full.updateField(Ctx.str(L.Atom));
+  }
+  Full.updateField("updates");
+  for (const auto &[Var, T] : P.Updates) {
+    Full.updateField(Var);
+    Full.updateField(Ctx.str(T));
+  }
+  Full.updateField("nocomp");
+  for (const NoCompFact &N : P.NoComp) {
+    Full.updateField(N.TypeName);
+    for (const auto &[Index, Required] : N.Constraints) {
+      Full.updateField(std::to_string(Index));
+      Full.updateField(Ctx.str(Required));
+    }
+  }
+  Full.updateField("found");
+  for (TermRef T : P.FoundComps)
+    Full.updateField(Ctx.str(T));
+  Full.updateField("lookup");
+  for (TermRef T : P.LookupComps)
+    Full.updateField(Ctx.str(T));
+  F.FullFp = Full.hexDigest();
+  return F;
+}
+
+SummaryFingerprint fingerprintSummary(const TermContext &Ctx,
+                                      const HandlerSummary &Sum) {
+  SummaryFingerprint SF;
+  SF.Incomplete = Sum.Incomplete;
+  Sha256 Whole;
+  Whole.updateField(Sum.IsDefault ? "default" : "declared");
+  Whole.updateField(Sum.Incomplete ? "incomplete" : "complete");
+  Whole.updateField(Sum.SenderComp ? Ctx.str(Sum.SenderComp) : "");
+  Whole.updateField("params");
+  for (TermRef T : Sum.Params)
+    Whole.updateField(Ctx.str(T));
+  Whole.updateField("paths");
+  SF.Paths.reserve(Sum.Paths.size());
+  for (const SymPath &P : Sum.Paths) {
+    PathFingerprint F = fingerprintPath(Ctx, P);
+    Whole.updateField(F.Id);
+    Whole.updateField(F.FullFp);
+    SF.Paths.push_back(std::move(F));
+  }
+  SF.SummaryFp = Whole.hexDigest();
+  return SF;
+}
+
 } // namespace
+
+PathFingerprints computePathFingerprints(const TermContext &Ctx,
+                                         const BehAbs &Abs) {
+  PathFingerprints Out;
+  for (const HandlerSummary &Sum : Abs.Handlers)
+    Out.emplace(handlerKey(Sum.CompType, Sum.MsgName),
+                fingerprintSummary(Ctx, Sum));
+  return Out;
+}
+
+std::string pathFingerprintsDigest(const PathFingerprints &PF) {
+  Sha256 All;
+  for (const auto &[Key, SF] : PF) {
+    All.updateField(Key);
+    All.updateField(SF.SummaryFp);
+  }
+  return All.hexDigest();
+}
 
 ProgramFingerprints ProgramFingerprints::compute(const Program &P) {
   ProgramFingerprints Out;
@@ -107,14 +246,50 @@ fingerprintDelta(const std::map<std::string, HandlerFingerprint> &Old,
   return D;
 }
 
-bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D) {
+bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D,
+                       const PathFingerprints &OldPaths,
+                       const PathFingerprints &NewPaths,
+                       FootprintGranularity G) {
   if (D.empty())
     return true;
   if (!FP.Collected || FP.AllHandlers || D.IfaceChanged)
     return false;
-  for (const std::string &Key : D.Changed)
-    if (FP.Handlers.count(Key))
+  for (const auto &[Key, HF] : FP.Handlers) {
+    auto OldIt = OldPaths.find(Key);
+    auto NewIt = NewPaths.find(Key);
+    if (OldIt == OldPaths.end() || NewIt == NewPaths.end())
       return false;
+    const SummaryFingerprint &OldSum = OldIt->second;
+    const SummaryFingerprint &NewSum = NewIt->second;
+    // Rendered summary byte-identical: the proof's view of this handler
+    // cannot have moved, whatever it consulted.
+    if (OldSum.SummaryFp == NewSum.SummaryFp)
+      continue;
+    if (G == FootprintGranularity::Handler)
+      return false;
+    // Path-granular refinement. Truncated summaries have no meaningful
+    // per-path identity; structural divergence (path count or arm-tag
+    // sequence) means the edit reshaped the branch tree.
+    if (OldSum.Incomplete || NewSum.Incomplete)
+      return false;
+    if (OldSum.Paths.size() != NewSum.Paths.size())
+      return false;
+    for (size_t I = 0; I < OldSum.Paths.size(); ++I) {
+      const PathFingerprint &OldP = OldSum.Paths[I];
+      const PathFingerprint &NewP = NewSum.Paths[I];
+      if (OldP.Id != NewP.Id)
+        return false;
+      // Entered/not-entered is decided per path by pattern-matching the
+      // emits, so any emit change anywhere flips no decision only if it
+      // doesn't exist: require every path's emit structure unchanged.
+      if (OldP.EmitFp != NewP.EmitFp)
+        return false;
+      // The full path content matters only where the proof looked.
+      if ((HF.AllPaths || HF.Entered.count(OldP.Id)) &&
+          OldP.FullFp != NewP.FullFp)
+        return false;
+    }
+  }
   return true;
 }
 

@@ -9,30 +9,40 @@
 /// Edit-localized incremental re-verification (the paper's stated future
 /// work, §6.4) rests on two artifacts defined here:
 ///
-///  * The **proof footprint** of a verdict: the set of handler keys
-///    ("CompType=>MsgName") whose summaries the proof search symbolically
-///    processed — in the property's own induction, in every guard-
-///    invariant induction it ran (successful *and* failed attempts: a
-///    failed attempt steers the search, so its dependencies count), and
-///    transitively through every invariant-cache entry it adopted.
+///  * The **proof footprint** of a verdict: per handler key
+///    ("CompType=>MsgName"), *how* the proof search consulted that
+///    handler's summary. A handler consulted by an invariant induction
+///    contributes every path (the induction walks all of them); a handler
+///    consulted only by the property's own per-path obligation scan
+///    contributes exactly the paths the scan *entered* — identified by
+///    stable structural path ids (SymPath::PathId). Footprints still
+///    accumulate across every guard-invariant induction attempted
+///    (successful *and* failed: a failed attempt steers the search) and
+///    transitively through every invariant-cache entry adopted.
 ///
-///  * The **per-handler fingerprints** of a program: a body fingerprint
-///    (SHA-256 of the canonical-printed handler) and an *interface*
-///    fingerprint (SHA-256 of the handler's sorted sent-message,
-///    spawned-type, and assigned-variable sets). The interface sets are
-///    exactly what the prover's syntactic-skip predicates (summaryMayEmit
-///    / summaryMayAssign) consult, which is the only way a proof depends
-///    on a handler it never symbolically processed.
+///  * The **fingerprints** of a program at two granularities. Per declared
+///    handler, a printed-source body fingerprint and an *interface*
+///    fingerprint (sorted sent-message / spawned-type / assigned-variable
+///    sets — exactly what the prover's syntactic-skip predicates consult).
+///    And per summary of the built abstraction, a rendered **path
+///    fingerprint tree** (PathFingerprints): one fingerprint per symbolic
+///    path over the path's rendered condition/emits/updates/facts, plus a
+///    whole-summary digest. Path fingerprints hash term *renders* (which
+///    embed fresh-symbol serials), so they move whenever anything the
+///    prover could observe about the summary moves — including serial
+///    drift caused by allocation-count changes in earlier-summarized
+///    handlers, which printed-source fingerprints cannot see.
 ///
 /// Soundness argument (docs/INCREMENTAL.md has the long form): the prover
 /// is deterministic, and its control flow depends on a handler H only
-/// through (a) H's summary, when H is symbolically processed — recorded
-/// in the footprint — or (b) the syntactic-skip predicates, which factor
-/// through H's interface sets. Hence if an edit changes only handlers
-/// outside a verdict's footprint and preserves every changed handler's
-/// interface fingerprint (and leaves declarations, init, property text,
-/// and options untouched), the entire proof search replays byte-for-byte
-/// and the previous verdict — certificate included — is still exact.
+/// through (a) H's summary where processed — and then only through the
+/// paths the obligation scan entered plus every path's emit structure,
+/// unless an invariant induction walked H, in which case through every
+/// path — or (b) the syntactic-skip predicates, which factor through H's
+/// interface sets. footprintReusable checks exactly these channels
+/// against the *rendered* summaries of the old and new program, so a
+/// reuse means the entire proof search replays byte-for-byte and the
+/// stored verdict — certificate included — is still exact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,17 +54,41 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace reflex {
+
+class TermContext;
+struct BehAbs;
 
 /// The handler key used by footprints and fingerprints (matches the
 /// certificate's ProofStep::Where spelling for handler cases).
 std::string handlerKey(const std::string &CompType, const std::string &MsgName);
 std::string handlerKey(const Handler &H);
 
-/// The set of handlers a proof consulted. Collected by the prover for
-/// trace properties; NI proofs and BMC-assisted verdicts are marked
-/// AllHandlers (they inspect every handler body by construction).
+/// How one handler's summary was consulted by a proof.
+struct HandlerFootprint {
+  /// The proof walked every path of the summary (any invariant induction
+  /// does; also the conservative decode of pre-path-granularity data).
+  bool AllPaths = false;
+  /// Path ids the property's obligation scan entered (meaningless when
+  /// AllPaths). A key can legitimately have an empty Entered set: the
+  /// scan processed the summary but no path's emits matched the trigger —
+  /// the verdict then depends only on every path's emit structure.
+  std::set<std::string> Entered;
+
+  void merge(const HandlerFootprint &O) {
+    AllPaths = AllPaths || O.AllPaths;
+    if (AllPaths)
+      Entered.clear();
+    else
+      Entered.insert(O.Entered.begin(), O.Entered.end());
+  }
+};
+
+/// The handlers a proof consulted, and at what path granularity. NI
+/// proofs and BMC-assisted verdicts are marked AllHandlers (they inspect
+/// every handler body by construction).
 struct ProofFootprint {
   /// False when no footprint was recorded (legacy cache entries, budget
   /// statuses): reuse must fall back to full re-verification.
@@ -62,18 +96,48 @@ struct ProofFootprint {
   /// The verdict depends on every handler (NI label analysis scans all
   /// bodies; BMC explores concrete program semantics).
   bool AllHandlers = false;
-  /// Handler keys symbolically processed (empty and meaningless when
-  /// AllHandlers is set).
-  std::set<std::string> Handlers;
+  /// Handler keys consulted (empty and meaningless when AllHandlers).
+  std::map<std::string, HandlerFootprint> Handlers;
 
   void merge(const ProofFootprint &O) {
     Collected = Collected || O.Collected;
     AllHandlers = AllHandlers || O.AllHandlers;
-    Handlers.insert(O.Handlers.begin(), O.Handlers.end());
+    for (const auto &[Key, HF] : O.Handlers)
+      Handlers[Key].merge(HF);
+  }
+
+  /// Marks \p Key as consulted on every path.
+  void noteAllPaths(const std::string &Key) { Handlers[Key].AllPaths = true; }
+
+  /// The set of handler keys (path granularity erased) — what the
+  /// footprint-aware cache GC and diagnostics enumerate.
+  std::set<std::string> handlerKeys() const {
+    std::set<std::string> Keys;
+    for (const auto &[Key, HF] : Handlers) {
+      (void)HF;
+      Keys.insert(Key);
+    }
+    return Keys;
   }
 };
 
-/// Fingerprints of one declared handler.
+/// Wire encoding of one footprint entry, used everywhere footprints are
+/// persisted or transported as flat strings (cache entries, certificates,
+/// the daemon journal and protocol): a bare "key" means AllPaths; a
+/// "key@id1,id2" suffix lists the entered path ids ("key@" = processed,
+/// nothing entered). '@' cannot occur in a handler key ("CompType=>Msg"),
+/// so the encoding is unambiguous, and a pre-path-granularity (v2) bare
+/// key conservatively decodes as AllPaths.
+std::string encodeFootprintEntry(const std::string &Key,
+                                 const HandlerFootprint &HF);
+std::pair<std::string, HandlerFootprint>
+decodeFootprintEntry(const std::string &Encoded);
+std::vector<std::string>
+encodeFootprintHandlers(const std::map<std::string, HandlerFootprint> &H);
+std::map<std::string, HandlerFootprint>
+decodeFootprintHandlers(const std::vector<std::string> &Encoded);
+
+/// Fingerprints of one declared handler (printed-source granularity).
 struct HandlerFingerprint {
   /// SHA-256 of the canonical-printed handler (header, params, body).
   std::string BodyFp;
@@ -100,6 +164,45 @@ struct ProgramFingerprints {
   static ProgramFingerprints compute(const Program &P);
 };
 
+/// Fingerprint of one symbolic path of a summary, over term *renders*.
+struct PathFingerprint {
+  /// Structural arm-tag id (SymPath::PathId).
+  std::string Id;
+  /// SHA-256 over the rendered emit sequence (symActionStr of every
+  /// emitted action, Select/Recv included). The obligation scan's
+  /// entered/not-entered decision for a path factors through exactly
+  /// this: pattern matching observes only the emits.
+  std::string EmitFp;
+  /// SHA-256 over everything the prover can observe about the path:
+  /// id, emits, rendered condition literals, updates, no-component
+  /// facts, found/looked-up components.
+  std::string FullFp;
+};
+
+/// Fingerprint of one handler summary of the built abstraction.
+struct SummaryFingerprint {
+  /// SHA-256 folding the sender/param renders, completeness, and every
+  /// path's (Id, FullFp) — equal digests mean the rendered summaries are
+  /// indistinguishable to the prover.
+  std::string SummaryFp;
+  /// Symbolic-execution overflow: the summary is truncated, so per-path
+  /// comparison is meaningless and reuse must fall back.
+  bool Incomplete = false;
+  /// In summary order (deterministic: execution order of the builder).
+  std::vector<PathFingerprint> Paths;
+};
+
+/// Summary fingerprints for every (component type, message type) cell of
+/// the abstraction grid, keyed by handlerKey.
+using PathFingerprints = std::map<std::string, SummaryFingerprint>;
+
+PathFingerprints computePathFingerprints(const TermContext &Ctx,
+                                         const BehAbs &Abs);
+
+/// SHA-256 over all (key, SummaryFp) pairs — pins the rendered
+/// abstraction the way HandlersFp pins the printed bodies.
+std::string pathFingerprintsDigest(const PathFingerprints &PF);
+
 /// The handler-level difference between two fingerprint maps.
 struct FingerprintDelta {
   /// Keys whose body fingerprint differs, plus keys present on only one
@@ -117,12 +220,27 @@ FingerprintDelta
 fingerprintDelta(const std::map<std::string, HandlerFingerprint> &Old,
                  const std::map<std::string, HandlerFingerprint> &New);
 
+/// Reuse granularity: Handler reproduces the pre-path behavior (any
+/// rendered-summary change to a footprint key falls back) and exists for
+/// baseline measurement; Path additionally reuses verdicts whose
+/// footprint keys changed only on paths the proof never entered.
+enum class FootprintGranularity { Handler, Path };
+
 /// Is a verdict with footprint \p FP still exact after an edit with
 /// handler delta \p D (declarations, property text, and options already
-/// known unchanged)? True when nothing changed, or when the footprint was
-/// collected, is not AllHandlers, no interface fingerprint moved, and the
-/// changed set is disjoint from the footprint.
-bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D);
+/// known unchanged), given the rendered summary fingerprints of the old
+/// (\p OldPaths) and new (\p NewPaths) program? True when nothing
+/// changed syntactically, or when the footprint was collected, is not
+/// AllHandlers, no interface fingerprint moved, and for every footprint
+/// key the rendered summaries agree on everything the proof consulted:
+/// the whole summary digest, or — at Path granularity, for complete
+/// summaries with positionally identical path ids — every path's emit
+/// structure plus the full fingerprint of every path the proof entered
+/// (every path, for AllPaths keys).
+bool footprintReusable(const ProofFootprint &FP, const FingerprintDelta &D,
+                       const PathFingerprints &OldPaths,
+                       const PathFingerprints &NewPaths,
+                       FootprintGranularity G = FootprintGranularity::Path);
 
 } // namespace reflex
 

@@ -37,6 +37,14 @@ std::string codeFingerprint(const Program &P) {
 void IncrementalVerifier::seedVerdicts(
     const Program &P, std::map<std::string, PropertyResult> Seeds) {
   LastFp = ProgramFingerprints::compute(P);
+  // The seeded verdicts' footprints name path ids of *this* program, so
+  // the old side of the next edit's path comparison is this program's
+  // rendered abstraction.
+  std::shared_ptr<const FrozenAbstraction> Abs =
+      FrozenAbstraction::build(P, Opts);
+  LastPathFp.clear();
+  if (Abs->buildOutcome() == BudgetOutcome::Ok)
+    LastPathFp = computePathFingerprints(Abs->context(), Abs->behAbs());
   HaveLast = true;
   Verdicts = std::move(Seeds);
 }
@@ -49,28 +57,70 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
   ProgramFingerprints Fp = ProgramFingerprints::compute(P);
   // Property keys whose verdicts survived a handler edit *this call*.
   std::set<std::string> RetainedByFootprint;
+
+  // The current program's frozen abstraction, built at most once per call
+  // and reused everywhere it is needed: the rendered path fingerprints,
+  // the sequential pass-2 session, and — in scheduler mode with a
+  // persistent share — the share's phase-1 slot.
+  std::shared_ptr<const FrozenAbstraction> Abs;
+  auto AbsFor = [&]() -> const FrozenAbstraction & {
+    if (!Abs) {
+      VerifyOptions BuildOpts = Opts;
+      if (Sched && Sched->Cancel)
+        BuildOpts.Cancel = nullptr; // the scheduler strips it too (its
+                                    // token rides per-job Deadlines)
+      Abs = FrozenAbstraction::build(P, BuildOpts);
+    }
+    return *Abs;
+  };
+  auto PathFpsFor = [&]() -> PathFingerprints {
+    const FrozenAbstraction &A = AbsFor();
+    if (A.buildOutcome() != BudgetOutcome::Ok)
+      return {}; // no per-path identity for a truncated build: reuse
+                 // against it conservatively falls back
+    return computePathFingerprints(A.context(), A.behAbs());
+  };
+
+  bool ProgramChanged = !HaveLast;
+  bool PathFpCurrent = false;
   if (HaveLast) {
     if (Fp.DeclFp != LastFp.DeclFp) {
       // Declarations changed (components, messages, state variables,
       // init): everything a proof consulted may mean something else now.
       Verdicts.clear();
+      ProgramChanged = true;
     } else {
       FingerprintDelta D = fingerprintDelta(LastFp.Handlers, Fp.Handlers);
       if (!D.empty()) {
+        ProgramChanged = true;
         // Handler bodies changed: keep exactly the verdicts whose proofs
-        // provably did not look at the edit (see verify/footprint.h).
+        // provably did not look at the edit — comparing the old and new
+        // rendered summaries path by path (see verify/footprint.h).
+        PathFingerprints NewPathFp = PathFpsFor();
         for (auto It = Verdicts.begin(); It != Verdicts.end();) {
-          if (footprintReusable(It->second.Footprint, D)) {
+          if (footprintReusable(It->second.Footprint, D, LastPathFp,
+                                NewPathFp, Granularity)) {
+            if (Granularity == FootprintGranularity::Path &&
+                !footprintReusable(It->second.Footprint, D, LastPathFp,
+                                   NewPathFp, FootprintGranularity::Handler))
+              It->second.PathHit = true;
             It->second.FootprintHit = true;
             RetainedByFootprint.insert(It->first);
             ++It;
           } else {
+            ++Out.Report.PathFallbacks;
             It = Verdicts.erase(It);
           }
         }
+        LastPathFp = std::move(NewPathFp);
+        PathFpCurrent = true;
       }
     }
   }
+  // Keep LastPathFp pinned to the program LastFp describes: the next
+  // edit's reuse decision compares against it as the "old" side.
+  if (ProgramChanged && !PathFpCurrent)
+    LastPathFp = PathFpsFor();
   LastFp = std::move(Fp);
   HaveLast = true;
 
@@ -90,6 +140,8 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
         ++Out.FootprintReused;
       if (It->second.FootprintHit)
         ++Out.Report.FootprintHits;
+      if (It->second.PathHit)
+        ++Out.Report.PathHits;
       if (AuditReuse)
         ToAudit.push_back(&Prop);
       Results[I] = It->second;
@@ -104,6 +156,16 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
   // one private sequential session. Both are verdict-identical.
   if (!NeedIdx.empty()) {
     if (Sched) {
+      // Seed the persistent share's phase-1 slot with the abstraction
+      // already built for the path fingerprints, so the batch's workers
+      // do not rebuild it. Budget-failed builds stay out of the slot,
+      // exactly as the scheduler's own get-or-build keeps them out.
+      if (Sched->SharedCaches && Sched->Share && Abs &&
+          Abs->buildOutcome() == BudgetOutcome::Ok) {
+        std::lock_guard<std::mutex> Lock(Sched->Share->Mu);
+        if (!Sched->Share->Abs)
+          Sched->Share->Abs = Abs;
+      }
       SchedulerOptions S = *Sched;
       S.Verify = Opts;
       S.Cache = Cache;
@@ -111,10 +173,14 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
       for (size_t J = 0; J < NeedIdx.size(); ++J)
         Results[NeedIdx[J]] = std::move(B.Reports[0].Results[J]);
     } else {
-      VerifySession Session(P, Opts);
+      // The session reuses the abstraction the path fingerprints were
+      // computed from (verdict-identical to a private build: the builder
+      // is deterministic).
+      AbsFor();
+      VerifySession Session(Abs);
       for (size_t I : NeedIdx)
         Results[I] = verifyPropertyCached(Session, P.Properties[I], Cache,
-                                          &LastFp);
+                                          &LastFp, nullptr, &LastPathFp);
     }
     for (size_t I : NeedIdx) {
       PropertyResult &R = Results[I];
@@ -126,6 +192,10 @@ IncrementalVerifier::Outcome IncrementalVerifier::verify(const Program &P) {
       }
       if (R.FootprintHit)
         ++Out.Report.FootprintHits;
+      if (R.PathHit)
+        ++Out.Report.PathHits;
+      if (R.PathFallback)
+        ++Out.Report.PathFallbacks;
       // Strip only what cannot outlive the session: the live certificate
       // (its terms reference the session's term context) and the
       // counterexample trace. The certificate JSON is retained, so reused

@@ -22,13 +22,16 @@
 ///    re-verified, sharing one session (abstraction, solver memo,
 ///    invariant cache) with the others;
 ///  * changed handler bodies -> a verdict survives when the edit is
-///    provably irrelevant to its proof: the changed handlers are disjoint
-///    from the verdict's footprint and every handler's *interface*
+///    provably irrelevant to its proof: every handler's *interface*
 ///    (messages sent, component types spawned, state variables assigned)
-///    is preserved — see footprintReusable and the soundness argument in
+///    is preserved, and for every handler in the verdict's footprint the
+///    rendered summary is unchanged on everything the proof consulted —
+///    the whole summary, or, at path granularity, every path's emit
+///    structure plus the full content of just the paths the proof
+///    entered — see footprintReusable and the soundness argument in
 ///    verify/footprint.h. Anything else (declaration changes, interface
-///    changes, footprint overlap, a verdict without a collected
-///    footprint) re-verifies from scratch.
+///    changes, footprint overlap, a structural path change, a verdict
+///    without a collected footprint) re-verifies from scratch.
 ///
 /// Reused results carry their status, original timing, and — for proved
 /// properties — their certificate JSON (PropertyResult::CertJson, exported
@@ -94,6 +97,14 @@ public:
   /// incremental machinery, not to be fast.
   void setAuditReuse(bool On) { AuditReuse = On; }
 
+  /// Footprint reuse granularity (default: path-granular). Off reproduces
+  /// the handler-level rule — any rendered-summary change to a footprint
+  /// key re-verifies — and exists for baseline measurement
+  /// (bench_incremental's edit_one_branch gate).
+  void setPathGranularity(bool On) {
+    Granularity = On ? FootprintGranularity::Path : FootprintGranularity::Handler;
+  }
+
   struct Outcome {
     VerificationReport Report;
     /// Results served from the previous version's verdicts (in-memory).
@@ -133,8 +144,14 @@ private:
   /// When set, verification runs as scheduler batches (see setScheduler).
   std::unique_ptr<SchedulerOptions> Sched;
   bool AuditReuse = false;
+  FootprintGranularity Granularity = FootprintGranularity::Path;
   bool HaveLast = false;
   ProgramFingerprints LastFp;
+  /// Rendered path fingerprints of the program LastFp describes, computed
+  /// from its built abstraction whenever the program changes. The "old"
+  /// side of every path-granular reuse decision; empty when the last
+  /// build ran out of budget (reuse then conservatively falls back).
+  PathFingerprints LastPathFp;
   /// Property text -> last verdict (live certificate stripped; the
   /// certificate JSON is retained). Each verdict carries its footprint,
   /// which is what decides survival across handler edits.

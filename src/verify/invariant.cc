@@ -23,6 +23,22 @@ bool isGuardTerm(TermRef T) {
   }
 }
 
+void sortLitsByRender(const TermContext &Ctx, std::vector<Lit> &Lits) {
+  std::vector<std::pair<std::string, Lit>> Keyed;
+  Keyed.reserve(Lits.size());
+  for (const Lit &L : Lits)
+    Keyed.emplace_back(Ctx.str(L.Atom), L);
+  std::sort(Keyed.begin(), Keyed.end(),
+            [](const std::pair<std::string, Lit> &A,
+               const std::pair<std::string, Lit> &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second.Pos < B.second.Pos;
+            });
+  for (size_t I = 0; I < Keyed.size(); ++I)
+    Lits[I] = Keyed[I].second;
+}
+
 std::string GuardInvariant::cacheKey(const TermContext &Ctx) const {
   std::ostringstream OS;
   OS << (Forbids ? "forbid|" : "require|") << Action.str() << "|";
@@ -65,8 +81,9 @@ synthesizeGuard(TermContext &Ctx, const std::vector<Lit> &Assume,
       Inv.Guard.emplace_back(T, L.Pos);
   }
   // Canonical order: guards synthesized from different trigger sites must
-  // compare (and cache) identically.
-  std::sort(Inv.Guard.begin(), Inv.Guard.end());
+  // compare (and cache) identically — and the order must survive term-Id
+  // drift (see sortLitsByRender).
+  sortLitsByRender(Ctx, Inv.Guard);
   return Inv;
 }
 

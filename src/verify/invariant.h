@@ -53,6 +53,13 @@ struct GuardInvariant {
 /// symbols, and literals (i.e. it can appear in an invariant guard).
 bool isGuardTerm(TermRef T);
 
+/// Sorts literals by (rendered atom, polarity). Guard orders must be a
+/// function of the terms alone: hash-consed term Ids record *first
+/// allocation*, so sorting by Id would let an edit elsewhere in the
+/// program (which shifts where a shared term is first built) reorder an
+/// untouched proof's guard — breaking byte-identical footprint reuse.
+void sortLitsByRender(const TermContext &Ctx, std::vector<Lit> &Lits);
+
 /// Synthesizes the candidate guard for obligation pattern \p Action at an
 /// obligation with assumptions \p Assume and trigger binding \p Sigma:
 /// generalizes σ-bound terms to pattern symbols and keeps the guard-safe

@@ -84,14 +84,21 @@ public:
         continue;
       }
       // Symbolically processed: this case's outcome reads the handler's
-      // summary, so the handler joins the footprint. (Skipped summaries
-      // are deliberately absent — the skip decision factors through the
-      // interface fingerprint, see verify/footprint.h.)
-      noteHandler(whereOf(S));
+      // summary, so the handler joins the footprint — path-granularly:
+      // the obligation scan observes every path's *emits* (to decide
+      // entered/not-entered) but reads a path's condition, updates, and
+      // facts only where some emit structurally matched the trigger.
+      // (Skipped summaries are deliberately absent — the skip decision
+      // factors through the interface fingerprint, see
+      // verify/footprint.h.)
+      TopEnteredSet = &TopEntered[whereOf(S)];
       for (size_t I = 0; I < S.Paths.size(); ++I)
         if (!processPath(whereOf(S), static_cast<int>(I), S.Paths[I],
-                         /*IsInit=*/false))
+                         /*IsInit=*/false)) {
+          TopEnteredSet = nullptr;
           return fail(WhyOut);
+        }
+      TopEnteredSet = nullptr;
     }
     return true;
   }
@@ -100,11 +107,22 @@ public:
   /// including inside failed invariant attempts and transitively through
   /// adopted cache entries. Valid after run() returns (either way — an
   /// Unknown's footprint covers the consulted prefix, which is all a
-  /// re-run would consult again).
+  /// re-run would consult again). Handlers walked by an invariant
+  /// induction (directly or through an adopted cache entry) are AllPaths;
+  /// handlers only scanned by the property's own obligation pass carry
+  /// the entered path-id set.
   void exportFootprint(ProofFootprint &FP) {
     FP.Collected = FPComplete;
     FP.AllHandlers = false;
-    FP.Handlers = FPFrames.front();
+    FP.Handlers.clear();
+    for (const std::string &Key : FPFrames.front())
+      FP.Handlers[Key].AllPaths = true;
+    for (const auto &[Key, Entered] : TopEntered) {
+      HandlerFootprint &HF = FP.Handlers[Key];
+      if (HF.AllPaths)
+        continue; // an invariant induction already claimed every path
+      HF.Entered.insert(Entered.begin(), Entered.end());
+    }
   }
 
 private:
@@ -140,6 +158,12 @@ private:
       auto MC = matchSymAction(Ctx, Path.Emits[K], Trigger, Sigma);
       if (!MC)
         continue;
+      // A structural trigger match makes the path *entered*: from here on
+      // the proof reads the path's condition and content, not just its
+      // emits. Recorded before the feasibility query on purpose — the
+      // query's answer already depends on Path.Cond.
+      if (TopEnteredSet)
+        TopEnteredSet->insert(Path.PathId);
       if (!Solv.maybeSatUnder(*MC))
         continue; // trigger occurrence cannot arise on this path
       // synthesizeGuard and preStateGuard still want the flat literal
@@ -555,7 +579,12 @@ private:
     for (const Lit &G : Inv.Guard)
       if (Ctx.substitute(G.Atom, Subst) == G.Atom)
         Out.push_back(G);
-    std::sort(Out.begin(), Out.end());
+    // Order by *render*, not term Id: hash-consed Ids record first
+    // allocation, so an edit elsewhere in the program can reorder Ids of
+    // terms this proof shares with the edited code — which would reorder
+    // the guard and break byte-identical footprint reuse. Renders are a
+    // function of the terms alone.
+    sortLitsByRender(Ctx, Out);
     Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
     return Out;
   }
@@ -768,8 +797,18 @@ private:
   std::map<std::string, std::optional<int>> LocalInvariants;
   std::set<std::string> InFlight;
   /// Footprint frame stack: [0] is the property-level frame; one frame is
-  /// pushed per in-flight invariant attempt.
+  /// pushed per in-flight invariant attempt. Frame entries carry AllPaths
+  /// semantics (invariant inductions walk every path of a processed
+  /// handler); the top-level obligation scan records path-granular entry
+  /// in TopEntered instead.
   std::vector<std::set<std::string>> FPFrames;
+  /// Handler key -> path ids the top-level obligation scan entered. A key
+  /// with an empty set was processed (emits observed) but no path's emits
+  /// structurally matched the trigger.
+  std::map<std::string, std::set<std::string>> TopEntered;
+  /// Points into TopEntered for the summary run() is currently scanning;
+  /// null during init paths and invariant inductions.
+  std::set<std::string> *TopEnteredSet = nullptr;
   /// Key -> footprint of the completed attempt (or adopted entry), for
   /// LocalInvariants hits.
   std::map<std::string, std::set<std::string>> LocalFootprints;

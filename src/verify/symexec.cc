@@ -21,7 +21,15 @@ struct PathState {
   /// Component types spawned so far on this path (a later lookup of such a
   /// type may find the new component: FlexAny).
   std::set<std::string> SpawnedTypes;
+  /// Arm-tag chain accumulated so far (see SymPath::PathId); empty until
+  /// the first branch.
+  std::string PathId;
 };
+
+/// Extends an arm-tag chain with one more branch-arm tag.
+static std::string appendArmTag(const std::string &Chain, const char *Tag) {
+  return Chain.empty() ? std::string(Tag) : Chain + "." + Tag;
+}
 
 class SymExecutor {
 public:
@@ -99,12 +107,14 @@ private:
         PathState Branch = St;
         Branch.Cond.insert(Branch.Cond.end(), Disjunct.begin(),
                            Disjunct.end());
+        Branch.PathId = appendArmTag(St.PathId, "t");
         execInto(If.thenCmd(), std::move(Branch), Out);
       }
       for (const std::vector<Lit> &Disjunct : *ElseSplit) {
         PathState Branch = St;
         Branch.Cond.insert(Branch.Cond.end(), Disjunct.begin(),
                            Disjunct.end());
+        Branch.PathId = appendArmTag(St.PathId, "e");
         execInto(If.elseCmd(), std::move(Branch), Out);
       }
       return;
@@ -190,6 +200,7 @@ private:
         if (Ident == CompIdent::FlexPre)
           Found.FoundComps.push_back(Comp);
         Found.LookupComps.push_back(Comp);
+        Found.PathId = appendArmTag(St.PathId, "f");
         execInto(L.thenCmd(), std::move(Found), Out);
       }
 
@@ -200,6 +211,7 @@ private:
         Fact.TypeName = L.compType();
         Fact.Constraints = Constraints;
         Missing.NoComp.push_back(std::move(Fact));
+        Missing.PathId = appendArmTag(St.PathId, "m");
         execInto(L.elseCmd(), std::move(Missing), Out);
       }
       return;
@@ -222,6 +234,9 @@ finishPaths(std::vector<PathState> States,
   Paths.reserve(States.size());
   for (PathState &St : States) {
     SymPath Path;
+    // Branch-free bodies get the distinguished root id so the encoded
+    // footprint never contains an empty path id.
+    Path.PathId = St.PathId.empty() ? "r" : std::move(St.PathId);
     Path.Cond = std::move(St.Cond);
     Path.Emits = std::move(St.Emits);
     Path.NoComp = std::move(St.NoComp);
@@ -355,6 +370,7 @@ HandlerSummary makeDefaultSummary(TermContext &Ctx, const Program &P,
         Ctx.freshSym("arg." + MsgName, MD->Payload[I]));
 
   SymPath Path;
+  Path.PathId = "r";
   SymAction Sel;
   Sel.Kind = SymAction::Select;
   Sel.Comp = Summary.SenderComp;

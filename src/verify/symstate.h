@@ -59,6 +59,14 @@ struct NoCompFact {
 
 /// One symbolic execution path through a handler (or through init).
 struct SymPath {
+  /// Stable structural id of the branch-arm chain this path took: a
+  /// "."-joined sequence of arm tags in source order — "t"/"e" for an If's
+  /// then/else arm, "f"/"m" for a Lookup's found/missing arm — or "r" for
+  /// the straight-line path through a branch-free body. The id is a
+  /// function of AST positions only (never byte offsets or term serials),
+  /// so an edit inside one arm leaves every other arm's id unchanged.
+  /// Multiple DNF disjuncts of the same arm share one id.
+  std::string PathId;
   std::vector<Lit> Cond;
   std::vector<SymAction> Emits;
   /// State variable -> post-state term (absent means unchanged).

@@ -132,6 +132,10 @@ std::string VerificationReport::toJson() const {
   }
   if (FootprintHits)
     W.field("footprint_hits", static_cast<int64_t>(FootprintHits));
+  if (PathHits || PathFallbacks) {
+    W.field("path_hits", static_cast<int64_t>(PathHits));
+    W.field("path_fallbacks", static_cast<int64_t>(PathFallbacks));
+  }
   W.endObject();
   return W.take();
 }
@@ -336,13 +340,13 @@ PropertyResult VerifySession::verifyOne(const Property &Prop, Deadline &D,
       // Export now, while this session's term context is alive: the JSON
       // is the form that may outlive the session (scheduler merges,
       // incremental verdict reuse, proof-cache entries). The audit JSON
-      // carries the footprint ("*" = all handlers).
+      // carries the footprint ("*" = all handlers; otherwise the
+      // path-granular "key@id1,id2" encoding of verify/footprint.h).
       if (R.Footprint.Collected)
         R.Cert.Footprint =
             R.Footprint.AllHandlers
                 ? std::vector<std::string>{"*"}
-                : std::vector<std::string>(R.Footprint.Handlers.begin(),
-                                           R.Footprint.Handlers.end());
+                : encodeFootprintHandlers(R.Footprint.Handlers);
       R.CertJson = R.Cert.toJson(I->Ctx);
     }
   } else if (Refuted) {

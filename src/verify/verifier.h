@@ -114,6 +114,14 @@ struct PropertyResult {
   /// the program and validated footprint-relatively (the edit was
   /// disjoint from the proof's footprint, see verify/footprint.h).
   bool FootprintHit = false;
+  /// Of the FootprintHit results, those only the path-granular reuse rule
+  /// could serve: some footprint key's rendered summary changed, but only
+  /// on paths the proof never entered (FootprintGranularity::Path).
+  bool PathHit = false;
+  /// The entry was a footprint-relative candidate (stored for an edited
+  /// program version) but the path-granular check fell back and this
+  /// result was re-verified from scratch.
+  bool PathFallback = false;
   /// The proof footprint (verify/footprint.h): the handlers this verdict
   /// depends on. Collected for trace properties; AllHandlers for NI and
   /// BMC-assisted verdicts; not Collected for budget statuses.
@@ -153,6 +161,15 @@ struct VerificationReport {
   /// was stored for an edited-since version of the program and revalidated
   /// against the current handler fingerprints (verify/footprint.h).
   uint64_t FootprintHits = 0;
+  /// Of the footprint-relative reuses, how many only the *path-granular*
+  /// tier could serve (the handler-level rule would have re-verified:
+  /// some footprint key's summary changed, but only on paths the proof
+  /// never entered)…
+  uint64_t PathHits = 0;
+  /// …and how many reuse checks against a changed program fell back to
+  /// re-verification (footprint intersected the edit, path data missing —
+  /// v2 cache entries — or a structural path change).
+  uint64_t PathFallbacks = 0;
 
   bool allProved() const;
   unsigned provedCount() const;

@@ -185,7 +185,8 @@ TEST(Cli, AuditFootprintsReProvesCachedVerdicts) {
   EXPECT_EQ(Warm.ExitCode, 0) << Warm.Output;
   EXPECT_NE(Warm.Output.find("[cached]"), std::string::npos) << Warm.Output;
   EXPECT_NE(Warm.Output.find(
-                "footprint audit: 1 reused verdict re-proved, 0 mismatches"),
+                "footprint audit: 1 reused verdict re-proved "
+                "(0 served path-granularly), 0 mismatches"),
             std::string::npos)
       << Warm.Output;
 

@@ -46,9 +46,9 @@ TEST(Incremental, IfacePreservingEditReverifiesOnlyDependents) {
   IV.verify(*P1);
 
   // Duplicate an assignment the Password=>Auth handler already performs:
-  // its body changes but its interface (messages sent, types spawned,
-  // variables assigned) does not. Verdicts whose proofs never consulted
-  // the edited handler survive via their footprints; the rest re-verify.
+  // its printed body changes but every path's symbolic post-state is
+  // identical, so path-granular footprints reuse everything — even the
+  // proofs that consulted the edited handler.
   std::string Src2 = K.Source;
   size_t Pos = Src2.find("auth_ok = true;");
   ASSERT_NE(Pos, std::string::npos);
@@ -56,20 +56,39 @@ TEST(Incremental, IfacePreservingEditReverifiesOnlyDependents) {
   ProgramPtr P2 = mustLoad(Src2);
   ASSERT_NE(P2, nullptr);
   auto Out = IV.verify(*P2);
-  EXPECT_EQ(Out.Reused + Out.Reverified, unsigned(P2->Properties.size()));
-  EXPECT_GT(Out.Reused, 0u) << "edit-disjoint proofs must survive";
+  EXPECT_EQ(Out.Reverified, 0u)
+      << "a symbolically invisible edit re-verifies nothing";
+  EXPECT_EQ(Out.Reused, unsigned(P2->Properties.size()));
   EXPECT_EQ(Out.FootprintReused, Out.Reused);
-  EXPECT_GT(Out.Reverified, 0u)
-      << "AuthBeforeTerm's proof consults Password=>Auth";
   EXPECT_TRUE(Out.Report.allProved()) << "the edit preserves the policies";
 
+  // A semantically visible (but still interface-preserving) edit: the
+  // third login attempt parks the counter at 4 instead of 3. Proofs that
+  // entered that path of Connection=>ReqAuth fall back and re-verify;
+  // edit-disjoint proofs such as AuthBeforeTerm's survive.
+  std::string Src3 = K.Source;
+  Pos = Src3.find("attempts = 3;");
+  ASSERT_NE(Pos, std::string::npos);
+  Src3.replace(Pos, std::string("attempts = 3;").size(), "attempts = 4;");
+  ProgramPtr P3 = mustLoad(Src3);
+  ASSERT_NE(P3, nullptr);
+  auto Out3 = IV.verify(*P3);
+  EXPECT_EQ(Out3.Reused + Out3.Reverified,
+            unsigned(P3->Properties.size()));
+  EXPECT_GT(Out3.Reused, 0u) << "edit-disjoint proofs must survive";
+  EXPECT_EQ(Out3.FootprintReused, Out3.Reused);
+  EXPECT_GT(Out3.Reverified, 0u)
+      << "the attempt-counting proofs entered the edited path";
+  EXPECT_GT(Out3.Report.PathFallbacks, 0u);
+  EXPECT_TRUE(Out3.Report.allProved()) << "the edit preserves the policies";
+
   // The retained verdicts must be exactly what a fresh run produces.
-  VerificationReport Fresh = verifyProgram(*P2);
-  ASSERT_EQ(Out.Report.Results.size(), Fresh.Results.size());
+  VerificationReport Fresh = verifyProgram(*P3);
+  ASSERT_EQ(Out3.Report.Results.size(), Fresh.Results.size());
   for (size_t I = 0; I < Fresh.Results.size(); ++I) {
-    EXPECT_EQ(Out.Report.Results[I].Status, Fresh.Results[I].Status)
+    EXPECT_EQ(Out3.Report.Results[I].Status, Fresh.Results[I].Status)
         << Fresh.Results[I].Name;
-    EXPECT_EQ(Out.Report.Results[I].CertJson, Fresh.Results[I].CertJson)
+    EXPECT_EQ(Out3.Report.Results[I].CertJson, Fresh.Results[I].CertJson)
         << Fresh.Results[I].Name;
   }
 }

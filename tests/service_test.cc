@@ -498,13 +498,52 @@ TEST(ProofCache, BitFlippedCertificateIsQuarantinedAndReVerified) {
   });
 }
 
-TEST(ProofCache, WrongVersionEntryIsQuarantinedAndReVerified) {
-  corruptionRoundTrip("version", [](std::string &Entry) {
-    size_t Pos = Entry.find("\"version\":2");
-    ASSERT_NE(Pos, std::string::npos);
-    Entry.replace(Pos, std::string("\"version\":2").size(),
-                  "\"version\":99");
-  });
+TEST(ProofCache, WrongVersionEntryIsStaleMissNotQuarantined) {
+  // A well-formed entry whose version field is simply from another release
+  // is *stale*, not damaged: it must decode to a plain miss — no
+  // quarantine, no rejection — and be overwritten by the re-verification.
+  TempDir Dir("cache-stale");
+  ProgramPtr P = mustLoad(MixedSrc);
+  ASSERT_NE(P, nullptr);
+  ProgramFingerprints FP = ProgramFingerprints::compute(*P);
+  const Property &Fine = P->Properties[1];
+  std::string Key = ProofCache::keyFor(FP.DeclFp, Fine, VerifyOptions{});
+  std::string EntryPath = Dir.str() + "/" + Key + ".json";
+
+  std::unique_ptr<ProofCache> Cache = mustOpen(Dir.str());
+  ASSERT_NE(Cache, nullptr);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
+    ASSERT_EQ(R.Status, VerifyStatus::Proved);
+  }
+
+  std::string Entry = readAll(EntryPath);
+  size_t Pos = Entry.find("\"version\":3");
+  ASSERT_NE(Pos, std::string::npos);
+  Entry.replace(Pos, std::string("\"version\":3").size(), "\"version\":99");
+  writeAll(EntryPath, Entry);
+
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
+    EXPECT_EQ(R.Status, VerifyStatus::Proved);
+    EXPECT_FALSE(R.CacheHit) << "stale entries are misses, never served";
+    EXPECT_TRUE(R.CertChecked);
+  }
+  EXPECT_EQ(Cache->stats().Rejected, 0u) << "stale is not damage";
+  EXPECT_EQ(Cache->stats().Quarantined, 0u) << "stale is not damage";
+  EXPECT_FALSE(
+      fs::exists(fs::path(Dir.str()) / "quarantine" / (Key + ".json")));
+
+  // The re-verification overwrote the stale entry with a current one.
+  EXPECT_NE(readAll(EntryPath).find("\"version\":3"), std::string::npos);
+  {
+    VerifySession S(*P);
+    PropertyResult R = verifyPropertyCached(S, Fine, Cache.get(), &FP);
+    EXPECT_TRUE(R.CacheHit);
+    EXPECT_TRUE(R.CertChecked);
+  }
 }
 
 TEST(ProofCache, InjectedIOFaultsNeverServeDamage) {
@@ -626,9 +665,11 @@ TEST(ProofCache, FootprintRelativeHitSurvivesUnrelatedEdit) {
                 VerifyStatus::Proved);
   }
 
-  // Edit one handler body without changing its interface: Password=>Auth
-  // gains a duplicated assignment. The declaration fingerprint (and so
-  // every cache key) is unchanged; per-entry validation decides reuse.
+  // Edit one handler body without changing its interface or its symbolic
+  // behaviour: Password=>Auth gains a duplicated assignment. The printed
+  // body (and so the handler fingerprint) changes, but every path's
+  // symbolic post-state is identical — path-granular validation serves
+  // the whole batch, including the proofs that consulted the handler.
   std::string Src2 = K.Source;
   size_t Pos = Src2.find("auth_ok = true;");
   ASSERT_NE(Pos, std::string::npos);
@@ -655,13 +696,45 @@ TEST(ProofCache, FootprintRelativeHitSurvivesUnrelatedEdit) {
         ++Misses;
     }
   }
-  EXPECT_GT(FootprintHits, 0u)
-      << "proofs disjoint from the edit must be served from the cache";
-  EXPECT_GT(Misses, 0u)
-      << "proofs that consulted Password=>Auth must re-verify";
+  EXPECT_EQ(Misses, 0u)
+      << "a symbolically invisible edit re-verifies nothing";
+  EXPECT_EQ(FootprintHits, uint64_t(P2->Properties.size()));
   EXPECT_EQ(Cache->stats().FootprintHits, FootprintHits);
   EXPECT_EQ(Cache->stats().Quarantined, 0u)
       << "a stale entry is a miss, not damage";
+
+  // A semantically *visible* body edit of Connection=>ReqAuth — the third
+  // attempt now parks the counter at 4 instead of 3 — changes the entered
+  // paths' full fingerprints. Proofs that consulted that path fall back
+  // and re-verify; proofs disjoint from the handler still hit.
+  std::string SrcV = K.Source;
+  Pos = SrcV.find("attempts = 3;");
+  ASSERT_NE(Pos, std::string::npos);
+  SrcV.replace(Pos, std::string("attempts = 3;").size(), "attempts = 4;");
+  ProgramPtr PV = mustLoad(SrcV);
+  ASSERT_NE(PV, nullptr);
+  ProgramFingerprints FpV = ProgramFingerprints::compute(*PV);
+  ASSERT_EQ(Fp1.DeclFp, FpV.DeclFp);
+
+  uint64_t VisHits = 0, VisMisses = 0;
+  {
+    VerifySession S(*PV);
+    for (const Property &Prop : PV->Properties) {
+      PropertyResult R = verifyPropertyCached(S, Prop, Cache.get(), &FpV);
+      EXPECT_EQ(R.Status, VerifyStatus::Proved) << Prop.Name;
+      if (R.FootprintHit)
+        ++VisHits;
+      if (!R.CacheHit) {
+        ++VisMisses;
+        EXPECT_TRUE(R.PathFallback) << Prop.Name;
+      }
+    }
+  }
+  EXPECT_GT(VisHits, 0u)
+      << "proofs disjoint from Connection=>ReqAuth must still be served";
+  EXPECT_GT(VisMisses, 0u)
+      << "proofs that consulted the edited path must re-verify";
+  EXPECT_GE(Cache->stats().PathFallbacks, VisMisses);
 
   // An interface-changing edit of the same handler invalidates even the
   // disjoint proofs: the skip predicates factor through the interface.
@@ -791,12 +864,13 @@ TEST(Scheduler, InjectedBudgetExhaustionIsReportedNotCached) {
   EXPECT_TRUE(fs::exists(Dir.str() + "/" + Key + ".json"));
 }
 
-/// The PR's acceptance scenario: a warm cache with three corrupted
-/// entries (truncated, bit-flipped, wrong version), one property whose
-/// worker crashes on every attempt, and one property that exhausts an
-/// injected budget. The batch must complete with a declaration-ordered
-/// report, identical verdicts at 1 and 4 workers, and the corrupted
-/// entries quarantined on disk.
+/// The PR's acceptance scenario: a warm cache with three unusable
+/// entries (truncated, bit-flipped — damage; wrong version — stale),
+/// one property whose worker crashes on every attempt, and one property
+/// that exhausts an injected budget. The batch must complete with a
+/// declaration-ordered report, identical verdicts at 1 and 4 workers,
+/// the two damaged entries quarantined on disk, and the stale entry
+/// re-verified in place without quarantine.
 std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
                                                    bool SharedCaches = true) {
   ProgramPtr Ssh = kernels::load(kernels::ssh());
@@ -832,9 +906,9 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
       EXPECT_NE(Pos, std::string::npos);
       Entry[Pos + 25] = char(Entry[Pos + 25] ^ 0x04);
     } else {
-      size_t Pos = Entry.find("\"version\":2");
+      size_t Pos = Entry.find("\"version\":3");
       EXPECT_NE(Pos, std::string::npos);
-      Entry.replace(Pos, std::string("\"version\":2").size(),
+      Entry.replace(Pos, std::string("\"version\":3").size(),
                     "\"version\":99");
     }
     writeAll(Path, Entry);
@@ -885,13 +959,17 @@ std::vector<std::string> runFaultedAcceptanceBatch(unsigned Jobs,
     EXPECT_EQ(R.Status, VerifyStatus::Proved)
         << "corrupted entries re-verify: " << R.Name;
 
-  // The evidence: all three damaged entries quarantined, counted once.
-  EXPECT_EQ(Out.CacheStats.Quarantined, 3u);
-  EXPECT_EQ(Out.CacheStats.Rejected, 3u);
-  for (const std::string &Key : CorruptKeys)
+  // The evidence: both damaged entries quarantined, counted once; the
+  // stale (wrong-version) entry is a plain miss, never quarantined.
+  EXPECT_EQ(Out.CacheStats.Quarantined, 2u);
+  EXPECT_EQ(Out.CacheStats.Rejected, 2u);
+  for (size_t I = 0; I < 2; ++I)
     EXPECT_TRUE(fs::exists(fs::path(Dir.str()) / "quarantine" /
-                           (Key + ".json")))
-        << Key;
+                           (CorruptKeys[I] + ".json")))
+        << CorruptKeys[I];
+  EXPECT_FALSE(fs::exists(fs::path(Dir.str()) / "quarantine" /
+                          (CorruptKeys[2] + ".json")))
+      << "stale entries are not evidence of damage";
   return Flat;
 }
 
@@ -917,7 +995,8 @@ TEST(Scheduler, SharingToggleDoesNotChangeFaultedVerdicts) {
 }
 
 /// Footprint-relative warm batch under faults: warm a cache from the
-/// pristine ssh kernel, edit one handler body interface-preservingly,
+/// pristine ssh kernel, edit one handler body interface-preservingly but
+/// semantically visibly (the third login attempt parks the counter at 4),
 /// then re-verify the edited kernel from the warm cache with an injected
 /// first-attempt worker crash. Footprint-relative hits must serve the
 /// edit-disjoint proofs, and the flattened verdicts must not depend on
@@ -926,9 +1005,9 @@ std::vector<std::string> runFootprintWarmBatch(unsigned Jobs) {
   const kernels::KernelDef &K = kernels::ssh();
   ProgramPtr P1 = kernels::load(K);
   std::string Src2 = K.Source;
-  size_t Pos = Src2.find("auth_ok = true;");
+  size_t Pos = Src2.find("attempts = 3;");
   EXPECT_NE(Pos, std::string::npos);
-  Src2.insert(Pos, "auth_user = user;\n  ");
+  Src2.replace(Pos, std::string("attempts = 3;").size(), "attempts = 4;");
   ProgramPtr P2 = mustLoad(Src2);
   EXPECT_NE(P2, nullptr);
 

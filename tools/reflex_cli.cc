@@ -299,6 +299,13 @@ int cmdVerify(const Args &A, const Program &P) {
       std::printf("  footprint-relative hits: %llu (served despite edits "
                   "outside the proof's footprint)\n",
                   (unsigned long long)Batch.CacheStats.FootprintHits);
+    if (Batch.CacheStats.PathHits || Batch.CacheStats.PathFallbacks)
+      std::printf("  path-granular: %llu hit%s only the per-statement rule "
+                  "could serve, %llu fallback%s fully re-verified\n",
+                  (unsigned long long)Batch.CacheStats.PathHits,
+                  Batch.CacheStats.PathHits == 1 ? "" : "s",
+                  (unsigned long long)Batch.CacheStats.PathFallbacks,
+                  Batch.CacheStats.PathFallbacks == 1 ? "" : "s");
     if (Batch.CacheStats.DecodeMillis || Batch.CacheStats.RecheckMillis)
       std::printf("  decode %.2f ms, re-check %.2f ms\n",
                   Batch.CacheStats.DecodeMillis,
@@ -326,7 +333,7 @@ int cmdVerify(const Args &A, const Program &P) {
   // (program, property, options), so any disagreement means a reuse
   // decision was unsound — abort loudly rather than report it.
   if (A.Options.count("--audit-footprints")) {
-    unsigned Audited = 0, Mismatches = 0;
+    unsigned Audited = 0, PathAudited = 0, Mismatches = 0;
     std::unique_ptr<VerifySession> Fresh;
     for (const PropertyResult &R : Report.Results) {
       if (!R.CacheHit)
@@ -338,6 +345,8 @@ int cmdVerify(const Args &A, const Program &P) {
         Fresh = std::make_unique<VerifySession>(P, Opts);
       PropertyResult Ref = Fresh->verify(*Prop);
       ++Audited;
+      if (R.PathHit)
+        ++PathAudited;
       std::string Why;
       if (Ref.Status != R.Status)
         Why = std::string("status: served ") + verifyStatusName(R.Status) +
@@ -352,9 +361,9 @@ int cmdVerify(const Args &A, const Program &P) {
                      Why.c_str());
       }
     }
-    std::printf("footprint audit: %u reused verdict%s re-proved, "
-                "%u mismatch%s\n",
-                Audited, Audited == 1 ? "" : "s", Mismatches,
+    std::printf("footprint audit: %u reused verdict%s re-proved "
+                "(%u served path-granularly), %u mismatch%s\n",
+                Audited, Audited == 1 ? "" : "s", PathAudited, Mismatches,
                 Mismatches == 1 ? "" : "es");
     if (Mismatches)
       return 4;

@@ -24,6 +24,12 @@
 #                               tampered reason-trail rejection
 #   * bench/bench_solver      — scoped-vs-scratch query parity + reason
 #                               trail replay, in --smoke mode
+#   * tests/footprint_stmt_test — per-statement mutation audits and the
+#                               path-fingerprint machinery (render-heavy,
+#                               cache entry decode/migration)
+#   * bench/bench_incremental — footprint-reuse scenarios incl. the
+#                               path-granular branch-leaf audit,
+#                               in --smoke mode
 #
 # Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
 set -euo pipefail
@@ -33,8 +39,9 @@ BUILD="${1:-build-asan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test robustness_test \
-  certificate_test chaos_test solver_test solver_diff_test bench_faults \
-  bench_portfolio bench_solver
+  certificate_test chaos_test solver_test solver_diff_test \
+  footprint_stmt_test bench_faults bench_portfolio bench_solver \
+  bench_incremental
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -71,5 +78,12 @@ echo "== solver_diff_test (ASan+UBSan) =="
 echo "== bench_solver --smoke (ASan+UBSan) =="
 "$BUILD/bench/bench_solver" --smoke --depth 4 --lanes 4 \
   --out "$BUILD/BENCH_solver.smoke.json"
+
+echo "== footprint_stmt_test (ASan+UBSan) =="
+"$BUILD/tests/footprint_stmt_test"
+
+echo "== bench_incremental --smoke (ASan+UBSan) =="
+"$BUILD/bench/bench_incremental" --smoke --stages 6 \
+  --out "$BUILD/BENCH_incremental.smoke.json"
 
 echo "ASan/UBSan: no issues reported"

@@ -23,6 +23,10 @@
 #                               (racing workers share the solver memo)
 #   * bench/bench_solver      — scoped-vs-scratch query parity + reason
 #                               trail replay, in --smoke mode
+#   * bench/bench_incremental — footprint-reuse scenarios incl. the
+#                               path-granular branch-leaf audit, with
+#                               scheduler-batched re-verification,
+#                               in --smoke mode
 #
 # Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
 set -euo pipefail
@@ -33,7 +37,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test prover_test \
   chaos_test solver_test solver_diff_test bench_parallel bench_portfolio \
-  bench_solver
+  bench_solver bench_incremental
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -68,5 +72,9 @@ echo "== solver_diff_test (TSan) =="
 echo "== bench_solver --smoke (TSan) =="
 "$BUILD/bench/bench_solver" --smoke --depth 4 --lanes 4 \
   --out "$BUILD/BENCH_solver.smoke.json"
+
+echo "== bench_incremental --smoke (TSan) =="
+"$BUILD/bench/bench_incremental" --smoke --stages 6 \
+  --out "$BUILD/BENCH_incremental.smoke.json"
 
 echo "TSan: no data races reported"
