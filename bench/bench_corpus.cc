@@ -1,0 +1,570 @@
+//===- bench/bench_corpus.cc - Generated-corpus macro bench ---------------===//
+//
+// The scenario-factory macro bench: a pinned-seed generated corpus
+// (src/gen/, seed 42 scale 6 by default — 13 kernels, 251 properties
+// with construction-time known verdicts) driven through the whole
+// service surface at a workload one hand-written kernel suite cannot
+// reach: hundreds of properties, whole runs measured in seconds rather
+// than milliseconds. Arms:
+//
+//  * oracle        — the full differential harness (src/gen/oracle.h):
+//                    verdicts vs ground truth, counterexamples vs the
+//                    concrete semantics, interpreter traces vs the
+//                    abstraction, parity across engines × jobs ×
+//                    sharing × cache states;
+//  * cold/parallel — sequential baseline vs the parallel scheduler,
+//                    paired adjacent batches (speedup recorded);
+//  * dedupe        — the corpus submitted twice in one batch; every
+//                    duplicated property must be deduplicated before
+//                    dispatch;
+//  * cache         — per repetition: wipe, cold populate, warm serve;
+//                    the warm batch must serve every cacheable verdict
+//                    from disk (Refuted is never persisted) and beat
+//                    cold by >= 2x outside --smoke;
+//  * incremental   — every kernel edited interface-preservingly (one
+//                    no-op self-assignment), re-verified through a
+//                    warmed IncrementalVerifier in audit mode: verdicts
+//                    byte-identical to from-scratch, reuse counted;
+//  * daemon        — every kernel verified over the reflexd wire
+//                    protocol (in-process daemon, real socket), with
+//                    statuses and reasons byte-identical to the local
+//                    baseline (the determinism contract across the
+//                    wire, bmc_payloads and all).
+//
+// Regression gates (exit non-zero on failure): zero oracle mismatches,
+// same-seed regeneration byte-identical, verdict parity on every arm,
+// dedupe count >= the property count, the warm-cache hit floor, the
+// >= 2x warm-vs-cold speedup (timed runs), and — timed runs — at least
+// 200 generated properties, so the corpus cannot quietly shrink below
+// the scale this bench exists to exercise.
+//
+// Flags:
+//   --seed N    corpus seed (default 42 — pinned; BENCH_corpus.json is
+//               only comparable across runs at the pinned seed/scale)
+//   --scale N   corpus scale (default 6; --smoke defaults to 2)
+//   --jobs N    parallel worker count (default 4)
+//   --smoke     one repetition, small scale, no speedup/size gates
+//   --out FILE  JSON output path (default BENCH_corpus.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/cmd.h"
+#include "bench_util.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "gen/generator.h"
+#include "gen/oracle.h"
+#include "reflex/reflex.h"
+#include "service/scheduler.h"
+#include "support/json.h"
+#include "support/timer.h"
+#include "verify/incremental.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace reflex;
+
+namespace {
+
+/// Inserts \p Stmt at the start of the \p I-th handler's body (0-based,
+/// source order) — the same interface-preserving mutation idiom as
+/// bench_incremental.
+std::string mutateHandler(const std::string &Src, size_t I,
+                          const std::string &Stmt) {
+  size_t Pos = 0;
+  for (size_t N = 0;; ++N) {
+    Pos = Src.find("\nhandler ", Pos);
+    if (Pos == std::string::npos)
+      return {};
+    size_t Brace = Src.find('{', Pos);
+    if (Brace == std::string::npos)
+      return {};
+    if (N == I)
+      return Src.substr(0, Brace + 1) + "\n  " + Stmt + Src.substr(Brace + 1);
+    Pos = Brace;
+  }
+}
+
+/// A no-op self-assignment of a variable handler \p H already assigns
+/// (assign set unchanged, so the edit is interface-preserving). Empty
+/// when the handler assigns nothing.
+std::string nopFor(const Handler &H) {
+  std::set<std::string> Assigned;
+  collectAssignedVars(*H.Body, Assigned);
+  if (Assigned.empty())
+    return {};
+  const std::string &V = *Assigned.begin();
+  return V + " = " + V + ";";
+}
+
+struct EditedInstance {
+  const gen::GeneratedInstance *Pristine = nullptr;
+  ProgramPtr Edited;
+};
+
+/// The daemon verify frame for one instance, spelling the corpus verify
+/// options with the exact protocol keys (docs/DAEMON.md).
+std::string verifyFrame(const std::string &Source, unsigned Jobs) {
+  VerifyOptions VO = gen::corpusVerifyOptions();
+  JsonWriter W;
+  W.beginObject();
+  W.field("verb", "verify");
+  W.field("program", Source);
+  W.key("options");
+  W.beginObject();
+  W.field("jobs", int64_t(Jobs));
+  W.field("bmc_depth", int64_t(VO.BmcDepthOnUnknown));
+  W.field("bmc_states", int64_t(VO.Bmc.MaxStates));
+  W.field("bmc_payloads", int64_t(VO.Bmc.MaxPayloadsPerMessage));
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchArgs BA;
+  if (!benchutil::parseBenchArgs(Argc, Argv, "bench_corpus",
+                                 "BENCH_corpus.json",
+                                 {"--seed", "--scale", "--jobs"}, BA))
+    return 2;
+  const bool Smoke = BA.Smoke;
+  gen::GenConfig C;
+  C.Seed = BA.num("--seed", 42);
+  C.Scale = unsigned(BA.num("--scale", Smoke ? 2 : 6));
+  const unsigned Jobs = unsigned(BA.num("--jobs", 4));
+  const unsigned Reps = Smoke ? 1 : 3;
+  bool GatesOk = true;
+
+  // --- Generate (timed) + same-seed regeneration determinism gate ------
+  WallTimer GenTimer;
+  gen::GeneratedCorpus Corpus = gen::generateCorpus(C);
+  double GenMs = GenTimer.elapsedMillis();
+  const size_t Props = Corpus.totalProperties();
+  size_t ExpRefuted = 0, ExpProved = 0, ExpUnknown = 0;
+  for (const gen::GeneratedInstance &Inst : Corpus.Instances)
+    for (const gen::ExpectedVerdict &E : Inst.Expected)
+      switch (E.Expect) {
+      case gen::ExpectKind::Proved:
+        ++ExpProved;
+        break;
+      case gen::ExpectKind::Refuted:
+        ++ExpRefuted;
+        break;
+      case gen::ExpectKind::Unknown:
+        ++ExpUnknown;
+        break;
+      }
+  std::printf("=== Corpus macro bench: seed %llu scale %u — %zu kernels, "
+              "%zu properties (%zu/%zu/%zu P/R/U expected) ===\n\n",
+              (unsigned long long)C.Seed, C.Scale, Corpus.Instances.size(),
+              Props, ExpProved, ExpRefuted, ExpUnknown);
+  {
+    gen::GeneratedCorpus Again = gen::generateCorpus(C);
+    bool Same = Again.Instances.size() == Corpus.Instances.size() &&
+                gen::corpusManifest(Again) == gen::corpusManifest(Corpus);
+    for (size_t I = 0; Same && I < Corpus.Instances.size(); ++I)
+      Same = Again.Instances[I].Source == Corpus.Instances[I].Source;
+    if (!Same) {
+      GatesOk = false;
+      std::fprintf(stderr, "FAIL: same-seed regeneration is not "
+                           "byte-identical\n");
+    }
+  }
+  if (!Smoke && Props < 200) {
+    GatesOk = false;
+    std::fprintf(stderr,
+                 "FAIL: corpus has %zu properties, below the 200 floor\n",
+                 Props);
+  }
+
+  // --- Differential oracle (zero-mismatch gate) -------------------------
+  gen::OracleOptions OOpts;
+  OOpts.Jobs = Jobs;
+  WallTimer OracleTimer;
+  gen::OracleReport Oracle = gen::runOracle(Corpus, OOpts);
+  double OracleMs = OracleTimer.elapsedMillis();
+  std::printf("%-24s %10.2f ms   %zu proved+cert, %zu refuted+ce, %zu "
+              "unknown, %zu parity arms\n",
+              "differential oracle", OracleMs, Oracle.ProvedCertChecked,
+              Oracle.RefutedConfirmed, Oracle.UnknownConfirmed,
+              Oracle.ParityArms);
+  if (!Oracle.clean()) {
+    GatesOk = false;
+    std::fprintf(stderr, "FAIL: oracle found %zu mismatch%s:\n%s",
+                 Oracle.Mismatches.size(),
+                 Oracle.Mismatches.size() == 1 ? "" : "es",
+                 gen::describeMismatches(Oracle).c_str());
+  }
+
+  std::vector<const Program *> Programs;
+  for (const gen::GeneratedInstance &Inst : Corpus.Instances)
+    Programs.push_back(Inst.Program.get());
+
+  // --- Cold sequential vs parallel (paired) -----------------------------
+  SchedulerOptions Seq;
+  Seq.Jobs = 1;
+  Seq.Verify = gen::corpusVerifyOptions();
+  SchedulerOptions Par = Seq;
+  Par.Jobs = Jobs;
+  verifyPrograms(Programs, Seq); // untimed warm-up
+  BatchOutcome SeqOut, ParOut;
+  benchutil::PairedSamples ParPairs = benchutil::measurePaired(
+      Reps,
+      [&] {
+        SeqOut = verifyPrograms(Programs, Seq);
+        return SeqOut.TotalMillis;
+      },
+      [&] {
+        ParOut = verifyPrograms(Programs, Par);
+        return ParOut.TotalMillis;
+      });
+  const double SeqMs = ParPairs.numMedian();
+  const double ParMs = ParPairs.denMedian();
+  auto BaseVerdicts = benchutil::flatVerdicts(SeqOut);
+  if (benchutil::flatVerdicts(ParOut) != BaseVerdicts) {
+    GatesOk = false;
+    std::fprintf(stderr,
+                 "FAIL: %u-worker verdicts differ from sequential\n", Jobs);
+  }
+  std::printf("%-24s %10.2f ms   (%u/%u proved)\n", "cold sequential", SeqMs,
+              SeqOut.provedCount(), SeqOut.propertyCount());
+  char ParLabel[64];
+  std::snprintf(ParLabel, sizeof(ParLabel), "parallel (%u workers)", Jobs);
+  std::printf("%-24s %10.2f ms   %.2fx\n", ParLabel, ParMs,
+              ParPairs.speedup());
+
+  // --- Dedupe: the corpus submitted twice in one batch ------------------
+  std::vector<const Program *> Doubled = Programs;
+  Doubled.insert(Doubled.end(), Programs.begin(), Programs.end());
+  BatchOutcome Dd = verifyPrograms(Doubled, Par);
+  auto DoubledVerdicts = BaseVerdicts;
+  DoubledVerdicts.insert(DoubledVerdicts.end(), BaseVerdicts.begin(),
+                         BaseVerdicts.end());
+  if (benchutil::flatVerdicts(Dd) != DoubledVerdicts) {
+    GatesOk = false;
+    std::fprintf(stderr, "FAIL: doubled-batch verdicts differ from two "
+                         "copies of the baseline\n");
+  }
+  if (Dd.DedupedJobs < Props) {
+    GatesOk = false;
+    std::fprintf(stderr,
+                 "FAIL: doubled batch deduplicated %llu jobs, expected at "
+                 "least %zu\n",
+                 (unsigned long long)Dd.DedupedJobs, Props);
+  }
+  std::printf("%-24s %10.2f ms   %llu jobs deduplicated\n", "dedupe (2x batch)",
+              Dd.TotalMillis, (unsigned long long)Dd.DedupedJobs);
+
+  // --- Cache: wipe -> cold populate -> warm serve, per repetition -------
+  // Refuted verdicts are never persisted (nothing to re-check on reload),
+  // so the warm floor is the cacheable count, not the property count.
+  const size_t Cacheable = Props - ExpRefuted;
+  std::filesystem::path CacheDir =
+      std::filesystem::temp_directory_path() /
+      ("reflex-bench-corpus-" + std::to_string(::getpid()));
+  std::vector<double> ColdMsS, WarmMsS, CacheRatios;
+  bool WarmFloorOk = true, WarmParityOk = true;
+  uint64_t WarmServed = 0;
+  for (unsigned R = 0; R < Reps; ++R) {
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC);
+    Result<std::unique_ptr<ProofCache>> Cache =
+        ProofCache::open(CacheDir.string());
+    if (!Cache.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", Cache.error().c_str());
+      return 1;
+    }
+    SchedulerOptions Cached = Par;
+    Cached.Cache = Cache->get();
+    BatchOutcome Cold = verifyPrograms(Programs, Cached);
+    ColdMsS.push_back(Cold.TotalMillis);
+    std::vector<double> Warm;
+    BatchOutcome WarmOut;
+    for (unsigned W = 0; W < (Smoke ? 1u : 3u); ++W) {
+      WarmOut = verifyPrograms(Programs, Cached);
+      Warm.push_back(WarmOut.TotalMillis);
+    }
+    double WarmMs = benchutil::median(Warm);
+    WarmMsS.push_back(WarmMs);
+    CacheRatios.push_back(WarmMs > 0 ? Cold.TotalMillis / WarmMs : 0);
+    WarmServed = WarmOut.CacheStats.Hits + WarmOut.CacheStats.FootprintHits;
+    if (WarmServed < Cacheable)
+      WarmFloorOk = false;
+    if (benchutil::flatVerdicts(WarmOut) != BaseVerdicts)
+      WarmParityOk = false;
+  }
+  std::error_code EC;
+  std::filesystem::remove_all(CacheDir, EC);
+  double ColdMs = benchutil::median(ColdMsS);
+  double WarmMs = benchutil::median(WarmMsS);
+  double CacheSpeedup = benchutil::round2(benchutil::median(CacheRatios));
+  std::printf("%-24s %10.2f ms\n", "cache cold (populate)", ColdMs);
+  std::printf("%-24s %10.2f ms   %.2fx vs cold, %llu/%zu cacheable served\n",
+              "cache warm", WarmMs, CacheSpeedup,
+              (unsigned long long)WarmServed, Cacheable);
+  if (!WarmFloorOk) {
+    GatesOk = false;
+    std::fprintf(stderr,
+                 "FAIL: warm cache served %llu verdicts, below the %zu "
+                 "cacheable floor\n",
+                 (unsigned long long)WarmServed, Cacheable);
+  }
+  if (!WarmParityOk) {
+    GatesOk = false;
+    std::fprintf(stderr, "FAIL: warm-cache verdicts differ from baseline\n");
+  }
+  if (!Smoke && CacheSpeedup < 2.0) {
+    GatesOk = false;
+    std::fprintf(stderr, "FAIL: warm-vs-cold speedup %.2fx below the 2x "
+                         "gate\n",
+                 CacheSpeedup);
+  }
+
+  // --- Incremental: one no-op edit per kernel, audited reuse ------------
+  std::vector<EditedInstance> Edits;
+  for (const gen::GeneratedInstance &Inst : Corpus.Instances) {
+    size_t EditIdx = SIZE_MAX;
+    std::string Nop;
+    for (size_t I = 0; I < Inst.Program->Handlers.size(); ++I) {
+      std::string N = nopFor(Inst.Program->Handlers[I]);
+      if (!N.empty()) {
+        EditIdx = I;
+        Nop = N;
+      }
+    }
+    if (EditIdx == SIZE_MAX)
+      continue;
+    Result<ProgramPtr> P =
+        loadProgram(mutateHandler(Inst.Source, EditIdx, Nop), Inst.Name);
+    if (!P.ok()) {
+      GatesOk = false;
+      std::fprintf(stderr, "FAIL: edited %s does not load: %s\n",
+                   Inst.Name.c_str(), P.error().c_str());
+      continue;
+    }
+    Edits.push_back({&Inst, P.take()});
+  }
+  const VerifyOptions VOpts = gen::corpusVerifyOptions();
+  uint64_t Reused = 0, Reverified = 0;
+  bool AuditOk = true;
+  for (const EditedInstance &E : Edits) {
+    IncrementalVerifier IV(VOpts);
+    IV.setAuditReuse(true);
+    IV.verify(*E.Pristine->Program);
+    IncrementalVerifier::Outcome Out = IV.verify(*E.Edited);
+    Reused += Out.Reused;
+    Reverified += Out.Reverified;
+    if (Out.AuditFailures) {
+      AuditOk = false;
+      for (const std::string &Err : Out.AuditErrors)
+        std::fprintf(stderr, "FAIL: %s audit: %s\n",
+                     E.Pristine->Name.c_str(), Err.c_str());
+    }
+    VerificationReport Fresh = verifyProgram(*E.Edited, VOpts);
+    if (Out.Report.Results.size() != Fresh.Results.size()) {
+      AuditOk = false;
+      continue;
+    }
+    for (size_t I = 0; I < Fresh.Results.size(); ++I) {
+      const PropertyResult &Got = Out.Report.Results[I];
+      const PropertyResult &Want = Fresh.Results[I];
+      if (Got.Status != Want.Status || Got.Reason != Want.Reason ||
+          Got.CertJson != Want.CertJson) {
+        AuditOk = false;
+        std::fprintf(stderr,
+                     "FAIL: %s / %s: incremental verdict differs from "
+                     "from-scratch\n",
+                     E.Pristine->Name.c_str(), Want.Name.c_str());
+      }
+    }
+  }
+  if (!AuditOk)
+    GatesOk = false;
+  auto FullBatch = [&] {
+    double Ms = 0;
+    for (const EditedInstance &E : Edits) {
+      IncrementalVerifier IV(VOpts);
+      Ms += IV.verify(*E.Edited).Report.TotalMillis;
+    }
+    return Ms;
+  };
+  auto EditOneBatch = [&] {
+    double Ms = 0;
+    for (const EditedInstance &E : Edits) {
+      IncrementalVerifier IV(VOpts);
+      IV.verify(*E.Pristine->Program); // untimed pre-edit warm-up
+      Ms += IV.verify(*E.Edited).Report.TotalMillis;
+    }
+    return Ms;
+  };
+  benchutil::PairedSamples IncPairs =
+      benchutil::measurePaired(Reps, FullBatch, EditOneBatch);
+  std::printf("%-24s %10.2f ms\n", "full re-verify (edited)",
+              IncPairs.numMedian());
+  std::printf("%-24s %10.2f ms   %.2fx vs full, %llu reused + %llu "
+              "re-verified\n",
+              "incremental edit-one", IncPairs.denMedian(),
+              IncPairs.speedup(), (unsigned long long)Reused,
+              (unsigned long long)Reverified);
+
+  // --- Daemon: the corpus over the wire ---------------------------------
+  std::string DaemonDir =
+      "/tmp/rfx-bench-corpus-" + std::to_string(::getpid());
+  std::filesystem::create_directories(DaemonDir);
+  std::string Socket = DaemonDir + "/d.sock";
+  DaemonOptions DOpts;
+  DOpts.SocketPath = Socket;
+  DOpts.Jobs = Jobs;
+  double DaemonMs = 0;
+  bool DaemonParityOk = true;
+  {
+    Result<std::unique_ptr<ReflexDaemon>> D = ReflexDaemon::start(DOpts);
+    if (!D.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", D.error().c_str());
+      return 1;
+    }
+    (*D)->serveInBackground();
+    Result<DaemonClient> Client = DaemonClient::connect(Socket);
+    if (!Client.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", Client.error().c_str());
+      return 1;
+    }
+    auto DaemonBatch = [&](bool Compare) {
+      WallTimer T;
+      for (size_t I = 0; I < Corpus.Instances.size(); ++I) {
+        const gen::GeneratedInstance &Inst = Corpus.Instances[I];
+        Result<JsonValue> Resp =
+            Client->call(verifyFrame(Inst.Source, Jobs));
+        if (!Resp.ok() || !Resp->getBool("ok")) {
+          DaemonParityOk = false;
+          std::fprintf(stderr, "FAIL: daemon verify of %s: %s\n",
+                       Inst.Name.c_str(),
+                       Resp.ok() ? Resp->getString("error").c_str()
+                                 : Resp.error().c_str());
+          continue;
+        }
+        if (!Compare)
+          continue;
+        const JsonValue *Results = Resp->get("results");
+        const VerificationReport &Base = SeqOut.Reports[I];
+        if (!Results || !Results->isArray() ||
+            Results->items().size() != Base.Results.size()) {
+          DaemonParityOk = false;
+          std::fprintf(stderr, "FAIL: daemon result shape for %s\n",
+                       Inst.Name.c_str());
+          continue;
+        }
+        for (size_t J = 0; J < Base.Results.size(); ++J) {
+          const JsonValue &Got = Results->items()[J];
+          const PropertyResult &Want = Base.Results[J];
+          if (Got.getString("name") != Want.Name ||
+              Got.getString("status") != verifyStatusName(Want.Status) ||
+              (Want.Status != VerifyStatus::Proved &&
+               Got.getString("reason") != Want.Reason)) {
+            DaemonParityOk = false;
+            std::fprintf(stderr,
+                         "FAIL: daemon verdict for %s/%s differs from the "
+                         "local baseline\n",
+                         Inst.Name.c_str(), Want.Name.c_str());
+          }
+        }
+      }
+      return T.elapsedMillis();
+    };
+    DaemonBatch(/*Compare=*/true); // parity pass, also warms the daemon
+    std::vector<double> DaemonMsS;
+    for (unsigned R = 0; R < Reps; ++R)
+      DaemonMsS.push_back(DaemonBatch(/*Compare=*/false));
+    DaemonMs = benchutil::median(DaemonMsS);
+    (void)Client->call("{\"verb\":\"shutdown\"}");
+    (*D)->stop();
+    D->reset();
+  }
+  std::filesystem::remove_all(DaemonDir, EC);
+  if (!DaemonParityOk)
+    GatesOk = false;
+  std::printf("%-24s %10.2f ms   (wire round-trips, %zu kernels)\n",
+              "daemon batch", DaemonMs, Corpus.Instances.size());
+
+  // --- JSON trajectory record -------------------------------------------
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "corpus");
+  W.field("smoke", Smoke);
+  W.field("seed", int64_t(C.Seed));
+  W.field("scale", int64_t(C.Scale));
+  W.field("reps", int64_t(Reps));
+  W.field("kernels", int64_t(Corpus.Instances.size()));
+  W.field("properties", int64_t(Props));
+  W.field("expected_proved", int64_t(ExpProved));
+  W.field("expected_refuted", int64_t(ExpRefuted));
+  W.field("expected_unknown", int64_t(ExpUnknown));
+  W.key("gen_ms");
+  W.value(GenMs);
+  W.key("oracle");
+  W.beginObject();
+  W.key("ms");
+  W.value(OracleMs);
+  W.field("proved_cert_checked", int64_t(Oracle.ProvedCertChecked));
+  W.field("refuted_confirmed", int64_t(Oracle.RefutedConfirmed));
+  W.field("unknown_confirmed", int64_t(Oracle.UnknownConfirmed));
+  W.field("interp_traces", int64_t(Oracle.InterpTraces));
+  W.field("interp_exchanges", int64_t(Oracle.InterpExchanges));
+  W.field("parity_arms", int64_t(Oracle.ParityArms));
+  W.field("mismatches", int64_t(Oracle.Mismatches.size()));
+  W.endObject();
+  W.key("sequential_ms");
+  W.value(SeqMs);
+  W.key("parallel");
+  W.beginObject();
+  W.field("jobs", int64_t(Jobs));
+  W.key("ms");
+  W.value(ParMs);
+  W.key("speedup");
+  W.value(ParPairs.speedup());
+  W.endObject();
+  W.field("deduped_jobs", int64_t(Dd.DedupedJobs));
+  W.key("cache");
+  W.beginObject();
+  W.key("cold_ms");
+  W.value(ColdMs);
+  W.key("warm_ms");
+  W.value(WarmMs);
+  W.key("warm_speedup_vs_cold");
+  W.value(CacheSpeedup);
+  W.field("warm_served", int64_t(WarmServed));
+  W.field("cacheable", int64_t(Cacheable));
+  W.endObject();
+  W.key("incremental");
+  W.beginObject();
+  W.key("full_reverify_ms");
+  W.value(IncPairs.numMedian());
+  W.key("edit_one_ms");
+  W.value(IncPairs.denMedian());
+  W.key("edit_one_speedup");
+  W.value(IncPairs.speedup());
+  W.field("reused", int64_t(Reused));
+  W.field("reverified", int64_t(Reverified));
+  W.field("audit_ok", AuditOk);
+  W.endObject();
+  W.key("daemon_ms");
+  W.value(DaemonMs);
+  W.field("gates_ok", GatesOk);
+  W.endObject();
+  if (!benchutil::writeJsonRecord(W, BA.OutPath))
+    return 1;
+
+  if (!GatesOk) {
+    std::fprintf(stderr, "FAIL: corpus bench gates failed\n");
+    return 1;
+  }
+  return 0;
+}

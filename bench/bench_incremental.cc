@@ -51,6 +51,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/cmd.h"
+#include "bench_util.h"
 #include "kernels/kernels.h"
 #include "kernels/synthetic.h"
 #include "reflex/reflex.h"
@@ -58,11 +59,7 @@
 #include "support/timer.h"
 #include "verify/incremental.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -156,11 +153,6 @@ bool buildSubject(const std::string &Name, const std::string &Src,
   return true;
 }
 
-double median(std::vector<double> V) {
-  std::sort(V.begin(), V.end());
-  return V[V.size() / 2];
-}
-
 /// A per-leaf branch kernel plus the variant with one leaf's scratch
 /// literal rewritten to a fresh value no other leaf uses. The edit
 /// changes exactly one path's post-state (never its emits), so it is the
@@ -194,22 +186,13 @@ BranchSubject buildBranchSubject(unsigned Depth) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  unsigned Stages = 12;
-  bool Smoke = false;
-  std::string OutPath = "BENCH_incremental.json";
-  for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--stages") && I + 1 < Argc)
-      Stages = unsigned(std::stoul(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--smoke"))
-      Smoke = true;
-    else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
-      OutPath = Argv[++I];
-    else {
-      std::fprintf(stderr, "usage: bench_incremental [--stages N] [--smoke] "
-                           "[--out FILE]\n");
-      return 2;
-    }
-  }
+  benchutil::BenchArgs BA;
+  if (!benchutil::parseBenchArgs(Argc, Argv, "bench_incremental",
+                                 "BENCH_incremental.json", {"--stages"}, BA))
+    return 2;
+  const unsigned Stages = unsigned(BA.num("--stages", 12));
+  const bool Smoke = BA.Smoke;
+  const std::string &OutPath = BA.OutPath;
   const unsigned Runs = Smoke ? 1 : 5;
   const unsigned Inner = Smoke ? 1 : 6;
 
@@ -397,41 +380,23 @@ int main(int Argc, char **Argv) {
   };
 
   ColdBatch(); // untimed warm-up
-  std::vector<double> ColdMsS, FullMsS, OneMsS, AllMsS, Ratios;
-  std::vector<double> BranchPathMsS, BranchHandlerMsS, BranchRatios;
+  std::vector<double> ColdMsS, AllMsS;
   for (unsigned R = 0; R < Runs * Inner; ++R) {
     ColdMsS.push_back(ColdBatch());
     AllMsS.push_back(EditAllBatch());
-    double Full = 0, One = 0;
-    if (R % 2 == 0) {
-      Full = FullBatch();
-      One = EditOneBatch();
-    } else {
-      One = EditOneBatch();
-      Full = FullBatch();
-    }
-    FullMsS.push_back(Full);
-    OneMsS.push_back(One);
-    Ratios.push_back(One > 0 ? Full / One : 0);
-    double BrHandler = 0, BrPath = 0;
-    if (R % 2 == 0) {
-      BrHandler = BranchBatch(false);
-      BrPath = BranchBatch(true);
-    } else {
-      BrPath = BranchBatch(true);
-      BrHandler = BranchBatch(false);
-    }
-    BranchHandlerMsS.push_back(BrHandler);
-    BranchPathMsS.push_back(BrPath);
-    BranchRatios.push_back(BrPath > 0 ? BrHandler / BrPath : 0);
   }
-  auto Round2 = [](double X) { return std::round(X * 100) / 100; };
-  double ColdMs = median(ColdMsS), FullMs = median(FullMsS);
-  double OneMs = median(OneMsS), AllMs = median(AllMsS);
-  double Speedup = Round2(median(Ratios));
-  double BranchPathMs = median(BranchPathMsS);
-  double BranchHandlerMs = median(BranchHandlerMsS);
-  double BranchSpeedup = Round2(median(BranchRatios));
+  benchutil::PairedSamples EditPairs =
+      benchutil::measurePaired(Runs * Inner, FullBatch, EditOneBatch);
+  benchutil::PairedSamples BranchPairs = benchutil::measurePaired(
+      Runs * Inner, [&] { return BranchBatch(false); },
+      [&] { return BranchBatch(true); });
+  double ColdMs = benchutil::median(ColdMsS);
+  double AllMs = benchutil::median(AllMsS);
+  double FullMs = EditPairs.numMedian(), OneMs = EditPairs.denMedian();
+  double Speedup = EditPairs.speedup();
+  double BranchHandlerMs = BranchPairs.numMedian();
+  double BranchPathMs = BranchPairs.denMedian();
+  double BranchSpeedup = BranchPairs.speedup();
 
   std::printf("%-28s %10.2f ms\n", "cold (pristine)", ColdMs);
   std::printf("%-28s %10.2f ms\n", "full re-verify (edited)", FullMs);
@@ -476,9 +441,8 @@ int main(int Argc, char **Argv) {
           int64_t(BranchHandlerReverified));
   W.field("mutation_audit_ok", AuditOk);
   W.endObject();
-  std::ofstream Out(OutPath);
-  Out << W.take() << "\n";
-  std::printf("\nwrote %s\n", OutPath.c_str());
+  if (!benchutil::writeJsonRecord(W, OutPath))
+    return 1;
 
   if (!AuditOk) {
     std::fprintf(stderr, "FAIL: mutation audit found diverging verdicts\n");

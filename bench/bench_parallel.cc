@@ -29,6 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_util.h"
 #include "kernels/kernels.h"
 #include "service/scheduler.h"
 #include "service/threadpool.h"
@@ -36,11 +37,8 @@
 #include "support/timer.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,17 +63,6 @@ Suite loadSuite() {
   return S;
 }
 
-/// Statuses+reasons of a batch, flattened in deterministic order.
-std::vector<std::pair<std::string, std::string>>
-verdicts(const BatchOutcome &Out) {
-  std::vector<std::pair<std::string, std::string>> V;
-  for (const VerificationReport &R : Out.Reports)
-    for (const PropertyResult &PR : R.Results)
-      V.emplace_back(std::string(verifyStatusName(PR.Status)) + "/" + PR.Name,
-                     PR.Reason);
-  return V;
-}
-
 /// Median wall clock over \p Runs repetitions (odd Runs → true median).
 /// Medians, not minima: a minimum under-reports contended phases and can
 /// even go negative in derived overhead percentages when noise exceeds
@@ -91,29 +78,19 @@ double medianOverRuns(unsigned Runs,
     if (Last)
       *Last = std::move(Out);
   }
-  std::sort(Ms.begin(), Ms.end());
-  return Ms[Ms.size() / 2];
+  return benchutil::median(std::move(Ms));
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  unsigned MaxJobs = 4;
-  bool Smoke = false;
-  std::string OutPath = "BENCH_parallel.json";
-  for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
-      MaxJobs = unsigned(std::stoul(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--smoke"))
-      Smoke = true;
-    else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
-      OutPath = Argv[++I];
-    else {
-      std::fprintf(stderr, "usage: bench_parallel [--jobs N] [--smoke] "
-                           "[--out FILE]\n");
-      return 2;
-    }
-  }
+  benchutil::BenchArgs BA;
+  if (!benchutil::parseBenchArgs(Argc, Argv, "bench_parallel",
+                                 "BENCH_parallel.json", {"--jobs"}, BA))
+    return 2;
+  unsigned MaxJobs = unsigned(BA.num("--jobs", 4));
+  const bool Smoke = BA.Smoke;
+  const std::string &OutPath = BA.OutPath;
   if (MaxJobs == 0)
     MaxJobs = ThreadPool::defaultWorkerCount();
   const unsigned Runs = Smoke ? 1 : 5;
@@ -155,46 +132,35 @@ int main(int Argc, char **Argv) {
   Seq.Jobs = 1;
   verifyPrograms(S.Programs, Seq); // untimed warm-up
   std::vector<double> SeqSamples;
-  std::vector<std::vector<double>> ParSamples(JobCounts.size());
-  std::vector<std::vector<double>> ParRatios(JobCounts.size());
-  std::vector<double> NoShareSamples;
   BatchOutcome SeqOut;
+  std::vector<benchutil::PairedSamples> ParPairs(JobCounts.size());
   std::vector<BatchOutcome> ParOut(JobCounts.size());
+  std::vector<double> NoShareSamples;
   BatchOutcome NoShareOut;
-  for (unsigned R = 0; R < Runs * Inner; ++R) {
-    for (size_t JI = 0; JI < JobCounts.size(); ++JI) {
-      SchedulerOptions Par;
-      Par.Jobs = JobCounts[JI];
-      double S0 = 0, P0 = 0;
-      if (R % 2 == 0) {
-        S0 = medianOverRuns(Sub, S.Programs, Seq, &SeqOut);
-        P0 = medianOverRuns(Sub, S.Programs, Par, &ParOut[JI]);
-      } else {
-        P0 = medianOverRuns(Sub, S.Programs, Par, &ParOut[JI]);
-        S0 = medianOverRuns(Sub, S.Programs, Seq, &SeqOut);
-      }
-      SeqSamples.push_back(S0);
-      ParSamples[JI].push_back(P0);
-      ParRatios[JI].push_back(P0 > 0 ? S0 / P0 : 0);
-    }
-    if (MaxJobs >= 2) {
-      SchedulerOptions NS;
-      NS.Jobs = MaxJobs;
-      NS.SharedCaches = false;
+  for (size_t JI = 0; JI < JobCounts.size(); ++JI) {
+    SchedulerOptions Par;
+    Par.Jobs = JobCounts[JI];
+    ParPairs[JI] = benchutil::measurePaired(
+        Runs * Inner,
+        [&] { return medianOverRuns(Sub, S.Programs, Seq, &SeqOut); },
+        [&] { return medianOverRuns(Sub, S.Programs, Par, &ParOut[JI]); });
+    SeqSamples.insert(SeqSamples.end(), ParPairs[JI].NumMs.begin(),
+                      ParPairs[JI].NumMs.end());
+  }
+  if (JobCounts.empty())
+    for (unsigned R = 0; R < Runs * Inner; ++R)
+      SeqSamples.push_back(medianOverRuns(Sub, S.Programs, Seq, &SeqOut));
+  if (MaxJobs >= 2) {
+    SchedulerOptions NS;
+    NS.Jobs = MaxJobs;
+    NS.SharedCaches = false;
+    for (unsigned R = 0; R < Runs * Inner; ++R)
       NoShareSamples.push_back(
           medianOverRuns(Sub, S.Programs, NS, &NoShareOut));
-    }
   }
-  auto Median = [](std::vector<double> V) {
-    std::sort(V.begin(), V.end());
-    return V[V.size() / 2];
-  };
-  // Speedups carry two significant decimals: the per-ratio noise floor on
-  // this host is a couple of percent, so further digits are not signal.
-  auto Round2 = [](double X) { return std::round(X * 100) / 100; };
 
-  double SeqMs = Median(SeqSamples);
-  auto SeqVerdicts = verdicts(SeqOut);
+  double SeqMs = benchutil::median(SeqSamples);
+  auto SeqVerdicts = benchutil::flatVerdicts(SeqOut);
   std::printf("%-24s %10.2f ms   (%u/%u proved)\n", "sequential (1 worker)",
               SeqMs, SeqOut.provedCount(), SeqOut.propertyCount());
 
@@ -207,13 +173,13 @@ int main(int Argc, char **Argv) {
   bool Deterministic = true;
   for (size_t JI = 0; JI < JobCounts.size(); ++JI) {
     unsigned J = JobCounts[JI];
-    if (verdicts(ParOut[JI]) != SeqVerdicts) {
+    if (benchutil::flatVerdicts(ParOut[JI]) != SeqVerdicts) {
       std::fprintf(stderr,
                    "FAIL: %u-worker verdicts differ from sequential\n", J);
       Deterministic = false;
     }
-    double Ms = Median(ParSamples[JI]);
-    double Speedup = Round2(Median(ParRatios[JI]));
+    double Ms = ParPairs[JI].denMedian();
+    double Speedup = ParPairs[JI].speedup();
     Rows.push_back({J, Ms, Speedup});
     char Label[64];
     std::snprintf(Label, sizeof(Label), "parallel (%u workers)", J);
@@ -222,8 +188,8 @@ int main(int Argc, char **Argv) {
 
   double NoShareMs = 0;
   if (MaxJobs >= 2) {
-    NoShareMs = Median(NoShareSamples);
-    if (verdicts(NoShareOut) != SeqVerdicts) {
+    NoShareMs = benchutil::median(NoShareSamples);
+    if (benchutil::flatVerdicts(NoShareOut) != SeqVerdicts) {
       std::fprintf(stderr, "FAIL: sharing-off verdicts differ from "
                            "sequential\n");
       Deterministic = false;
@@ -276,7 +242,7 @@ int main(int Argc, char **Argv) {
       for (const PropertyResult &PR : R.Results)
         if (PR.Status == VerifyStatus::Proved && !PR.CertChecked)
           WarmAllCached = false;
-    if (verdicts(Warm) != SeqVerdicts) {
+    if (benchutil::flatVerdicts(Warm) != SeqVerdicts) {
       std::fprintf(stderr, "FAIL: warm-cache verdicts differ from "
                            "sequential\n");
       Deterministic = false;
@@ -312,7 +278,7 @@ int main(int Argc, char **Argv) {
         if (PR.Status == VerifyStatus::Proved && !PR.CertChecked &&
             !PR.FastRecheck)
           FastAllCached = false;
-    if (verdicts(Out) != SeqVerdicts) {
+    if (benchutil::flatVerdicts(Out) != SeqVerdicts) {
       std::fprintf(stderr, "FAIL: fast warm-cache verdicts differ from "
                            "sequential\n");
       Deterministic = false;
@@ -373,9 +339,9 @@ int main(int Argc, char **Argv) {
   W.value(FastRecheckMs);
   // Headline: the fast hash-chain path is the steady-state warm cost.
   W.key("warm_speedup_vs_sequential");
-  W.value(Round2(WarmFastMs > 0 ? SeqMs / WarmFastMs : 0));
+  W.value(benchutil::round2(WarmFastMs > 0 ? SeqMs / WarmFastMs : 0));
   W.key("warm_full_speedup_vs_sequential");
-  W.value(Round2(WarmFullMs > 0 ? SeqMs / WarmFullMs : 0));
+  W.value(benchutil::round2(WarmFullMs > 0 ? SeqMs / WarmFullMs : 0));
   W.field("warm_hits", int64_t(WarmHits));
   W.field("warm_fast_hits", int64_t(FastHits));
   W.field("warm_rejected", int64_t(WarmRejected));
@@ -384,9 +350,8 @@ int main(int Argc, char **Argv) {
   W.endObject();
   W.field("deterministic", Deterministic);
   W.endObject();
-  std::ofstream Out(OutPath);
-  Out << W.take() << "\n";
-  std::printf("\nwrote %s\n", OutPath.c_str());
+  if (!benchutil::writeJsonRecord(W, OutPath))
+    return 1;
 
   if (!Deterministic || !WarmAllCached || !FastAllCached) {
     std::fprintf(stderr, "FAIL: %s\n",

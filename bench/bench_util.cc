@@ -1,0 +1,126 @@
+//===- bench/bench_util.cc - Shared bench measurement scaffolding ---------===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace reflex {
+namespace benchutil {
+
+double median(std::vector<double> V) {
+  if (V.empty()) {
+    std::fprintf(stderr, "bench_util: median of zero samples\n");
+    std::abort();
+  }
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+double round2(double X) { return std::round(X * 100) / 100; }
+
+PairedSamples measurePaired(unsigned Pairs,
+                            const std::function<double()> &Num,
+                            const std::function<double()> &Den) {
+  PairedSamples S;
+  S.NumMs.reserve(Pairs);
+  S.DenMs.reserve(Pairs);
+  S.Ratios.reserve(Pairs);
+  for (unsigned R = 0; R < Pairs; ++R) {
+    double N = 0, D = 0;
+    if (R % 2 == 0) {
+      N = Num();
+      D = Den();
+    } else {
+      D = Den();
+      N = Num();
+    }
+    S.NumMs.push_back(N);
+    S.DenMs.push_back(D);
+    S.Ratios.push_back(D > 0 ? N / D : 0);
+  }
+  return S;
+}
+
+namespace {
+
+int usageFor(const std::string &Name,
+             const std::vector<std::string> &NumFlags) {
+  std::string Line = "usage: " + Name;
+  for (const std::string &F : NumFlags)
+    Line += " [" + F + " N]";
+  Line += " [--smoke] [--out FILE]\n";
+  std::fprintf(stderr, "%s", Line.c_str());
+  return 2;
+}
+
+} // namespace
+
+bool parseBenchArgs(int Argc, char **Argv, const std::string &Name,
+                    const std::string &DefaultOut,
+                    const std::vector<std::string> &NumFlags,
+                    BenchArgs &Out) {
+  Out.OutPath = DefaultOut;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--smoke") {
+      Out.Smoke = true;
+      continue;
+    }
+    if (Arg == "--out" && I + 1 < Argc) {
+      Out.OutPath = Argv[++I];
+      continue;
+    }
+    auto It = std::find(NumFlags.begin(), NumFlags.end(), Arg);
+    if (It != NumFlags.end() && I + 1 < Argc) {
+      const char *Val = Argv[++I];
+      errno = 0;
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Val, &End, 10);
+      if (End == Val || *End != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "error: option '%s' needs a number, got '%s'\n",
+                     Arg.c_str(), Val);
+        usageFor(Name, NumFlags);
+        return false;
+      }
+      Out.Nums[Arg] = V;
+      continue;
+    }
+    usageFor(Name, NumFlags);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>>
+flatVerdicts(const BatchOutcome &Out) {
+  std::vector<std::pair<std::string, std::string>> V;
+  for (const VerificationReport &R : Out.Reports)
+    for (const PropertyResult &PR : R.Results)
+      V.emplace_back(std::string(verifyStatusName(PR.Status)) + "/" + PR.Name,
+                     PR.Reason);
+  return V;
+}
+
+bool writeJsonRecord(JsonWriter &W, const std::string &OutPath) {
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", OutPath.c_str());
+    return false;
+  }
+  Out << W.take() << "\n";
+  std::printf("\nwrote %s\n", OutPath.c_str());
+  return true;
+}
+
+} // namespace benchutil
+} // namespace reflex

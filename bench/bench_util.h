@@ -1,0 +1,108 @@
+//===- bench/bench_util.h - Shared bench measurement scaffolding -*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement and reporting idioms every bench_* binary repeats:
+///
+///  * median-of-samples (medians resist the container's heavy-tailed
+///    scheduler noise; minima hide contended phases and can drive derived
+///    overhead percentages negative);
+///  * the paired adjacent-batch ratio estimator — a speedup is the median
+///    of per-pair ratios, each pair's two batches run back to back with
+///    alternating order, so batch-scale container jitter cancels instead
+///    of masquerading as a speedup or slowdown;
+///  * two-decimal rounding for reported speedups (the honest precision at
+///    this host's noise floor);
+///  * the common flag grammar (--smoke, --out FILE, named numeric flags)
+///    with a structured usage error on junk;
+///  * the flattened per-property (status/name, reason) verdict key that
+///    the scheduler's determinism contract is gated on;
+///  * the JSON-trajectory tail (write the record, print the path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_BENCH_BENCH_UTIL_H
+#define REFLEX_BENCH_BENCH_UTIL_H
+
+#include "service/scheduler.h"
+#include "support/json.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reflex {
+namespace benchutil {
+
+/// Median of \p V (odd sizes → true median). Aborts on empty input — a
+/// bench that measured nothing has a bug, not a zero.
+double median(std::vector<double> V);
+
+/// Two significant decimals: the per-ratio noise floor on this host is a
+/// couple of percent, so further digits are not signal.
+double round2(double X);
+
+/// One paired-ratio experiment: per-pair samples of the two arms plus the
+/// per-pair Num/Den ratios (Num is conventionally the slower baseline, so
+/// the ratio reads as the speedup of Den).
+struct PairedSamples {
+  std::vector<double> NumMs;
+  std::vector<double> DenMs;
+  std::vector<double> Ratios;
+
+  double numMedian() const { return median(NumMs); }
+  double denMedian() const { return median(DenMs); }
+  /// round2(median of the per-pair ratios) — the headline speedup.
+  double speedup() const { return round2(median(Ratios)); }
+};
+
+/// Runs \p Pairs (baseline, candidate) pairs back to back. Within a pair
+/// the order alternates (num-then-den on even pairs, den-then-num on odd
+/// ones), so any systematic first-of-pair effect cancels too. Each thunk
+/// returns one timed sample in milliseconds — callers that want
+/// sub-batch medians take them inside the thunk.
+PairedSamples measurePaired(unsigned Pairs,
+                            const std::function<double()> &Num,
+                            const std::function<double()> &Den);
+
+/// The common bench command line: --smoke, --out FILE, plus a
+/// bench-specific set of numeric value flags ("--jobs", "--stages", ...).
+struct BenchArgs {
+  bool Smoke = false;
+  std::string OutPath;
+  std::map<std::string, size_t> Nums;
+
+  size_t num(const std::string &Flag, size_t Default) const {
+    auto It = Nums.find(Flag);
+    return It == Nums.end() ? Default : It->second;
+  }
+};
+
+/// Parses argv. \p NumFlags lists the accepted numeric value flags; any
+/// other argument (or a non-numeric value) prints a usage line built from
+/// \p Name + \p NumFlags to stderr and returns false — callers `return 2`.
+bool parseBenchArgs(int Argc, char **Argv, const std::string &Name,
+                    const std::string &DefaultOut,
+                    const std::vector<std::string> &NumFlags, BenchArgs &Out);
+
+/// Statuses+reasons of a batch, flattened in deterministic report order:
+/// ("Status/Name", Reason) per property. Two batches verified under the
+/// same options must compare equal — the determinism contract.
+std::vector<std::pair<std::string, std::string>>
+flatVerdicts(const BatchOutcome &Out);
+
+/// Writes the JSON record to \p OutPath (with trailing newline) and
+/// prints "wrote <path>". Returns false (after an stderr message) when
+/// the file cannot be written. Consumes the writer.
+bool writeJsonRecord(JsonWriter &W, const std::string &OutPath);
+
+} // namespace benchutil
+} // namespace reflex
+
+#endif // REFLEX_BENCH_BENCH_UTIL_H

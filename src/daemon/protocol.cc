@@ -104,6 +104,10 @@ Result<DaemonRequest> decodeDaemonRequest(const std::string &Frame) {
   R.Retries = unsigned(Tmp);
   REFLEX_NUM(Tmp, "bmc_depth", 0);
   R.Verify.BmcDepthOnUnknown = size_t(Tmp);
+  REFLEX_NUM(Tmp, "bmc_states", BmcOptions().MaxStates);
+  R.Verify.Bmc.MaxStates = size_t(Tmp);
+  REFLEX_NUM(Tmp, "bmc_payloads", BmcOptions().MaxPayloadsPerMessage);
+  R.Verify.Bmc.MaxPayloadsPerMessage = size_t(Tmp);
   REFLEX_NUM(R.Verify.TimeoutMillis, "timeout_ms", 0);
   REFLEX_NUM(R.Verify.StepBudget, "step_budget", 0);
   REFLEX_FLAG(R.Verify.SyntacticSkip, "no_skip", true);
@@ -214,6 +218,8 @@ std::string encodeOpenSessionFrame(const DaemonRequest &R,
   W.field("jobs", int64_t(R.Jobs));
   W.field("retries", int64_t(R.Retries));
   W.field("bmc_depth", int64_t(R.Verify.BmcDepthOnUnknown));
+  W.field("bmc_states", int64_t(R.Verify.Bmc.MaxStates));
+  W.field("bmc_payloads", int64_t(R.Verify.Bmc.MaxPayloadsPerMessage));
   W.field("timeout_ms", int64_t(R.Verify.TimeoutMillis));
   W.field("step_budget", int64_t(R.Verify.StepBudget));
   W.field("no_skip", !R.Verify.SyntacticSkip);

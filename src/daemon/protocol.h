@@ -31,6 +31,10 @@
 /// shared with the CLI's semantics, daemon verdicts are byte-identical
 /// to one-shot `reflex verify` runs — the determinism contract
 /// (verdict = f(program, property, options)) holds across the wire.
+/// bmc_states / bmc_payloads carry the counterexample-search resource
+/// limits (VerifyOptions::Bmc), defaulting to BmcOptions' own defaults;
+/// wide-alphabet clients (the generated corpus) shrink bmc_payloads so
+/// a shallow bound completes under the state cap.
 ///
 //===----------------------------------------------------------------------===//
 

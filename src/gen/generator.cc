@@ -1,0 +1,728 @@
+//===- gen/generator.cc - Seeded scenario factory ---------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/generator.h"
+
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/sha256.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace reflex {
+namespace gen {
+
+const char *expectKindName(ExpectKind K) {
+  switch (K) {
+  case ExpectKind::Proved:
+    return "Proved";
+  case ExpectKind::Refuted:
+    return "Refuted";
+  case ExpectKind::Unknown:
+    return "Unknown";
+  }
+  return "?";
+}
+
+const ExpectedVerdict *
+GeneratedInstance::findExpected(const std::string &Prop) const {
+  for (const ExpectedVerdict &E : Expected)
+    if (E.Property == Prop)
+      return &E;
+  return nullptr;
+}
+
+size_t GeneratedCorpus::totalProperties() const {
+  size_t N = 0;
+  for (const GeneratedInstance &I : Instances)
+    N += I.Expected.size();
+  return N;
+}
+
+size_t GeneratedCorpus::totalHandlers() const {
+  size_t N = 0;
+  for (const GeneratedInstance &I : Instances)
+    N += I.Program->Handlers.size();
+  return N;
+}
+
+unsigned corpusBmcDepth() {
+  // Every seeded fault is refutable within two exchanges (the double-Ack
+  // fault needs a second Ack-producing delivery; the rest violate on the
+  // first). The bound must stay exactly there: the BMC is a depth-first
+  // enumeration over (component × message × payload) exchanges, so each
+  // extra level multiplies the subtree under every early branch by the
+  // full branching factor, and at corpus alphabets that exhausts
+  // BmcOptions::MaxStates before the fault-bearing branch is reached —
+  // silently turning an expected Refuted into Unknown.
+  return 2;
+}
+
+VerifyOptions corpusVerifyOptions() {
+  VerifyOptions Opts;
+  Opts.BmcDepthOnUnknown = corpusBmcDepth();
+  // Every seeded fault fires regardless of payload values, but the
+  // corpus' message alphabet is wide (tens of messages, multi-field
+  // payloads): at the default 32 payload combos per message the
+  // breadth-first frontier exhausts BmcOptions::MaxStates before the
+  // depth-2 faults are reached. Two payloads per message keep the
+  // branching factor low enough that depth 2 always completes, which is
+  // what the expected-Refuted ground truth relies on.
+  Opts.Bmc.MaxPayloadsPerMessage = 2;
+  return Opts;
+}
+
+namespace {
+
+enum class UnitKind : uint8_t { Gate, Chain, Branch, Lookup };
+
+enum class BugKind : uint8_t {
+  None,
+  GateDropGuard,   ///< Use handler emits Out unguarded.
+  GateDoubleAck,   ///< Extra handler emits Ack without the latch.
+  ChainDropStage,  ///< Stage k loses its done_{k-1} conjunct.
+  BranchLeak,      ///< Extra handler emits Hit unguarded.
+  LookupDropGuard, ///< Lookup-routed emit loses its open guard.
+};
+
+/// One unit of an instance: an independent proof-template instantiation
+/// with its own component type, message alphabet, and guard variables.
+struct UnitPlan {
+  UnitKind Kind = UnitKind::Gate;
+  unsigned Index = 0;       ///< Name suffix; unique within the instance.
+  unsigned ChainLen = 2;    ///< Chain only.
+  unsigned Depth = 1;       ///< Branch only: if/else nest depth.
+  unsigned ExtraParams = 0; ///< Extra (ignored) payload params on triggers.
+  bool StrTag = false;      ///< Second config field on the Node type.
+  bool LookupElse = false;  ///< Lookup only: emit the else arm.
+  BugKind Bug = BugKind::None;
+  unsigned BugStage = 0; ///< ChainDropStage only.
+};
+
+struct InstancePlan {
+  std::string Name;
+  std::vector<UnitPlan> Units;
+  unsigned NoiseVars = 0;     ///< State vars touched only by noise.
+  unsigned NoiseHandlers = 0; ///< Handlers that only touch noise vars.
+  unsigned NoiseIdle = 0;     ///< Declared messages nobody handles.
+  bool NiAll = false;         ///< Append the all-high policy (Proved).
+  bool NiSplit = false;       ///< Append the driver-low policy (Unknown).
+  std::string BugNote;
+};
+
+std::string num(unsigned N) { return std::to_string(N); }
+
+/// Deterministic Fisher-Yates driven by the corpus stream.
+template <typename T> void shuffle(std::vector<T> &Xs, Rng &R) {
+  for (size_t I = Xs.size(); I > 1; --I)
+    std::swap(Xs[I - 1], Xs[R.below(I)]);
+}
+
+/// The trigger-message payload suffix: ", num" per extra parameter.
+std::string extraPayload(const UnitPlan &U) {
+  std::string S;
+  for (unsigned I = 0; I < U.ExtraParams; ++I)
+    S += ", num";
+  return S;
+}
+
+/// The matching handler parameter suffix: ", e1, e2, ...".
+std::string extraParams(const UnitPlan &U, unsigned Unit) {
+  std::string S;
+  for (unsigned I = 0; I < U.ExtraParams; ++I)
+    S += ", e" + num(Unit) + "x" + num(I);
+  return S;
+}
+
+void emitGateUnit(std::ostringstream &Msgs, std::ostringstream &Vars,
+                  std::ostringstream &Handlers, std::ostringstream &Props,
+                  const UnitPlan &U, std::vector<ExpectedVerdict> &Exp) {
+  const std::string K = num(U.Index);
+  const std::string Node = "Node" + K, N = "N" + K;
+  Msgs << "message Open" << K << "(num" << extraPayload(U) << ");\n";
+  Msgs << "message Use" << K << "(num" << extraPayload(U) << ");\n";
+  Msgs << "message Ack" << K << "(num);\n";
+  Msgs << "message Out" << K << "(num);\n";
+  if (U.Bug == BugKind::GateDoubleAck)
+    Msgs << "message Dup" << K << "(num);\n";
+  Vars << "var open" << K << ": bool = false;\n";
+
+  Handlers << "handler Driver => Open" << K << "(x" << K
+           << extraParams(U, U.Index) << ") {\n"
+           << "  if (!open" << K << ") {\n    open" << K << " = true;\n"
+           << "    send(" << N << ", Ack" << K << "(x" << K << "));\n  }\n}\n";
+  Handlers << "handler Driver => Use" << K << "(y" << K
+           << extraParams(U, U.Index) << ") {\n";
+  if (U.Bug == BugKind::GateDropGuard)
+    Handlers << "  send(" << N << ", Out" << K << "(y" << K << "));\n}\n";
+  else
+    Handlers << "  if (open" << K << ") {\n    send(" << N << ", Out" << K
+             << "(y" << K << "));\n  }\n}\n";
+  if (U.Bug == BugKind::GateDoubleAck)
+    Handlers << "handler Driver => Dup" << K << "(z" << K << ") {\n"
+             << "  send(" << N << ", Ack" << K << "(z" << K << "));\n}\n";
+
+  Props << "property Gate" << K << ":\n  [Send(" << Node << ", Ack" << K
+        << "(_))] Enables [Send(" << Node << ", Out" << K << "(_))];\n";
+  Exp.push_back({"Gate" + K,
+                 U.Bug == BugKind::GateDropGuard ? ExpectKind::Refuted
+                                                 : ExpectKind::Proved,
+                 U.Bug == BugKind::GateDropGuard
+                     ? "guard dropped: Out reachable before any Ack"
+                     : "open flag gates Out and is set only with Ack"});
+  Props << "property Once" << K << ":\n  atmostonce [Send(" << Node << ", Ack"
+        << K << "(_))];\n";
+  Exp.push_back({"Once" + K,
+                 U.Bug == BugKind::GateDoubleAck ? ExpectKind::Refuted
+                                                 : ExpectKind::Proved,
+                 U.Bug == BugKind::GateDoubleAck
+                     ? "dup handler bypasses the latch: Ack repeats"
+                     : "open flag latches after the first Ack"});
+}
+
+void emitChainUnit(std::ostringstream &Msgs, std::ostringstream &Vars,
+                   std::ostringstream &Handlers, std::ostringstream &Props,
+                   const UnitPlan &U, std::vector<ExpectedVerdict> &Exp) {
+  const std::string K = num(U.Index);
+  const std::string Node = "Node" + K, N = "N" + K;
+  for (unsigned I = 0; I < U.ChainLen; ++I) {
+    Msgs << "message Go" << K << "s" << I << "(num" << extraPayload(U)
+         << ");\n";
+    Msgs << "message Out" << K << "s" << I << "(num);\n";
+    Vars << "var done" << K << "s" << I << ": bool = false;\n";
+  }
+  for (unsigned I = 0; I < U.ChainLen; ++I) {
+    const std::string S = K + "s" + num(I);
+    const bool Broken = U.Bug == BugKind::ChainDropStage && I == U.BugStage;
+    Handlers << "handler Driver => Go" << S << "(x" << S
+             << extraParams(U, U.Index) << ") {\n";
+    if (I == 0 || Broken)
+      Handlers << "  if (!done" << S << ") {\n";
+    else
+      Handlers << "  if (done" << K << "s" << (I - 1) << " && !done" << S
+               << ") {\n";
+    Handlers << "    done" << S << " = true;\n"
+             << "    send(" << N << ", Out" << S << "(x" << S << "));\n  }\n}\n";
+  }
+  for (unsigned I = 1; I < U.ChainLen; ++I) {
+    const bool Broken = U.Bug == BugKind::ChainDropStage && I == U.BugStage;
+    Props << "property Chain" << K << "s" << I << ":\n  [Send(" << Node
+          << ", Out" << K << "s" << (I - 1) << "(_))] Enables [Send(" << Node
+          << ", Out" << K << "s" << I << "(_))];\n";
+    Exp.push_back({"Chain" + K + "s" + num(I),
+                   Broken ? ExpectKind::Refuted : ExpectKind::Proved,
+                   Broken ? "stage conjunct dropped: stage fires out of order"
+                          : "done flags force stage order"});
+  }
+  Props << "property Head" << K << ":\n  atmostonce [Send(" << Node << ", Out"
+        << K << "s0(_))];\n";
+  Exp.push_back({"Head" + K, ExpectKind::Proved,
+                 "stage-0 flag latches after the first emit"});
+}
+
+void emitNest(std::ostringstream &OS, const UnitPlan &U, unsigned Level,
+              const std::string &Indent) {
+  const std::string K = num(U.Index);
+  if (Level == U.Depth) {
+    OS << Indent << "send(N" << K << ", Hit" << K << "(a" << K << "x0));\n";
+    return;
+  }
+  OS << Indent << "if (a" << K << "x" << Level << " < 5) {\n";
+  emitNest(OS, U, Level + 1, Indent + "  ");
+  OS << Indent << "} else {\n";
+  emitNest(OS, U, Level + 1, Indent + "  ");
+  OS << Indent << "}\n";
+}
+
+void emitBranchUnit(std::ostringstream &Msgs, std::ostringstream &Vars,
+                    std::ostringstream &Handlers, std::ostringstream &Props,
+                    const UnitPlan &U, std::vector<ExpectedVerdict> &Exp) {
+  const std::string K = num(U.Index);
+  const std::string Node = "Node" + K, N = "N" + K;
+  Msgs << "message Arm" << K << "(num" << extraPayload(U) << ");\n";
+  Msgs << "message Probe" << K << "(";
+  for (unsigned I = 0; I < U.Depth; ++I)
+    Msgs << (I ? ", num" : "num");
+  Msgs << ");\n";
+  Msgs << "message Go" << K << "(num);\n";
+  Msgs << "message Hit" << K << "(num);\n";
+  if (U.Bug == BugKind::BranchLeak)
+    Msgs << "message Leak" << K << "(num);\n";
+  Vars << "var armed" << K << ": bool = false;\n";
+
+  Handlers << "handler Driver => Arm" << K << "(x" << K
+           << extraParams(U, U.Index) << ") {\n"
+           << "  if (!armed" << K << ") {\n    armed" << K << " = true;\n"
+           << "    send(" << N << ", Go" << K << "(x" << K << "));\n  }\n}\n";
+  Handlers << "handler Driver => Probe" << K << "(";
+  for (unsigned I = 0; I < U.Depth; ++I)
+    Handlers << (I ? ", a" : "a") << K << "x" << I;
+  Handlers << ") {\n  if (armed" << K << ") {\n";
+  emitNest(Handlers, U, 0, "    ");
+  Handlers << "  }\n}\n";
+  if (U.Bug == BugKind::BranchLeak)
+    Handlers << "handler Driver => Leak" << K << "(w" << K << ") {\n"
+             << "  send(" << N << ", Hit" << K << "(w" << K << "));\n}\n";
+
+  Props << "property Gated" << K << ":\n  [Send(" << Node << ", Go" << K
+        << "(_))] Enables [Send(" << Node << ", Hit" << K << "(_))];\n";
+  Exp.push_back({"Gated" + K,
+                 U.Bug == BugKind::BranchLeak ? ExpectKind::Refuted
+                                              : ExpectKind::Proved,
+                 U.Bug == BugKind::BranchLeak
+                     ? "leak handler emits Hit without the armed guard"
+                     : "armed flag gates every leaf of the nest"});
+  Props << "property ArmOnce" << K << ":\n  atmostonce [Send(" << Node
+        << ", Go" << K << "(_))];\n";
+  Exp.push_back({"ArmOnce" + K, ExpectKind::Proved,
+                 "armed flag latches after the first Go"});
+}
+
+void emitLookupUnit(std::ostringstream &Msgs, std::ostringstream &Vars,
+                    std::ostringstream &Handlers, std::ostringstream &Props,
+                    const UnitPlan &U, std::vector<ExpectedVerdict> &Exp) {
+  const std::string K = num(U.Index);
+  const std::string Node = "Node" + K, N = "N" + K;
+  Msgs << "message Open" << K << "(num" << extraPayload(U) << ");\n";
+  Msgs << "message Use" << K << "(num" << extraPayload(U) << ");\n";
+  Msgs << "message Ack" << K << "(num);\n";
+  Msgs << "message Out" << K << "(num);\n";
+  Vars << "var open" << K << ": bool = false;\n";
+
+  Handlers << "handler Driver => Open" << K << "(x" << K
+           << extraParams(U, U.Index) << ") {\n"
+           << "  if (!open" << K << ") {\n    open" << K << " = true;\n"
+           << "    send(" << N << ", Ack" << K << "(x" << K << "));\n  }\n}\n";
+  Handlers << "handler Driver => Use" << K << "(y" << K
+           << extraParams(U, U.Index) << ") {\n";
+  std::string Indent = "  ";
+  if (U.Bug != BugKind::LookupDropGuard) {
+    Handlers << "  if (open" << K << ") {\n";
+    Indent = "    ";
+  }
+  Handlers << Indent << "lookup " << Node << "(lane == " << K << ") as peer"
+           << K << " {\n"
+           << Indent << "  send(peer" << K << ", Out" << K << "(y" << K
+           << "));\n"
+           << Indent << "}";
+  if (U.LookupElse)
+    Handlers << " else {\n" << Indent << "  nop;\n" << Indent << "}";
+  Handlers << "\n";
+  if (U.Bug != BugKind::LookupDropGuard)
+    Handlers << "  }\n";
+  Handlers << "}\n";
+
+  Props << "property Route" << K << ":\n  [Send(" << Node << ", Ack" << K
+        << "(_))] Enables [Send(" << Node << ", Out" << K << "(_))];\n";
+  Exp.push_back({"Route" + K,
+                 U.Bug == BugKind::LookupDropGuard ? ExpectKind::Refuted
+                                                   : ExpectKind::Proved,
+                 U.Bug == BugKind::LookupDropGuard
+                     ? "guard dropped: lookup emit reachable before any Ack"
+                     : "open flag gates the lookup-routed emit"});
+  Props << "property RouteOnce" << K << ":\n  atmostonce [Send(" << Node
+        << ", Ack" << K << "(_))];\n";
+  Exp.push_back({"RouteOnce" + K, ExpectKind::Proved,
+                 "open flag latches after the first Ack"});
+}
+
+/// Renders the raw (pre-canonicalization) source of an instance.
+std::string emitInstance(const InstancePlan &Plan,
+                         std::vector<ExpectedVerdict> &Exp) {
+  std::ostringstream Comps, Msgs, Vars, Init, Handlers, Props;
+  Comps << "component Driver \"driver.py\";\n";
+  // Two driver instances: component-selection nondeterminism in the
+  // interpreter arm costs nothing here and exercises the Select alphabet.
+  // Spawned FIRST: the bounded model checker enumerates exchanges in
+  // spawn order, and every handler in the corpus lives on Driver —
+  // putting the drivers at the front of the component list lets the DFS
+  // hit the seeded faults within its first branches instead of wasting
+  // its state cap on no-op deliveries to handler-less nodes.
+  Init << "  D <- spawn Driver();\n  D2 <- spawn Driver();\n";
+  for (const UnitPlan &U : Plan.Units) {
+    const std::string K = num(U.Index);
+    Comps << "component Node" << K << " \"node" << K << ".py\" { lane: num";
+    if (U.StrTag)
+      Comps << ", tag: str";
+    Comps << " };\n";
+    Init << "  N" << K << " <- spawn Node" << K << "(" << K;
+    if (U.StrTag)
+      Init << ", \"t" << K << "\"";
+    Init << ");\n";
+  }
+
+  for (const UnitPlan &U : Plan.Units) {
+    switch (U.Kind) {
+    case UnitKind::Gate:
+      emitGateUnit(Msgs, Vars, Handlers, Props, U, Exp);
+      break;
+    case UnitKind::Chain:
+      emitChainUnit(Msgs, Vars, Handlers, Props, U, Exp);
+      break;
+    case UnitKind::Branch:
+      emitBranchUnit(Msgs, Vars, Handlers, Props, U, Exp);
+      break;
+    case UnitKind::Lookup:
+      emitLookupUnit(Msgs, Vars, Handlers, Props, U, Exp);
+      break;
+    }
+  }
+
+  // Noise: handlers that only touch scratch state, plus messages nobody
+  // handles. They scale the alphabet and handler count without touching
+  // any guard variable, so no expectation changes.
+  for (unsigned I = 0; I < Plan.NoiseVars; ++I)
+    Vars << "var nv" << I << ": num = 0;\n";
+  for (unsigned I = 0; I < Plan.NoiseHandlers; ++I) {
+    Msgs << "message Ping" << I << "(num);\n";
+    Handlers << "handler Driver => Ping" << I << "(p" << I << ") {\n  nv"
+             << (Plan.NoiseVars ? I % Plan.NoiseVars : 0) << " = p" << I
+             << ";\n}\n";
+  }
+  for (unsigned I = 0; I < Plan.NoiseIdle; ++I)
+    Msgs << "message Idle" << I << "(str);\n";
+
+  auto emitNi = [&](const char *Name, bool DriverHigh) {
+    Props << "property " << Name << ":\n  noninterference {\n"
+          << "    high components:";
+    bool First = true;
+    if (DriverHigh) {
+      Props << " Driver";
+      First = false;
+    }
+    for (const UnitPlan &U : Plan.Units) {
+      Props << (First ? " " : ", ") << "Node" << U.Index;
+      First = false;
+    }
+    Props << ";\n    high vars:";
+    First = true;
+    for (const UnitPlan &U : Plan.Units) {
+      const std::string K = num(U.Index);
+      switch (U.Kind) {
+      case UnitKind::Gate:
+      case UnitKind::Lookup:
+        Props << (First ? " " : ", ") << "open" << K;
+        break;
+      case UnitKind::Chain:
+        for (unsigned I = 0; I < U.ChainLen; ++I)
+          Props << (First && I == 0 ? " " : ", ") << "done" << K << "s" << I;
+        break;
+      case UnitKind::Branch:
+        Props << (First ? " " : ", ") << "armed" << K;
+        break;
+      }
+      First = false;
+    }
+    for (unsigned I = 0; I < Plan.NoiseVars; ++I) {
+      Props << (First ? " " : ", ") << "nv" << I;
+      First = false;
+    }
+    Props << ";\n  };\n";
+  };
+
+  if (Plan.NiAll) {
+    emitNi("NiAll", /*DriverHigh=*/true);
+    Exp.push_back({"NiAll", ExpectKind::Proved,
+                   "every component and variable is high: no low observer"});
+  }
+  if (Plan.NiSplit) {
+    emitNi("NiSplit", /*DriverHigh=*/false);
+    Exp.push_back({"NiSplit", ExpectKind::Unknown,
+                   "NIlo: low Driver handlers update high guard state"});
+  }
+
+  std::ostringstream OS;
+  OS << "program " << Plan.Name << ";\n"
+     << Comps.str() << Msgs.str() << Vars.str() << "init {\n"
+     << Init.str() << "}\n"
+     << Handlers.str() << Props.str();
+  return OS.str();
+}
+
+[[noreturn]] void genFatal(const std::string &Name, const std::string &What,
+                           const std::string &Detail) {
+  std::fprintf(stderr, "gen: internal error on instance %s: %s\n%s\n",
+               Name.c_str(), What.c_str(), Detail.c_str());
+  std::abort();
+}
+
+/// Parses, validates, and canonicalizes one raw emission; aborts loudly on
+/// any failure (a generator bug by definition — raw emissions are
+/// construct-correct).
+void canonicalize(GeneratedInstance &Inst, const std::string &Raw) {
+  Result<ProgramPtr> R1 = loadProgram(Raw, Inst.Name + ".rfx");
+  if (!R1)
+    genFatal(Inst.Name, "raw emission failed to load: " + R1.error(), Raw);
+  Inst.Source = printProgram(**R1);
+  Result<ProgramPtr> R2 = loadProgram(Inst.Source, Inst.Name + ".rfx");
+  if (!R2)
+    genFatal(Inst.Name, "canonical source failed to load: " + R2.error(),
+             Inst.Source);
+  if (printProgram(**R2) != Inst.Source)
+    genFatal(Inst.Name, "printer is not a fixpoint on canonical source",
+             Inst.Source);
+  Inst.Program = std::move(*R2);
+}
+
+UnitPlan planUnit(unsigned Index, unsigned Scale, Rng &R) {
+  UnitPlan U;
+  U.Index = Index;
+  // Round-robin kinds: every instance holds a balanced mix, so property
+  // counts stay predictable while the seed varies the per-unit shape.
+  switch (Index % 4) {
+  case 0:
+    U.Kind = UnitKind::Gate;
+    break;
+  case 1:
+    U.Kind = UnitKind::Chain;
+    break;
+  case 2:
+    U.Kind = UnitKind::Branch;
+    break;
+  default:
+    U.Kind = UnitKind::Lookup;
+    break;
+  }
+  U.ChainLen = 2 + static_cast<unsigned>(R.below(std::min(Scale, 3u)));
+  U.Depth = 1 + static_cast<unsigned>(R.below(std::min(Scale, 3u)));
+  U.ExtraParams = static_cast<unsigned>(R.below(3));
+  U.StrTag = R.chance(1, 2);
+  U.LookupElse = R.chance(1, 2);
+  return U;
+}
+
+void injectBug(InstancePlan &Plan, Rng &R) {
+  UnitPlan &U = Plan.Units[R.below(Plan.Units.size())];
+  switch (U.Kind) {
+  case UnitKind::Gate:
+    U.Bug = R.chance(1, 2) ? BugKind::GateDropGuard : BugKind::GateDoubleAck;
+    Plan.BugNote = (U.Bug == BugKind::GateDropGuard ? "gate-drop-guard@Node"
+                                                    : "gate-double-ack@Node") +
+                   num(U.Index);
+    break;
+  case UnitKind::Chain:
+    U.Bug = BugKind::ChainDropStage;
+    U.BugStage = 1 + static_cast<unsigned>(R.below(U.ChainLen - 1));
+    Plan.BugNote = "chain-drop-stage" + num(U.BugStage) + "@Node" +
+                   num(U.Index);
+    break;
+  case UnitKind::Branch:
+    U.Bug = BugKind::BranchLeak;
+    Plan.BugNote = "branch-leak@Node" + num(U.Index);
+    break;
+  case UnitKind::Lookup:
+    U.Bug = BugKind::LookupDropGuard;
+    Plan.BugNote = "lookup-drop-guard@Node" + num(U.Index);
+    break;
+  }
+}
+
+GeneratedInstance buildInstance(const InstancePlan &Plan) {
+  GeneratedInstance Inst;
+  Inst.Name = Plan.Name;
+  Inst.HasBug = !Plan.BugNote.empty();
+  Inst.BugNote = Plan.BugNote;
+  std::string Raw = emitInstance(Plan, Inst.Expected);
+  canonicalize(Inst, Raw);
+  return Inst;
+}
+
+} // namespace
+
+GeneratedCorpus generateCorpus(const GenConfig &C) {
+  const unsigned Scale = std::max(1u, C.Scale);
+  GeneratedCorpus Corpus;
+  Corpus.Config = C;
+  Corpus.Config.Scale = Scale;
+  // Mix scale into the stream so (seed, scale) pairs never alias.
+  Rng R(C.Seed * 0x9E3779B97F4A7C15ULL + Scale);
+
+  const unsigned Units = Scale + 2;
+  const unsigned NumOk = 3 + (Scale + 1) / 2;
+  const unsigned NumBug = 3 + Scale / 2;
+
+  auto planInstance = [&](const std::string &Name) {
+    InstancePlan Plan;
+    Plan.Name = Name;
+    for (unsigned U = 0; U < Units; ++U)
+      Plan.Units.push_back(planUnit(U, Scale, R));
+    Plan.NoiseVars = 1 + Scale / 2;
+    Plan.NoiseHandlers = 1 + Scale / 2;
+    Plan.NoiseIdle = 1 + Scale / 3;
+    return Plan;
+  };
+
+  for (unsigned I = 0; I < NumOk; ++I) {
+    InstancePlan Plan = planInstance("gen_ok" + num(I));
+    Plan.NiAll = true;
+    Corpus.Instances.push_back(buildInstance(Plan));
+  }
+  for (unsigned I = 0; I < NumBug; ++I) {
+    InstancePlan Plan = planInstance("gen_bug" + num(I));
+    injectBug(Plan, R);
+    Corpus.Instances.push_back(buildInstance(Plan));
+  }
+  {
+    InstancePlan Plan = planInstance("gen_ni0");
+    Plan.NiAll = true;
+    Plan.NiSplit = true;
+    Corpus.Instances.push_back(buildInstance(Plan));
+  }
+  return Corpus;
+}
+
+std::vector<IllFormedMutant> generateIllFormedMutants(const GenConfig &C) {
+  // Mutants are structural edits of a small generated instance: take the
+  // canonical parts of a one-unit gate and splice in exactly one flaw.
+  const std::string Junk = "j" + num(static_cast<unsigned>(C.Seed % 1000));
+  const std::string Base = "program mut;\n"
+                           "component Driver \"driver.py\";\n"
+                           "component Node0 \"node0.py\" { lane: num };\n"
+                           "message Open0(num);\n"
+                           "message Ack0(num);\n"
+                           "var open0: bool = false;\n"
+                           "init {\n  N0 <- spawn Node0(0);\n"
+                           "  D <- spawn Driver();\n}\n";
+  const std::string GoodHandler =
+      "handler Driver => Open0(x) {\n  if (!open0) {\n    open0 = true;\n"
+      "    send(N0, Ack0(x));\n  }\n}\n";
+
+  std::vector<IllFormedMutant> Out;
+  Out.push_back({"undeclared-var",
+                 Base + "handler Driver => Open0(x) { " + Junk + " = x; }\n",
+                 "undeclared variable"});
+  Out.push_back({"send-arity",
+                 Base + "handler Driver => Open0(x) { send(N0, Ack0(x, x)); }\n",
+                 "payload"});
+  Out.push_back({"unknown-message",
+                 Base + "handler Driver => Open0(x) { send(N0, " + Junk +
+                     "(x)); }\n",
+                 "unknown message type"});
+  Out.push_back({"non-bool-condition",
+                 Base + "handler Driver => Open0(x) { if (x) { nop; } }\n",
+                 "must be bool"});
+  Out.push_back({"handler-arity", Base + "handler Driver => Open0() { nop; }\n",
+                 "parameters"});
+  Out.push_back({"duplicate-handler", Base + GoodHandler + GoodHandler,
+                 "duplicate handler"});
+  Out.push_back({"assign-type-mismatch",
+                 Base + "handler Driver => Open0(x) { open0 = x; }\n",
+                 "assigning num"});
+  Out.push_back({"spawn-config-arity",
+                 Base + "handler Driver => Open0(x) { F <- spawn Node0(); }\n",
+                 "wrong number of config values"});
+  Out.push_back({"unbound-forall",
+                 Base + GoodHandler +
+                     "property P:\n  [Send(Node0(lane = q), Ack0(_))] Enables "
+                     "[Send(Node0, Ack0(_))];\n",
+                 "not declared in the forall clause"});
+  Out.push_back({"trigger-discipline",
+                 Base + GoodHandler +
+                     "property P: forall v.\n  [Send(Node0, Ack0(v))] Enables "
+                     "[Send(Node0, Ack0(_))];\n",
+                 "must occur in the trigger"});
+  Out.push_back({"ni-unknown-var",
+                 Base + GoodHandler +
+                     "property NI:\n  noninterference { high components: "
+                     "Node0; high vars: " +
+                     Junk + "; };\n",
+                 "unknown state variable"});
+  return Out;
+}
+
+std::string corpusManifest(const GeneratedCorpus &Corpus) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("seed", static_cast<int64_t>(Corpus.Config.Seed));
+  W.field("scale", static_cast<int64_t>(Corpus.Config.Scale));
+  W.field("bmc_depth", static_cast<int64_t>(corpusBmcDepth()));
+  W.field("instances", static_cast<int64_t>(Corpus.Instances.size()));
+  W.field("properties", static_cast<int64_t>(Corpus.totalProperties()));
+  W.key("kernels");
+  W.beginArray();
+  for (const GeneratedInstance &Inst : Corpus.Instances) {
+    W.beginObject();
+    W.field("name", Inst.Name);
+    W.field("file", Inst.Name + ".rfx");
+    W.field("sha256", sha256Hex(Inst.Source));
+    W.field("has_bug", Inst.HasBug);
+    if (Inst.HasBug)
+      W.field("bug", Inst.BugNote);
+    W.key("expected");
+    W.beginArray();
+    for (const ExpectedVerdict &E : Inst.Expected) {
+      W.beginObject();
+      W.field("property", E.Property);
+      W.field("expect", expectKindName(E.Expect));
+      W.field("why", E.Why);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+ScriptFactory corpusScripts(const Program &P, uint64_t Seed) {
+  return [&P, Seed](const ComponentInstance &C)
+             -> std::unique_ptr<ComponentScript> {
+    if (C.TypeName != "Driver")
+      return nullptr; // Nodes are sinks: permanently quiet.
+    Rng R(Seed ^ (0xD6E8FEB86659FD93ULL * static_cast<uint64_t>(C.Id + 1)));
+    std::vector<Value> Nums = harvestDomain(P, BaseType::Num);
+    std::vector<Value> Strs = harvestDomain(P, BaseType::Str);
+    std::vector<Value> Bools = harvestDomain(P, BaseType::Bool);
+    auto pick = [&R](std::vector<Value> &Dom, Value Fallback) {
+      return Dom.empty() ? Fallback : Dom[R.below(Dom.size())];
+    };
+    std::vector<Message> Burst;
+    const unsigned Rounds = 3;
+    for (unsigned Round = 0; Round < Rounds; ++Round) {
+      std::vector<Message> Pack;
+      for (const MessageDecl &M : P.Messages) {
+        // Trigger messages go every round; the rest (replies, idle noise)
+        // only sometimes — they reach the kernel as handler-less
+        // exchanges, which the abstraction must absorb too.
+        const bool Handled = P.findHandler("Driver", M.Name) != nullptr;
+        if (!Handled && !R.chance(1, 4))
+          continue;
+        Message Msg;
+        Msg.Name = M.Name;
+        for (BaseType Ty : M.Payload) {
+          switch (Ty) {
+          case BaseType::Num:
+            Msg.Args.push_back(pick(Nums, Value::num(0)));
+            break;
+          case BaseType::Str:
+            Msg.Args.push_back(pick(Strs, Value::str("")));
+            break;
+          case BaseType::Bool:
+            Msg.Args.push_back(pick(Bools, Value::boolean(false)));
+            break;
+          default:
+            Msg.Args.push_back(Value::num(0));
+            break;
+          }
+        }
+        Pack.push_back(std::move(Msg));
+      }
+      shuffle(Pack, R);
+      for (Message &M : Pack)
+        Burst.push_back(std::move(M));
+    }
+    return std::make_unique<ScriptedComponent>(
+        std::move(Burst), std::map<std::string, ScriptedComponent::Responder>{});
+  };
+}
+
+} // namespace gen
+} // namespace reflex

@@ -1,0 +1,157 @@
+//===- gen/generator.h - Seeded scenario factory ----------------*- C++ -*-===//
+//
+// Part of the Reflex/C++ reproduction of "Automating Formal Proofs for
+// Reactive Systems" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario factory: a seeded, fully deterministic generator of
+/// Reflex kernels with matched property and NI-policy families. Every
+/// bench before this one ran the same 5–7 hand-written kernels (~41
+/// properties, milliseconds of work); this module manufactures workloads
+/// of hundreds of properties whose expected verdicts are known *by
+/// construction*, so every engine, cache tier, and incremental path has
+/// ground truth to be measured — and cross-checked — against.
+///
+/// An instance is assembled from independent "units", each an instance of
+/// a proof template the automation is complete for:
+///
+///  * gate   — an open/use handler pair guarded by a boolean flag
+///             (the fleet pattern): [Ack] Enables [Out] plus
+///             atmostonce [Ack];
+///  * chain  — a staged done_0..done_{L-1} cascade (the chain pattern):
+///             [Out_{i-1}] Enables [Out_i] per stage plus
+///             atmostonce [Out_0];
+///  * branch — a complete binary if/else nest over message parameters
+///             behind an armed flag: [Go] Enables [Hit] needs the guard
+///             invariant on every one of the 2^d paths, plus
+///             atmostonce [Go];
+///  * lookup — the gate template with the emit routed through a
+///             config-constrained lookup instead of an init-bound global
+///             (exercises the component-origin reasoning).
+///
+/// Ground truth comes in three flavors, mirroring the differential
+/// validation story (docs/CORPUS.md):
+///
+///  (a) construct-correct instances: every trace property is Proved by
+///      construction (the guard invariant argument of each template);
+///  (b) bug-injected variants: a seeded fault (drop a guard, drop an arm
+///      assignment, drop a chain conjunct) makes exactly one named
+///      property Refuted, with the violation reachable within
+///      corpusBmcDepth() exchanges — siblings stay Proved;
+///  (c) NI policies with known verdicts: the all-high labeling is Proved
+///      (every branch condition and high-visible effect has high
+///      support), the driver-low labeling is Unknown (a low handler
+///      updates high state — Theorem 1's NIlo condition fails).
+///
+/// Determinism contract: generation consumes a SplitMix64 stream seeded
+/// from (Seed, Scale) only — same config, byte-identical corpus. Sources
+/// are canonicalized through the existing printer (printProgram), so
+/// every emitted instance round-trips the parser to a fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REFLEX_GEN_GENERATOR_H
+#define REFLEX_GEN_GENERATOR_H
+
+#include "interp/runtime.h"
+#include "reflex/reflex.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reflex {
+namespace gen {
+
+/// The two knobs of the factory. Scale grows everything at once:
+/// component count, message alphabet, config variables, handler count,
+/// branch/lookup nesting depth, and the number of instances.
+struct GenConfig {
+  uint64_t Seed = 1;
+  unsigned Scale = 3; ///< >= 1; bench_corpus pins 6, tests use 1–3.
+};
+
+/// What the construction argument says the automation must answer.
+enum class ExpectKind : uint8_t { Proved, Refuted, Unknown };
+
+const char *expectKindName(ExpectKind K);
+
+struct ExpectedVerdict {
+  std::string Property;
+  ExpectKind Expect = ExpectKind::Proved;
+  /// One-line construction argument ("guard dropped: Out reachable
+  /// before Ack"), carried into the manifest for failure triage.
+  std::string Why;
+};
+
+struct GeneratedInstance {
+  std::string Name;
+  /// Canonical source: printProgram of the parsed raw emission. Dumped
+  /// verbatim by `reflex gen`, and the fixpoint the round-trip tests pin.
+  std::string Source;
+  /// Parsed + validated from Source.
+  ProgramPtr Program;
+  /// One entry per property, in declaration order.
+  std::vector<ExpectedVerdict> Expected;
+  /// True for the (b) flavor; BugNote names the injected fault.
+  bool HasBug = false;
+  std::string BugNote;
+
+  const ExpectedVerdict *findExpected(const std::string &Prop) const;
+};
+
+/// A deliberately ill-formed mutant of a generated program: Source must
+/// FAIL validation with a diagnostic mentioning Needle. Exercises the
+/// validator over machine-made junk (undefined vars, arity errors, type
+/// errors, duplicate handlers, unknown messages).
+struct IllFormedMutant {
+  std::string Name;
+  std::string Source;
+  std::string Needle;
+};
+
+struct GeneratedCorpus {
+  GenConfig Config;
+  std::vector<GeneratedInstance> Instances;
+
+  size_t totalProperties() const;
+  size_t totalHandlers() const;
+};
+
+/// Generates the corpus for \p C. Aborts (assert) only on internal
+/// generator bugs — every emitted source parses, validates, and
+/// round-trips by construction.
+GeneratedCorpus generateCorpus(const GenConfig &C);
+
+/// Seeded ill-formed mutants derived from the same config (one per
+/// mutation kind per seed). Each fails validation; see IllFormedMutant.
+std::vector<IllFormedMutant> generateIllFormedMutants(const GenConfig &C);
+
+/// The manifest `reflex gen --out` writes next to the dumped sources:
+/// seed, scale, per-instance file names, SHA-256 of each canonical
+/// source, and the expected verdict of every property — enough to
+/// reproduce and re-judge any corpus failure from one command line.
+std::string corpusManifest(const GeneratedCorpus &Corpus);
+
+/// The BMC depth at which every seeded bug's violation is reachable
+/// (VerifyOptions::BmcDepthOnUnknown for any corpus verification that
+/// wants the (b) flavor to answer Refuted rather than Unknown).
+unsigned corpusBmcDepth();
+
+/// VerifyOptions the corpus' expectations are stated against: defaults
+/// plus BmcDepthOnUnknown = corpusBmcDepth().
+VerifyOptions corpusVerifyOptions();
+
+/// A ScriptFactory driving a generated instance with seeded component
+/// traffic: every Driver instance fires a shuffled multi-round burst over
+/// the program's message alphabet (payloads from harvestDomain), so the
+/// interpreter side of the differential harness produces long, varied
+/// traces. Node components stay quiet. \p P must outlive the runtime.
+ScriptFactory corpusScripts(const Program &P, uint64_t Seed);
+
+} // namespace gen
+} // namespace reflex
+
+#endif // REFLEX_GEN_GENERATOR_H

@@ -222,6 +222,8 @@ std::string ProofCache::optionsFingerprint(const VerifyOptions &Opts) {
   OS << "skip=" << Opts.SyntacticSkip << ";inv-cache=" << Opts.CacheInvariants
      << ";simplify=" << Opts.Simplify << ";check=" << Opts.CheckCertificates
      << ";bmc=" << Opts.BmcDepthOnUnknown
+     << ";bmc-states=" << Opts.Bmc.MaxStates
+     << ";bmc-payloads=" << Opts.Bmc.MaxPayloadsPerMessage
      << ";max-disjuncts=" << Opts.Limits.MaxDisjuncts
      << ";max-paths=" << Opts.Limits.MaxPaths
      << ";engine=" << engineKindName(Opts.Engine);

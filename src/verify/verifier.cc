@@ -368,7 +368,7 @@ PropertyResult VerifySession::verifyOne(const Property &Prop, Deadline &D,
     R.Status = VerifyStatus::Unknown;
     R.Reason = std::move(Reason);
     if (I->Opts.BmcDepthOnUnknown > 0 && Prop.isTrace()) {
-      BmcOptions BOpts;
+      BmcOptions BOpts = I->Opts.Bmc;
       BOpts.MaxDepth = I->Opts.BmcDepthOnUnknown;
       BmcResult B = bmcSearch(I->P, Prop, BOpts);
       if (B.Violated) {

@@ -49,6 +49,13 @@ struct VerifyOptions {
   /// When the prover answers Unknown, search for a concrete
   /// counterexample up to this depth (0 disables).
   size_t BmcDepthOnUnknown = 0;
+  /// Resource limits for that counterexample search. MaxDepth is ignored
+  /// here — BmcDepthOnUnknown governs the depth; the state cap and the
+  /// per-message payload cap trade breadth for depth (a wide message
+  /// alphabet can exhaust MaxStates before a shallow bound completes, so
+  /// callers with large alphabets shrink MaxPayloadsPerMessage instead of
+  /// raising MaxStates).
+  BmcOptions Bmc;
   SymExecLimits Limits;
   /// Per-property budgets (0 = unlimited) and an optional external cancel
   /// flag, polled cooperatively by the prover's hot loops. Budgets never

@@ -1,0 +1,169 @@
+//===- tests/gen_test.cc - Scenario factory unit tests ----------*- C++ -*-===//
+//
+// The generator's own contracts (src/gen/generator.h): every emitted
+// source is already the printer's fixpoint (print -> parse -> print is
+// the identity on it), the same (seed, scale) reproduces the corpus
+// byte for byte, expected verdicts line up one-to-one with declared
+// properties, the manifest is well-formed JSON carrying all of it, and
+// the deliberately ill-formed mutants actually fail validation with the
+// promised diagnostic. The *verdicts* themselves are cross-checked by
+// the differential oracle (tests/corpus_diff_test.cc, bench_corpus).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/generator.h"
+#include "support/json.h"
+#include "test_util.h"
+
+#include <set>
+
+namespace reflex {
+namespace {
+
+using gen::ExpectKind;
+using gen::GenConfig;
+using gen::GeneratedCorpus;
+using gen::GeneratedInstance;
+
+GenConfig cfg(uint64_t Seed, unsigned Scale) {
+  GenConfig C;
+  C.Seed = Seed;
+  C.Scale = Scale;
+  return C;
+}
+
+TEST(Gen, SourcesAreCanonicalAndRoundTrip) {
+  for (uint64_t Seed : {1ull, 7ull, 42ull}) {
+    for (unsigned Scale : {1u, 2u, 3u}) {
+      GeneratedCorpus Corpus = gen::generateCorpus(cfg(Seed, Scale));
+      ASSERT_FALSE(Corpus.Instances.empty());
+      for (const GeneratedInstance &Inst : Corpus.Instances) {
+        SCOPED_TRACE("seed " + std::to_string(Seed) + " scale " +
+                     std::to_string(Scale) + " " + Inst.Name);
+        // The shipped source is the canonical form: printing the parsed
+        // program reproduces it exactly, so print -> parse -> print is a
+        // fixpoint from the first hop.
+        ASSERT_NE(Inst.Program, nullptr);
+        EXPECT_EQ(Inst.Source, printProgram(*Inst.Program));
+        ProgramPtr Reparsed = mustLoad(Inst.Source);
+        ASSERT_NE(Reparsed, nullptr);
+        EXPECT_EQ(printProgram(*Reparsed), Inst.Source);
+        EXPECT_EQ(Reparsed->Handlers.size(), Inst.Program->Handlers.size());
+        EXPECT_EQ(Reparsed->Properties.size(),
+                  Inst.Program->Properties.size());
+      }
+    }
+  }
+}
+
+TEST(Gen, SameConfigIsByteIdentical) {
+  GeneratedCorpus A = gen::generateCorpus(cfg(42, 2));
+  GeneratedCorpus B = gen::generateCorpus(cfg(42, 2));
+  ASSERT_EQ(A.Instances.size(), B.Instances.size());
+  for (size_t I = 0; I < A.Instances.size(); ++I) {
+    EXPECT_EQ(A.Instances[I].Name, B.Instances[I].Name);
+    EXPECT_EQ(A.Instances[I].Source, B.Instances[I].Source);
+    EXPECT_EQ(A.Instances[I].BugNote, B.Instances[I].BugNote);
+  }
+  EXPECT_EQ(gen::corpusManifest(A), gen::corpusManifest(B));
+}
+
+TEST(Gen, DifferentSeedsDiverge) {
+  GeneratedCorpus A = gen::generateCorpus(cfg(1, 2));
+  GeneratedCorpus B = gen::generateCorpus(cfg(2, 2));
+  bool AnyDiff = A.Instances.size() != B.Instances.size();
+  for (size_t I = 0; !AnyDiff && I < A.Instances.size(); ++I)
+    AnyDiff = A.Instances[I].Source != B.Instances[I].Source;
+  EXPECT_TRUE(AnyDiff) << "seeds 1 and 2 produced identical corpora";
+}
+
+TEST(Gen, ExpectedVerdictsMatchDeclaredProperties) {
+  GeneratedCorpus Corpus = gen::generateCorpus(cfg(3, 2));
+  size_t Bugged = 0, NiUnknown = 0;
+  for (const GeneratedInstance &Inst : Corpus.Instances) {
+    SCOPED_TRACE(Inst.Name);
+    // One expectation per property, in declaration order.
+    ASSERT_EQ(Inst.Expected.size(), Inst.Program->Properties.size());
+    for (size_t I = 0; I < Inst.Expected.size(); ++I) {
+      EXPECT_EQ(Inst.Expected[I].Property, Inst.Program->Properties[I].Name);
+      EXPECT_FALSE(Inst.Expected[I].Why.empty());
+      EXPECT_EQ(Inst.findExpected(Inst.Expected[I].Property),
+                &Inst.Expected[I]);
+    }
+    size_t Refuted = 0;
+    for (const gen::ExpectedVerdict &E : Inst.Expected) {
+      if (E.Expect == ExpectKind::Refuted)
+        ++Refuted;
+      if (E.Expect == ExpectKind::Unknown)
+        ++NiUnknown;
+    }
+    if (Inst.HasBug) {
+      ++Bugged;
+      EXPECT_FALSE(Inst.BugNote.empty());
+      // A seeded fault breaks exactly the one property it names.
+      EXPECT_EQ(Refuted, 1u);
+    } else {
+      EXPECT_EQ(Refuted, 0u);
+    }
+  }
+  EXPECT_GT(Bugged, 0u);
+  EXPECT_GT(NiUnknown, 0u) << "no driver-low NI policy in the corpus";
+}
+
+TEST(Gen, ManifestIsWellFormedJson) {
+  GeneratedCorpus Corpus = gen::generateCorpus(cfg(5, 1));
+  Result<JsonValue> Doc = parseJson(gen::corpusManifest(Corpus));
+  ASSERT_TRUE(Doc.ok()) << Doc.error();
+  EXPECT_EQ(Doc->getNumber("seed"), 5);
+  EXPECT_EQ(Doc->getNumber("scale"), 1);
+  EXPECT_EQ(Doc->getNumber("bmc_depth"), gen::corpusBmcDepth());
+  EXPECT_EQ(size_t(Doc->getNumber("instances")), Corpus.Instances.size());
+  EXPECT_EQ(size_t(Doc->getNumber("properties")), Corpus.totalProperties());
+  const JsonValue *Kernels = Doc->get("kernels");
+  ASSERT_NE(Kernels, nullptr);
+  ASSERT_TRUE(Kernels->isArray());
+  ASSERT_EQ(Kernels->items().size(), Corpus.Instances.size());
+  for (size_t I = 0; I < Corpus.Instances.size(); ++I) {
+    const JsonValue &K = Kernels->items()[I];
+    EXPECT_EQ(K.getString("name"), Corpus.Instances[I].Name);
+    EXPECT_EQ(K.getString("file"), Corpus.Instances[I].Name + ".rfx");
+    EXPECT_EQ(K.getString("sha256").size(), 64u);
+    const JsonValue *Expected = K.get("expected");
+    ASSERT_NE(Expected, nullptr);
+    EXPECT_EQ(Expected->items().size(), Corpus.Instances[I].Expected.size());
+  }
+}
+
+TEST(Gen, InstanceNamesAreUnique) {
+  GeneratedCorpus Corpus = gen::generateCorpus(cfg(9, 3));
+  std::set<std::string> Names;
+  for (const GeneratedInstance &Inst : Corpus.Instances)
+    EXPECT_TRUE(Names.insert(Inst.Name).second)
+        << "duplicate instance name " << Inst.Name;
+}
+
+TEST(Gen, IllFormedMutantsFailValidation) {
+  for (uint64_t Seed : {1ull, 11ull}) {
+    std::vector<gen::IllFormedMutant> Mutants =
+        gen::generateIllFormedMutants(cfg(Seed, 2));
+    ASSERT_FALSE(Mutants.empty());
+    for (const gen::IllFormedMutant &M : Mutants) {
+      SCOPED_TRACE("seed " + std::to_string(Seed) + " " + M.Name);
+      ASSERT_FALSE(M.Needle.empty());
+      expectLoadError(M.Source, M.Needle);
+    }
+  }
+}
+
+TEST(Gen, CorpusVerifyOptionsPinTheBmcBound) {
+  VerifyOptions Opts = gen::corpusVerifyOptions();
+  EXPECT_EQ(Opts.BmcDepthOnUnknown, gen::corpusBmcDepth());
+  // The corpus' wide message alphabets force the narrowed payload cap;
+  // without it the depth bound cannot complete under the state cap and
+  // the (b) flavor degrades from Refuted to Unknown (generator.cc).
+  EXPECT_LT(Opts.Bmc.MaxPayloadsPerMessage,
+            BmcOptions().MaxPayloadsPerMessage);
+}
+
+} // namespace
+} // namespace reflex

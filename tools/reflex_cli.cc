@@ -16,12 +16,18 @@
 //                                         runtime monitor
 //   reflex print   <file.rfx>             parse, validate, pretty-print
 //   reflex info    <file.rfx>             inventory + abstraction stats
+//   reflex gen     --seed N --scale S     emit a seeded corpus of kernels
+//                  [--out DIR] [--check]  with known-verdict properties,
+//                                         and/or cross-check it with the
+//                                         differential oracle
 //
 //===----------------------------------------------------------------------===//
 
 #include "daemon/client.h"
 #include "daemon/daemon.h"
 #include "daemon/supervisor.h"
+#include "gen/generator.h"
+#include "gen/oracle.h"
 #include "kernels/synthetic.h"
 #include "reflex/reflex.h"
 #include "service/scheduler.h"
@@ -37,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -114,6 +121,20 @@ int usage() {
       "                    restarted child; see docs/ROBUSTNESS.md)\n"
       "                    --max-restarts N --restart-window-ms N\n"
       "                    (crash-loop detector for --supervise)\n"
+      "  gen      emit a seeded, fully deterministic corpus of kernels\n"
+      "           whose properties have construction-time known verdicts\n"
+      "           (no file argument; see docs/CORPUS.md)\n"
+      "           options: --seed N (default 1) --scale S (default 3)\n"
+      "                    --out DIR (write <name>.rfx files plus a\n"
+      "                    manifest.json with expected verdicts and\n"
+      "                    source hashes)\n"
+      "                    --check (run the differential oracle: verdicts\n"
+      "                    vs ground truth, counterexamples vs concrete\n"
+      "                    semantics, interpreter traces vs abstraction,\n"
+      "                    parity across engines/jobs/sharing/cache)\n"
+      "                    --jobs N (parallel oracle arms, default 4)\n"
+      "           at least one of --out/--check is required\n"
+      "           exit codes: 0 ok, 1 oracle mismatch, 2 usage/IO error\n"
       "  client   send newline-delimited JSON frames to a running daemon\n"
       "           (no file argument)\n"
       "           options: --socket PATH (required)\n"
@@ -149,12 +170,13 @@ bool takesValue(const std::string &Key) {
          Key == "--frame" || Key == "--engine" || Key == "--max-clients" ||
          Key == "--max-inflight" || Key == "--io-timeout-ms" ||
          Key == "--retry-after-ms" || Key == "--drain-cancel-ms" ||
-         Key == "--max-restarts" || Key == "--restart-window-ms";
+         Key == "--max-restarts" || Key == "--restart-window-ms" ||
+         Key == "--scale" || Key == "--out";
 }
 
-/// daemon/client take no .rfx file — everything is options.
+/// daemon/client/gen take no .rfx file — everything is options.
 bool fileLess(const std::string &Command) {
-  return Command == "daemon" || Command == "client";
+  return Command == "daemon" || Command == "client" || Command == "gen";
 }
 
 Result<Args> parseArgs(int Argc, char **Argv) {
@@ -646,6 +668,80 @@ int cmdInfo(const Args &, const Program &P) {
   return 0;
 }
 
+int cmdGen(const Args &A) {
+  gen::GenConfig C;
+  C.Seed = numOption(A, "--seed", 1);
+  C.Scale = unsigned(numOption(A, "--scale", 3));
+  const bool Check = A.Options.count("--check") != 0;
+  auto OutIt = A.Options.find("--out");
+  if (!Check && OutIt == A.Options.end()) {
+    std::fprintf(stderr,
+                 "error: gen needs --out DIR and/or --check (a corpus "
+                 "with nowhere to go and nothing to verify is a no-op)\n");
+    return 2;
+  }
+
+  gen::GeneratedCorpus Corpus = gen::generateCorpus(C);
+  std::printf("generated %zu kernels, %zu properties, %zu handlers "
+              "(seed %llu, scale %u)\n",
+              Corpus.Instances.size(), Corpus.totalProperties(),
+              Corpus.totalHandlers(), (unsigned long long)C.Seed, C.Scale);
+
+  if (OutIt != A.Options.end()) {
+    std::filesystem::path Dir(OutIt->second);
+    std::error_code EC;
+    std::filesystem::create_directories(Dir, EC);
+    if (EC) {
+      std::fprintf(stderr, "error: cannot create '%s': %s\n",
+                   Dir.string().c_str(), EC.message().c_str());
+      return 2;
+    }
+    for (const gen::GeneratedInstance &Inst : Corpus.Instances) {
+      std::ofstream Out(Dir / (Inst.Name + ".rfx"));
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     (Dir / (Inst.Name + ".rfx")).string().c_str());
+        return 2;
+      }
+      Out << Inst.Source;
+    }
+    std::ofstream Manifest(Dir / "manifest.json");
+    if (!Manifest) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   (Dir / "manifest.json").string().c_str());
+      return 2;
+    }
+    Manifest << gen::corpusManifest(Corpus) << "\n";
+    std::printf("wrote %zu .rfx files + manifest.json to %s\n",
+                Corpus.Instances.size(), Dir.string().c_str());
+  }
+
+  if (Check) {
+    gen::OracleOptions OOpts;
+    OOpts.Jobs = unsigned(numOption(A, "--jobs", 4));
+    WallTimer Timer;
+    gen::OracleReport R = gen::runOracle(Corpus, OOpts);
+    std::printf("oracle: %zu properties cross-checked in %.2f ms\n"
+                "  proved with checked certificates: %zu\n"
+                "  refuted with confirmed counterexamples: %zu\n"
+                "  unknown (NI split policies) confirmed: %zu\n"
+                "  interpreter traces replayed: %zu (%zu exchanges)\n"
+                "  parity arms compared: %zu\n",
+                R.Properties, Timer.elapsedMillis(), R.ProvedCertChecked,
+                R.RefutedConfirmed, R.UnknownConfirmed, R.InterpTraces,
+                R.InterpExchanges, R.ParityArms);
+    if (!R.clean()) {
+      std::fprintf(stderr, "oracle found %zu mismatch%s:\n%s",
+                   R.Mismatches.size(),
+                   R.Mismatches.size() == 1 ? "" : "es",
+                   gen::describeMismatches(R).c_str());
+      return 1;
+    }
+    std::printf("  mismatches: 0\n");
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -660,6 +756,8 @@ int main(int Argc, char **Argv) {
     return cmdDaemon(*A);
   if (A->Command == "client")
     return cmdClient(*A);
+  if (A->Command == "gen")
+    return cmdGen(*A);
 
   Result<std::string> Source = readFile(A->File);
   if (!Source.ok()) {

@@ -30,6 +30,12 @@
 #   * bench/bench_incremental — footprint-reuse scenarios incl. the
 #                               path-granular branch-leaf audit,
 #                               in --smoke mode
+#   * tests/gen_test          — the scenario factory: seeded emission,
+#                               manifest rendering, ill-formed mutants
+#                               through the validator's error paths
+#   * tests/corpus_diff_test  — the differential oracle end to end incl.
+#                               counterexample replay and interpreter
+#                               refinement on machine-made kernels
 #
 # Usage: tools/run_asan.sh [build-dir]       (default: build-asan)
 set -euo pipefail
@@ -40,8 +46,8 @@ BUILD="${1:-build-asan}"
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test robustness_test \
   certificate_test chaos_test solver_test solver_diff_test \
-  footprint_stmt_test bench_faults bench_portfolio bench_solver \
-  bench_incremental
+  footprint_stmt_test gen_test corpus_diff_test bench_faults \
+  bench_portfolio bench_solver bench_incremental
 
 # Fail the script on the first report from either sanitizer.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -85,5 +91,11 @@ echo "== footprint_stmt_test (ASan+UBSan) =="
 echo "== bench_incremental --smoke (ASan+UBSan) =="
 "$BUILD/bench/bench_incremental" --smoke --stages 6 \
   --out "$BUILD/BENCH_incremental.smoke.json"
+
+echo "== gen_test (ASan+UBSan) =="
+"$BUILD/tests/gen_test"
+
+echo "== corpus_diff_test (ASan+UBSan) =="
+"$BUILD/tests/corpus_diff_test"
 
 echo "ASan/UBSan: no issues reported"

@@ -9,8 +9,12 @@
 # re-verification whose verdicts diverge from a from-scratch run
 # (bench_incremental's mutation audit), or a crash-recovery/overload
 # regression in bench_chaos (lost sessions, un-truncated torn journal
-# tails, dropped accepted requests). The timed, 5-repetition runs
-# that produce the committed BENCH_*.json artifacts are run manually.
+# tails, dropped accepted requests), or a generated-corpus failure in
+# bench_corpus (an oracle mismatch between the verifier and the
+# construction-time ground truth, a non-reproducible seed, a dedupe or
+# warm-cache coverage hole, a daemon wire verdict diverging from the
+# local baseline). The timed, multi-repetition runs that produce the
+# committed BENCH_*.json artifacts are run manually.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]       (default: build)
 set -euo pipefail
@@ -20,7 +24,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_parallel bench_faults \
-  bench_incremental bench_chaos bench_solver reflex_cli
+  bench_incremental bench_chaos bench_solver bench_corpus reflex_cli
 
 ctest --test-dir "$BUILD" -L bench-smoke --output-on-failure
 

@@ -27,6 +27,10 @@
 #                               path-granular branch-leaf audit, with
 #                               scheduler-batched re-verification,
 #                               in --smoke mode
+#   * tests/corpus_diff_test  — the generated-corpus differential oracle:
+#                               parity arms race the scheduler across
+#                               jobs/sharing/cache states on machine-made
+#                               kernels
 #
 # Usage: tools/run_tsan.sh [build-dir]       (default: build-tsan)
 set -euo pipefail
@@ -36,8 +40,8 @@ BUILD="${1:-build-tsan}"
 
 cmake -B "$BUILD" -S . -DREFLEX_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j --target service_test daemon_test prover_test \
-  chaos_test solver_test solver_diff_test bench_parallel bench_portfolio \
-  bench_solver bench_incremental
+  chaos_test solver_test solver_diff_test corpus_diff_test bench_parallel \
+  bench_portfolio bench_solver bench_incremental
 
 # Halt on the first report and fail the script (exit code 66 is TSan's
 # conventional "issues found" code under halt_on_error).
@@ -76,5 +80,8 @@ echo "== bench_solver --smoke (TSan) =="
 echo "== bench_incremental --smoke (TSan) =="
 "$BUILD/bench/bench_incremental" --smoke --stages 6 \
   --out "$BUILD/BENCH_incremental.smoke.json"
+
+echo "== corpus_diff_test (TSan) =="
+"$BUILD/tests/corpus_diff_test"
 
 echo "TSan: no data races reported"
